@@ -1,0 +1,72 @@
+/// \file exp_bias_squaring.cpp
+/// Experiment E2 — Lemma 4 / Proposition 8: the bias inside the newest
+/// generation squares with every hand-over: α_{i,t_i} ≈ α_{i-1,t_{i-1}}².
+/// We run Algorithm 1 once per configuration, record the measured bias at
+/// the birth of every generation, and print it next to the idealized
+/// trajectory α0^(2^i). The paper's claim holds while the runner-up color
+/// retains enough mass for concentration (Lemma 5 handles the endgame).
+
+#include <cmath>
+#include <iostream>
+
+#include "analysis/theory.hpp"
+#include "opinion/assignment.hpp"
+#include "runner/report.hpp"
+#include "support/table.hpp"
+#include "sync/algorithm1.hpp"
+#include "sync/engine.hpp"
+
+int main() {
+    using namespace papc;
+    runner::print_banner(std::cout, "E2 (Lemma 4 / Prop. 8): bias squaring");
+
+    const std::size_t n = 1 << 18;
+
+    struct Config {
+        std::uint32_t k;
+        double alpha;
+    };
+    for (const Config cfg : {Config{2, 1.1}, Config{8, 1.5}, Config{32, 1.5}}) {
+        runner::print_heading(
+            std::cout, "n = 2^18, k = " + std::to_string(cfg.k) +
+                           ", alpha0 = " + format_double(cfg.alpha, 2));
+
+        Rng rng(derive_seed(0xE201, cfg.k));
+        const Assignment a = make_biased_plurality(n, cfg.k, cfg.alpha, rng);
+        sync::ScheduleParams sp;
+        sp.n = n;
+        sp.k = cfg.k;
+        sp.alpha = cfg.alpha;
+        sync::Algorithm1 alg(a, sync::Schedule(sp));
+        sync::RunOptions opts;
+        opts.max_rounds = 2000;
+        (void)run_to_consensus(alg, rng, opts);
+
+        const auto ideal = analysis::ideal_bias_trajectory(
+            cfg.alpha, static_cast<unsigned>(alg.births().size()),
+            static_cast<double>(n));
+
+        Table table({"generation", "birth round", "size", "alpha measured",
+                     "alpha0^(2^i)", "ratio"});
+        for (const auto& b : alg.births()) {
+            const double predicted = ideal[b.generation];
+            const bool finite = std::isfinite(b.alpha);
+            table.row()
+                .add(b.generation)
+                .add(b.round)
+                .add(b.size)
+                .add(finite ? format_double(b.alpha, 3) : std::string("inf"))
+                .add(predicted, 3)
+                .add(finite && predicted > 0.0
+                         ? format_double(b.alpha / predicted, 3)
+                         : std::string("-"));
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\nExpected shape: 'alpha measured' tracks alpha0^(2^i)"
+                 " (ratio near 1)\nuntil the runner-up color nearly vanishes,"
+                 " after which the measured\nbias jumps to infinity (Lemma 5"
+                 " regime) — exactly the paper's story.\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/// \file exp_bias_threshold.cpp
+/// Experiment E8 — Theorem 1's bias requirement
+/// α > 1 + (k·log n/√n)·log k. We sweep the initial bias through the
+/// threshold and measure the plurality success probability; the paper
+/// predicts a transition from coin-flip-like behaviour (α near 1) to
+/// reliable plurality consensus (α above the threshold).
+
+#include <iostream>
+
+#include "opinion/assignment.hpp"
+#include "runner/experiment.hpp"
+#include "runner/report.hpp"
+#include "support/table.hpp"
+#include "sync/algorithm1.hpp"
+#include "sync/engine.hpp"
+
+int main() {
+    using namespace papc;
+    runner::print_banner(std::cout, "E8: success probability vs initial bias");
+
+    const std::size_t n = 1 << 14;
+    const std::uint32_t k = 8;
+    const std::size_t reps = 20;
+    const double threshold = theorem1_bias_threshold(n, k);
+
+    std::cout << "n = 2^14, k = " << k << ", Theorem-1 threshold alpha* = "
+              << format_double(threshold, 3) << ", " << reps
+              << " repetitions per point\n\n";
+
+    Table table({"alpha", "alpha/alpha*", "success", "rounds (median)"});
+    std::uint64_t row = 0;
+    for (const double factor : {0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0, 8.0}) {
+        // Interpolate between no bias (α = 1) and multiples of the excess.
+        const double alpha = 1.0 + (threshold - 1.0) * factor;
+        sync::ScheduleParams sp;
+        sp.n = n;
+        sp.k = k;
+        // The *schedule* must not assume more than the actual bias; clamp
+        // the hint slightly above 1 for the unbiased rows.
+        sp.alpha = std::max(alpha, 1.05);
+        const sync::Schedule schedule{sp};
+        const auto o = runner::run_experiment(
+            [&](std::uint64_t s) {
+                Rng rng(s);
+                const Assignment a = make_biased_plurality(n, k, alpha, rng);
+                sync::Algorithm1 alg(a, schedule);
+                sync::RunOptions opts;
+                opts.max_rounds = 3000;
+                const sync::SyncResult r = run_to_consensus(alg, rng, opts);
+                runner::TrialMetrics m;
+                m["success"] = (r.converged && r.winner == 0) ? 1.0 : 0.0;
+                m["rounds"] = static_cast<double>(r.rounds);
+                return m;
+            },
+            reps, derive_seed(0xE801, row++));
+        table.row()
+            .add(alpha, 4)
+            .add(factor, 2)
+            .add(o.mean("success"), 2)
+            .add(o.median("rounds"), 0);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nExpected shape: success ~1/k at alpha = 1 (any of the k"
+                 " equal opinions\nmay win), rising through ~alpha* and"
+                 " saturating at 1.00 above it —\nthe sigmoid crossing the"
+                 " paper's threshold regime.\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/// \file exp_gamma_ablation.cpp
+/// Experiment E7 — ablation of the generation-density threshold γ (§2.2):
+/// "Empirical data show that the value 1/2 works well for reasonable input
+/// sizes, while too high values increase the time, and too small values
+/// decrease the stability." We sweep γ and report rounds and success rate.
+
+#include <iostream>
+
+#include "opinion/assignment.hpp"
+#include "runner/experiment.hpp"
+#include "runner/report.hpp"
+#include "support/table.hpp"
+#include "sync/algorithm1.hpp"
+#include "sync/engine.hpp"
+
+int main() {
+    using namespace papc;
+    runner::print_banner(std::cout, "E7: gamma ablation (Section 2.2 remark)");
+
+    const std::uint32_t k = 8;
+    const std::size_t reps = 10;
+
+    auto sweep = [&](std::size_t n, double alpha, std::uint64_t seed) {
+        Table table({"gamma", "rounds (mean)", "rounds (p90)", "success",
+                     "G* two-choices steps", "schedule horizon"});
+        std::uint64_t row = 0;
+        for (const double gamma :
+             {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+            sync::ScheduleParams sp;
+            sp.n = n;
+            sp.k = k;
+            sp.alpha = alpha;
+            sp.gamma = gamma;
+            const sync::Schedule schedule{sp};
+            const auto o = runner::run_experiment(
+                [&](std::uint64_t s) {
+                    Rng rng(s);
+                    const Assignment a = make_biased_plurality(n, k, alpha, rng);
+                    sync::Algorithm1 alg(a, schedule);
+                    sync::RunOptions opts;
+                    opts.max_rounds = 3000;
+                    const sync::SyncResult r = run_to_consensus(alg, rng, opts);
+                    runner::TrialMetrics m;
+                    m["rounds"] = static_cast<double>(r.rounds);
+                    m["success"] = (r.converged && r.winner == 0) ? 1.0 : 0.0;
+                    return m;
+                },
+                reps, derive_seed(seed, row++));
+            table.row()
+                .add(gamma, 1)
+                .add(o.mean("rounds"), 1)
+                .add(o.metrics.at("rounds").p90, 1)
+                .add(o.mean("success"), 2)
+                .add(schedule.total_generations())
+                .add(schedule.horizon());
+        }
+        table.print(std::cout);
+    };
+
+    runner::print_heading(std::cout,
+                          "(a) comfortable bias [n = 2^16, alpha = 1.3, 10 "
+                          "reps] — the time effect");
+    sweep(1 << 16, 1.3, 0xE701);
+    std::cout << "Expected: U-shaped round counts with the minimum near"
+                 " gamma = 0.4-0.5;\nlarge gamma stretches every life-cycle"
+                 " X_i.\n";
+
+    runner::print_heading(std::cout,
+                          "(b) near-critical bias [n = 2^12, alpha = 1.18, 10 "
+                          "reps] — the stability effect");
+    sweep(1 << 12, 1.18, 0xE702);
+    std::cout << "Expected (paper's remark): with the bias close to 1, small"
+                 " gamma hands\ngenerations over while they are still tiny —"
+                 " the sampled bias is noisy\nand the wrong opinion can take"
+                 " over (success < 1.00); gamma = 0.5 is the\nsweet spot"
+                 " between this instability and the slow large-gamma"
+                 " regime.\n";
+    return 0;
+}

@@ -1,0 +1,110 @@
+/// \file exp_resilience.cpp
+/// Experiment E13 — the §4 motivation, measured: "the system becomes highly
+/// vulnerable against attacks, since an adversary can compromise the entire
+/// computation by taking over the leader". We crash leaders mid-run:
+///   (a) single leader frozen at t = 10 — the computation stalls (the
+///       generation machinery needs the leader's phase switches);
+///   (b) a growing fraction of cluster leaders crashed at t = 20 — the
+///       decentralized protocol keeps converging to the plurality until
+///       almost all leaders are gone.
+
+#include <iostream>
+
+#include "async/simulation.hpp"
+#include "cluster/simulation.hpp"
+#include "runner/experiment.hpp"
+#include "runner/report.hpp"
+#include "support/table.hpp"
+
+int main() {
+    using namespace papc;
+    runner::print_banner(std::cout, "E13 (Section 4): leader-failure resilience");
+
+    const std::size_t n = 1 << 13;
+    const std::uint32_t k = 4;
+    const double alpha = 2.0;
+    const std::size_t reps = 3;
+
+    {
+        runner::print_heading(std::cout,
+                              "(a) single leader, frozen at t = 10 [n = 2^13]");
+        Table table({"scenario", "converged", "plurality frac at end",
+                     "end time"});
+        std::uint64_t row = 0;
+        for (const double failure_time : {-1.0, 10.0}) {
+            const auto o = runner::run_experiment_parallel(
+                [&](std::uint64_t s) {
+                    async::AsyncConfig c;
+                    c.alpha_hint = alpha;
+                    c.max_time = 400.0;  // generous cap; stalls stay stalled
+                    c.leader_failure_time = failure_time;
+                    const async::AsyncResult r =
+                        async::run_single_leader(n, k, alpha, c, s);
+                    runner::TrialMetrics m;
+                    m["converged"] = r.converged ? 1.0 : 0.0;
+                    m["frac"] = r.plurality_fraction.empty()
+                                    ? 0.0
+                                    : r.plurality_fraction
+                                          [r.plurality_fraction.size() - 1]
+                                              .value;
+                    m["end"] = r.end_time;
+                    return m;
+                },
+                reps, derive_seed(0xED01, row++), /*threads=*/4);
+            table.row()
+                .add(failure_time < 0 ? "healthy" : "leader frozen at t=10")
+                .add(o.mean("converged"), 2)
+                .add(o.mean("frac"), 3)
+                .add(o.mean("end"), 1);
+        }
+        table.print(std::cout);
+        std::cout << "Expected: the healthy run converges; with the leader"
+                     " frozen the\ncomputation stalls mid-protocol — the"
+                     " plurality fraction freezes below 1\nand the run only"
+                     " ends at the time cap.\n";
+    }
+
+    {
+        runner::print_heading(
+            std::cout,
+            "(b) multi-leader, fraction of leaders crashed at t = 20 [n = 2^13]");
+        Table table({"crashed fraction", "success", "consensus time",
+                     "active clusters"});
+        std::uint64_t row = 0;
+        for (const double fraction : {0.0, 0.25, 0.5, 0.75, 0.9}) {
+            const auto o = runner::run_experiment_parallel(
+                [&](std::uint64_t s) {
+                    cluster::ClusterConfig c;
+                    c.size_floor = 24;
+                    c.leader_probability = 1.0 / 96.0;
+                    c.alpha_hint = alpha;
+                    c.max_time = 2500.0;
+                    c.record_series = false;
+                    c.leader_failure_time = 20.0;
+                    c.leader_failure_fraction = fraction;
+                    const cluster::MultiLeaderResult r =
+                        cluster::run_multi_leader(n, k, alpha, c, s);
+                    runner::TrialMetrics m;
+                    m["success"] =
+                        (r.converged && r.plurality_won) ? 1.0 : 0.0;
+                    if (r.consensus_time >= 0.0) m["cons"] = r.consensus_time;
+                    m["clusters"] =
+                        static_cast<double>(r.clustering.num_active);
+                    return m;
+                },
+                reps, derive_seed(0xED02, row++), /*threads=*/4);
+            table.row()
+                .add(fraction, 2)
+                .add(o.mean("success"), 2)
+                .add(o.mean("cons"), 1)
+                .add(o.mean("clusters"), 0);
+        }
+        table.print(std::cout);
+        std::cout << "Expected: success stays 1.00 and the slowdown stays"
+                     " moderate even with\nmost cluster leaders gone —"
+                     " surviving leaders keep coordinating and the\nfinished"
+                     " epidemic finishes the job. The single point of failure"
+                     " is gone.\n";
+    }
+    return 0;
+}

@@ -1,0 +1,90 @@
+/// \file exp_sync_convergence.cpp
+/// Experiment E1 — Theorem 1: the synchronous protocol converges to the
+/// plurality opinion in O(log k · log log_α k + log log n) rounds whp.
+/// Two sweeps:
+///   (a) rounds vs n at fixed k, α — expect near-flat growth (log log n);
+///   (b) rounds vs k at fixed n, α — expect ~log k · log log_α k growth.
+/// Each row reports the success rate (winner == plurality) and the
+/// theoretical shape value for comparison.
+
+#include <iostream>
+
+#include "analysis/theory.hpp"
+#include "opinion/assignment.hpp"
+#include "runner/experiment.hpp"
+#include "runner/report.hpp"
+#include "support/table.hpp"
+#include "sync/algorithm1.hpp"
+#include "sync/engine.hpp"
+
+namespace {
+
+using namespace papc;
+
+runner::TrialMetrics one_trial(std::size_t n, std::uint32_t k, double alpha,
+                               std::uint64_t seed) {
+    Rng rng(seed);
+    const Assignment a = make_biased_plurality(n, k, alpha, rng);
+    sync::ScheduleParams sp;
+    sp.n = n;
+    sp.k = k;
+    sp.alpha = alpha;
+    sync::Algorithm1 alg(a, sync::Schedule(sp));
+    sync::RunOptions opts;
+    opts.max_rounds = 2000;
+    const sync::SyncResult r = run_to_consensus(alg, rng, opts);
+    runner::TrialMetrics m;
+    m["rounds"] = static_cast<double>(r.rounds);
+    m["success"] = (r.converged && r.winner == 0) ? 1.0 : 0.0;
+    if (r.epsilon_time >= 0.0) m["eps_rounds"] = r.epsilon_time;
+    return m;
+}
+
+void sweep(const char* title, const std::vector<std::size_t>& ns,
+           const std::vector<std::uint32_t>& ks, double alpha,
+           std::size_t reps, std::uint64_t seed) {
+    runner::print_heading(std::cout, title);
+    Table table({"n", "k", "alpha", "rounds(mean)", "rounds(p90)", "success",
+                 "theory shape"});
+    std::uint64_t row_index = 0;
+    for (const std::size_t n : ns) {
+        for (const std::uint32_t k : ks) {
+            const runner::ExperimentOutcome o = runner::run_experiment(
+                [&](std::uint64_t s) { return one_trial(n, k, alpha, s); }, reps,
+                derive_seed(seed, row_index++));
+            table.row()
+                .add(n)
+                .add(k)
+                .add(alpha, 2)
+                .add(o.mean("rounds"), 1)
+                .add(o.metrics.at("rounds").p90, 1)
+                .add(o.mean("success"), 2)
+                .add(analysis::theorem1_runtime_shape(n, k, alpha), 1);
+        }
+    }
+    table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+    using namespace papc;
+    runner::print_banner(std::cout,
+                         "E1 (Theorem 1): synchronous convergence time");
+
+    sweep("(a) rounds vs n  [k = 8, alpha = 1.5]",
+          {1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20}, {8}, 1.5, 5, 0xE101);
+
+    sweep("(b) rounds vs k  [n = 2^16, alpha = 1.5]", {1 << 16},
+          {2, 4, 8, 16, 32, 64}, 1.5, 5, 0xE102);
+
+    std::cout << "\nExpected shape: sweep (a) grows barely with n (log log n"
+                 " term); sweep (b)\ngrows roughly like log k while k stays"
+                 " well inside the k <= n^(1/2-eps)\nregime. The k = 64 row"
+                 " deliberately violates Theorem 1's bias bound\n(threshold"
+                 " alpha* = "
+              << format_double(theorem1_bias_threshold(1 << 16, 64), 1)
+              << " >> 1.5 at n = 2^16): success degrades and the\nround count"
+                 " blows up exactly as the theorem predicts.\n";
+    return 0;
+}

@@ -1,0 +1,61 @@
+/// \file fig1_steps_per_unit.cpp
+/// Reproduces **Figure 1** of the paper: the number of time steps per time
+/// unit, C1 = F^{-1}(0.9), plotted against the expected channel latency
+/// 1/λ (log-log in the paper; we print the series). The paper's claim:
+/// "the value F^{-1}(0.9) grows linearly with 1/λ".
+///
+/// Columns:
+///   exact        — quantile of the hypoexponential composition
+///                  T3 = Exp(1) + 2·Exp(2λ) + 4·Exp(λ)
+///   monte_carlo  — 0.9-quantile of simulated T3 draws (cross-check)
+///   gamma_q90    — 0.9-quantile of the Γ(7, β) majorization (Remark 14)
+///   10/(3β)      — the paper's rounded closed-form bound
+///   ratio        — exact / (1/λ): flattens out => linear growth
+///
+/// Note on Example 15: the paper states E(T3) = 1 + 3/λ; the composition
+/// T3 = T2' + T1 + T2' with T2' = max(T2,T2) + T2 gives E(T3) = 1 + 5/λ.
+/// We implement the stated composition and report both readings in
+/// EXPERIMENTS.md.
+
+#include <iostream>
+
+#include "analysis/latency_units.hpp"
+#include "runner/report.hpp"
+#include "support/random.hpp"
+#include "support/table.hpp"
+
+int main() {
+    using namespace papc;
+
+    runner::print_banner(std::cout,
+                         "Figure 1: steps per time unit F^-1(0.9) vs 1/lambda");
+    std::cout << "T3 = max(T2,T2) + T2 (channels) + Exp(1) (clock), twice the "
+                 "channel stage; T2 ~ Exp(lambda)\n\n";
+
+    Table table({"1/lambda", "exact", "monte_carlo", "gamma_q90", "10/(3beta)",
+                 "exact/(1/lambda)", "E[T3]"});
+
+    Rng rng(0xF161);
+    const double inv_lambdas[] = {1.0, 2.0, 5.0, 10.0, 20.0, 50.0,
+                                  100.0, 200.0, 500.0, 1000.0};
+    for (const double inv_lambda : inv_lambdas) {
+        const double lambda = 1.0 / inv_lambda;
+        const analysis::Figure1Row row =
+            analysis::figure1_row(lambda, 200000, rng);
+        table.row()
+            .add(inv_lambda, 0)
+            .add(row.exact, 2)
+            .add(row.monte_carlo, 2)
+            .add(row.gamma_bound, 2)
+            .add(row.bound_10_3beta, 2)
+            .add(row.exact / inv_lambda, 3)
+            .add(analysis::t3_mean_exponential(lambda), 2);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nExpected shape: for 1/lambda >> 1 the exact quantile grows"
+                 " linearly\n(constant 'exact/(1/lambda)' column); at"
+                 " 1/lambda = 1 the Exp(1) clock\ndominates, matching the"
+                 " paper's Figure 1 flattening near the origin.\n";
+    return 0;
+}

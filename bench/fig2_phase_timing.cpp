@@ -1,0 +1,118 @@
+/// \file fig2_phase_timing.cpp
+/// Reproduces **Figure 2** of the paper: "The diagram of asynchronicity
+/// before propagation phase". For a fixed generation the paper depicts the
+/// phase-change times of the fastest and slowest cluster leaders:
+///   t̂0/t̂1 — first/last leader enters the two-choices phase (birth of i)
+///   t̂2/t̂3 — first/last leader dozes off (sleeping phase)
+///   t̂4/t̂5 — first/last leader allows propagation
+/// Proposition 31 asserts these windows overlap safely: every leader does
+/// two-choices for at least one unit after the last starts (a), sleeping
+/// windows cover the two-choices stragglers (c), and the total spread
+/// t̂5 - t̂0 is O(1). We measure all six marks per generation from the
+/// multi-leader simulation's leader traces.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "cluster/simulation.hpp"
+#include "runner/report.hpp"
+#include "support/table.hpp"
+
+int main() {
+    using namespace papc;
+    using cluster::LeaderState;
+
+    runner::print_banner(std::cout,
+                         "Figure 2: leader phase-change asynchrony diagram");
+
+    cluster::ClusterConfig config;
+    config.size_floor = 24;
+    config.leader_probability = 1.0 / 96.0;
+    config.alpha_hint = 1.3;
+    config.max_time = 2500.0;
+    config.record_series = false;
+    // Short two-choices window so every generation runs the full
+    // two-choices -> sleeping -> propagation cycle the figure depicts (with
+    // many opinions the two-choices mechanism alone cannot reach the
+    // generation-size gate, exactly the regime the paper analyzes).
+    config.sleep_units = 0.75;
+    config.prop_units = 1.5;
+
+    const std::size_t n = 1 << 15;
+    const std::uint32_t k = 8;
+    const double alpha = 1.3;
+    std::cout << "n = " << n << ", k = " << k << ", alpha = " << alpha
+              << ", clusters >= " << config.size_floor << " nodes\n\n";
+
+    const cluster::MultiLeaderResult result =
+        cluster::run_multi_leader(n, k, alpha, config, 0xF162);
+    if (!result.clustering.completed) {
+        std::cout << "clustering did not complete; aborting\n";
+        return 1;
+    }
+    std::cout << "active clusters: " << result.clustering.num_active
+              << ", consensus " << (result.converged ? "reached" : "NOT reached")
+              << " at t = " << format_double(result.consensus_time, 1)
+              << " (consensus-phase clock)\n\n";
+
+    // Per generation, extract the first/last time any leader entered each
+    // of the three states for that generation.
+    Generation max_gen = 0;
+    for (const auto& trace : result.leader_traces) {
+        for (const auto& tr : trace) max_gen = std::max(max_gen, tr.gen);
+    }
+
+    Table table({"generation", "t0 (first 2c)", "t1 (last 2c)",
+                 "t2 (first sleep)", "t3 (last sleep)", "t4 (first prop)",
+                 "t5 (last prop)", "t5-t0"});
+
+    for (Generation g = 1; g <= max_gen; ++g) {
+        double first_tc = 1e18, last_tc = -1.0;
+        double first_sl = 1e18, last_sl = -1.0;
+        double first_pr = 1e18, last_pr = -1.0;
+        for (const auto& trace : result.leader_traces) {
+            for (const auto& tr : trace) {
+                if (tr.gen != g) continue;
+                switch (tr.state) {
+                    case LeaderState::kTwoChoices:
+                        first_tc = std::min(first_tc, tr.time);
+                        last_tc = std::max(last_tc, tr.time);
+                        break;
+                    case LeaderState::kSleeping:
+                        first_sl = std::min(first_sl, tr.time);
+                        last_sl = std::max(last_sl, tr.time);
+                        break;
+                    case LeaderState::kPropagation:
+                        first_pr = std::min(first_pr, tr.time);
+                        last_pr = std::max(last_pr, tr.time);
+                        break;
+                }
+            }
+        }
+        if (last_tc < 0.0) continue;  // generation never observed
+        auto cell = [](double first, double last) {
+            return last < 0.0 ? std::string("-") : format_double(first, 2);
+        };
+        auto cell_last = [](double last) {
+            return last < 0.0 ? std::string("-") : format_double(last, 2);
+        };
+        table.row()
+            .add(g)
+            .add(cell(first_tc, last_tc))
+            .add(cell_last(last_tc))
+            .add(cell(first_sl, last_sl))
+            .add(cell_last(last_sl))
+            .add(cell(first_pr, last_pr))
+            .add(cell_last(last_pr))
+            .add(last_pr >= 0.0 ? format_double(last_pr - first_tc, 2)
+                                : std::string("-"));
+    }
+    table.print(std::cout);
+
+    std::cout << "\nExpected shape (Proposition 31): per generation the six"
+                 " marks are ordered\nt0 <= t1 < t4 and the spread t5-t0 stays"
+                 " O(1) (no growth with the\ngeneration index) — leaders stay"
+                 " synchronized through the run.\n";
+    return 0;
+}

@@ -1,0 +1,132 @@
+/// \file micro_engine.cpp
+/// Micro-benchmarks (google-benchmark) for the substrate hot paths: RNG,
+/// event queue, census bookkeeping, one synchronous round, and one
+/// simulated asynchronous time step.
+
+#include <benchmark/benchmark.h>
+
+#include "async/simulation.hpp"
+#include "opinion/assignment.hpp"
+#include "opinion/census.hpp"
+#include "sim/event_queue.hpp"
+#include "support/random.hpp"
+#include "sync/algorithm1.hpp"
+#include "sync/baselines.hpp"
+
+namespace {
+
+using namespace papc;
+
+void BM_RngNextU64(benchmark::State& state) {
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rng.next_u64());
+    }
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_RngExponential(benchmark::State& state) {
+    Rng rng(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rng.exponential(1.0));
+    }
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_RngUniformIndex(benchmark::State& state) {
+    Rng rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rng.uniform_index(1000003));
+    }
+}
+BENCHMARK(BM_RngUniformIndex);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+    const auto queue_size = static_cast<std::size_t>(state.range(0));
+    Rng rng(4);
+    sim::EventQueue<std::uint64_t> queue;
+    for (std::size_t i = 0; i < queue_size; ++i) {
+        queue.push(rng.uniform(), i);
+    }
+    double t = 1.0;
+    for (auto _ : state) {
+        auto e = queue.pop();
+        benchmark::DoNotOptimize(e);
+        queue.push(t + rng.uniform(), e.seq);
+        t += 1e-6;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_CensusTransition(benchmark::State& state) {
+    GenerationCensus census(1 << 16, 8);
+    Rng rng(5);
+    std::vector<Opinion> opinions(1 << 16);
+    for (auto& op : opinions) op = static_cast<Opinion>(rng.uniform_index(8));
+    census.reset(opinions);
+    Generation g = 0;
+    for (auto _ : state) {
+        const auto from = static_cast<Opinion>(rng.uniform_index(8));
+        // Move one node up a generation (wrap to keep counts valid).
+        if (census.count(g, from) == 0) {
+            g = 0;
+            continue;
+        }
+        census.transition(g, from, g + 1, from);
+        if (census.generation_size(g) == 0) ++g;
+        if (g > 30) {
+            census.reset(opinions);
+            g = 0;
+        }
+    }
+}
+BENCHMARK(BM_CensusTransition);
+
+void BM_SyncRoundAlgorithm1(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(6);
+    const Assignment a = make_biased_plurality(n, 8, 1.5, rng);
+    sync::ScheduleParams sp;
+    sp.n = n;
+    sp.k = 8;
+    sp.alpha = 1.5;
+    sync::Algorithm1 alg(a, sync::Schedule(sp));
+    for (auto _ : state) {
+        alg.step(rng);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SyncRoundAlgorithm1)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_SyncRoundThreeMajority(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(7);
+    const Assignment a = make_biased_plurality(n, 8, 1.5, rng);
+    sync::ThreeMajority alg(a);
+    for (auto _ : state) {
+        alg.step(rng);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SyncRoundThreeMajority)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_AsyncFullRunSmall(benchmark::State& state) {
+    async::AsyncConfig c;
+    c.alpha_hint = 2.0;
+    c.max_time = 400.0;
+    c.record_series = false;
+    std::uint64_t seed = 8;
+    for (auto _ : state) {
+        const async::AsyncResult r =
+            async::run_single_leader(512, 2, 2.0, c, seed++);
+        benchmark::DoNotOptimize(r.consensus_time);
+    }
+}
+BENCHMARK(BM_AsyncFullRunSmall)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

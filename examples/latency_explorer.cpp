@@ -1,0 +1,80 @@
+/// \file latency_explorer.cpp
+/// Explores the latency-model toolkit behind the paper's time-unit
+/// analysis (§3.1): for each model it prints the aging class, the mean, a
+/// T3 histogram (the full good-tick round trip), the measured C1 =
+/// F^{-1}(0.9) and, for the exponential model, the exact value and the
+/// Remark-14 bounds.
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "analysis/gamma.hpp"
+#include "support/stats.hpp"
+#include "analysis/latency_units.hpp"
+#include "runner/report.hpp"
+#include "support/histogram.hpp"
+#include "support/random.hpp"
+#include "support/table.hpp"
+
+int main() {
+    using namespace papc;
+
+    runner::print_banner(std::cout, "latency_explorer: time units per model");
+
+    std::vector<std::unique_ptr<sim::LatencyModel>> models;
+    models.push_back(std::make_unique<sim::ExponentialLatency>(1.0));
+    models.push_back(std::make_unique<sim::ConstantLatency>(1.0));
+    models.push_back(std::make_unique<sim::UniformLatency>(0.0, 2.0));
+    models.push_back(std::make_unique<sim::GammaLatency>(4.0, 0.25));
+    models.push_back(std::make_unique<sim::WeibullLatency>(2.0, 1.128379));
+    models.push_back(std::make_unique<sim::WeibullLatency>(0.5, 0.5));
+    models.push_back(std::make_unique<sim::LogNormalLatency>(-1.125, 1.5));
+
+    Table table({"model", "aging", "mean T2", "C1 = q90(T3)", "q50(T3)",
+                 "q99(T3)"});
+    Rng rng(0x1A7E);
+    for (const auto& model : models) {
+        std::vector<double> draws(100000);
+        Rng local = rng.split();
+        for (double& d : draws) d = analysis::sample_t3(*model, local);
+        std::sort(draws.begin(), draws.end());
+        table.row()
+            .add(model->name())
+            .add(sim::to_string(model->aging()))
+            .add(model->mean(), 3)
+            .add(quantile_sorted(draws, 0.9), 2)
+            .add(quantile_sorted(draws, 0.5), 2)
+            .add(quantile_sorted(draws, 0.99), 2);
+    }
+    table.print(std::cout);
+
+    runner::print_heading(std::cout,
+                          "exponential model: exact vs Remark 14 bounds");
+    std::cout << "exact C1 = F^-1(0.9)      = "
+              << format_double(analysis::steps_per_unit_exact(1.0), 4) << "\n";
+    std::cout << "Gamma(7, beta) 0.9-quant. = "
+              << format_double(analysis::gamma_quantile(7.0, 1.0, 0.9), 4)
+              << "\n";
+    std::cout << "(0.9 * 7!)^(1/7) / beta   = "
+              << format_double(analysis::remark14_c1_exact(1.0), 4) << "\n";
+    std::cout << "10 / (3 beta)             = "
+              << format_double(analysis::remark14_c1_bound(1.0), 4) << "\n";
+    std::cout << "E[T3] = 1 + 5/lambda      = "
+              << format_double(analysis::t3_mean_exponential(1.0), 4) << "\n";
+
+    runner::print_heading(std::cout, "T3 histogram, Exponential(1) latencies");
+    Histogram hist(0.0, 20.0, 24);
+    const sim::ExponentialLatency exponential(1.0);
+    for (int i = 0; i < 200000; ++i) {
+        hist.add(analysis::sample_t3(exponential, rng));
+    }
+    std::cout << hist.render(46);
+
+    std::cout << "\nReading: positive-aging models have *bounded or light*"
+                 " T3 tails (q99\nclose to q90); negative-aging models pay"
+                 " their heavy tail exactly where\nthe protocol hurts —"
+                 " stalled channel establishments.\n";
+    return 0;
+}

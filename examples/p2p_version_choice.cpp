@@ -1,0 +1,65 @@
+/// \file p2p_version_choice.cpp
+/// Domain example: a peer-to-peer overlay has to converge on one protocol
+/// version among several candidates rolled out by different vendors. Peers
+/// contact random other peers, but *establishing* a connection dominates
+/// the cost (random-walk peer sampling, NAT traversal, TLS handshake — the
+/// exact motivation the paper gives for edge latencies, §3.1). A tracker
+/// acts as the designated leader of Algorithms 2+3.
+///
+/// The example compares three latency regimes on the same rollout state and
+/// demonstrates that, measured in *time units*, the protocol's behaviour is
+/// latency-independent.
+
+#include <iostream>
+
+#include "async/simulation.hpp"
+#include "opinion/assignment.hpp"
+#include "runner/report.hpp"
+#include "support/table.hpp"
+
+int main() {
+    using namespace papc;
+
+    const std::size_t peers = 20000;
+    const std::uint32_t versions = 4;
+    const double alpha = 1.6;  // version 0 leads the runner-up 1.6 : 1
+
+    std::cout << "p2p_version_choice: " << peers << " peers, " << versions
+              << " candidate versions, tracker-coordinated\n";
+    std::cout << "rollout shares: v0 leads every rival " << alpha << " : 1\n\n";
+
+    Table table({"handshake latency (mean steps)", "C1 steps/unit",
+                 "99% agreement", "full agreement", "agreement in time units",
+                 "chosen"});
+
+    for (const double mean_latency : {0.2, 1.0, 5.0}) {
+        Rng workload_rng(0x9EE5);  // same rollout for every regime
+        const Assignment rollout =
+            make_biased_plurality(peers, versions, alpha, workload_rng);
+
+        async::AsyncConfig config;
+        config.lambda = 1.0 / mean_latency;
+        config.alpha_hint = alpha;
+        config.epsilon = 0.01;
+        config.max_time = 4000.0;
+
+        async::SingleLeaderSimulation simulation(rollout, config, 0x9EE6);
+        const async::AsyncResult r = simulation.run();
+
+        table.row()
+            .add(mean_latency, 1)
+            .add(r.steps_per_unit, 2)
+            .add(r.epsilon_time, 1)
+            .add(r.consensus_time, 1)
+            .add(r.epsilon_time / r.steps_per_unit, 2)
+            .add("v" + std::to_string(r.winner) +
+                 (r.plurality_won ? " (leader)" : ""));
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading: raw agreement times scale with the handshake"
+                 " latency, but the\n'time units' column is nearly constant —"
+                 " the protocol pays a fixed number\nof communication rounds"
+                 " regardless of how slow connections are.\n";
+    return 0;
+}

@@ -1,0 +1,256 @@
+/// \file papc_cli.cpp
+/// Command-line front end for the whole library: pick a protocol, a
+/// workload and parameters; optionally dump the convergence time series to
+/// CSV for external plotting.
+///
+///   papc_cli --protocol async --n 20000 --k 5 --alpha 1.8 --lambda 1
+///            --seed 7 --csv run.csv
+///
+/// Protocols: sync (Algorithm 1), async (Algorithms 2+3), multi
+/// (Algorithms 4+5), two-choices, 3-majority, undecided, pull,
+/// validated (the §5 message-latency variant).
+
+#include <iostream>
+#include <memory>
+
+#include "analysis/theory.hpp"
+#include "async/sequential_simulation.hpp"
+#include "async/simulation.hpp"
+#include "async/validated_simulation.hpp"
+#include "cluster/simulation.hpp"
+#include "opinion/assignment.hpp"
+#include "runner/report.hpp"
+#include "support/args.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+#include "sync/algorithm1.hpp"
+#include "sync/baselines.hpp"
+#include "sync/engine.hpp"
+
+namespace {
+
+using namespace papc;
+
+void usage() {
+    std::cout <<
+        "papc_cli — plurality consensus protocols from Bankhamer et al., "
+        "PODC 2020\n\n"
+        "  --protocol  sync | async | multi | validated | sequential |\n"
+        "              two-choices | 3-majority | undecided | pull\n"
+        "                                                  (default async)\n"
+        "  --n         population size                      (default 10000)\n"
+        "  --k         number of opinions                   (default 4)\n"
+        "  --alpha     initial multiplicative bias          (default 1.8)\n"
+        "  --workload  biased | zipf | gap | uniform        (default biased)\n"
+        "  --lambda    channel-establishment rate (async)   (default 1.0)\n"
+        "  --msg-rate  per-message rate (validated only)    (default 2.0)\n"
+        "  --gamma     generation-density threshold (sync)  (default 0.5)\n"
+        "  --epsilon   epsilon-convergence threshold        (default 0.02)\n"
+        "  --seed      RNG seed                             (default 1)\n"
+        "  --max-time  simulated-time cap (async)           (default 3000)\n"
+        "  --csv       write the plurality-fraction series to this file\n"
+        "  --quiet     suppress the sparkline\n";
+}
+
+Assignment build_workload(const Args& args, std::size_t n, std::uint32_t k,
+                          double alpha, Rng& rng) {
+    const std::string workload = args.get("workload", "biased");
+    if (workload == "zipf") return make_zipf(n, k, 1.0, rng);
+    if (workload == "uniform") return make_uniform(n, k, rng);
+    if (workload == "gap") {
+        const auto gap = static_cast<std::size_t>(
+            args.get_uint("gap", n / 10));
+        return make_additive_gap(n, k, gap, rng);
+    }
+    return make_biased_plurality(n, k, alpha, rng);
+}
+
+int run_sync(const Args& args, const std::string& protocol, std::size_t n,
+             std::uint32_t k, double alpha, std::uint64_t seed) {
+    Rng rng(seed);
+    Rng workload_rng(derive_seed(seed, 1));
+    const Assignment a = build_workload(args, n, k, alpha, workload_rng);
+
+    std::unique_ptr<sync::SyncDynamics> dyn;
+    if (protocol == "sync") {
+        sync::ScheduleParams sp;
+        sp.n = n;
+        sp.k = k;
+        sp.alpha = std::max(alpha, 1.01);
+        sp.gamma = args.get_double("gamma", 0.5);
+        dyn = std::make_unique<sync::Algorithm1>(a, sync::Schedule(sp));
+    } else if (protocol == "two-choices") {
+        dyn = std::make_unique<sync::TwoChoices>(a);
+    } else if (protocol == "3-majority") {
+        dyn = std::make_unique<sync::ThreeMajority>(a);
+    } else if (protocol == "undecided") {
+        dyn = std::make_unique<sync::UndecidedState>(a);
+    } else {
+        dyn = std::make_unique<sync::PullVoting>(a);
+    }
+
+    sync::RunOptions opts;
+    opts.max_rounds = args.get_uint("max-rounds", 50000);
+    opts.record_every = 1;
+    opts.epsilon = args.get_double("epsilon", 0.02);
+    const sync::SyncResult r = run_to_consensus(*dyn, rng, opts);
+
+    std::cout << dyn->name() << ": "
+              << (r.converged ? "converged" : "round cap hit") << " after "
+              << r.rounds << " rounds; winner = opinion " << r.winner << "\n";
+    if (r.epsilon_time >= 0.0) {
+        std::cout << "  (1-eps)-agreement at round "
+                  << format_double(r.epsilon_time, 0) << "\n";
+    }
+    if (!args.get_flag("quiet")) {
+        std::cout << "  " << runner::sparkline(r.dominant_fraction) << "\n";
+    }
+    const std::string csv = args.get("csv", "");
+    if (!csv.empty()) {
+        CsvWriter writer(csv, {"round", "plurality_fraction"});
+        for (const auto& p : r.dominant_fraction.points()) {
+            writer.write_row(std::vector<double>{p.time, p.value});
+        }
+        std::cout << "  series written to " << csv << "\n";
+    }
+    return r.converged ? 0 : 2;
+}
+
+int run_async_family(const Args& args, const std::string& protocol,
+                     std::size_t n, std::uint32_t k, double alpha,
+                     std::uint64_t seed) {
+    const double lambda = args.get_double("lambda", 1.0);
+    TimeSeries series;
+    bool converged = false;
+    Opinion winner = 0;
+    bool plurality_won = false;
+    double eps_time = -1.0;
+    double consensus_time = -1.0;
+
+    if (protocol == "multi") {
+        cluster::ClusterConfig c;
+        c.lambda = lambda;
+        c.alpha_hint = std::max(alpha, 1.05);
+        c.epsilon = args.get_double("epsilon", 0.02);
+        c.max_time = args.get_double("max-time", 3000.0);
+        const cluster::MultiLeaderResult r =
+            cluster::run_multi_leader(n, k, alpha, c, seed);
+        std::cout << "multi-leader: clustering " << format_double(r.clustering_time, 1)
+                  << " steps, " << r.clustering.num_active
+                  << " active clusters covering "
+                  << format_double(100.0 * r.clustering.fraction_clustered, 1)
+                  << "% of nodes\n";
+        series = r.plurality_fraction;
+        converged = r.converged;
+        winner = r.winner;
+        plurality_won = r.plurality_won;
+        eps_time = r.epsilon_time;
+        consensus_time = r.consensus_time;
+    } else if (protocol == "validated") {
+        async::AsyncConfig c;
+        c.lambda = lambda;
+        c.alpha_hint = std::max(alpha, 1.05);
+        c.epsilon = args.get_double("epsilon", 0.02);
+        c.max_time = args.get_double("max-time", 3000.0);
+        const async::ValidatedResult r = async::run_validated_single_leader(
+            n, k, alpha, c, args.get_double("msg-rate", 2.0), seed);
+        std::cout << "validated single-leader (Section 5 model): "
+                  << r.commits << " commits, " << r.aborts << " aborts ("
+                  << format_double(100.0 * r.abort_rate, 2) << "% aborted)\n";
+        series = r.base.plurality_fraction;
+        converged = r.base.converged;
+        winner = r.base.winner;
+        plurality_won = r.base.plurality_won;
+        eps_time = r.base.epsilon_time;
+        consensus_time = r.base.consensus_time;
+    } else {
+        async::AsyncConfig c;
+        c.lambda = lambda;
+        c.alpha_hint = std::max(alpha, 1.05);
+        c.epsilon = args.get_double("epsilon", 0.02);
+        c.max_time = args.get_double("max-time", 3000.0);
+        const async::AsyncResult r =
+            protocol == "sequential"
+                ? async::run_sequential_single_leader(n, k, alpha, c, seed)
+                : async::run_single_leader(n, k, alpha, c, seed);
+        std::cout << (protocol == "sequential" ? "sequential (no latencies)"
+                                               : "single-leader")
+                  << ": C1 = " << format_double(r.steps_per_unit, 2)
+                  << " steps/unit, " << r.exchanges << " exchanges\n";
+        series = r.plurality_fraction;
+        converged = r.converged;
+        winner = r.winner;
+        plurality_won = r.plurality_won;
+        eps_time = r.epsilon_time;
+        consensus_time = r.consensus_time;
+    }
+
+    std::cout << (converged ? "converged" : "time cap hit") << "; winner = opinion "
+              << winner << (plurality_won ? " (initial plurality)" : "") << "\n";
+    if (eps_time >= 0.0) {
+        std::cout << "  (1-eps)-agreement at t = " << format_double(eps_time, 1)
+                  << ", full consensus at t = "
+                  << format_double(consensus_time, 1) << "\n";
+    }
+    if (!args.get_flag("quiet")) {
+        std::cout << "  " << runner::sparkline(series) << "\n";
+    }
+    const std::string csv = args.get("csv", "");
+    if (!csv.empty()) {
+        CsvWriter writer(csv, {"time", "plurality_fraction"});
+        for (const auto& p : series.points()) {
+            writer.write_row(std::vector<double>{p.time, p.value});
+        }
+        std::cout << "  series written to " << csv << "\n";
+    }
+    return converged ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Args args(argc, argv);
+    if (!args.ok()) {
+        std::cerr << args.error() << "\n";
+        usage();
+        return 1;
+    }
+    if (args.get_flag("help")) {
+        usage();
+        return 0;
+    }
+
+    const std::string protocol = args.get("protocol", "async");
+    const auto n = static_cast<std::size_t>(args.get_uint("n", 10000));
+    const auto k = static_cast<std::uint32_t>(args.get_uint("k", 4));
+    const double alpha = args.get_double("alpha", 1.8);
+    const std::uint64_t seed = args.get_uint("seed", 1);
+
+    std::cout << "papc_cli: protocol=" << protocol << " n=" << n << " k=" << k
+              << " alpha=" << alpha << " seed=" << seed << "\n";
+
+    const analysis::PreconditionReport preconditions =
+        analysis::check_preconditions(n, k, alpha);
+    if (!preconditions.k_in_range) {
+        std::cout << "note: k exceeds the theorem regime (k <= "
+                  << format_double(preconditions.k_bound, 1)
+                  << " at this n); results are best-effort\n";
+    }
+    if (!preconditions.alpha_sufficient) {
+        std::cout << "note: alpha is below the Theorem-1 bound "
+                  << format_double(preconditions.alpha_threshold, 3)
+                  << "; the plurality may lose\n";
+    }
+
+    int rc;
+    if (protocol == "async" || protocol == "multi" || protocol == "validated" ||
+        protocol == "sequential") {
+        rc = run_async_family(args, protocol, n, k, alpha, seed);
+    } else {
+        rc = run_sync(args, protocol, n, k, alpha, seed);
+    }
+    for (const std::string& key : args.unused()) {
+        std::cerr << "warning: unused option --" << key << "\n";
+    }
+    return rc;
+}

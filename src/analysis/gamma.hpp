@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file gamma.hpp
+/// Gamma-distribution analytics needed by the time-unit analysis (§3.1,
+/// Remark 14): regularized incomplete gamma P(a, x), Gamma/Erlang CDFs and
+/// quantiles, plus the paper's closed-form bound C1 < 10/(3β).
+
+#include <cstdint>
+
+namespace papc::analysis {
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a, x)/Γ(a), a > 0, x >= 0.
+/// Series expansion for x < a + 1, continued fraction otherwise
+/// (Numerical-Recipes style); absolute accuracy ~1e-12.
+[[nodiscard]] double regularized_gamma_p(double a, double x);
+
+/// CDF of Gamma(shape, scale) at t (scale = 1/rate).
+[[nodiscard]] double gamma_cdf(double shape, double scale, double t);
+
+/// CDF of Erlang(k, rate) at t — Gamma with integer shape.
+[[nodiscard]] double erlang_cdf(unsigned k, double rate, double t);
+
+/// Quantile of Gamma(shape, scale): smallest t with CDF >= q. Bisection on
+/// the CDF; q in (0, 1).
+[[nodiscard]] double gamma_quantile(double shape, double scale, double q);
+
+/// Remark 14: the paper's closed-form bound on the time-unit length,
+/// C1 <= (0.9 · 7!)^(1/7) / β < 10/(3β), with β = min(1, λ).
+[[nodiscard]] double remark14_c1_bound(double lambda);
+
+/// Exact Remark 14 expression (0.9 · 7!)^(1/7) / β without the rounding to
+/// 10/3.
+[[nodiscard]] double remark14_c1_exact(double lambda);
+
+}  // namespace papc::analysis

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file hypoexponential.hpp
+/// Closed-form CDF of a sum of independent exponentials with *distinct*
+/// rates (hypoexponential / generalized Erlang distribution):
+///
+///   P(Σ_i Exp(r_i) ≤ t) = 1 − Σ_i [Π_{j≠i} r_j/(r_j − r_i)] e^{−r_i t}.
+///
+/// The paper's T3 decomposes into exponential stages with *repeated* rates
+/// (Exp(1) + 2·Exp(2λ) + 4·Exp(λ)); repeated rates make the closed form
+/// singular, so t3_cdf_exponential uses numeric quadrature instead. This
+/// module provides the distinct-rate closed form for general stage chains
+/// plus a perturbed-rate evaluation of T3 that cross-validates the
+/// quadrature (tests/analysis/hypoexponential_test.cpp).
+
+#include <vector>
+
+namespace papc::analysis {
+
+/// CDF of Σ Exp(rates[i]) at t. All rates must be positive and pairwise
+/// distinct (relative separation > ~1e-6 to keep the weights stable).
+[[nodiscard]] double hypoexponential_cdf(const std::vector<double>& rates,
+                                         double t);
+
+/// Mean Σ 1/r_i.
+[[nodiscard]] double hypoexponential_mean(const std::vector<double>& rates);
+
+/// Variance Σ 1/r_i².
+[[nodiscard]] double hypoexponential_variance(const std::vector<double>& rates);
+
+/// Quantile by bisection on the closed-form CDF; q in (0, 1).
+[[nodiscard]] double hypoexponential_quantile(const std::vector<double>& rates,
+                                              double q);
+
+/// The T3 stage rates {1, 2λ, 2λ, λ, λ, λ, λ} with repeated entries spread
+/// multiplicatively by (1 ± k·eps) so the distinct-rate closed form
+/// applies; eps ~ 1e-4 keeps both the perturbation bias and the
+/// cancellation error around 1e-3.
+[[nodiscard]] std::vector<double> t3_perturbed_rates(double lambda, double eps);
+
+}  // namespace papc::analysis

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file latency_units.hpp
+/// The paper's *time unit* (§3.1): C1 = F^{-1}(0.9) time steps, where F is
+/// the CDF of T3, the full good-tick round-trip
+///
+///   T2' = max(T2, T2) + T2            (two random channels, then leader)
+///   T3  = T2' + T1 + T2'              (waiting + channel building)
+///
+/// with T1 ~ Exp(1) (Poisson clock) and T2 a latency-model draw. For the
+/// exponential model, max(T2, T2) = Exp(2λ) + Exp(λ) in distribution, so
+///
+///   T3 = Exp(1) + 2·Exp(2λ) + 4·Exp(λ)   (hypoexponential).
+///
+/// This module computes C1 three ways: the exact hypoexponential CDF (for
+/// the exponential model), a Monte-Carlo quantile (any latency model), and
+/// the paper's Γ(7, β) majorization bound (Remark 14). Figure 1 plots
+/// F^{-1}(0.9) against 1/λ; bench/fig1_steps_per_unit regenerates it.
+
+#include <memory>
+
+#include "sim/latency.hpp"
+#include "support/random.hpp"
+
+namespace papc::analysis {
+
+/// Exact CDF of T3 for the exponential-latency model at time t.
+/// Evaluates the hypoexponential CDF for rates {1, 2λ×2, λ×4} via the
+/// matrix-free convolution-of-Erlangs formula; falls back to numerically
+/// robust evaluation when λ is close to the degenerate values (λ = 1,
+/// λ = 1/2) where rates coincide.
+[[nodiscard]] double t3_cdf_exponential(double lambda, double t);
+
+/// Exact mean of T3 for the exponential model: 1 + 5/λ (composition above).
+/// Note Example 15 of the paper states 1 + 3/λ; see EXPERIMENTS.md (F1).
+[[nodiscard]] double t3_mean_exponential(double lambda);
+
+/// q-quantile of T3 (exponential model) by bisecting the exact CDF.
+[[nodiscard]] double t3_quantile_exponential(double lambda, double q);
+
+/// C1 = F^{-1}(0.9) for the exponential model (exact).
+[[nodiscard]] double steps_per_unit_exact(double lambda);
+
+/// Draws one T3 sample under an arbitrary latency model.
+[[nodiscard]] double sample_t3(const sim::LatencyModel& latency, Rng& rng);
+
+/// Monte-Carlo estimate of the q-quantile of T3 under any latency model.
+[[nodiscard]] double t3_quantile_monte_carlo(const sim::LatencyModel& latency,
+                                             double q, std::size_t samples,
+                                             Rng& rng);
+
+/// One row of Figure 1: 1/λ plus the three C1 estimates.
+struct Figure1Row {
+    double inv_lambda = 0.0;      ///< expected latency 1/λ (x-axis)
+    double exact = 0.0;           ///< exact F^{-1}(0.9)
+    double monte_carlo = 0.0;     ///< Monte-Carlo F^{-1}(0.9)
+    double gamma_bound = 0.0;     ///< Remark 14 exact bound (Γ(7, β) quantile)
+    double bound_10_3beta = 0.0;  ///< Remark 14 rounded bound 10/(3β)
+};
+
+/// Computes one Figure 1 row for latency rate λ.
+[[nodiscard]] Figure1Row figure1_row(double lambda, std::size_t mc_samples,
+                                     Rng& rng);
+
+}  // namespace papc::analysis

@@ -1,0 +1,40 @@
+#include "async/leader.hpp"
+
+#include "support/check.hpp"
+
+namespace papc::async {
+
+Leader::Leader(const LeaderConfig& config) : config_(config) {
+    PAPC_CHECK(config_.zero_signal_threshold > 0);
+    PAPC_CHECK(config_.generation_size_threshold > 0);
+    PAPC_CHECK(config_.max_generation >= 1);
+    record(0.0);
+}
+
+void Leader::record(double now) {
+    trace_.push_back(LeaderTransition{now, gen_, prop_});
+}
+
+void Leader::on_zero_signal(double now) {
+    ++tick_count_;
+    if (!prop_ && tick_count_ >= config_.zero_signal_threshold) {
+        prop_ = true;  // allow propagation (Algorithm 3 line 3)
+        record(now);
+    }
+}
+
+void Leader::on_gen_signal(double now, Generation i) {
+    if (i != gen_) return;  // stale or future signal: ignored
+    ++gen_size_;
+    if (gen_size_ >= config_.generation_size_threshold &&
+        gen_ < config_.max_generation) {
+        // Birth of the next generation (Algorithm 3 lines 6–8).
+        ++gen_;
+        tick_count_ = 0;
+        gen_size_ = 0;
+        prop_ = false;
+        record(now);
+    }
+}
+
+}  // namespace papc::async

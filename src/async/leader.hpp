@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file leader.hpp
+/// The leader automaton (Algorithm 3). The leader holds a public pair
+/// (gen, prop) and reacts to two kinds of incoming signals:
+///   0-signal      — sent by every node at every tick; used as a population
+///                   clock. After C3·n of them, propagation is enabled.
+///   i-signal      — sent by a node that promoted itself to generation i;
+///                   counted when i == gen. Once ⌈n/2⌉ nodes reached the
+///                   current generation (and the budget allows), the leader
+///                   births the next generation: gen += 1, prop = false,
+///                   counters reset.
+
+#include <cstdint>
+#include <vector>
+
+#include "opinion/types.hpp"
+
+namespace papc::async {
+
+/// One leader state transition, for traces/invariant tests.
+struct LeaderTransition {
+    double time = 0.0;
+    Generation gen = 1;
+    bool prop = false;
+};
+
+struct LeaderConfig {
+    /// C3·n: 0-signals counted before prop flips to true.
+    std::uint64_t zero_signal_threshold = 0;
+    /// ⌈n/2⌉: i-signals (i == gen) before the next generation is allowed.
+    std::uint64_t generation_size_threshold = 0;
+    /// Highest generation the leader will ever allow (G*).
+    Generation max_generation = 1;
+};
+
+class Leader {
+public:
+    explicit Leader(const LeaderConfig& config);
+
+    /// Handles an arriving 0-signal (Algorithm 3 lines 1–3).
+    void on_zero_signal(double now);
+
+    /// Handles an arriving i-signal (Algorithm 3 lines 4–8).
+    void on_gen_signal(double now, Generation i);
+
+    [[nodiscard]] Generation gen() const { return gen_; }
+    [[nodiscard]] bool prop() const { return prop_; }
+    [[nodiscard]] std::uint64_t zero_signal_count() const { return tick_count_; }
+    [[nodiscard]] std::uint64_t generation_size() const { return gen_size_; }
+    [[nodiscard]] const LeaderConfig& config() const { return config_; }
+
+    /// All (time, gen, prop) transitions including the initial state.
+    [[nodiscard]] const std::vector<LeaderTransition>& trace() const {
+        return trace_;
+    }
+
+private:
+    void record(double now);
+
+    LeaderConfig config_;
+    Generation gen_ = 1;
+    bool prop_ = false;
+    std::uint64_t tick_count_ = 0;
+    std::uint64_t gen_size_ = 0;
+    std::vector<LeaderTransition> trace_;
+};
+
+}  // namespace papc::async

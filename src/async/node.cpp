@@ -1,0 +1,77 @@
+#include "async/node.hpp"
+
+#include "support/check.hpp"
+
+namespace papc::async {
+
+ExchangeDecision decide_exchange(const NodeState& v, Generation leader_gen,
+                                 bool leader_prop, const PeerSample& p1,
+                                 const PeerSample& p2) {
+    ExchangeDecision d;
+
+    // Line 5: stored leader state must match the current one; otherwise the
+    // node only refreshes its stored copy (line 14). This gate guarantees
+    // that two-choices and propagation promotions into a generation never
+    // interleave (§3.2 invariants).
+    if (v.seen_gen != leader_gen || v.seen_prop != leader_prop) {
+        d.kind = ExchangeDecision::Kind::kRefreshOnly;
+        return d;
+    }
+
+    // Line 6: two-choices step. Both samples sit exactly one generation
+    // below the leader's allowed generation, agree on a color, and the
+    // leader still forbids propagation.
+    if (!leader_prop && leader_gen >= 1 && p1.gen == leader_gen - 1 &&
+        p2.gen == leader_gen - 1 && p1.col == p2.col && v.gen < leader_gen) {
+        d.kind = ExchangeDecision::Kind::kTwoChoices;
+        d.new_col = p1.col;
+        d.new_gen = leader_gen;
+        d.send_gen_signal = true;  // generation strictly increased
+        return d;
+    }
+
+    // Line 9: propagation step. Some sample v̄ has a strictly higher
+    // generation than v, and that generation is either below the leader's
+    // current one or the leader allows propagation. Prefer the
+    // higher-generation eligible sample.
+    const PeerSample* chosen = nullptr;
+    auto eligible = [&](const PeerSample& p) {
+        return v.gen < p.gen && (p.gen < leader_gen || leader_prop);
+    };
+    if (eligible(p1)) chosen = &p1;
+    if (eligible(p2) && (chosen == nullptr || p2.gen > chosen->gen)) {
+        chosen = &p2;
+    }
+    if (chosen != nullptr) {
+        d.kind = ExchangeDecision::Kind::kPropagation;
+        d.new_col = chosen->col;
+        d.new_gen = chosen->gen;
+        d.send_gen_signal = true;  // line 12: gen(v) increased
+        return d;
+    }
+
+    d.kind = ExchangeDecision::Kind::kNone;
+    return d;
+}
+
+bool apply_decision(NodeState& v, const ExchangeDecision& decision,
+                    Generation leader_gen, bool leader_prop) {
+    switch (decision.kind) {
+        case ExchangeDecision::Kind::kNone:
+            return false;
+        case ExchangeDecision::Kind::kRefreshOnly:
+            v.seen_gen = leader_gen;
+            v.seen_prop = leader_prop;
+            return false;
+        case ExchangeDecision::Kind::kTwoChoices:
+        case ExchangeDecision::Kind::kPropagation: {
+            PAPC_CHECK(decision.new_gen > v.gen);
+            v.col = decision.new_col;
+            v.gen = decision.new_gen;
+            return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace papc::async

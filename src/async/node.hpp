@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file node.hpp
+/// Per-node state and the pure exchange-decision function of Algorithm 2.
+/// Separating the decision from the event wiring makes the protocol rule
+/// unit-testable in isolation.
+
+#include <cstdint>
+
+#include "opinion/types.hpp"
+
+namespace papc::async {
+
+/// Mutable state of a non-leader node (Algorithm 2).
+struct NodeState {
+    Opinion col = 0;
+    Generation gen = 0;
+    bool locked = false;
+    /// Leader state stored at the last completed communication
+    /// (l.gen / l.prop in the paper). Initialized to the leader's initial
+    /// state (gen = 1, prop = false).
+    Generation seen_gen = 1;
+    bool seen_prop = false;
+};
+
+/// Snapshot of another node read over an established channel.
+struct PeerSample {
+    Generation gen = 0;
+    Opinion col = 0;
+};
+
+/// Outcome of one exchange (Algorithm 2 lines 5–14).
+struct ExchangeDecision {
+    enum class Kind : std::uint8_t {
+        kNone,          ///< conditions not met; nothing changes
+        kTwoChoices,    ///< promoted into the leader's generation (line 6–8)
+        kPropagation,   ///< pulled color+generation from a peer (line 9–11)
+        kRefreshOnly,   ///< stored leader state updated (line 14)
+    };
+    Kind kind = Kind::kNone;
+    Opinion new_col = 0;
+    Generation new_gen = 0;
+    bool send_gen_signal = false;  ///< line 12: generation increased
+};
+
+/// Evaluates Algorithm 2 lines 5–14 for node `v` given the two peer
+/// samples and the leader's *current* public state. Does not mutate `v`.
+[[nodiscard]] ExchangeDecision decide_exchange(const NodeState& v,
+                                               Generation leader_gen,
+                                               bool leader_prop,
+                                               const PeerSample& p1,
+                                               const PeerSample& p2);
+
+/// Applies a decision to the node state (including line 14 refresh
+/// semantics). Returns true when color or generation changed.
+bool apply_decision(NodeState& v, const ExchangeDecision& decision,
+                    Generation leader_gen, bool leader_prop);
+
+}  // namespace papc::async

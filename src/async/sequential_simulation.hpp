@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file sequential_simulation.hpp
+/// The *pure Poisson clock* reference model the paper contrasts itself
+/// against (§1, discussion of [EFK+17]): nodes tick at rate 1 but channel
+/// establishment is instant, so the memoryless property lets the whole
+/// execution be *sequentialized* — one node acts at a time, at global
+/// exponential spacing Exp(n). Algorithm 2+3 run unchanged on top (a node
+/// reads both peers and the leader atomically at its tick; locking never
+/// triggers because actions are instantaneous).
+///
+/// This engine isolates what the edge latencies cost: bench
+/// exp_exchange_latency compares sequential vs latency-model runs, and the
+/// tests pin that the generation dynamics (leader trace shape) coincide.
+
+#include <memory>
+
+#include "async/config.hpp"
+#include "async/leader.hpp"
+#include "async/node.hpp"
+#include "async/simulation.hpp"
+#include "opinion/assignment.hpp"
+#include "opinion/census.hpp"
+#include "support/random.hpp"
+
+namespace papc::async {
+
+/// Sequentialized single-leader protocol (no latencies).
+class SequentialSingleLeaderSimulation {
+public:
+    SequentialSingleLeaderSimulation(const Assignment& assignment,
+                                     const AsyncConfig& config,
+                                     std::uint64_t seed);
+
+    /// Runs to full consensus (or config.max_time). The AsyncResult's
+    /// latency-specific fields (good_ticks == ticks, channels_opened == 0)
+    /// reflect the instant-channel semantics; steps_per_unit is 1 (every
+    /// node completes its action at its tick).
+    [[nodiscard]] AsyncResult run();
+
+    [[nodiscard]] const Leader& leader() const { return *leader_; }
+    [[nodiscard]] const GenerationCensus& census() const { return census_; }
+    [[nodiscard]] const NodeState& node(NodeId v) const { return nodes_[v]; }
+
+private:
+    AsyncConfig config_;
+    Rng rng_;
+    std::vector<NodeState> nodes_;
+    GenerationCensus census_;
+    std::unique_ptr<Leader> leader_;
+    Opinion plurality_ = 0;
+    bool ran_ = false;
+};
+
+/// Convenience wrapper on a biased-plurality workload.
+[[nodiscard]] AsyncResult run_sequential_single_leader(std::size_t n,
+                                                       std::uint32_t k,
+                                                       double alpha,
+                                                       const AsyncConfig& config,
+                                                       std::uint64_t seed);
+
+}  // namespace papc::async

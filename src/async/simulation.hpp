@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file simulation.hpp
+/// Event-driven executor of the asynchronous single-leader protocol
+/// (Algorithms 2 + 3, §3). The simulation implements exactly the random
+/// process the paper analyzes:
+///   - every node has a rate-1 Poisson clock;
+///   - at a tick the node always sends a 0-signal to the leader (arriving
+///     after one latency draw) and, if not locked, locks and opens channels
+///     to two uniform peers (concurrently) and then the leader; the full
+///     exchange completes after max(T2, T2) + T2;
+///   - at completion the node atomically reads both peers and the leader
+///     and applies Algorithm 2; generation promotions notify the leader
+///     with an i-signal (one more latency draw).
+
+#include <memory>
+#include <vector>
+
+#include "async/config.hpp"
+#include "async/leader.hpp"
+#include "async/node.hpp"
+#include "opinion/assignment.hpp"
+#include "opinion/census.hpp"
+#include "sim/latency.hpp"
+#include "support/random.hpp"
+#include "support/timeseries.hpp"
+
+namespace papc::async {
+
+/// Aggregate outcome of one simulation run.
+struct AsyncResult {
+    bool converged = false;       ///< all nodes share one color
+    Opinion winner = 0;           ///< final dominant color
+    bool plurality_won = false;   ///< winner == initial plurality
+    double epsilon_time = -1.0;   ///< first time (1-ε)·n nodes hold plurality
+    double consensus_time = -1.0; ///< first time of full consensus
+    double end_time = 0.0;        ///< simulated time at loop exit
+
+    std::uint64_t ticks = 0;              ///< Poisson ticks processed
+    std::uint64_t good_ticks = 0;         ///< ticks that started an exchange
+    std::uint64_t exchanges = 0;          ///< completed exchanges
+    std::uint64_t two_choices_count = 0;  ///< two-choices promotions
+    std::uint64_t propagation_count = 0;  ///< propagation promotions
+    std::uint64_t refresh_count = 0;      ///< leader-state refreshes
+
+    Generation final_top_generation = 0;
+    double steps_per_unit = 0.0;  ///< measured C1 used for thresholds
+
+    // §4.5-style complexity accounting.
+    std::uint64_t channels_opened = 0;    ///< channel establishments
+    std::uint64_t signals_delivered = 0;  ///< 0- and i-signals at the leader
+    double leader_peak_load = 0.0;        ///< max leader signals in one step
+
+    std::vector<LeaderTransition> leader_trace;
+    TimeSeries plurality_fraction;  ///< sampled by the metronome
+    TimeSeries leader_generation;   ///< leader gen over time
+};
+
+/// Single-leader asynchronous simulation.
+class SingleLeaderSimulation {
+public:
+    /// Uses Exponential(config.lambda) latencies.
+    SingleLeaderSimulation(const Assignment& assignment, const AsyncConfig& config,
+                           std::uint64_t seed);
+
+    /// Uses a caller-supplied latency model (takes ownership).
+    SingleLeaderSimulation(const Assignment& assignment, const AsyncConfig& config,
+                           std::unique_ptr<sim::LatencyModel> latency,
+                           std::uint64_t seed);
+
+    /// Runs to full consensus (or config.max_time) and returns the result.
+    [[nodiscard]] AsyncResult run();
+
+    /// Observers, valid after run().
+    [[nodiscard]] const Leader& leader() const { return *leader_; }
+    [[nodiscard]] const GenerationCensus& census() const { return census_; }
+    [[nodiscard]] const NodeState& node(NodeId v) const { return nodes_[v]; }
+    [[nodiscard]] std::size_t population() const { return nodes_.size(); }
+
+private:
+    AsyncConfig config_;
+    std::unique_ptr<sim::LatencyModel> latency_;
+    Rng rng_;
+    std::vector<NodeState> nodes_;
+    GenerationCensus census_;
+    std::unique_ptr<Leader> leader_;
+    Opinion plurality_ = 0;
+    bool ran_ = false;
+};
+
+/// Convenience: builds a biased-plurality workload and runs one simulation.
+[[nodiscard]] AsyncResult run_single_leader(std::size_t n, std::uint32_t k,
+                                            double alpha, const AsyncConfig& config,
+                                            std::uint64_t seed);
+
+}  // namespace papc::async

@@ -1,0 +1,73 @@
+#include "cluster/cluster_leader.hpp"
+
+#include "support/check.hpp"
+
+namespace papc::cluster {
+
+bool lex_greater(Generation i, LeaderState s, Generation gen, LeaderState state) {
+    if (i != gen) return i > gen;
+    return static_cast<std::uint8_t>(s) > static_cast<std::uint8_t>(state);
+}
+
+ClusterLeader::ClusterLeader(const ClusterLeaderConfig& config) : config_(config) {
+    PAPC_CHECK(config_.cardinality >= 1);
+    PAPC_CHECK(config_.sleep_threshold > 0);
+    PAPC_CHECK(config_.prop_threshold > config_.sleep_threshold);
+    PAPC_CHECK(config_.generation_size_threshold >= 1);
+    PAPC_CHECK(config_.max_generation >= 1);
+    record(0.0);
+}
+
+void ClusterLeader::record(double now) {
+    trace_.push_back(ClusterLeaderTransition{now, gen_, state_});
+}
+
+void ClusterLeader::on_signal(double now, Generation i, LeaderState s,
+                              bool has_changed) {
+    // Lines 1–3: adopt a fresher (gen, state) seen elsewhere in the system.
+    if (i != 0 && lex_greater(i, s, gen_, state_)) {
+        if (i != gen_) gen_size_ = 0;  // counts referred to the old generation
+        gen_ = i;
+        state_ = s;
+        switch (s) {
+            case LeaderState::kTwoChoices:
+                t_ = 0;
+                break;
+            case LeaderState::kSleeping:
+                t_ = config_.sleep_threshold;
+                break;
+            case LeaderState::kPropagation:
+                t_ = config_.prop_threshold;
+                break;
+        }
+        record(now);
+    }
+
+    // Lines 4–9: 0-signals advance the local clock.
+    if (i == 0) {
+        ++t_;
+        if (state_ == LeaderState::kTwoChoices && t_ >= config_.sleep_threshold) {
+            state_ = LeaderState::kSleeping;
+            record(now);
+        } else if (state_ == LeaderState::kSleeping &&
+                   t_ >= config_.prop_threshold) {
+            state_ = LeaderState::kPropagation;
+            record(now);
+        }
+    }
+
+    // Lines 10–14: promotion reports grow the current generation.
+    if (i == gen_ && has_changed) {
+        ++gen_size_;
+        if (gen_ < config_.max_generation &&
+            gen_size_ >= config_.generation_size_threshold) {
+            ++gen_;
+            t_ = 0;
+            gen_size_ = 0;
+            state_ = LeaderState::kTwoChoices;
+            record(now);
+        }
+    }
+}
+
+}  // namespace papc::cluster

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file cluster_leader.hpp
+/// The cluster-leader automaton of the decentralized protocol
+/// (Algorithm 5). Each active cluster leader publishes a pair
+/// (gen, state) with state ∈ {two-choices, sleeping, propagation} and
+/// processes member signals (i, s, hasChanged):
+///   lines 1–3: a lexicographically larger (i, s) overwrites (gen, state)
+///              — this is how generation births spread between clusters;
+///   lines 4–9: 0-signals drive the tick counter; crossing the sleep
+///              threshold freezes promotions, crossing the propagation
+///              threshold opens pull-propagation;
+///   lines 10–14: hasChanged signals matching the current generation grow
+///              gen_size; at ⌈card·(1/2 + δ)⌉ the next generation is born.
+
+#include <cstdint>
+#include <vector>
+
+#include "opinion/types.hpp"
+
+namespace papc::cluster {
+
+/// Leader state (Algorithm 5 uses the numeric encoding 1/2/3).
+enum class LeaderState : std::uint8_t {
+    kTwoChoices = 1,
+    kSleeping = 2,
+    kPropagation = 3,
+};
+
+/// One (time, gen, state) transition, for Figure 2 and invariant tests.
+struct ClusterLeaderTransition {
+    double time = 0.0;
+    Generation gen = 1;
+    LeaderState state = LeaderState::kTwoChoices;
+};
+
+struct ClusterLeaderConfig {
+    std::uint64_t cardinality = 0;          ///< cluster size (card)
+    std::uint64_t sleep_threshold = 0;      ///< C1·card·C2 ticks
+    std::uint64_t prop_threshold = 0;       ///< C1·card·C3 ticks
+    std::uint64_t generation_size_threshold = 0;  ///< ⌈card·(1/2+δ)⌉
+    Generation max_generation = 1;          ///< G*
+};
+
+class ClusterLeader {
+public:
+    explicit ClusterLeader(const ClusterLeaderConfig& config);
+
+    /// Processes one (i, s, hasChanged) signal at time `now`
+    /// (i == 0 encodes a 0-signal; `s` is ignored for those).
+    void on_signal(double now, Generation i, LeaderState s, bool has_changed);
+
+    [[nodiscard]] Generation gen() const { return gen_; }
+    [[nodiscard]] LeaderState state() const { return state_; }
+    [[nodiscard]] std::uint64_t tick_counter() const { return t_; }
+    [[nodiscard]] std::uint64_t generation_size() const { return gen_size_; }
+    [[nodiscard]] const ClusterLeaderConfig& config() const { return config_; }
+    [[nodiscard]] const std::vector<ClusterLeaderTransition>& trace() const {
+        return trace_;
+    }
+
+private:
+    void record(double now);
+
+    ClusterLeaderConfig config_;
+    Generation gen_ = 1;
+    LeaderState state_ = LeaderState::kTwoChoices;
+    std::uint64_t t_ = 0;
+    std::uint64_t gen_size_ = 0;
+    std::vector<ClusterLeaderTransition> trace_;
+};
+
+/// Lexicographic comparison used by Algorithm 5 line 1.
+[[nodiscard]] bool lex_greater(Generation i, LeaderState s, Generation gen,
+                               LeaderState state);
+
+}  // namespace papc::cluster

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file clustering.hpp
+/// The distributed clustering phase (§4.1, Theorem 27).
+///
+/// Every node flips a coin and becomes a cluster leader with small
+/// probability; all other nodes are followers. At each Poisson tick an
+/// unassigned follower samples three random nodes, learns their leaders'
+/// addresses (a sampled leader returns itself) and, one channel-latency
+/// later, joins the first sampled cluster that is accepting. Growth is
+/// therefore proportional to current cluster size (the doubling argument in
+/// the proof of Theorem 27). A cluster that reaches the participation floor
+/// pauses (rejects joins) while its leader counts member 0-signals, then
+/// reopens, and after a further counting window switches to consensus mode
+/// and broadcasts this among the leaders (§4.2). Leaders whose cluster has
+/// reached the floor when the broadcast arrives become *active*; everyone
+/// else sits out the consensus phase.
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "opinion/types.hpp"
+#include "support/random.hpp"
+
+namespace papc::cluster {
+
+/// Sentinel for "not in any cluster".
+inline constexpr std::int32_t kNoCluster = -1;
+
+/// Outcome of the clustering phase.
+struct ClusteringResult {
+    /// Per node: index into `clusters`, or kNoCluster.
+    std::vector<std::int32_t> cluster_of;
+    /// Member lists (including the leader node itself, member 0) of all
+    /// clusters that became active.
+    std::vector<std::vector<NodeId>> clusters;
+
+    std::size_t num_leaders = 0;       ///< self-elected leaders
+    std::size_t num_active = 0;        ///< clusters that reached the floor
+    std::size_t nodes_in_active = 0;   ///< nodes inside active clusters
+    double fraction_clustered = 0.0;   ///< nodes_in_active / n
+
+    double first_switch_time = -1.0;   ///< t_f: first leader in consensus mode
+    double all_informed_time = -1.0;   ///< t_l: last leader informed
+    double elapsed = 0.0;              ///< total clustering-phase time
+    bool completed = false;            ///< broadcast finished before the cap
+};
+
+/// Runs the clustering phase for n nodes.
+[[nodiscard]] ClusteringResult run_clustering(std::size_t n,
+                                              const ClusterConfig& config,
+                                              Rng& rng);
+
+}  // namespace papc::cluster

@@ -1,0 +1,57 @@
+#include "cluster/member.hpp"
+
+#include "support/check.hpp"
+
+namespace papc::cluster {
+
+MemberDecision decide_member_exchange(const MemberState& v, Generation l_gen,
+                                      LeaderState l_state, const MemberView& v1,
+                                      const MemberView& v2) {
+    MemberDecision d;
+    // Gossip by default: report the observed leader state to the own leader
+    // (line 18); overwritten below on promotions.
+    d.signal = MemberSignal{l_gen, l_state, false};
+
+    // in_sync gate: stored own-leader state must match the sampled leader's
+    // current state. Out-of-sync members only gossip.
+    if (v.tmp_gen != l_gen || v.tmp_state != l_state) {
+        d.kind = MemberDecision::Kind::kNone;
+        return d;
+    }
+
+    // Two-choices (lines 13–16): both samples one generation below the
+    // leader's, agreeing on a color, while the leader still runs the
+    // two-choices window.
+    if (l_state == LeaderState::kTwoChoices && l_gen >= 1 &&
+        v1.gen == l_gen - 1 && v2.gen == l_gen - 1 && v1.col == v2.col &&
+        v.gen < l_gen) {
+        d.kind = MemberDecision::Kind::kTwoChoices;
+        d.new_col = v1.col;
+        d.new_gen = l_gen;
+        d.signal = MemberSignal{d.new_gen, LeaderState::kTwoChoices, true};
+        return d;
+    }
+
+    // Propagation (lines 9–12, with the Algorithm-2 catch-up rule):
+    // adopt a strictly higher-generation sample when that generation is
+    // below the leader's (catch-up) or the leader allows propagation.
+    const MemberView* chosen = nullptr;
+    auto eligible = [&](const MemberView& p) {
+        return v.gen < p.gen &&
+               (p.gen < l_gen || l_state == LeaderState::kPropagation);
+    };
+    if (eligible(v1)) chosen = &v1;
+    if (eligible(v2) && (chosen == nullptr || v2.gen > chosen->gen)) chosen = &v2;
+    if (chosen != nullptr) {
+        d.kind = MemberDecision::Kind::kPropagation;
+        d.new_col = chosen->col;
+        d.new_gen = chosen->gen;
+        d.signal = MemberSignal{d.new_gen, LeaderState::kPropagation, true};
+        return d;
+    }
+
+    d.kind = MemberDecision::Kind::kNone;
+    return d;
+}
+
+}  // namespace papc::cluster

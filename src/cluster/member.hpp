@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file member.hpp
+/// Per-member state and the pure exchange rule of Algorithm 4 (consensus
+/// phase of the decentralized protocol). Mirrors async/node.hpp: the
+/// decision logic is a pure function, the event wiring lives in
+/// cluster/simulation.cpp.
+
+#include <cstdint>
+
+#include "cluster/cluster_leader.hpp"
+#include "opinion/types.hpp"
+
+namespace papc::cluster {
+
+/// Mutable consensus-phase state of a clustered node (Algorithm 4).
+struct MemberState {
+    Opinion col = 0;
+    Generation gen = 0;
+    bool finished = false;
+    bool locked = false;
+    /// tmp_gen / tmp_state (line 19): leader state stored at the last
+    /// completed exchange with the *own* leader.
+    Generation tmp_gen = 1;
+    LeaderState tmp_state = LeaderState::kTwoChoices;
+};
+
+/// Snapshot of a sampled node.
+struct MemberView {
+    Generation gen = 0;
+    Opinion col = 0;
+};
+
+/// Signal (i, s, hasChanged) destined for the member's own leader.
+struct MemberSignal {
+    Generation i = 0;
+    LeaderState s = LeaderState::kTwoChoices;
+    bool has_changed = false;
+};
+
+/// Outcome of one Algorithm-4 exchange (lines 9–18, given that neither the
+/// member nor any sample is `finished` and the sampled leader is active).
+struct MemberDecision {
+    enum class Kind : std::uint8_t {
+        kNone,         ///< out of sync with the sampled leader; no action
+        kTwoChoices,   ///< promoted via line 13-16
+        kPropagation,  ///< promoted via line 9-12
+    };
+    Kind kind = Kind::kNone;
+    Opinion new_col = 0;
+    Generation new_gen = 0;
+    MemberSignal signal;  ///< always sent (lines 12, 16, 18)
+};
+
+/// Evaluates the promotion rules against the leader `l` of the third
+/// sample. The in_sync(·) gate compares the member's stored
+/// (tmp_gen, tmp_state) — refreshed from its own leader every exchange —
+/// with l's current public state; as in Algorithm 2 this prevents
+/// two-choices and propagation promotions into one generation from
+/// interleaving. Propagation follows the Algorithm-2 rule referenced by
+/// §4.4: a strictly higher-generation sample may be adopted when its
+/// generation is below the leader's, or when the leader's state is
+/// propagation.
+[[nodiscard]] MemberDecision decide_member_exchange(const MemberState& v,
+                                                    Generation l_gen,
+                                                    LeaderState l_state,
+                                                    const MemberView& v1,
+                                                    const MemberView& v2);
+
+}  // namespace papc::cluster

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file simulation.hpp
+/// The full decentralized protocol (§4): clustering phase (Theorem 27) +
+/// consensus phase (Algorithms 4 + 5, Theorem 26). Nodes in active clusters
+/// execute Algorithm 4; everyone else is passive and receives the outcome
+/// through the `finished` flag propagation (Algorithm 4 lines 5–7).
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster_leader.hpp"
+#include "cluster/clustering.hpp"
+#include "cluster/config.hpp"
+#include "cluster/member.hpp"
+#include "opinion/assignment.hpp"
+#include "opinion/census.hpp"
+#include "support/random.hpp"
+#include "support/timeseries.hpp"
+
+namespace papc::cluster {
+
+/// Aggregate outcome of one full multi-leader run.
+struct MultiLeaderResult {
+    // Clustering phase.
+    ClusteringResult clustering;
+    double clustering_time = 0.0;
+
+    // Consensus phase.
+    bool converged = false;        ///< all nodes share one color
+    Opinion winner = 0;
+    bool plurality_won = false;
+    double epsilon_time = -1.0;    ///< consensus-phase clock (starts at 0)
+    double consensus_time = -1.0;
+    double finished_fraction = 0.0;  ///< nodes with the finished flag at end
+    double end_time = 0.0;
+
+    std::uint64_t ticks = 0;
+    std::uint64_t exchanges = 0;
+    std::uint64_t two_choices_count = 0;
+    std::uint64_t propagation_count = 0;
+    std::uint64_t finished_adoptions = 0;
+
+    Generation final_top_generation = 0;
+
+    // §4.5 complexity accounting: the load is spread over all cluster
+    // leaders (vs Θ(n) per step on the single leader).
+    std::uint64_t signals_delivered = 0;  ///< all signals at any leader
+    double leader_peak_load = 0.0;        ///< max signals/step at one leader
+
+    /// Per-active-cluster leader traces (Figure 2 source data).
+    std::vector<std::vector<ClusterLeaderTransition>> leader_traces;
+    TimeSeries plurality_fraction;
+
+    /// Total time: clustering + consensus phases.
+    [[nodiscard]] double total_time() const {
+        return clustering_time + (consensus_time >= 0.0 ? consensus_time : end_time);
+    }
+};
+
+/// Runs the consensus phase over an existing clustering.
+class MultiLeaderSimulation {
+public:
+    MultiLeaderSimulation(const Assignment& assignment,
+                          ClusteringResult clustering,
+                          const ClusterConfig& config, std::uint64_t seed);
+
+    /// Runs to full consensus (or config.max_time). Clustering fields of
+    /// the result are copied from the provided clustering.
+    [[nodiscard]] MultiLeaderResult run();
+
+    [[nodiscard]] const GenerationCensus& census() const { return census_; }
+    [[nodiscard]] const MemberState& member(NodeId v) const { return members_[v]; }
+    [[nodiscard]] const ClusterLeader& leader(std::size_t c) const {
+        return *leaders_[c];
+    }
+    [[nodiscard]] std::size_t num_clusters() const { return leaders_.size(); }
+
+private:
+    ClusterConfig config_;
+    ClusteringResult clustering_;
+    Rng rng_;
+    std::vector<MemberState> members_;
+    std::vector<std::unique_ptr<ClusterLeader>> leaders_;
+    GenerationCensus census_;
+    Opinion plurality_ = 0;
+    bool ran_ = false;
+};
+
+/// Convenience: clustering + consensus in one call on a biased-plurality
+/// workload.
+[[nodiscard]] MultiLeaderResult run_multi_leader(std::size_t n, std::uint32_t k,
+                                                 double alpha,
+                                                 const ClusterConfig& config,
+                                                 std::uint64_t seed);
+
+}  // namespace papc::cluster

@@ -1,0 +1,142 @@
+#include "graph/dynamics.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace papc::graph {
+
+GraphColorDynamics::GraphColorDynamics(const Assignment& assignment,
+                                       std::shared_ptr<const Topology> topology)
+    : topology_(std::move(topology)),
+      colors_(assignment.opinions),
+      next_colors_(assignment.size()),
+      census_(assignment.size(), assignment.num_opinions) {
+    PAPC_CHECK(topology_ != nullptr);
+    PAPC_CHECK(topology_->num_nodes() == assignment.size());
+    census_.reset(colors_);
+}
+
+void GraphColorDynamics::commit_round() {
+    colors_.swap(next_colors_);
+    census_.reset(colors_);
+    ++round_;
+}
+
+GraphPullVoting::GraphPullVoting(const Assignment& assignment,
+                                 std::shared_ptr<const Topology> topology)
+    : GraphColorDynamics(assignment, std::move(topology)) {}
+
+void GraphPullVoting::step(Rng& rng) {
+    const auto n = static_cast<NodeId>(colors_.size());
+    for (NodeId v = 0; v < n; ++v) {
+        next_colors_[v] = colors_[topology_->sample_neighbor(v, rng)];
+    }
+    commit_round();
+}
+
+std::string GraphPullVoting::name() const {
+    return "pull-voting@" + topology_->name();
+}
+
+GraphTwoChoices::GraphTwoChoices(const Assignment& assignment,
+                                 std::shared_ptr<const Topology> topology)
+    : GraphColorDynamics(assignment, std::move(topology)) {}
+
+void GraphTwoChoices::step(Rng& rng) {
+    const auto n = static_cast<NodeId>(colors_.size());
+    for (NodeId v = 0; v < n; ++v) {
+        const Opinion a = colors_[topology_->sample_neighbor(v, rng)];
+        const Opinion b = colors_[topology_->sample_neighbor(v, rng)];
+        next_colors_[v] = (a == b) ? a : colors_[v];
+    }
+    commit_round();
+}
+
+std::string GraphTwoChoices::name() const {
+    return "two-choices@" + topology_->name();
+}
+
+GraphThreeMajority::GraphThreeMajority(const Assignment& assignment,
+                                       std::shared_ptr<const Topology> topology)
+    : GraphColorDynamics(assignment, std::move(topology)) {}
+
+void GraphThreeMajority::step(Rng& rng) {
+    const auto n = static_cast<NodeId>(colors_.size());
+    for (NodeId v = 0; v < n; ++v) {
+        const Opinion a = colors_[topology_->sample_neighbor(v, rng)];
+        const Opinion b = colors_[topology_->sample_neighbor(v, rng)];
+        const Opinion c = colors_[topology_->sample_neighbor(v, rng)];
+        Opinion adopted;
+        if (a == b || a == c) {
+            adopted = a;
+        } else if (b == c) {
+            adopted = b;
+        } else {
+            const std::uint64_t pick = rng.uniform_index(3);
+            adopted = pick == 0 ? a : (pick == 1 ? b : c);
+        }
+        next_colors_[v] = adopted;
+    }
+    commit_round();
+}
+
+std::string GraphThreeMajority::name() const {
+    return "3-majority@" + topology_->name();
+}
+
+GraphAlgorithm1::GraphAlgorithm1(const Assignment& assignment,
+                                 std::shared_ptr<const Topology> topology,
+                                 sync::Schedule schedule)
+    : topology_(std::move(topology)),
+      schedule_(std::move(schedule)),
+      colors_(assignment.opinions),
+      generations_(assignment.size(), 0),
+      next_colors_(assignment.size()),
+      next_generations_(assignment.size()),
+      census_(assignment.size(), assignment.num_opinions) {
+    PAPC_CHECK(topology_ != nullptr);
+    PAPC_CHECK(topology_->num_nodes() == assignment.size());
+    census_.reset(colors_);
+}
+
+void GraphAlgorithm1::step(Rng& rng) {
+    const auto n = static_cast<NodeId>(colors_.size());
+    ++round_;
+    const bool two_choices = schedule_.is_two_choices_step(round_);
+    for (NodeId v = 0; v < n; ++v) {
+        NodeId a = topology_->sample_neighbor(v, rng);
+        NodeId b = topology_->sample_neighbor(v, rng);
+        if (generations_[a] < generations_[b]) std::swap(a, b);
+
+        Opinion new_color = colors_[v];
+        Generation new_generation = generations_[v];
+        if (two_choices && generations_[v] <= generations_[a] &&
+            generations_[a] == generations_[b] && colors_[a] == colors_[b]) {
+            new_generation = generations_[a] + 1;
+            new_color = colors_[a];
+        } else if (generations_[a] > generations_[v]) {
+            new_generation = generations_[a];
+            new_color = colors_[a];
+        }
+        next_colors_[v] = new_color;
+        next_generations_[v] = new_generation;
+    }
+    colors_.swap(next_colors_);
+    generations_.swap(next_generations_);
+    census_.rebuild(generations_, colors_);
+}
+
+std::uint64_t GraphAlgorithm1::opinion_count(Opinion j) const {
+    std::uint64_t total = 0;
+    for (Generation g = 0; g <= census_.highest_populated(); ++g) {
+        total += census_.count(g, j);
+    }
+    return total;
+}
+
+std::string GraphAlgorithm1::name() const {
+    return "algorithm1@" + topology_->name();
+}
+
+}  // namespace papc::graph

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file dynamics.hpp
+/// Opinion dynamics over arbitrary topologies. Mirrors sync/baselines.hpp
+/// but samples from a Topology instead of the implicit clique:
+///   - GraphPullVoting    — [HP01] pull voting on general graphs
+///   - GraphTwoChoices    — [CER14] two-choices voting (d-regular analysis)
+///   - GraphThreeMajority — [BCN+14] dynamics transplanted to graphs
+///   - GraphAlgorithm1    — exploratory: the paper's generation protocol
+///     with neighbor sampling. The paper analyzes it on K_n only; on good
+///     expanders it behaves clique-like, on slow-mixing topologies the
+///     generation hand-over breaks — bench/exp_graph_topologies measures
+///     exactly this (the paper's "more general models" future work).
+
+#include <memory>
+
+#include "graph/topology.hpp"
+#include "opinion/assignment.hpp"
+#include "opinion/census.hpp"
+#include "sync/engine.hpp"
+#include "sync/schedule.hpp"
+
+namespace papc::graph {
+
+/// Shared machinery: color vector + census over a topology.
+class GraphColorDynamics : public sync::SyncDynamics {
+public:
+    GraphColorDynamics(const Assignment& assignment,
+                       std::shared_ptr<const Topology> topology);
+
+    [[nodiscard]] std::size_t population() const override { return colors_.size(); }
+    [[nodiscard]] std::uint32_t num_opinions() const override {
+        return census_.num_opinions();
+    }
+    [[nodiscard]] std::uint64_t opinion_count(Opinion j) const override {
+        return census_.count(j);
+    }
+    [[nodiscard]] std::uint64_t rounds() const override { return round_; }
+    [[nodiscard]] const Topology& topology() const { return *topology_; }
+
+protected:
+    void commit_round();
+
+    std::shared_ptr<const Topology> topology_;
+    std::vector<Opinion> colors_;
+    std::vector<Opinion> next_colors_;
+    OpinionCensus census_;
+    std::uint64_t round_ = 0;
+};
+
+class GraphPullVoting final : public GraphColorDynamics {
+public:
+    GraphPullVoting(const Assignment& assignment,
+                    std::shared_ptr<const Topology> topology);
+    void step(Rng& rng) override;
+    [[nodiscard]] std::string name() const override;
+};
+
+class GraphTwoChoices final : public GraphColorDynamics {
+public:
+    GraphTwoChoices(const Assignment& assignment,
+                    std::shared_ptr<const Topology> topology);
+    void step(Rng& rng) override;
+    [[nodiscard]] std::string name() const override;
+};
+
+class GraphThreeMajority final : public GraphColorDynamics {
+public:
+    GraphThreeMajority(const Assignment& assignment,
+                       std::shared_ptr<const Topology> topology);
+    void step(Rng& rng) override;
+    [[nodiscard]] std::string name() const override;
+};
+
+/// Algorithm 1 with topology-based sampling (exploratory; see file header).
+class GraphAlgorithm1 final : public sync::SyncDynamics {
+public:
+    GraphAlgorithm1(const Assignment& assignment,
+                    std::shared_ptr<const Topology> topology,
+                    sync::Schedule schedule);
+
+    void step(Rng& rng) override;
+    [[nodiscard]] std::size_t population() const override { return colors_.size(); }
+    [[nodiscard]] std::uint32_t num_opinions() const override {
+        return census_.num_opinions();
+    }
+    [[nodiscard]] std::uint64_t opinion_count(Opinion j) const override;
+    [[nodiscard]] std::uint64_t rounds() const override { return round_; }
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] const GenerationCensus& census() const { return census_; }
+
+private:
+    std::shared_ptr<const Topology> topology_;
+    sync::Schedule schedule_;
+    std::vector<Opinion> colors_;
+    std::vector<Generation> generations_;
+    std::vector<Opinion> next_colors_;
+    std::vector<Generation> next_generations_;
+    GenerationCensus census_;
+    std::uint64_t round_ = 0;
+};
+
+}  // namespace papc::graph

@@ -1,0 +1,213 @@
+#include "graph/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace papc::graph {
+
+CompleteTopology::CompleteTopology(std::size_t n) : n_(n) {
+    PAPC_CHECK(n >= 2);
+}
+
+NodeId CompleteTopology::sample_neighbor(NodeId v, Rng& rng) const {
+    auto u = static_cast<NodeId>(rng.uniform_index(n_ - 1));
+    if (u >= v) ++u;
+    return u;
+}
+
+std::string CompleteTopology::name() const {
+    std::ostringstream s;
+    s << "complete(n=" << n_ << ")";
+    return s.str();
+}
+
+CsrGraph::CsrGraph(std::size_t n,
+                   const std::vector<std::pair<NodeId, NodeId>>& edges,
+                   std::string name)
+    : name_(std::move(name)) {
+    PAPC_CHECK(n >= 1);
+    std::vector<std::size_t> degree_count(n, 0);
+    for (const auto& [a, b] : edges) {
+        PAPC_CHECK(a < n && b < n);
+        ++degree_count[a];
+        ++degree_count[b];
+    }
+    offsets_.assign(n + 1, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+        offsets_[v + 1] = offsets_[v] + degree_count[v];
+    }
+    adjacency_.resize(offsets_[n]);
+    std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (const auto& [a, b] : edges) {
+        adjacency_[cursor[a]++] = b;
+        adjacency_[cursor[b]++] = a;
+    }
+}
+
+std::size_t CsrGraph::degree(NodeId v) const {
+    PAPC_CHECK(v + 1 < offsets_.size());
+    return offsets_[v + 1] - offsets_[v];
+}
+
+NodeId CsrGraph::sample_neighbor(NodeId v, Rng& rng) const {
+    const std::size_t d = degree(v);
+    PAPC_CHECK(d > 0);
+    return adjacency_[offsets_[v] + rng.uniform_index(d)];
+}
+
+std::size_t CsrGraph::min_degree() const {
+    std::size_t best = degree(0);
+    for (NodeId v = 1; v < num_nodes(); ++v) best = std::min(best, degree(v));
+    return best;
+}
+
+std::size_t CsrGraph::max_degree() const {
+    std::size_t best = degree(0);
+    for (NodeId v = 1; v < num_nodes(); ++v) best = std::max(best, degree(v));
+    return best;
+}
+
+bool CsrGraph::is_connected() const {
+    const std::size_t n = num_nodes();
+    if (n == 0) return true;
+    std::vector<bool> seen(n, false);
+    std::queue<NodeId> frontier;
+    frontier.push(0);
+    seen[0] = true;
+    std::size_t visited = 1;
+    while (!frontier.empty()) {
+        const NodeId v = frontier.front();
+        frontier.pop();
+        for (std::size_t i = offsets_[v]; i < offsets_[v + 1]; ++i) {
+            const NodeId u = adjacency_[i];
+            if (!seen[u]) {
+                seen[u] = true;
+                ++visited;
+                frontier.push(u);
+            }
+        }
+    }
+    return visited == n;
+}
+
+CsrGraph make_random_regular(std::size_t n, std::size_t d, Rng& rng) {
+    PAPC_CHECK(d >= 1 && d < n);
+    PAPC_CHECK((n * d) % 2 == 0);
+    // Configuration model: pair up n·d stubs uniformly; re-shuffle the tail
+    // on self-loops (parallel edges are kept — multigraph semantics are
+    // fine for sampling-based dynamics and vanish asymptotically).
+    std::vector<NodeId> stubs;
+    stubs.reserve(n * d);
+    for (NodeId v = 0; v < n; ++v) {
+        for (std::size_t i = 0; i < d; ++i) stubs.push_back(v);
+    }
+    rng.shuffle(stubs);
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    edges.reserve(n * d / 2);
+    for (std::size_t i = 0; i < stubs.size(); i += 2) {
+        NodeId a = stubs[i];
+        NodeId b = stubs[i + 1];
+        int retries = 0;
+        while (a == b && retries < 64) {
+            // Swap the second stub with a random later stub to break the
+            // self-loop without biasing the pairing noticeably.
+            const std::size_t j =
+                i + 1 + rng.uniform_index(stubs.size() - i - 1);
+            std::swap(stubs[i + 1], stubs[j]);
+            b = stubs[i + 1];
+            ++retries;
+        }
+        if (a == b) {
+            // Give up on this stub pair (vanishing probability): connect to
+            // the next node cyclically to keep degrees close to d.
+            b = static_cast<NodeId>((a + 1) % n);
+        }
+        edges.emplace_back(a, b);
+    }
+    std::ostringstream name;
+    name << "random-regular(n=" << n << ", d=" << d << ")";
+    return CsrGraph(n, edges, name.str());
+}
+
+CsrGraph make_gnp(std::size_t n, double p, Rng& rng) {
+    PAPC_CHECK(p >= 0.0 && p <= 1.0);
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    if (p > 0.0) {
+        // Geometric skipping over the implicit edge enumeration.
+        const double log1mp = std::log1p(-std::min(p, 1.0 - 1e-15));
+        const double total_pairs =
+            static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+        double index = -1.0;
+        for (;;) {
+            const double u = std::max(rng.uniform(), 1e-300);
+            index += 1.0 + std::floor(std::log(u) / log1mp);
+            if (index >= total_pairs) break;
+            // Invert the pair index into (a, b), a < b.
+            const auto idx = static_cast<std::uint64_t>(index);
+            // Row a satisfies: a·n - a(a+1)/2 <= idx.
+            auto a = static_cast<std::uint64_t>(
+                static_cast<double>(n) - 0.5 -
+                std::sqrt((static_cast<double>(n) - 0.5) *
+                              (static_cast<double>(n) - 0.5) -
+                          2.0 * static_cast<double>(idx)));
+            auto row_start = a * n - a * (a + 1) / 2;
+            while (row_start > idx) {
+                --a;
+                row_start = a * n - a * (a + 1) / 2;
+            }
+            while (a + 1 < n && (a + 1) * n - (a + 1) * (a + 2) / 2 <= idx) {
+                ++a;
+                row_start = a * n - a * (a + 1) / 2;
+            }
+            const std::uint64_t b = a + 1 + (idx - row_start);
+            if (b < n) {
+                edges.emplace_back(static_cast<NodeId>(a),
+                                   static_cast<NodeId>(b));
+            }
+        }
+    }
+    std::ostringstream name;
+    name << "gnp(n=" << n << ", p=" << p << ")";
+    return CsrGraph(n, edges, name.str());
+}
+
+CsrGraph make_ring(std::size_t n, std::size_t d) {
+    PAPC_CHECK(d >= 2 && d % 2 == 0);
+    PAPC_CHECK(n > d);
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    edges.reserve(n * d / 2);
+    for (NodeId v = 0; v < n; ++v) {
+        for (std::size_t hop = 1; hop <= d / 2; ++hop) {
+            edges.emplace_back(v, static_cast<NodeId>((v + hop) % n));
+        }
+    }
+    std::ostringstream name;
+    name << "ring(n=" << n << ", d=" << d << ")";
+    return CsrGraph(n, edges, name.str());
+}
+
+CsrGraph make_torus(std::size_t side) {
+    PAPC_CHECK(side >= 3);
+    const std::size_t n = side * side;
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    edges.reserve(2 * n);
+    auto id = [side](std::size_t x, std::size_t y) {
+        return static_cast<NodeId>(y * side + x);
+    };
+    for (std::size_t y = 0; y < side; ++y) {
+        for (std::size_t x = 0; x < side; ++x) {
+            edges.emplace_back(id(x, y), id((x + 1) % side, y));
+            edges.emplace_back(id(x, y), id(x, (y + 1) % side));
+        }
+    }
+    std::ostringstream name;
+    name << "torus(" << side << "x" << side << ")";
+    return CsrGraph(n, edges, name.str());
+}
+
+}  // namespace papc::graph

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file topology.hpp
+/// Graph topologies for opinion dynamics. The paper's own protocols live on
+/// the complete graph K_n, but the literature it positions against runs on
+/// general graphs: two-choices voting on random d-regular graphs [CER14],
+/// expanders [CER+15, CRRS17], and slow mixing topologies like rings where
+/// voting takes Ω(n) time. This module provides the sampling interface the
+/// dynamics need (uniform random neighbor) plus standard generators, so the
+/// baselines can be compared across topologies (bench/exp_graph_topologies)
+/// and the paper's "more general models" future-work direction can be
+/// explored.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "opinion/types.hpp"
+#include "support/random.hpp"
+
+namespace papc::graph {
+
+/// Interface: a (multi-)graph that supports uniform neighbor sampling.
+class Topology {
+public:
+    virtual ~Topology() = default;
+
+    [[nodiscard]] virtual std::size_t num_nodes() const = 0;
+    [[nodiscard]] virtual std::size_t degree(NodeId v) const = 0;
+
+    /// Uniform random neighbor of v. Requires degree(v) > 0.
+    [[nodiscard]] virtual NodeId sample_neighbor(NodeId v, Rng& rng) const = 0;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// K_n, kept implicit (no adjacency storage). Self-loops excluded.
+class CompleteTopology final : public Topology {
+public:
+    explicit CompleteTopology(std::size_t n);
+    [[nodiscard]] std::size_t num_nodes() const override { return n_; }
+    [[nodiscard]] std::size_t degree(NodeId) const override { return n_ - 1; }
+    [[nodiscard]] NodeId sample_neighbor(NodeId v, Rng& rng) const override;
+    [[nodiscard]] std::string name() const override;
+
+private:
+    std::size_t n_;
+};
+
+/// Explicit graph in CSR (compressed sparse row) form; undirected edges are
+/// stored in both directions.
+class CsrGraph final : public Topology {
+public:
+    /// Builds from an edge list (pairs may repeat: multigraph semantics).
+    CsrGraph(std::size_t n, const std::vector<std::pair<NodeId, NodeId>>& edges,
+             std::string name);
+
+    [[nodiscard]] std::size_t num_nodes() const override { return offsets_.size() - 1; }
+    [[nodiscard]] std::size_t degree(NodeId v) const override;
+    [[nodiscard]] NodeId sample_neighbor(NodeId v, Rng& rng) const override;
+    [[nodiscard]] std::string name() const override { return name_; }
+
+    [[nodiscard]] std::size_t num_edges() const { return adjacency_.size() / 2; }
+    [[nodiscard]] std::size_t min_degree() const;
+    [[nodiscard]] std::size_t max_degree() const;
+
+    /// BFS connectivity check.
+    [[nodiscard]] bool is_connected() const;
+
+private:
+    std::vector<std::size_t> offsets_;
+    std::vector<NodeId> adjacency_;
+    std::string name_;
+};
+
+/// Random d-regular multigraph via the configuration model (pairing random
+/// stubs; rejects self-loops by re-drawing, keeps rare parallel edges).
+/// Requires n·d even and d < n.
+[[nodiscard]] CsrGraph make_random_regular(std::size_t n, std::size_t d, Rng& rng);
+
+/// Erdős–Rényi G(n, p).
+[[nodiscard]] CsrGraph make_gnp(std::size_t n, double p, Rng& rng);
+
+/// Ring lattice: node i connected to its d/2 nearest neighbors on each
+/// side (d even). The canonical slow-mixing contrast topology.
+[[nodiscard]] CsrGraph make_ring(std::size_t n, std::size_t d);
+
+/// 2-D torus with von Neumann (4-)neighborhood; n = side².
+[[nodiscard]] CsrGraph make_torus(std::size_t side);
+
+}  // namespace papc::graph

@@ -1,0 +1,132 @@
+#include "opinion/assignment.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace papc {
+
+namespace {
+
+/// Expands per-opinion counts into a shuffled opinion vector.
+Assignment expand_counts(const std::vector<std::size_t>& counts, Rng& rng) {
+    Assignment a;
+    a.num_opinions = static_cast<std::uint32_t>(counts.size());
+    std::size_t n = 0;
+    for (const std::size_t c : counts) n += c;
+    a.opinions.reserve(n);
+    for (std::size_t j = 0; j < counts.size(); ++j) {
+        a.opinions.insert(a.opinions.end(), counts[j], static_cast<Opinion>(j));
+    }
+    rng.shuffle(a.opinions);
+    return a;
+}
+
+/// Turns target fractions into integer counts summing to n; the largest
+/// fraction absorbs the rounding remainder so the bias never *shrinks*.
+std::vector<std::size_t> fractions_to_counts(std::size_t n,
+                                             const std::vector<double>& fractions) {
+    std::vector<std::size_t> counts(fractions.size(), 0);
+    std::size_t assigned = 0;
+    std::size_t argmax = 0;
+    for (std::size_t j = 0; j < fractions.size(); ++j) {
+        counts[j] = static_cast<std::size_t>(std::floor(fractions[j] * static_cast<double>(n)));
+        assigned += counts[j];
+        if (fractions[j] > fractions[argmax]) argmax = j;
+    }
+    PAPC_CHECK(assigned <= n);
+    counts[argmax] += n - assigned;
+    return counts;
+}
+
+}  // namespace
+
+Assignment make_biased_plurality(std::size_t n, std::uint32_t k, double alpha, Rng& rng) {
+    PAPC_CHECK(n > 0);
+    PAPC_CHECK(k >= 1);
+    PAPC_CHECK(alpha >= 1.0);
+    std::vector<double> fractions(k, 0.0);
+    const double denom = alpha + static_cast<double>(k) - 1.0;
+    fractions[0] = alpha / denom;
+    for (std::uint32_t j = 1; j < k; ++j) {
+        fractions[j] = 1.0 / denom;
+    }
+    return expand_counts(fractions_to_counts(n, fractions), rng);
+}
+
+Assignment make_two_front_runners(std::size_t n, std::uint32_t k, double alpha,
+                                  double tail_fraction, Rng& rng) {
+    PAPC_CHECK(k >= 2);
+    PAPC_CHECK(alpha >= 1.0);
+    PAPC_CHECK(tail_fraction >= 0.0 && tail_fraction < 1.0);
+    if (k == 2) tail_fraction = 0.0;
+    const double head = 1.0 - tail_fraction;
+    // c0 = α·c1, c0 + c1 = head.
+    const double c1 = head / (1.0 + alpha);
+    const double c0 = alpha * c1;
+    std::vector<double> fractions(k, 0.0);
+    fractions[0] = c0;
+    fractions[1] = c1;
+    for (std::uint32_t j = 2; j < k; ++j) {
+        fractions[j] = tail_fraction / static_cast<double>(k - 2);
+    }
+    return expand_counts(fractions_to_counts(n, fractions), rng);
+}
+
+Assignment make_additive_gap(std::size_t n, std::uint32_t k, std::size_t gap, Rng& rng) {
+    PAPC_CHECK(k >= 2);
+    PAPC_CHECK(gap <= n);
+    std::vector<std::size_t> counts(k, (n - gap) / k);
+    std::size_t assigned = ((n - gap) / k) * k + gap;
+    counts[0] += gap;
+    // Distribute the integer remainder to the *tail* opinions so the gap
+    // between opinion 0 and opinion 1 is exactly `gap` when possible.
+    std::size_t j = k - 1;
+    while (assigned < n) {
+        ++counts[j];
+        ++assigned;
+        j = (j == 1) ? k - 1 : j - 1;
+        if (k == 2) j = 1;
+    }
+    return expand_counts(counts, rng);
+}
+
+Assignment make_uniform(std::size_t n, std::uint32_t k, Rng& rng) {
+    PAPC_CHECK(k >= 1);
+    std::vector<std::size_t> counts(k, n / k);
+    std::size_t assigned = (n / k) * k;
+    std::size_t j = 0;
+    while (assigned < n) {
+        ++counts[j++];
+        ++assigned;
+    }
+    return expand_counts(counts, rng);
+}
+
+Assignment make_zipf(std::size_t n, std::uint32_t k, double s, Rng& rng) {
+    PAPC_CHECK(k >= 1);
+    PAPC_CHECK(s >= 0.0);
+    std::vector<double> fractions(k);
+    double total = 0.0;
+    for (std::uint32_t j = 0; j < k; ++j) {
+        fractions[j] = std::pow(static_cast<double>(j + 1), -s);
+        total += fractions[j];
+    }
+    for (double& f : fractions) f /= total;
+    return expand_counts(fractions_to_counts(n, fractions), rng);
+}
+
+Assignment make_from_counts(const std::vector<std::size_t>& counts, Rng& rng) {
+    PAPC_CHECK(!counts.empty());
+    return expand_counts(counts, rng);
+}
+
+double theorem1_bias_threshold(std::size_t n, std::uint32_t k) {
+    if (k < 2) return 1.0;
+    const double nd = static_cast<double>(n);
+    const double kd = static_cast<double>(k);
+    return 1.0 + kd * std::log2(nd) / std::sqrt(nd) * std::log2(kd);
+}
+
+}  // namespace papc

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file assignment.hpp
+/// Initial-opinion workload generators (§2.1). A workload determines the
+/// vector of initial opinions; the key parameter is the multiplicative bias
+/// α = c_a / c_b between the largest and second-largest opinion.
+
+#include <cstdint>
+#include <vector>
+
+#include "opinion/types.hpp"
+#include "support/random.hpp"
+
+namespace papc {
+
+/// An initial assignment: opinions[v] is node v's starting color.
+struct Assignment {
+    std::vector<Opinion> opinions;
+    std::uint32_t num_opinions = 0;
+
+    [[nodiscard]] std::size_t size() const { return opinions.size(); }
+};
+
+/// Builds the paper's canonical workload: opinion 0 holds a multiplicative
+/// bias `alpha` over each of the remaining k-1 opinions, which share the
+/// rest equally: c_0 = α/(α + k - 1), c_j = 1/(α + k - 1) for j > 0.
+/// This is exactly the worst case used in Remark 2. Counts are rounded to
+/// integers with the dominant opinion absorbing the remainder; node order
+/// is shuffled.
+[[nodiscard]] Assignment make_biased_plurality(std::size_t n, std::uint32_t k,
+                                               double alpha, Rng& rng);
+
+/// Two leading opinions with multiplicative bias `alpha` between them; the
+/// remaining k-2 opinions share fraction `tail_fraction` equally. Models the
+/// "close race with background noise" configurations from related work.
+[[nodiscard]] Assignment make_two_front_runners(std::size_t n, std::uint32_t k,
+                                                double alpha, double tail_fraction,
+                                                Rng& rng);
+
+/// Opinion 0 leads opinion 1 by an *additive* gap of `gap` nodes; the rest
+/// of the mass is split equally among all k opinions first. Related work
+/// (e.g. [AAE08], [BFGK16]) states bias additively; this generator allows
+/// direct comparisons.
+[[nodiscard]] Assignment make_additive_gap(std::size_t n, std::uint32_t k,
+                                           std::size_t gap, Rng& rng);
+
+/// All k opinions as equal as integer rounding allows (α = 1; consensus on
+/// the plurality is not guaranteed — used for tie-breaking experiments).
+[[nodiscard]] Assignment make_uniform(std::size_t n, std::uint32_t k, Rng& rng);
+
+/// Zipf(s) popularity: c_j ∝ (j+1)^-s. A realistic skewed workload for the
+/// example applications.
+[[nodiscard]] Assignment make_zipf(std::size_t n, std::uint32_t k, double s, Rng& rng);
+
+/// Builds an assignment from explicit per-opinion counts (must sum to n).
+[[nodiscard]] Assignment make_from_counts(const std::vector<std::size_t>& counts,
+                                          Rng& rng);
+
+/// The minimal bias required by Theorem 1: 1 + (k·log2(n)/√n)·log2(k).
+/// Degenerates to 1 for k < 2.
+[[nodiscard]] double theorem1_bias_threshold(std::size_t n, std::uint32_t k);
+
+}  // namespace papc

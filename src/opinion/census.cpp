@@ -1,0 +1,243 @@
+#include "opinion/census.hpp"
+
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace papc {
+
+BiasStats stats_from_counts(const std::vector<std::uint64_t>& counts) {
+    BiasStats s;
+    std::uint64_t total = 0;
+    for (const auto c : counts) total += c;
+    s.total = total;
+    if (total == 0) return s;
+
+    // Find the two largest counts.
+    std::size_t best = 0;
+    std::size_t second = counts.size();  // sentinel: unset
+    for (std::size_t j = 1; j < counts.size(); ++j) {
+        if (counts[j] > counts[best]) {
+            second = best;
+            best = j;
+        } else if (second == counts.size() || counts[j] > counts[second]) {
+            second = j;
+        }
+    }
+    s.dominant = static_cast<Opinion>(best);
+    s.dominant_count = counts[best];
+    if (second == counts.size()) {
+        s.runner_up = s.dominant;
+        s.runner_up_count = 0;
+    } else {
+        s.runner_up = static_cast<Opinion>(second);
+        s.runner_up_count = counts[second];
+    }
+
+    if (s.runner_up_count == 0) {
+        s.alpha = std::numeric_limits<double>::infinity();
+    } else {
+        s.alpha = static_cast<double>(s.dominant_count) /
+                  static_cast<double>(s.runner_up_count);
+    }
+
+    double p = 0.0;
+    const double tot = static_cast<double>(total);
+    for (const auto c : counts) {
+        const double f = static_cast<double>(c) / tot;
+        p += f * f;
+    }
+    s.collision_probability = p;
+    return s;
+}
+
+double collision_probability_lower_bound(double alpha, std::uint32_t k) {
+    PAPC_CHECK(alpha >= 1.0);
+    PAPC_CHECK(k >= 1);
+    const double kd = static_cast<double>(k);
+    const double denom = (alpha + kd - 1.0) * (alpha + kd - 1.0);
+    return (alpha * alpha + kd - 1.0) / denom;
+}
+
+// ---------------------------------------------------------------- Opinion
+
+OpinionCensus::OpinionCensus(std::size_t n, std::uint32_t num_opinions)
+    : n_(n), counts_(num_opinions, 0) {
+    PAPC_CHECK(num_opinions >= 1);
+}
+
+void OpinionCensus::reset(const std::vector<Opinion>& opinions) {
+    PAPC_CHECK(opinions.size() == n_);
+    for (auto& c : counts_) c = 0;
+    undecided_ = 0;
+    for (const Opinion op : opinions) {
+        if (op == kUndecided) {
+            ++undecided_;
+        } else {
+            PAPC_CHECK(op < counts_.size());
+            ++counts_[op];
+        }
+    }
+}
+
+void OpinionCensus::transition(Opinion from, Opinion to) {
+    if (from == to) return;
+    if (from == kUndecided) {
+        PAPC_CHECK(undecided_ > 0);
+        --undecided_;
+    } else {
+        PAPC_CHECK(from < counts_.size());
+        PAPC_CHECK(counts_[from] > 0);
+        --counts_[from];
+    }
+    if (to == kUndecided) {
+        ++undecided_;
+    } else {
+        PAPC_CHECK(to < counts_.size());
+        ++counts_[to];
+    }
+}
+
+std::uint64_t OpinionCensus::count(Opinion j) const {
+    PAPC_CHECK(j < counts_.size());
+    return counts_[j];
+}
+
+std::uint32_t OpinionCensus::num_opinions() const {
+    return static_cast<std::uint32_t>(counts_.size());
+}
+
+BiasStats OpinionCensus::stats() const { return stats_from_counts(counts_); }
+
+bool OpinionCensus::unanimous(Opinion j) const {
+    PAPC_CHECK(j < counts_.size());
+    return counts_[j] == n_;
+}
+
+bool OpinionCensus::converged() const {
+    for (const auto c : counts_) {
+        if (c == n_) return true;
+    }
+    return false;
+}
+
+double OpinionCensus::fraction(Opinion j) const {
+    PAPC_CHECK(j < counts_.size());
+    return static_cast<double>(counts_[j]) / static_cast<double>(n_);
+}
+
+// ------------------------------------------------------------- Generation
+
+GenerationCensus::GenerationCensus(std::size_t n, std::uint32_t num_opinions)
+    : n_(n), k_(num_opinions), opinion_totals_(num_opinions, 0) {
+    PAPC_CHECK(num_opinions >= 1);
+    ensure_generation(0);
+}
+
+void GenerationCensus::ensure_generation(Generation i) {
+    while (counts_.size() <= i) {
+        counts_.emplace_back(k_, 0);
+        gen_totals_.push_back(0);
+    }
+}
+
+void GenerationCensus::reset(const std::vector<Opinion>& opinions) {
+    PAPC_CHECK(opinions.size() == n_);
+    counts_.clear();
+    gen_totals_.clear();
+    ensure_generation(0);
+    for (auto& t : opinion_totals_) t = 0;
+    for (const Opinion op : opinions) {
+        PAPC_CHECK(op < k_);
+        ++counts_[0][op];
+        ++opinion_totals_[op];
+    }
+    gen_totals_[0] = n_;
+}
+
+void GenerationCensus::rebuild(const std::vector<Generation>& generations,
+                               const std::vector<Opinion>& opinions) {
+    PAPC_CHECK(generations.size() == n_);
+    PAPC_CHECK(opinions.size() == n_);
+    counts_.clear();
+    gen_totals_.clear();
+    ensure_generation(0);
+    for (auto& t : opinion_totals_) t = 0;
+    for (std::size_t v = 0; v < n_; ++v) {
+        const Generation g = generations[v];
+        const Opinion op = opinions[v];
+        PAPC_CHECK(op < k_);
+        ensure_generation(g);
+        ++counts_[g][op];
+        ++gen_totals_[g];
+        ++opinion_totals_[op];
+    }
+}
+
+void GenerationCensus::transition(Generation gen_from, Opinion op_from,
+                                  Generation gen_to, Opinion op_to) {
+    PAPC_CHECK(op_from < k_ && op_to < k_);
+    ensure_generation(gen_to);
+    PAPC_CHECK(gen_from < counts_.size());
+    PAPC_CHECK(counts_[gen_from][op_from] > 0);
+    --counts_[gen_from][op_from];
+    --gen_totals_[gen_from];
+    ++counts_[gen_to][op_to];
+    ++gen_totals_[gen_to];
+    if (op_from != op_to) {
+        PAPC_CHECK(opinion_totals_[op_from] > 0);
+        --opinion_totals_[op_from];
+        ++opinion_totals_[op_to];
+    }
+}
+
+Generation GenerationCensus::highest_populated() const {
+    for (std::size_t i = gen_totals_.size(); i > 0; --i) {
+        if (gen_totals_[i - 1] > 0) return static_cast<Generation>(i - 1);
+    }
+    return 0;
+}
+
+std::uint64_t GenerationCensus::generation_size(Generation i) const {
+    if (i >= gen_totals_.size()) return 0;
+    return gen_totals_[i];
+}
+
+double GenerationCensus::generation_fraction(Generation i) const {
+    return static_cast<double>(generation_size(i)) / static_cast<double>(n_);
+}
+
+std::uint64_t GenerationCensus::count(Generation i, Opinion j) const {
+    PAPC_CHECK(j < k_);
+    if (i >= counts_.size()) return 0;
+    return counts_[i][j];
+}
+
+BiasStats GenerationCensus::stats(Generation i) const {
+    if (i >= counts_.size()) return BiasStats{};
+    return stats_from_counts(counts_[i]);
+}
+
+BiasStats GenerationCensus::pooled_stats() const {
+    return stats_from_counts(opinion_totals_);
+}
+
+std::uint64_t GenerationCensus::size_at_least(Generation i) const {
+    std::uint64_t total = 0;
+    for (std::size_t g = i; g < gen_totals_.size(); ++g) total += gen_totals_[g];
+    return total;
+}
+
+bool GenerationCensus::converged() const {
+    for (const auto t : opinion_totals_) {
+        if (t == n_) return true;
+    }
+    return false;
+}
+
+double GenerationCensus::opinion_fraction(Opinion j) const {
+    PAPC_CHECK(j < k_);
+    return static_cast<double>(opinion_totals_[j]) / static_cast<double>(n_);
+}
+
+}  // namespace papc

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file types.hpp
+/// Core identifier types shared by all protocol implementations.
+
+#include <cstdint>
+
+namespace papc {
+
+/// Node identifier: index into the node arrays, in [0, n).
+using NodeId = std::uint32_t;
+
+/// Opinion ("color") identifier in [0, k).
+using Opinion = std::uint32_t;
+
+/// Generation number (Algorithm 1 / §2.2). Generation 0 is the initial one.
+using Generation = std::uint32_t;
+
+/// Sentinel for "no opinion" (used by undecided-state baselines).
+inline constexpr Opinion kUndecided = 0xFFFFFFFFU;
+
+}  // namespace papc

@@ -1,0 +1,72 @@
+#include "population/k_undecided.hpp"
+
+#include "support/check.hpp"
+
+namespace papc::population {
+
+KUndecided::KUndecided(const std::vector<std::size_t>& counts,
+                       std::size_t undecided)
+    : counts_(counts.size(), 0) {
+    PAPC_CHECK(!counts.empty());
+    std::size_t n = undecided;
+    for (const std::size_t c : counts) n += c;
+    PAPC_CHECK(n >= 2);
+    states_.reserve(n);
+    for (std::size_t j = 0; j < counts.size(); ++j) {
+        states_.insert(states_.end(), counts[j], static_cast<Opinion>(j));
+        counts_[j] = counts[j];
+    }
+    states_.insert(states_.end(), undecided, kUndecided);
+    undecided_ = undecided;
+}
+
+void KUndecided::set_state(NodeId v, Opinion s) {
+    const Opinion old = states_[v];
+    if (old == s) return;
+    if (old == kUndecided) {
+        --undecided_;
+    } else {
+        --counts_[old];
+    }
+    if (s == kUndecided) {
+        ++undecided_;
+    } else {
+        ++counts_[s];
+    }
+    states_[v] = s;
+}
+
+void KUndecided::interact(NodeId initiator, NodeId responder) {
+    PAPC_CHECK(initiator != responder);
+    const Opinion x = states_[initiator];
+    const Opinion y = states_[responder];
+    if (x == kUndecided) return;  // undecided initiators influence no one
+    if (y == kUndecided) {
+        set_state(responder, x);
+    } else if (y != x) {
+        set_state(responder, kUndecided);
+    }
+}
+
+bool KUndecided::converged() const {
+    const auto n = static_cast<std::uint64_t>(states_.size());
+    for (const auto c : counts_) {
+        if (c == n) return true;
+    }
+    return false;
+}
+
+Opinion KUndecided::current_winner() const {
+    Opinion best = 0;
+    for (Opinion j = 1; j < counts_.size(); ++j) {
+        if (counts_[j] > counts_[best]) best = j;
+    }
+    return best;
+}
+
+double KUndecided::output_fraction(Opinion j) const {
+    if (j >= counts_.size()) return 0.0;
+    return static_cast<double>(counts_[j]) / static_cast<double>(states_.size());
+}
+
+}  // namespace papc::population

@@ -1,0 +1,98 @@
+#include "population/scheduler.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace papc::population {
+
+std::pair<NodeId, NodeId> UniformPairPolicy::next_pair(
+    const PopulationProtocol&, std::size_t n, Rng& rng) {
+    const auto initiator = static_cast<NodeId>(rng.uniform_index(n));
+    auto responder = static_cast<NodeId>(rng.uniform_index(n - 1));
+    if (responder >= initiator) ++responder;
+    return {initiator, responder};
+}
+
+std::pair<NodeId, NodeId> RoundRobinPairPolicy::next_pair(
+    const PopulationProtocol&, std::size_t n, Rng& rng) {
+    const NodeId initiator = cursor_;
+    cursor_ = static_cast<NodeId>((cursor_ + 1) % n);
+    auto responder = static_cast<NodeId>(rng.uniform_index(n - 1));
+    if (responder >= initiator) ++responder;
+    return {initiator, responder};
+}
+
+StallingPairPolicy::StallingPairPolicy(double stall) : stall_(stall) {
+    PAPC_CHECK(stall >= 0.0 && stall < 1.0);
+}
+
+std::pair<NodeId, NodeId> StallingPairPolicy::next_pair(
+    const PopulationProtocol& protocol, std::size_t n, Rng& rng) {
+    if (rng.bernoulli(stall_)) {
+        // Try a few times to find a same-output pair (a no-op interaction
+        // for the majority protocols); fall back to uniform if unlucky so
+        // the policy stays fair.
+        for (int attempt = 0; attempt < 8; ++attempt) {
+            const auto a = static_cast<NodeId>(rng.uniform_index(n));
+            auto b = static_cast<NodeId>(rng.uniform_index(n - 1));
+            if (b >= a) ++b;
+            if (protocol.output_opinion(a) == protocol.output_opinion(b)) {
+                return {a, b};
+            }
+        }
+    }
+    const auto initiator = static_cast<NodeId>(rng.uniform_index(n));
+    auto responder = static_cast<NodeId>(rng.uniform_index(n - 1));
+    if (responder >= initiator) ++responder;
+    return {initiator, responder};
+}
+
+PopulationResult run_population_with_policy(PopulationProtocol& protocol,
+                                            PairPolicy& policy, Rng& rng,
+                                            const PopulationRunOptions& options) {
+    const auto n = static_cast<std::uint64_t>(protocol.population());
+    PAPC_CHECK(n >= 2);
+
+    std::uint64_t max_interactions = options.max_interactions;
+    if (max_interactions == 0) {
+        const double bound = 64.0 * static_cast<double>(n) *
+                             std::log2(static_cast<double>(n));
+        max_interactions = static_cast<std::uint64_t>(bound);
+    }
+    const std::uint64_t check_every =
+        options.check_every == 0 ? n : options.check_every;
+
+    PopulationResult result;
+    result.winner_fraction = TimeSeries(protocol.name() + "@" + policy.name());
+
+    std::uint64_t steps = 0;
+    while (steps < max_interactions) {
+        const auto [initiator, responder] = policy.next_pair(protocol, n, rng);
+        protocol.interact(initiator, responder);
+        ++steps;
+
+        if (steps % check_every == 0) {
+            if (options.record_every > 0 && steps % options.record_every == 0) {
+                result.winner_fraction.record(
+                    static_cast<double>(steps) / static_cast<double>(n),
+                    protocol.output_fraction(options.plurality));
+            }
+            if (protocol.converged()) break;
+        }
+    }
+
+    result.converged = protocol.converged();
+    result.winner = protocol.current_winner();
+    result.interactions = steps;
+    result.parallel_time = static_cast<double>(steps) / static_cast<double>(n);
+    return result;
+}
+
+PopulationResult run_population(PopulationProtocol& protocol, Rng& rng,
+                                const PopulationRunOptions& options) {
+    UniformPairPolicy policy;
+    return run_population_with_policy(protocol, policy, rng, options);
+}
+
+}  // namespace papc::population

@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file scheduler.hpp
+/// The standard population-protocol execution model (§1.1): in each discrete
+/// step a uniformly random ordered pair of distinct agents interacts and
+/// updates its states by a deterministic rule. Run time is reported in
+/// *parallel time* = interactions / n, the common normalization [AGV15].
+
+#include <cstdint>
+#include <string>
+
+#include "opinion/types.hpp"
+#include "support/random.hpp"
+#include "support/timeseries.hpp"
+
+namespace papc::population {
+
+/// Interface of a pairwise-interaction protocol.
+class PopulationProtocol {
+public:
+    virtual ~PopulationProtocol() = default;
+
+    /// Applies one interaction between distinct agents.
+    virtual void interact(NodeId initiator, NodeId responder) = 0;
+
+    [[nodiscard]] virtual std::size_t population() const = 0;
+
+    /// True when the protocol's output is stable and unanimous.
+    [[nodiscard]] virtual bool converged() const = 0;
+
+    /// Current output opinion of the population majority/plurality
+    /// (meaningful once converged; best guess otherwise).
+    [[nodiscard]] virtual Opinion current_winner() const = 0;
+
+    /// Fraction of agents currently outputting `j`.
+    [[nodiscard]] virtual double output_fraction(Opinion j) const = 0;
+
+    /// Current output of one agent (kUndecided for blank/undecided states).
+    [[nodiscard]] virtual Opinion output_opinion(NodeId v) const = 0;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Pair-selection policy: the population-protocol model allows random *or
+/// adversarial* pair selection (§1.1); an adversary must remain fair (every
+/// pair is selected infinitely often) but may bias the order arbitrarily.
+class PairPolicy {
+public:
+    virtual ~PairPolicy() = default;
+    /// Returns the next ordered (initiator, responder) pair of distinct
+    /// agents for a population of size n.
+    [[nodiscard]] virtual std::pair<NodeId, NodeId> next_pair(
+        const PopulationProtocol& protocol, std::size_t n, Rng& rng) = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// The standard model: uniformly random ordered pairs.
+class UniformPairPolicy final : public PairPolicy {
+public:
+    [[nodiscard]] std::pair<NodeId, NodeId> next_pair(
+        const PopulationProtocol& protocol, std::size_t n, Rng& rng) override;
+    [[nodiscard]] std::string name() const override { return "uniform"; }
+};
+
+/// Deterministic fair rotation of initiators with random responders.
+class RoundRobinPairPolicy final : public PairPolicy {
+public:
+    [[nodiscard]] std::pair<NodeId, NodeId> next_pair(
+        const PopulationProtocol& protocol, std::size_t n, Rng& rng) override;
+    [[nodiscard]] std::string name() const override { return "round-robin"; }
+
+private:
+    NodeId cursor_ = 0;
+};
+
+/// Fair adversary that *delays* progress: with probability `stall` it pairs
+/// two agents with the same output (a no-op for the protocols here), and
+/// falls back to a uniform pair otherwise — so every pair still occurs
+/// infinitely often (fairness) but useful interactions are rationed.
+class StallingPairPolicy final : public PairPolicy {
+public:
+    explicit StallingPairPolicy(double stall);
+    [[nodiscard]] std::pair<NodeId, NodeId> next_pair(
+        const PopulationProtocol& protocol, std::size_t n, Rng& rng) override;
+    [[nodiscard]] std::string name() const override { return "stalling"; }
+
+private:
+    double stall_;
+};
+
+struct PopulationResult {
+    bool converged = false;
+    Opinion winner = 0;
+    std::uint64_t interactions = 0;
+    double parallel_time = 0.0;        ///< interactions / n
+    TimeSeries winner_fraction;        ///< sampled every `record_every` ints.
+};
+
+struct PopulationRunOptions {
+    std::uint64_t max_interactions = 0;  ///< 0: default 64·n·log2(n)
+    std::uint64_t check_every = 0;       ///< 0: default n (once per par. step)
+    std::uint64_t record_every = 0;      ///< 0: no recording
+    Opinion plurality = 0;
+};
+
+/// Drives a protocol with uniformly random ordered pairs.
+[[nodiscard]] PopulationResult run_population(PopulationProtocol& protocol,
+                                              Rng& rng,
+                                              const PopulationRunOptions& options = {});
+
+/// Drives a protocol with an arbitrary pair-selection policy.
+[[nodiscard]] PopulationResult run_population_with_policy(
+    PopulationProtocol& protocol, PairPolicy& policy, Rng& rng,
+    const PopulationRunOptions& options = {});
+
+}  // namespace papc::population

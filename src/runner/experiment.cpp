@@ -1,0 +1,80 @@
+#include "runner/experiment.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "support/check.hpp"
+
+namespace papc::runner {
+
+double ExperimentOutcome::mean(const std::string& name) const {
+    const auto it = metrics.find(name);
+    return it == metrics.end() ? 0.0 : it->second.mean;
+}
+
+double ExperimentOutcome::median(const std::string& name) const {
+    const auto it = metrics.find(name);
+    return it == metrics.end() ? 0.0 : it->second.p50;
+}
+
+std::size_t ExperimentOutcome::count(const std::string& name) const {
+    const auto it = metrics.find(name);
+    return it == metrics.end() ? 0 : it->second.count;
+}
+
+namespace {
+
+ExperimentOutcome aggregate(std::vector<TrialMetrics> per_trial) {
+    std::map<std::string, std::vector<double>> samples;
+    for (const TrialMetrics& metrics : per_trial) {
+        for (const auto& [name, value] : metrics) {
+            samples[name].push_back(value);
+        }
+    }
+    ExperimentOutcome outcome;
+    outcome.repetitions = per_trial.size();
+    for (auto& [name, values] : samples) {
+        outcome.metrics[name] = summarize(std::move(values));
+    }
+    return outcome;
+}
+
+}  // namespace
+
+ExperimentOutcome run_experiment(const TrialFn& trial, std::size_t reps,
+                                 std::uint64_t base_seed) {
+    PAPC_CHECK(reps > 0);
+    std::vector<TrialMetrics> per_trial(reps);
+    for (std::size_t r = 0; r < reps; ++r) {
+        per_trial[r] = trial(derive_seed(base_seed, r));
+    }
+    return aggregate(std::move(per_trial));
+}
+
+ExperimentOutcome run_experiment_parallel(const TrialFn& trial,
+                                          std::size_t reps,
+                                          std::uint64_t base_seed,
+                                          std::size_t threads) {
+    PAPC_CHECK(reps > 0);
+    PAPC_CHECK(threads >= 1);
+    if (threads == 1 || reps == 1) {
+        return run_experiment(trial, reps, base_seed);
+    }
+    threads = std::min(threads, reps);
+    // Static block partition: trial r writes only per_trial[r], so the
+    // workers share no mutable state.
+    std::vector<TrialMetrics> per_trial(reps);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w) {
+        workers.emplace_back([&, w] {
+            for (std::size_t r = w; r < reps; r += threads) {
+                per_trial[r] = trial(derive_seed(base_seed, r));
+            }
+        });
+    }
+    for (auto& worker : workers) worker.join();
+    return aggregate(std::move(per_trial));
+}
+
+}  // namespace papc::runner

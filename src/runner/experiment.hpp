@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file experiment.hpp
+/// Repetition harness: runs a seeded trial function `reps` times with
+/// derived per-trial seeds and aggregates named metrics.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/random.hpp"
+#include "support/stats.hpp"
+
+namespace papc::runner {
+
+/// Metrics reported by one trial: name -> value. Missing metrics in some
+/// trials are allowed (e.g. "consensus_time" only when converged).
+using TrialMetrics = std::map<std::string, double>;
+
+/// One trial: receives the derived seed, returns its metrics.
+using TrialFn = std::function<TrialMetrics(std::uint64_t seed)>;
+
+/// Aggregated metrics over all repetitions.
+struct ExperimentOutcome {
+    std::size_t repetitions = 0;
+    std::map<std::string, Summary> metrics;
+
+    /// Mean of a metric (0 if absent).
+    [[nodiscard]] double mean(const std::string& name) const;
+    /// Median of a metric (0 if absent).
+    [[nodiscard]] double median(const std::string& name) const;
+    /// Number of trials that reported the metric.
+    [[nodiscard]] std::size_t count(const std::string& name) const;
+};
+
+/// Runs `trial` `reps` times with seeds derived from `base_seed`.
+[[nodiscard]] ExperimentOutcome run_experiment(const TrialFn& trial,
+                                               std::size_t reps,
+                                               std::uint64_t base_seed);
+
+/// Same, with trials distributed over `threads` worker threads. The trial
+/// function must be thread-safe (all papc simulations are: they share no
+/// mutable state and derive their randomness from the per-trial seed).
+/// Aggregated results are identical to the serial runner for the same
+/// base_seed — per-trial seeds do not depend on scheduling.
+[[nodiscard]] ExperimentOutcome run_experiment_parallel(const TrialFn& trial,
+                                                        std::size_t reps,
+                                                        std::uint64_t base_seed,
+                                                        std::size_t threads);
+
+}  // namespace papc::runner

@@ -1,0 +1,50 @@
+#include "runner/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "support/table.hpp"
+
+namespace papc::runner {
+
+void print_banner(std::ostream& out, const std::string& title) {
+    const std::string rule(title.size() + 4, '=');
+    out << rule << "\n= " << title << " =\n" << rule << "\n";
+}
+
+void print_heading(std::ostream& out, const std::string& title) {
+    out << "\n-- " << title << " --\n";
+}
+
+std::string sparkline(const TimeSeries& series, std::size_t width) {
+    static const char* kLevels[] = {" ", "_", ".", "-", "=", "+", "*", "#"};
+    constexpr std::size_t kNumLevels = 8;
+    if (series.empty()) return "(empty)";
+
+    const TimeSeries compact = series.downsample(std::max<std::size_t>(2, width));
+    double lo = compact[0].value;
+    double hi = compact[0].value;
+    for (std::size_t i = 0; i < compact.size(); ++i) {
+        lo = std::min(lo, compact[i].value);
+        hi = std::max(hi, compact[i].value);
+    }
+    const double range = hi - lo;
+    std::ostringstream out;
+    out << format_double(lo, 2) << " [";
+    for (std::size_t i = 0; i < compact.size(); ++i) {
+        std::size_t level = 0;
+        if (range > 0.0) {
+            level = static_cast<std::size_t>((compact[i].value - lo) / range *
+                                             (kNumLevels - 1));
+        }
+        out << kLevels[std::min(level, kNumLevels - 1)];
+    }
+    out << "] " << format_double(hi, 2);
+    out << "  (t = " << format_double(compact[0].time, 1) << " .. "
+        << format_double(compact[compact.size() - 1].time, 1) << ")";
+    return out.str();
+}
+
+}  // namespace papc::runner

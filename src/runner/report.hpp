@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file report.hpp
+/// Shared formatting helpers for the benchmark binaries: section banners
+/// and sparkline rendering of time series.
+
+#include <iosfwd>
+#include <string>
+
+#include "support/timeseries.hpp"
+
+namespace papc::runner {
+
+/// Prints a boxed section header to the stream.
+void print_banner(std::ostream& out, const std::string& title);
+
+/// Prints a sub-section heading.
+void print_heading(std::ostream& out, const std::string& title);
+
+/// Renders a time series as a one-line unicode sparkline with the time
+/// range, e.g. "plurality: 0.52 ▁▂▃▅▇█ 1.00  [t=0 .. 37.5]".
+[[nodiscard]] std::string sparkline(const TimeSeries& series,
+                                    std::size_t width = 48);
+
+}  // namespace papc::runner

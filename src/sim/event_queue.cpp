@@ -1,0 +1,11 @@
+// event_queue.hpp is header-only (class template); this translation unit
+// exists to instantiate the template once for build-error surfacing and to
+// anchor the target's source list.
+
+#include "sim/event_queue.hpp"
+
+namespace papc::sim {
+
+template class EventQueue<int>;
+
+}  // namespace papc::sim

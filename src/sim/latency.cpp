@@ -1,0 +1,119 @@
+#include "sim/latency.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace papc::sim {
+
+const char* to_string(AgingClass aging) {
+    switch (aging) {
+        case AgingClass::kMemoryless: return "memoryless";
+        case AgingClass::kPositiveAging: return "positive-aging";
+        case AgingClass::kNegativeAging: return "negative-aging";
+    }
+    return "unknown";
+}
+
+ExponentialLatency::ExponentialLatency(double rate) : rate_(rate) {
+    PAPC_CHECK(rate > 0.0);
+}
+
+double ExponentialLatency::sample(Rng& rng) const { return rng.exponential(rate_); }
+
+double ExponentialLatency::mean() const { return 1.0 / rate_; }
+
+std::string ExponentialLatency::name() const {
+    std::ostringstream s;
+    s << "Exponential(rate=" << rate_ << ")";
+    return s.str();
+}
+
+ConstantLatency::ConstantLatency(double value) : value_(value) {
+    PAPC_CHECK(value >= 0.0);
+}
+
+double ConstantLatency::sample(Rng&) const { return value_; }
+
+double ConstantLatency::mean() const { return value_; }
+
+std::string ConstantLatency::name() const {
+    std::ostringstream s;
+    s << "Constant(" << value_ << ")";
+    return s.str();
+}
+
+UniformLatency::UniformLatency(double lo, double hi) : lo_(lo), hi_(hi) {
+    PAPC_CHECK(lo >= 0.0 && hi >= lo);
+}
+
+double UniformLatency::sample(Rng& rng) const { return rng.uniform(lo_, hi_); }
+
+double UniformLatency::mean() const { return 0.5 * (lo_ + hi_); }
+
+std::string UniformLatency::name() const {
+    std::ostringstream s;
+    s << "Uniform[" << lo_ << ", " << hi_ << "]";
+    return s.str();
+}
+
+GammaLatency::GammaLatency(double shape, double scale) : shape_(shape), scale_(scale) {
+    PAPC_CHECK(shape > 0.0 && scale > 0.0);
+}
+
+double GammaLatency::sample(Rng& rng) const { return rng.gamma(shape_, scale_); }
+
+double GammaLatency::mean() const { return shape_ * scale_; }
+
+AgingClass GammaLatency::aging() const {
+    if (shape_ == 1.0) return AgingClass::kMemoryless;
+    return shape_ > 1.0 ? AgingClass::kPositiveAging : AgingClass::kNegativeAging;
+}
+
+std::string GammaLatency::name() const {
+    std::ostringstream s;
+    s << "Gamma(shape=" << shape_ << ", scale=" << scale_ << ")";
+    return s.str();
+}
+
+WeibullLatency::WeibullLatency(double shape, double scale) : shape_(shape), scale_(scale) {
+    PAPC_CHECK(shape > 0.0 && scale > 0.0);
+}
+
+double WeibullLatency::sample(Rng& rng) const { return rng.weibull(shape_, scale_); }
+
+double WeibullLatency::mean() const {
+    return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+AgingClass WeibullLatency::aging() const {
+    if (shape_ == 1.0) return AgingClass::kMemoryless;
+    return shape_ > 1.0 ? AgingClass::kPositiveAging : AgingClass::kNegativeAging;
+}
+
+std::string WeibullLatency::name() const {
+    std::ostringstream s;
+    s << "Weibull(shape=" << shape_ << ", scale=" << scale_ << ")";
+    return s.str();
+}
+
+LogNormalLatency::LogNormalLatency(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+    PAPC_CHECK(sigma > 0.0);
+}
+
+double LogNormalLatency::sample(Rng& rng) const { return rng.lognormal(mu_, sigma_); }
+
+double LogNormalLatency::mean() const { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+
+std::string LogNormalLatency::name() const {
+    std::ostringstream s;
+    s << "LogNormal(mu=" << mu_ << ", sigma=" << sigma_ << ")";
+    return s.str();
+}
+
+std::unique_ptr<LatencyModel> make_exponential_latency(double rate) {
+    return std::make_unique<ExponentialLatency>(rate);
+}
+
+}  // namespace papc::sim

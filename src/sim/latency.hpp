@@ -1,0 +1,133 @@
+#pragma once
+
+/// \file latency.hpp
+/// Edge-latency models: the time T2 needed to establish a communication
+/// channel (§3.1). The paper's analysis uses Exponential(λ); the PODC 2020
+/// version generalizes to *positive aging* distributions — distributions
+/// that are New-Better-than-Used (NBU): the residual waiting time of an
+/// aged channel is stochastically no larger than a fresh draw. We provide
+/// the exponential model plus several positive-aging alternatives and one
+/// negative-aging contrast model for the robustness experiment (E9).
+
+#include <memory>
+#include <string>
+
+#include "support/random.hpp"
+
+namespace papc::sim {
+
+/// Aging class of a latency distribution, relative to the NBU property.
+enum class AgingClass {
+    kMemoryless,     ///< exponential: exactly NBU and NWU
+    kPositiveAging,  ///< NBU: hazard rate non-decreasing (constant, uniform,
+                     ///< Erlang/gamma shape >= 1, Weibull shape >= 1)
+    kNegativeAging,  ///< NWU: heavy-tailed (Weibull shape < 1, lognormal)
+};
+
+/// Interface for channel-establishment latency distributions.
+class LatencyModel {
+public:
+    virtual ~LatencyModel() = default;
+
+    /// Draws one channel-establishment latency.
+    [[nodiscard]] virtual double sample(Rng& rng) const = 0;
+
+    /// Distribution mean (closed form).
+    [[nodiscard]] virtual double mean() const = 0;
+
+    [[nodiscard]] virtual AgingClass aging() const = 0;
+
+    /// Short human-readable description for reports.
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Exponential(rate λ): the paper's model; mean 1/λ. Memoryless.
+class ExponentialLatency final : public LatencyModel {
+public:
+    explicit ExponentialLatency(double rate);
+    [[nodiscard]] double sample(Rng& rng) const override;
+    [[nodiscard]] double mean() const override;
+    [[nodiscard]] AgingClass aging() const override { return AgingClass::kMemoryless; }
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] double rate() const { return rate_; }
+
+private:
+    double rate_;
+};
+
+/// Deterministic latency (the strongest positive-aging case).
+class ConstantLatency final : public LatencyModel {
+public:
+    explicit ConstantLatency(double value);
+    [[nodiscard]] double sample(Rng& rng) const override;
+    [[nodiscard]] double mean() const override;
+    [[nodiscard]] AgingClass aging() const override { return AgingClass::kPositiveAging; }
+    [[nodiscard]] std::string name() const override;
+
+private:
+    double value_;
+};
+
+/// Uniform on [lo, hi]; positive aging.
+class UniformLatency final : public LatencyModel {
+public:
+    UniformLatency(double lo, double hi);
+    [[nodiscard]] double sample(Rng& rng) const override;
+    [[nodiscard]] double mean() const override;
+    [[nodiscard]] AgingClass aging() const override { return AgingClass::kPositiveAging; }
+    [[nodiscard]] std::string name() const override;
+
+private:
+    double lo_;
+    double hi_;
+};
+
+/// Gamma(shape, scale); positive aging for shape >= 1, negative otherwise.
+class GammaLatency final : public LatencyModel {
+public:
+    GammaLatency(double shape, double scale);
+    [[nodiscard]] double sample(Rng& rng) const override;
+    [[nodiscard]] double mean() const override;
+    [[nodiscard]] AgingClass aging() const override;
+    [[nodiscard]] std::string name() const override;
+
+private:
+    double shape_;
+    double scale_;
+};
+
+/// Weibull(shape, scale); positive aging for shape >= 1, negative otherwise.
+class WeibullLatency final : public LatencyModel {
+public:
+    WeibullLatency(double shape, double scale);
+    [[nodiscard]] double sample(Rng& rng) const override;
+    [[nodiscard]] double mean() const override;
+    [[nodiscard]] AgingClass aging() const override;
+    [[nodiscard]] std::string name() const override;
+
+private:
+    double shape_;
+    double scale_;
+};
+
+/// LogNormal(mu, sigma); negative aging (heavy tail) — contrast model.
+class LogNormalLatency final : public LatencyModel {
+public:
+    LogNormalLatency(double mu, double sigma);
+    [[nodiscard]] double sample(Rng& rng) const override;
+    [[nodiscard]] double mean() const override;
+    [[nodiscard]] AgingClass aging() const override { return AgingClass::kNegativeAging; }
+    [[nodiscard]] std::string name() const override;
+
+private:
+    double mu_;
+    double sigma_;
+};
+
+/// Builds the paper's default model: Exponential with the given rate.
+[[nodiscard]] std::unique_ptr<LatencyModel> make_exponential_latency(double rate);
+
+/// Human-readable name of an aging class.
+[[nodiscard]] const char* to_string(AgingClass aging);
+
+}  // namespace papc::sim

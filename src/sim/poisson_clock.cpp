@@ -1,0 +1,20 @@
+#include "sim/poisson_clock.hpp"
+
+#include "support/check.hpp"
+
+namespace papc::sim {
+
+PoissonClock::PoissonClock(double rate) : rate_(rate) {
+    PAPC_CHECK(rate > 0.0);
+}
+
+Time PoissonClock::next_interval(Rng& rng) const {
+    return rng.exponential(rate_);
+}
+
+std::uint64_t PoissonClock::ticks_in(Rng& rng, Time window) const {
+    PAPC_CHECK(window >= 0.0);
+    return rng.poisson(rate_ * window);
+}
+
+}  // namespace papc::sim

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file poisson_clock.hpp
+/// Poisson clocks (§3.1): each node ticks at rate 1 in expectation; the
+/// inter-tick times are Exponential(rate).
+
+#include "sim/time.hpp"
+#include "support/random.hpp"
+
+namespace papc::sim {
+
+/// A rate-`rate` Poisson clock. Stateless beyond the rate; callers schedule
+/// the next tick by adding `next_interval(rng)` to the current time.
+class PoissonClock {
+public:
+    explicit PoissonClock(double rate = 1.0);
+
+    [[nodiscard]] double rate() const { return rate_; }
+
+    /// Draws the waiting time until the next tick.
+    [[nodiscard]] Time next_interval(Rng& rng) const;
+
+    /// Draws the number of ticks falling into a window of length `window`.
+    [[nodiscard]] std::uint64_t ticks_in(Rng& rng, Time window) const;
+
+private:
+    double rate_;
+};
+
+}  // namespace papc::sim

@@ -1,0 +1,18 @@
+#pragma once
+
+/// \file time.hpp
+/// Continuous simulated time, measured in *time steps* (the paper's basic
+/// unit: one expected Poisson tick per node per time step). The derived
+/// *time unit* (C1 = F^{-1}(0.9) time steps, §3.1) is computed in
+/// analysis/latency_units.hpp.
+
+namespace papc::sim {
+
+/// Simulated time in time steps. A plain double alias: the simulator relies
+/// on event ordering, and a strong type here adds friction without catching
+/// real bugs (all times flow through the event queue).
+using Time = double;
+
+inline constexpr Time kTimeZero = 0.0;
+
+}  // namespace papc::sim

@@ -1,0 +1,77 @@
+#include "support/args.hpp"
+
+#include <cstdlib>
+
+namespace papc {
+
+Args::Args(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+        std::string token = argv[i];
+        if (token.rfind("--", 0) != 0 || token.size() <= 2) {
+            error_ = "unexpected argument: " + token;
+            return;
+        }
+        token = token.substr(2);
+        const std::size_t eq = token.find('=');
+        if (eq != std::string::npos) {
+            values_[token.substr(0, eq)] = token.substr(eq + 1);
+            continue;
+        }
+        // `--key value` when the next token is not an option; else a flag.
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            values_[token] = argv[i + 1];
+            ++i;
+        } else {
+            values_[token] = "";
+        }
+    }
+}
+
+bool Args::has(const std::string& key) const {
+    queried_[key] = true;
+    return values_.count(key) > 0;
+}
+
+std::string Args::get(const std::string& key, const std::string& fallback) const {
+    queried_[key] = true;
+    const auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty()) return fallback;
+    return it->second;
+}
+
+std::int64_t Args::get_int(const std::string& key, std::int64_t fallback) const {
+    const std::string v = get(key, "");
+    if (v.empty()) return fallback;
+    return std::strtoll(v.c_str(), nullptr, 10);
+}
+
+std::uint64_t Args::get_uint(const std::string& key, std::uint64_t fallback) const {
+    const std::string v = get(key, "");
+    if (v.empty()) return fallback;
+    return std::strtoull(v.c_str(), nullptr, 10);
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+    const std::string v = get(key, "");
+    if (v.empty()) return fallback;
+    return std::strtod(v.c_str(), nullptr);
+}
+
+bool Args::get_flag(const std::string& key) const {
+    queried_[key] = true;
+    const auto it = values_.find(key);
+    if (it == values_.end()) return false;
+    return it->second.empty() || it->second == "1" || it->second == "true" ||
+           it->second == "yes";
+}
+
+std::vector<std::string> Args::unused() const {
+    std::vector<std::string> out;
+    for (const auto& [key, value] : values_) {
+        (void)value;
+        if (queried_.find(key) == queried_.end()) out.push_back(key);
+    }
+    return out;
+}
+
+}  // namespace papc

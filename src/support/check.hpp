@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file check.hpp
+/// Lightweight runtime checks used across the library.
+///
+/// PAPC_CHECK is always on (also in Release builds): simulation correctness
+/// depends on internal invariants, and the cost of the checks is negligible
+/// compared to the random sampling work per event.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace papc {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+    std::fprintf(stderr, "PAPC_CHECK failed: %s at %s:%d\n", expr, file, line);
+    std::abort();
+}
+
+}  // namespace papc
+
+#define PAPC_CHECK(expr)                                      \
+    do {                                                      \
+        if (!(expr)) {                                        \
+            ::papc::check_failed(#expr, __FILE__, __LINE__);  \
+        }                                                     \
+    } while (false)

@@ -1,0 +1,54 @@
+#include "support/csv.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace papc {
+
+std::string csv_escape(const std::string& cell) {
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes) return cell;
+    std::string out = "\"";
+    for (const char ch : cell) {
+        if (ch == '"') out += "\"\"";
+        else out += ch;
+    }
+    out += "\"";
+    return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+    PAPC_CHECK(columns_ > 0);
+    if (out_) write_cells(header);
+}
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+    PAPC_CHECK(cells.size() == columns_);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0) out_ << ',';
+        out_ << csv_escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+    if (out_) write_cells(cells);
+}
+
+void CsvWriter::write_row(const std::vector<double>& values, int precision) {
+    if (!out_) return;
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (const double v : values) {
+        std::ostringstream s;
+        s << std::setprecision(precision) << v;
+        cells.push_back(s.str());
+    }
+    write_cells(cells);
+}
+
+}  // namespace papc

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file csv.hpp
+/// Minimal CSV writer so benchmark binaries can optionally dump raw data for
+/// external plotting.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace papc {
+
+/// Streams rows to a CSV file. Quotes cells containing separators/quotes.
+class CsvWriter {
+public:
+    /// Opens (truncates) `path` and writes the header row.
+    CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+    /// True when the file opened successfully.
+    [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+    void write_row(const std::vector<std::string>& cells);
+
+    /// Convenience for all-numeric rows.
+    void write_row(const std::vector<double>& values, int precision = 6);
+
+private:
+    void write_cells(const std::vector<std::string>& cells);
+
+    std::ofstream out_;
+    std::size_t columns_;
+};
+
+/// Escapes a single CSV cell (adds quotes when needed).
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+}  // namespace papc

@@ -1,0 +1,72 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace papc {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), bucket_width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+    PAPC_CHECK(hi > lo);
+    PAPC_CHECK(buckets > 0);
+}
+
+void Histogram::add(double x) {
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    auto idx = static_cast<std::size_t>((x - lo_) / bucket_width_);
+    idx = std::min(idx, counts_.size() - 1);
+    ++counts_[idx];
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+    return lo_ + bucket_width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const {
+    return lo_ + bucket_width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::quantile(double q) const {
+    PAPC_CHECK(q >= 0.0 && q <= 1.0);
+    PAPC_CHECK(total_ > 0);
+    const double target = q * static_cast<double>(total_);
+    double cumulative = static_cast<double>(underflow_);
+    if (cumulative >= target) return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double next = cumulative + static_cast<double>(counts_[i]);
+        if (next >= target && counts_[i] > 0) {
+            const double frac = (target - cumulative) / static_cast<double>(counts_[i]);
+            return bucket_lo(i) + frac * bucket_width_;
+        }
+        cumulative = next;
+    }
+    return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+    std::uint64_t peak = 1;
+    for (const auto c : counts_) peak = std::max(peak, c);
+    std::ostringstream out;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const auto bar = static_cast<std::size_t>(
+            static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+            static_cast<double>(width));
+        out << "[" << bucket_lo(i) << ", " << bucket_hi(i) << ") ";
+        out << std::string(bar, '#') << " " << counts_[i] << "\n";
+    }
+    return out.str();
+}
+
+}  // namespace papc

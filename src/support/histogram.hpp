@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Fixed-width and exponential-bucket histograms for latency / time data.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace papc {
+
+/// Fixed-width histogram over [lo, hi) with overflow/underflow buckets.
+class Histogram {
+public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void add(double x);
+
+    [[nodiscard]] double lo() const { return lo_; }
+    [[nodiscard]] double hi() const { return hi_; }
+    [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+    [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+    [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+    [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+    [[nodiscard]] std::uint64_t total() const { return total_; }
+
+    /// Lower edge of bucket i.
+    [[nodiscard]] double bucket_lo(std::size_t i) const;
+    /// Upper edge of bucket i.
+    [[nodiscard]] double bucket_hi(std::size_t i) const;
+
+    /// Approximate quantile by linear interpolation inside the bucket.
+    [[nodiscard]] double quantile(double q) const;
+
+    /// Renders a simple ASCII bar chart (for example programs).
+    [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+private:
+    double lo_;
+    double hi_;
+    double bucket_width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+}  // namespace papc

@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file random.hpp
+/// Deterministic random-number generation for the whole library.
+///
+/// All stochastic behaviour in papc flows from a single 64-bit seed through
+/// splitmix64 (for state expansion / stream derivation) into xoshiro256**.
+/// Samplers are implemented by hand rather than with `std::` distributions so
+/// that a given seed produces identical runs on every platform and standard
+/// library — reproducibility of experiments is a core requirement.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace papc {
+
+/// splitmix64 step; used to expand seeds and derive independent streams.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** 1.0 by Blackman & Vigna — fast, high-quality, 256-bit state.
+class Rng {
+public:
+    /// Seeds the four state words via splitmix64 from a single seed.
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /// Derives an independent generator (distinct stream) from this one.
+    /// Implemented as a long jump over the seed sequence: the child is
+    /// seeded from fresh splitmix64 output, so parent and child sequences
+    /// do not overlap in practice.
+    [[nodiscard]] Rng split();
+
+    /// Uniform 64-bit value.
+    std::uint64_t next_u64();
+
+    /// Uniform double in [0, 1) with 53 bits of precision.
+    double uniform();
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi);
+
+    /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's unbiased
+    /// multiply-shift rejection method.
+    std::uint64_t uniform_index(std::uint64_t n);
+
+    /// Bernoulli trial with success probability p.
+    bool bernoulli(double p);
+
+    /// Exponential with given rate (mean 1/rate). Requires rate > 0.
+    double exponential(double rate);
+
+    /// Standard normal via Box–Muller (deterministic, no cached spare).
+    double normal();
+
+    /// Normal with given mean and standard deviation.
+    double normal(double mean, double stddev);
+
+    /// Gamma(shape, scale) via Marsaglia–Tsang; shape > 0, scale > 0.
+    double gamma(double shape, double scale);
+
+    /// Weibull(shape, scale) via inversion.
+    double weibull(double shape, double scale);
+
+    /// Log-normal: exp(Normal(mu, sigma)).
+    double lognormal(double mu, double sigma);
+
+    /// Poisson(mean) — Knuth multiplication for small means, PTRS-style
+    /// normal-approximation rejection fallback for large means.
+    std::uint64_t poisson(double mean);
+
+    /// Binomial(n, p) — exact by inversion for small n·p, normal
+    /// approximation with continuity correction clamped to [0, n] otherwise.
+    std::uint64_t binomial(std::uint64_t n, double p);
+
+    /// Samples an index in [0, weights.size()) proportionally to weights.
+    /// Linear scan; intended for small weight vectors (k opinions).
+    std::size_t discrete(const std::vector<double>& weights);
+
+    /// Fisher–Yates shuffle of an index range stored in `v`.
+    template <typename T>
+    void shuffle(std::vector<T>& v) {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            const std::size_t j = static_cast<std::size_t>(uniform_index(i));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+/// Derives a per-repetition seed from a base seed and a repetition index.
+/// Stable across versions: hash-mixes the pair through splitmix64.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index);
+
+}  // namespace papc

@@ -1,0 +1,79 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace papc {
+
+std::string format_double(double value, int precision) {
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision) << value;
+    return out.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    PAPC_CHECK(!headers_.empty());
+}
+
+Table& Table::row() {
+    if (!rows_.empty()) {
+        PAPC_CHECK(rows_.back().size() == headers_.size());
+    }
+    rows_.emplace_back();
+    return *this;
+}
+
+Table& Table::add(std::string cell) {
+    PAPC_CHECK(!rows_.empty());
+    PAPC_CHECK(rows_.back().size() < headers_.size());
+    rows_.back().push_back(std::move(cell));
+    return *this;
+}
+
+Table& Table::add(const char* cell) { return add(std::string(cell)); }
+
+Table& Table::add(double value, int precision) {
+    return add(format_double(value, precision));
+}
+
+Table& Table::add(std::uint64_t value) { return add(std::to_string(value)); }
+Table& Table::add(std::int64_t value) { return add(std::to_string(value)); }
+Table& Table::add(int value) { return add(std::to_string(value)); }
+Table& Table::add(unsigned value) { return add(std::to_string(value)); }
+
+std::string Table::render() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& r : rows_) {
+        PAPC_CHECK(r.size() == headers_.size());
+        for (std::size_t c = 0; c < r.size(); ++c) {
+            widths[c] = std::max(widths[c], r[c].size());
+        }
+    }
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            out << (c == 0 ? "| " : " | ");
+            out << std::setw(static_cast<int>(widths[c])) << cells[c];
+        }
+        out << " |\n";
+    };
+    emit_row(headers_);
+    out << "|";
+    for (const std::size_t w : widths) {
+        out << std::string(w + 2, '-') << "|";
+    }
+    out << "\n";
+    for (const auto& r : rows_) emit_row(r);
+    return out.str();
+}
+
+void Table::print(std::ostream& out) const { out << render(); }
+
+}  // namespace papc

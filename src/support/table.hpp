@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file table.hpp
+/// Aligned console tables used by the benchmark harness to print paper-style
+/// result rows.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace papc {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// a fixed precision. Rendered with a header rule and right-aligned numbers.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Starts a new row; subsequent add_* calls fill it left to right.
+    Table& row();
+
+    Table& add(std::string cell);
+    Table& add(const char* cell);
+    Table& add(double value, int precision = 3);
+    Table& add(std::uint64_t value);
+    Table& add(std::int64_t value);
+    Table& add(int value);
+    Table& add(unsigned value);
+
+    [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+    [[nodiscard]] std::size_t column_count() const { return headers_.size(); }
+
+    /// Renders the table; every row must be fully populated.
+    [[nodiscard]] std::string render() const;
+
+    /// Renders directly to a stream.
+    void print(std::ostream& out) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision into a string.
+[[nodiscard]] std::string format_double(double value, int precision = 3);
+
+}  // namespace papc

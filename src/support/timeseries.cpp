@@ -1,0 +1,46 @@
+#include "support/timeseries.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace papc {
+
+void TimeSeries::record(double time, double value) {
+    PAPC_CHECK(points_.empty() || time >= points_.back().time);
+    points_.push_back({time, value});
+}
+
+double TimeSeries::value_at(double time) const {
+    PAPC_CHECK(!points_.empty());
+    auto it = std::upper_bound(
+        points_.begin(), points_.end(), time,
+        [](double t, const TimePoint& p) { return t < p.time; });
+    if (it == points_.begin()) return points_.front().value;
+    return std::prev(it)->value;
+}
+
+double TimeSeries::first_time_reaching(double threshold) const {
+    for (const auto& p : points_) {
+        if (p.value >= threshold) return p.time;
+    }
+    return -1.0;
+}
+
+TimeSeries TimeSeries::downsample(std::size_t max_points) const {
+    PAPC_CHECK(max_points >= 2);
+    TimeSeries out(name_);
+    if (points_.size() <= max_points) {
+        out.points_ = points_;
+        return out;
+    }
+    const double stride = static_cast<double>(points_.size() - 1) /
+                          static_cast<double>(max_points - 1);
+    for (std::size_t i = 0; i < max_points; ++i) {
+        const auto idx = static_cast<std::size_t>(stride * static_cast<double>(i));
+        out.points_.push_back(points_[std::min(idx, points_.size() - 1)]);
+    }
+    return out;
+}
+
+}  // namespace papc

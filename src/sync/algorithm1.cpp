@@ -1,0 +1,79 @@
+#include "sync/algorithm1.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace papc::sync {
+
+Algorithm1::Algorithm1(const Assignment& assignment, Schedule schedule)
+    : k_(assignment.num_opinions),
+      schedule_(std::move(schedule)),
+      colors_(assignment.opinions),
+      generations_(assignment.size(), 0),
+      next_colors_(assignment.size()),
+      next_generations_(assignment.size()),
+      census_(assignment.size(), assignment.num_opinions) {
+    PAPC_CHECK(assignment.size() >= 2);
+    census_.reset(colors_);
+    record_new_births();
+}
+
+void Algorithm1::step(Rng& rng) {
+    const auto n = static_cast<std::uint64_t>(colors_.size());
+    ++round_;
+    const bool two_choices = schedule_.is_two_choices_step(round_);
+
+    for (NodeId v = 0; v < n; ++v) {
+        auto a = static_cast<NodeId>(rng.uniform_index(n));
+        auto b = static_cast<NodeId>(rng.uniform_index(n));
+        // wlog gen(a) >= gen(b)  (Algorithm 1 line 2)
+        if (generations_[a] < generations_[b]) std::swap(a, b);
+
+        Opinion new_color = colors_[v];
+        Generation new_generation = generations_[v];
+
+        if (two_choices && generations_[v] <= generations_[a] &&
+            generations_[a] == generations_[b] && colors_[a] == colors_[b]) {
+            // Two-choices step (line 3-5): promote past the samples.
+            new_generation = generations_[a] + 1;
+            new_color = colors_[a];
+        } else if (generations_[a] > generations_[v]) {
+            // Propagation step (line 6-8): pull from the higher generation.
+            new_generation = generations_[a];
+            new_color = colors_[a];
+        }
+        next_colors_[v] = new_color;
+        next_generations_[v] = new_generation;
+    }
+
+    colors_.swap(next_colors_);
+    generations_.swap(next_generations_);
+    census_.rebuild(generations_, colors_);
+    record_new_births();
+}
+
+std::uint64_t Algorithm1::opinion_count(Opinion j) const {
+    std::uint64_t total = 0;
+    for (Generation g = 0; g <= census_.highest_populated(); ++g) {
+        total += census_.count(g, j);
+    }
+    return total;
+}
+
+void Algorithm1::record_new_births() {
+    const Generation highest = census_.highest_populated();
+    while (births_.size() <= highest) {
+        const auto g = static_cast<Generation>(births_.size());
+        const BiasStats stats = census_.stats(g);
+        GenerationBirth birth;
+        birth.generation = g;
+        birth.round = round_;
+        birth.size = stats.total;
+        birth.alpha = stats.alpha;
+        birth.collision_probability = stats.collision_probability;
+        births_.push_back(birth);
+    }
+}
+
+}  // namespace papc::sync

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file algorithm1.hpp
+/// The paper's synchronous protocol (Algorithm 1, §2).
+///
+/// Every node keeps a color and a *generation* (initially 0). Each round
+/// every node samples two nodes u.a.r. (with the higher-generation sample
+/// called v'):
+///   - at scheduled steps t ∈ {t_i} (two-choices step): if both samples are
+///     in the same generation g >= gen(v) and agree on a color, v adopts the
+///     color and promotes itself to generation g + 1;
+///   - otherwise (propagation step): if gen(v') > gen(v), v adopts v''s
+///     color and generation.
+/// Generations act as a distributed clock: the bias of the dominant color
+/// squares with each new generation (Lemma 4), so G* = O(log log_α n)
+/// generations suffice.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "opinion/assignment.hpp"
+#include "opinion/census.hpp"
+#include "opinion/types.hpp"
+#include "sync/engine.hpp"
+#include "sync/schedule.hpp"
+
+namespace papc::sync {
+
+/// Trace entry recorded when a generation first becomes non-empty.
+struct GenerationBirth {
+    Generation generation = 0;
+    std::uint64_t round = 0;         ///< round at whose end it was first seen
+    std::uint64_t size = 0;          ///< nodes in it at that round
+    double alpha = 0.0;              ///< bias inside the new generation
+    double collision_probability = 0.0;
+};
+
+/// Algorithm 1 as a synchronous dynamics.
+class Algorithm1 final : public SyncDynamics {
+public:
+    Algorithm1(const Assignment& assignment, Schedule schedule);
+
+    void step(Rng& rng) override;
+
+    [[nodiscard]] std::size_t population() const override { return colors_.size(); }
+    [[nodiscard]] std::uint32_t num_opinions() const override { return k_; }
+    [[nodiscard]] std::uint64_t opinion_count(Opinion j) const override;
+    [[nodiscard]] std::uint64_t rounds() const override { return round_; }
+    [[nodiscard]] std::string name() const override { return "algorithm1"; }
+
+    [[nodiscard]] const Schedule& schedule() const { return schedule_; }
+    [[nodiscard]] const GenerationCensus& census() const { return census_; }
+    [[nodiscard]] const std::vector<GenerationBirth>& births() const {
+        return births_;
+    }
+
+    /// Per-node accessors (tests).
+    [[nodiscard]] Opinion color(NodeId v) const { return colors_[v]; }
+    [[nodiscard]] Generation generation(NodeId v) const { return generations_[v]; }
+
+private:
+    void record_new_births();
+
+    std::uint32_t k_;
+    Schedule schedule_;
+    std::vector<Opinion> colors_;
+    std::vector<Generation> generations_;
+    std::vector<Opinion> next_colors_;
+    std::vector<Generation> next_generations_;
+    GenerationCensus census_;
+    std::vector<GenerationBirth> births_;
+    std::uint64_t round_ = 0;
+};
+
+}  // namespace papc::sync

@@ -1,0 +1,92 @@
+#include "sync/baselines.hpp"
+
+#include "support/check.hpp"
+
+namespace papc::sync {
+
+ColorVectorDynamics::ColorVectorDynamics(const Assignment& assignment,
+                                         bool allow_undecided)
+    : colors_(assignment.opinions),
+      next_colors_(assignment.size()),
+      census_(assignment.size(), assignment.num_opinions) {
+    PAPC_CHECK(assignment.size() >= 2);
+    if (!allow_undecided) {
+        for (const Opinion c : colors_) PAPC_CHECK(c != kUndecided);
+    }
+    census_.reset(colors_);
+}
+
+void ColorVectorDynamics::commit_round() {
+    colors_.swap(next_colors_);
+    census_.reset(colors_);
+    ++round_;
+}
+
+PullVoting::PullVoting(const Assignment& assignment)
+    : ColorVectorDynamics(assignment, /*allow_undecided=*/false) {}
+
+void PullVoting::step(Rng& rng) {
+    const auto n = static_cast<std::uint64_t>(colors_.size());
+    for (NodeId v = 0; v < n; ++v) {
+        next_colors_[v] = colors_[rng.uniform_index(n)];
+    }
+    commit_round();
+}
+
+TwoChoices::TwoChoices(const Assignment& assignment)
+    : ColorVectorDynamics(assignment, /*allow_undecided=*/false) {}
+
+void TwoChoices::step(Rng& rng) {
+    const auto n = static_cast<std::uint64_t>(colors_.size());
+    for (NodeId v = 0; v < n; ++v) {
+        const Opinion a = colors_[rng.uniform_index(n)];
+        const Opinion b = colors_[rng.uniform_index(n)];
+        next_colors_[v] = (a == b) ? a : colors_[v];
+    }
+    commit_round();
+}
+
+ThreeMajority::ThreeMajority(const Assignment& assignment)
+    : ColorVectorDynamics(assignment, /*allow_undecided=*/false) {}
+
+void ThreeMajority::step(Rng& rng) {
+    const auto n = static_cast<std::uint64_t>(colors_.size());
+    for (NodeId v = 0; v < n; ++v) {
+        const Opinion a = colors_[rng.uniform_index(n)];
+        const Opinion b = colors_[rng.uniform_index(n)];
+        const Opinion c = colors_[rng.uniform_index(n)];
+        Opinion adopted;
+        if (a == b || a == c) {
+            adopted = a;
+        } else if (b == c) {
+            adopted = b;
+        } else {
+            // All three differ: adopt one of the samples u.a.r. [BCN+14].
+            const std::uint64_t pick = rng.uniform_index(3);
+            adopted = pick == 0 ? a : (pick == 1 ? b : c);
+        }
+        next_colors_[v] = adopted;
+    }
+    commit_round();
+}
+
+UndecidedState::UndecidedState(const Assignment& assignment)
+    : ColorVectorDynamics(assignment, /*allow_undecided=*/true) {}
+
+void UndecidedState::step(Rng& rng) {
+    const auto n = static_cast<std::uint64_t>(colors_.size());
+    for (NodeId v = 0; v < n; ++v) {
+        const Opinion mine = colors_[v];
+        const Opinion seen = colors_[rng.uniform_index(n)];
+        Opinion next = mine;
+        if (mine == kUndecided) {
+            next = seen;  // may remain undecided
+        } else if (seen != kUndecided && seen != mine) {
+            next = kUndecided;
+        }
+        next_colors_[v] = next;
+    }
+    commit_round();
+}
+
+}  // namespace papc::sync

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file baselines.hpp
+/// Synchronous baseline dynamics the paper positions itself against (§1.1):
+///   - pull voting           [HP01, NIY99]: adopt one random sample.
+///   - two-choices voting    [CER14]: adopt iff two samples agree.
+///   - 3-majority            [BCN+14]: adopt the majority of three samples,
+///                           ties broken by adopting a random sample.
+///   - undecided-state       [AAE08, BCN+15]: one sample; conflicting colors
+///                           make a node undecided, undecided nodes adopt.
+/// All run in the same synchronous double-buffered round model as
+/// Algorithm 1 and satisfy the SyncDynamics interface.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "opinion/assignment.hpp"
+#include "opinion/census.hpp"
+#include "opinion/types.hpp"
+#include "sync/engine.hpp"
+
+namespace papc::sync {
+
+/// Shared state/bookkeeping for color-vector dynamics.
+class ColorVectorDynamics : public SyncDynamics {
+public:
+    ColorVectorDynamics(const Assignment& assignment, bool allow_undecided);
+
+    [[nodiscard]] std::size_t population() const override { return colors_.size(); }
+    [[nodiscard]] std::uint32_t num_opinions() const override {
+        return census_.num_opinions();
+    }
+    [[nodiscard]] std::uint64_t opinion_count(Opinion j) const override {
+        return census_.count(j);
+    }
+    [[nodiscard]] std::uint64_t undecided_count() const override {
+        return census_.undecided_count();
+    }
+    [[nodiscard]] std::uint64_t rounds() const override { return round_; }
+
+    [[nodiscard]] Opinion color(NodeId v) const { return colors_[v]; }
+
+protected:
+    /// Applies the buffered next_colors_ and refreshes the census.
+    void commit_round();
+
+    std::vector<Opinion> colors_;
+    std::vector<Opinion> next_colors_;
+    OpinionCensus census_;
+    std::uint64_t round_ = 0;
+};
+
+/// Pull voting: adopt the opinion of one uniformly random node.
+class PullVoting final : public ColorVectorDynamics {
+public:
+    explicit PullVoting(const Assignment& assignment);
+    void step(Rng& rng) override;
+    [[nodiscard]] std::string name() const override { return "pull-voting"; }
+};
+
+/// Two-choices: sample two nodes, adopt their opinion iff they agree.
+class TwoChoices final : public ColorVectorDynamics {
+public:
+    explicit TwoChoices(const Assignment& assignment);
+    void step(Rng& rng) override;
+    [[nodiscard]] std::string name() const override { return "two-choices"; }
+};
+
+/// 3-majority: sample three nodes; adopt the majority color, or a uniformly
+/// random sampled color when all three differ.
+class ThreeMajority final : public ColorVectorDynamics {
+public:
+    explicit ThreeMajority(const Assignment& assignment);
+    void step(Rng& rng) override;
+    [[nodiscard]] std::string name() const override { return "3-majority"; }
+};
+
+/// Undecided-state dynamics for k opinions (gossip/pull variant):
+/// a decided node seeing a different decided color becomes undecided; an
+/// undecided node adopts the sampled color (stays undecided when sampling
+/// an undecided node).
+class UndecidedState final : public ColorVectorDynamics {
+public:
+    explicit UndecidedState(const Assignment& assignment);
+    void step(Rng& rng) override;
+    [[nodiscard]] std::string name() const override { return "undecided-state"; }
+};
+
+}  // namespace papc::sync

@@ -1,0 +1,65 @@
+#include "sync/engine.hpp"
+
+#include "support/check.hpp"
+
+namespace papc::sync {
+
+bool SyncDynamics::converged() const {
+    const auto n = static_cast<std::uint64_t>(population());
+    for (Opinion j = 0; j < num_opinions(); ++j) {
+        if (opinion_count(j) == n) return true;
+    }
+    return false;
+}
+
+Opinion SyncDynamics::dominant_opinion() const {
+    Opinion best = 0;
+    std::uint64_t best_count = opinion_count(0);
+    for (Opinion j = 1; j < num_opinions(); ++j) {
+        const std::uint64_t c = opinion_count(j);
+        if (c > best_count) {
+            best_count = c;
+            best = j;
+        }
+    }
+    return best;
+}
+
+double SyncDynamics::opinion_fraction(Opinion j) const {
+    return static_cast<double>(opinion_count(j)) /
+           static_cast<double>(population());
+}
+
+SyncResult run_to_consensus(SyncDynamics& dynamics, Rng& rng,
+                            const RunOptions& options) {
+    PAPC_CHECK(options.max_rounds > 0);
+    SyncResult result;
+    result.dominant_fraction = TimeSeries(dynamics.name());
+
+    const double epsilon_target = 1.0 - options.epsilon;
+    auto observe = [&](std::uint64_t round) {
+        const double frac = dynamics.opinion_fraction(options.plurality);
+        if (result.epsilon_time < 0.0 && frac >= epsilon_target) {
+            result.epsilon_time = static_cast<double>(round);
+        }
+        if (options.record_every > 0 &&
+            (round % options.record_every == 0 || dynamics.converged())) {
+            result.dominant_fraction.record(static_cast<double>(round), frac);
+        }
+    };
+
+    observe(0);
+    std::uint64_t round = 0;
+    while (round < options.max_rounds && !dynamics.converged()) {
+        dynamics.step(rng);
+        ++round;
+        observe(round);
+    }
+
+    result.rounds = dynamics.rounds();
+    result.converged = dynamics.converged();
+    result.winner = dynamics.dominant_opinion();
+    return result;
+}
+
+}  // namespace papc::sync

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file engine.hpp
+/// Round-based driver for synchronous opinion dynamics. A SyncDynamics
+/// implementation advances the whole population one synchronous round per
+/// step() (all nodes sample the *previous* round's state — double buffered).
+
+#include <cstdint>
+#include <string>
+
+#include "opinion/types.hpp"
+#include "support/random.hpp"
+#include "support/timeseries.hpp"
+
+namespace papc::sync {
+
+/// Interface of a synchronous opinion dynamics.
+class SyncDynamics {
+public:
+    virtual ~SyncDynamics() = default;
+
+    /// Advances one synchronous round.
+    virtual void step(Rng& rng) = 0;
+
+    [[nodiscard]] virtual std::size_t population() const = 0;
+    [[nodiscard]] virtual std::uint32_t num_opinions() const = 0;
+
+    /// Number of nodes currently holding opinion j (excluding undecided).
+    [[nodiscard]] virtual std::uint64_t opinion_count(Opinion j) const = 0;
+
+    /// Undecided nodes (0 for dynamics without an undecided state).
+    [[nodiscard]] virtual std::uint64_t undecided_count() const { return 0; }
+
+    /// Rounds executed so far.
+    [[nodiscard]] virtual std::uint64_t rounds() const = 0;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// True when one opinion is held by the entire population.
+    [[nodiscard]] bool converged() const;
+
+    /// The current most common opinion.
+    [[nodiscard]] Opinion dominant_opinion() const;
+
+    /// Fraction of the population holding `j`.
+    [[nodiscard]] double opinion_fraction(Opinion j) const;
+};
+
+/// Outcome of driving a dynamics to consensus.
+struct SyncResult {
+    bool converged = false;          ///< all nodes agree
+    Opinion winner = 0;              ///< final (or current-dominant) opinion
+    std::uint64_t rounds = 0;        ///< rounds executed
+    double epsilon_time = -1.0;      ///< first round with (1-ε) plurality support
+    TimeSeries dominant_fraction;    ///< recorded when record_every > 0
+};
+
+struct RunOptions {
+    std::uint64_t max_rounds = 100000;
+    /// Record the dominant-opinion fraction every this many rounds
+    /// (0 = do not record).
+    std::uint64_t record_every = 0;
+    /// Opinion expected to win; epsilon_time tracks when its support first
+    /// reaches (1 - epsilon).
+    Opinion plurality = 0;
+    double epsilon = 0.02;
+};
+
+/// Runs `dynamics` until convergence or the round limit.
+[[nodiscard]] SyncResult run_to_consensus(SyncDynamics& dynamics, Rng& rng,
+                                          const RunOptions& options = {});
+
+}  // namespace papc::sync

@@ -1,0 +1,81 @@
+#include "sync/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/theory.hpp"
+#include "support/check.hpp"
+#include "support/math.hpp"
+
+namespace papc::sync {
+
+double life_cycle_exact(double alpha, std::uint32_t k, double gamma, unsigned i) {
+    PAPC_CHECK(alpha > 1.0);
+    PAPC_CHECK(gamma > 0.0 && gamma < 1.0);
+    // ln(α^(2^(i-1)) + k - 1): for i == 0 the exponent 2^(-1) = 1/2.
+    const double log_prev =
+        (i == 0)
+            ? log_add_exp(0.5 * std::log(alpha),
+                          k >= 2 ? std::log(static_cast<double>(k - 1))
+                                 : -std::numeric_limits<double>::infinity())
+            : analysis::log_alpha_pow_plus(alpha, k, i - 1);
+    const double log_cur = analysis::log_alpha_pow_plus(alpha, k, i);
+    const double numerator = 2.0 * log_prev - log_cur - std::log(gamma);
+    return numerator / std::log(2.0 - gamma) + 2.0;
+}
+
+Schedule::Schedule(const ScheduleParams& params) : params_(params) {
+    PAPC_CHECK(params_.n >= 2);
+    PAPC_CHECK(params_.k >= 1);
+    PAPC_CHECK(params_.alpha > 1.0);
+    PAPC_CHECK(params_.gamma > 0.0 && params_.gamma < 1.0);
+
+    const unsigned g_star = analysis::total_generations(
+        params_.alpha, params_.k, params_.n, params_.slack);
+
+    life_cycles_.reserve(g_star);
+    birth_steps_.reserve(g_star);
+    std::uint64_t cumulative = 0;
+    for (unsigned i = 0; i < g_star; ++i) {
+        const double exact = life_cycle_exact(params_.alpha, params_.k,
+                                              params_.gamma, i);
+        const auto rounded = static_cast<std::uint64_t>(
+            std::max(1.0, std::ceil(exact)));
+        life_cycles_.push_back(rounded);
+        cumulative += rounded;
+        birth_steps_.push_back(cumulative + 1);  // t_{i+1} = Σ X_j + 1
+    }
+
+    // Lemma 12 tail: log(γ)/log(3/2) + log2 log2 n, generously rounded.
+    const double nd = static_cast<double>(params_.n);
+    const double tail = std::ceil(std::log(1.0 / params_.gamma) / std::log(1.5)) +
+                        std::ceil(std::log2(std::max(2.0, std::log2(nd)))) + 4.0;
+    horizon_ = last_two_choices_step() + static_cast<std::uint64_t>(tail);
+}
+
+std::uint64_t Schedule::life_cycle(unsigned i) const {
+    PAPC_CHECK(i < life_cycles_.size());
+    return life_cycles_[i];
+}
+
+std::uint64_t Schedule::birth_step(unsigned i) const {
+    PAPC_CHECK(i >= 1);
+    PAPC_CHECK(i <= birth_steps_.size());
+    return birth_steps_[i - 1];
+}
+
+unsigned Schedule::total_generations() const {
+    return static_cast<unsigned>(birth_steps_.size());
+}
+
+bool Schedule::is_two_choices_step(std::uint64_t t) const {
+    return std::binary_search(birth_steps_.begin(), birth_steps_.end(), t);
+}
+
+std::uint64_t Schedule::last_two_choices_step() const {
+    return birth_steps_.empty() ? 0 : birth_steps_.back();
+}
+
+std::uint64_t Schedule::horizon() const { return horizon_; }
+
+}  // namespace papc::sync

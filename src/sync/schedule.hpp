@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file schedule.hpp
+/// The synchronous protocol's generation schedule (§2.2):
+///
+///   X_i = (2·ln(α^(2^(i-1)) + k - 1) - ln(α^(2^i) + k - 1) - ln γ)
+///           / ln(2 - γ)  + 2
+///
+/// is the life-cycle length of generation i (steps until it covers a
+/// γ-fraction of nodes whp.), and t_i = Σ_{j<i} X_j + 1 is the birth step of
+/// generation i. All α^(2^i) terms are evaluated in log space. The schedule
+/// caps the number of two-choices steps at G* (the total generation budget).
+
+#include <cstdint>
+#include <vector>
+
+namespace papc::sync {
+
+struct ScheduleParams {
+    std::size_t n = 0;        ///< number of nodes
+    std::uint32_t k = 2;      ///< number of opinions
+    double alpha = 1.5;       ///< assumed initial bias (lower bound suffices)
+    double gamma = 0.5;       ///< generation-density threshold γ ∈ (0, 1)
+    unsigned slack = 2;       ///< extra generations beyond the closed form
+};
+
+/// Precomputed deterministic schedule of two-choices steps.
+class Schedule {
+public:
+    explicit Schedule(const ScheduleParams& params);
+
+    /// X_i, in whole time steps (ceil of the closed form, at least 1).
+    [[nodiscard]] std::uint64_t life_cycle(unsigned i) const;
+
+    /// t_i: birth step of generation i (i >= 1); t_1 = X_0 + 1.
+    [[nodiscard]] std::uint64_t birth_step(unsigned i) const;
+
+    /// Total number of generations scheduled (G*).
+    [[nodiscard]] unsigned total_generations() const;
+
+    /// True when round `t` (1-based) is a scheduled two-choices step.
+    [[nodiscard]] bool is_two_choices_step(std::uint64_t t) const;
+
+    /// The step after which no further two-choices steps occur.
+    [[nodiscard]] std::uint64_t last_two_choices_step() const;
+
+    /// Upper bound on the total schedule horizon: last two-choices step
+    /// plus the Lemma 12 tail O(log γ / log 3/2 + log log n).
+    [[nodiscard]] std::uint64_t horizon() const;
+
+    [[nodiscard]] const ScheduleParams& params() const { return params_; }
+
+private:
+    ScheduleParams params_;
+    std::vector<std::uint64_t> life_cycles_;  ///< X_0 .. X_{G*-1}
+    std::vector<std::uint64_t> birth_steps_;  ///< t_1 .. t_{G*}
+    std::uint64_t horizon_ = 0;
+};
+
+/// Raw (unrounded) X_i value; exposed for tests of the closed form.
+[[nodiscard]] double life_cycle_exact(double alpha, std::uint32_t k,
+                                      double gamma, unsigned i);
+
+}  // namespace papc::sync

@@ -1,0 +1,96 @@
+#include "analysis/gamma.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace papc::analysis {
+namespace {
+
+TEST(RegularizedGammaP, BoundaryValues) {
+    EXPECT_DOUBLE_EQ(regularized_gamma_p(1.0, 0.0), 0.0);
+    EXPECT_NEAR(regularized_gamma_p(1.0, 1e6), 1.0, 1e-12);
+}
+
+TEST(RegularizedGammaP, ShapeOneIsExponentialCdf) {
+    // P(1, x) = 1 - e^-x.
+    for (const double x : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+        EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-10) << x;
+    }
+}
+
+TEST(RegularizedGammaP, IntegerShapeMatchesErlangSum) {
+    // For integer a: P(a, x) = 1 - e^-x Σ_{i<a} x^i / i!.
+    const double x = 3.0;
+    const int a = 4;
+    double sum = 0.0;
+    double term = 1.0;
+    for (int i = 0; i < a; ++i) {
+        sum += term;
+        term *= x / (i + 1);
+    }
+    EXPECT_NEAR(regularized_gamma_p(a, x), 1.0 - std::exp(-x) * sum, 1e-10);
+}
+
+TEST(RegularizedGammaP, HalfShapeMatchesErf) {
+    // P(1/2, x) = erf(√x).
+    for (const double x : {0.25, 1.0, 4.0}) {
+        EXPECT_NEAR(regularized_gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-10);
+    }
+}
+
+TEST(RegularizedGammaP, MonotoneInX) {
+    double prev = 0.0;
+    for (double x = 0.0; x <= 20.0; x += 0.25) {
+        const double p = regularized_gamma_p(3.5, x);
+        EXPECT_GE(p, prev);
+        prev = p;
+    }
+}
+
+TEST(GammaCdf, MedianOfShape1) {
+    // Exp(rate 2): median = ln(2)/2.
+    EXPECT_NEAR(gamma_cdf(1.0, 0.5, std::log(2.0) / 2.0), 0.5, 1e-10);
+}
+
+TEST(GammaCdf, NegativeTimeIsZero) {
+    EXPECT_DOUBLE_EQ(gamma_cdf(2.0, 1.0, -1.0), 0.0);
+}
+
+TEST(ErlangCdf, MatchesGammaCdf) {
+    EXPECT_NEAR(erlang_cdf(3, 2.0, 1.5), gamma_cdf(3.0, 0.5, 1.5), 1e-12);
+}
+
+TEST(GammaQuantile, InvertsCdf) {
+    for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+        const double t = gamma_quantile(7.0, 1.0, q);
+        EXPECT_NEAR(gamma_cdf(7.0, 1.0, t), q, 1e-8) << q;
+    }
+}
+
+TEST(GammaQuantile, ScalesLinearlyWithScale) {
+    const double q1 = gamma_quantile(3.0, 1.0, 0.9);
+    const double q2 = gamma_quantile(3.0, 2.0, 0.9);
+    EXPECT_NEAR(q2, 2.0 * q1, 1e-6);
+}
+
+TEST(Remark14, ExactBoundBelowRoundedBound) {
+    for (const double lambda : {0.1, 0.5, 1.0, 2.0, 10.0}) {
+        EXPECT_LT(remark14_c1_exact(lambda), remark14_c1_bound(lambda)) << lambda;
+    }
+}
+
+TEST(Remark14, BoundIsTenOverThreeBeta) {
+    EXPECT_NEAR(remark14_c1_bound(1.0), 10.0 / 3.0, 1e-12);
+    EXPECT_NEAR(remark14_c1_bound(0.5), 20.0 / 3.0, 1e-12);
+    // λ > 1 clamps β at 1.
+    EXPECT_NEAR(remark14_c1_bound(5.0), 10.0 / 3.0, 1e-12);
+}
+
+TEST(Remark14, ExactFormIsSeventhRoot) {
+    // (0.9 · 7!)^(1/7) with β = 1.
+    EXPECT_NEAR(remark14_c1_exact(1.0), std::pow(0.9 * 5040.0, 1.0 / 7.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace papc::analysis

@@ -1,0 +1,84 @@
+#include "analysis/hypoexponential.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/latency_units.hpp"
+
+namespace papc::analysis {
+namespace {
+
+TEST(Hypoexponential, SingleStageIsExponential) {
+    for (const double t : {0.1, 0.5, 1.0, 3.0}) {
+        EXPECT_NEAR(hypoexponential_cdf({2.0}, t), 1.0 - std::exp(-2.0 * t),
+                    1e-12);
+    }
+}
+
+TEST(Hypoexponential, TwoStageClosedForm) {
+    // Exp(a) + Exp(b): F(t) = 1 - b/(b-a) e^{-at} + a/(b-a) e^{-bt}.
+    const double a = 1.0;
+    const double b = 3.0;
+    for (const double t : {0.2, 1.0, 2.5}) {
+        const double expected = 1.0 - b / (b - a) * std::exp(-a * t) +
+                                a / (b - a) * std::exp(-b * t);
+        EXPECT_NEAR(hypoexponential_cdf({a, b}, t), expected, 1e-12) << t;
+    }
+}
+
+TEST(Hypoexponential, BoundaryAndMonotone) {
+    const std::vector<double> rates{0.5, 1.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(hypoexponential_cdf(rates, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(hypoexponential_cdf(rates, -1.0), 0.0);
+    double prev = 0.0;
+    for (double t = 0.0; t < 40.0; t += 0.5) {
+        const double f = hypoexponential_cdf(rates, t);
+        EXPECT_GE(f, prev - 1e-12);
+        prev = f;
+    }
+    EXPECT_GT(hypoexponential_cdf(rates, 40.0), 0.999);
+}
+
+TEST(Hypoexponential, MomentFormulas) {
+    const std::vector<double> rates{1.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(hypoexponential_mean(rates), 1.0 + 0.5 + 0.25);
+    EXPECT_DOUBLE_EQ(hypoexponential_variance(rates), 1.0 + 0.25 + 0.0625);
+}
+
+TEST(Hypoexponential, QuantileInvertsCdf) {
+    const std::vector<double> rates{0.7, 1.3, 2.9};
+    for (const double q : {0.1, 0.5, 0.9}) {
+        const double t = hypoexponential_quantile(rates, q);
+        EXPECT_NEAR(hypoexponential_cdf(rates, t), q, 1e-9);
+    }
+}
+
+TEST(Hypoexponential, OrderInvariance) {
+    EXPECT_NEAR(hypoexponential_cdf({1.0, 3.0, 5.0}, 1.2),
+                hypoexponential_cdf({5.0, 1.0, 3.0}, 1.2), 1e-12);
+}
+
+TEST(Hypoexponential, PerturbedT3MatchesQuadrature) {
+    // The distinct-rate closed form on slightly perturbed stage rates must
+    // agree with the Gauss-Legendre quadrature used by Figure 1. Avoid
+    // λ = 1 and λ = 0.5 where T3's stage rates collide exactly.
+    for (const double lambda : {0.3, 1.7, 3.0}) {
+        const auto rates = t3_perturbed_rates(lambda, 1e-4);
+        for (const double t :
+             {0.5 * t3_mean_exponential(lambda), t3_mean_exponential(lambda),
+              2.0 * t3_mean_exponential(lambda)}) {
+            EXPECT_NEAR(hypoexponential_cdf(rates, t),
+                        t3_cdf_exponential(lambda, t), 2e-3)
+                << "lambda=" << lambda << " t=" << t;
+        }
+    }
+}
+
+TEST(Hypoexponential, PerturbedT3MeanMatchesClosedForm) {
+    const auto rates = t3_perturbed_rates(2.0, 1e-4);
+    EXPECT_NEAR(hypoexponential_mean(rates), t3_mean_exponential(2.0), 1e-4);
+}
+
+}  // namespace
+}  // namespace papc::analysis

@@ -1,0 +1,119 @@
+#include "analysis/latency_units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/gamma.hpp"
+#include "support/random.hpp"
+#include "support/stats.hpp"
+
+namespace papc::analysis {
+namespace {
+
+TEST(T3Cdf, BoundaryAndMonotone) {
+    EXPECT_DOUBLE_EQ(t3_cdf_exponential(1.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(t3_cdf_exponential(1.0, -1.0), 0.0);
+    double prev = 0.0;
+    for (double t = 0.0; t <= 40.0; t += 1.0) {
+        const double f = t3_cdf_exponential(1.0, t);
+        EXPECT_GE(f, prev - 1e-9);
+        EXPECT_LE(f, 1.0);
+        prev = f;
+    }
+    EXPECT_GT(t3_cdf_exponential(1.0, 40.0), 0.999);
+}
+
+TEST(T3Cdf, MatchesMonteCarloAtSeveralPoints) {
+    // Empirical CDF from direct sampling of the composition.
+    const double lambda = 1.0;
+    const sim::ExponentialLatency latency(lambda);
+    Rng rng(123);
+    const int trials = 200000;
+    for (const double t : {3.0, 6.0, 9.0}) {
+        int below = 0;
+        Rng local(derive_seed(5, static_cast<std::uint64_t>(t)));
+        for (int i = 0; i < trials; ++i) {
+            if (sample_t3(latency, local) < t) ++below;
+        }
+        const double empirical = static_cast<double>(below) / trials;
+        EXPECT_NEAR(t3_cdf_exponential(lambda, t), empirical, 0.01) << t;
+    }
+    (void)rng;
+}
+
+TEST(T3Mean, ClosedForm) {
+    EXPECT_DOUBLE_EQ(t3_mean_exponential(1.0), 6.0);
+    EXPECT_DOUBLE_EQ(t3_mean_exponential(0.5), 11.0);
+}
+
+TEST(T3Mean, MatchesSampling) {
+    const sim::ExponentialLatency latency(2.0);
+    Rng rng(9);
+    RunningStat s;
+    for (int i = 0; i < 200000; ++i) s.add(sample_t3(latency, rng));
+    EXPECT_NEAR(s.mean(), t3_mean_exponential(2.0), 0.02);
+}
+
+TEST(T3Quantile, InvertsCdf) {
+    const double q90 = t3_quantile_exponential(1.0, 0.9);
+    EXPECT_NEAR(t3_cdf_exponential(1.0, q90), 0.9, 1e-6);
+}
+
+TEST(T3Quantile, GrowsWithInverseLambda) {
+    const double fast = t3_quantile_exponential(10.0, 0.9);
+    const double slow = t3_quantile_exponential(0.1, 0.9);
+    EXPECT_LT(fast, slow);
+    // Figure 1: for small λ the quantile grows linearly with 1/λ; doubling
+    // 1/λ should roughly double the quantile.
+    const double a = t3_quantile_exponential(0.02, 0.9);
+    const double b = t3_quantile_exponential(0.01, 0.9);
+    EXPECT_NEAR(b / a, 2.0, 0.1);
+}
+
+TEST(T3QuantileMonteCarlo, AgreesWithExact) {
+    const sim::ExponentialLatency latency(1.0);
+    Rng rng(11);
+    const double mc = t3_quantile_monte_carlo(latency, 0.9, 200000, rng);
+    EXPECT_NEAR(mc, steps_per_unit_exact(1.0), 0.05);
+}
+
+TEST(Figure1Row, FieldsConsistent) {
+    Rng rng(13);
+    const Figure1Row row = figure1_row(1.0, 50000, rng);
+    EXPECT_DOUBLE_EQ(row.inv_lambda, 1.0);
+    EXPECT_NEAR(row.exact, row.monte_carlo, 0.15);
+    // The Γ(7, β) majorization is an upper bound on the exact quantile.
+    EXPECT_GE(row.gamma_bound, row.exact);
+}
+
+TEST(Figure1Row, GammaBoundQuantileBelowPaperRounding) {
+    // Remark 14 rounds (0.9·7!)^(1/7)/β up to 10/(3β); the true Γ(7, β)
+    // 0.9-quantile may exceed that rounded *series* bound, but for λ >= 1 it
+    // stays within a small constant of it.
+    Rng rng(14);
+    const Figure1Row row = figure1_row(2.0, 20000, rng);
+    EXPECT_GT(row.bound_10_3beta, 0.0);
+    EXPECT_LT(row.exact, 4.0 * row.bound_10_3beta);
+}
+
+TEST(SampleT3, PositiveAndFiniteAcrossModels) {
+    Rng rng(15);
+    const sim::ConstantLatency constant(0.5);
+    const sim::WeibullLatency weibull(2.0, 1.0);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_GT(sample_t3(constant, rng), 0.0);
+        EXPECT_GT(sample_t3(weibull, rng), 0.0);
+    }
+}
+
+TEST(SampleT3, ConstantLatencyLowerBound) {
+    // With Constant(c) latency, T3 >= 4c (two channel stages per half,
+    // max+leader = 2c each) plus the waiting time.
+    Rng rng(16);
+    const sim::ConstantLatency constant(1.0);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_GE(sample_t3(constant, rng), 4.0);
+    }
+}
+
+}  // namespace
+}  // namespace papc::analysis

@@ -1,0 +1,153 @@
+#include "analysis/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace papc::analysis {
+namespace {
+
+TEST(LogAlphaPowPlus, SmallValuesMatchDirect) {
+    // ln(α^(2^i) + k - 1) computed directly for small i.
+    const double alpha = 1.5;
+    const std::uint32_t k = 4;
+    for (unsigned i = 0; i <= 4; ++i) {
+        const double direct =
+            std::log(std::pow(alpha, std::pow(2.0, i)) + k - 1.0);
+        EXPECT_NEAR(log_alpha_pow_plus(alpha, k, i), direct, 1e-9) << i;
+    }
+}
+
+TEST(LogAlphaPowPlus, NoOverflowForLargeI) {
+    const double v = log_alpha_pow_plus(1.5, 8, 40);
+    EXPECT_TRUE(std::isfinite(v));
+    // For huge exponents the k-1 term is negligible: v ≈ 2^40 ln 1.5.
+    EXPECT_NEAR(v, std::ldexp(std::log(1.5), 40), 1e-3);
+}
+
+TEST(LogAlphaPowPlus, KOneDropsAdditiveTerm) {
+    EXPECT_NEAR(log_alpha_pow_plus(2.0, 1, 3), 8.0 * std::log(2.0), 1e-12);
+}
+
+TEST(GenerationsToReachBias, ExactPowers) {
+    // α = 2: bias 16 = 2^(2^2) needs exactly 2 generations.
+    EXPECT_EQ(generations_to_reach_bias(2.0, 16.0), 2U);
+    EXPECT_EQ(generations_to_reach_bias(2.0, 17.0), 3U);
+    EXPECT_EQ(generations_to_reach_bias(2.0, 2.0), 0U);   // already there
+    EXPECT_EQ(generations_to_reach_bias(4.0, 2.0), 0U);   // above target
+}
+
+TEST(GenerationsToReachBias, SmallBiasNeedsManyGenerations) {
+    const unsigned few = generations_to_reach_bias(1.5, 64.0);
+    const unsigned many = generations_to_reach_bias(1.01, 64.0);
+    EXPECT_GT(many, few);
+    // Doubling rule: α (1+ε) needs ~log2(ln target / ε).
+    EXPECT_GE(many, 8U);
+}
+
+TEST(GenerationsKToMonochromatic, GrowsWithN) {
+    const unsigned small = generations_k_to_monochromatic(8.0, 1e3);
+    const unsigned large = generations_k_to_monochromatic(8.0, 1e12);
+    EXPECT_GE(large, small);
+    EXPECT_GE(small, 1U);
+}
+
+TEST(TotalGenerations, ComposesBothPhases) {
+    const unsigned g = total_generations(1.5, 8, 1 << 16, 2);
+    const unsigned to_k = generations_to_reach_bias(1.5, 8.0);
+    const unsigned to_mono = generations_k_to_monochromatic(8.0, 1 << 16);
+    EXPECT_EQ(g, to_k + to_mono + 2);
+}
+
+TEST(TotalGenerations, SmallForLargeAlpha) {
+    // Bias already enormous: only the k->n phase and the slack remain.
+    const unsigned g = total_generations(100.0, 4, 1 << 16, 1);
+    EXPECT_LE(g, 6U);
+}
+
+TEST(Theorem1RuntimeShape, MonotoneInParameters) {
+    const double base = theorem1_runtime_shape(1 << 16, 8, 1.5);
+    EXPECT_GT(theorem1_runtime_shape(1 << 16, 64, 1.5), base);   // more colors
+    EXPECT_GE(theorem1_runtime_shape(1 << 24, 8, 1.5), base);    // more nodes
+    EXPECT_GE(theorem1_runtime_shape(1 << 16, 8, 1.05), base);   // smaller bias
+}
+
+TEST(IdealBiasTrajectory, SquaresUntilCap) {
+    const auto traj = ideal_bias_trajectory(2.0, 5, 1e6);
+    ASSERT_EQ(traj.size(), 6U);
+    EXPECT_DOUBLE_EQ(traj[0], 2.0);
+    EXPECT_DOUBLE_EQ(traj[1], 4.0);
+    EXPECT_DOUBLE_EQ(traj[2], 16.0);
+    EXPECT_DOUBLE_EQ(traj[3], 256.0);
+    EXPECT_DOUBLE_EQ(traj[4], 65536.0);
+    EXPECT_DOUBLE_EQ(traj[5], 1e6);  // capped
+}
+
+TEST(IdealBiasTrajectory, AlphaOneStaysOne) {
+    const auto traj = ideal_bias_trajectory(1.0, 4, 100.0);
+    for (const double a : traj) EXPECT_DOUBLE_EQ(a, 1.0);
+}
+
+TEST(CheckPreconditions, ClearlySatisfiedCase) {
+    const PreconditionReport r = check_preconditions(1 << 20, 8, 2.0);
+    EXPECT_TRUE(r.k_in_range);
+    EXPECT_TRUE(r.alpha_sufficient);
+    EXPECT_TRUE(r.all_satisfied());
+    EXPECT_GT(r.alpha_threshold, 1.0);
+    EXPECT_LT(r.alpha_threshold, 2.0);
+}
+
+TEST(CheckPreconditions, TooManyOpinions) {
+    // k = 1024 at n = 2^16: √n/log2 n = 16 — far exceeded.
+    const PreconditionReport r = check_preconditions(1 << 16, 1024, 100.0);
+    EXPECT_FALSE(r.k_in_range);
+}
+
+TEST(CheckPreconditions, InsufficientBias) {
+    const PreconditionReport r = check_preconditions(1 << 14, 8, 1.01);
+    EXPECT_FALSE(r.alpha_sufficient);
+    EXPECT_FALSE(r.all_satisfied());
+    EXPECT_GT(r.alpha_threshold, 1.01);
+}
+
+TEST(CheckPreconditions, SingleOpinionTrivial) {
+    const PreconditionReport r = check_preconditions(1024, 1, 1.0);
+    EXPECT_TRUE(r.k_in_range);
+    // Threshold degenerates to 1; alpha must strictly exceed it.
+    EXPECT_DOUBLE_EQ(r.alpha_threshold, 1.0);
+}
+
+TEST(ComplexityProfile, MemoryGrowsLogarithmically) {
+    const ComplexityProfile small = complexity_profile(1 << 10, 4, 2.0);
+    const ComplexityProfile big = complexity_profile(1 << 20, 4, 2.0);
+    EXPECT_GT(big.node_memory_bits, small.node_memory_bits);
+    // Doubling the exponent adds ~2·10 address bits, nothing more.
+    EXPECT_LE(big.node_memory_bits - small.node_memory_bits, 25.0);
+    EXPECT_DOUBLE_EQ(small.address_bits, 10.0);
+    EXPECT_DOUBLE_EQ(big.address_bits, 20.0);
+}
+
+TEST(ComplexityProfile, GenerationBitsTiny) {
+    const ComplexityProfile p = complexity_profile(1 << 26, 8, 1.5);
+    EXPECT_LE(p.generation_bits, 6.0);  // O(log log log n)
+    EXPECT_GT(p.leader_message_bits, 0.0);
+    EXPECT_GT(p.promotion_message_bits, p.leader_message_bits);
+}
+
+TEST(DominantFractionRecursion, FixedPoints) {
+    EXPECT_DOUBLE_EQ(dominant_fraction_recursion(0.5, 10), 0.5);
+    EXPECT_NEAR(dominant_fraction_recursion(1.0, 3), 1.0, 1e-12);
+}
+
+TEST(DominantFractionRecursion, ConvergesQuadraticallyToOne) {
+    // Lemma 11: ε' < 2ε² — the error roughly squares per step.
+    const double a1 = dominant_fraction_recursion(0.9, 1);
+    const double a2 = dominant_fraction_recursion(0.9, 2);
+    const double e0 = 0.1;
+    EXPECT_LT(1.0 - a1, 2.0 * e0 * e0);
+    EXPECT_LT(1.0 - a2, 2.0 * (1.0 - a1) * (1.0 - a1) + 1e-12);
+    EXPECT_GT(dominant_fraction_recursion(0.9, 4), 1.0 - 1e-9);
+}
+
+}  // namespace
+}  // namespace papc::analysis

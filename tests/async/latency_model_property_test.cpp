@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "async/simulation.hpp"
+#include "opinion/assignment.hpp"
+
+namespace papc::async {
+namespace {
+
+// Property sweep: the single-leader protocol must converge to the
+// plurality and keep its invariants under *every* latency model, not just
+// the analyzed exponential one (the PODC-title generalization).
+
+struct ModelCase {
+    const char* label;
+    int which;
+};
+
+std::unique_ptr<sim::LatencyModel> make_model(int which) {
+    switch (which) {
+        case 0: return std::make_unique<sim::ExponentialLatency>(1.0);
+        case 1: return std::make_unique<sim::ConstantLatency>(1.0);
+        case 2: return std::make_unique<sim::UniformLatency>(0.5, 1.5);
+        case 3: return std::make_unique<sim::GammaLatency>(3.0, 1.0 / 3.0);
+        case 4: return std::make_unique<sim::WeibullLatency>(2.0, 1.1);
+        default: return std::make_unique<sim::LogNormalLatency>(-0.5, 1.0);
+    }
+}
+
+class LatencyModelSweep : public ::testing::TestWithParam<ModelCase> {};
+
+TEST_P(LatencyModelSweep, ConvergesToPlurality) {
+    Rng wrng(derive_seed(0x1A, GetParam().which));
+    const Assignment a = make_biased_plurality(1500, 3, 2.0, wrng);
+    AsyncConfig c;
+    c.alpha_hint = 2.0;
+    c.max_time = 2500.0;
+    c.record_series = false;
+    SingleLeaderSimulation sim(a, c, make_model(GetParam().which),
+                               derive_seed(0x1B, GetParam().which));
+    const AsyncResult r = sim.run();
+    EXPECT_TRUE(r.converged) << GetParam().label;
+    EXPECT_TRUE(r.plurality_won) << GetParam().label;
+}
+
+TEST_P(LatencyModelSweep, InvariantsHold) {
+    Rng wrng(derive_seed(0x2A, GetParam().which));
+    const Assignment a = make_biased_plurality(900, 4, 2.2, wrng);
+    AsyncConfig c;
+    c.alpha_hint = 2.2;
+    c.max_time = 2500.0;
+    c.record_series = false;
+    SingleLeaderSimulation sim(a, c, make_model(GetParam().which),
+                               derive_seed(0x2B, GetParam().which));
+    const AsyncResult r = sim.run();
+    ASSERT_TRUE(r.converged) << GetParam().label;
+    // Node generations bounded by the leader's.
+    for (NodeId v = 0; v < 900; ++v) {
+        ASSERT_LE(sim.node(v).gen, sim.leader().gen());
+    }
+    // Exchange accounting consistent.
+    EXPECT_LE(r.exchanges, r.good_ticks);
+    EXPECT_LE(r.two_choices_count + r.propagation_count + r.refresh_count,
+              r.exchanges);
+    // Every generation in the trace opened with two-choices.
+    Generation seen = 0;
+    for (const auto& tr : r.leader_trace) {
+        if (tr.gen > seen) {
+            EXPECT_FALSE(tr.prop) << GetParam().label;
+            seen = tr.gen;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, LatencyModelSweep,
+    ::testing::Values(ModelCase{"exponential", 0}, ModelCase{"constant", 1},
+                      ModelCase{"uniform", 2}, ModelCase{"erlang3", 3},
+                      ModelCase{"weibull2", 4}, ModelCase{"lognormal", 5}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+}  // namespace
+}  // namespace papc::async

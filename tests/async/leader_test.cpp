@@ -1,0 +1,117 @@
+#include "async/leader.hpp"
+
+#include <gtest/gtest.h>
+
+namespace papc::async {
+namespace {
+
+LeaderConfig config(std::uint64_t zero_threshold = 10,
+                    std::uint64_t gen_threshold = 5,
+                    Generation max_gen = 3) {
+    LeaderConfig c;
+    c.zero_signal_threshold = zero_threshold;
+    c.generation_size_threshold = gen_threshold;
+    c.max_generation = max_gen;
+    return c;
+}
+
+TEST(Leader, InitialState) {
+    const Leader l(config());
+    EXPECT_EQ(l.gen(), 1U);
+    EXPECT_FALSE(l.prop());
+    EXPECT_EQ(l.zero_signal_count(), 0U);
+    ASSERT_EQ(l.trace().size(), 1U);
+    EXPECT_EQ(l.trace().front().gen, 1U);
+}
+
+TEST(Leader, PropFlipsAfterZeroSignalThreshold) {
+    Leader l(config(10, 5, 3));
+    for (int i = 0; i < 9; ++i) {
+        l.on_zero_signal(static_cast<double>(i));
+        EXPECT_FALSE(l.prop());
+    }
+    l.on_zero_signal(9.0);
+    EXPECT_TRUE(l.prop());
+}
+
+TEST(Leader, GenSignalsForWrongGenerationIgnored) {
+    Leader l(config());
+    l.on_gen_signal(0.0, 0);
+    l.on_gen_signal(0.0, 2);
+    l.on_gen_signal(0.0, 99);
+    EXPECT_EQ(l.generation_size(), 0U);
+}
+
+TEST(Leader, GenerationBirthResetsCountersAndProp) {
+    Leader l(config(10, 3, 5));
+    for (int i = 0; i < 10; ++i) l.on_zero_signal(0.1 * i);
+    EXPECT_TRUE(l.prop());
+    l.on_gen_signal(1.0, 1);
+    l.on_gen_signal(1.1, 1);
+    EXPECT_EQ(l.gen(), 1U);
+    l.on_gen_signal(1.2, 1);  // threshold of 3 reached
+    EXPECT_EQ(l.gen(), 2U);
+    EXPECT_FALSE(l.prop());
+    EXPECT_EQ(l.zero_signal_count(), 0U);
+    EXPECT_EQ(l.generation_size(), 0U);
+}
+
+TEST(Leader, StopsAtMaxGeneration) {
+    Leader l(config(4, 2, 2));
+    // Drive to generation 2.
+    l.on_gen_signal(0.0, 1);
+    l.on_gen_signal(0.1, 1);
+    EXPECT_EQ(l.gen(), 2U);
+    // Attempt to go past the cap: counted but no birth.
+    l.on_gen_signal(0.2, 2);
+    l.on_gen_signal(0.3, 2);
+    l.on_gen_signal(0.4, 2);
+    EXPECT_EQ(l.gen(), 2U);
+    EXPECT_GE(l.generation_size(), 2U);
+}
+
+TEST(Leader, PropStaysTrueUntilNextBirth) {
+    Leader l(config(3, 100, 5));
+    for (int i = 0; i < 3; ++i) l.on_zero_signal(0.1 * i);
+    EXPECT_TRUE(l.prop());
+    for (int i = 0; i < 50; ++i) l.on_zero_signal(1.0 + 0.1 * i);
+    EXPECT_TRUE(l.prop());
+}
+
+TEST(Leader, TraceRecordsEveryTransition) {
+    Leader l(config(2, 1, 3));
+    l.on_zero_signal(0.5);
+    l.on_zero_signal(0.6);   // prop -> true
+    l.on_gen_signal(0.7, 1); // birth of generation 2
+    l.on_zero_signal(0.8);
+    l.on_zero_signal(0.9);   // prop -> true again
+    ASSERT_EQ(l.trace().size(), 4U);
+    EXPECT_FALSE(l.trace()[0].prop);
+    EXPECT_TRUE(l.trace()[1].prop);
+    EXPECT_EQ(l.trace()[2].gen, 2U);
+    EXPECT_FALSE(l.trace()[2].prop);
+    EXPECT_TRUE(l.trace()[3].prop);
+    // Times are non-decreasing.
+    for (std::size_t i = 1; i < l.trace().size(); ++i) {
+        EXPECT_GE(l.trace()[i].time, l.trace()[i - 1].time);
+    }
+}
+
+TEST(Leader, AlternatingPhasesAcrossGenerations) {
+    // Drive several two-choices/propagation cycles and check the pattern:
+    // each generation starts with prop = false and flips exactly once.
+    Leader l(config(5, 2, 4));
+    double t = 0.0;
+    for (Generation g = 1; g < 4; ++g) {
+        EXPECT_EQ(l.gen(), g);
+        EXPECT_FALSE(l.prop());
+        for (int i = 0; i < 5; ++i) l.on_zero_signal(t += 0.1);
+        EXPECT_TRUE(l.prop());
+        l.on_gen_signal(t += 0.1, g);
+        l.on_gen_signal(t += 0.1, g);
+    }
+    EXPECT_EQ(l.gen(), 4U);
+}
+
+}  // namespace
+}  // namespace papc::async

@@ -1,0 +1,154 @@
+#include "async/node.hpp"
+
+#include <gtest/gtest.h>
+
+namespace papc::async {
+namespace {
+
+using Kind = ExchangeDecision::Kind;
+
+NodeState fresh_node(Generation gen = 0, Opinion col = 0,
+                     Generation seen_gen = 1, bool seen_prop = false) {
+    NodeState v;
+    v.gen = gen;
+    v.col = col;
+    v.seen_gen = seen_gen;
+    v.seen_prop = seen_prop;
+    return v;
+}
+
+TEST(DecideExchange, OutOfSyncOnlyRefreshes) {
+    const NodeState v = fresh_node(0, 0, /*seen_gen=*/1, /*seen_prop=*/false);
+    // Leader advanced to gen 2 since the node's last contact.
+    const ExchangeDecision d =
+        decide_exchange(v, 2, false, PeerSample{1, 0}, PeerSample{1, 0});
+    EXPECT_EQ(d.kind, Kind::kRefreshOnly);
+}
+
+TEST(DecideExchange, OutOfSyncOnPropBit) {
+    const NodeState v = fresh_node(0, 0, 1, false);
+    const ExchangeDecision d =
+        decide_exchange(v, 1, true, PeerSample{0, 0}, PeerSample{0, 0});
+    EXPECT_EQ(d.kind, Kind::kRefreshOnly);
+}
+
+TEST(DecideExchange, TwoChoicesPromotion) {
+    const NodeState v = fresh_node(0, 1, 1, false);
+    const ExchangeDecision d =
+        decide_exchange(v, 1, false, PeerSample{0, 2}, PeerSample{0, 2});
+    EXPECT_EQ(d.kind, Kind::kTwoChoices);
+    EXPECT_EQ(d.new_gen, 1U);
+    EXPECT_EQ(d.new_col, 2U);
+    EXPECT_TRUE(d.send_gen_signal);
+}
+
+TEST(DecideExchange, TwoChoicesRequiresAgreeingColors) {
+    const NodeState v = fresh_node(0, 0, 1, false);
+    const ExchangeDecision d =
+        decide_exchange(v, 1, false, PeerSample{0, 1}, PeerSample{0, 2});
+    EXPECT_EQ(d.kind, Kind::kNone);
+}
+
+TEST(DecideExchange, TwoChoicesRequiresBothAtLeaderGenMinusOne) {
+    const NodeState v = fresh_node(0, 0, 2, false);
+    // One sample lags a generation.
+    const ExchangeDecision d =
+        decide_exchange(v, 2, false, PeerSample{1, 3}, PeerSample{0, 3});
+    EXPECT_NE(d.kind, Kind::kTwoChoices);
+}
+
+TEST(DecideExchange, TwoChoicesBlockedByPropFlag) {
+    const NodeState v = fresh_node(0, 0, 1, true);
+    const ExchangeDecision d =
+        decide_exchange(v, 1, true, PeerSample{0, 2}, PeerSample{0, 2});
+    // prop = true: no two-choices; also no propagation source above v... the
+    // samples are gen 0 == v.gen, so nothing happens.
+    EXPECT_EQ(d.kind, Kind::kNone);
+}
+
+TEST(DecideExchange, NoSelfPromotionWhenAlreadyAtLeaderGen) {
+    const NodeState v = fresh_node(1, 0, 1, false);
+    const ExchangeDecision d =
+        decide_exchange(v, 1, false, PeerSample{0, 2}, PeerSample{0, 2});
+    EXPECT_EQ(d.kind, Kind::kNone);
+}
+
+TEST(DecideExchange, PropagationIntoLeaderGenRequiresPropFlag) {
+    const NodeState blocked = fresh_node(0, 0, 2, false);
+    const ExchangeDecision d1 =
+        decide_exchange(blocked, 2, false, PeerSample{2, 1}, PeerSample{0, 0});
+    EXPECT_EQ(d1.kind, Kind::kNone);  // peer at leader gen but prop == false
+
+    const NodeState allowed = fresh_node(0, 0, 2, true);
+    const ExchangeDecision d2 =
+        decide_exchange(allowed, 2, true, PeerSample{2, 1}, PeerSample{0, 0});
+    EXPECT_EQ(d2.kind, Kind::kPropagation);
+    EXPECT_EQ(d2.new_gen, 2U);
+    EXPECT_EQ(d2.new_col, 1U);
+}
+
+TEST(DecideExchange, CatchUpBelowLeaderGenAlwaysAllowed) {
+    // Peer at generation 1 < leader gen 2: adoption allowed even with
+    // prop == false (Algorithm 2 line 9: gen(v̄) < gen).
+    const NodeState v = fresh_node(0, 0, 2, false);
+    const ExchangeDecision d =
+        decide_exchange(v, 2, false, PeerSample{1, 3}, PeerSample{0, 0});
+    EXPECT_EQ(d.kind, Kind::kPropagation);
+    EXPECT_EQ(d.new_gen, 1U);
+    EXPECT_EQ(d.new_col, 3U);
+    EXPECT_TRUE(d.send_gen_signal);
+}
+
+TEST(DecideExchange, PrefersHigherGenerationPeer) {
+    const NodeState v = fresh_node(0, 0, 3, true);
+    const ExchangeDecision d =
+        decide_exchange(v, 3, true, PeerSample{1, 5}, PeerSample{2, 6});
+    EXPECT_EQ(d.kind, Kind::kPropagation);
+    EXPECT_EQ(d.new_gen, 2U);
+    EXPECT_EQ(d.new_col, 6U);
+}
+
+TEST(DecideExchange, TwoChoicesTakesPrecedenceOverPropagation) {
+    // Both rules could fire; Algorithm 2 checks two-choices first.
+    const NodeState v = fresh_node(0, 0, 2, false);
+    const ExchangeDecision d =
+        decide_exchange(v, 2, false, PeerSample{1, 4}, PeerSample{1, 4});
+    EXPECT_EQ(d.kind, Kind::kTwoChoices);
+    EXPECT_EQ(d.new_gen, 2U);
+}
+
+TEST(ApplyDecision, RefreshUpdatesStoredLeaderState) {
+    NodeState v = fresh_node(0, 0, 1, false);
+    ExchangeDecision d;
+    d.kind = Kind::kRefreshOnly;
+    const bool changed = apply_decision(v, d, 3, true);
+    EXPECT_FALSE(changed);
+    EXPECT_EQ(v.seen_gen, 3U);
+    EXPECT_TRUE(v.seen_prop);
+    EXPECT_EQ(v.gen, 0U);  // color/generation untouched
+}
+
+TEST(ApplyDecision, PromotionMutatesNode) {
+    NodeState v = fresh_node(0, 0, 1, false);
+    ExchangeDecision d;
+    d.kind = Kind::kTwoChoices;
+    d.new_gen = 1;
+    d.new_col = 7;
+    const bool changed = apply_decision(v, d, 1, false);
+    EXPECT_TRUE(changed);
+    EXPECT_EQ(v.gen, 1U);
+    EXPECT_EQ(v.col, 7U);
+}
+
+TEST(ApplyDecision, NoneChangesNothing) {
+    NodeState v = fresh_node(2, 3, 4, true);
+    ExchangeDecision d;
+    d.kind = Kind::kNone;
+    EXPECT_FALSE(apply_decision(v, d, 9, false));
+    EXPECT_EQ(v.gen, 2U);
+    EXPECT_EQ(v.col, 3U);
+    EXPECT_EQ(v.seen_gen, 4U);
+}
+
+}  // namespace
+}  // namespace papc::async

@@ -1,0 +1,84 @@
+#include "async/sequential_simulation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace papc::async {
+namespace {
+
+AsyncConfig fast_config() {
+    AsyncConfig c;
+    c.alpha_hint = 2.0;
+    c.max_time = 500.0;
+    c.record_series = false;
+    return c;
+}
+
+TEST(SequentialSimulation, ConvergesToPlurality) {
+    const AsyncResult r = run_sequential_single_leader(2000, 4, 2.0,
+                                                       fast_config(), 1);
+    EXPECT_TRUE(r.converged);
+    EXPECT_TRUE(r.plurality_won);
+    EXPECT_EQ(r.winner, 0U);
+}
+
+TEST(SequentialSimulation, EveryTickIsGood) {
+    // Instant channels: locking never triggers.
+    const AsyncResult r = run_sequential_single_leader(1000, 2, 2.0,
+                                                       fast_config(), 2);
+    EXPECT_EQ(r.ticks, r.good_ticks);
+    EXPECT_EQ(r.ticks, r.exchanges);
+    EXPECT_EQ(r.channels_opened, 0U);
+    EXPECT_DOUBLE_EQ(r.steps_per_unit, 1.0);
+}
+
+TEST(SequentialSimulation, MuchFasterThanLatencyModel) {
+    // The latency model pays ≈ C1 steps per protocol unit; the sequential
+    // model pays 1. Same workload scale, consensus time ratio should be
+    // several-fold.
+    AsyncConfig c = fast_config();
+    const AsyncResult seq = run_sequential_single_leader(2000, 4, 2.0, c, 3);
+    const AsyncResult lat = run_single_leader(2000, 4, 2.0, c, 3);
+    ASSERT_TRUE(seq.converged);
+    ASSERT_TRUE(lat.converged);
+    EXPECT_LT(seq.consensus_time * 2.0, lat.consensus_time);
+}
+
+TEST(SequentialSimulation, LeaderTraceHasSameShapeAsLatencyModel) {
+    // Both engines run the same protocol logic: generations alternate with
+    // prop = false at each birth.
+    const AsyncResult r = run_sequential_single_leader(3000, 4, 1.8,
+                                                       fast_config(), 4);
+    ASSERT_TRUE(r.converged);
+    Generation seen = 0;
+    for (const auto& tr : r.leader_trace) {
+        if (tr.gen > seen) {
+            EXPECT_FALSE(tr.prop);
+            seen = tr.gen;
+        }
+    }
+    EXPECT_GE(seen, 2U);
+}
+
+TEST(SequentialSimulation, DeterministicForSeed) {
+    const AsyncResult a = run_sequential_single_leader(800, 3, 2.0,
+                                                       fast_config(), 5);
+    const AsyncResult b = run_sequential_single_leader(800, 3, 2.0,
+                                                       fast_config(), 5);
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_DOUBLE_EQ(a.consensus_time, b.consensus_time);
+    EXPECT_EQ(a.two_choices_count, b.two_choices_count);
+}
+
+TEST(SequentialSimulation, NodeGenerationsBounded) {
+    Rng wrng(6);
+    const Assignment a = make_biased_plurality(1200, 3, 2.0, wrng);
+    SequentialSingleLeaderSimulation sim(a, fast_config(), 7);
+    const AsyncResult r = sim.run();
+    ASSERT_TRUE(r.converged);
+    for (NodeId v = 0; v < 1200; ++v) {
+        EXPECT_LE(sim.node(v).gen, sim.leader().gen());
+    }
+}
+
+}  // namespace
+}  // namespace papc::async

@@ -1,0 +1,140 @@
+#include "async/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "opinion/assignment.hpp"
+
+namespace papc::async {
+namespace {
+
+AsyncConfig fast_config() {
+    AsyncConfig c;
+    c.lambda = 1.0;
+    c.alpha_hint = 2.0;
+    c.max_time = 600.0;
+    return c;
+}
+
+TEST(SingleLeaderSimulation, ConvergesToPlurality) {
+    AsyncConfig c = fast_config();
+    const AsyncResult r = run_single_leader(2000, 4, 2.0, c, 1);
+    EXPECT_TRUE(r.converged);
+    EXPECT_TRUE(r.plurality_won);
+    EXPECT_EQ(r.winner, 0U);
+    EXPECT_GT(r.consensus_time, 0.0);
+    EXPECT_GE(r.consensus_time, r.epsilon_time);
+}
+
+TEST(SingleLeaderSimulation, EpsilonConvergenceBeforeFullConsensus) {
+    AsyncConfig c = fast_config();
+    const AsyncResult r = run_single_leader(4000, 2, 1.8, c, 2);
+    ASSERT_TRUE(r.converged);
+    EXPECT_GE(r.epsilon_time, 0.0);
+    EXPECT_LE(r.epsilon_time, r.consensus_time);
+}
+
+TEST(SingleLeaderSimulation, CountsAreConsistent) {
+    AsyncConfig c = fast_config();
+    const AsyncResult r = run_single_leader(1000, 4, 2.0, c, 3);
+    EXPECT_GT(r.ticks, 0U);
+    EXPECT_GT(r.good_ticks, 0U);
+    EXPECT_LE(r.good_ticks, r.ticks);
+    EXPECT_LE(r.exchanges, r.good_ticks);  // every exchange needs a good tick
+    EXPECT_GT(r.two_choices_count, 0U);
+    EXPECT_GT(r.propagation_count, 0U);
+}
+
+TEST(SingleLeaderSimulation, LeaderTraceAlternatesPhases) {
+    AsyncConfig c = fast_config();
+    const AsyncResult r = run_single_leader(2000, 2, 2.0, c, 4);
+    ASSERT_GE(r.leader_trace.size(), 3U);
+    // Generations in the trace are non-decreasing, and each generation
+    // starts with prop = false.
+    for (std::size_t i = 1; i < r.leader_trace.size(); ++i) {
+        const auto& prev = r.leader_trace[i - 1];
+        const auto& cur = r.leader_trace[i];
+        EXPECT_GE(cur.gen, prev.gen);
+        if (cur.gen > prev.gen) {
+            EXPECT_FALSE(cur.prop);
+        }
+    }
+}
+
+TEST(SingleLeaderSimulation, DeterministicForFixedSeed) {
+    AsyncConfig c = fast_config();
+    const AsyncResult a = run_single_leader(800, 3, 2.0, c, 7);
+    const AsyncResult b = run_single_leader(800, 3, 2.0, c, 7);
+    EXPECT_EQ(a.converged, b.converged);
+    EXPECT_EQ(a.winner, b.winner);
+    EXPECT_DOUBLE_EQ(a.consensus_time, b.consensus_time);
+    EXPECT_EQ(a.exchanges, b.exchanges);
+    EXPECT_EQ(a.two_choices_count, b.two_choices_count);
+}
+
+TEST(SingleLeaderSimulation, DifferentSeedsDiffer) {
+    AsyncConfig c = fast_config();
+    const AsyncResult a = run_single_leader(800, 3, 2.0, c, 8);
+    const AsyncResult b = run_single_leader(800, 3, 2.0, c, 9);
+    EXPECT_NE(a.exchanges, b.exchanges);
+}
+
+TEST(SingleLeaderSimulation, SlowChannelsSlowConvergence) {
+    AsyncConfig fast = fast_config();
+    AsyncConfig slow = fast_config();
+    slow.lambda = 0.2;  // mean latency 5 time steps
+    const AsyncResult rf = run_single_leader(1500, 2, 2.0, fast, 10);
+    const AsyncResult rs = run_single_leader(1500, 2, 2.0, slow, 10);
+    ASSERT_TRUE(rf.converged);
+    ASSERT_TRUE(rs.converged);
+    EXPECT_GT(rs.consensus_time, rf.consensus_time);
+    EXPECT_GT(rs.steps_per_unit, rf.steps_per_unit);
+}
+
+TEST(SingleLeaderSimulation, CustomLatencyModel) {
+    Rng wrng(11);
+    const Assignment a = make_biased_plurality(1200, 2, 2.0, wrng);
+    AsyncConfig c = fast_config();
+    SingleLeaderSimulation sim(
+        a, c, std::make_unique<sim::ConstantLatency>(0.5), 12);
+    const AsyncResult r = sim.run();
+    EXPECT_TRUE(r.converged);
+    EXPECT_TRUE(r.plurality_won);
+}
+
+TEST(SingleLeaderSimulation, SeriesAreRecorded) {
+    AsyncConfig c = fast_config();
+    const AsyncResult r = run_single_leader(1000, 2, 2.0, c, 13);
+    EXPECT_GT(r.plurality_fraction.size(), 4U);
+    EXPECT_GT(r.leader_generation.size(), 4U);
+    // The plurality fraction ends at 1.
+    EXPECT_DOUBLE_EQ(r.plurality_fraction[r.plurality_fraction.size() - 1].value,
+                     1.0);
+}
+
+TEST(SingleLeaderSimulation, RecordSeriesCanBeDisabled) {
+    AsyncConfig c = fast_config();
+    c.record_series = false;
+    const AsyncResult r = run_single_leader(1000, 2, 2.0, c, 14);
+    EXPECT_EQ(r.plurality_fraction.size(), 0U);
+    EXPECT_TRUE(r.converged);
+}
+
+TEST(SingleLeaderSimulation, FinalTopGenerationWithinBudget) {
+    AsyncConfig c = fast_config();
+    const AsyncResult r = run_single_leader(2000, 4, 2.0, c, 15);
+    ASSERT_TRUE(r.converged);
+    // The top generation never exceeds the leader's final allowance, which
+    // is bounded by G*; the leader trace's last entry gives the bound.
+    EXPECT_LE(r.final_top_generation, r.leader_trace.back().gen);
+}
+
+TEST(SingleLeaderSimulation, ManyOpinionsSmallBias) {
+    AsyncConfig c = fast_config();
+    c.alpha_hint = 1.5;
+    const AsyncResult r = run_single_leader(6000, 8, 1.5, c, 16);
+    EXPECT_TRUE(r.converged);
+    EXPECT_TRUE(r.plurality_won);
+}
+
+}  // namespace
+}  // namespace papc::async

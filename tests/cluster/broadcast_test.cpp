@@ -1,0 +1,90 @@
+#include "cluster/broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+namespace papc::cluster {
+namespace {
+
+ClusteringResult fixed_clustering(std::size_t n, std::size_t num_clusters) {
+    // Synthetic balanced clustering: nodes v with v % num_clusters == c are
+    // members of cluster c.
+    ClusteringResult r;
+    r.cluster_of.resize(n);
+    r.clusters.resize(num_clusters);
+    for (NodeId v = 0; v < n; ++v) {
+        const auto c = static_cast<std::int32_t>(v % num_clusters);
+        r.cluster_of[v] = c;
+        r.clusters[static_cast<std::size_t>(c)].push_back(v);
+    }
+    r.num_active = num_clusters;
+    r.nodes_in_active = n;
+    r.fraction_clustered = 1.0;
+    r.completed = true;
+    return r;
+}
+
+TEST(Broadcast, InformsAllLeaders) {
+    const ClusteringResult clustering = fixed_clustering(4096, 64);
+    Rng rng(401);
+    const BroadcastResult r = run_broadcast(clustering, 0, 1.0, 200.0, rng);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.informed, 64U);
+    EXPECT_GT(r.time_to_all, 0.0);
+}
+
+TEST(Broadcast, FastRelativeToPopulationSize) {
+    // Theorem 28: O(1) time. At this scale a loose numeric bound suffices —
+    // the point is no log(n) blow-up.
+    const ClusteringResult clustering = fixed_clustering(8192, 128);
+    Rng rng(402);
+    const BroadcastResult r = run_broadcast(clustering, 5, 1.0, 200.0, rng);
+    ASSERT_TRUE(r.completed);
+    EXPECT_LT(r.time_to_all, 30.0);
+    EXPECT_LT(r.mean_inform_time, r.time_to_all + 1e-9);
+}
+
+TEST(Broadcast, RespectsTimeCap) {
+    const ClusteringResult clustering = fixed_clustering(512, 16);
+    Rng rng(403);
+    const BroadcastResult r = run_broadcast(clustering, 0, 1.0, 0.01, rng);
+    EXPECT_FALSE(r.completed);
+    EXPECT_GE(r.informed, 1U);  // at least the source
+}
+
+TEST(Broadcast, SingleClusterTrivial) {
+    const ClusteringResult clustering = fixed_clustering(128, 1);
+    Rng rng(404);
+    const BroadcastResult r = run_broadcast(clustering, 0, 1.0, 10.0, rng);
+    EXPECT_TRUE(r.completed);
+    EXPECT_DOUBLE_EQ(r.time_to_all, 0.0);
+}
+
+TEST(Broadcast, UnclusteredNodesDoNotBlockCompletion) {
+    ClusteringResult clustering = fixed_clustering(1024, 32);
+    // Detach roughly a quarter of the nodes, but keep every cluster's first
+    // member: a leader with no members at all is unreachable by design (in
+    // real clusterings the leader is always its own member).
+    for (NodeId v = 32; v < 1024; v += 4) {
+        const std::int32_t c = clustering.cluster_of[v];
+        auto& members = clustering.clusters[static_cast<std::size_t>(c)];
+        members.erase(std::find(members.begin(), members.end(), v));
+        clustering.cluster_of[v] = kNoCluster;
+    }
+    Rng rng(405);
+    const BroadcastResult r = run_broadcast(clustering, 0, 1.0, 200.0, rng);
+    EXPECT_TRUE(r.completed);
+}
+
+TEST(Broadcast, SlowerChannelsSlowerSpread) {
+    const ClusteringResult clustering = fixed_clustering(4096, 64);
+    Rng r1(406);
+    Rng r2(406);
+    const BroadcastResult fast = run_broadcast(clustering, 0, 2.0, 400.0, r1);
+    const BroadcastResult slow = run_broadcast(clustering, 0, 0.25, 400.0, r2);
+    ASSERT_TRUE(fast.completed);
+    ASSERT_TRUE(slow.completed);
+    EXPECT_LT(fast.time_to_all, slow.time_to_all);
+}
+
+}  // namespace
+}  // namespace papc::cluster

@@ -1,0 +1,141 @@
+#include "cluster/cluster_leader.hpp"
+
+#include <gtest/gtest.h>
+
+namespace papc::cluster {
+namespace {
+
+ClusterLeaderConfig config(std::uint64_t card = 10, std::uint64_t sleep = 20,
+                           std::uint64_t prop = 40, std::uint64_t gen_size = 6,
+                           Generation max_gen = 4) {
+    ClusterLeaderConfig c;
+    c.cardinality = card;
+    c.sleep_threshold = sleep;
+    c.prop_threshold = prop;
+    c.generation_size_threshold = gen_size;
+    c.max_generation = max_gen;
+    return c;
+}
+
+TEST(LexGreater, OrdersByGenerationThenState) {
+    EXPECT_TRUE(lex_greater(2, LeaderState::kTwoChoices, 1,
+                            LeaderState::kPropagation));
+    EXPECT_TRUE(lex_greater(1, LeaderState::kSleeping, 1,
+                            LeaderState::kTwoChoices));
+    EXPECT_FALSE(lex_greater(1, LeaderState::kTwoChoices, 1,
+                             LeaderState::kTwoChoices));
+    EXPECT_FALSE(lex_greater(1, LeaderState::kPropagation, 2,
+                             LeaderState::kTwoChoices));
+}
+
+TEST(ClusterLeader, InitialState) {
+    const ClusterLeader l(config());
+    EXPECT_EQ(l.gen(), 1U);
+    EXPECT_EQ(l.state(), LeaderState::kTwoChoices);
+    EXPECT_EQ(l.tick_counter(), 0U);
+    EXPECT_EQ(l.trace().size(), 1U);
+}
+
+TEST(ClusterLeader, PhaseProgressionViaZeroSignals) {
+    ClusterLeader l(config(10, 5, 9, 100, 3));
+    double t = 0.0;
+    for (int i = 0; i < 4; ++i) l.on_signal(t += 0.1, 0, LeaderState::kTwoChoices, false);
+    EXPECT_EQ(l.state(), LeaderState::kTwoChoices);
+    l.on_signal(t += 0.1, 0, LeaderState::kTwoChoices, false);  // 5th
+    EXPECT_EQ(l.state(), LeaderState::kSleeping);
+    for (int i = 0; i < 3; ++i) l.on_signal(t += 0.1, 0, LeaderState::kTwoChoices, false);
+    EXPECT_EQ(l.state(), LeaderState::kSleeping);
+    l.on_signal(t += 0.1, 0, LeaderState::kTwoChoices, false);  // 9th
+    EXPECT_EQ(l.state(), LeaderState::kPropagation);
+}
+
+TEST(ClusterLeader, GenerationBirthViaPromotionReports) {
+    ClusterLeader l(config(10, 50, 100, 3, 4));
+    l.on_signal(0.1, 1, LeaderState::kTwoChoices, true);
+    l.on_signal(0.2, 1, LeaderState::kTwoChoices, true);
+    EXPECT_EQ(l.gen(), 1U);
+    l.on_signal(0.3, 1, LeaderState::kTwoChoices, true);
+    EXPECT_EQ(l.gen(), 2U);
+    EXPECT_EQ(l.state(), LeaderState::kTwoChoices);
+    EXPECT_EQ(l.tick_counter(), 0U);
+    EXPECT_EQ(l.generation_size(), 0U);
+}
+
+TEST(ClusterLeader, GossipAdoptionOfFresherState) {
+    ClusterLeader l(config(10, 20, 40, 100, 5));
+    // Another cluster is already at generation 3 in propagation.
+    l.on_signal(1.0, 3, LeaderState::kPropagation, false);
+    EXPECT_EQ(l.gen(), 3U);
+    EXPECT_EQ(l.state(), LeaderState::kPropagation);
+    // Counter jumps to the propagation threshold so later 0-signals do not
+    // re-trigger earlier phases.
+    EXPECT_EQ(l.tick_counter(), 40U);
+}
+
+TEST(ClusterLeader, GossipAdoptionOfSleepStateSetsCounter) {
+    ClusterLeader l(config(10, 20, 40, 100, 5));
+    l.on_signal(1.0, 2, LeaderState::kSleeping, false);
+    EXPECT_EQ(l.gen(), 2U);
+    EXPECT_EQ(l.state(), LeaderState::kSleeping);
+    EXPECT_EQ(l.tick_counter(), 20U);
+    // Continue counting: 20 more 0-signals reach the propagation threshold.
+    for (int i = 0; i < 20; ++i) l.on_signal(1.1, 0, LeaderState::kTwoChoices, false);
+    EXPECT_EQ(l.state(), LeaderState::kPropagation);
+}
+
+TEST(ClusterLeader, StaleGossipIgnored) {
+    ClusterLeader l(config());
+    l.on_signal(1.0, 3, LeaderState::kSleeping, false);
+    EXPECT_EQ(l.gen(), 3U);
+    l.on_signal(2.0, 2, LeaderState::kPropagation, false);  // older generation
+    EXPECT_EQ(l.gen(), 3U);
+    EXPECT_EQ(l.state(), LeaderState::kSleeping);
+    l.on_signal(3.0, 3, LeaderState::kSleeping, false);  // equal: ignored
+    EXPECT_EQ(l.state(), LeaderState::kSleeping);
+}
+
+TEST(ClusterLeader, AdoptionResetsGenSizeOnGenerationChange) {
+    ClusterLeader l(config(10, 20, 40, 5, 5));
+    l.on_signal(0.1, 1, LeaderState::kTwoChoices, true);
+    l.on_signal(0.2, 1, LeaderState::kTwoChoices, true);
+    EXPECT_EQ(l.generation_size(), 2U);
+    l.on_signal(0.3, 2, LeaderState::kTwoChoices, false);  // jump to gen 2
+    // New generation: previous counts no longer apply, but the signal that
+    // caused the jump is itself a gen-2 signal only if hasChanged.
+    EXPECT_EQ(l.generation_size(), 0U);
+}
+
+TEST(ClusterLeader, PromotionSignalCausingJumpCountsOnce) {
+    ClusterLeader l(config(10, 20, 40, 5, 5));
+    // A member promoted to gen 2 (via another cluster's leader) reports
+    // (2, prop, changed): the leader adopts gen 2 AND counts the member.
+    l.on_signal(0.1, 2, LeaderState::kPropagation, true);
+    EXPECT_EQ(l.gen(), 2U);
+    EXPECT_EQ(l.generation_size(), 1U);
+}
+
+TEST(ClusterLeader, MaxGenerationCap) {
+    ClusterLeader l(config(10, 20, 40, 1, 2));
+    l.on_signal(0.1, 1, LeaderState::kTwoChoices, true);  // birth -> 2
+    EXPECT_EQ(l.gen(), 2U);
+    l.on_signal(0.2, 2, LeaderState::kTwoChoices, true);
+    l.on_signal(0.3, 2, LeaderState::kTwoChoices, true);
+    EXPECT_EQ(l.gen(), 2U);  // capped
+}
+
+TEST(ClusterLeader, TraceIsMonotone) {
+    ClusterLeader l(config(10, 3, 6, 2, 4));
+    double t = 0.0;
+    for (int i = 0; i < 30; ++i) {
+        l.on_signal(t += 0.1, 0, LeaderState::kTwoChoices, false);
+        if (i % 3 == 0) l.on_signal(t += 0.1, l.gen(), LeaderState::kTwoChoices, true);
+    }
+    const auto& trace = l.trace();
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+        EXPECT_GE(trace[i].time, trace[i - 1].time);
+        EXPECT_GE(trace[i].gen, trace[i - 1].gen);
+    }
+}
+
+}  // namespace
+}  // namespace papc::cluster

@@ -1,0 +1,108 @@
+#include "cluster/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace papc::cluster {
+namespace {
+
+ClusterConfig small_config() {
+    ClusterConfig c;
+    c.size_floor = 16;
+    c.leader_probability = 1.0 / 64.0;
+    c.clustering_max_time = 300.0;
+    return c;
+}
+
+TEST(Clustering, ProducesActiveClusters) {
+    Rng rng(301);
+    const std::size_t n = 4096;
+    const ClusteringResult r = run_clustering(n, small_config(), rng);
+    ASSERT_TRUE(r.completed);
+    EXPECT_GT(r.num_leaders, 0U);
+    EXPECT_GT(r.num_active, 0U);
+    EXPECT_GT(r.fraction_clustered, 0.8);
+}
+
+TEST(Clustering, ActiveClustersMeetTheFloor) {
+    Rng rng(302);
+    const ClusterConfig c = small_config();
+    const ClusteringResult r = run_clustering(4096, c, rng);
+    ASSERT_TRUE(r.completed);
+    for (const auto& members : r.clusters) {
+        EXPECT_GE(members.size(), c.size_floor);
+    }
+}
+
+TEST(Clustering, MembershipIsConsistent) {
+    Rng rng(303);
+    const std::size_t n = 2048;
+    const ClusteringResult r = run_clustering(n, small_config(), rng);
+    ASSERT_TRUE(r.completed);
+    // cluster_of and clusters agree; no node appears twice.
+    std::set<NodeId> seen;
+    for (std::size_t c = 0; c < r.clusters.size(); ++c) {
+        for (const NodeId v : r.clusters[c]) {
+            EXPECT_EQ(r.cluster_of[v], static_cast<std::int32_t>(c));
+            EXPECT_TRUE(seen.insert(v).second) << "node " << v << " duplicated";
+        }
+    }
+    EXPECT_EQ(seen.size(), r.nodes_in_active);
+    // Nodes marked unclustered are not in any active member list.
+    for (NodeId v = 0; v < n; ++v) {
+        if (r.cluster_of[v] == kNoCluster) {
+            EXPECT_EQ(seen.count(v), 0U);
+        }
+    }
+}
+
+TEST(Clustering, SwitchHappensBeforeAllInformed) {
+    Rng rng(304);
+    const ClusteringResult r = run_clustering(4096, small_config(), rng);
+    ASSERT_TRUE(r.completed);
+    EXPECT_GE(r.first_switch_time, 0.0);
+    EXPECT_GE(r.all_informed_time, r.first_switch_time);
+}
+
+TEST(Clustering, BroadcastGapIsSmall) {
+    // Theorem 27: t_l - t_f = O(1); allow a generous constant in units of
+    // time steps at this scale.
+    Rng rng(305);
+    const ClusteringResult r = run_clustering(8192, small_config(), rng);
+    ASSERT_TRUE(r.completed);
+    EXPECT_LT(r.all_informed_time - r.first_switch_time, 40.0);
+}
+
+TEST(Clustering, DeterministicForSeed) {
+    Rng a(306);
+    Rng b(306);
+    const ClusteringResult ra = run_clustering(1024, small_config(), a);
+    const ClusteringResult rb = run_clustering(1024, small_config(), b);
+    EXPECT_EQ(ra.num_leaders, rb.num_leaders);
+    EXPECT_EQ(ra.num_active, rb.num_active);
+    EXPECT_EQ(ra.cluster_of, rb.cluster_of);
+}
+
+TEST(Clustering, DerivedDefaultsScaleWithN) {
+    const ClusterConfig c;
+    EXPECT_GE(c.resolved_floor(1 << 10), 8U);
+    EXPECT_GT(c.resolved_floor(1 << 20), c.resolved_floor(1 << 10));
+    EXPECT_LT(c.resolved_leader_probability(1 << 20),
+              c.resolved_leader_probability(1 << 10));
+}
+
+TEST(Clustering, LeadersBelongToTheirOwnCluster) {
+    Rng rng(307);
+    const ClusteringResult r = run_clustering(2048, small_config(), rng);
+    ASSERT_TRUE(r.completed);
+    for (const auto& members : r.clusters) {
+        ASSERT_FALSE(members.empty());
+        const NodeId leader = members.front();
+        EXPECT_EQ(r.cluster_of[leader],
+                  r.cluster_of[members[members.size() / 2]]);
+    }
+}
+
+}  // namespace
+}  // namespace papc::cluster

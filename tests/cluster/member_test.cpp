@@ -1,0 +1,105 @@
+#include "cluster/member.hpp"
+
+#include <gtest/gtest.h>
+
+namespace papc::cluster {
+namespace {
+
+using Kind = MemberDecision::Kind;
+
+MemberState member(Generation gen = 0, Opinion col = 0, Generation tmp_gen = 1,
+                   LeaderState tmp_state = LeaderState::kTwoChoices) {
+    MemberState m;
+    m.gen = gen;
+    m.col = col;
+    m.tmp_gen = tmp_gen;
+    m.tmp_state = tmp_state;
+    return m;
+}
+
+TEST(DecideMemberExchange, OutOfSyncOnlyGossips) {
+    const MemberState v = member(0, 0, 1, LeaderState::kTwoChoices);
+    const MemberDecision d = decide_member_exchange(
+        v, 2, LeaderState::kTwoChoices, MemberView{1, 0}, MemberView{1, 0});
+    EXPECT_EQ(d.kind, Kind::kNone);
+    EXPECT_EQ(d.signal.i, 2U);
+    EXPECT_EQ(d.signal.s, LeaderState::kTwoChoices);
+    EXPECT_FALSE(d.signal.has_changed);
+}
+
+TEST(DecideMemberExchange, TwoChoicesPromotion) {
+    const MemberState v = member(0, 1);
+    const MemberDecision d = decide_member_exchange(
+        v, 1, LeaderState::kTwoChoices, MemberView{0, 3}, MemberView{0, 3});
+    EXPECT_EQ(d.kind, Kind::kTwoChoices);
+    EXPECT_EQ(d.new_gen, 1U);
+    EXPECT_EQ(d.new_col, 3U);
+    EXPECT_TRUE(d.signal.has_changed);
+    EXPECT_EQ(d.signal.i, 1U);
+    EXPECT_EQ(d.signal.s, LeaderState::kTwoChoices);
+}
+
+TEST(DecideMemberExchange, TwoChoicesBlockedWhileSleeping) {
+    const MemberState v = member(0, 0, 1, LeaderState::kSleeping);
+    const MemberDecision d = decide_member_exchange(
+        v, 1, LeaderState::kSleeping, MemberView{0, 3}, MemberView{0, 3});
+    EXPECT_EQ(d.kind, Kind::kNone);
+}
+
+TEST(DecideMemberExchange, TwoChoicesNeedsAgreeingColors) {
+    const MemberState v = member(0, 0);
+    const MemberDecision d = decide_member_exchange(
+        v, 1, LeaderState::kTwoChoices, MemberView{0, 1}, MemberView{0, 2});
+    EXPECT_EQ(d.kind, Kind::kNone);
+}
+
+TEST(DecideMemberExchange, PropagationIntoTopGenerationNeedsState3) {
+    const MemberState blocked = member(0, 0, 2, LeaderState::kSleeping);
+    const MemberDecision d1 = decide_member_exchange(
+        blocked, 2, LeaderState::kSleeping, MemberView{2, 5}, MemberView{0, 0});
+    EXPECT_EQ(d1.kind, Kind::kNone);
+
+    const MemberState open = member(0, 0, 2, LeaderState::kPropagation);
+    const MemberDecision d2 = decide_member_exchange(
+        open, 2, LeaderState::kPropagation, MemberView{2, 5}, MemberView{0, 0});
+    EXPECT_EQ(d2.kind, Kind::kPropagation);
+    EXPECT_EQ(d2.new_gen, 2U);
+    EXPECT_EQ(d2.new_col, 5U);
+    EXPECT_EQ(d2.signal.s, LeaderState::kPropagation);
+    EXPECT_TRUE(d2.signal.has_changed);
+}
+
+TEST(DecideMemberExchange, CatchUpBelowLeaderGenDuringAnyState) {
+    const MemberState v = member(0, 0, 3, LeaderState::kSleeping);
+    const MemberDecision d = decide_member_exchange(
+        v, 3, LeaderState::kSleeping, MemberView{2, 7}, MemberView{1, 6});
+    EXPECT_EQ(d.kind, Kind::kPropagation);
+    EXPECT_EQ(d.new_gen, 2U);  // prefers the higher eligible generation
+    EXPECT_EQ(d.new_col, 7U);
+}
+
+TEST(DecideMemberExchange, NoActionWhenSamplesNotAhead) {
+    const MemberState v = member(2, 0, 2, LeaderState::kPropagation);
+    const MemberDecision d = decide_member_exchange(
+        v, 2, LeaderState::kPropagation, MemberView{2, 1}, MemberView{1, 1});
+    EXPECT_EQ(d.kind, Kind::kNone);
+    EXPECT_FALSE(d.signal.has_changed);
+}
+
+TEST(DecideMemberExchange, TwoChoicesPrecedesPropagation) {
+    const MemberState v = member(0, 0, 2, LeaderState::kTwoChoices);
+    const MemberDecision d = decide_member_exchange(
+        v, 2, LeaderState::kTwoChoices, MemberView{1, 4}, MemberView{1, 4});
+    EXPECT_EQ(d.kind, Kind::kTwoChoices);
+    EXPECT_EQ(d.new_gen, 2U);
+}
+
+TEST(DecideMemberExchange, AlreadyAtLeaderGenNoPromotion) {
+    const MemberState v = member(2, 0, 2, LeaderState::kTwoChoices);
+    const MemberDecision d = decide_member_exchange(
+        v, 2, LeaderState::kTwoChoices, MemberView{1, 4}, MemberView{1, 4});
+    EXPECT_EQ(d.kind, Kind::kNone);
+}
+
+}  // namespace
+}  // namespace papc::cluster

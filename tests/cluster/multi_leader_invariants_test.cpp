@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "cluster/simulation.hpp"
+#include "opinion/assignment.hpp"
+
+namespace papc::cluster {
+namespace {
+
+// End-state invariants of the decentralized protocol, checked on the raw
+// member/leader state rather than the aggregated result.
+
+class MultiLeaderEndState : public ::testing::Test {
+protected:
+    void SetUp() override {
+        config_.size_floor = 16;
+        config_.leader_probability = 1.0 / 64.0;
+        config_.alpha_hint = 2.0;
+        config_.max_time = 1500.0;
+        config_.record_series = false;
+
+        Rng wrng(101);
+        assignment_ = make_biased_plurality(n_, 4, 2.0, wrng);
+        Rng crng(102);
+        ClusteringResult clustering = run_clustering(n_, config_, crng);
+        ASSERT_TRUE(clustering.completed);
+        sim_ = std::make_unique<MultiLeaderSimulation>(
+            assignment_, std::move(clustering), config_, 103);
+        result_ = sim_->run();
+        ASSERT_TRUE(result_.converged);
+    }
+
+    const std::size_t n_ = 4096;
+    ClusterConfig config_;
+    Assignment assignment_;
+    std::unique_ptr<MultiLeaderSimulation> sim_;
+    MultiLeaderResult result_;
+};
+
+TEST_F(MultiLeaderEndState, MemberGenerationsBoundedByLeaderMaximum) {
+    Generation max_leader_gen = 0;
+    for (std::size_t c = 0; c < sim_->num_clusters(); ++c) {
+        max_leader_gen = std::max(max_leader_gen, sim_->leader(c).gen());
+    }
+    for (NodeId v = 0; v < n_; ++v) {
+        EXPECT_LE(sim_->member(v).gen, max_leader_gen) << "node " << v;
+    }
+}
+
+TEST_F(MultiLeaderEndState, CensusMatchesMemberStates) {
+    std::vector<std::uint64_t> counts(4, 0);
+    for (NodeId v = 0; v < n_; ++v) ++counts[sim_->member(v).col];
+    for (Opinion j = 0; j < 4; ++j) {
+        std::uint64_t census_total = 0;
+        for (Generation g = 0; g <= sim_->census().highest_populated(); ++g) {
+            census_total += sim_->census().count(g, j);
+        }
+        EXPECT_EQ(census_total, counts[j]) << "opinion " << j;
+    }
+}
+
+TEST_F(MultiLeaderEndState, AllMembersShareTheWinner) {
+    for (NodeId v = 0; v < n_; ++v) {
+        EXPECT_EQ(sim_->member(v).col, result_.winner);
+    }
+}
+
+TEST_F(MultiLeaderEndState, FinishedMembersHoldTopGenerations) {
+    // A finished member either reached G* itself or adopted via the
+    // epidemic; either way its color is final and equals the winner.
+    std::size_t finished = 0;
+    for (NodeId v = 0; v < n_; ++v) {
+        if (sim_->member(v).finished) {
+            ++finished;
+            EXPECT_EQ(sim_->member(v).col, result_.winner);
+        }
+    }
+    EXPECT_GT(finished, n_ / 2);
+}
+
+TEST_F(MultiLeaderEndState, LeaderGenerationsWithinBudget) {
+    for (std::size_t c = 0; c < sim_->num_clusters(); ++c) {
+        EXPECT_LE(sim_->leader(c).gen(),
+                  sim_->leader(c).config().max_generation);
+    }
+}
+
+}  // namespace
+}  // namespace papc::cluster

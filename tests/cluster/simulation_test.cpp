@@ -1,0 +1,110 @@
+#include "cluster/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace papc::cluster {
+namespace {
+
+ClusterConfig test_config() {
+    ClusterConfig c;
+    c.size_floor = 16;
+    c.leader_probability = 1.0 / 64.0;
+    c.lambda = 1.0;
+    c.alpha_hint = 2.0;
+    c.max_time = 1200.0;
+    c.clustering_max_time = 300.0;
+    return c;
+}
+
+TEST(MultiLeaderSimulation, ConvergesToPlurality) {
+    const MultiLeaderResult r = run_multi_leader(4096, 4, 2.0, test_config(), 1);
+    ASSERT_TRUE(r.clustering.completed);
+    EXPECT_TRUE(r.converged);
+    EXPECT_TRUE(r.plurality_won);
+    EXPECT_EQ(r.winner, 0U);
+    EXPECT_GT(r.consensus_time, 0.0);
+}
+
+TEST(MultiLeaderSimulation, EpsilonBeforeConsensus) {
+    const MultiLeaderResult r = run_multi_leader(4096, 2, 2.0, test_config(), 2);
+    ASSERT_TRUE(r.converged);
+    EXPECT_GE(r.epsilon_time, 0.0);
+    EXPECT_LE(r.epsilon_time, r.consensus_time);
+}
+
+TEST(MultiLeaderSimulation, UsesBothPromotionMechanisms) {
+    const MultiLeaderResult r = run_multi_leader(4096, 4, 2.0, test_config(), 3);
+    ASSERT_TRUE(r.converged);
+    EXPECT_GT(r.two_choices_count, 0U);
+    EXPECT_GT(r.propagation_count, 0U);
+    EXPECT_GT(r.finished_adoptions, 0U);
+}
+
+TEST(MultiLeaderSimulation, LeaderTracesAreMonotone) {
+    const MultiLeaderResult r = run_multi_leader(2048, 2, 2.0, test_config(), 4);
+    ASSERT_TRUE(r.converged);
+    ASSERT_FALSE(r.leader_traces.empty());
+    for (const auto& trace : r.leader_traces) {
+        for (std::size_t i = 1; i < trace.size(); ++i) {
+            EXPECT_GE(trace[i].time, trace[i - 1].time);
+            EXPECT_GE(trace[i].gen, trace[i - 1].gen);
+        }
+    }
+}
+
+TEST(MultiLeaderSimulation, LeadersStaySynchronized) {
+    // §4.4 / Figure 2: leaders' generation birth times for a fixed
+    // generation lie within an O(1) window. Compare the spread of the
+    // birth time of generation 2 across leaders.
+    const MultiLeaderResult r = run_multi_leader(4096, 2, 2.0, test_config(), 5);
+    ASSERT_TRUE(r.converged);
+    double min_birth = 1e18;
+    double max_birth = -1.0;
+    for (const auto& trace : r.leader_traces) {
+        for (const auto& tr : trace) {
+            if (tr.gen == 2 && tr.state == LeaderState::kTwoChoices) {
+                min_birth = std::min(min_birth, tr.time);
+                max_birth = std::max(max_birth, tr.time);
+                break;
+            }
+        }
+    }
+    ASSERT_GT(max_birth, 0.0);
+    EXPECT_LT(max_birth - min_birth, 60.0);
+}
+
+TEST(MultiLeaderSimulation, DeterministicForSeed) {
+    const MultiLeaderResult a = run_multi_leader(1024, 2, 2.0, test_config(), 7);
+    const MultiLeaderResult b = run_multi_leader(1024, 2, 2.0, test_config(), 7);
+    EXPECT_EQ(a.converged, b.converged);
+    EXPECT_EQ(a.winner, b.winner);
+    EXPECT_DOUBLE_EQ(a.consensus_time, b.consensus_time);
+    EXPECT_EQ(a.exchanges, b.exchanges);
+}
+
+TEST(MultiLeaderSimulation, FinishedFractionReachesOneOnConvergence) {
+    const MultiLeaderResult r = run_multi_leader(2048, 2, 2.0, test_config(), 8);
+    ASSERT_TRUE(r.converged);
+    // At consensus detection nearly all nodes carry the finished flag (the
+    // epidemic saturates); allow slack for nodes that adopted the color via
+    // regular promotion just before the check.
+    EXPECT_GT(r.finished_fraction, 0.5);
+}
+
+TEST(MultiLeaderSimulation, TotalTimeComposesPhases) {
+    const MultiLeaderResult r = run_multi_leader(1024, 2, 2.0, test_config(), 9);
+    ASSERT_TRUE(r.converged);
+    EXPECT_DOUBLE_EQ(r.total_time(), r.clustering_time + r.consensus_time);
+}
+
+TEST(MultiLeaderSimulation, ManyOpinions) {
+    ClusterConfig c = test_config();
+    c.alpha_hint = 1.5;
+    const MultiLeaderResult r = run_multi_leader(8192, 8, 1.5, c, 10);
+    ASSERT_TRUE(r.clustering.completed);
+    EXPECT_TRUE(r.converged);
+    EXPECT_TRUE(r.plurality_won);
+}
+
+}  // namespace
+}  // namespace papc::cluster

@@ -1,0 +1,116 @@
+#include "graph/dynamics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "opinion/assignment.hpp"
+
+namespace papc::graph {
+namespace {
+
+std::shared_ptr<const Topology> expander(std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    return std::make_shared<CsrGraph>(make_random_regular(n, 12, rng));
+}
+
+TEST(GraphDynamics, TwoChoicesOnExpanderConverges) {
+    const std::size_t n = 2048;
+    Rng rng(11);
+    const Assignment a = make_biased_plurality(n, 2, 2.0, rng);
+    GraphTwoChoices dyn(a, expander(n, 12));
+    sync::RunOptions opts;
+    opts.max_rounds = 2000;
+    const sync::SyncResult r = run_to_consensus(dyn, rng, opts);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.winner, 0U);
+}
+
+TEST(GraphDynamics, ThreeMajorityOnExpanderConverges) {
+    const std::size_t n = 2048;
+    Rng rng(13);
+    const Assignment a = make_biased_plurality(n, 4, 2.5, rng);
+    GraphThreeMajority dyn(a, expander(n, 14));
+    sync::RunOptions opts;
+    opts.max_rounds = 3000;
+    const sync::SyncResult r = run_to_consensus(dyn, rng, opts);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.winner, 0U);
+}
+
+TEST(GraphDynamics, CompleteTopologyMatchesCliqueBehaviour) {
+    // two-choices on CompleteTopology must behave like the dedicated
+    // clique implementation: converge in ~log rounds on a strong bias.
+    const std::size_t n = 2048;
+    Rng rng(15);
+    const Assignment a = make_biased_plurality(n, 2, 3.0, rng);
+    GraphTwoChoices dyn(a, std::make_shared<CompleteTopology>(n));
+    sync::RunOptions opts;
+    opts.max_rounds = 200;
+    const sync::SyncResult r = run_to_consensus(dyn, rng, opts);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LT(r.rounds, 40U);
+}
+
+TEST(GraphDynamics, RingMixesSlowly) {
+    // Same workload, ring vs expander: the ring must take noticeably more
+    // rounds (local-only information flow).
+    const std::size_t n = 1024;
+    Rng wrng(16);
+    const Assignment a = make_biased_plurality(n, 2, 3.0, wrng);
+    sync::RunOptions opts;
+    opts.max_rounds = 5000;
+
+    GraphTwoChoices fast(a, expander(n, 17));
+    Rng r1(18);
+    const sync::SyncResult quick = run_to_consensus(fast, r1, opts);
+
+    GraphTwoChoices slow(a, std::make_shared<CsrGraph>(make_ring(n, 4)));
+    Rng r2(18);
+    const sync::SyncResult sluggish = run_to_consensus(slow, r2, opts);
+
+    ASSERT_TRUE(quick.converged);
+    // The ring either fails to converge within the cap or takes much longer.
+    if (sluggish.converged) {
+        EXPECT_GT(sluggish.rounds, 4 * quick.rounds);
+    }
+}
+
+TEST(GraphDynamics, GraphAlgorithm1OnExpander) {
+    const std::size_t n = 4096;
+    Rng rng(19);
+    const Assignment a = make_biased_plurality(n, 4, 2.0, rng);
+    sync::ScheduleParams sp;
+    sp.n = n;
+    sp.k = 4;
+    sp.alpha = 2.0;
+    GraphAlgorithm1 dyn(a, expander(n, 20), sync::Schedule(sp));
+    sync::RunOptions opts;
+    opts.max_rounds = 1000;
+    const sync::SyncResult r = run_to_consensus(dyn, rng, opts);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.winner, 0U);
+}
+
+TEST(GraphDynamics, PopulationConserved) {
+    const std::size_t n = 512;
+    Rng rng(21);
+    const Assignment a = make_biased_plurality(n, 3, 2.0, rng);
+    GraphPullVoting dyn(a, expander(n, 22));
+    for (int i = 0; i < 15; ++i) {
+        dyn.step(rng);
+        std::uint64_t total = 0;
+        for (Opinion j = 0; j < 3; ++j) total += dyn.opinion_count(j);
+        EXPECT_EQ(total, n);
+    }
+}
+
+TEST(GraphDynamics, NamesIncludeTopology) {
+    const std::size_t n = 128;
+    Rng rng(23);
+    const Assignment a = make_biased_plurality(n, 2, 2.0, rng);
+    GraphTwoChoices dyn(a, std::make_shared<CompleteTopology>(n));
+    EXPECT_NE(dyn.name().find("two-choices"), std::string::npos);
+    EXPECT_NE(dyn.name().find("complete"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace papc::graph

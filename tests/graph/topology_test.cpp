@@ -1,0 +1,121 @@
+#include "graph/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace papc::graph {
+namespace {
+
+TEST(CompleteTopology, DegreeAndSampling) {
+    const CompleteTopology g(10);
+    EXPECT_EQ(g.num_nodes(), 10U);
+    EXPECT_EQ(g.degree(3), 9U);
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const NodeId u = g.sample_neighbor(4, rng);
+        EXPECT_LT(u, 10U);
+        EXPECT_NE(u, 4U);
+    }
+}
+
+TEST(CompleteTopology, SamplingIsUniform) {
+    const CompleteTopology g(5);
+    Rng rng(2);
+    std::map<NodeId, int> counts;
+    const int trials = 40000;
+    for (int i = 0; i < trials; ++i) ++counts[g.sample_neighbor(0, rng)];
+    EXPECT_EQ(counts.size(), 4U);
+    for (const auto& [node, c] : counts) {
+        EXPECT_NE(node, 0U);
+        EXPECT_NEAR(static_cast<double>(c) / trials, 0.25, 0.02);
+    }
+}
+
+TEST(CsrGraph, BuildsFromEdgeList) {
+    const CsrGraph g(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}, "square");
+    EXPECT_EQ(g.num_nodes(), 4U);
+    EXPECT_EQ(g.num_edges(), 4U);
+    for (NodeId v = 0; v < 4; ++v) EXPECT_EQ(g.degree(v), 2U);
+    EXPECT_TRUE(g.is_connected());
+    EXPECT_EQ(g.name(), "square");
+}
+
+TEST(CsrGraph, DisconnectedDetected) {
+    const CsrGraph g(4, {{0, 1}, {2, 3}}, "two-pairs");
+    EXPECT_FALSE(g.is_connected());
+}
+
+TEST(CsrGraph, NeighborSamplingRespectsAdjacency) {
+    const CsrGraph g(4, {{0, 1}, {0, 2}}, "star-ish");
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        const NodeId u = g.sample_neighbor(0, rng);
+        EXPECT_TRUE(u == 1 || u == 2);
+        EXPECT_EQ(g.sample_neighbor(1, rng), 0U);
+    }
+}
+
+TEST(RandomRegular, DegreesAreRegular) {
+    Rng rng(4);
+    const CsrGraph g = make_random_regular(500, 8, rng);
+    EXPECT_EQ(g.num_nodes(), 500U);
+    EXPECT_EQ(g.min_degree(), 8U);
+    EXPECT_EQ(g.max_degree(), 8U);
+    EXPECT_TRUE(g.is_connected());  // whp for d = 8
+}
+
+TEST(RandomRegular, OddProductRejected) {
+    Rng rng(5);
+    EXPECT_DEATH((void)make_random_regular(5, 3, rng), "PAPC_CHECK");
+}
+
+TEST(Gnp, EdgeCountNearExpectation) {
+    Rng rng(6);
+    const std::size_t n = 2000;
+    const double p = 0.01;
+    const CsrGraph g = make_gnp(n, p, rng);
+    const double expected = p * static_cast<double>(n) * (n - 1) / 2.0;
+    EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+                5.0 * std::sqrt(expected));
+}
+
+TEST(Gnp, ZeroProbabilityEmpty) {
+    Rng rng(7);
+    const CsrGraph g = make_gnp(100, 0.0, rng);
+    EXPECT_EQ(g.num_edges(), 0U);
+}
+
+TEST(Gnp, EdgesAreValidAndNotSelfLoops) {
+    Rng rng(8);
+    const CsrGraph g = make_gnp(300, 0.05, rng);
+    for (NodeId v = 0; v < 300; ++v) {
+        Rng local(v + 1);
+        if (g.degree(v) == 0) continue;
+        for (int i = 0; i < 20; ++i) {
+            const NodeId u = g.sample_neighbor(v, local);
+            EXPECT_LT(u, 300U);
+            EXPECT_NE(u, v);
+        }
+    }
+}
+
+TEST(Ring, StructureAndDegrees) {
+    const CsrGraph g = make_ring(100, 6);
+    EXPECT_EQ(g.num_nodes(), 100U);
+    EXPECT_EQ(g.min_degree(), 6U);
+    EXPECT_EQ(g.max_degree(), 6U);
+    EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Torus, FourRegularAndConnected) {
+    const CsrGraph g = make_torus(8);
+    EXPECT_EQ(g.num_nodes(), 64U);
+    EXPECT_EQ(g.min_degree(), 4U);
+    EXPECT_EQ(g.max_degree(), 4U);
+    EXPECT_TRUE(g.is_connected());
+}
+
+}  // namespace
+}  // namespace papc::graph

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "async/simulation.hpp"
+#include "cluster/simulation.hpp"
+#include "opinion/assignment.hpp"
+#include "sync/algorithm1.hpp"
+#include "sync/engine.hpp"
+
+namespace papc {
+namespace {
+
+// Bit-level reproducibility across runs with the same seed is a stated
+// design goal (DESIGN.md §5); these tests pin it for every engine.
+
+TEST(Determinism, WorkloadGeneration) {
+    Rng a(1);
+    Rng b(1);
+    const Assignment wa = make_biased_plurality(5000, 6, 1.7, a);
+    const Assignment wb = make_biased_plurality(5000, 6, 1.7, b);
+    EXPECT_EQ(wa.opinions, wb.opinions);
+}
+
+TEST(Determinism, SynchronousRunRoundByRound) {
+    sync::ScheduleParams sp;
+    sp.n = 1024;
+    sp.k = 4;
+    sp.alpha = 1.5;
+    Rng wa(2);
+    Rng wb(2);
+    const Assignment assign_a = make_biased_plurality(1024, 4, 1.5, wa);
+    const Assignment assign_b = make_biased_plurality(1024, 4, 1.5, wb);
+    sync::Algorithm1 a(assign_a, sync::Schedule(sp));
+    sync::Algorithm1 b(assign_b, sync::Schedule(sp));
+    Rng ra(3);
+    Rng rb(3);
+    for (int round = 0; round < 25; ++round) {
+        a.step(ra);
+        b.step(rb);
+        for (NodeId v = 0; v < 1024; v += 37) {
+            ASSERT_EQ(a.color(v), b.color(v)) << "round " << round;
+            ASSERT_EQ(a.generation(v), b.generation(v)) << "round " << round;
+        }
+    }
+}
+
+TEST(Determinism, AsyncSingleLeaderFullTrace) {
+    async::AsyncConfig c;
+    c.alpha_hint = 2.0;
+    c.max_time = 500.0;
+    const async::AsyncResult a = async::run_single_leader(600, 3, 2.0, c, 42);
+    const async::AsyncResult b = async::run_single_leader(600, 3, 2.0, c, 42);
+    ASSERT_EQ(a.leader_trace.size(), b.leader_trace.size());
+    for (std::size_t i = 0; i < a.leader_trace.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.leader_trace[i].time, b.leader_trace[i].time);
+        EXPECT_EQ(a.leader_trace[i].gen, b.leader_trace[i].gen);
+        EXPECT_EQ(a.leader_trace[i].prop, b.leader_trace[i].prop);
+    }
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_EQ(a.refresh_count, b.refresh_count);
+}
+
+TEST(Determinism, MultiLeaderEndState) {
+    cluster::ClusterConfig c;
+    c.size_floor = 16;
+    c.leader_probability = 1.0 / 32.0;
+    c.alpha_hint = 2.0;
+    c.max_time = 1000.0;
+    const cluster::MultiLeaderResult a =
+        cluster::run_multi_leader(1024, 2, 2.0, c, 5);
+    const cluster::MultiLeaderResult b =
+        cluster::run_multi_leader(1024, 2, 2.0, c, 5);
+    EXPECT_EQ(a.clustering.cluster_of, b.clustering.cluster_of);
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_EQ(a.two_choices_count, b.two_choices_count);
+    EXPECT_DOUBLE_EQ(a.end_time, b.end_time);
+}
+
+}  // namespace
+}  // namespace papc

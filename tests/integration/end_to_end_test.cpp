@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "analysis/theory.hpp"
+#include "async/simulation.hpp"
+#include "cluster/simulation.hpp"
+#include "opinion/assignment.hpp"
+#include "sync/algorithm1.hpp"
+#include "sync/baselines.hpp"
+#include "sync/engine.hpp"
+
+namespace papc {
+namespace {
+
+// All three protocol families (synchronous, async single-leader, async
+// multi-leader) must pick the initial plurality on the same canonical
+// workload family across a parameter sweep.
+
+struct SweepCase {
+    std::size_t n;
+    std::uint32_t k;
+    double alpha;
+};
+
+class ProtocolSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ProtocolSweep, SynchronousAlgorithm1Wins) {
+    const auto& p = GetParam();
+    Rng rng(derive_seed(1001, p.n * 131 + p.k));
+    const Assignment a = make_biased_plurality(p.n, p.k, p.alpha, rng);
+    sync::ScheduleParams sp;
+    sp.n = p.n;
+    sp.k = p.k;
+    sp.alpha = p.alpha;
+    sync::Algorithm1 alg(a, sync::Schedule(sp));
+    sync::RunOptions opts;
+    opts.max_rounds = 600;
+    const sync::SyncResult r = run_to_consensus(alg, rng, opts);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.winner, 0U);
+}
+
+TEST_P(ProtocolSweep, AsyncSingleLeaderWins) {
+    const auto& p = GetParam();
+    async::AsyncConfig c;
+    c.alpha_hint = p.alpha;
+    c.max_time = 800.0;
+    c.record_series = false;
+    const async::AsyncResult r = async::run_single_leader(
+        p.n, p.k, p.alpha, c, derive_seed(1002, p.n * 17 + p.k));
+    EXPECT_TRUE(r.converged);
+    EXPECT_TRUE(r.plurality_won);
+}
+
+TEST_P(ProtocolSweep, AsyncMultiLeaderWins) {
+    const auto& p = GetParam();
+    cluster::ClusterConfig c;
+    c.size_floor = 16;
+    c.leader_probability = 1.0 / 64.0;
+    c.alpha_hint = p.alpha;
+    c.max_time = 1500.0;
+    c.record_series = false;
+    const cluster::MultiLeaderResult r = cluster::run_multi_leader(
+        p.n, p.k, p.alpha, c, derive_seed(1003, p.n * 31 + p.k));
+    ASSERT_TRUE(r.clustering.completed);
+    EXPECT_TRUE(r.converged);
+    EXPECT_TRUE(r.plurality_won);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, ProtocolSweep,
+    ::testing::Values(SweepCase{2048, 2, 2.0}, SweepCase{2048, 4, 2.0},
+                      SweepCase{4096, 8, 1.6}, SweepCase{4096, 2, 1.3}),
+    [](const auto& info) {
+        return "n" + std::to_string(info.param.n) + "_k" +
+               std::to_string(info.param.k) + "_a" +
+               std::to_string(static_cast<int>(info.param.alpha * 10));
+    });
+
+TEST(EndToEnd, AsyncBeatsNothingButFinishesWithinTheoryShapedTime) {
+    // The measured ε-convergence time should be within a generous constant
+    // multiple of the Theorem 13 shape for this configuration.
+    const std::size_t n = 4096;
+    const std::uint32_t k = 4;
+    const double alpha = 2.0;
+    async::AsyncConfig c;
+    c.alpha_hint = alpha;
+    c.max_time = 800.0;
+    c.record_series = false;
+    const async::AsyncResult r = async::run_single_leader(n, k, alpha, c, 555);
+    ASSERT_TRUE(r.converged);
+    const double shape = analysis::theorem1_runtime_shape(n, k, alpha);
+    // steps_per_unit converts time units to steps; allow a wide constant.
+    EXPECT_LT(r.epsilon_time, 40.0 * shape * r.steps_per_unit);
+}
+
+TEST(EndToEnd, ZipfWorkloadAllProtocols) {
+    const std::size_t n = 4096;
+    Rng rng(777);
+    const Assignment a = make_zipf(n, 6, 1.0, rng);
+    // Zipf(1.0) with k = 6 gives alpha = 2 between the top opinions.
+    sync::ScheduleParams sp;
+    sp.n = n;
+    sp.k = 6;
+    sp.alpha = 1.8;
+    sync::Algorithm1 alg(a, sync::Schedule(sp));
+    sync::RunOptions opts;
+    opts.max_rounds = 600;
+    const sync::SyncResult r = run_to_consensus(alg, rng, opts);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.winner, 0U);
+}
+
+TEST(EndToEnd, UndecidedBaselineAgreesWithAlgorithm1OnEasyInput) {
+    const std::size_t n = 2048;
+    Rng rng(888);
+    const Assignment a = make_biased_plurality(n, 3, 3.0, rng);
+    sync::UndecidedState usd(a);
+    sync::RunOptions opts;
+    opts.max_rounds = 3000;
+    const sync::SyncResult r = run_to_consensus(usd, rng, opts);
+    ASSERT_TRUE(r.converged);
+    EXPECT_EQ(r.winner, 0U);
+}
+
+}  // namespace
+}  // namespace papc

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "async/simulation.hpp"
+#include "cluster/clustering.hpp"
+#include "cluster/simulation.hpp"
+#include "opinion/assignment.hpp"
+#include "sync/algorithm1.hpp"
+#include "sync/engine.hpp"
+
+namespace papc {
+namespace {
+
+// Adversarial / degenerate configurations: the engines must terminate
+// cleanly (converged or time-capped), never crash, and keep their
+// invariants, even when the paper's preconditions are violated.
+
+TEST(FailureInjection, ExactTieStillTerminates) {
+    // α = 1: Theorem 1's precondition is violated; the protocol must still
+    // converge to *some* opinion (symmetry breaking) without crashing.
+    Rng rng(1);
+    const std::size_t n = 2048;
+    const Assignment a = make_uniform(n, 4, rng);
+    sync::ScheduleParams sp;
+    sp.n = n;
+    sp.k = 4;
+    sp.alpha = 1.05;  // schedule hint; the actual workload is tied
+    sync::Algorithm1 alg(a, sync::Schedule(sp));
+    sync::RunOptions opts;
+    opts.max_rounds = 2000;
+    const sync::SyncResult r = run_to_consensus(alg, rng, opts);
+    EXPECT_TRUE(r.converged);  // some opinion wins
+    EXPECT_LT(r.winner, 4U);
+}
+
+TEST(FailureInjection, AsyncTieTerminatesOrCapsCleanly) {
+    async::AsyncConfig c;
+    c.alpha_hint = 1.05;
+    c.max_time = 400.0;
+    c.record_series = false;
+    Rng wrng(2);
+    const Assignment a = make_uniform(1000, 2, wrng);
+    async::SingleLeaderSimulation sim(a, c, 3);
+    const async::AsyncResult r = sim.run();
+    // Either full convergence (symmetry broken) or a clean cap; never a
+    // crash, and the invariants hold either way.
+    EXPECT_LE(r.end_time, c.max_time + 1.0);
+    for (NodeId v = 0; v < 1000; ++v) {
+        EXPECT_LE(sim.node(v).gen, sim.leader().gen());
+    }
+}
+
+TEST(FailureInjection, HeavyTailLatencyStillConverges) {
+    // Weibull(0.4): extremely heavy tail — single channel establishments
+    // can take hundreds of steps. Slow but must stay correct.
+    Rng wrng(4);
+    const Assignment a = make_biased_plurality(800, 2, 2.5, wrng);
+    async::AsyncConfig c;
+    c.alpha_hint = 2.5;
+    c.max_time = 4000.0;
+    c.record_series = false;
+    async::SingleLeaderSimulation sim(
+        a, c, std::make_unique<sim::WeibullLatency>(0.4, 0.3), 5);
+    const async::AsyncResult r = sim.run();
+    EXPECT_TRUE(r.converged);
+    EXPECT_TRUE(r.plurality_won);
+}
+
+TEST(FailureInjection, SingleOpinionIsInstantlyConverged) {
+    Rng wrng(6);
+    const Assignment a = make_biased_plurality(500, 1, 1.0, wrng);
+    async::AsyncConfig c;
+    c.alpha_hint = 2.0;
+    c.max_time = 50.0;
+    const async::AsyncResult r = async::run_single_leader(500, 1, 1.0, c, 7);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.winner, 0U);
+    EXPECT_LE(r.consensus_time, 1.0);
+    (void)a;
+}
+
+TEST(FailureInjection, TinyPopulationAsync) {
+    async::AsyncConfig c;
+    c.alpha_hint = 3.0;
+    c.max_time = 500.0;
+    const async::AsyncResult r = async::run_single_leader(8, 2, 3.0, c, 8);
+    EXPECT_TRUE(r.converged);  // n = 8 must still terminate
+}
+
+TEST(FailureInjection, ClusteringWithNoLeadersFailsGracefully) {
+    cluster::ClusterConfig c;
+    c.size_floor = 16;
+    c.leader_probability = 1e-9;  // effectively zero
+    c.clustering_max_time = 20.0;
+    Rng rng(9);
+    const cluster::ClusteringResult r = cluster::run_clustering(256, c, rng);
+    EXPECT_FALSE(r.completed);
+    EXPECT_EQ(r.num_active, 0U);
+}
+
+TEST(FailureInjection, ClusteringWithAbsurdFloorTimesOut) {
+    cluster::ClusterConfig c;
+    c.size_floor = 100000;  // larger than n: no cluster can qualify
+    c.leader_probability = 0.01;
+    c.clustering_max_time = 20.0;
+    Rng rng(10);
+    const cluster::ClusteringResult r = cluster::run_clustering(1024, c, rng);
+    EXPECT_FALSE(r.completed);
+    EXPECT_EQ(r.num_active, 0U);
+}
+
+TEST(FailureInjection, ClusteringEveryoneALeader) {
+    cluster::ClusterConfig c;
+    c.size_floor = 2;
+    c.leader_probability = 0.9;
+    c.clustering_max_time = 200.0;
+    Rng rng(11);
+    const cluster::ClusteringResult r = cluster::run_clustering(512, c, rng);
+    // Degenerate but legal: most clusters are singletons below the floor;
+    // the run must terminate without crashing either way.
+    EXPECT_LE(r.elapsed, 200.5);
+}
+
+TEST(FailureInjection, MultiLeaderWithPartialClusteringStillDecides) {
+    // Small floor + low leader probability: a noticeable passive fraction.
+    cluster::ClusterConfig c;
+    c.size_floor = 32;
+    c.leader_probability = 1.0 / 256.0;
+    c.alpha_hint = 2.5;
+    c.max_time = 2000.0;
+    c.record_series = false;
+    const cluster::MultiLeaderResult r =
+        cluster::run_multi_leader(2048, 2, 2.5, c, 12);
+    if (r.clustering.completed) {
+        EXPECT_TRUE(r.converged);
+        EXPECT_TRUE(r.plurality_won);
+    }
+}
+
+TEST(FailureInjection, ScheduleHintBelowActualBiasIsSafe) {
+    // The nodes only know a *lower bound* on α (§3.2). Underestimating the
+    // bias (hint 1.1 vs actual 3.0) costs extra generations but must not
+    // break correctness.
+    Rng rng(13);
+    const std::size_t n = 2048;
+    const Assignment a = make_biased_plurality(n, 4, 3.0, rng);
+    sync::ScheduleParams sp;
+    sp.n = n;
+    sp.k = 4;
+    sp.alpha = 1.1;
+    sync::Algorithm1 alg(a, sync::Schedule(sp));
+    sync::RunOptions opts;
+    opts.max_rounds = 2000;
+    const sync::SyncResult r = run_to_consensus(alg, rng, opts);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.winner, 0U);
+}
+
+TEST(FailureInjection, ZeroLatencyChannels) {
+    // Constant(0): channels are instant; the protocol degenerates towards
+    // the pure Poisson sequential model and must still work.
+    Rng wrng(14);
+    const Assignment a = make_biased_plurality(1000, 3, 2.0, wrng);
+    async::AsyncConfig c;
+    c.alpha_hint = 2.0;
+    c.max_time = 500.0;
+    async::SingleLeaderSimulation sim(
+        a, c, std::make_unique<sim::ConstantLatency>(0.0), 15);
+    const async::AsyncResult r = sim.run();
+    EXPECT_TRUE(r.converged);
+    EXPECT_TRUE(r.plurality_won);
+}
+
+}  // namespace
+}  // namespace papc

@@ -1,0 +1,149 @@
+#include "opinion/assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "opinion/census.hpp"
+
+namespace papc {
+namespace {
+
+std::vector<std::uint64_t> count_opinions(const Assignment& a) {
+    std::vector<std::uint64_t> counts(a.num_opinions, 0);
+    for (const Opinion op : a.opinions) {
+        EXPECT_LT(op, a.num_opinions);
+        ++counts[op];
+    }
+    return counts;
+}
+
+TEST(BiasedPlurality, SizesAndOpinionRange) {
+    Rng rng(1);
+    const Assignment a = make_biased_plurality(10000, 8, 1.5, rng);
+    EXPECT_EQ(a.size(), 10000U);
+    EXPECT_EQ(a.num_opinions, 8U);
+    const auto counts = count_opinions(a);
+    std::uint64_t total = 0;
+    for (const auto c : counts) total += c;
+    EXPECT_EQ(total, 10000U);
+}
+
+TEST(BiasedPlurality, AchievesRequestedBias) {
+    Rng rng(2);
+    const double alpha = 2.0;
+    const Assignment a = make_biased_plurality(100000, 5, alpha, rng);
+    const auto counts = count_opinions(a);
+    // Opinion 0 dominant, all others equal-ish; measured ratio near alpha.
+    for (std::uint32_t j = 1; j < 5; ++j) {
+        EXPECT_GT(counts[0], counts[j]);
+        const double ratio =
+            static_cast<double>(counts[0]) / static_cast<double>(counts[j]);
+        EXPECT_NEAR(ratio, alpha, 0.05);
+    }
+}
+
+TEST(BiasedPlurality, AlphaOneIsBalanced) {
+    Rng rng(3);
+    const Assignment a = make_biased_plurality(1000, 4, 1.0, rng);
+    const auto counts = count_opinions(a);
+    for (const auto c : counts) {
+        EXPECT_NEAR(static_cast<double>(c), 250.0, 1.0);
+    }
+}
+
+TEST(BiasedPlurality, SingleOpinionDegenerate) {
+    Rng rng(4);
+    const Assignment a = make_biased_plurality(100, 1, 1.0, rng);
+    for (const Opinion op : a.opinions) EXPECT_EQ(op, 0U);
+}
+
+TEST(BiasedPlurality, OrderIsShuffled) {
+    Rng rng(5);
+    const Assignment a = make_biased_plurality(10000, 2, 1.2, rng);
+    // If shuffled, the first half cannot be all opinion 0.
+    bool saw_one_early = false;
+    for (std::size_t i = 0; i < 100; ++i) {
+        if (a.opinions[i] == 1) saw_one_early = true;
+    }
+    EXPECT_TRUE(saw_one_early);
+}
+
+TEST(TwoFrontRunners, BiasAndTail) {
+    Rng rng(6);
+    const Assignment a = make_two_front_runners(100000, 6, 1.5, 0.2, rng);
+    const auto counts = count_opinions(a);
+    const double ratio =
+        static_cast<double>(counts[0]) / static_cast<double>(counts[1]);
+    EXPECT_NEAR(ratio, 1.5, 0.05);
+    // Tail opinions share ~0.2/4 = 5% each.
+    for (std::uint32_t j = 2; j < 6; ++j) {
+        EXPECT_NEAR(static_cast<double>(counts[j]) / 100000.0, 0.05, 0.01);
+    }
+}
+
+TEST(TwoFrontRunners, KTwoIgnoresTail) {
+    Rng rng(7);
+    const Assignment a = make_two_front_runners(1000, 2, 2.0, 0.5, rng);
+    const auto counts = count_opinions(a);
+    EXPECT_EQ(counts[0] + counts[1], 1000U);
+}
+
+TEST(AdditiveGap, ExactGap) {
+    Rng rng(8);
+    const Assignment a = make_additive_gap(10000, 4, 500, rng);
+    const auto counts = count_opinions(a);
+    EXPECT_GE(counts[0], counts[1] + 500);
+    EXPECT_LE(counts[0], counts[1] + 500 + 4);  // remainder tolerance
+}
+
+TEST(Uniform, EqualSplit) {
+    Rng rng(9);
+    const Assignment a = make_uniform(1003, 4, rng);
+    const auto counts = count_opinions(a);
+    for (const auto c : counts) {
+        EXPECT_GE(c, 250U);
+        EXPECT_LE(c, 251U);
+    }
+}
+
+TEST(Zipf, MonotoneCounts) {
+    Rng rng(10);
+    const Assignment a = make_zipf(100000, 6, 1.0, rng);
+    const auto counts = count_opinions(a);
+    for (std::uint32_t j = 1; j < 6; ++j) {
+        EXPECT_GE(counts[j - 1], counts[j]);
+    }
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+    Rng rng(11);
+    const Assignment a = make_zipf(10000, 5, 0.0, rng);
+    const auto counts = count_opinions(a);
+    for (const auto c : counts) {
+        EXPECT_NEAR(static_cast<double>(c), 2000.0, 5.0);
+    }
+}
+
+TEST(FromCounts, ExactCounts) {
+    Rng rng(12);
+    const Assignment a = make_from_counts({7, 3, 5}, rng);
+    EXPECT_EQ(a.size(), 15U);
+    const auto counts = count_opinions(a);
+    EXPECT_EQ(counts[0], 7U);
+    EXPECT_EQ(counts[1], 3U);
+    EXPECT_EQ(counts[2], 5U);
+}
+
+TEST(Theorem1Threshold, ShrinksWithNGrowsWithK) {
+    const double t1 = theorem1_bias_threshold(1 << 14, 8);
+    const double t2 = theorem1_bias_threshold(1 << 20, 8);
+    const double t3 = theorem1_bias_threshold(1 << 14, 32);
+    EXPECT_GT(t1, 1.0);
+    EXPECT_LT(t2, t1);   // larger n -> smaller required bias
+    EXPECT_GT(t3, t1);   // more opinions -> larger required bias
+    EXPECT_DOUBLE_EQ(theorem1_bias_threshold(1000, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace papc

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "opinion/census.hpp"
+#include "support/random.hpp"
+
+namespace papc {
+namespace {
+
+// Randomized differential test: drive GenerationCensus with thousands of
+// random transitions and compare every queried statistic against a naive
+// recount of the shadow node vector.
+
+class CensusFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CensusFuzz, MatchesNaiveRecountUnderRandomTransitions) {
+    const std::size_t n = 300;
+    const std::uint32_t k = 5;
+    Rng rng(GetParam());
+
+    std::vector<Opinion> colors(n);
+    std::vector<Generation> gens(n, 0);
+    for (auto& c : colors) c = static_cast<Opinion>(rng.uniform_index(k));
+
+    GenerationCensus census(n, k);
+    census.reset(colors);
+
+    for (int step = 0; step < 5000; ++step) {
+        const auto v = static_cast<NodeId>(rng.uniform_index(n));
+        const auto new_col = static_cast<Opinion>(rng.uniform_index(k));
+        // Generations never decrease in the protocols; mirror that here.
+        const Generation new_gen =
+            gens[v] + static_cast<Generation>(rng.uniform_index(3));
+        census.transition(gens[v], colors[v], new_gen, new_col);
+        gens[v] = new_gen;
+        colors[v] = new_col;
+
+        if (step % 500 != 0) continue;
+
+        // Naive recount.
+        Generation top = 0;
+        for (const Generation g : gens) top = std::max(top, g);
+        EXPECT_EQ(census.highest_populated(), top);
+        for (Generation g = 0; g <= top; ++g) {
+            std::uint64_t size = 0;
+            std::vector<std::uint64_t> counts(k, 0);
+            for (NodeId u = 0; u < n; ++u) {
+                if (gens[u] == g) {
+                    ++size;
+                    ++counts[colors[u]];
+                }
+            }
+            ASSERT_EQ(census.generation_size(g), size) << "gen " << g;
+            for (Opinion j = 0; j < k; ++j) {
+                ASSERT_EQ(census.count(g, j), counts[j])
+                    << "gen " << g << " color " << j;
+            }
+        }
+        for (Opinion j = 0; j < k; ++j) {
+            std::uint64_t total = 0;
+            for (NodeId u = 0; u < n; ++u) {
+                if (colors[u] == j) ++total;
+            }
+            ASSERT_DOUBLE_EQ(census.opinion_fraction(j),
+                             static_cast<double>(total) / n);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CensusFuzz,
+                         ::testing::Values(11U, 22U, 33U, 44U, 55U));
+
+// Same idea for the flat OpinionCensus including the undecided state.
+class OpinionCensusFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OpinionCensusFuzz, MatchesNaiveRecount) {
+    const std::size_t n = 200;
+    const std::uint32_t k = 4;
+    Rng rng(GetParam());
+
+    std::vector<Opinion> colors(n);
+    for (auto& c : colors) {
+        c = rng.bernoulli(0.2) ? kUndecided
+                               : static_cast<Opinion>(rng.uniform_index(k));
+    }
+    OpinionCensus census(n, k);
+    census.reset(colors);
+
+    for (int step = 0; step < 4000; ++step) {
+        const auto v = static_cast<NodeId>(rng.uniform_index(n));
+        const Opinion to = rng.bernoulli(0.15)
+                               ? kUndecided
+                               : static_cast<Opinion>(rng.uniform_index(k));
+        census.transition(colors[v], to);
+        colors[v] = to;
+
+        if (step % 400 != 0) continue;
+        std::uint64_t undecided = 0;
+        std::vector<std::uint64_t> counts(k, 0);
+        for (const Opinion c : colors) {
+            if (c == kUndecided) ++undecided;
+            else ++counts[c];
+        }
+        ASSERT_EQ(census.undecided_count(), undecided);
+        for (Opinion j = 0; j < k; ++j) {
+            ASSERT_EQ(census.count(j), counts[j]);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpinionCensusFuzz,
+                         ::testing::Values(7U, 17U, 27U));
+
+}  // namespace
+}  // namespace papc

@@ -1,0 +1,186 @@
+#include "opinion/census.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace papc {
+namespace {
+
+TEST(StatsFromCounts, DominantAndRunnerUp) {
+    const BiasStats s = stats_from_counts({10, 30, 20});
+    EXPECT_EQ(s.dominant, 1U);
+    EXPECT_EQ(s.runner_up, 2U);
+    EXPECT_EQ(s.dominant_count, 30U);
+    EXPECT_EQ(s.runner_up_count, 20U);
+    EXPECT_DOUBLE_EQ(s.alpha, 1.5);
+    EXPECT_EQ(s.total, 60U);
+}
+
+TEST(StatsFromCounts, CollisionProbability) {
+    const BiasStats s = stats_from_counts({50, 50});
+    EXPECT_DOUBLE_EQ(s.collision_probability, 0.5);
+    const BiasStats mono = stats_from_counts({100, 0});
+    EXPECT_DOUBLE_EQ(mono.collision_probability, 1.0);
+}
+
+TEST(StatsFromCounts, MonochromaticHasInfiniteAlpha) {
+    const BiasStats s = stats_from_counts({0, 42, 0});
+    EXPECT_TRUE(std::isinf(s.alpha));
+    EXPECT_EQ(s.dominant, 1U);
+    EXPECT_EQ(s.runner_up_count, 0U);
+}
+
+TEST(StatsFromCounts, EmptyGeneration) {
+    const BiasStats s = stats_from_counts({0, 0});
+    EXPECT_EQ(s.total, 0U);
+    EXPECT_DOUBLE_EQ(s.collision_probability, 0.0);
+}
+
+TEST(StatsFromCounts, SingleOpinionVector) {
+    const BiasStats s = stats_from_counts({7});
+    EXPECT_EQ(s.dominant, 0U);
+    EXPECT_EQ(s.runner_up, 0U);  // no second opinion exists
+    EXPECT_TRUE(std::isinf(s.alpha));
+}
+
+TEST(CollisionLowerBound, MatchesRemark2WorstCase) {
+    // Remark 2: worst case is all non-dominant colors equal; then
+    // p = (α² + k - 1)/(α + k - 1)² exactly.
+    const double alpha = 2.0;
+    const std::uint32_t k = 5;
+    // Build exact worst-case counts: c_a = α·m, others m.
+    const BiasStats s = stats_from_counts({200, 100, 100, 100, 100});
+    EXPECT_NEAR(s.collision_probability,
+                collision_probability_lower_bound(alpha, k), 1e-12);
+}
+
+TEST(CollisionLowerBound, AtLeastOneOverK) {
+    for (const std::uint32_t k : {2U, 4U, 16U}) {
+        EXPECT_GE(collision_probability_lower_bound(1.0, k),
+                  1.0 / static_cast<double>(k) - 1e-12);
+    }
+}
+
+TEST(OpinionCensus, ResetAndCounts) {
+    OpinionCensus c(5, 3);
+    c.reset({0, 1, 1, 2, 2});
+    EXPECT_EQ(c.count(0), 1U);
+    EXPECT_EQ(c.count(1), 2U);
+    EXPECT_EQ(c.count(2), 2U);
+    EXPECT_EQ(c.undecided_count(), 0U);
+    EXPECT_DOUBLE_EQ(c.fraction(1), 0.4);
+}
+
+TEST(OpinionCensus, TransitionsPreserveTotal) {
+    OpinionCensus c(4, 2);
+    c.reset({0, 0, 1, 1});
+    c.transition(0, 1);
+    EXPECT_EQ(c.count(0), 1U);
+    EXPECT_EQ(c.count(1), 3U);
+    c.transition(1, kUndecided);
+    EXPECT_EQ(c.undecided_count(), 1U);
+    c.transition(kUndecided, 0);
+    EXPECT_EQ(c.undecided_count(), 0U);
+    EXPECT_EQ(c.count(0) + c.count(1), 4U);
+}
+
+TEST(OpinionCensus, SelfTransitionIsNoop) {
+    OpinionCensus c(2, 2);
+    c.reset({0, 1});
+    c.transition(0, 0);
+    EXPECT_EQ(c.count(0), 1U);
+}
+
+TEST(OpinionCensus, ConvergedDetection) {
+    OpinionCensus c(3, 2);
+    c.reset({0, 0, 1});
+    EXPECT_FALSE(c.converged());
+    c.transition(1, 0);
+    EXPECT_TRUE(c.converged());
+    EXPECT_TRUE(c.unanimous(0));
+    EXPECT_FALSE(c.unanimous(1));
+}
+
+TEST(OpinionCensus, UndecidedBlocksConvergence) {
+    OpinionCensus c(2, 2);
+    c.reset({0, kUndecided});
+    EXPECT_FALSE(c.converged());
+}
+
+TEST(GenerationCensus, InitialStateAllGenerationZero) {
+    GenerationCensus c(4, 2);
+    c.reset({0, 0, 1, 1});
+    EXPECT_EQ(c.generation_size(0), 4U);
+    EXPECT_EQ(c.highest_populated(), 0U);
+    EXPECT_DOUBLE_EQ(c.generation_fraction(0), 1.0);
+    EXPECT_EQ(c.count(0, 0), 2U);
+    EXPECT_EQ(c.count(5, 0), 0U);  // never-populated generation
+}
+
+TEST(GenerationCensus, TransitionMovesBetweenGenerations) {
+    GenerationCensus c(3, 2);
+    c.reset({0, 0, 1});
+    c.transition(0, 0, 1, 0);
+    EXPECT_EQ(c.generation_size(0), 2U);
+    EXPECT_EQ(c.generation_size(1), 1U);
+    EXPECT_EQ(c.highest_populated(), 1U);
+    EXPECT_EQ(c.count(1, 0), 1U);
+    // Color change during promotion.
+    c.transition(0, 1, 1, 0);
+    EXPECT_EQ(c.count(1, 0), 2U);
+    EXPECT_DOUBLE_EQ(c.opinion_fraction(0), 1.0);
+    EXPECT_TRUE(c.converged());
+}
+
+TEST(GenerationCensus, SizeAtLeastAccumulates) {
+    GenerationCensus c(4, 2);
+    c.reset({0, 0, 1, 1});
+    c.transition(0, 0, 2, 0);
+    c.transition(0, 1, 3, 1);
+    EXPECT_EQ(c.size_at_least(0), 4U);
+    EXPECT_EQ(c.size_at_least(1), 2U);
+    EXPECT_EQ(c.size_at_least(3), 1U);
+    EXPECT_EQ(c.size_at_least(4), 0U);
+}
+
+TEST(GenerationCensus, PerGenerationStats) {
+    GenerationCensus c(6, 3);
+    c.reset({0, 0, 0, 1, 1, 2});
+    const BiasStats g0 = c.stats(0);
+    EXPECT_EQ(g0.dominant, 0U);
+    EXPECT_DOUBLE_EQ(g0.alpha, 1.5);
+    const BiasStats empty = c.stats(7);
+    EXPECT_EQ(empty.total, 0U);
+}
+
+TEST(GenerationCensus, PooledStatsAcrossGenerations) {
+    GenerationCensus c(4, 2);
+    c.reset({0, 0, 1, 1});
+    c.transition(0, 0, 1, 0);
+    const BiasStats pooled = c.pooled_stats();
+    EXPECT_EQ(pooled.total, 4U);
+    EXPECT_EQ(pooled.dominant_count, 2U);
+}
+
+TEST(GenerationCensus, RebuildMatchesTransitions) {
+    GenerationCensus a(4, 2);
+    a.reset({0, 1, 0, 1});
+    a.transition(0, 0, 1, 0);
+    a.transition(0, 1, 2, 0);
+
+    // a now holds: gen0 = {col0: 1, col1: 1}, gen1 = {col0: 1},
+    // gen2 = {col0: 1}; build the same layout directly.
+    GenerationCensus b(4, 2);
+    b.rebuild({1, 0, 0, 2}, {0, 1, 0, 0});
+    for (Generation g = 0; g <= 2; ++g) {
+        for (Opinion j = 0; j < 2; ++j) {
+            EXPECT_EQ(a.count(g, j), b.count(g, j)) << "g=" << g << " j=" << j;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace papc

@@ -1,0 +1,98 @@
+#include "population/four_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/random.hpp"
+
+namespace papc::population {
+namespace {
+
+TEST(FourState, InitialState) {
+    const FourStateExactMajority p(6, 4);
+    EXPECT_EQ(p.population(), 10U);
+    EXPECT_EQ(p.strong_a(), 6U);
+    EXPECT_EQ(p.strong_b(), 4U);
+    EXPECT_EQ(p.strong_difference(), 2);
+    EXPECT_FALSE(p.converged());
+}
+
+TEST(FourState, AnnihilationPreservesDifference) {
+    FourStateExactMajority p(3, 2);
+    // Agents 0..2 strong A, 3..4 strong B.
+    p.interact(0, 3);
+    EXPECT_EQ(p.strong_a(), 2U);
+    EXPECT_EQ(p.strong_b(), 1U);
+    EXPECT_EQ(p.strong_difference(), 1);
+}
+
+TEST(FourState, StrongConvertsOppositeWeakBothRoles) {
+    FourStateExactMajority p(2, 1);
+    // 0,1 strong A; 2 strong B. Annihilate 1 and 2 -> weak a, weak b.
+    p.interact(1, 2);
+    // Strong A (0) converts weak b (2) as initiator.
+    p.interact(0, 2);
+    EXPECT_DOUBLE_EQ(p.output_fraction(0), 1.0);
+    EXPECT_TRUE(p.converged());
+}
+
+TEST(FourState, StrongDifferenceInvariantUnderRandomRuns) {
+    FourStateExactMajority p(550, 450);
+    Rng rng(21);
+    const std::int64_t d0 = p.strong_difference();
+    for (int i = 0; i < 50000; ++i) {
+        const auto a = static_cast<NodeId>(rng.uniform_index(1000));
+        auto b = static_cast<NodeId>(rng.uniform_index(999));
+        if (b >= a) ++b;
+        p.interact(a, b);
+        ASSERT_EQ(p.strong_difference(), d0);
+    }
+}
+
+TEST(FourState, ExactMajorityWithTinyBias) {
+    // Additive gap of 2 out of 400: pull-based approximate protocols would
+    // often fail here, the 4-state protocol is exact.
+    int correct = 0;
+    for (int rep = 0; rep < 10; ++rep) {
+        FourStateExactMajority p(201, 199);
+        Rng rng(derive_seed(22, rep));
+        PopulationRunOptions opts;
+        opts.max_interactions = 400ULL * 400ULL * 64ULL;
+        const PopulationResult r = run_population(p, rng, opts);
+        if (r.converged && r.winner == 0) ++correct;
+    }
+    EXPECT_EQ(correct, 10);
+}
+
+TEST(FourState, MinoritySideB) {
+    FourStateExactMajority p(100, 300);
+    Rng rng(23);
+    const PopulationResult r = run_population(p, rng);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.winner, 1U);
+    EXPECT_DOUBLE_EQ(r.winner_fraction.empty() ? 1.0 : 1.0, 1.0);
+    EXPECT_DOUBLE_EQ(p.output_fraction(1), 1.0);
+}
+
+TEST(FourState, TieNeverStabilizes) {
+    FourStateExactMajority p(50, 50);
+    Rng rng(24);
+    PopulationRunOptions opts;
+    opts.max_interactions = 100000;
+    const PopulationResult r = run_population(p, rng, opts);
+    EXPECT_FALSE(r.converged);
+    EXPECT_EQ(p.strong_difference(), 0);
+}
+
+TEST(FourState, WeakPairsDoNotInteract) {
+    FourStateExactMajority p(1, 1);
+    p.interact(0, 1);  // both weak now
+    EXPECT_EQ(p.strong_a(), 0U);
+    EXPECT_EQ(p.strong_b(), 0U);
+    const double before = p.output_fraction(0);
+    p.interact(0, 1);
+    p.interact(1, 0);
+    EXPECT_DOUBLE_EQ(p.output_fraction(0), before);
+}
+
+}  // namespace
+}  // namespace papc::population

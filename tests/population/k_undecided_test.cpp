@@ -1,0 +1,87 @@
+#include "population/k_undecided.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/random.hpp"
+
+namespace papc::population {
+namespace {
+
+TEST(KUndecided, InitialCounts) {
+    const KUndecided p({50, 30, 20}, 10);
+    EXPECT_EQ(p.population(), 110U);
+    EXPECT_EQ(p.num_opinions(), 3U);
+    EXPECT_EQ(p.count(0), 50U);
+    EXPECT_EQ(p.undecided_count(), 10U);
+    EXPECT_FALSE(p.converged());
+}
+
+TEST(KUndecided, TransitionRules) {
+    // Layout: agent 0 -> opinion 0, agent 1 -> opinion 1, agent 2 undecided.
+    KUndecided p({1, 1}, 1);
+    // Conflict: responder becomes undecided.
+    p.interact(0, 1);
+    EXPECT_EQ(p.count(1), 0U);
+    EXPECT_EQ(p.undecided_count(), 2U);
+    // Recruitment: undecided responder adopts.
+    p.interact(0, 2);
+    EXPECT_EQ(p.count(0), 2U);
+    EXPECT_EQ(p.undecided_count(), 1U);
+    // Undecided initiators do nothing.
+    p.interact(1, 0);
+    EXPECT_EQ(p.count(0), 2U);
+}
+
+TEST(KUndecided, ConvergesToPluralityWithBias) {
+    KUndecided p({600, 200, 200});
+    Rng rng(31);
+    const PopulationResult r = run_population(p, rng);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.winner, 0U);
+}
+
+TEST(KUndecided, PopulationConserved) {
+    KUndecided p({40, 30, 20, 10});
+    Rng rng(32);
+    for (int i = 0; i < 20000; ++i) {
+        const auto a = static_cast<NodeId>(rng.uniform_index(100));
+        auto b = static_cast<NodeId>(rng.uniform_index(99));
+        if (b >= a) ++b;
+        p.interact(a, b);
+        std::uint64_t total = p.undecided_count();
+        for (Opinion j = 0; j < 4; ++j) total += p.count(j);
+        ASSERT_EQ(total, 100U);
+    }
+}
+
+TEST(KUndecided, MonochromaticAbsorbing) {
+    KUndecided p({50});
+    Rng rng(33);
+    EXPECT_TRUE(p.converged());
+    PopulationRunOptions opts;
+    opts.max_interactions = 1000;
+    const PopulationResult r = run_population(p, rng, opts);
+    EXPECT_TRUE(r.converged);
+    // Convergence is detected at the first check boundary (n interactions).
+    EXPECT_LE(r.interactions, 50U);
+}
+
+TEST(KUndecided, ManyOpinionsEventuallyDecide) {
+    KUndecided p({300, 150, 150, 100, 100, 100, 50, 50});
+    Rng rng(34);
+    PopulationRunOptions opts;
+    opts.max_interactions = 1ULL << 24;
+    const PopulationResult r = run_population(p, rng, opts);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.winner, 0U);
+}
+
+TEST(KUndecided, OutputFractions) {
+    const KUndecided p({25, 75});
+    EXPECT_DOUBLE_EQ(p.output_fraction(0), 0.25);
+    EXPECT_DOUBLE_EQ(p.output_fraction(1), 0.75);
+    EXPECT_DOUBLE_EQ(p.output_fraction(9), 0.0);
+}
+
+}  // namespace
+}  // namespace papc::population

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "population/four_state.hpp"
+#include "population/k_undecided.hpp"
+#include "population/scheduler.hpp"
+#include "population/three_state.hpp"
+
+namespace papc::population {
+namespace {
+
+TEST(PairPolicies, UniformPairsAreDistinct) {
+    ThreeStateMajority protocol(5, 5);
+    UniformPairPolicy policy;
+    Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        const auto [a, b] = policy.next_pair(protocol, 10, rng);
+        EXPECT_NE(a, b);
+        EXPECT_LT(a, 10U);
+        EXPECT_LT(b, 10U);
+    }
+}
+
+TEST(PairPolicies, RoundRobinCyclesInitiators) {
+    ThreeStateMajority protocol(4, 4);
+    RoundRobinPairPolicy policy;
+    Rng rng(2);
+    for (int cycle = 0; cycle < 3; ++cycle) {
+        for (NodeId expected = 0; expected < 8; ++expected) {
+            const auto [a, b] = policy.next_pair(protocol, 8, rng);
+            EXPECT_EQ(a, expected);
+            EXPECT_NE(b, a);
+        }
+    }
+}
+
+TEST(PairPolicies, StallingPrefersSameOutputPairs) {
+    ThreeStateMajority protocol(50, 50);
+    StallingPairPolicy policy(0.99);
+    Rng rng(3);
+    int same = 0;
+    const int trials = 2000;
+    for (int i = 0; i < trials; ++i) {
+        const auto [a, b] = policy.next_pair(protocol, 100, rng);
+        if (protocol.output_opinion(a) == protocol.output_opinion(b)) ++same;
+    }
+    // Uniform sampling would give ~50% same-output pairs; the adversary
+    // pushes that far up.
+    EXPECT_GT(same, trials * 3 / 4);
+}
+
+TEST(PairPolicies, ExactMajorityCorrectUnderEveryPolicy) {
+    // The 4-state protocol's correctness is scheduler-independent (only
+    // speed changes). Check all three policies on a thin majority.
+    for (int which = 0; which < 3; ++which) {
+        FourStateExactMajority protocol(120, 80);
+        Rng rng(derive_seed(4, which));
+        PopulationRunOptions opts;
+        opts.max_interactions = 200ULL * 200ULL * 64ULL;
+        PopulationResult r;
+        if (which == 0) {
+            UniformPairPolicy policy;
+            r = run_population_with_policy(protocol, policy, rng, opts);
+        } else if (which == 1) {
+            RoundRobinPairPolicy policy;
+            r = run_population_with_policy(protocol, policy, rng, opts);
+        } else {
+            StallingPairPolicy policy(0.8);
+            r = run_population_with_policy(protocol, policy, rng, opts);
+        }
+        EXPECT_TRUE(r.converged) << "policy " << which;
+        EXPECT_EQ(r.winner, 0U) << "policy " << which;
+    }
+}
+
+TEST(PairPolicies, StallingSlowsConvergence) {
+    PopulationRunOptions opts;
+    opts.max_interactions = 1ULL << 26;
+
+    ThreeStateMajority fair_protocol(700, 300);
+    UniformPairPolicy fair;
+    Rng r1(5);
+    const PopulationResult quick =
+        run_population_with_policy(fair_protocol, fair, r1, opts);
+
+    ThreeStateMajority slow_protocol(700, 300);
+    StallingPairPolicy adversary(0.9);
+    Rng r2(5);
+    const PopulationResult delayed =
+        run_population_with_policy(slow_protocol, adversary, r2, opts);
+
+    ASSERT_TRUE(quick.converged);
+    ASSERT_TRUE(delayed.converged);
+    EXPECT_GT(delayed.interactions, quick.interactions);
+    EXPECT_EQ(delayed.winner, 0U);  // fairness preserves correctness
+}
+
+TEST(OutputOpinion, ExposedByAllProtocols) {
+    const ThreeStateMajority three(1, 1, 1);
+    EXPECT_EQ(three.output_opinion(0), 0U);
+    EXPECT_EQ(three.output_opinion(1), 1U);
+    EXPECT_EQ(three.output_opinion(2), kUndecided);
+
+    const FourStateExactMajority four(1, 1);
+    EXPECT_EQ(four.output_opinion(0), 0U);
+    EXPECT_EQ(four.output_opinion(1), 1U);
+
+    const KUndecided kund({1, 1}, 1);
+    EXPECT_EQ(kund.output_opinion(0), 0U);
+    EXPECT_EQ(kund.output_opinion(1), 1U);
+    EXPECT_EQ(kund.output_opinion(2), kUndecided);
+}
+
+}  // namespace
+}  // namespace papc::population

@@ -1,0 +1,79 @@
+#include "population/three_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/random.hpp"
+
+namespace papc::population {
+namespace {
+
+TEST(ThreeState, InitialCounts) {
+    const ThreeStateMajority p(60, 30, 10);
+    EXPECT_EQ(p.population(), 100U);
+    EXPECT_EQ(p.count_a(), 60U);
+    EXPECT_EQ(p.count_b(), 30U);
+    EXPECT_EQ(p.count_blank(), 10U);
+    EXPECT_FALSE(p.converged());
+}
+
+TEST(ThreeState, TransitionRules) {
+    // Layout: agent 0 = A, agent 1 = B, agent 2 = blank.
+    ThreeStateMajority p(1, 1, 1);
+    // A initiates with B: responder becomes blank.
+    p.interact(0, 1);
+    EXPECT_EQ(p.count_b(), 0U);
+    EXPECT_EQ(p.count_blank(), 2U);
+    // A initiates with blank: responder becomes A.
+    p.interact(0, 1);
+    EXPECT_EQ(p.count_a(), 2U);
+    // Blank initiator changes nothing.
+    p.interact(2, 0);
+    EXPECT_EQ(p.count_a(), 2U);
+    EXPECT_EQ(p.count_blank(), 1U);
+}
+
+TEST(ThreeState, ConvergesToMajorityWithClearBias) {
+    ThreeStateMajority p(700, 300);
+    Rng rng(11);
+    const PopulationResult r = run_population(p, rng);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.winner, 0U);
+    // O(n log n) interactions => O(log n) parallel time; generous cap.
+    EXPECT_LT(r.parallel_time, 200.0);
+}
+
+TEST(ThreeState, MinorityCanBeB) {
+    ThreeStateMajority p(200, 800);
+    Rng rng(12);
+    const PopulationResult r = run_population(p, rng);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.winner, 1U);
+}
+
+TEST(ThreeState, CountsAlwaysSumToN) {
+    ThreeStateMajority p(50, 40, 10);
+    Rng rng(13);
+    for (int i = 0; i < 10000; ++i) {
+        const auto a = static_cast<NodeId>(rng.uniform_index(100));
+        auto b = static_cast<NodeId>(rng.uniform_index(99));
+        if (b >= a) ++b;
+        p.interact(a, b);
+        EXPECT_EQ(p.count_a() + p.count_b() + p.count_blank(), 100U);
+    }
+}
+
+TEST(ThreeState, OutputFractions) {
+    const ThreeStateMajority p(25, 75);
+    EXPECT_DOUBLE_EQ(p.output_fraction(0), 0.25);
+    EXPECT_DOUBLE_EQ(p.output_fraction(1), 0.75);
+    EXPECT_DOUBLE_EQ(p.output_fraction(2), 0.0);
+}
+
+TEST(ThreeState, MonochromaticIsConverged) {
+    const ThreeStateMajority p(10, 0);
+    EXPECT_TRUE(p.converged());
+    EXPECT_EQ(p.current_winner(), 0U);
+}
+
+}  // namespace
+}  // namespace papc::population

@@ -1,0 +1,48 @@
+#include "runner/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace papc::runner {
+namespace {
+
+TEST(Banner, ContainsTitle) {
+    std::ostringstream out;
+    print_banner(out, "Hello");
+    EXPECT_NE(out.str().find("Hello"), std::string::npos);
+    EXPECT_NE(out.str().find("="), std::string::npos);
+}
+
+TEST(Heading, ContainsTitle) {
+    std::ostringstream out;
+    print_heading(out, "Sub");
+    EXPECT_NE(out.str().find("Sub"), std::string::npos);
+}
+
+TEST(Sparkline, EmptySeries) {
+    EXPECT_EQ(sparkline(TimeSeries{}), "(empty)");
+}
+
+TEST(Sparkline, ShowsRangeEndpoints) {
+    TimeSeries ts;
+    for (int i = 0; i <= 100; ++i) {
+        ts.record(static_cast<double>(i), static_cast<double>(i) / 100.0);
+    }
+    const std::string line = sparkline(ts, 20);
+    EXPECT_NE(line.find("0.00"), std::string::npos);
+    EXPECT_NE(line.find("1.00"), std::string::npos);
+    EXPECT_NE(line.find("100.0"), std::string::npos);  // final time
+}
+
+TEST(Sparkline, ConstantSeriesDoesNotDivideByZero) {
+    TimeSeries ts;
+    ts.record(0.0, 5.0);
+    ts.record(1.0, 5.0);
+    ts.record(2.0, 5.0);
+    const std::string line = sparkline(ts, 10);
+    EXPECT_FALSE(line.empty());
+}
+
+}  // namespace
+}  // namespace papc::runner

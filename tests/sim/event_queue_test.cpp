@@ -1,0 +1,92 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "support/random.hpp"
+
+namespace papc::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+    EventQueue<int> q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0U);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+    EventQueue<int> q;
+    q.push(3.0, 3);
+    q.push(1.0, 1);
+    q.push(2.0, 2);
+    EXPECT_EQ(q.pop().payload, 1);
+    EXPECT_EQ(q.pop().payload, 2);
+    EXPECT_EQ(q.pop().payload, 3);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBrokenByInsertionOrder) {
+    EventQueue<std::string> q;
+    q.push(1.0, "first");
+    q.push(1.0, "second");
+    q.push(1.0, "third");
+    EXPECT_EQ(q.pop().payload, "first");
+    EXPECT_EQ(q.pop().payload, "second");
+    EXPECT_EQ(q.pop().payload, "third");
+}
+
+TEST(EventQueue, NextTimePeeksEarliest) {
+    EventQueue<int> q;
+    q.push(5.0, 0);
+    q.push(2.0, 0);
+    EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+    q.pop();
+    EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+    EventQueue<int> q;
+    q.push(10.0, 10);
+    q.push(1.0, 1);
+    EXPECT_EQ(q.pop().payload, 1);
+    q.push(5.0, 5);
+    q.push(0.5, 0);  // earlier than everything remaining
+    EXPECT_EQ(q.pop().payload, 0);
+    EXPECT_EQ(q.pop().payload, 5);
+    EXPECT_EQ(q.pop().payload, 10);
+}
+
+TEST(EventQueue, RandomStressIsSorted) {
+    EventQueue<int> q;
+    Rng rng(77);
+    for (int i = 0; i < 10000; ++i) {
+        q.push(rng.uniform(), i);
+    }
+    double prev = -1.0;
+    while (!q.empty()) {
+        const auto e = q.pop();
+        EXPECT_GE(e.time, prev);
+        prev = e.time;
+    }
+}
+
+TEST(EventQueue, ClearEmptiesQueue) {
+    EventQueue<int> q;
+    q.push(1.0, 1);
+    q.push(2.0, 2);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PushedCountsAllInsertions) {
+    EventQueue<int> q;
+    q.push(1.0, 1);
+    q.pop();
+    q.push(2.0, 2);
+    EXPECT_EQ(q.pushed(), 2U);
+}
+
+}  // namespace
+}  // namespace papc::sim

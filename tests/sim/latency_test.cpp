@@ -1,0 +1,97 @@
+#include "sim/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/random.hpp"
+#include "support/stats.hpp"
+
+namespace papc::sim {
+namespace {
+
+// Empirical mean of `model` over `trials` samples.
+double empirical_mean(const LatencyModel& model, int trials, std::uint64_t seed) {
+    Rng rng(seed);
+    RunningStat s;
+    for (int i = 0; i < trials; ++i) s.add(model.sample(rng));
+    return s.mean();
+}
+
+TEST(ExponentialLatency, MeanMatches) {
+    const ExponentialLatency m(4.0);
+    EXPECT_DOUBLE_EQ(m.mean(), 0.25);
+    EXPECT_NEAR(empirical_mean(m, 100000, 1), 0.25, 0.005);
+    EXPECT_EQ(m.aging(), AgingClass::kMemoryless);
+}
+
+TEST(ConstantLatency, AlwaysSameValue) {
+    const ConstantLatency m(1.5);
+    Rng rng(2);
+    for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(m.sample(rng), 1.5);
+    EXPECT_EQ(m.aging(), AgingClass::kPositiveAging);
+}
+
+TEST(UniformLatency, BoundsAndMean) {
+    const UniformLatency m(1.0, 3.0);
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = m.sample(rng);
+        EXPECT_GE(x, 1.0);
+        EXPECT_LT(x, 3.0);
+    }
+    EXPECT_DOUBLE_EQ(m.mean(), 2.0);
+    EXPECT_EQ(m.aging(), AgingClass::kPositiveAging);
+}
+
+TEST(GammaLatency, MeanAndAgingBoundaries) {
+    const GammaLatency shape2(2.0, 0.5);
+    EXPECT_DOUBLE_EQ(shape2.mean(), 1.0);
+    EXPECT_EQ(shape2.aging(), AgingClass::kPositiveAging);
+    EXPECT_NEAR(empirical_mean(shape2, 100000, 4), 1.0, 0.01);
+
+    const GammaLatency shape1(1.0, 2.0);
+    EXPECT_EQ(shape1.aging(), AgingClass::kMemoryless);
+
+    const GammaLatency heavy(0.5, 1.0);
+    EXPECT_EQ(heavy.aging(), AgingClass::kNegativeAging);
+}
+
+TEST(WeibullLatency, MeanAndAgingBoundaries) {
+    const WeibullLatency w2(2.0, 1.0);
+    EXPECT_EQ(w2.aging(), AgingClass::kPositiveAging);
+    EXPECT_NEAR(empirical_mean(w2, 100000, 5), w2.mean(), 0.01);
+
+    const WeibullLatency w1(1.0, 1.0);
+    EXPECT_EQ(w1.aging(), AgingClass::kMemoryless);
+    EXPECT_DOUBLE_EQ(w1.mean(), 1.0);  // Γ(2) = 1
+
+    const WeibullLatency heavy(0.5, 1.0);
+    EXPECT_EQ(heavy.aging(), AgingClass::kNegativeAging);
+    EXPECT_DOUBLE_EQ(heavy.mean(), 2.0);  // Γ(3) = 2
+}
+
+TEST(LogNormalLatency, MeanMatchesClosedForm) {
+    const LogNormalLatency m(0.0, 0.5);
+    EXPECT_NEAR(empirical_mean(m, 200000, 6), m.mean(), 0.01);
+    EXPECT_EQ(m.aging(), AgingClass::kNegativeAging);
+}
+
+TEST(LatencyModel, NamesAreDescriptive) {
+    EXPECT_NE(ExponentialLatency(2.0).name().find("Exponential"), std::string::npos);
+    EXPECT_NE(ConstantLatency(1.0).name().find("Constant"), std::string::npos);
+    EXPECT_NE(WeibullLatency(2.0, 1.0).name().find("Weibull"), std::string::npos);
+}
+
+TEST(LatencyModel, FactoryBuildsExponential) {
+    const auto m = make_exponential_latency(3.0);
+    ASSERT_NE(m, nullptr);
+    EXPECT_DOUBLE_EQ(m->mean(), 1.0 / 3.0);
+}
+
+TEST(AgingClass, ToStringCoversAll) {
+    EXPECT_STREQ(to_string(AgingClass::kMemoryless), "memoryless");
+    EXPECT_STREQ(to_string(AgingClass::kPositiveAging), "positive-aging");
+    EXPECT_STREQ(to_string(AgingClass::kNegativeAging), "negative-aging");
+}
+
+}  // namespace
+}  // namespace papc::sim

@@ -1,0 +1,46 @@
+#include "sim/poisson_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/stats.hpp"
+
+namespace papc::sim {
+namespace {
+
+TEST(PoissonClock, IntervalMeanMatchesRate) {
+    const PoissonClock clock(2.0);
+    Rng rng(1);
+    RunningStat s;
+    for (int i = 0; i < 100000; ++i) s.add(clock.next_interval(rng));
+    EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(PoissonClock, IntervalsPositive) {
+    const PoissonClock clock(1.0);
+    Rng rng(2);
+    for (int i = 0; i < 1000; ++i) EXPECT_GT(clock.next_interval(rng), 0.0);
+}
+
+TEST(PoissonClock, TicksInWindowMean) {
+    const PoissonClock clock(1.0);
+    Rng rng(3);
+    RunningStat s;
+    for (int i = 0; i < 50000; ++i) {
+        s.add(static_cast<double>(clock.ticks_in(rng, 5.0)));
+    }
+    EXPECT_NEAR(s.mean(), 5.0, 0.05);
+    EXPECT_NEAR(s.variance(), 5.0, 0.2);
+}
+
+TEST(PoissonClock, ZeroWindowNoTicks) {
+    const PoissonClock clock(1.0);
+    Rng rng(4);
+    EXPECT_EQ(clock.ticks_in(rng, 0.0), 0U);
+}
+
+TEST(PoissonClock, RateAccessor) {
+    EXPECT_DOUBLE_EQ(PoissonClock(3.5).rate(), 3.5);
+}
+
+}  // namespace
+}  // namespace papc::sim

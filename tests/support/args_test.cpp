@@ -1,0 +1,80 @@
+#include "support/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace papc {
+namespace {
+
+Args parse(std::initializer_list<const char*> tokens) {
+    std::vector<const char*> argv{"prog"};
+    argv.insert(argv.end(), tokens.begin(), tokens.end());
+    return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, KeyValuePairs) {
+    const Args a = parse({"--n", "100", "--alpha", "1.5"});
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(a.get_uint("n", 0), 100U);
+    EXPECT_DOUBLE_EQ(a.get_double("alpha", 0.0), 1.5);
+}
+
+TEST(Args, EqualsSyntax) {
+    const Args a = parse({"--n=42", "--name=test"});
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(a.get_int("n", 0), 42);
+    EXPECT_EQ(a.get("name", ""), "test");
+}
+
+TEST(Args, Flags) {
+    const Args a = parse({"--verbose", "--n", "5"});
+    ASSERT_TRUE(a.ok());
+    EXPECT_TRUE(a.get_flag("verbose"));
+    EXPECT_FALSE(a.get_flag("quiet"));
+    EXPECT_EQ(a.get_int("n", 0), 5);
+}
+
+TEST(Args, FlagWithExplicitValue) {
+    const Args a = parse({"--quiet=true", "--loud=0"});
+    EXPECT_TRUE(a.get_flag("quiet"));
+    EXPECT_FALSE(a.get_flag("loud"));
+}
+
+TEST(Args, Defaults) {
+    const Args a = parse({});
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(a.get("missing", "fallback"), "fallback");
+    EXPECT_EQ(a.get_int("missing", -7), -7);
+    EXPECT_DOUBLE_EQ(a.get_double("missing", 2.5), 2.5);
+    EXPECT_FALSE(a.has("missing"));
+}
+
+TEST(Args, MalformedInputReportsError) {
+    const Args a = parse({"positional"});
+    EXPECT_FALSE(a.ok());
+    EXPECT_NE(a.error().find("positional"), std::string::npos);
+}
+
+TEST(Args, TrailingFlag) {
+    const Args a = parse({"--n", "3", "--dry-run"});
+    ASSERT_TRUE(a.ok());
+    EXPECT_TRUE(a.get_flag("dry-run"));
+}
+
+TEST(Args, UnusedDetection) {
+    const Args a = parse({"--used", "1", "--typo", "2"});
+    ASSERT_TRUE(a.ok());
+    (void)a.get_int("used", 0);
+    const auto unused = a.unused();
+    ASSERT_EQ(unused.size(), 1U);
+    EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Args, NegativeNumberValue) {
+    const Args a = parse({"--offset", "-5"});
+    ASSERT_TRUE(a.ok());
+    // "-5" does not start with "--", so it binds as the value.
+    EXPECT_EQ(a.get_int("offset", 0), -5);
+}
+
+}  // namespace
+}  // namespace papc

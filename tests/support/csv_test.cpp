@@ -1,0 +1,56 @@
+#include "support/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace papc {
+namespace {
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+class CsvTest : public ::testing::Test {
+protected:
+    void TearDown() override { std::remove(path_.c_str()); }
+    std::string path_ = ::testing::TempDir() + "papc_csv_test.csv";
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+    {
+        CsvWriter w(path_, {"a", "b"});
+        ASSERT_TRUE(w.ok());
+        w.write_row(std::vector<std::string>{"1", "2"});
+        w.write_row(std::vector<double>{3.5, 4.25});
+    }
+    const std::string content = read_file(path_);
+    EXPECT_EQ(content, "a,b\n1,2\n3.5,4.25\n");
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters) {
+    {
+        CsvWriter w(path_, {"x"});
+        w.write_row({std::string("he,llo")});
+        w.write_row({std::string("say \"hi\"")});
+    }
+    const std::string content = read_file(path_);
+    EXPECT_NE(content.find("\"he,llo\""), std::string::npos);
+    EXPECT_NE(content.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(CsvEscape, PlainCellUnchanged) {
+    EXPECT_EQ(csv_escape("plain"), "plain");
+}
+
+TEST(CsvEscape, QuotesCellWithNewline) {
+    EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+}  // namespace
+}  // namespace papc

@@ -1,0 +1,71 @@
+#include "support/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/random.hpp"
+
+namespace papc {
+namespace {
+
+TEST(Histogram, BucketEdges) {
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_EQ(h.bucket_count(), 5U);
+    EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bucket_hi(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.bucket_lo(4), 8.0);
+    EXPECT_DOUBLE_EQ(h.bucket_hi(4), 10.0);
+}
+
+TEST(Histogram, CountsLandInCorrectBuckets) {
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);
+    h.add(1.9);
+    h.add(2.0);
+    h.add(9.99);
+    EXPECT_EQ(h.bucket(0), 2U);
+    EXPECT_EQ(h.bucket(1), 1U);
+    EXPECT_EQ(h.bucket(4), 1U);
+    EXPECT_EQ(h.total(), 4U);
+}
+
+TEST(Histogram, UnderflowOverflow) {
+    Histogram h(0.0, 1.0, 2);
+    h.add(-0.1);
+    h.add(1.0);   // hi edge is exclusive
+    h.add(5.0);
+    EXPECT_EQ(h.underflow(), 1U);
+    EXPECT_EQ(h.overflow(), 2U);
+    EXPECT_EQ(h.total(), 3U);
+}
+
+TEST(Histogram, QuantileOfUniformData) {
+    Histogram h(0.0, 1.0, 100);
+    Rng rng(31);
+    for (int i = 0; i < 200000; ++i) h.add(rng.uniform());
+    EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+    EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+    EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(Histogram, QuantileOfExponentialMatchesClosedForm) {
+    Histogram h(0.0, 20.0, 2000);
+    Rng rng(32);
+    for (int i = 0; i < 200000; ++i) h.add(rng.exponential(1.0));
+    // Median of Exp(1) is ln 2.
+    EXPECT_NEAR(h.quantile(0.5), 0.693, 0.02);
+}
+
+TEST(Histogram, RenderProducesOneLinePerBucket) {
+    Histogram h(0.0, 2.0, 4);
+    h.add(0.5);
+    h.add(1.5);
+    const std::string art = h.render(10);
+    int lines = 0;
+    for (const char ch : art) {
+        if (ch == '\n') ++lines;
+    }
+    EXPECT_EQ(lines, 4);
+}
+
+}  // namespace
+}  // namespace papc

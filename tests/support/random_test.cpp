@@ -1,0 +1,247 @@
+#include "support/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace papc {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next_u64() == b.next_u64()) ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+    Rng parent(7);
+    Rng child = parent.split();
+    // Child differs from a continued parent stream.
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (parent.next_u64() == child.next_u64()) ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+    Rng rng(4);
+    RunningStat s;
+    for (int i = 0; i < 100000; ++i) s.add(rng.uniform());
+    EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(2.0, 5.0);
+        EXPECT_GE(x, 2.0);
+        EXPECT_LT(x, 5.0);
+    }
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+    Rng rng(6);
+    std::vector<int> counts(10, 0);
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i) {
+        ++counts[rng.uniform_index(10)];
+    }
+    for (const int c : counts) {
+        EXPECT_NEAR(static_cast<double>(c) / trials, 0.1, 0.01);
+    }
+}
+
+TEST(Rng, UniformIndexOneAlwaysZero) {
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_index(1), 0U);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+    Rng rng(8);
+    int hits = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i) {
+        if (rng.bernoulli(0.3)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+    Rng rng(9);
+    RunningStat s;
+    for (int i = 0; i < 100000; ++i) {
+        const double x = rng.exponential(2.0);
+        EXPECT_GT(x, 0.0);
+        s.add(x);
+    }
+    EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+    Rng rng(10);
+    RunningStat s;
+    for (int i = 0; i < 100000; ++i) s.add(rng.normal(3.0, 2.0));
+    EXPECT_NEAR(s.mean(), 3.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, GammaMeanAndVariance) {
+    Rng rng(11);
+    RunningStat s;
+    const double shape = 4.0;
+    const double scale = 0.5;
+    for (int i = 0; i < 100000; ++i) s.add(rng.gamma(shape, scale));
+    EXPECT_NEAR(s.mean(), shape * scale, 0.02);
+    EXPECT_NEAR(s.variance(), shape * scale * scale, 0.05);
+}
+
+TEST(Rng, GammaShapeBelowOne) {
+    Rng rng(12);
+    RunningStat s;
+    for (int i = 0; i < 100000; ++i) {
+        const double x = rng.gamma(0.5, 1.0);
+        EXPECT_GE(x, 0.0);
+        s.add(x);
+    }
+    EXPECT_NEAR(s.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, WeibullShapeOneIsExponential) {
+    Rng rng(13);
+    RunningStat s;
+    for (int i = 0; i < 100000; ++i) s.add(rng.weibull(1.0, 2.0));
+    EXPECT_NEAR(s.mean(), 2.0, 0.05);
+}
+
+TEST(Rng, PoissonSmallMean) {
+    Rng rng(14);
+    RunningStat s;
+    for (int i = 0; i < 100000; ++i) {
+        s.add(static_cast<double>(rng.poisson(3.0)));
+    }
+    EXPECT_NEAR(s.mean(), 3.0, 0.05);
+    EXPECT_NEAR(s.variance(), 3.0, 0.1);
+}
+
+TEST(Rng, PoissonLargeMean) {
+    Rng rng(15);
+    RunningStat s;
+    for (int i = 0; i < 20000; ++i) {
+        s.add(static_cast<double>(rng.poisson(500.0)));
+    }
+    EXPECT_NEAR(s.mean(), 500.0, 2.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+    Rng rng(16);
+    EXPECT_EQ(rng.poisson(0.0), 0U);
+}
+
+TEST(Rng, BinomialSmall) {
+    Rng rng(17);
+    RunningStat s;
+    for (int i = 0; i < 50000; ++i) {
+        const auto x = rng.binomial(20, 0.25);
+        EXPECT_LE(x, 20U);
+        s.add(static_cast<double>(x));
+    }
+    EXPECT_NEAR(s.mean(), 5.0, 0.05);
+}
+
+TEST(Rng, BinomialLarge) {
+    Rng rng(18);
+    RunningStat s;
+    for (int i = 0; i < 20000; ++i) {
+        const auto x = rng.binomial(100000, 0.4);
+        EXPECT_LE(x, 100000U);
+        s.add(static_cast<double>(x));
+    }
+    EXPECT_NEAR(s.mean(), 40000.0, 20.0);
+}
+
+TEST(Rng, BinomialEdgeCases) {
+    Rng rng(19);
+    EXPECT_EQ(rng.binomial(0, 0.5), 0U);
+    EXPECT_EQ(rng.binomial(10, 0.0), 0U);
+    EXPECT_EQ(rng.binomial(10, 1.0), 10U);
+}
+
+TEST(Rng, DiscreteFollowsWeights) {
+    Rng rng(20);
+    const std::vector<double> weights{1.0, 3.0, 6.0};
+    std::vector<int> counts(3, 0);
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i) ++counts[rng.discrete(weights)];
+    EXPECT_NEAR(counts[0] / static_cast<double>(trials), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(trials), 0.3, 0.01);
+    EXPECT_NEAR(counts[2] / static_cast<double>(trials), 0.6, 0.01);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+    Rng rng(21);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto copy = v;
+    rng.shuffle(copy);
+    std::multiset<int> a(v.begin(), v.end());
+    std::multiset<int> b(copy.begin(), copy.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+    Rng rng(22);
+    std::vector<int> v(100);
+    for (int i = 0; i < 100; ++i) v[i] = i;
+    auto copy = v;
+    rng.shuffle(copy);
+    EXPECT_NE(v, copy);  // probability of identity is astronomically small
+}
+
+TEST(DeriveSeed, DistinctIndicesGiveDistinctSeeds) {
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        seeds.insert(derive_seed(123, i));
+    }
+    EXPECT_EQ(seeds.size(), 1000U);
+}
+
+TEST(DeriveSeed, StableAcrossCalls) {
+    EXPECT_EQ(derive_seed(99, 7), derive_seed(99, 7));
+    EXPECT_NE(derive_seed(99, 7), derive_seed(100, 7));
+}
+
+TEST(Splitmix64, KnownSequenceIsReproducible) {
+    std::uint64_t s1 = 0;
+    std::uint64_t s2 = 0;
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+    }
+}
+
+}  // namespace
+}  // namespace papc

@@ -1,0 +1,60 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace papc {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+    Table t({"n", "time"});
+    t.row().add(std::uint64_t{1024}).add(3.14159, 2);
+    t.row().add(std::uint64_t{2048}).add(6.5, 2);
+    const std::string out = t.render();
+    EXPECT_NE(out.find("n"), std::string::npos);
+    EXPECT_NE(out.find("time"), std::string::npos);
+    EXPECT_NE(out.find("1024"), std::string::npos);
+    EXPECT_NE(out.find("3.14"), std::string::npos);
+    EXPECT_NE(out.find("6.50"), std::string::npos);
+}
+
+TEST(Table, ColumnsAreAligned) {
+    Table t({"a", "b"});
+    t.row().add("short").add("x");
+    t.row().add("a-much-longer-cell").add("y");
+    const std::string out = t.render();
+    // All lines have equal length in an aligned table.
+    std::istringstream lines(out);
+    std::string line;
+    std::size_t width = 0;
+    while (std::getline(lines, line)) {
+        if (width == 0) width = line.size();
+        EXPECT_EQ(line.size(), width);
+    }
+}
+
+TEST(Table, CountsRowsAndColumns) {
+    Table t({"a", "b", "c"});
+    EXPECT_EQ(t.column_count(), 3U);
+    EXPECT_EQ(t.row_count(), 0U);
+    t.row().add(1).add(2).add(3);
+    EXPECT_EQ(t.row_count(), 1U);
+}
+
+TEST(Table, PrintWritesToStream) {
+    Table t({"h"});
+    t.row().add("v");
+    std::ostringstream out;
+    t.print(out);
+    EXPECT_FALSE(out.str().empty());
+}
+
+TEST(FormatDouble, Precision) {
+    EXPECT_EQ(format_double(1.23456, 2), "1.23");
+    EXPECT_EQ(format_double(1.0, 0), "1");
+    EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace papc

@@ -1,0 +1,61 @@
+#include "support/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace papc {
+namespace {
+
+TEST(TimeSeries, RecordAndAccess) {
+    TimeSeries ts("x");
+    ts.record(0.0, 1.0);
+    ts.record(1.0, 2.0);
+    ts.record(1.0, 3.0);  // equal time allowed
+    EXPECT_EQ(ts.size(), 3U);
+    EXPECT_EQ(ts.name(), "x");
+    EXPECT_DOUBLE_EQ(ts[2].value, 3.0);
+}
+
+TEST(TimeSeries, ValueAtUsesStepInterpolation) {
+    TimeSeries ts;
+    ts.record(0.0, 10.0);
+    ts.record(2.0, 20.0);
+    ts.record(4.0, 30.0);
+    EXPECT_DOUBLE_EQ(ts.value_at(-1.0), 10.0);
+    EXPECT_DOUBLE_EQ(ts.value_at(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(ts.value_at(1.99), 10.0);
+    EXPECT_DOUBLE_EQ(ts.value_at(2.0), 20.0);
+    EXPECT_DOUBLE_EQ(ts.value_at(3.5), 20.0);
+    EXPECT_DOUBLE_EQ(ts.value_at(100.0), 30.0);
+}
+
+TEST(TimeSeries, FirstTimeReaching) {
+    TimeSeries ts;
+    ts.record(0.0, 0.2);
+    ts.record(1.0, 0.5);
+    ts.record(2.0, 0.9);
+    EXPECT_DOUBLE_EQ(ts.first_time_reaching(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(ts.first_time_reaching(0.1), 0.0);
+    EXPECT_LT(ts.first_time_reaching(0.99), 0.0);
+}
+
+TEST(TimeSeries, DownsampleKeepsEndpoints) {
+    TimeSeries ts;
+    for (int i = 0; i <= 100; ++i) {
+        ts.record(static_cast<double>(i), static_cast<double>(i * i));
+    }
+    const TimeSeries small = ts.downsample(5);
+    EXPECT_EQ(small.size(), 5U);
+    EXPECT_DOUBLE_EQ(small[0].time, 0.0);
+    EXPECT_DOUBLE_EQ(small[4].time, 100.0);
+}
+
+TEST(TimeSeries, DownsampleShortSeriesUnchanged) {
+    TimeSeries ts;
+    ts.record(0.0, 1.0);
+    ts.record(1.0, 2.0);
+    const TimeSeries same = ts.downsample(10);
+    EXPECT_EQ(same.size(), 2U);
+}
+
+}  // namespace
+}  // namespace papc

@@ -1,0 +1,145 @@
+#include "sync/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "opinion/assignment.hpp"
+#include "sync/engine.hpp"
+
+namespace papc::sync {
+namespace {
+
+struct BaselineCase {
+    const char* name;
+    int which;  // 0 pull, 1 two-choices, 2 3-majority, 3 undecided
+};
+
+std::unique_ptr<SyncDynamics> make_dynamics(int which, const Assignment& a) {
+    switch (which) {
+        case 0: return std::make_unique<PullVoting>(a);
+        case 1: return std::make_unique<TwoChoices>(a);
+        case 2: return std::make_unique<ThreeMajority>(a);
+        default: return std::make_unique<UndecidedState>(a);
+    }
+}
+
+class BaselineSuite : public ::testing::TestWithParam<BaselineCase> {};
+
+TEST_P(BaselineSuite, ConvergesOnStrongBias) {
+    Rng rng(201 + GetParam().which);
+    const std::size_t n = 2048;
+    const Assignment a = make_biased_plurality(n, 3, 3.0, rng);
+    auto dyn = make_dynamics(GetParam().which, a);
+    RunOptions opts;
+    opts.max_rounds = 5000;
+    const SyncResult r = run_to_consensus(*dyn, rng, opts);
+    EXPECT_TRUE(r.converged) << dyn->name();
+}
+
+TEST_P(BaselineSuite, PopulationConserved) {
+    Rng rng(211 + GetParam().which);
+    const std::size_t n = 512;
+    const Assignment a = make_biased_plurality(n, 4, 2.0, rng);
+    auto dyn = make_dynamics(GetParam().which, a);
+    for (int i = 0; i < 20; ++i) {
+        dyn->step(rng);
+        std::uint64_t total = dyn->undecided_count();
+        for (Opinion j = 0; j < 4; ++j) total += dyn->opinion_count(j);
+        EXPECT_EQ(total, n);
+    }
+}
+
+TEST_P(BaselineSuite, NameIsNonEmpty) {
+    Rng rng(221);
+    const Assignment a = make_biased_plurality(64, 2, 1.5, rng);
+    auto dyn = make_dynamics(GetParam().which, a);
+    EXPECT_FALSE(dyn->name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBaselines, BaselineSuite,
+    ::testing::Values(BaselineCase{"pull", 0}, BaselineCase{"two_choices", 1},
+                      BaselineCase{"three_majority", 2},
+                      BaselineCase{"undecided", 3}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(TwoChoicesRule, KeepsOpinionOnDisagreement) {
+    // Construct a two-node world: each node samples among {0, 1}; when the
+    // samples disagree the node must keep its own opinion. With exactly one
+    // node per opinion, opinions can only flip when both samples hit the
+    // same node — the counts always stay {2,0}, {1,1} or {0,2}.
+    Rng rng(230);
+    const Assignment a = make_from_counts({1, 1}, rng);
+    TwoChoices dyn(a);
+    for (int i = 0; i < 50; ++i) {
+        dyn.step(rng);
+        EXPECT_EQ(dyn.opinion_count(0) + dyn.opinion_count(1), 2U);
+    }
+}
+
+TEST(ThreeMajorityRule, MajorityOfThreeWinsFastOnHugeBias) {
+    Rng rng(231);
+    const Assignment a = make_from_counts({1900, 100}, rng);
+    ThreeMajority dyn(a);
+    RunOptions opts;
+    opts.max_rounds = 200;
+    const SyncResult r = run_to_consensus(dyn, rng, opts);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.winner, 0U);
+    EXPECT_LT(r.rounds, 30U);
+}
+
+TEST(ThreeMajorityRule, SlowerWithManyOpinions) {
+    // Θ(k log n): with k = 32 the run takes substantially longer than k = 2
+    // at equal n and bias structure.
+    Rng rng(232);
+    const std::size_t n = 4096;
+    const Assignment small_k = make_biased_plurality(n, 2, 2.0, rng);
+    const Assignment large_k = make_biased_plurality(n, 32, 2.0, rng);
+    ThreeMajority a(small_k);
+    ThreeMajority b(large_k);
+    RunOptions opts;
+    opts.max_rounds = 20000;
+    Rng ra(233);
+    Rng rb(234);
+    const SyncResult res_a = run_to_consensus(a, ra, opts);
+    const SyncResult res_b = run_to_consensus(b, rb, opts);
+    ASSERT_TRUE(res_a.converged);
+    ASSERT_TRUE(res_b.converged);
+    EXPECT_GT(res_b.rounds, res_a.rounds);
+}
+
+TEST(UndecidedStateRule, UndecidedNodesAppearOnConflict) {
+    Rng rng(235);
+    const Assignment a = make_from_counts({500, 500}, rng);
+    UndecidedState dyn(a);
+    dyn.step(rng);
+    EXPECT_GT(dyn.undecided_count(), 0U);
+}
+
+TEST(UndecidedStateRule, MonochromaticStaysMonochromatic) {
+    Rng rng(236);
+    const Assignment a = make_from_counts({256}, rng);
+    UndecidedState dyn(a);
+    for (int i = 0; i < 10; ++i) dyn.step(rng);
+    EXPECT_EQ(dyn.opinion_count(0), 256U);
+    EXPECT_EQ(dyn.undecided_count(), 0U);
+}
+
+TEST(PullVotingRule, WinProbabilityTracksInitialShare) {
+    // [HP01]: pull voting preserves the initial share in expectation; with
+    // an 80/20 split opinion 0 should win most runs.
+    int wins = 0;
+    for (int rep = 0; rep < 20; ++rep) {
+        Rng rng(derive_seed(240, rep));
+        const Assignment a = make_from_counts({160, 40}, rng);
+        PullVoting dyn(a);
+        RunOptions opts;
+        opts.max_rounds = 5000;
+        const SyncResult r = run_to_consensus(dyn, rng, opts);
+        if (r.converged && r.winner == 0) ++wins;
+    }
+    EXPECT_GE(wins, 13);
+}
+
+}  // namespace
+}  // namespace papc::sync

@@ -1,0 +1,102 @@
+#include "sync/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "opinion/assignment.hpp"
+#include "sync/baselines.hpp"
+
+namespace papc::sync {
+namespace {
+
+/// Deterministic dynamics that converges after a fixed number of rounds:
+/// every round moves one node from opinion 1 to opinion 0.
+class CountdownDynamics final : public SyncDynamics {
+public:
+    explicit CountdownDynamics(std::uint64_t ones) : ones_(ones) {}
+
+    void step(Rng&) override {
+        if (ones_ > 0) --ones_;
+        ++rounds_;
+    }
+    [[nodiscard]] std::size_t population() const override { return 100; }
+    [[nodiscard]] std::uint32_t num_opinions() const override { return 2; }
+    [[nodiscard]] std::uint64_t opinion_count(Opinion j) const override {
+        return j == 0 ? 100 - ones_ : ones_;
+    }
+    [[nodiscard]] std::uint64_t rounds() const override { return rounds_; }
+    [[nodiscard]] std::string name() const override { return "countdown"; }
+
+private:
+    std::uint64_t ones_;
+    std::uint64_t rounds_ = 0;
+};
+
+TEST(RunToConsensus, StopsExactlyAtConvergence) {
+    CountdownDynamics dyn(7);
+    Rng rng(1);
+    const SyncResult r = run_to_consensus(dyn, rng);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.rounds, 7U);
+    EXPECT_EQ(r.winner, 0U);
+}
+
+TEST(RunToConsensus, RespectsRoundLimit) {
+    CountdownDynamics dyn(1000);
+    Rng rng(2);
+    RunOptions opts;
+    opts.max_rounds = 10;
+    const SyncResult r = run_to_consensus(dyn, rng, opts);
+    EXPECT_FALSE(r.converged);
+    EXPECT_EQ(r.rounds, 10U);
+}
+
+TEST(RunToConsensus, EpsilonTimeBeforeConsensus) {
+    CountdownDynamics dyn(50);
+    Rng rng(3);
+    RunOptions opts;
+    opts.epsilon = 0.10;  // reached when 90 nodes hold opinion 0
+    const SyncResult r = run_to_consensus(dyn, rng, opts);
+    EXPECT_TRUE(r.converged);
+    EXPECT_DOUBLE_EQ(r.epsilon_time, 40.0);
+    EXPECT_EQ(r.rounds, 50U);
+}
+
+TEST(RunToConsensus, RecordsSeriesWhenRequested) {
+    CountdownDynamics dyn(20);
+    Rng rng(4);
+    RunOptions opts;
+    opts.record_every = 5;
+    const SyncResult r = run_to_consensus(dyn, rng, opts);
+    EXPECT_GE(r.dominant_fraction.size(), 4U);
+    // Fractions are monotone for the countdown dynamics.
+    for (std::size_t i = 1; i < r.dominant_fraction.size(); ++i) {
+        EXPECT_GE(r.dominant_fraction[i].value, r.dominant_fraction[i - 1].value);
+    }
+}
+
+TEST(RunToConsensus, NoSeriesByDefault) {
+    CountdownDynamics dyn(5);
+    Rng rng(5);
+    const SyncResult r = run_to_consensus(dyn, rng);
+    EXPECT_EQ(r.dominant_fraction.size(), 0U);
+}
+
+TEST(SyncDynamicsInterface, DominantOpinionAndFraction) {
+    Rng rng(6);
+    const Assignment a = make_from_counts({30, 70}, rng);
+    PullVoting dyn(a);
+    EXPECT_EQ(dyn.dominant_opinion(), 1U);
+    EXPECT_DOUBLE_EQ(dyn.opinion_fraction(1), 0.7);
+    EXPECT_FALSE(dyn.converged());
+}
+
+TEST(SyncDynamicsInterface, ConvergedOnMonochromaticStart) {
+    Rng rng(7);
+    const Assignment a = make_from_counts({0, 50}, rng);
+    PullVoting dyn(a);
+    EXPECT_TRUE(dyn.converged());
+    EXPECT_EQ(dyn.dominant_opinion(), 1U);
+}
+
+}  // namespace
+}  // namespace papc::sync

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "analysis/theory.hpp"
+#include "sync/schedule.hpp"
+
+namespace papc::sync {
+namespace {
+
+// Property sweep over the schedule parameter space: for every combination
+// of (n, k, alpha, gamma) the structural invariants of DESIGN.md §6 (7)
+// must hold.
+
+using ParamTuple = std::tuple<std::size_t, std::uint32_t, double, double>;
+
+class ScheduleProperties : public ::testing::TestWithParam<ParamTuple> {
+protected:
+    [[nodiscard]] Schedule make() const {
+        const auto& [n, k, alpha, gamma] = GetParam();
+        ScheduleParams p;
+        p.n = n;
+        p.k = k;
+        p.alpha = alpha;
+        p.gamma = gamma;
+        return Schedule(p);
+    }
+};
+
+TEST_P(ScheduleProperties, LifeCyclesPositiveAndBounded) {
+    const Schedule s = make();
+    const auto& [n, k, alpha, gamma] = GetParam();
+    (void)n;
+    (void)alpha;
+    (void)gamma;
+    const double bound = 30.0 * std::log2(static_cast<double>(k) + 2.0) + 60.0;
+    for (unsigned i = 0; i < s.total_generations(); ++i) {
+        EXPECT_GE(s.life_cycle(i), 1U);
+        EXPECT_LT(static_cast<double>(s.life_cycle(i)), bound);
+    }
+}
+
+TEST_P(ScheduleProperties, BirthStepsStrictlyIncreasing) {
+    const Schedule s = make();
+    for (unsigned i = 2; i <= s.total_generations(); ++i) {
+        EXPECT_GT(s.birth_step(i), s.birth_step(i - 1));
+    }
+}
+
+TEST_P(ScheduleProperties, TwoChoicesLookupConsistent) {
+    const Schedule s = make();
+    for (unsigned i = 1; i <= s.total_generations(); ++i) {
+        EXPECT_TRUE(s.is_two_choices_step(s.birth_step(i)));
+    }
+    EXPECT_FALSE(s.is_two_choices_step(0));
+    EXPECT_FALSE(s.is_two_choices_step(s.last_two_choices_step() + 1));
+}
+
+TEST_P(ScheduleProperties, GenerationBudgetMatchesClosedForm) {
+    const Schedule s = make();
+    const auto& [n, k, alpha, gamma] = GetParam();
+    (void)gamma;
+    EXPECT_EQ(s.total_generations(),
+              analysis::total_generations(alpha, k, n, 2));
+}
+
+TEST_P(ScheduleProperties, HorizonCoversSchedule) {
+    const Schedule s = make();
+    EXPECT_GT(s.horizon(), s.last_two_choices_step());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ScheduleProperties,
+    ::testing::Combine(
+        ::testing::Values(std::size_t{1} << 10, std::size_t{1} << 16,
+                          std::size_t{1} << 22),
+        ::testing::Values(2U, 8U, 64U),
+        ::testing::Values(1.05, 1.5, 4.0),
+        ::testing::Values(0.25, 0.5, 0.75)),
+    [](const ::testing::TestParamInfo<ParamTuple>& info) {
+        return "n" + std::to_string(std::get<0>(info.param)) + "_k" +
+               std::to_string(std::get<1>(info.param)) + "_a" +
+               std::to_string(static_cast<int>(std::get<2>(info.param) * 100)) +
+               "_g" +
+               std::to_string(static_cast<int>(std::get<3>(info.param) * 100));
+    });
+
+}  // namespace
+}  // namespace papc::sync

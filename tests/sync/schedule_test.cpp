@@ -1,0 +1,113 @@
+#include "sync/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/theory.hpp"
+
+namespace papc::sync {
+namespace {
+
+ScheduleParams params(std::size_t n, std::uint32_t k, double alpha,
+                      double gamma = 0.5) {
+    ScheduleParams p;
+    p.n = n;
+    p.k = k;
+    p.alpha = alpha;
+    p.gamma = gamma;
+    return p;
+}
+
+TEST(LifeCycleExact, PositiveAndBoundedByLogK) {
+    // X_i = O(log k): check a generous constant for several configurations.
+    for (const std::uint32_t k : {2U, 8U, 64U}) {
+        for (unsigned i = 0; i < 8; ++i) {
+            const double x = life_cycle_exact(1.5, k, 0.5, i);
+            EXPECT_GT(x, 0.0);
+            EXPECT_LT(x, 12.0 * std::log2(static_cast<double>(k)) + 20.0);
+        }
+    }
+}
+
+TEST(LifeCycleExact, LateGenerationsAreShort) {
+    // Once the bias squared far past k the numerator telescopes:
+    // 2·ln(α^(2^(i-1))) - ln(α^(2^i)) = 0, so X_i -> -ln γ/ln(2-γ) + 2.
+    const double late = life_cycle_exact(1.5, 8, 0.5, 20);
+    const double limit = -std::log(0.5) / std::log(1.5) + 2.0;
+    EXPECT_NEAR(late, limit, 0.1);
+}
+
+TEST(LifeCycleExact, EarlyGenerationsLongerForMoreOpinions) {
+    EXPECT_GT(life_cycle_exact(1.1, 64, 0.5, 1), life_cycle_exact(1.1, 4, 0.5, 1));
+}
+
+TEST(Schedule, BirthStepsStrictlyIncreasing) {
+    const Schedule s(params(1 << 16, 8, 1.5));
+    ASSERT_GE(s.total_generations(), 3U);
+    for (unsigned i = 2; i <= s.total_generations(); ++i) {
+        EXPECT_GT(s.birth_step(i), s.birth_step(i - 1));
+    }
+}
+
+TEST(Schedule, BirthStepMatchesCumulativeLifeCycles) {
+    const Schedule s(params(1 << 14, 4, 2.0));
+    std::uint64_t cumulative = 0;
+    for (unsigned i = 1; i <= s.total_generations(); ++i) {
+        cumulative += s.life_cycle(i - 1);
+        EXPECT_EQ(s.birth_step(i), cumulative + 1);
+    }
+}
+
+TEST(Schedule, TwoChoicesStepsAreExactlyBirthSteps) {
+    const Schedule s(params(1 << 14, 8, 1.5));
+    std::size_t found = 0;
+    for (std::uint64_t t = 1; t <= s.last_two_choices_step(); ++t) {
+        if (s.is_two_choices_step(t)) {
+            ++found;
+            bool is_birth = false;
+            for (unsigned i = 1; i <= s.total_generations(); ++i) {
+                if (s.birth_step(i) == t) is_birth = true;
+            }
+            EXPECT_TRUE(is_birth) << t;
+        }
+    }
+    EXPECT_EQ(found, s.total_generations());
+}
+
+TEST(Schedule, TotalGenerationsMatchesTheory) {
+    const ScheduleParams p = params(1 << 16, 8, 1.5);
+    const Schedule s(p);
+    EXPECT_EQ(s.total_generations(),
+              analysis::total_generations(p.alpha, p.k, p.n, p.slack));
+}
+
+TEST(Schedule, HorizonExceedsLastTwoChoicesStep) {
+    const Schedule s(params(1 << 12, 4, 1.5));
+    EXPECT_GT(s.horizon(), s.last_two_choices_step());
+    // Lemma 12 tail is O(log log n): generous sanity bound.
+    EXPECT_LT(s.horizon() - s.last_two_choices_step(), 40U);
+}
+
+TEST(Schedule, HigherBiasNeedsFewerGenerations) {
+    const Schedule weak(params(1 << 16, 8, 1.1));
+    const Schedule strong(params(1 << 16, 8, 4.0));
+    EXPECT_GT(weak.total_generations(), strong.total_generations());
+}
+
+TEST(Schedule, GammaAffectsLifeCycleLength) {
+    // Larger γ demands a larger generation before hand-over: longer cycles.
+    const Schedule lo(params(1 << 14, 8, 1.5, 0.3));
+    const Schedule hi(params(1 << 14, 8, 1.5, 0.8));
+    EXPECT_LE(lo.life_cycle(0), hi.life_cycle(0) + 2);
+}
+
+TEST(Schedule, LifeCyclesDecreaseOverall) {
+    // X_i decreases as the bias grows (paper: "as i increases, Xi
+    // decreases"); compare the first against the last.
+    const Schedule s(params(1 << 18, 16, 1.2));
+    EXPECT_GE(s.life_cycle(0), s.life_cycle(s.total_generations() - 1));
+}
+
+}  // namespace
+}  // namespace papc::sync
