@@ -27,11 +27,10 @@ runner::TrialMetrics one_trial(std::size_t n, std::uint32_t k, double alpha,
     c.max_time = 3000.0;
     c.record_series = false;
     const async::AsyncResult r = async::run_single_leader(n, k, alpha, c, seed);
-    runner::TrialMetrics m;
-    m["success"] = (r.converged && r.plurality_won) ? 1.0 : 0.0;
-    if (r.epsilon_time >= 0.0) m["eps_time"] = r.epsilon_time;
+    // Unified metrics from the shared RunResult base, plus family extras.
+    runner::TrialMetrics m = runner::metrics_from(r);
+    m["success"] = r.plurality_won ? 1.0 : 0.0;
     if (r.consensus_time >= 0.0) {
-        m["consensus_time"] = r.consensus_time;
         m["tail"] = r.consensus_time - std::max(0.0, r.epsilon_time);
     }
     m["steps_per_unit"] = r.steps_per_unit;
@@ -59,7 +58,7 @@ int main() {
                 derive_seed(0xE401, row++), /*threads=*/4);
             table.row()
                 .add(n)
-                .add(o.mean("eps_time"), 1)
+                .add(o.mean("epsilon_time"), 1)
                 .add(o.mean("consensus_time"), 1)
                 .add(o.mean("tail"), 1)
                 .add(o.mean("success"), 2);
@@ -87,9 +86,9 @@ int main() {
             table.row()
                 .add(inv_lambda, 1)
                 .add(c1, 2)
-                .add(o.mean("eps_time"), 1)
+                .add(o.mean("epsilon_time"), 1)
                 .add(o.mean("consensus_time"), 1)
-                .add(o.mean("eps_time") / c1, 2)
+                .add(o.mean("epsilon_time") / c1, 2)
                 .add(o.mean("success"), 2);
         }
         table.print(std::cout);

@@ -48,7 +48,7 @@ runner::TrialMetrics sync_trial(int which, std::size_t n, std::uint32_t k,
     opts.max_rounds = 30000;
     const sync::SyncResult r = run_to_consensus(*dyn, rng, opts);
     runner::TrialMetrics m;
-    m["rounds"] = static_cast<double>(r.rounds);
+    m["rounds"] = static_cast<double>(r.steps);
     m["success"] = (r.converged && r.winner == 0) ? 1.0 : 0.0;
     return m;
 }
@@ -119,7 +119,7 @@ int main() {
                     Rng r1(derive_seed(s, 3));
                     const population::PopulationResult ra =
                         population::run_population(am, r1);
-                    if (ra.converged) m["am_time"] = ra.parallel_time;
+                    if (ra.converged) m["am_time"] = ra.end_time;
                     m["am_ok"] = (ra.converged && ra.winner == 0) ? 1.0 : 0.0;
                     // 4-state exact majority.
                     population::FourStateExactMajority ex(a_count, b_count);
@@ -129,7 +129,7 @@ int main() {
                         static_cast<std::uint64_t>(n) * n * 8ULL;
                     const population::PopulationResult re =
                         population::run_population(ex, r2, po);
-                    if (re.converged) m["ex_time"] = re.parallel_time;
+                    if (re.converged) m["ex_time"] = re.end_time;
                     m["ex_ok"] = (re.converged && re.winner == 0) ? 1.0 : 0.0;
                     return m;
                 },

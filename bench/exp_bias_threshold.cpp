@@ -49,7 +49,7 @@ int main() {
                 const sync::SyncResult r = run_to_consensus(alg, rng, opts);
                 runner::TrialMetrics m;
                 m["success"] = (r.converged && r.winner == 0) ? 1.0 : 0.0;
-                m["rounds"] = static_cast<double>(r.rounds);
+                m["rounds"] = static_cast<double>(r.steps);
                 return m;
             },
             reps, derive_seed(0xE801, row++));

@@ -41,7 +41,7 @@ int main() {
                     opts.max_rounds = 3000;
                     const sync::SyncResult r = run_to_consensus(alg, rng, opts);
                     runner::TrialMetrics m;
-                    m["rounds"] = static_cast<double>(r.rounds);
+                    m["rounds"] = static_cast<double>(r.steps);
                     m["success"] = (r.converged && r.winner == 0) ? 1.0 : 0.0;
                     return m;
                 },

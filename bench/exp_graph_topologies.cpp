@@ -106,7 +106,7 @@ int main() {
                     opts.max_rounds = max_rounds;
                     const sync::SyncResult r = run_to_consensus(*dyn, rng, opts);
                     runner::TrialMetrics m;
-                    m["rounds"] = static_cast<double>(r.rounds);
+                    m["rounds"] = static_cast<double>(r.steps);
                     m["ok"] =
                         (r.converged && r.winner == 0) ? 1.0 : 0.0;
                     m["converged"] = r.converged ? 1.0 : 0.0;

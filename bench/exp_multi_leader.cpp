@@ -121,10 +121,10 @@ int main() {
                 [&](std::uint64_t s) {
                     const cluster::MultiLeaderResult r =
                         cluster::run_multi_leader(n, 4, 2.0, base_config(), s);
-                    runner::TrialMetrics m;
-                    m["success"] = (r.converged && r.plurality_won) ? 1.0 : 0.0;
-                    if (r.epsilon_time >= 0.0) m["eps"] = r.epsilon_time;
-                    if (r.consensus_time >= 0.0) m["cons"] = r.consensus_time;
+                    // Unified metrics from the shared RunResult base, plus
+                    // the clustering-phase extras.
+                    runner::TrialMetrics m = runner::metrics_from(r);
+                    m["success"] = r.plurality_won ? 1.0 : 0.0;
                     m["cluster"] = r.clustering_time;
                     m["total"] = r.total_time();
                     return m;
@@ -132,8 +132,8 @@ int main() {
                 5, derive_seed(0xE503, row++), /*threads=*/4);
             table.row()
                 .add(n)
-                .add(o.mean("eps"), 1)
-                .add(o.mean("cons"), 1)
+                .add(o.mean("epsilon_time"), 1)
+                .add(o.mean("consensus_time"), 1)
                 .add(o.mean("cluster"), 1)
                 .add(o.mean("total"), 1)
                 .add(o.mean("success"), 2);

@@ -21,8 +21,8 @@ namespace {
 
 using namespace papc;
 
-runner::TrialMetrics one_trial(std::size_t n, std::uint32_t k, double alpha,
-                               std::uint64_t seed) {
+sync::SyncResult one_trial(std::size_t n, std::uint32_t k, double alpha,
+                           std::uint64_t seed) {
     Rng rng(seed);
     const Assignment a = make_biased_plurality(n, k, alpha, rng);
     sync::ScheduleParams sp;
@@ -32,12 +32,7 @@ runner::TrialMetrics one_trial(std::size_t n, std::uint32_t k, double alpha,
     sync::Algorithm1 alg(a, sync::Schedule(sp));
     sync::RunOptions opts;
     opts.max_rounds = 2000;
-    const sync::SyncResult r = run_to_consensus(alg, rng, opts);
-    runner::TrialMetrics m;
-    m["rounds"] = static_cast<double>(r.rounds);
-    m["success"] = (r.converged && r.winner == 0) ? 1.0 : 0.0;
-    if (r.epsilon_time >= 0.0) m["eps_rounds"] = r.epsilon_time;
-    return m;
+    return run_to_consensus(alg, rng, opts);
 }
 
 void sweep(const char* title, const std::vector<std::size_t>& ns,
@@ -49,16 +44,18 @@ void sweep(const char* title, const std::vector<std::size_t>& ns,
     std::uint64_t row_index = 0;
     for (const std::size_t n : ns) {
         for (const std::uint32_t k : ks) {
-            const runner::ExperimentOutcome o = runner::run_experiment(
+            // Unified-result trial: aggregates come straight from the
+            // core::RunResult metrics (steps = rounds on the sync axis).
+            const runner::ExperimentOutcome o = runner::run_result_experiment(
                 [&](std::uint64_t s) { return one_trial(n, k, alpha, s); }, reps,
                 derive_seed(seed, row_index++));
             table.row()
                 .add(n)
                 .add(k)
                 .add(alpha, 2)
-                .add(o.mean("rounds"), 1)
-                .add(o.metrics.at("rounds").p90, 1)
-                .add(o.mean("success"), 2)
+                .add(o.mean("steps"), 1)
+                .add(o.metrics.at("steps").p90, 1)
+                .add(o.mean("plurality_won"), 2)
                 .add(analysis::theorem1_runtime_shape(n, k, alpha), 1);
         }
     }

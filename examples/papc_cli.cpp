@@ -97,18 +97,18 @@ int run_sync(const Args& args, const std::string& protocol, std::size_t n,
 
     std::cout << dyn->name() << ": "
               << (r.converged ? "converged" : "round cap hit") << " after "
-              << r.rounds << " rounds; winner = opinion " << r.winner << "\n";
+              << r.steps << " rounds; winner = opinion " << r.winner << "\n";
     if (r.epsilon_time >= 0.0) {
         std::cout << "  (1-eps)-agreement at round "
                   << format_double(r.epsilon_time, 0) << "\n";
     }
     if (!args.get_flag("quiet")) {
-        std::cout << "  " << runner::sparkline(r.dominant_fraction) << "\n";
+        std::cout << "  " << runner::sparkline(r.plurality_fraction) << "\n";
     }
     const std::string csv = args.get("csv", "");
     if (!csv.empty()) {
         CsvWriter writer(csv, {"round", "plurality_fraction"});
-        for (const auto& p : r.dominant_fraction.points()) {
+        for (const auto& p : r.plurality_fraction.points()) {
             writer.write_row(std::vector<double>{p.time, p.value});
         }
         std::cout << "  series written to " << csv << "\n";

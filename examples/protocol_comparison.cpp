@@ -55,7 +55,7 @@ int main() {
             const sync::SyncResult r = run_to_consensus(*dyn, rng, opts);
             table.row()
                 .add(dyn->name())
-                .add(r.converged ? std::to_string(r.rounds)
+                .add(r.converged ? std::to_string(r.steps)
                                  : ">" + std::to_string(opts.max_rounds))
                 .add(r.winner)
                 .add(r.converged && r.winner == 0 ? "yes" : "no");
@@ -107,7 +107,7 @@ int main() {
             const population::PopulationResult r = run_population(p, rng);
             table.row()
                 .add("3-state approximate majority")
-                .add(r.parallel_time, 1)
+                .add(r.end_time, 1)
                 .add(r.converged && r.winner == 0 ? "yes" : "no");
         }
         {
@@ -118,7 +118,7 @@ int main() {
             const population::PopulationResult r = run_population(p, rng, opts);
             table.row()
                 .add("4-state exact majority")
-                .add(r.parallel_time, 1)
+                .add(r.end_time, 1)
                 .add(r.converged && r.winner == 0 ? "yes" : "no");
         }
         table.print(std::cout);

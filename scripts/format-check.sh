@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Reports clang-format drift across the C++ sources. Exit 1 when any file
+# needs reformatting (CI runs this as a non-blocking job; locally use
+# `scripts/format-check.sh --fix` to apply).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+    echo "format-check: $CLANG_FORMAT not found; skipping" >&2
+    exit 0
+fi
+
+files=$(find src tests bench examples -name '*.cpp' -o -name '*.hpp' | sort)
+
+if [ "${1:-}" = "--fix" ]; then
+    # shellcheck disable=SC2086
+    "$CLANG_FORMAT" -i $files
+    echo "format-check: formatted $(echo "$files" | wc -l) files"
+    exit 0
+fi
+
+status=0
+for f in $files; do
+    if ! "$CLANG_FORMAT" --dry-run --Werror "$f" >/dev/null 2>&1; then
+        echo "needs formatting: $f"
+        status=1
+    fi
+done
+if [ "$status" -eq 0 ]; then
+    echo "format-check: all files clean"
+fi
+exit "$status"

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "analysis/theory.hpp"
+#include "core/observer.hpp"
 #include "support/check.hpp"
 
 namespace papc::async {
@@ -26,17 +27,70 @@ SequentialSingleLeaderSimulation::SequentialSingleLeaderSimulation(
     plurality_ = census_.pooled_stats().dominant;
 }
 
+bool SequentialSingleLeaderSimulation::advance() {
+    const std::size_t n = nodes_.size();
+    const double nd = static_cast<double>(n);
+
+    // Sequentialization: the next tick anywhere in the system is an
+    // Exp(n) race won by a uniformly random node.
+    now_ += rng_.exponential(nd);
+    const auto v_id = static_cast<NodeId>(rng_.uniform_index(n));
+    NodeState& v = nodes_[v_id];
+    ++result_.ticks;
+    ++result_.good_ticks;  // channels are instant: every tick is good
+
+    // Line 1: the 0-signal arrives instantly.
+    ++result_.signals_delivered;
+    leader_->on_zero_signal(now_);
+
+    // Lines 3-15 execute atomically at the tick.
+    ++result_.exchanges;
+    auto sample_peer = [&](NodeId self) {
+        return static_cast<NodeId>(rng_.uniform_index_excluding(n, self));
+    };
+    const NodeId p1 = sample_peer(v_id);
+    const NodeId p2 = sample_peer(v_id);
+    const ExchangeDecision decision = decide_exchange(
+        v, leader_->gen(), leader_->prop(),
+        PeerSample{nodes_[p1].gen, nodes_[p1].col},
+        PeerSample{nodes_[p2].gen, nodes_[p2].col});
+    const Generation old_gen = v.gen;
+    const Opinion old_col = v.col;
+    const bool changed =
+        apply_decision(v, decision, leader_->gen(), leader_->prop());
+    switch (decision.kind) {
+        case ExchangeDecision::Kind::kTwoChoices:
+            ++result_.two_choices_count;
+            break;
+        case ExchangeDecision::Kind::kPropagation:
+            ++result_.propagation_count;
+            break;
+        case ExchangeDecision::Kind::kRefreshOnly:
+            ++result_.refresh_count;
+            break;
+        case ExchangeDecision::Kind::kNone:
+            break;
+    }
+    if (changed) {
+        census_.transition(old_gen, old_col, v.gen, v.col);
+        PAPC_CHECK(v.gen <= leader_->gen());
+        if (decision.send_gen_signal) {
+            ++result_.signals_delivered;
+            leader_->on_gen_signal(now_, v.gen);
+        }
+    }
+    return true;
+}
+
 AsyncResult SequentialSingleLeaderSimulation::run() {
     PAPC_CHECK(!ran_);
     ran_ = true;
 
     const std::size_t n = nodes_.size();
-    AsyncResult result;
-    result.plurality_fraction = TimeSeries("plurality-fraction");
-    result.leader_generation = TimeSeries("leader-generation");
+    result_.leader_generation = TimeSeries("leader-generation");
     // With instant channels one full action fits in every tick: a "time
     // unit" collapses to one time step.
-    result.steps_per_unit = 1.0;
+    result_.steps_per_unit = 1.0;
 
     LeaderConfig leader_config;
     leader_config.zero_signal_threshold = static_cast<std::uint64_t>(
@@ -48,90 +102,24 @@ AsyncResult SequentialSingleLeaderSimulation::run() {
         config_.generation_slack);
     leader_ = std::make_unique<Leader>(leader_config);
 
-    auto sample_peer = [&](NodeId self) {
-        auto p = static_cast<NodeId>(rng_.uniform_index(n - 1));
-        if (p >= self) ++p;
-        return p;
-    };
-
-    const double epsilon_target = 1.0 - config_.epsilon;
-    const std::uint64_t check_every = std::max<std::uint64_t>(1, n / 4);
-    const double nd = static_cast<double>(n);
-    double now = 0.0;
-    bool done = false;
-
-    while (!done && now <= config_.max_time) {
-        // Sequentialization: the next tick anywhere in the system is an
-        // Exp(n) race won by a uniformly random node.
-        now += rng_.exponential(nd);
-        const auto v_id = static_cast<NodeId>(rng_.uniform_index(n));
-        NodeState& v = nodes_[v_id];
-        ++result.ticks;
-        ++result.good_ticks;  // channels are instant: every tick is good
-
-        // Line 1: the 0-signal arrives instantly.
-        ++result.signals_delivered;
-        leader_->on_zero_signal(now);
-
-        // Lines 3-15 execute atomically at the tick.
-        ++result.exchanges;
-        const NodeId p1 = sample_peer(v_id);
-        const NodeId p2 = sample_peer(v_id);
-        const ExchangeDecision decision = decide_exchange(
-            v, leader_->gen(), leader_->prop(),
-            PeerSample{nodes_[p1].gen, nodes_[p1].col},
-            PeerSample{nodes_[p2].gen, nodes_[p2].col});
-        const Generation old_gen = v.gen;
-        const Opinion old_col = v.col;
-        const bool changed =
-            apply_decision(v, decision, leader_->gen(), leader_->prop());
-        switch (decision.kind) {
-            case ExchangeDecision::Kind::kTwoChoices:
-                ++result.two_choices_count;
-                break;
-            case ExchangeDecision::Kind::kPropagation:
-                ++result.propagation_count;
-                break;
-            case ExchangeDecision::Kind::kRefreshOnly:
-                ++result.refresh_count;
-                break;
-            case ExchangeDecision::Kind::kNone:
-                break;
+    core::EngineOptions run_options;
+    run_options.max_time = config_.max_time;
+    run_options.check_every = std::max<std::uint64_t>(1, n / 4);
+    run_options.record = config_.record_series;
+    run_options.plurality = plurality_;
+    run_options.epsilon = config_.epsilon;
+    core::FunctionObserver observer([this](double time, double) {
+        if (config_.record_series) {
+            result_.leader_generation.record(
+                time, static_cast<double>(leader_->gen()));
         }
-        if (changed) {
-            census_.transition(old_gen, old_col, v.gen, v.col);
-            PAPC_CHECK(v.gen <= leader_->gen());
-            if (decision.send_gen_signal) {
-                ++result.signals_delivered;
-                leader_->on_gen_signal(now, v.gen);
-            }
-        }
+    });
+    static_cast<core::RunResult&>(result_) =
+        core::run(*this, run_options, &observer);
 
-        if (result.ticks % check_every == 0) {
-            const double frac = census_.opinion_fraction(plurality_);
-            if (config_.record_series) {
-                result.plurality_fraction.record(now, frac);
-                result.leader_generation.record(
-                    now, static_cast<double>(leader_->gen()));
-            }
-            if (result.epsilon_time < 0.0 && frac >= epsilon_target) {
-                result.epsilon_time = now;
-            }
-            if (census_.converged()) {
-                result.consensus_time = now;
-                done = true;
-            }
-        }
-    }
-
-    result.end_time = now;
-    result.converged = census_.converged();
-    const BiasStats pooled = census_.pooled_stats();
-    result.winner = pooled.dominant;
-    result.plurality_won = result.converged && result.winner == plurality_;
-    result.final_top_generation = census_.highest_populated();
-    result.leader_trace = leader_->trace();
-    return result;
+    result_.final_top_generation = census_.highest_populated();
+    result_.leader_trace = leader_->trace();
+    return std::move(result_);
 }
 
 AsyncResult run_sequential_single_leader(std::size_t n, std::uint32_t k,

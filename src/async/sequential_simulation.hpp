@@ -12,6 +12,7 @@
 /// This engine isolates what the edge latencies cost: bench
 /// exp_exchange_latency compares sequential vs latency-model runs, and the
 /// tests pin that the generation dynamics (leader trace shape) coincide.
+/// The loop is owned by core::run(); one advance() = one global tick.
 
 #include <memory>
 
@@ -19,6 +20,7 @@
 #include "async/leader.hpp"
 #include "async/node.hpp"
 #include "async/simulation.hpp"
+#include "core/engine.hpp"
 #include "opinion/assignment.hpp"
 #include "opinion/census.hpp"
 #include "support/random.hpp"
@@ -26,7 +28,7 @@
 namespace papc::async {
 
 /// Sequentialized single-leader protocol (no latencies).
-class SequentialSingleLeaderSimulation {
+class SequentialSingleLeaderSimulation final : public core::Engine {
 public:
     SequentialSingleLeaderSimulation(const Assignment& assignment,
                                      const AsyncConfig& config,
@@ -37,6 +39,17 @@ public:
     /// reflect the instant-channel semantics; steps_per_unit is 1 (every
     /// node completes its action at its tick).
     [[nodiscard]] AsyncResult run();
+
+    // core::Engine driver interface (one global tick per advance).
+    bool advance() override;
+    [[nodiscard]] double now() const override { return now_; }
+    [[nodiscard]] bool converged() const override { return census_.converged(); }
+    [[nodiscard]] Opinion dominant() const override {
+        return census_.pooled_stats().dominant;
+    }
+    [[nodiscard]] double opinion_fraction(Opinion j) const override {
+        return census_.opinion_fraction(j);
+    }
 
     [[nodiscard]] const Leader& leader() const { return *leader_; }
     [[nodiscard]] const GenerationCensus& census() const { return census_; }
@@ -50,6 +63,9 @@ private:
     std::unique_ptr<Leader> leader_;
     Opinion plurality_ = 0;
     bool ran_ = false;
+
+    double now_ = 0.0;
+    AsyncResult result_;
 };
 
 /// Convenience wrapper on a biased-plurality workload.

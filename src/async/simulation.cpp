@@ -5,30 +5,25 @@
 
 #include "analysis/latency_units.hpp"
 #include "analysis/theory.hpp"
-#include "sim/event_queue.hpp"
+#include "core/observer.hpp"
 #include "support/check.hpp"
 
 namespace papc::async {
 
-namespace {
-
-enum class EventKind : std::uint8_t {
+enum class AsyncEventKind : std::uint8_t {
     kTick,        ///< a node's Poisson clock fired
     kExchange,    ///< a node's three channels are established
     kZeroSignal,  ///< a 0-signal reaches the leader
     kGenSignal,   ///< an i-signal reaches the leader
-    kMetronome,   ///< bookkeeping sample point
 };
 
-struct EventPayload {
-    EventKind kind = EventKind::kTick;
+struct AsyncEvent {
+    AsyncEventKind kind = AsyncEventKind::kTick;
     NodeId node = 0;
     NodeId peer1 = 0;
     NodeId peer2 = 0;
     Generation gen = 0;
 };
-
-}  // namespace
 
 SingleLeaderSimulation::SingleLeaderSimulation(const Assignment& assignment,
                                                const AsyncConfig& config,
@@ -42,7 +37,8 @@ SingleLeaderSimulation::SingleLeaderSimulation(
     : config_(config),
       latency_(std::move(latency)),
       rng_(seed),
-      census_(assignment.size(), assignment.num_opinions) {
+      census_(assignment.size(), assignment.num_opinions),
+      queue_(std::make_unique<sim::EventQueue<AsyncEvent>>()) {
     PAPC_CHECK(assignment.size() >= 2);
     PAPC_CHECK(latency_ != nullptr);
 
@@ -59,21 +55,133 @@ SingleLeaderSimulation::SingleLeaderSimulation(
     plurality_ = census_.pooled_stats().dominant;
 }
 
+SingleLeaderSimulation::~SingleLeaderSimulation() = default;
+
+void SingleLeaderSimulation::record_leader_signal() {
+    ++result_.signals_delivered;
+    const auto bucket = static_cast<std::int64_t>(now_);
+    if (bucket != load_bucket_) {
+        result_.leader_peak_load =
+            std::max(result_.leader_peak_load, static_cast<double>(load_count_));
+        load_bucket_ = bucket;
+        load_count_ = 0;
+    }
+    ++load_count_;
+}
+
+NodeId SingleLeaderSimulation::sample_peer(NodeId self) {
+    return static_cast<NodeId>(
+        rng_.uniform_index_excluding(nodes_.size(), self));
+}
+
+bool SingleLeaderSimulation::advance() {
+    if (queue_->empty()) return false;
+    auto entry = queue_->pop();
+    now_ = entry.time;
+    const AsyncEvent& ev = entry.payload;
+
+    switch (ev.kind) {
+        case AsyncEventKind::kTick: {
+            ++result_.ticks;
+            NodeState& v = nodes_[ev.node];
+            // Line 1: 0-signal to the leader — fire and forget, but the
+            // signal itself travels one latency draw.
+            queue_->push(now_ + latency_->sample(rng_),
+                         AsyncEvent{AsyncEventKind::kZeroSignal, 0, 0, 0, 0});
+            // Line 2: locked nodes do nothing else at this tick.
+            if (!v.locked) {
+                v.locked = true;
+                ++result_.good_ticks;
+                result_.channels_opened += 3;
+                // Lines 3-4: open two peer channels concurrently, then
+                // the leader channel: total latency max(T2,T2) + T2.
+                const double peer_a = latency_->sample(rng_);
+                const double peer_b = latency_->sample(rng_);
+                const double to_leader = latency_->sample(rng_);
+                const double ready = now_ + std::max(peer_a, peer_b) + to_leader;
+                AsyncEvent ex{AsyncEventKind::kExchange, ev.node,
+                              sample_peer(ev.node), sample_peer(ev.node), 0};
+                queue_->push(ready, ex);
+            }
+            // Next Poisson tick.
+            queue_->push(now_ + rng_.exponential(1.0),
+                         AsyncEvent{AsyncEventKind::kTick, ev.node, 0, 0, 0});
+            break;
+        }
+
+        case AsyncEventKind::kExchange: {
+            ++result_.exchanges;
+            NodeState& v = nodes_[ev.node];
+            PAPC_CHECK(v.locked);
+            const NodeState& p1 = nodes_[ev.peer1];
+            const NodeState& p2 = nodes_[ev.peer2];
+            const PeerSample s1{p1.gen, p1.col};
+            const PeerSample s2{p2.gen, p2.col};
+            const Generation old_gen = v.gen;
+            const Opinion old_col = v.col;
+            const ExchangeDecision decision = decide_exchange(
+                v, leader_->gen(), leader_->prop(), s1, s2);
+            const bool changed =
+                apply_decision(v, decision, leader_->gen(), leader_->prop());
+            switch (decision.kind) {
+                case ExchangeDecision::Kind::kTwoChoices:
+                    ++result_.two_choices_count;
+                    break;
+                case ExchangeDecision::Kind::kPropagation:
+                    ++result_.propagation_count;
+                    break;
+                case ExchangeDecision::Kind::kRefreshOnly:
+                    ++result_.refresh_count;
+                    break;
+                case ExchangeDecision::Kind::kNone:
+                    break;
+            }
+            if (changed) {
+                census_.transition(old_gen, old_col, v.gen, v.col);
+                // Invariant: never beyond the leader's generation.
+                PAPC_CHECK(v.gen <= leader_->gen());
+                if (decision.send_gen_signal) {
+                    queue_->push(now_ + latency_->sample(rng_),
+                                 AsyncEvent{AsyncEventKind::kGenSignal, 0, 0, 0,
+                                            v.gen});
+                }
+            }
+            v.locked = false;  // line 15
+            break;
+        }
+
+        case AsyncEventKind::kZeroSignal:
+            record_leader_signal();
+            if (config_.leader_failure_time < 0.0 ||
+                now_ < config_.leader_failure_time) {
+                leader_->on_zero_signal(now_);
+            }
+            break;
+
+        case AsyncEventKind::kGenSignal:
+            record_leader_signal();
+            if (config_.leader_failure_time < 0.0 ||
+                now_ < config_.leader_failure_time) {
+                leader_->on_gen_signal(now_, ev.gen);
+            }
+            break;
+    }
+    return true;
+}
+
 AsyncResult SingleLeaderSimulation::run() {
     PAPC_CHECK(!ran_);
     ran_ = true;
 
     const std::size_t n = nodes_.size();
-    AsyncResult result;
-    result.plurality_fraction = TimeSeries("plurality-fraction");
-    result.leader_generation = TimeSeries("leader-generation");
+    result_.leader_generation = TimeSeries("leader-generation");
 
     // Measure C1 = F^{-1}(0.9) of T3 for this latency model (Monte Carlo;
     // deterministic given the seed).
     Rng c1_rng = rng_.split();
     const double steps_per_unit =
         analysis::t3_quantile_monte_carlo(*latency_, 0.9, 20000, c1_rng);
-    result.steps_per_unit = steps_per_unit;
+    result_.steps_per_unit = steps_per_unit;
 
     // Leader thresholds: C3·n 0-signals span `two_choices_units` time units
     // (Proposition 16); the generation-size gate is ⌈fraction·n⌉.
@@ -87,164 +195,32 @@ AsyncResult SingleLeaderSimulation::run() {
         config_.generation_slack);
     leader_ = std::make_unique<Leader>(leader_config);
 
-    sim::EventQueue<EventPayload> queue;
-
-    // Initial ticks and the metronome.
+    // Initial ticks.
     for (NodeId v = 0; v < n; ++v) {
-        queue.push(rng_.exponential(1.0), EventPayload{EventKind::kTick, v, 0, 0, 0});
-    }
-    queue.push(config_.sample_interval,
-               EventPayload{EventKind::kMetronome, 0, 0, 0, 0});
-
-    const double epsilon_target = 1.0 - config_.epsilon;
-    bool done = false;
-    double now = 0.0;
-
-    // Leader congestion: signals per unit-length window (§4.5).
-    std::int64_t load_bucket = -1;
-    std::uint64_t load_count = 0;
-    auto record_leader_signal = [&] {
-        ++result.signals_delivered;
-        const auto bucket = static_cast<std::int64_t>(now);
-        if (bucket != load_bucket) {
-            result.leader_peak_load =
-                std::max(result.leader_peak_load, static_cast<double>(load_count));
-            load_bucket = bucket;
-            load_count = 0;
-        }
-        ++load_count;
-    };
-
-    auto sample_peer = [&](NodeId self) {
-        auto p = static_cast<NodeId>(rng_.uniform_index(n - 1));
-        if (p >= self) ++p;
-        return p;
-    };
-
-    while (!queue.empty() && !done) {
-        auto entry = queue.pop();
-        now = entry.time;
-        if (now > config_.max_time) break;
-        const EventPayload& ev = entry.payload;
-
-        switch (ev.kind) {
-            case EventKind::kTick: {
-                ++result.ticks;
-                NodeState& v = nodes_[ev.node];
-                // Line 1: 0-signal to the leader — fire and forget, but the
-                // signal itself travels one latency draw.
-                queue.push(now + latency_->sample(rng_),
-                           EventPayload{EventKind::kZeroSignal, 0, 0, 0, 0});
-                // Line 2: locked nodes do nothing else at this tick.
-                if (!v.locked) {
-                    v.locked = true;
-                    ++result.good_ticks;
-                    result.channels_opened += 3;
-                    // Lines 3-4: open two peer channels concurrently, then
-                    // the leader channel: total latency max(T2,T2) + T2.
-                    const double peer_a = latency_->sample(rng_);
-                    const double peer_b = latency_->sample(rng_);
-                    const double to_leader = latency_->sample(rng_);
-                    const double ready = now + std::max(peer_a, peer_b) + to_leader;
-                    EventPayload ex{EventKind::kExchange, ev.node,
-                                    sample_peer(ev.node), sample_peer(ev.node), 0};
-                    queue.push(ready, ex);
-                }
-                // Next Poisson tick.
-                queue.push(now + rng_.exponential(1.0),
-                           EventPayload{EventKind::kTick, ev.node, 0, 0, 0});
-                break;
-            }
-
-            case EventKind::kExchange: {
-                ++result.exchanges;
-                NodeState& v = nodes_[ev.node];
-                PAPC_CHECK(v.locked);
-                const NodeState& p1 = nodes_[ev.peer1];
-                const NodeState& p2 = nodes_[ev.peer2];
-                const PeerSample s1{p1.gen, p1.col};
-                const PeerSample s2{p2.gen, p2.col};
-                const Generation old_gen = v.gen;
-                const Opinion old_col = v.col;
-                const ExchangeDecision decision = decide_exchange(
-                    v, leader_->gen(), leader_->prop(), s1, s2);
-                const bool changed =
-                    apply_decision(v, decision, leader_->gen(), leader_->prop());
-                switch (decision.kind) {
-                    case ExchangeDecision::Kind::kTwoChoices:
-                        ++result.two_choices_count;
-                        break;
-                    case ExchangeDecision::Kind::kPropagation:
-                        ++result.propagation_count;
-                        break;
-                    case ExchangeDecision::Kind::kRefreshOnly:
-                        ++result.refresh_count;
-                        break;
-                    case ExchangeDecision::Kind::kNone:
-                        break;
-                }
-                if (changed) {
-                    census_.transition(old_gen, old_col, v.gen, v.col);
-                    // Invariant: never beyond the leader's generation.
-                    PAPC_CHECK(v.gen <= leader_->gen());
-                    if (decision.send_gen_signal) {
-                        queue.push(now + latency_->sample(rng_),
-                                   EventPayload{EventKind::kGenSignal, 0, 0, 0,
-                                                v.gen});
-                    }
-                }
-                v.locked = false;  // line 15
-                break;
-            }
-
-            case EventKind::kZeroSignal:
-                record_leader_signal();
-                if (config_.leader_failure_time < 0.0 ||
-                    now < config_.leader_failure_time) {
-                    leader_->on_zero_signal(now);
-                }
-                break;
-
-            case EventKind::kGenSignal:
-                record_leader_signal();
-                if (config_.leader_failure_time < 0.0 ||
-                    now < config_.leader_failure_time) {
-                    leader_->on_gen_signal(now, ev.gen);
-                }
-                break;
-
-            case EventKind::kMetronome: {
-                const double frac = census_.opinion_fraction(plurality_);
-                if (config_.record_series) {
-                    result.plurality_fraction.record(now, frac);
-                    result.leader_generation.record(
-                        now, static_cast<double>(leader_->gen()));
-                }
-                if (result.epsilon_time < 0.0 && frac >= epsilon_target) {
-                    result.epsilon_time = now;
-                }
-                if (census_.converged()) {
-                    result.consensus_time = now;
-                    done = true;
-                    break;
-                }
-                queue.push(now + config_.sample_interval,
-                           EventPayload{EventKind::kMetronome, 0, 0, 0, 0});
-                break;
-            }
-        }
+        queue_->push(rng_.exponential(1.0),
+                     AsyncEvent{AsyncEventKind::kTick, v, 0, 0, 0});
     }
 
-    result.leader_peak_load =
-        std::max(result.leader_peak_load, static_cast<double>(load_count));
-    result.end_time = now;
-    result.converged = census_.converged();
-    const BiasStats pooled = census_.pooled_stats();
-    result.winner = pooled.dominant;
-    result.plurality_won = result.converged && result.winner == plurality_;
-    result.final_top_generation = census_.highest_populated();
-    result.leader_trace = leader_->trace();
-    return result;
+    core::EngineOptions run_options;
+    run_options.max_time = config_.max_time;
+    run_options.sample_interval = config_.sample_interval;
+    run_options.record = config_.record_series;
+    run_options.plurality = plurality_;
+    run_options.epsilon = config_.epsilon;
+    core::FunctionObserver observer([this](double time, double) {
+        if (config_.record_series) {
+            result_.leader_generation.record(
+                time, static_cast<double>(leader_->gen()));
+        }
+    });
+    static_cast<core::RunResult&>(result_) =
+        core::run(*this, run_options, &observer);
+
+    result_.leader_peak_load =
+        std::max(result_.leader_peak_load, static_cast<double>(load_count_));
+    result_.final_top_generation = census_.highest_populated();
+    result_.leader_trace = leader_->trace();
+    return std::move(result_);
 }
 
 AsyncResult run_single_leader(std::size_t n, std::uint32_t k, double alpha,

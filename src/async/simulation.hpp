@@ -12,6 +12,10 @@
 ///   - at completion the node atomically reads both peers and the leader
 ///     and applies Algorithm 2; generation promotions notify the leader
 ///     with an i-signal (one more latency draw).
+///
+/// The run loop (budgets, sampling cadence, ε/consensus detection, series
+/// recording) lives in core::run(); this class advances one event per
+/// core::Engine::advance() call.
 
 #include <memory>
 #include <vector>
@@ -19,23 +23,22 @@
 #include "async/config.hpp"
 #include "async/leader.hpp"
 #include "async/node.hpp"
+#include "core/engine.hpp"
+#include "core/run_result.hpp"
 #include "opinion/assignment.hpp"
 #include "opinion/census.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/latency.hpp"
 #include "support/random.hpp"
 #include "support/timeseries.hpp"
 
 namespace papc::async {
 
-/// Aggregate outcome of one simulation run.
-struct AsyncResult {
-    bool converged = false;       ///< all nodes share one color
-    Opinion winner = 0;           ///< final dominant color
-    bool plurality_won = false;   ///< winner == initial plurality
-    double epsilon_time = -1.0;   ///< first time (1-ε)·n nodes hold plurality
-    double consensus_time = -1.0; ///< first time of full consensus
-    double end_time = 0.0;        ///< simulated time at loop exit
-
+/// Aggregate outcome of one simulation run. The unified convergence
+/// semantics (converged / winner / plurality_won / epsilon_time /
+/// consensus_time / end_time / steps / plurality_fraction) live in the
+/// core::RunResult base; the fields below are single-leader accounting.
+struct AsyncResult : core::RunResult {
     std::uint64_t ticks = 0;              ///< Poisson ticks processed
     std::uint64_t good_ticks = 0;         ///< ticks that started an exchange
     std::uint64_t exchanges = 0;          ///< completed exchanges
@@ -52,12 +55,14 @@ struct AsyncResult {
     double leader_peak_load = 0.0;        ///< max leader signals in one step
 
     std::vector<LeaderTransition> leader_trace;
-    TimeSeries plurality_fraction;  ///< sampled by the metronome
     TimeSeries leader_generation;   ///< leader gen over time
 };
 
+/// One event of the single-leader simulation (defined in the .cpp).
+struct AsyncEvent;
+
 /// Single-leader asynchronous simulation.
-class SingleLeaderSimulation {
+class SingleLeaderSimulation final : public core::Engine {
 public:
     /// Uses Exponential(config.lambda) latencies.
     SingleLeaderSimulation(const Assignment& assignment, const AsyncConfig& config,
@@ -68,8 +73,21 @@ public:
                            std::unique_ptr<sim::LatencyModel> latency,
                            std::uint64_t seed);
 
+    ~SingleLeaderSimulation() override;
+
     /// Runs to full consensus (or config.max_time) and returns the result.
     [[nodiscard]] AsyncResult run();
+
+    // core::Engine driver interface (used by run(); one event per advance).
+    bool advance() override;
+    [[nodiscard]] double now() const override { return now_; }
+    [[nodiscard]] bool converged() const override { return census_.converged(); }
+    [[nodiscard]] Opinion dominant() const override {
+        return census_.pooled_stats().dominant;
+    }
+    [[nodiscard]] double opinion_fraction(Opinion j) const override {
+        return census_.opinion_fraction(j);
+    }
 
     /// Observers, valid after run().
     [[nodiscard]] const Leader& leader() const { return *leader_; }
@@ -78,14 +96,23 @@ public:
     [[nodiscard]] std::size_t population() const { return nodes_.size(); }
 
 private:
+    void record_leader_signal();
+    [[nodiscard]] NodeId sample_peer(NodeId self);
+
     AsyncConfig config_;
     std::unique_ptr<sim::LatencyModel> latency_;
     Rng rng_;
     std::vector<NodeState> nodes_;
     GenerationCensus census_;
     std::unique_ptr<Leader> leader_;
+    std::unique_ptr<sim::EventQueue<AsyncEvent>> queue_;
     Opinion plurality_ = 0;
     bool ran_ = false;
+
+    double now_ = 0.0;
+    AsyncResult result_;
+    std::int64_t load_bucket_ = -1;    ///< leader congestion window (§4.5)
+    std::uint64_t load_count_ = 0;
 };
 
 /// Convenience: builds a biased-plurality workload and runs one simulation.

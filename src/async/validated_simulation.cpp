@@ -2,26 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "analysis/theory.hpp"
-#include "sim/event_queue.hpp"
+#include "core/observer.hpp"
 #include "support/check.hpp"
 
 namespace papc::async {
 
-namespace {
-
-enum class EventKind : std::uint8_t {
+enum class ValidatedEventKind : std::uint8_t {
     kTick,
     kSnapshot,    ///< channels + first message round done: read states
     kValidate,    ///< validation round-trip done: commit or abort
     kZeroSignal,
     kGenSignal,
-    kMetronome,
 };
 
-struct EventPayload {
-    EventKind kind = EventKind::kTick;
+struct ValidatedEvent {
+    ValidatedEventKind kind = ValidatedEventKind::kTick;
     NodeId node = 0;
     NodeId peer1 = 0;
     NodeId peer2 = 0;
@@ -33,8 +31,6 @@ struct EventPayload {
     bool snap_prop = false;
 };
 
-}  // namespace
-
 ValidatedSingleLeaderSimulation::ValidatedSingleLeaderSimulation(
     const Assignment& assignment, const AsyncConfig& config,
     std::unique_ptr<sim::LatencyModel> channel,
@@ -43,7 +39,8 @@ ValidatedSingleLeaderSimulation::ValidatedSingleLeaderSimulation(
       channel_(std::move(channel)),
       message_(std::move(message)),
       rng_(seed),
-      census_(assignment.size(), assignment.num_opinions) {
+      census_(assignment.size(), assignment.num_opinions),
+      queue_(std::make_unique<sim::EventQueue<ValidatedEvent>>()) {
     PAPC_CHECK(assignment.size() >= 2);
     PAPC_CHECK(channel_ != nullptr && message_ != nullptr);
     const std::size_t n = assignment.size();
@@ -59,14 +56,148 @@ ValidatedSingleLeaderSimulation::ValidatedSingleLeaderSimulation(
     plurality_ = census_.pooled_stats().dominant;
 }
 
+ValidatedSingleLeaderSimulation::~ValidatedSingleLeaderSimulation() = default;
+
+NodeId ValidatedSingleLeaderSimulation::sample_peer(NodeId self) {
+    return static_cast<NodeId>(
+        rng_.uniform_index_excluding(nodes_.size(), self));
+}
+
+double ValidatedSingleLeaderSimulation::signal_delay() {
+    // A signal needs a channel plus one message crossing.
+    return channel_->sample(rng_) + message_->sample(rng_);
+}
+
+bool ValidatedSingleLeaderSimulation::advance() {
+    if (queue_->empty()) return false;
+    auto entry = queue_->pop();
+    now_ = entry.time;
+    ValidatedEvent& ev = entry.payload;
+
+    switch (ev.kind) {
+        case ValidatedEventKind::kTick: {
+            ++result_.base.ticks;
+            NodeState& v = nodes_[ev.node];
+            {
+                ValidatedEvent sig;
+                sig.kind = ValidatedEventKind::kZeroSignal;
+                queue_->push(now_ + signal_delay(), sig);
+            }
+            if (!v.locked) {
+                v.locked = true;
+                ++result_.base.good_ticks;
+                const double establish =
+                    std::max(channel_->sample(rng_), channel_->sample(rng_)) +
+                    channel_->sample(rng_);
+                const double first_round =
+                    2.0 * message_->sample(rng_);  // request + reply
+                ValidatedEvent snap;
+                snap.kind = ValidatedEventKind::kSnapshot;
+                snap.node = ev.node;
+                snap.peer1 = sample_peer(ev.node);
+                snap.peer2 = sample_peer(ev.node);
+                queue_->push(now_ + establish + first_round, snap);
+            }
+            ValidatedEvent next;
+            next.kind = ValidatedEventKind::kTick;
+            next.node = ev.node;
+            queue_->push(now_ + rng_.exponential(1.0), next);
+            break;
+        }
+
+        case ValidatedEventKind::kSnapshot: {
+            ++result_.base.exchanges;
+            NodeState& v = nodes_[ev.node];
+            PAPC_CHECK(v.locked);
+            const NodeState& p1 = nodes_[ev.peer1];
+            const NodeState& p2 = nodes_[ev.peer2];
+            const ExchangeDecision decision = decide_exchange(
+                v, leader_->gen(), leader_->prop(),
+                PeerSample{p1.gen, p1.col}, PeerSample{p2.gen, p2.col});
+            switch (decision.kind) {
+                case ExchangeDecision::Kind::kRefreshOnly:
+                    ++result_.base.refresh_count;
+                    (void)apply_decision(v, decision, leader_->gen(),
+                                         leader_->prop());
+                    v.locked = false;
+                    break;
+                case ExchangeDecision::Kind::kNone:
+                    v.locked = false;
+                    break;
+                case ExchangeDecision::Kind::kTwoChoices:
+                case ExchangeDecision::Kind::kPropagation: {
+                    // Two-phase commit: validate against the leader
+                    // before applying (§5).
+                    ValidatedEvent val;
+                    val.kind = ValidatedEventKind::kValidate;
+                    val.node = ev.node;
+                    val.decision = decision;
+                    val.snap_gen = leader_->gen();
+                    val.snap_prop = leader_->prop();
+                    const double validation =
+                        channel_->sample(rng_) +
+                        2.0 * message_->sample(rng_);
+                    queue_->push(now_ + validation, val);
+                    break;
+                }
+            }
+            break;
+        }
+
+        case ValidatedEventKind::kValidate: {
+            NodeState& v = nodes_[ev.node];
+            PAPC_CHECK(v.locked);
+            if (leader_->gen() == ev.snap_gen &&
+                leader_->prop() == ev.snap_prop) {
+                // Leader unchanged: commit.
+                const Generation old_gen = v.gen;
+                const Opinion old_col = v.col;
+                const bool changed = apply_decision(
+                    v, ev.decision, leader_->gen(), leader_->prop());
+                if (changed) {
+                    ++result_.commits;
+                    if (ev.decision.kind ==
+                        ExchangeDecision::Kind::kTwoChoices) {
+                        ++result_.base.two_choices_count;
+                    } else {
+                        ++result_.base.propagation_count;
+                    }
+                    census_.transition(old_gen, old_col, v.gen, v.col);
+                    PAPC_CHECK(v.gen <= leader_->gen());
+                    if (ev.decision.send_gen_signal) {
+                        ValidatedEvent sig;
+                        sig.kind = ValidatedEventKind::kGenSignal;
+                        sig.gen = v.gen;
+                        queue_->push(now_ + signal_delay(), sig);
+                    }
+                }
+            } else {
+                // Leader moved on: abort and refresh the stored state.
+                ++result_.aborts;
+                v.seen_gen = leader_->gen();
+                v.seen_prop = leader_->prop();
+            }
+            v.locked = false;
+            break;
+        }
+
+        case ValidatedEventKind::kZeroSignal:
+            leader_->on_zero_signal(now_);
+            break;
+
+        case ValidatedEventKind::kGenSignal:
+            leader_->on_gen_signal(now_, ev.gen);
+            break;
+    }
+    return true;
+}
+
 ValidatedResult ValidatedSingleLeaderSimulation::run() {
     PAPC_CHECK(!ran_);
     ran_ = true;
 
     const std::size_t n = nodes_.size();
-    ValidatedResult result;
-    result.base.plurality_fraction = TimeSeries("plurality-fraction");
-    result.base.leader_generation = TimeSeries("leader-generation");
+    result_.base.leader_generation = TimeSeries("leader-generation");
 
     // One full cycle now includes two message round-trips and the
     // validation channel; measure C1 for this composition.
@@ -81,7 +212,7 @@ ValidatedResult ValidatedSingleLeaderSimulation::run() {
     for (double& d : draws) d = cycle_sample();
     std::sort(draws.begin(), draws.end());
     const double steps_per_unit = draws[static_cast<std::size_t>(0.9 * 20000)];
-    result.base.steps_per_unit = steps_per_unit;
+    result_.base.steps_per_unit = steps_per_unit;
 
     LeaderConfig leader_config;
     leader_config.zero_signal_threshold = static_cast<std::uint64_t>(std::ceil(
@@ -93,191 +224,36 @@ ValidatedResult ValidatedSingleLeaderSimulation::run() {
         config_.generation_slack);
     leader_ = std::make_unique<Leader>(leader_config);
 
-    sim::EventQueue<EventPayload> queue;
     for (NodeId v = 0; v < n; ++v) {
-        EventPayload tick;
-        tick.kind = EventKind::kTick;
+        ValidatedEvent tick;
+        tick.kind = ValidatedEventKind::kTick;
         tick.node = v;
-        queue.push(rng_.exponential(1.0), tick);
-    }
-    {
-        EventPayload m;
-        m.kind = EventKind::kMetronome;
-        queue.push(config_.sample_interval, m);
+        queue_->push(rng_.exponential(1.0), tick);
     }
 
-    auto sample_peer = [&](NodeId self) {
-        auto p = static_cast<NodeId>(rng_.uniform_index(n - 1));
-        if (p >= self) ++p;
-        return p;
-    };
-    auto signal_delay = [&] {
-        // A signal needs a channel plus one message crossing.
-        return channel_->sample(rng_) + message_->sample(rng_);
-    };
-
-    const double epsilon_target = 1.0 - config_.epsilon;
-    bool done = false;
-    double now = 0.0;
-
-    while (!queue.empty() && !done) {
-        auto entry = queue.pop();
-        now = entry.time;
-        if (now > config_.max_time) break;
-        EventPayload& ev = entry.payload;
-
-        switch (ev.kind) {
-            case EventKind::kTick: {
-                ++result.base.ticks;
-                NodeState& v = nodes_[ev.node];
-                {
-                    EventPayload sig;
-                    sig.kind = EventKind::kZeroSignal;
-                    queue.push(now + signal_delay(), sig);
-                }
-                if (!v.locked) {
-                    v.locked = true;
-                    ++result.base.good_ticks;
-                    const double establish =
-                        std::max(channel_->sample(rng_), channel_->sample(rng_)) +
-                        channel_->sample(rng_);
-                    const double first_round =
-                        2.0 * message_->sample(rng_);  // request + reply
-                    EventPayload snap;
-                    snap.kind = EventKind::kSnapshot;
-                    snap.node = ev.node;
-                    snap.peer1 = sample_peer(ev.node);
-                    snap.peer2 = sample_peer(ev.node);
-                    queue.push(now + establish + first_round, snap);
-                }
-                EventPayload next;
-                next.kind = EventKind::kTick;
-                next.node = ev.node;
-                queue.push(now + rng_.exponential(1.0), next);
-                break;
-            }
-
-            case EventKind::kSnapshot: {
-                ++result.base.exchanges;
-                NodeState& v = nodes_[ev.node];
-                PAPC_CHECK(v.locked);
-                const NodeState& p1 = nodes_[ev.peer1];
-                const NodeState& p2 = nodes_[ev.peer2];
-                const ExchangeDecision decision = decide_exchange(
-                    v, leader_->gen(), leader_->prop(),
-                    PeerSample{p1.gen, p1.col}, PeerSample{p2.gen, p2.col});
-                switch (decision.kind) {
-                    case ExchangeDecision::Kind::kRefreshOnly:
-                        ++result.base.refresh_count;
-                        (void)apply_decision(v, decision, leader_->gen(),
-                                             leader_->prop());
-                        v.locked = false;
-                        break;
-                    case ExchangeDecision::Kind::kNone:
-                        v.locked = false;
-                        break;
-                    case ExchangeDecision::Kind::kTwoChoices:
-                    case ExchangeDecision::Kind::kPropagation: {
-                        // Two-phase commit: validate against the leader
-                        // before applying (§5).
-                        EventPayload val;
-                        val.kind = EventKind::kValidate;
-                        val.node = ev.node;
-                        val.decision = decision;
-                        val.snap_gen = leader_->gen();
-                        val.snap_prop = leader_->prop();
-                        const double validation =
-                            channel_->sample(rng_) +
-                            2.0 * message_->sample(rng_);
-                        queue.push(now + validation, val);
-                        break;
-                    }
-                }
-                break;
-            }
-
-            case EventKind::kValidate: {
-                NodeState& v = nodes_[ev.node];
-                PAPC_CHECK(v.locked);
-                if (leader_->gen() == ev.snap_gen &&
-                    leader_->prop() == ev.snap_prop) {
-                    // Leader unchanged: commit.
-                    const Generation old_gen = v.gen;
-                    const Opinion old_col = v.col;
-                    const bool changed = apply_decision(
-                        v, ev.decision, leader_->gen(), leader_->prop());
-                    if (changed) {
-                        ++result.commits;
-                        if (ev.decision.kind ==
-                            ExchangeDecision::Kind::kTwoChoices) {
-                            ++result.base.two_choices_count;
-                        } else {
-                            ++result.base.propagation_count;
-                        }
-                        census_.transition(old_gen, old_col, v.gen, v.col);
-                        PAPC_CHECK(v.gen <= leader_->gen());
-                        if (ev.decision.send_gen_signal) {
-                            EventPayload sig;
-                            sig.kind = EventKind::kGenSignal;
-                            sig.gen = v.gen;
-                            queue.push(now + signal_delay(), sig);
-                        }
-                    }
-                } else {
-                    // Leader moved on: abort and refresh the stored state.
-                    ++result.aborts;
-                    v.seen_gen = leader_->gen();
-                    v.seen_prop = leader_->prop();
-                }
-                v.locked = false;
-                break;
-            }
-
-            case EventKind::kZeroSignal:
-                leader_->on_zero_signal(now);
-                break;
-
-            case EventKind::kGenSignal:
-                leader_->on_gen_signal(now, ev.gen);
-                break;
-
-            case EventKind::kMetronome: {
-                const double frac = census_.opinion_fraction(plurality_);
-                if (config_.record_series) {
-                    result.base.plurality_fraction.record(now, frac);
-                    result.base.leader_generation.record(
-                        now, static_cast<double>(leader_->gen()));
-                }
-                if (result.base.epsilon_time < 0.0 && frac >= epsilon_target) {
-                    result.base.epsilon_time = now;
-                }
-                if (census_.converged()) {
-                    result.base.consensus_time = now;
-                    done = true;
-                    break;
-                }
-                EventPayload next;
-                next.kind = EventKind::kMetronome;
-                queue.push(now + config_.sample_interval, next);
-                break;
-            }
+    core::EngineOptions run_options;
+    run_options.max_time = config_.max_time;
+    run_options.sample_interval = config_.sample_interval;
+    run_options.record = config_.record_series;
+    run_options.plurality = plurality_;
+    run_options.epsilon = config_.epsilon;
+    core::FunctionObserver observer([this](double time, double) {
+        if (config_.record_series) {
+            result_.base.leader_generation.record(
+                time, static_cast<double>(leader_->gen()));
         }
-    }
+    });
+    static_cast<core::RunResult&>(result_.base) =
+        core::run(*this, run_options, &observer);
 
-    result.base.end_time = now;
-    result.base.converged = census_.converged();
-    const BiasStats pooled = census_.pooled_stats();
-    result.base.winner = pooled.dominant;
-    result.base.plurality_won =
-        result.base.converged && result.base.winner == plurality_;
-    result.base.final_top_generation = census_.highest_populated();
-    result.base.leader_trace = leader_->trace();
-    const std::uint64_t attempts = result.commits + result.aborts;
-    result.abort_rate =
+    result_.base.final_top_generation = census_.highest_populated();
+    result_.base.leader_trace = leader_->trace();
+    const std::uint64_t attempts = result_.commits + result_.aborts;
+    result_.abort_rate =
         attempts == 0 ? 0.0
-                      : static_cast<double>(result.aborts) /
+                      : static_cast<double>(result_.aborts) /
                             static_cast<double>(attempts);
-    return result;
+    return std::move(result_);
 }
 
 ValidatedResult run_validated_single_leader(std::size_t n, std::uint32_t k,

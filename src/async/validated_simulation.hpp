@@ -25,7 +25,8 @@
 ///      is unchanged between t2 and t3; otherwise it aborts and the node
 ///      only refreshes its stored leader state.
 /// Aborts preserve the §3.2 interleaving invariants under message delays;
-/// bench/exp_exchange_latency measures their cost.
+/// bench/exp_exchange_latency measures their cost. The run loop is owned
+/// by core::run(); one advance() = one event.
 
 #include <memory>
 
@@ -33,8 +34,10 @@
 #include "async/leader.hpp"
 #include "async/node.hpp"
 #include "async/simulation.hpp"
+#include "core/engine.hpp"
 #include "opinion/assignment.hpp"
 #include "opinion/census.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/latency.hpp"
 #include "support/random.hpp"
 
@@ -48,9 +51,12 @@ struct ValidatedResult {
     double abort_rate = 0.0;          ///< aborts / (commits + aborts)
 };
 
+/// One event of the validated simulation (defined in the .cpp).
+struct ValidatedEvent;
+
 /// Single-leader protocol under channel latencies T2 *and* per-message
 /// latencies T4, with leader-validated commits (§5).
-class ValidatedSingleLeaderSimulation {
+class ValidatedSingleLeaderSimulation final : public core::Engine {
 public:
     /// `channel` models T2 (establishment), `message` models T4 (one
     /// message over an established channel). Both are owned.
@@ -60,13 +66,29 @@ public:
                                     std::unique_ptr<sim::LatencyModel> message,
                                     std::uint64_t seed);
 
+    ~ValidatedSingleLeaderSimulation() override;
+
     [[nodiscard]] ValidatedResult run();
+
+    // core::Engine driver interface (one event per advance).
+    bool advance() override;
+    [[nodiscard]] double now() const override { return now_; }
+    [[nodiscard]] bool converged() const override { return census_.converged(); }
+    [[nodiscard]] Opinion dominant() const override {
+        return census_.pooled_stats().dominant;
+    }
+    [[nodiscard]] double opinion_fraction(Opinion j) const override {
+        return census_.opinion_fraction(j);
+    }
 
     [[nodiscard]] const Leader& leader() const { return *leader_; }
     [[nodiscard]] const GenerationCensus& census() const { return census_; }
     [[nodiscard]] const NodeState& node(NodeId v) const { return nodes_[v]; }
 
 private:
+    [[nodiscard]] NodeId sample_peer(NodeId self);
+    [[nodiscard]] double signal_delay();
+
     AsyncConfig config_;
     std::unique_ptr<sim::LatencyModel> channel_;
     std::unique_ptr<sim::LatencyModel> message_;
@@ -74,8 +96,12 @@ private:
     std::vector<NodeState> nodes_;
     GenerationCensus census_;
     std::unique_ptr<Leader> leader_;
+    std::unique_ptr<sim::EventQueue<ValidatedEvent>> queue_;
     Opinion plurality_ = 0;
     bool ran_ = false;
+
+    double now_ = 0.0;
+    ValidatedResult result_;
 };
 
 /// Convenience wrapper: biased-plurality workload, Exponential(λ) channels

@@ -5,23 +5,19 @@
 
 #include "analysis/latency_units.hpp"
 #include "analysis/theory.hpp"
-#include "sim/event_queue.hpp"
-#include "sim/latency.hpp"
+#include "core/observer.hpp"
 #include "support/check.hpp"
 
 namespace papc::cluster {
 
-namespace {
-
-enum class EventKind : std::uint8_t {
+enum class ClusterEventKind : std::uint8_t {
     kTick,
     kExchange,
     kSignal,     ///< member signal arriving at its own leader
-    kMetronome,
 };
 
-struct EventPayload {
-    EventKind kind = EventKind::kTick;
+struct ClusterEvent {
+    ClusterEventKind kind = ClusterEventKind::kTick;
     NodeId node = 0;
     NodeId s1 = 0;
     NodeId s2 = 0;
@@ -32,8 +28,6 @@ struct EventPayload {
     bool sig_changed = false;
 };
 
-}  // namespace
-
 MultiLeaderSimulation::MultiLeaderSimulation(const Assignment& assignment,
                                              ClusteringResult clustering,
                                              const ClusterConfig& config,
@@ -41,7 +35,9 @@ MultiLeaderSimulation::MultiLeaderSimulation(const Assignment& assignment,
     : config_(config),
       clustering_(std::move(clustering)),
       rng_(seed),
-      census_(assignment.size(), assignment.num_opinions) {
+      latency_(config.lambda),
+      census_(assignment.size(), assignment.num_opinions),
+      queue_(std::make_unique<sim::EventQueue<ClusterEvent>>()) {
     const std::size_t n = assignment.size();
     PAPC_CHECK(clustering_.cluster_of.size() == n);
 
@@ -60,9 +56,8 @@ MultiLeaderSimulation::MultiLeaderSimulation(const Assignment& assignment,
     // Measure C1 for the 5-channel member exchange (three samples, then the
     // own leader and the sampled leader concurrently).
     Rng c1_rng = rng_.split();
-    const sim::ExponentialLatency latency(config_.lambda);
     auto t3_sample = [&] {
-        auto draw = [&] { return latency.sample(c1_rng); };
+        auto draw = [&] { return latency_.sample(c1_rng); };
         const double stage1 = std::max({draw(), draw(), draw()});
         const double stage2 = std::max(draw(), draw());
         return stage1 + stage2 + c1_rng.exponential(1.0) +
@@ -73,7 +68,7 @@ MultiLeaderSimulation::MultiLeaderSimulation(const Assignment& assignment,
     std::sort(draws.begin(), draws.end());
     const double steps_per_unit = draws[static_cast<std::size_t>(0.9 * 20000)];
 
-    const Generation max_generation = analysis::total_generations(
+    max_generation_ = analysis::total_generations(
         std::max(config_.alpha_hint, 1.0 + 1e-9), census_.num_opinions(), n,
         config_.generation_slack);
 
@@ -88,9 +83,207 @@ MultiLeaderSimulation::MultiLeaderSimulation(const Assignment& assignment,
             std::ceil(config_.prop_units * steps_per_unit * card));
         lc.generation_size_threshold = static_cast<std::uint64_t>(
             std::ceil(config_.generation_size_fraction * card));
-        lc.max_generation = max_generation;
+        lc.max_generation = max_generation_;
         leaders_.push_back(std::make_unique<ClusterLeader>(lc));
     }
+
+    alive_.assign(leaders_.size(), true);
+    failure_injected_ = config_.leader_failure_time < 0.0;
+    load_bucket_.assign(leaders_.size(), -1);
+    load_count_.assign(leaders_.size(), 0);
+}
+
+MultiLeaderSimulation::~MultiLeaderSimulation() = default;
+
+NodeId MultiLeaderSimulation::sample_peer(NodeId self) {
+    return static_cast<NodeId>(
+        rng_.uniform_index_excluding(members_.size(), self));
+}
+
+void MultiLeaderSimulation::mark_finished(NodeId v) {
+    if (!members_[v].finished) {
+        members_[v].finished = true;
+        ++finished_count_;
+    }
+}
+
+void MultiLeaderSimulation::adopt_finished(NodeId v, Opinion col) {
+    MemberState& m = members_[v];
+    if (m.finished) return;
+    if (m.col != col) {
+        census_.transition(m.gen, m.col, m.gen, col);
+        m.col = col;
+    }
+    mark_finished(v);
+    ++result_.finished_adoptions;
+}
+
+void MultiLeaderSimulation::maybe_inject_failure() {
+    if (failure_injected_ || now_ < config_.leader_failure_time) return;
+    failure_injected_ = true;
+    const auto to_kill = static_cast<std::size_t>(
+        config_.leader_failure_fraction * static_cast<double>(leaders_.size()));
+    std::vector<std::size_t> order(leaders_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng_.shuffle(order);
+    for (std::size_t i = 0; i < to_kill && i < order.size(); ++i) {
+        alive_[order[i]] = false;
+    }
+}
+
+void MultiLeaderSimulation::record_leader_signal(std::size_t cluster) {
+    ++result_.signals_delivered;
+    const auto bucket = static_cast<std::int64_t>(now_);
+    if (bucket != load_bucket_[cluster]) {
+        result_.leader_peak_load = std::max(
+            result_.leader_peak_load, static_cast<double>(load_count_[cluster]));
+        load_bucket_[cluster] = bucket;
+        load_count_[cluster] = 0;
+    }
+    ++load_count_[cluster];
+}
+
+bool MultiLeaderSimulation::advance() {
+    if (queue_->empty()) return false;
+    auto entry = queue_->pop();
+    now_ = entry.time;
+    const ClusterEvent& ev = entry.payload;
+
+    switch (ev.kind) {
+        case ClusterEventKind::kTick: {
+            ++result_.ticks;
+            const NodeId v = ev.node;
+            MemberState& m = members_[v];
+            const std::int32_t my_cluster = clustering_.cluster_of[v];
+            // Line 1: clustered members signal their leader each tick.
+            if (my_cluster != kNoCluster) {
+                ClusterEvent sig;
+                sig.kind = ClusterEventKind::kSignal;
+                sig.cluster = my_cluster;
+                sig.sig_i = 0;
+                sig.sig_s = LeaderState::kPropagation;  // ignored for i == 0
+                sig.sig_changed = false;
+                queue_->push(now_ + latency_.sample(rng_), sig);
+            }
+            // Line 2-3: lock and open channels.
+            if (!m.locked) {
+                m.locked = true;
+                const double stage1 =
+                    std::max({latency_.sample(rng_), latency_.sample(rng_),
+                              latency_.sample(rng_)});
+                const double stage2 =
+                    std::max(latency_.sample(rng_), latency_.sample(rng_));
+                ClusterEvent ex;
+                ex.kind = ClusterEventKind::kExchange;
+                ex.node = v;
+                ex.s1 = sample_peer(v);
+                ex.s2 = sample_peer(v);
+                ex.s3 = sample_peer(v);
+                queue_->push(now_ + stage1 + stage2, ex);
+            }
+            ClusterEvent next;
+            next.kind = ClusterEventKind::kTick;
+            next.node = v;
+            queue_->push(now_ + rng_.exponential(1.0), next);
+            break;
+        }
+
+        case ClusterEventKind::kExchange: {
+            ++result_.exchanges;
+            const NodeId v = ev.node;
+            MemberState& m = members_[v];
+            PAPC_CHECK(m.locked);
+            const std::int32_t my_cluster = clustering_.cluster_of[v];
+
+            if (m.finished) {
+                // Line 5: push the final opinion to all samples.
+                adopt_finished(ev.s1, m.col);
+                adopt_finished(ev.s2, m.col);
+                adopt_finished(ev.s3, m.col);
+                m.locked = false;
+                break;
+            }
+            // Lines 6-7: pull the final opinion from a finished sample.
+            const NodeId samples[3] = {ev.s1, ev.s2, ev.s3};
+            bool adopted_final = false;
+            for (const NodeId s : samples) {
+                if (members_[s].finished) {
+                    adopt_finished(v, members_[s].col);
+                    adopted_final = true;
+                    break;
+                }
+            }
+            if (adopted_final || my_cluster == kNoCluster) {
+                // Passive nodes participate only in the finished
+                // epidemic; clustered nodes are done for this exchange.
+                m.locked = false;
+                break;
+            }
+
+            // Line 8: the sampled node must belong to an active cluster
+            // whose leader is still alive.
+            const std::int32_t l_cluster = clustering_.cluster_of[ev.s3];
+            if (l_cluster == kNoCluster ||
+                !alive_[static_cast<std::size_t>(l_cluster)]) {
+                m.locked = false;
+                break;
+            }
+            const ClusterLeader& l = *leaders_[static_cast<std::size_t>(l_cluster)];
+            const MemberView v1{members_[ev.s1].gen, members_[ev.s1].col};
+            const MemberView v2{members_[ev.s2].gen, members_[ev.s2].col};
+            const MemberDecision d =
+                decide_member_exchange(m, l.gen(), l.state(), v1, v2);
+
+            if (d.kind != MemberDecision::Kind::kNone) {
+                PAPC_CHECK(d.new_gen > m.gen);
+                census_.transition(m.gen, m.col, d.new_gen, d.new_col);
+                m.gen = d.new_gen;
+                m.col = d.new_col;
+                if (d.kind == MemberDecision::Kind::kTwoChoices) {
+                    ++result_.two_choices_count;
+                } else {
+                    ++result_.propagation_count;
+                }
+                // Line 20: the last generation carries the final opinion.
+                if (m.gen >= max_generation_) mark_finished(v);
+            }
+            // Lines 12/16/18: signal the own leader (one latency away).
+            {
+                ClusterEvent sig;
+                sig.kind = ClusterEventKind::kSignal;
+                sig.cluster = my_cluster;
+                sig.sig_i = d.signal.i;
+                sig.sig_s = d.signal.s;
+                sig.sig_changed = d.signal.has_changed;
+                queue_->push(now_ + latency_.sample(rng_), sig);
+            }
+            // Line 19: refresh tmp_* from the own leader (contacted
+            // concurrently during this exchange); if the own leader has
+            // crashed, fail over to the sampled leader's state.
+            if (alive_[static_cast<std::size_t>(my_cluster)]) {
+                const ClusterLeader& own =
+                    *leaders_[static_cast<std::size_t>(my_cluster)];
+                m.tmp_gen = own.gen();
+                m.tmp_state = own.state();
+            } else {
+                m.tmp_gen = l.gen();
+                m.tmp_state = l.state();
+            }
+            m.locked = false;
+            break;
+        }
+
+        case ClusterEventKind::kSignal: {
+            PAPC_CHECK(ev.cluster != kNoCluster);
+            const auto idx = static_cast<std::size_t>(ev.cluster);
+            if (!alive_[idx]) break;  // crashed leaders drop signals
+            record_leader_signal(idx);
+            leaders_[idx]->on_signal(now_, ev.sig_i, ev.sig_s,
+                                     ev.sig_changed);
+            break;
+        }
+    }
+    return true;
 }
 
 MultiLeaderResult MultiLeaderSimulation::run() {
@@ -98,270 +291,41 @@ MultiLeaderResult MultiLeaderSimulation::run() {
     ran_ = true;
 
     const std::size_t n = members_.size();
-    const sim::ExponentialLatency latency(config_.lambda);
-    const Generation max_generation =
-        leaders_.empty()
-            ? analysis::total_generations(std::max(config_.alpha_hint, 1.0 + 1e-9),
-                                          census_.num_opinions(), n,
-                                          config_.generation_slack)
-            : leaders_.front()->config().max_generation;
+    result_.clustering = clustering_;
+    result_.clustering_time = clustering_.elapsed;
 
-    MultiLeaderResult result;
-    result.clustering = clustering_;
-    result.clustering_time = clustering_.elapsed;
-    result.plurality_fraction = TimeSeries("plurality-fraction");
-
-    sim::EventQueue<EventPayload> queue;
     for (NodeId v = 0; v < n; ++v) {
-        EventPayload tick;
-        tick.kind = EventKind::kTick;
+        ClusterEvent tick;
+        tick.kind = ClusterEventKind::kTick;
         tick.node = v;
-        queue.push(rng_.exponential(1.0), tick);
-    }
-    {
-        EventPayload m;
-        m.kind = EventKind::kMetronome;
-        queue.push(config_.sample_interval, m);
+        queue_->push(rng_.exponential(1.0), tick);
     }
 
-    auto sample_peer = [&](NodeId self) {
-        auto p = static_cast<NodeId>(rng_.uniform_index(n - 1));
-        if (p >= self) ++p;
-        return p;
-    };
+    core::EngineOptions run_options;
+    run_options.max_time = config_.max_time;
+    run_options.sample_interval = config_.sample_interval;
+    run_options.record = config_.record_series;
+    run_options.plurality = plurality_;
+    run_options.epsilon = config_.epsilon;
+    // Failure injection fires at the sampling cadence, like the old
+    // metronome did.
+    core::FunctionObserver observer(
+        [this](double, double) { maybe_inject_failure(); });
+    static_cast<core::RunResult&>(result_) =
+        core::run(*this, run_options, &observer);
 
-    std::uint64_t finished_count = 0;
-    auto mark_finished = [&](NodeId v) {
-        if (!members_[v].finished) {
-            members_[v].finished = true;
-            ++finished_count;
-        }
-    };
-    auto adopt_finished = [&](NodeId v, Opinion col) {
-        MemberState& m = members_[v];
-        if (m.finished) return;
-        if (m.col != col) {
-            census_.transition(m.gen, m.col, m.gen, col);
-            m.col = col;
-        }
-        mark_finished(v);
-        ++result.finished_adoptions;
-    };
-
-    const double epsilon_target = 1.0 - config_.epsilon;
-    bool done = false;
-    double now = 0.0;
-
-    // Failure injection (§4 resilience): leaders crashed so far.
-    std::vector<bool> alive(leaders_.size(), true);
-    bool failure_injected = config_.leader_failure_time < 0.0;
-    auto maybe_inject_failure = [&] {
-        if (failure_injected || now < config_.leader_failure_time) return;
-        failure_injected = true;
-        const auto to_kill = static_cast<std::size_t>(
-            config_.leader_failure_fraction * static_cast<double>(leaders_.size()));
-        std::vector<std::size_t> order(leaders_.size());
-        for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-        rng_.shuffle(order);
-        for (std::size_t i = 0; i < to_kill && i < order.size(); ++i) {
-            alive[order[i]] = false;
-        }
-    };
-
-    // Per-leader congestion windows (§4.5).
-    std::vector<std::int64_t> load_bucket(leaders_.size(), -1);
-    std::vector<std::uint64_t> load_count(leaders_.size(), 0);
-    auto record_leader_signal = [&](std::size_t cluster) {
-        ++result.signals_delivered;
-        const auto bucket = static_cast<std::int64_t>(now);
-        if (bucket != load_bucket[cluster]) {
-            result.leader_peak_load = std::max(
-                result.leader_peak_load, static_cast<double>(load_count[cluster]));
-            load_bucket[cluster] = bucket;
-            load_count[cluster] = 0;
-        }
-        ++load_count[cluster];
-    };
-
-    while (!queue.empty() && !done) {
-        auto entry = queue.pop();
-        now = entry.time;
-        if (now > config_.max_time) break;
-        const EventPayload& ev = entry.payload;
-
-        switch (ev.kind) {
-            case EventKind::kTick: {
-                ++result.ticks;
-                const NodeId v = ev.node;
-                MemberState& m = members_[v];
-                const std::int32_t my_cluster = clustering_.cluster_of[v];
-                // Line 1: clustered members signal their leader each tick.
-                if (my_cluster != kNoCluster) {
-                    EventPayload sig;
-                    sig.kind = EventKind::kSignal;
-                    sig.cluster = my_cluster;
-                    sig.sig_i = 0;
-                    sig.sig_s = LeaderState::kPropagation;  // ignored for i == 0
-                    sig.sig_changed = false;
-                    queue.push(now + latency.sample(rng_), sig);
-                }
-                // Line 2-3: lock and open channels.
-                if (!m.locked) {
-                    m.locked = true;
-                    const double stage1 =
-                        std::max({latency.sample(rng_), latency.sample(rng_),
-                                  latency.sample(rng_)});
-                    const double stage2 =
-                        std::max(latency.sample(rng_), latency.sample(rng_));
-                    EventPayload ex;
-                    ex.kind = EventKind::kExchange;
-                    ex.node = v;
-                    ex.s1 = sample_peer(v);
-                    ex.s2 = sample_peer(v);
-                    ex.s3 = sample_peer(v);
-                    queue.push(now + stage1 + stage2, ex);
-                }
-                EventPayload next;
-                next.kind = EventKind::kTick;
-                next.node = v;
-                queue.push(now + rng_.exponential(1.0), next);
-                break;
-            }
-
-            case EventKind::kExchange: {
-                ++result.exchanges;
-                const NodeId v = ev.node;
-                MemberState& m = members_[v];
-                PAPC_CHECK(m.locked);
-                const std::int32_t my_cluster = clustering_.cluster_of[v];
-
-                if (m.finished) {
-                    // Line 5: push the final opinion to all samples.
-                    adopt_finished(ev.s1, m.col);
-                    adopt_finished(ev.s2, m.col);
-                    adopt_finished(ev.s3, m.col);
-                    m.locked = false;
-                    break;
-                }
-                // Lines 6-7: pull the final opinion from a finished sample.
-                const NodeId samples[3] = {ev.s1, ev.s2, ev.s3};
-                bool adopted_final = false;
-                for (const NodeId s : samples) {
-                    if (members_[s].finished) {
-                        adopt_finished(v, members_[s].col);
-                        adopted_final = true;
-                        break;
-                    }
-                }
-                if (adopted_final || my_cluster == kNoCluster) {
-                    // Passive nodes participate only in the finished
-                    // epidemic; clustered nodes are done for this exchange.
-                    m.locked = false;
-                    break;
-                }
-
-                // Line 8: the sampled node must belong to an active cluster
-                // whose leader is still alive.
-                const std::int32_t l_cluster = clustering_.cluster_of[ev.s3];
-                if (l_cluster == kNoCluster ||
-                    !alive[static_cast<std::size_t>(l_cluster)]) {
-                    m.locked = false;
-                    break;
-                }
-                const ClusterLeader& l = *leaders_[static_cast<std::size_t>(l_cluster)];
-                const MemberView v1{members_[ev.s1].gen, members_[ev.s1].col};
-                const MemberView v2{members_[ev.s2].gen, members_[ev.s2].col};
-                const MemberDecision d =
-                    decide_member_exchange(m, l.gen(), l.state(), v1, v2);
-
-                if (d.kind != MemberDecision::Kind::kNone) {
-                    PAPC_CHECK(d.new_gen > m.gen);
-                    census_.transition(m.gen, m.col, d.new_gen, d.new_col);
-                    m.gen = d.new_gen;
-                    m.col = d.new_col;
-                    if (d.kind == MemberDecision::Kind::kTwoChoices) {
-                        ++result.two_choices_count;
-                    } else {
-                        ++result.propagation_count;
-                    }
-                    // Line 20: the last generation carries the final opinion.
-                    if (m.gen >= max_generation) mark_finished(v);
-                }
-                // Lines 12/16/18: signal the own leader (one latency away).
-                {
-                    EventPayload sig;
-                    sig.kind = EventKind::kSignal;
-                    sig.cluster = my_cluster;
-                    sig.sig_i = d.signal.i;
-                    sig.sig_s = d.signal.s;
-                    sig.sig_changed = d.signal.has_changed;
-                    queue.push(now + latency.sample(rng_), sig);
-                }
-                // Line 19: refresh tmp_* from the own leader (contacted
-                // concurrently during this exchange); if the own leader has
-                // crashed, fail over to the sampled leader's state.
-                if (alive[static_cast<std::size_t>(my_cluster)]) {
-                    const ClusterLeader& own =
-                        *leaders_[static_cast<std::size_t>(my_cluster)];
-                    m.tmp_gen = own.gen();
-                    m.tmp_state = own.state();
-                } else {
-                    m.tmp_gen = l.gen();
-                    m.tmp_state = l.state();
-                }
-                m.locked = false;
-                break;
-            }
-
-            case EventKind::kSignal: {
-                PAPC_CHECK(ev.cluster != kNoCluster);
-                const auto idx = static_cast<std::size_t>(ev.cluster);
-                if (!alive[idx]) break;  // crashed leaders drop signals
-                record_leader_signal(idx);
-                leaders_[idx]->on_signal(now, ev.sig_i, ev.sig_s,
-                                         ev.sig_changed);
-                break;
-            }
-
-            case EventKind::kMetronome: {
-                maybe_inject_failure();
-                const double frac = census_.opinion_fraction(plurality_);
-                if (config_.record_series) {
-                    result.plurality_fraction.record(now, frac);
-                }
-                if (result.epsilon_time < 0.0 && frac >= epsilon_target) {
-                    result.epsilon_time = now;
-                }
-                if (census_.converged()) {
-                    result.consensus_time = now;
-                    done = true;
-                    break;
-                }
-                EventPayload next;
-                next.kind = EventKind::kMetronome;
-                queue.push(now + config_.sample_interval, next);
-                break;
-            }
-        }
+    for (const std::uint64_t pending : load_count_) {
+        result_.leader_peak_load =
+            std::max(result_.leader_peak_load, static_cast<double>(pending));
     }
-
-    for (const std::uint64_t pending : load_count) {
-        result.leader_peak_load =
-            std::max(result.leader_peak_load, static_cast<double>(pending));
-    }
-    result.end_time = now;
-    result.converged = census_.converged();
-    const BiasStats pooled = census_.pooled_stats();
-    result.winner = pooled.dominant;
-    result.plurality_won = result.converged && result.winner == plurality_;
-    result.final_top_generation = census_.highest_populated();
-    result.finished_fraction =
-        static_cast<double>(finished_count) / static_cast<double>(n);
-    result.leader_traces.reserve(leaders_.size());
+    result_.final_top_generation = census_.highest_populated();
+    result_.finished_fraction =
+        static_cast<double>(finished_count_) / static_cast<double>(n);
+    result_.leader_traces.reserve(leaders_.size());
     for (const auto& l : leaders_) {
-        result.leader_traces.push_back(l->trace());
+        result_.leader_traces.push_back(l->trace());
     }
-    return result;
+    return std::move(result_);
 }
 
 MultiLeaderResult run_multi_leader(std::size_t n, std::uint32_t k, double alpha,

@@ -5,6 +5,8 @@
 /// consensus phase (Algorithms 4 + 5, Theorem 26). Nodes in active clusters
 /// execute Algorithm 4; everyone else is passive and receives the outcome
 /// through the `finished` flag propagation (Algorithm 4 lines 5–7).
+/// The run loop (budgets, sampling, ε/consensus detection) is owned by
+/// core::run(); failure injection piggybacks on the driver's sample hook.
 
 #include <memory>
 #include <vector>
@@ -13,27 +15,27 @@
 #include "cluster/clustering.hpp"
 #include "cluster/config.hpp"
 #include "cluster/member.hpp"
+#include "core/engine.hpp"
+#include "core/run_result.hpp"
 #include "opinion/assignment.hpp"
 #include "opinion/census.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/latency.hpp"
 #include "support/random.hpp"
 #include "support/timeseries.hpp"
 
 namespace papc::cluster {
 
-/// Aggregate outcome of one full multi-leader run.
-struct MultiLeaderResult {
+/// Aggregate outcome of one full multi-leader run. The unified convergence
+/// semantics live in the core::RunResult base (the consensus-phase clock,
+/// starting at 0); the fields below are clustering and §4.5 accounting.
+struct MultiLeaderResult : core::RunResult {
     // Clustering phase.
     ClusteringResult clustering;
     double clustering_time = 0.0;
 
-    // Consensus phase.
-    bool converged = false;        ///< all nodes share one color
-    Opinion winner = 0;
-    bool plurality_won = false;
-    double epsilon_time = -1.0;    ///< consensus-phase clock (starts at 0)
-    double consensus_time = -1.0;
+    // Consensus phase accounting.
     double finished_fraction = 0.0;  ///< nodes with the finished flag at end
-    double end_time = 0.0;
 
     std::uint64_t ticks = 0;
     std::uint64_t exchanges = 0;
@@ -50,7 +52,6 @@ struct MultiLeaderResult {
 
     /// Per-active-cluster leader traces (Figure 2 source data).
     std::vector<std::vector<ClusterLeaderTransition>> leader_traces;
-    TimeSeries plurality_fraction;
 
     /// Total time: clustering + consensus phases.
     [[nodiscard]] double total_time() const {
@@ -58,16 +59,32 @@ struct MultiLeaderResult {
     }
 };
 
+/// One event of the multi-leader simulation (defined in the .cpp).
+struct ClusterEvent;
+
 /// Runs the consensus phase over an existing clustering.
-class MultiLeaderSimulation {
+class MultiLeaderSimulation final : public core::Engine {
 public:
     MultiLeaderSimulation(const Assignment& assignment,
                           ClusteringResult clustering,
                           const ClusterConfig& config, std::uint64_t seed);
 
+    ~MultiLeaderSimulation() override;
+
     /// Runs to full consensus (or config.max_time). Clustering fields of
     /// the result are copied from the provided clustering.
     [[nodiscard]] MultiLeaderResult run();
+
+    // core::Engine driver interface (one event per advance).
+    bool advance() override;
+    [[nodiscard]] double now() const override { return now_; }
+    [[nodiscard]] bool converged() const override { return census_.converged(); }
+    [[nodiscard]] Opinion dominant() const override {
+        return census_.pooled_stats().dominant;
+    }
+    [[nodiscard]] double opinion_fraction(Opinion j) const override {
+        return census_.opinion_fraction(j);
+    }
 
     [[nodiscard]] const GenerationCensus& census() const { return census_; }
     [[nodiscard]] const MemberState& member(NodeId v) const { return members_[v]; }
@@ -77,14 +94,33 @@ public:
     [[nodiscard]] std::size_t num_clusters() const { return leaders_.size(); }
 
 private:
+    [[nodiscard]] NodeId sample_peer(NodeId self);
+    void mark_finished(NodeId v);
+    void adopt_finished(NodeId v, Opinion col);
+    void maybe_inject_failure();
+    void record_leader_signal(std::size_t cluster);
+
     ClusterConfig config_;
     ClusteringResult clustering_;
     Rng rng_;
+    sim::ExponentialLatency latency_;
     std::vector<MemberState> members_;
     std::vector<std::unique_ptr<ClusterLeader>> leaders_;
     GenerationCensus census_;
+    std::unique_ptr<sim::EventQueue<ClusterEvent>> queue_;
     Opinion plurality_ = 0;
     bool ran_ = false;
+
+    double now_ = 0.0;
+    MultiLeaderResult result_;
+    std::uint64_t finished_count_ = 0;
+    Generation max_generation_ = 0;
+
+    // Failure injection (§4 resilience) + per-leader congestion windows.
+    std::vector<bool> alive_;
+    bool failure_injected_ = false;
+    std::vector<std::int64_t> load_bucket_;
+    std::vector<std::uint64_t> load_count_;
 };
 
 /// Convenience: clustering + consensus in one call on a biased-plurality

@@ -1,0 +1,25 @@
+#include "core/convergence.hpp"
+
+#include "support/check.hpp"
+
+namespace papc::core {
+
+ConvergenceTracker::ConvergenceTracker(double epsilon)
+    : target_(1.0 - epsilon) {
+    PAPC_CHECK(epsilon >= 0.0 && epsilon < 1.0);
+}
+
+bool ConvergenceTracker::observe(double time, double plurality_fraction,
+                                 bool converged) {
+    if (epsilon_time_ < 0.0 && plurality_fraction >= target_) {
+        epsilon_time_ = time;
+    }
+    if (consensus_time_ < 0.0 && converged) {
+        // Note: epsilon_time stays -1 when a rival of the expected
+        // plurality wins — it tracks the expected winner's support only.
+        consensus_time_ = time;
+    }
+    return done();
+}
+
+}  // namespace papc::core

@@ -1,0 +1,73 @@
+#include "core/engine.hpp"
+
+#include "support/check.hpp"
+
+namespace papc::core {
+
+RunResult run(Engine& engine, const EngineOptions& options,
+              Observer* observer) {
+    PAPC_CHECK(options.check_every > 0);
+    PAPC_CHECK(options.epsilon >= 0.0 && options.epsilon < 1.0);
+
+    RunResult result;
+    result.plurality_fraction = TimeSeries(options.series_name);
+    ConvergenceTracker tracker(options.epsilon);
+    const bool time_driven = options.sample_interval > 0.0;
+
+    // One sample: observer hook, series recording, ε/consensus detection.
+    // Returns true once full consensus has been seen.
+    auto sample = [&](std::uint64_t steps) {
+        const double time = engine.now();
+        const double fraction = engine.opinion_fraction(options.plurality);
+        const bool now_converged = engine.converged();
+        if (observer != nullptr) observer->on_sample(time, fraction);
+        if (options.record) {
+            const bool on_cadence = time_driven || options.record_every == 0 ||
+                                    steps % options.record_every == 0;
+            if (on_cadence || now_converged) {
+                result.plurality_fraction.record(time, fraction);
+            }
+        }
+        return tracker.observe(time, fraction, now_converged);
+    };
+
+    std::uint64_t steps = 0;
+    bool done = options.sample_at_start && sample(0);
+    double next_sample = options.sample_interval;
+
+    while (!done) {
+        if (options.max_steps != 0 && steps >= options.max_steps) break;
+        if (!engine.advance()) break;
+        ++steps;
+        const double time = engine.now();
+        if (options.max_time >= 0.0 && time > options.max_time) break;
+        if (time_driven) {
+            if (time >= next_sample) {
+                done = sample(steps);
+                // Skip intervals no step landed in; one sample per crossing.
+                while (next_sample <= time) next_sample += options.sample_interval;
+            }
+        } else if (steps % options.check_every == 0) {
+            done = sample(steps);
+        }
+    }
+
+    if (!done && engine.converged()) {
+        // The engine converged between the last sample point and loop exit
+        // (budget hit or work ran out): take one final detection sample so
+        // a converged run never reports consensus_time == -1.
+        (void)sample(steps);
+    }
+
+    result.steps = steps;
+    result.end_time = engine.now();
+    result.converged = engine.converged();
+    result.winner = engine.dominant();
+    result.plurality_won = result.converged && result.winner == options.plurality;
+    result.epsilon_time = tracker.epsilon_time();
+    result.consensus_time = tracker.consensus_time();
+    if (observer != nullptr) observer->on_finish(result);
+    return result;
+}
+
+}  // namespace papc::core

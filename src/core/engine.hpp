@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file engine.hpp
+/// The shared run-loop driver. Each engine family (sync rounds, population
+/// interactions, async/cluster event simulations) implements the Engine
+/// step interface; core::run() owns the loop: budgets, convergence / ε
+/// detection (ConvergenceTracker), series recording, and observer hooks.
+/// Families never duplicate this plumbing — they only advance state.
+///
+/// Two sampling modes cover all families:
+///   - step-driven (sample_interval == 0): convergence is checked every
+///     `check_every` steps and the series is recorded on the
+///     `record_every` cadence (sync rounds, population interactions);
+///   - time-driven (sample_interval > 0): a check fires at the first step
+///     whose time crosses the next multiple of the interval (event
+///     simulations; replaces their hand-rolled metronome events).
+
+#include <cstdint>
+#include <string>
+
+#include "core/convergence.hpp"
+#include "core/observer.hpp"
+#include "core/run_result.hpp"
+#include "opinion/types.hpp"
+
+namespace papc::core {
+
+/// What the driver needs from an engine family.
+class Engine {
+public:
+    virtual ~Engine() = default;
+
+    /// Advances one unit of work (a round, an interaction, one event).
+    /// Returns false when no work remains.
+    virtual bool advance() = 0;
+
+    /// Position on the family's time axis (rounds, parallel time,
+    /// simulated time). Monotone non-decreasing across advance() calls.
+    [[nodiscard]] virtual double now() const = 0;
+
+    [[nodiscard]] virtual bool converged() const = 0;
+
+    /// Current most common opinion (the RunResult winner).
+    [[nodiscard]] virtual Opinion dominant() const = 0;
+
+    /// Fraction of the population currently holding `j`.
+    [[nodiscard]] virtual double opinion_fraction(Opinion j) const = 0;
+};
+
+struct EngineOptions {
+    std::uint64_t max_steps = 0;    ///< step budget (0 = unlimited)
+    /// Time budget (< 0 = unlimited). The step that crosses the budget is
+    /// fully processed before the loop stops (unlike the old event loops,
+    /// which discarded the popped boundary event), and a run that
+    /// converged by exit is still detected there — so consensus_time can
+    /// sit just past max_time rather than being reported as -1.
+    double max_time = -1.0;
+    std::uint64_t check_every = 1;  ///< steps between checks (step-driven)
+    double sample_interval = 0.0;   ///< > 0: time-driven checks instead
+    std::uint64_t record_every = 0; ///< recording cadence in steps
+                                    ///< (0 = record at every check)
+    bool record = false;            ///< record the plurality series
+    bool sample_at_start = false;   ///< check once before the first step
+    Opinion plurality = 0;          ///< expected winner for ε-tracking
+    double epsilon = 0.02;          ///< ε of the (1-ε) support threshold
+    std::string series_name = "plurality-fraction";
+};
+
+/// Drives `engine` until convergence or a budget is exhausted. At least
+/// one budget (max_steps, max_time) must be set unless the engine can run
+/// out of work on its own.
+[[nodiscard]] RunResult run(Engine& engine, const EngineOptions& options,
+                            Observer* observer = nullptr);
+
+}  // namespace papc::core

@@ -1,0 +1,17 @@
+#include "core/observer.hpp"
+
+namespace papc::core {
+
+void Observer::on_sample(double, double) {}
+
+void Observer::on_finish(const RunResult&) {}
+
+void FunctionObserver::on_sample(double time, double plurality_fraction) {
+    if (sample_) sample_(time, plurality_fraction);
+}
+
+void FunctionObserver::on_finish(const RunResult& result) {
+    if (finish_) finish_(result);
+}
+
+}  // namespace papc::core

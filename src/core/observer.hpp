@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file observer.hpp
+/// Metrics-sink interface of the core run-loop driver. The driver invokes
+/// the observer at every sample/check point and once at the end of the
+/// run; engine families hook family-specific series (leader generation,
+/// trace capture, failure injection) in without owning the loop.
+
+#include <functional>
+
+namespace papc::core {
+
+struct RunResult;
+
+class Observer {
+public:
+    virtual ~Observer() = default;
+
+    /// Called at every sample point with the time-axis position and the
+    /// fraction of nodes holding the expected plurality opinion.
+    virtual void on_sample(double time, double plurality_fraction);
+
+    /// Called once, after the driver filled the final RunResult.
+    virtual void on_finish(const RunResult& result);
+};
+
+/// Adapter for callers that want a lambda instead of a subclass.
+class FunctionObserver final : public Observer {
+public:
+    using SampleFn = std::function<void(double, double)>;
+    using FinishFn = std::function<void(const RunResult&)>;
+
+    explicit FunctionObserver(SampleFn on_sample, FinishFn on_finish = {})
+        : sample_(std::move(on_sample)), finish_(std::move(on_finish)) {}
+
+    void on_sample(double time, double plurality_fraction) override;
+    void on_finish(const RunResult& result) override;
+
+private:
+    SampleFn sample_;
+    FinishFn finish_;
+};
+
+}  // namespace papc::core

@@ -1,0 +1,132 @@
+#include "core/run_result.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace papc::core {
+
+bool consistent(const RunResult& result) {
+    if (result.epsilon_time >= 0.0 && result.consensus_time >= 0.0 &&
+        result.epsilon_time > result.consensus_time) {
+        return false;
+    }
+    if (result.epsilon_time > result.end_time) return false;
+    if (result.consensus_time > result.end_time) return false;
+    // A plurality win implies the ε-threshold was crossed no later than
+    // the consensus sample (support is 1 at consensus).
+    if (result.plurality_won && result.consensus_time >= 0.0 &&
+        result.epsilon_time < 0.0) {
+        return false;
+    }
+    for (std::size_t i = 1; i < result.plurality_fraction.size(); ++i) {
+        if (result.plurality_fraction[i].time <
+            result.plurality_fraction[i - 1].time) {
+            return false;
+        }
+    }
+    return true;
+}
+
+namespace {
+
+void append_double(std::ostringstream& out, const char* key, double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%a", value);
+    out << key << ' ' << buffer << '\n';
+}
+
+double parse_double(const std::string& token) {
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    // Reject both trailing garbage and empty tokens (strtod consumes
+    // nothing from "" yet leaves *end == '\0').
+    PAPC_CHECK(end != token.c_str() && end != nullptr && *end == '\0');
+    return value;
+}
+
+std::uint64_t parse_u64(const std::string& token) {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+    PAPC_CHECK(end != token.c_str() && end != nullptr && *end == '\0');
+    return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+std::string serialize(const RunResult& result) {
+    std::ostringstream out;
+    out << "converged " << (result.converged ? 1 : 0) << '\n';
+    out << "winner " << result.winner << '\n';
+    out << "plurality_won " << (result.plurality_won ? 1 : 0) << '\n';
+    append_double(out, "epsilon_time", result.epsilon_time);
+    append_double(out, "consensus_time", result.consensus_time);
+    append_double(out, "end_time", result.end_time);
+    out << "steps " << result.steps << '\n';
+    out << "series " << result.plurality_fraction.name() << '\n';
+    for (const TimePoint& p : result.plurality_fraction.points()) {
+        char time_buffer[64];
+        char value_buffer[64];
+        std::snprintf(time_buffer, sizeof(time_buffer), "%a", p.time);
+        std::snprintf(value_buffer, sizeof(value_buffer), "%a", p.value);
+        out << "point " << time_buffer << ' ' << value_buffer << '\n';
+    }
+    return out.str();
+}
+
+RunResult deserialize(const std::string& text) {
+    RunResult result;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        std::istringstream fields(line);
+        std::string key;
+        fields >> key;
+        if (key == "converged") {
+            std::string v;
+            fields >> v;
+            result.converged = parse_u64(v) != 0;
+        } else if (key == "winner") {
+            std::string v;
+            fields >> v;
+            result.winner = static_cast<Opinion>(parse_u64(v));
+        } else if (key == "plurality_won") {
+            std::string v;
+            fields >> v;
+            result.plurality_won = parse_u64(v) != 0;
+        } else if (key == "epsilon_time") {
+            std::string v;
+            fields >> v;
+            result.epsilon_time = parse_double(v);
+        } else if (key == "consensus_time") {
+            std::string v;
+            fields >> v;
+            result.consensus_time = parse_double(v);
+        } else if (key == "end_time") {
+            std::string v;
+            fields >> v;
+            result.end_time = parse_double(v);
+        } else if (key == "steps") {
+            std::string v;
+            fields >> v;
+            result.steps = parse_u64(v);
+        } else if (key == "series") {
+            std::string name;
+            std::getline(fields, name);
+            if (!name.empty() && name.front() == ' ') name.erase(0, 1);
+            result.plurality_fraction = TimeSeries(name);
+        } else if (key == "point") {
+            std::string t;
+            std::string v;
+            fields >> t >> v;
+            result.plurality_fraction.record(parse_double(t), parse_double(v));
+        }
+        // Unknown keys: skip (forward compatibility).
+    }
+    return result;
+}
+
+}  // namespace papc::core

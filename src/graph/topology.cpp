@@ -15,9 +15,7 @@ CompleteTopology::CompleteTopology(std::size_t n) : n_(n) {
 }
 
 NodeId CompleteTopology::sample_neighbor(NodeId v, Rng& rng) const {
-    auto u = static_cast<NodeId>(rng.uniform_index(n_ - 1));
-    if (u >= v) ++u;
-    return u;
+    return static_cast<NodeId>(rng.uniform_index_excluding(n_, v));
 }
 
 std::string CompleteTopology::name() const {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/engine.hpp"
 #include "support/check.hpp"
 
 namespace papc::population {
@@ -9,8 +10,8 @@ namespace papc::population {
 std::pair<NodeId, NodeId> UniformPairPolicy::next_pair(
     const PopulationProtocol&, std::size_t n, Rng& rng) {
     const auto initiator = static_cast<NodeId>(rng.uniform_index(n));
-    auto responder = static_cast<NodeId>(rng.uniform_index(n - 1));
-    if (responder >= initiator) ++responder;
+    const auto responder =
+        static_cast<NodeId>(rng.uniform_index_excluding(n, initiator));
     return {initiator, responder};
 }
 
@@ -18,8 +19,8 @@ std::pair<NodeId, NodeId> RoundRobinPairPolicy::next_pair(
     const PopulationProtocol&, std::size_t n, Rng& rng) {
     const NodeId initiator = cursor_;
     cursor_ = static_cast<NodeId>((cursor_ + 1) % n);
-    auto responder = static_cast<NodeId>(rng.uniform_index(n - 1));
-    if (responder >= initiator) ++responder;
+    const auto responder =
+        static_cast<NodeId>(rng.uniform_index_excluding(n, initiator));
     return {initiator, responder};
 }
 
@@ -35,18 +36,58 @@ std::pair<NodeId, NodeId> StallingPairPolicy::next_pair(
         // the policy stays fair.
         for (int attempt = 0; attempt < 8; ++attempt) {
             const auto a = static_cast<NodeId>(rng.uniform_index(n));
-            auto b = static_cast<NodeId>(rng.uniform_index(n - 1));
-            if (b >= a) ++b;
+            const auto b = static_cast<NodeId>(rng.uniform_index_excluding(n, a));
             if (protocol.output_opinion(a) == protocol.output_opinion(b)) {
                 return {a, b};
             }
         }
     }
     const auto initiator = static_cast<NodeId>(rng.uniform_index(n));
-    auto responder = static_cast<NodeId>(rng.uniform_index(n - 1));
-    if (responder >= initiator) ++responder;
+    const auto responder =
+        static_cast<NodeId>(rng.uniform_index_excluding(n, initiator));
     return {initiator, responder};
 }
+
+namespace {
+
+/// Adapts a protocol + pair policy to the core step interface; the time
+/// axis is parallel time (interactions / n).
+class PopulationEngine final : public core::Engine {
+public:
+    PopulationEngine(PopulationProtocol& protocol, PairPolicy& policy, Rng& rng)
+        : protocol_(protocol),
+          policy_(policy),
+          rng_(rng),
+          n_(protocol.population()) {}
+
+    bool advance() override {
+        const auto [initiator, responder] = policy_.next_pair(protocol_, n_, rng_);
+        protocol_.interact(initiator, responder);
+        ++interactions_;
+        return true;
+    }
+    [[nodiscard]] double now() const override {
+        return static_cast<double>(interactions_) / static_cast<double>(n_);
+    }
+    [[nodiscard]] bool converged() const override {
+        return protocol_.converged();
+    }
+    [[nodiscard]] Opinion dominant() const override {
+        return protocol_.current_winner();
+    }
+    [[nodiscard]] double opinion_fraction(Opinion j) const override {
+        return protocol_.output_fraction(j);
+    }
+
+private:
+    PopulationProtocol& protocol_;
+    PairPolicy& policy_;
+    Rng& rng_;
+    std::size_t n_;
+    std::uint64_t interactions_ = 0;
+};
+
+}  // namespace
 
 PopulationResult run_population_with_policy(PopulationProtocol& protocol,
                                             PairPolicy& policy, Rng& rng,
@@ -60,33 +101,17 @@ PopulationResult run_population_with_policy(PopulationProtocol& protocol,
                              std::log2(static_cast<double>(n));
         max_interactions = static_cast<std::uint64_t>(bound);
     }
-    const std::uint64_t check_every =
-        options.check_every == 0 ? n : options.check_every;
 
-    PopulationResult result;
-    result.winner_fraction = TimeSeries(protocol.name() + "@" + policy.name());
-
-    std::uint64_t steps = 0;
-    while (steps < max_interactions) {
-        const auto [initiator, responder] = policy.next_pair(protocol, n, rng);
-        protocol.interact(initiator, responder);
-        ++steps;
-
-        if (steps % check_every == 0) {
-            if (options.record_every > 0 && steps % options.record_every == 0) {
-                result.winner_fraction.record(
-                    static_cast<double>(steps) / static_cast<double>(n),
-                    protocol.output_fraction(options.plurality));
-            }
-            if (protocol.converged()) break;
-        }
-    }
-
-    result.converged = protocol.converged();
-    result.winner = protocol.current_winner();
-    result.interactions = steps;
-    result.parallel_time = static_cast<double>(steps) / static_cast<double>(n);
-    return result;
+    PopulationEngine engine(protocol, policy, rng);
+    core::EngineOptions run_options;
+    run_options.max_steps = max_interactions;
+    run_options.check_every = options.check_every == 0 ? n : options.check_every;
+    run_options.record_every = options.record_every;
+    run_options.record = options.record_every > 0;
+    run_options.plurality = options.plurality;
+    run_options.epsilon = options.epsilon;
+    run_options.series_name = protocol.name() + "@" + policy.name();
+    return core::run(engine, run_options);
 }
 
 PopulationResult run_population(PopulationProtocol& protocol, Rng& rng,

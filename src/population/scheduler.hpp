@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/run_result.hpp"
 #include "opinion/types.hpp"
 #include "support/random.hpp"
 #include "support/timeseries.hpp"
@@ -88,19 +89,16 @@ private:
     double stall_;
 };
 
-struct PopulationResult {
-    bool converged = false;
-    Opinion winner = 0;
-    std::uint64_t interactions = 0;
-    double parallel_time = 0.0;        ///< interactions / n
-    TimeSeries winner_fraction;        ///< sampled every `record_every` ints.
-};
+/// Outcome of driving a protocol: the unified result. The time axis is
+/// *parallel time* (steps == interactions, end_time == interactions / n).
+using PopulationResult = core::RunResult;
 
 struct PopulationRunOptions {
     std::uint64_t max_interactions = 0;  ///< 0: default 64·n·log2(n)
     std::uint64_t check_every = 0;       ///< 0: default n (once per par. step)
     std::uint64_t record_every = 0;      ///< 0: no recording
     Opinion plurality = 0;
+    double epsilon = 0.02;               ///< ε for epsilon_time reporting
 };
 
 /// Drives a protocol with uniformly random ordered pairs.

@@ -77,4 +77,28 @@ ExperimentOutcome run_experiment_parallel(const TrialFn& trial,
     return aggregate(std::move(per_trial));
 }
 
+TrialMetrics metrics_from(const core::RunResult& result) {
+    TrialMetrics metrics;
+    metrics["converged"] = result.converged ? 1.0 : 0.0;
+    metrics["plurality_won"] = result.plurality_won ? 1.0 : 0.0;
+    metrics["steps"] = static_cast<double>(result.steps);
+    metrics["end_time"] = result.end_time;
+    if (result.epsilon_time >= 0.0) metrics["epsilon_time"] = result.epsilon_time;
+    if (result.consensus_time >= 0.0) {
+        metrics["consensus_time"] = result.consensus_time;
+    }
+    return metrics;
+}
+
+ExperimentOutcome run_result_experiment(const RunResultFn& trial,
+                                        std::size_t reps,
+                                        std::uint64_t base_seed,
+                                        std::size_t threads) {
+    auto metrics_trial = [&trial](std::uint64_t seed) {
+        return metrics_from(trial(seed));
+    };
+    if (threads <= 1) return run_experiment(metrics_trial, reps, base_seed);
+    return run_experiment_parallel(metrics_trial, reps, base_seed, threads);
+}
+
 }  // namespace papc::runner

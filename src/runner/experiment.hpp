@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/run_result.hpp"
 #include "support/random.hpp"
 #include "support/stats.hpp"
 
@@ -49,5 +50,22 @@ struct ExperimentOutcome {
                                                         std::size_t reps,
                                                         std::uint64_t base_seed,
                                                         std::size_t threads);
+
+/// Standard metrics of a unified core::RunResult: "converged",
+/// "plurality_won", "steps" and "end_time" are always present;
+/// "epsilon_time" and "consensus_time" only when the threshold was reached
+/// (so their aggregates summarize converged trials only).
+[[nodiscard]] TrialMetrics metrics_from(const core::RunResult& result);
+
+/// One unified-result trial: receives the derived seed, runs an engine
+/// family through core::run, returns the RunResult.
+using RunResultFn = std::function<core::RunResult(std::uint64_t seed)>;
+
+/// Runs a RunResult-producing trial `reps` times and aggregates the
+/// standard metrics (metrics_from). `threads` > 1 distributes the trials.
+[[nodiscard]] ExperimentOutcome run_result_experiment(const RunResultFn& trial,
+                                                      std::size_t reps,
+                                                      std::uint64_t base_seed,
+                                                      std::size_t threads = 1);
 
 }  // namespace papc::runner

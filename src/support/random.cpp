@@ -74,6 +74,14 @@ std::uint64_t Rng::uniform_index(std::uint64_t n) {
     return static_cast<std::uint64_t>(m >> 64U);
 }
 
+std::uint64_t Rng::uniform_index_excluding(std::uint64_t n,
+                                           std::uint64_t excluded) {
+    PAPC_CHECK(n >= 2 && excluded < n);
+    std::uint64_t v = uniform_index(n - 1);
+    if (v >= excluded) ++v;
+    return v;
+}
+
 bool Rng::bernoulli(double p) {
     return uniform() < p;
 }

@@ -30,36 +30,55 @@ double SyncDynamics::opinion_fraction(Opinion j) const {
            static_cast<double>(population());
 }
 
+namespace {
+
+/// Adapts a SyncDynamics to the core step interface; the time axis is the
+/// number of rounds driven.
+class SyncEngine final : public core::Engine {
+public:
+    SyncEngine(SyncDynamics& dynamics, Rng& rng)
+        : dynamics_(dynamics), rng_(rng) {}
+
+    bool advance() override {
+        dynamics_.step(rng_);
+        ++rounds_;
+        return true;
+    }
+    [[nodiscard]] double now() const override {
+        return static_cast<double>(rounds_);
+    }
+    [[nodiscard]] bool converged() const override {
+        return dynamics_.converged();
+    }
+    [[nodiscard]] Opinion dominant() const override {
+        return dynamics_.dominant_opinion();
+    }
+    [[nodiscard]] double opinion_fraction(Opinion j) const override {
+        return dynamics_.opinion_fraction(j);
+    }
+
+private:
+    SyncDynamics& dynamics_;
+    Rng& rng_;
+    std::uint64_t rounds_ = 0;
+};
+
+}  // namespace
+
 SyncResult run_to_consensus(SyncDynamics& dynamics, Rng& rng,
                             const RunOptions& options) {
     PAPC_CHECK(options.max_rounds > 0);
-    SyncResult result;
-    result.dominant_fraction = TimeSeries(dynamics.name());
-
-    const double epsilon_target = 1.0 - options.epsilon;
-    auto observe = [&](std::uint64_t round) {
-        const double frac = dynamics.opinion_fraction(options.plurality);
-        if (result.epsilon_time < 0.0 && frac >= epsilon_target) {
-            result.epsilon_time = static_cast<double>(round);
-        }
-        if (options.record_every > 0 &&
-            (round % options.record_every == 0 || dynamics.converged())) {
-            result.dominant_fraction.record(static_cast<double>(round), frac);
-        }
-    };
-
-    observe(0);
-    std::uint64_t round = 0;
-    while (round < options.max_rounds && !dynamics.converged()) {
-        dynamics.step(rng);
-        ++round;
-        observe(round);
-    }
-
-    result.rounds = dynamics.rounds();
-    result.converged = dynamics.converged();
-    result.winner = dynamics.dominant_opinion();
-    return result;
+    SyncEngine engine(dynamics, rng);
+    core::EngineOptions run_options;
+    run_options.max_steps = options.max_rounds;
+    run_options.check_every = 1;
+    run_options.record_every = options.record_every;
+    run_options.record = options.record_every > 0;
+    run_options.sample_at_start = true;
+    run_options.plurality = options.plurality;
+    run_options.epsilon = options.epsilon;
+    run_options.series_name = dynamics.name();
+    return core::run(engine, run_options);
 }
 
 }  // namespace papc::sync

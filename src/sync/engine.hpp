@@ -4,10 +4,14 @@
 /// Round-based driver for synchronous opinion dynamics. A SyncDynamics
 /// implementation advances the whole population one synchronous round per
 /// step() (all nodes sample the *previous* round's state — double buffered).
+/// The run loop itself lives in core::run(); this layer only adapts the
+/// dynamics interface and family defaults.
 
 #include <cstdint>
 #include <string>
 
+#include "core/engine.hpp"
+#include "core/run_result.hpp"
 #include "opinion/types.hpp"
 #include "support/random.hpp"
 #include "support/timeseries.hpp"
@@ -46,18 +50,13 @@ public:
     [[nodiscard]] double opinion_fraction(Opinion j) const;
 };
 
-/// Outcome of driving a dynamics to consensus.
-struct SyncResult {
-    bool converged = false;          ///< all nodes agree
-    Opinion winner = 0;              ///< final (or current-dominant) opinion
-    std::uint64_t rounds = 0;        ///< rounds executed
-    double epsilon_time = -1.0;      ///< first round with (1-ε) plurality support
-    TimeSeries dominant_fraction;    ///< recorded when record_every > 0
-};
+/// Outcome of driving a dynamics to consensus: the unified result. The
+/// time axis is rounds (steps == end_time == rounds executed).
+using SyncResult = core::RunResult;
 
 struct RunOptions {
     std::uint64_t max_rounds = 100000;
-    /// Record the dominant-opinion fraction every this many rounds
+    /// Record the plurality fraction every this many rounds
     /// (0 = do not record).
     std::uint64_t record_every = 0;
     /// Opinion expected to win; epsilon_time tracks when its support first

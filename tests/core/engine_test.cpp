@@ -1,0 +1,212 @@
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace papc::core {
+namespace {
+
+/// Deterministic engine: fraction of opinion 0 rises linearly, one step
+/// per advance; time axis equals steps scaled by `dt`.
+class RampEngine final : public Engine {
+public:
+    RampEngine(std::uint64_t converge_after, double dt)
+        : converge_after_(converge_after), dt_(dt) {}
+
+    bool advance() override {
+        ++steps_;
+        return true;
+    }
+    [[nodiscard]] double now() const override {
+        return static_cast<double>(steps_) * dt_;
+    }
+    [[nodiscard]] bool converged() const override {
+        return steps_ >= converge_after_;
+    }
+    [[nodiscard]] Opinion dominant() const override { return 0; }
+    [[nodiscard]] double opinion_fraction(Opinion j) const override {
+        if (steps_ >= converge_after_) return j == 0 ? 1.0 : 0.0;
+        const double frac =
+            0.5 + 0.5 * static_cast<double>(steps_) /
+                      static_cast<double>(converge_after_);
+        return j == 0 ? frac : 1.0 - frac;
+    }
+
+private:
+    std::uint64_t converge_after_;
+    double dt_;
+    std::uint64_t steps_ = 0;
+};
+
+TEST(CoreRun, StopsAtConvergenceAndFillsResult) {
+    RampEngine engine(10, 1.0);
+    EngineOptions options;
+    options.max_steps = 100;
+    const RunResult r = run(engine, options);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.steps, 10U);
+    EXPECT_EQ(r.winner, 0U);
+    EXPECT_TRUE(r.plurality_won);
+    EXPECT_DOUBLE_EQ(r.consensus_time, 10.0);
+    EXPECT_TRUE(consistent(r));
+}
+
+TEST(CoreRun, RespectsStepBudget) {
+    RampEngine engine(1000, 1.0);
+    EngineOptions options;
+    options.max_steps = 25;
+    const RunResult r = run(engine, options);
+    EXPECT_FALSE(r.converged);
+    EXPECT_EQ(r.steps, 25U);
+    EXPECT_DOUBLE_EQ(r.end_time, 25.0);
+}
+
+TEST(CoreRun, RespectsTimeBudget) {
+    RampEngine engine(1000, 0.5);
+    EngineOptions options;
+    options.max_time = 10.0;
+    const RunResult r = run(engine, options);
+    EXPECT_FALSE(r.converged);
+    // The driver stops at the first step whose time exceeds the budget.
+    EXPECT_GT(r.end_time, 10.0);
+    EXPECT_LE(r.end_time, 10.5 + 1e-12);
+}
+
+TEST(CoreRun, EpsilonTimePrecedesConsensus) {
+    RampEngine engine(100, 1.0);
+    EngineOptions options;
+    options.max_steps = 1000;
+    options.epsilon = 0.10;  // reached when fraction >= 0.9, i.e. step 80
+    const RunResult r = run(engine, options);
+    EXPECT_DOUBLE_EQ(r.epsilon_time, 80.0);
+    EXPECT_DOUBLE_EQ(r.consensus_time, 100.0);
+    EXPECT_TRUE(consistent(r));
+}
+
+TEST(CoreRun, EpsilonTimeMonotoneInEpsilon) {
+    double previous = -1.0;
+    for (const double epsilon : {0.30, 0.20, 0.10, 0.05}) {
+        RampEngine engine(100, 1.0);
+        EngineOptions options;
+        options.max_steps = 1000;
+        options.epsilon = epsilon;
+        const RunResult r = run(engine, options);
+        ASSERT_GE(r.epsilon_time, 0.0);
+        // A tighter ε can only be reached later.
+        EXPECT_GE(r.epsilon_time, previous);
+        previous = r.epsilon_time;
+    }
+}
+
+TEST(CoreRun, CheckEveryDelaysDetection) {
+    RampEngine engine(95, 1.0);
+    EngineOptions options;
+    options.max_steps = 1000;
+    options.check_every = 50;
+    const RunResult r = run(engine, options);
+    EXPECT_TRUE(r.converged);
+    // Converged at step 95, detected at the next check boundary.
+    EXPECT_EQ(r.steps, 100U);
+}
+
+TEST(CoreRun, RecordsSeriesOnCadenceAndAtConvergence) {
+    RampEngine engine(95, 1.0);
+    EngineOptions options;
+    options.max_steps = 1000;
+    options.record = true;
+    options.record_every = 30;
+    options.sample_at_start = true;
+    options.series_name = "ramp";
+    const RunResult r = run(engine, options);
+    // Steps 0, 30, 60, 90 on cadence plus the convergence sample at 95.
+    ASSERT_EQ(r.plurality_fraction.size(), 5U);
+    EXPECT_EQ(r.plurality_fraction.name(), "ramp");
+    EXPECT_DOUBLE_EQ(r.plurality_fraction[4].time, 95.0);
+    EXPECT_DOUBLE_EQ(r.plurality_fraction[4].value, 1.0);
+}
+
+TEST(CoreRun, TimeDrivenSamplingSkipsEmptyIntervals) {
+    RampEngine engine(1000, 2.5);  // steps land at t = 2.5, 5.0, ...
+    EngineOptions options;
+    options.max_steps = 4;
+    options.sample_interval = 1.0;
+    options.record = true;
+    const RunResult r = run(engine, options);
+    // One sample per crossing, not one per missed interval.
+    EXPECT_EQ(r.plurality_fraction.size(), 4U);
+}
+
+TEST(CoreRun, SampleAtStartDetectsInitialConsensus) {
+    RampEngine engine(0, 1.0);  // converged before the first step
+    EngineOptions options;
+    options.max_steps = 100;
+    options.sample_at_start = true;
+    const RunResult r = run(engine, options);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.steps, 0U);
+    EXPECT_DOUBLE_EQ(r.consensus_time, 0.0);
+}
+
+TEST(CoreRun, ConvergenceAtBudgetExitIsStillDetected) {
+    RampEngine engine(10, 1.0);
+    EngineOptions options;
+    options.max_steps = 10;    // budget hits exactly at convergence
+    options.check_every = 64;  // no in-loop sample would fire
+    const RunResult r = run(engine, options);
+    EXPECT_TRUE(r.converged);
+    EXPECT_DOUBLE_EQ(r.consensus_time, 10.0);
+    EXPECT_TRUE(consistent(r));
+}
+
+TEST(CoreRun, ObserverSeesEverySample) {
+    std::vector<double> sampled_times;
+    bool finished = false;
+    FunctionObserver observer(
+        [&](double time, double fraction) {
+            sampled_times.push_back(time);
+            EXPECT_GE(fraction, 0.0);
+            EXPECT_LE(fraction, 1.0);
+        },
+        [&](const RunResult& r) {
+            finished = true;
+            EXPECT_TRUE(r.converged);
+        });
+    RampEngine engine(10, 1.0);
+    EngineOptions options;
+    options.max_steps = 100;
+    const RunResult r = run(engine, options, &observer);
+    EXPECT_TRUE(finished);
+    ASSERT_EQ(sampled_times.size(), 10U);
+    for (std::size_t i = 1; i < sampled_times.size(); ++i) {
+        EXPECT_GT(sampled_times[i], sampled_times[i - 1]);
+    }
+    EXPECT_EQ(r.steps, 10U);
+}
+
+TEST(CoreRun, StopsWhenEngineRunsOutOfWork) {
+    /// Engine that exhausts its work queue after 7 events.
+    class FiniteEngine final : public Engine {
+    public:
+        bool advance() override { return steps_ < 7 ? (++steps_, true) : false; }
+        [[nodiscard]] double now() const override {
+            return static_cast<double>(steps_);
+        }
+        [[nodiscard]] bool converged() const override { return false; }
+        [[nodiscard]] Opinion dominant() const override { return 1; }
+        [[nodiscard]] double opinion_fraction(Opinion) const override {
+            return 0.5;
+        }
+
+    private:
+        std::uint64_t steps_ = 0;
+    } engine;
+    const RunResult r = run(engine, EngineOptions{});
+    EXPECT_FALSE(r.converged);
+    EXPECT_EQ(r.steps, 7U);
+    EXPECT_EQ(r.winner, 1U);
+    EXPECT_FALSE(r.plurality_won);
+}
+
+}  // namespace
+}  // namespace papc::core

@@ -1,0 +1,105 @@
+#include "core/run_result.hpp"
+
+#include <gtest/gtest.h>
+
+namespace papc::core {
+namespace {
+
+RunResult sample_result() {
+    RunResult r;
+    r.converged = true;
+    r.winner = 3;
+    r.plurality_won = true;
+    r.epsilon_time = 12.625;
+    r.consensus_time = 37.109375;
+    r.end_time = 37.109375;
+    r.steps = 123456789ULL;
+    r.plurality_fraction = TimeSeries("plurality-fraction");
+    r.plurality_fraction.record(0.0, 0.41);
+    r.plurality_fraction.record(12.625, 0.98);
+    r.plurality_fraction.record(37.109375, 1.0);
+    return r;
+}
+
+TEST(RunResultSerialize, RoundTripsScalars) {
+    const RunResult original = sample_result();
+    const RunResult copy = deserialize(serialize(original));
+    EXPECT_EQ(copy.converged, original.converged);
+    EXPECT_EQ(copy.winner, original.winner);
+    EXPECT_EQ(copy.plurality_won, original.plurality_won);
+    EXPECT_DOUBLE_EQ(copy.epsilon_time, original.epsilon_time);
+    EXPECT_DOUBLE_EQ(copy.consensus_time, original.consensus_time);
+    EXPECT_DOUBLE_EQ(copy.end_time, original.end_time);
+    EXPECT_EQ(copy.steps, original.steps);
+}
+
+TEST(RunResultSerialize, RoundTripsSeriesExactly) {
+    const RunResult original = sample_result();
+    const RunResult copy = deserialize(serialize(original));
+    ASSERT_EQ(copy.plurality_fraction.size(), original.plurality_fraction.size());
+    EXPECT_EQ(copy.plurality_fraction.name(), original.plurality_fraction.name());
+    for (std::size_t i = 0; i < copy.plurality_fraction.size(); ++i) {
+        // Hex-float encoding: bit-exact, not just approximate.
+        EXPECT_EQ(copy.plurality_fraction[i].time,
+                  original.plurality_fraction[i].time);
+        EXPECT_EQ(copy.plurality_fraction[i].value,
+                  original.plurality_fraction[i].value);
+    }
+}
+
+TEST(RunResultSerialize, RoundTripsNonFiniteSentinels) {
+    RunResult r;
+    r.epsilon_time = -1.0;
+    r.consensus_time = -1.0;
+    const RunResult copy = deserialize(serialize(r));
+    EXPECT_DOUBLE_EQ(copy.epsilon_time, -1.0);
+    EXPECT_DOUBLE_EQ(copy.consensus_time, -1.0);
+    EXPECT_FALSE(copy.converged);
+    EXPECT_EQ(copy.steps, 0U);
+}
+
+TEST(RunResultSerialize, IgnoresUnknownKeys) {
+    const std::string text =
+        "converged 1\nfuture_field 99\nwinner 2\nsteps 10\n";
+    const RunResult copy = deserialize(text);
+    EXPECT_TRUE(copy.converged);
+    EXPECT_EQ(copy.winner, 2U);
+    EXPECT_EQ(copy.steps, 10U);
+}
+
+TEST(RunResultConsistent, AcceptsWellFormedResults) {
+    EXPECT_TRUE(consistent(sample_result()));
+    EXPECT_TRUE(consistent(RunResult{}));
+    // A run where the expected plurality lost: ε-time never latched.
+    RunResult rival;
+    rival.converged = true;
+    rival.plurality_won = false;
+    rival.consensus_time = 5.0;
+    rival.end_time = 5.0;
+    EXPECT_TRUE(consistent(rival));
+}
+
+TEST(RunResultConsistent, RejectsEpsilonAfterConsensus) {
+    RunResult r = sample_result();
+    r.epsilon_time = r.consensus_time + 1.0;
+    EXPECT_FALSE(consistent(r));
+}
+
+TEST(RunResultConsistent, RejectsDetectionBeyondEnd) {
+    RunResult r = sample_result();
+    r.end_time = r.consensus_time - 1.0;
+    EXPECT_FALSE(consistent(r));
+}
+
+TEST(RunResultConsistent, RejectsPluralityWinWithoutEpsilon) {
+    RunResult r;
+    r.converged = true;
+    r.plurality_won = true;
+    r.consensus_time = 4.0;
+    r.end_time = 4.0;
+    r.epsilon_time = -1.0;
+    EXPECT_FALSE(consistent(r));
+}
+
+}  // namespace
+}  // namespace papc::core

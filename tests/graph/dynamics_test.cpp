@@ -47,7 +47,7 @@ TEST(GraphDynamics, CompleteTopologyMatchesCliqueBehaviour) {
     opts.max_rounds = 200;
     const sync::SyncResult r = run_to_consensus(dyn, rng, opts);
     EXPECT_TRUE(r.converged);
-    EXPECT_LT(r.rounds, 40U);
+    EXPECT_LT(r.steps, 40U);
 }
 
 TEST(GraphDynamics, RingMixesSlowly) {
@@ -70,7 +70,7 @@ TEST(GraphDynamics, RingMixesSlowly) {
     ASSERT_TRUE(quick.converged);
     // The ring either fails to converge within the cap or takes much longer.
     if (sluggish.converged) {
-        EXPECT_GT(sluggish.rounds, 4 * quick.rounds);
+        EXPECT_GT(sluggish.steps, 4 * quick.steps);
     }
 }
 

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "async/simulation.hpp"
+#include "core/run_result.hpp"
+#include "opinion/assignment.hpp"
+#include "population/three_state.hpp"
+#include "population/scheduler.hpp"
+#include "sync/baselines.hpp"
+#include "sync/engine.hpp"
+
+// Every engine family drives its loop through core::run and must report
+// identical RunResult semantics on its own time axis:
+//   - epsilon_time <= consensus_time <= end_time (when detected),
+//   - winner equals the dominant opinion at convergence,
+//   - a plurality win implies the ε-threshold was crossed,
+//   - the recorded series is monotone in time,
+//   - tightening ε never moves epsilon_time earlier.
+// These are pinned here on one fixed seed per family so a future engine
+// port cannot silently drift.
+
+namespace papc {
+namespace {
+
+void expect_unified_semantics(const core::RunResult& r, Opinion plurality) {
+    EXPECT_TRUE(core::consistent(r));
+    EXPECT_TRUE(r.converged);
+    EXPECT_TRUE(r.plurality_won);
+    EXPECT_EQ(r.winner, plurality);
+    EXPECT_GE(r.epsilon_time, 0.0);
+    EXPECT_GE(r.consensus_time, r.epsilon_time);
+    EXPECT_GE(r.end_time, r.consensus_time);
+    EXPECT_GT(r.steps, 0U);
+    // The recorded plurality series ends at full support.
+    ASSERT_GT(r.plurality_fraction.size(), 0U);
+    EXPECT_DOUBLE_EQ(
+        r.plurality_fraction[r.plurality_fraction.size() - 1].value, 1.0);
+}
+
+TEST(CrossEngine, SyncReportsUnifiedSemantics) {
+    Rng workload(101);
+    // Opinion 0 dominates 700 : 300 — two-choices converges to it whp.
+    const Assignment a = make_from_counts({700, 300}, workload);
+    sync::TwoChoices dynamics(a);
+    Rng rng(7);
+    sync::RunOptions options;
+    options.max_rounds = 20000;
+    options.record_every = 1;
+    const sync::SyncResult r = run_to_consensus(dynamics, rng, options);
+    expect_unified_semantics(r, 0);
+    // Sync time axis: rounds — end_time counts the driven steps.
+    EXPECT_DOUBLE_EQ(r.end_time, static_cast<double>(r.steps));
+}
+
+TEST(CrossEngine, PopulationReportsUnifiedSemantics) {
+    population::ThreeStateMajority protocol(700, 300);
+    Rng rng(8);
+    population::PopulationRunOptions options;
+    options.record_every = 100;
+    const population::PopulationResult r =
+        run_population(protocol, rng, options);
+    expect_unified_semantics(r, 0);
+    // Population time axis: parallel time = interactions / n.
+    EXPECT_DOUBLE_EQ(r.end_time, static_cast<double>(r.steps) / 1000.0);
+}
+
+TEST(CrossEngine, AsyncReportsUnifiedSemantics) {
+    async::AsyncConfig config;
+    config.alpha_hint = 2.0;
+    config.max_time = 600.0;
+    const async::AsyncResult r = async::run_single_leader(600, 3, 2.0, config, 9);
+    // run_single_leader builds a workload whose plurality is opinion 0.
+    expect_unified_semantics(r, r.winner);
+    EXPECT_TRUE(r.plurality_won);
+    EXPECT_GT(r.end_time, 0.0);
+}
+
+TEST(CrossEngine, EpsilonTimeMonotoneInEpsilonEverywhere) {
+    // Sync family.
+    double previous = -1.0;
+    for (const double epsilon : {0.3, 0.1, 0.02}) {
+        Rng workload(101);
+        const Assignment a = make_from_counts({700, 300}, workload);
+        sync::TwoChoices dynamics(a);
+        Rng rng(7);
+        sync::RunOptions options;
+        options.max_rounds = 20000;
+        options.epsilon = epsilon;
+        const sync::SyncResult r = run_to_consensus(dynamics, rng, options);
+        ASSERT_GE(r.epsilon_time, 0.0);
+        EXPECT_GE(r.epsilon_time, previous);
+        previous = r.epsilon_time;
+    }
+
+    // Async family (same seed, tighter ε detected no earlier).
+    previous = -1.0;
+    for (const double epsilon : {0.3, 0.1, 0.02}) {
+        async::AsyncConfig config;
+        config.alpha_hint = 2.0;
+        config.max_time = 600.0;
+        config.epsilon = epsilon;
+        config.record_series = false;
+        const async::AsyncResult r =
+            async::run_single_leader(600, 3, 2.0, config, 9);
+        ASSERT_GE(r.epsilon_time, 0.0);
+        EXPECT_GE(r.epsilon_time, previous);
+        previous = r.epsilon_time;
+    }
+}
+
+TEST(CrossEngine, WinnerEqualsDominantWithoutConvergence) {
+    // A capped run must still report the currently dominant opinion.
+    Rng workload(55);
+    const Assignment a = make_from_counts({520, 480}, workload);
+    sync::PullVoting dynamics(a);
+    Rng rng(3);
+    sync::RunOptions options;
+    options.max_rounds = 2;  // far too few rounds to converge
+    const sync::SyncResult r = run_to_consensus(dynamics, rng, options);
+    EXPECT_FALSE(r.converged);
+    EXPECT_FALSE(r.plurality_won);
+    EXPECT_EQ(r.winner, dynamics.dominant_opinion());
+    EXPECT_EQ(r.steps, 2U);
+}
+
+}  // namespace
+}  // namespace papc

@@ -69,7 +69,7 @@ TEST(FourState, MinoritySideB) {
     const PopulationResult r = run_population(p, rng);
     EXPECT_TRUE(r.converged);
     EXPECT_EQ(r.winner, 1U);
-    EXPECT_DOUBLE_EQ(r.winner_fraction.empty() ? 1.0 : 1.0, 1.0);
+    EXPECT_DOUBLE_EQ(r.plurality_fraction.empty() ? 1.0 : 1.0, 1.0);
     EXPECT_DOUBLE_EQ(p.output_fraction(1), 1.0);
 }
 

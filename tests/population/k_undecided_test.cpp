@@ -63,7 +63,7 @@ TEST(KUndecided, MonochromaticAbsorbing) {
     const PopulationResult r = run_population(p, rng, opts);
     EXPECT_TRUE(r.converged);
     // Convergence is detected at the first check boundary (n interactions).
-    EXPECT_LE(r.interactions, 50U);
+    EXPECT_LE(r.steps, 50U);
 }
 
 TEST(KUndecided, ManyOpinionsEventuallyDecide) {

@@ -90,7 +90,7 @@ TEST(PairPolicies, StallingSlowsConvergence) {
 
     ASSERT_TRUE(quick.converged);
     ASSERT_TRUE(delayed.converged);
-    EXPECT_GT(delayed.interactions, quick.interactions);
+    EXPECT_GT(delayed.steps, quick.steps);
     EXPECT_EQ(delayed.winner, 0U);  // fairness preserves correctness
 }
 

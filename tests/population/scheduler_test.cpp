@@ -45,8 +45,8 @@ TEST(RunPopulation, StopsAtConvergenceCheckBoundary) {
     const PopulationResult r = run_population(p, rng);
     EXPECT_TRUE(r.converged);
     // Convergence is checked every n = 100 interactions: detected at 300.
-    EXPECT_EQ(r.interactions, 300U);
-    EXPECT_DOUBLE_EQ(r.parallel_time, 3.0);
+    EXPECT_EQ(r.steps, 300U);
+    EXPECT_DOUBLE_EQ(r.end_time, 3.0);
 }
 
 TEST(RunPopulation, RespectsInteractionCap) {
@@ -56,7 +56,7 @@ TEST(RunPopulation, RespectsInteractionCap) {
     opts.max_interactions = 500;
     const PopulationResult r = run_population(p, rng, opts);
     EXPECT_FALSE(r.converged);
-    EXPECT_EQ(r.interactions, 500U);
+    EXPECT_EQ(r.steps, 500U);
 }
 
 TEST(RunPopulation, PairsAreDistinctAndValid) {
@@ -75,7 +75,7 @@ TEST(RunPopulation, RecordsSeries) {
     opts.record_every = 500;
     opts.check_every = 500;
     const PopulationResult r = run_population(p, rng, opts);
-    EXPECT_GE(r.winner_fraction.size(), 3U);
+    EXPECT_GE(r.plurality_fraction.size(), 3U);
 }
 
 TEST(RunPopulation, DefaultCapScalesWithNLogN) {
@@ -83,7 +83,7 @@ TEST(RunPopulation, DefaultCapScalesWithNLogN) {
     Rng rng(5);
     const PopulationResult r = run_population(p, rng);
     // 64·n·log2(n) = 64·64·6 = 24576.
-    EXPECT_EQ(r.interactions, 24576U);
+    EXPECT_EQ(r.steps, 24576U);
 }
 
 }  // namespace

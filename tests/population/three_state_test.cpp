@@ -39,7 +39,7 @@ TEST(ThreeState, ConvergesToMajorityWithClearBias) {
     EXPECT_TRUE(r.converged);
     EXPECT_EQ(r.winner, 0U);
     // O(n log n) interactions => O(log n) parallel time; generous cap.
-    EXPECT_LT(r.parallel_time, 200.0);
+    EXPECT_LT(r.end_time, 200.0);
 }
 
 TEST(ThreeState, MinorityCanBeB) {

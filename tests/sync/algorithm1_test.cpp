@@ -28,7 +28,7 @@ TEST(Algorithm1, ConvergesToPluralityWithClearBias) {
     const SyncResult r = run_to_consensus(alg, rng, opts);
     EXPECT_TRUE(r.converged);
     EXPECT_EQ(r.winner, 0U);
-    EXPECT_LT(r.rounds, 200U);
+    EXPECT_LT(r.steps, 200U);
 }
 
 TEST(Algorithm1, GenerationsNeverExceedScheduleBudget) {

@@ -85,7 +85,7 @@ TEST(ThreeMajorityRule, MajorityOfThreeWinsFastOnHugeBias) {
     const SyncResult r = run_to_consensus(dyn, rng, opts);
     EXPECT_TRUE(r.converged);
     EXPECT_EQ(r.winner, 0U);
-    EXPECT_LT(r.rounds, 30U);
+    EXPECT_LT(r.steps, 30U);
 }
 
 TEST(ThreeMajorityRule, SlowerWithManyOpinions) {
@@ -105,7 +105,7 @@ TEST(ThreeMajorityRule, SlowerWithManyOpinions) {
     const SyncResult res_b = run_to_consensus(b, rb, opts);
     ASSERT_TRUE(res_a.converged);
     ASSERT_TRUE(res_b.converged);
-    EXPECT_GT(res_b.rounds, res_a.rounds);
+    EXPECT_GT(res_b.steps, res_a.steps);
 }
 
 TEST(UndecidedStateRule, UndecidedNodesAppearOnConflict) {

@@ -36,7 +36,7 @@ TEST(RunToConsensus, StopsExactlyAtConvergence) {
     Rng rng(1);
     const SyncResult r = run_to_consensus(dyn, rng);
     EXPECT_TRUE(r.converged);
-    EXPECT_EQ(r.rounds, 7U);
+    EXPECT_EQ(r.steps, 7U);
     EXPECT_EQ(r.winner, 0U);
 }
 
@@ -47,7 +47,7 @@ TEST(RunToConsensus, RespectsRoundLimit) {
     opts.max_rounds = 10;
     const SyncResult r = run_to_consensus(dyn, rng, opts);
     EXPECT_FALSE(r.converged);
-    EXPECT_EQ(r.rounds, 10U);
+    EXPECT_EQ(r.steps, 10U);
 }
 
 TEST(RunToConsensus, EpsilonTimeBeforeConsensus) {
@@ -58,7 +58,7 @@ TEST(RunToConsensus, EpsilonTimeBeforeConsensus) {
     const SyncResult r = run_to_consensus(dyn, rng, opts);
     EXPECT_TRUE(r.converged);
     EXPECT_DOUBLE_EQ(r.epsilon_time, 40.0);
-    EXPECT_EQ(r.rounds, 50U);
+    EXPECT_EQ(r.steps, 50U);
 }
 
 TEST(RunToConsensus, RecordsSeriesWhenRequested) {
@@ -67,10 +67,10 @@ TEST(RunToConsensus, RecordsSeriesWhenRequested) {
     RunOptions opts;
     opts.record_every = 5;
     const SyncResult r = run_to_consensus(dyn, rng, opts);
-    EXPECT_GE(r.dominant_fraction.size(), 4U);
+    EXPECT_GE(r.plurality_fraction.size(), 4U);
     // Fractions are monotone for the countdown dynamics.
-    for (std::size_t i = 1; i < r.dominant_fraction.size(); ++i) {
-        EXPECT_GE(r.dominant_fraction[i].value, r.dominant_fraction[i - 1].value);
+    for (std::size_t i = 1; i < r.plurality_fraction.size(); ++i) {
+        EXPECT_GE(r.plurality_fraction[i].value, r.plurality_fraction[i - 1].value);
     }
 }
 
@@ -78,7 +78,7 @@ TEST(RunToConsensus, NoSeriesByDefault) {
     CountdownDynamics dyn(5);
     Rng rng(5);
     const SyncResult r = run_to_consensus(dyn, rng);
-    EXPECT_EQ(r.dominant_fraction.size(), 0U);
+    EXPECT_EQ(r.plurality_fraction.size(), 0U);
 }
 
 TEST(SyncDynamicsInterface, DominantOpinionAndFraction) {
