@@ -8,7 +8,7 @@
 #include "async/simulation.hpp"
 #include "opinion/assignment.hpp"
 #include "opinion/census.hpp"
-#include "sim/event_queue.hpp"
+#include "sim/scheduler_queue.hpp"
 #include "support/random.hpp"
 #include "sync/algorithm1.hpp"
 #include "sync/baselines.hpp"
@@ -41,23 +41,49 @@ void BM_RngUniformIndex(benchmark::State& state) {
 }
 BENCHMARK(BM_RngUniformIndex);
 
-void BM_EventQueuePushPop(benchmark::State& state) {
+// Hold model: `queue_size` pending events, each iteration pops the
+// earliest and pushes a replacement one uniform draw into the future. The
+// {heap, calendar} x {2^10 .. 2^22} matrix exposes how each scheduler
+// scales with the pending-event population.
+void queue_push_pop(benchmark::State& state, sim::QueueKind kind) {
     const auto queue_size = static_cast<std::size_t>(state.range(0));
     Rng rng(4);
-    sim::EventQueue<std::uint64_t> queue;
+    auto queue = sim::make_scheduler_queue<std::uint64_t>(kind, queue_size);
     for (std::size_t i = 0; i < queue_size; ++i) {
-        queue.push(rng.uniform(), i);
+        queue->push(rng.uniform(), i);
     }
     double t = 1.0;
     for (auto _ : state) {
-        auto e = queue.pop();
+        auto e = queue->pop();
         benchmark::DoNotOptimize(e);
-        queue.push(t + rng.uniform(), e.seq);
+        queue->push(t + rng.uniform(), e.seq);
         t += 1e-6;
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_EventQueuePushPop)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_EventQueuePushPop(benchmark::State& state) {  // legacy heap name
+    queue_push_pop(state, sim::QueueKind::kBinaryHeap);
+}
+void BM_CalendarQueuePushPop(benchmark::State& state) {
+    queue_push_pop(state, sim::QueueKind::kCalendar);
+}
+BENCHMARK(BM_EventQueuePushPop)
+    ->Arg(1 << 10)
+    ->Arg(1 << 12)
+    ->Arg(1 << 14)
+    ->Arg(1 << 16)
+    ->Arg(1 << 18)
+    ->Arg(1 << 20)
+    ->Arg(1 << 22);
+BENCHMARK(BM_CalendarQueuePushPop)
+    ->Arg(1 << 10)
+    ->Arg(1 << 12)
+    ->Arg(1 << 14)
+    ->Arg(1 << 16)
+    ->Arg(1 << 18)
+    ->Arg(1 << 20)
+    ->Arg(1 << 22);
 
 void BM_CensusTransition(benchmark::State& state) {
     GenerationCensus census(1 << 16, 8);
@@ -113,11 +139,12 @@ void BM_SyncRoundThreeMajority(benchmark::State& state) {
 }
 BENCHMARK(BM_SyncRoundThreeMajority)->Arg(1 << 12)->Arg(1 << 16);
 
-void BM_AsyncFullRunSmall(benchmark::State& state) {
+void async_full_run_small(benchmark::State& state, sim::QueueKind kind) {
     async::AsyncConfig c;
     c.alpha_hint = 2.0;
     c.max_time = 400.0;
     c.record_series = false;
+    c.queue_kind = kind;
     std::uint64_t seed = 8;
     std::int64_t events = 0;
     for (auto _ : state) {
@@ -130,7 +157,15 @@ void BM_AsyncFullRunSmall(benchmark::State& state) {
     }
     state.SetItemsProcessed(events);
 }
+
+void BM_AsyncFullRunSmall(benchmark::State& state) {
+    async_full_run_small(state, sim::QueueKind::kBinaryHeap);
+}
+void BM_AsyncFullRunSmallCalendar(benchmark::State& state) {
+    async_full_run_small(state, sim::QueueKind::kCalendar);
+}
 BENCHMARK(BM_AsyncFullRunSmall)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AsyncFullRunSmallCalendar)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -12,6 +12,7 @@
 
 #include <iostream>
 #include <memory>
+#include <optional>
 
 #include "analysis/theory.hpp"
 #include "async/sequential_simulation.hpp"
@@ -20,6 +21,7 @@
 #include "cluster/simulation.hpp"
 #include "opinion/assignment.hpp"
 #include "runner/report.hpp"
+#include "sim/queue_kind.hpp"
 #include "support/args.hpp"
 #include "support/csv.hpp"
 #include "support/table.hpp"
@@ -48,6 +50,7 @@ void usage() {
         "  --epsilon   epsilon-convergence threshold        (default 0.02)\n"
         "  --seed      RNG seed                             (default 1)\n"
         "  --max-time  simulated-time cap (async)           (default 3000)\n"
+        "  --queue     heap | calendar event queue (async)  (default heap)\n"
         "  --csv       write the plurality-fraction series to this file\n"
         "  --quiet     suppress the sparkline\n";
 }
@@ -127,12 +130,23 @@ int run_async_family(const Args& args, const std::string& protocol,
     double eps_time = -1.0;
     double consensus_time = -1.0;
 
+    const std::string queue_name = args.get("queue", "heap");
+    const std::optional<sim::QueueKind> parsed_queue =
+        sim::try_parse_queue_kind(queue_name);
+    if (!parsed_queue.has_value()) {
+        std::cerr << "unknown --queue '" << queue_name
+                  << "' (expected heap or calendar)\n";
+        return 1;
+    }
+    const sim::QueueKind queue_kind = *parsed_queue;
+
     if (protocol == "multi") {
         cluster::ClusterConfig c;
         c.lambda = lambda;
         c.alpha_hint = std::max(alpha, 1.05);
         c.epsilon = args.get_double("epsilon", 0.02);
         c.max_time = args.get_double("max-time", 3000.0);
+        c.queue_kind = queue_kind;
         const cluster::MultiLeaderResult r =
             cluster::run_multi_leader(n, k, alpha, c, seed);
         std::cout << "multi-leader: clustering " << format_double(r.clustering_time, 1)
@@ -152,6 +166,7 @@ int run_async_family(const Args& args, const std::string& protocol,
         c.alpha_hint = std::max(alpha, 1.05);
         c.epsilon = args.get_double("epsilon", 0.02);
         c.max_time = args.get_double("max-time", 3000.0);
+        c.queue_kind = queue_kind;
         const async::ValidatedResult r = async::run_validated_single_leader(
             n, k, alpha, c, args.get_double("msg-rate", 2.0), seed);
         std::cout << "validated single-leader (Section 5 model): "
@@ -169,6 +184,7 @@ int run_async_family(const Args& args, const std::string& protocol,
         c.alpha_hint = std::max(alpha, 1.05);
         c.epsilon = args.get_double("epsilon", 0.02);
         c.max_time = args.get_double("max-time", 3000.0);
+        c.queue_kind = queue_kind;
         const async::AsyncResult r =
             protocol == "sequential"
                 ? async::run_sequential_single_leader(n, k, alpha, c, seed)

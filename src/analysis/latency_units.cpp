@@ -151,6 +151,61 @@ double t3_quantile_monte_carlo(const sim::LatencyModel& latency, double q,
     return quantile(std::move(draws), q);
 }
 
+double sample_validated_cycle(const sim::LatencyModel& channel,
+                              const sim::LatencyModel& message, Rng& rng) {
+    // Every rng-mutating call is sequenced through a named local so the
+    // draw order (and hence the fixed-seed value) is compiler-independent.
+    const double wait = rng.exponential(1.0);
+    const double peer_a = channel.sample(rng);
+    const double peer_b = channel.sample(rng);
+    const double establish = std::max(peer_a, peer_b) + channel.sample(rng);
+    const double first_round = 2.0 * message.sample(rng);
+    const double validation_channel = channel.sample(rng);
+    const double validation_round = 2.0 * message.sample(rng);
+    return wait + establish + first_round + validation_channel +
+           validation_round;
+}
+
+double validated_cycle_quantile_monte_carlo(const sim::LatencyModel& channel,
+                                            const sim::LatencyModel& message,
+                                            double q, std::size_t samples,
+                                            Rng& rng) {
+    PAPC_CHECK(samples >= 10);
+    std::vector<double> draws;
+    draws.reserve(samples);
+    for (std::size_t i = 0; i < samples; ++i) {
+        draws.push_back(sample_validated_cycle(channel, message, rng));
+    }
+    return quantile(std::move(draws), q);
+}
+
+double sample_cluster_exchange(const sim::LatencyModel& latency, Rng& rng) {
+    auto five_channels = [&] {
+        const double a = latency.sample(rng);
+        const double b = latency.sample(rng);
+        const double c = latency.sample(rng);
+        const double stage1 = std::max({a, b, c});
+        const double d = latency.sample(rng);
+        const double e = latency.sample(rng);
+        return stage1 + std::max(d, e);
+    };
+    const double first = five_channels();
+    const double wait = rng.exponential(1.0);
+    return first + wait + five_channels();
+}
+
+double cluster_exchange_quantile_monte_carlo(const sim::LatencyModel& latency,
+                                             double q, std::size_t samples,
+                                             Rng& rng) {
+    PAPC_CHECK(samples >= 10);
+    std::vector<double> draws;
+    draws.reserve(samples);
+    for (std::size_t i = 0; i < samples; ++i) {
+        draws.push_back(sample_cluster_exchange(latency, rng));
+    }
+    return quantile(std::move(draws), q);
+}
+
 Figure1Row figure1_row(double lambda, std::size_t mc_samples, Rng& rng) {
     Figure1Row row;
     row.inv_lambda = 1.0 / lambda;

@@ -49,6 +49,34 @@ namespace papc::analysis {
                                              double q, std::size_t samples,
                                              Rng& rng);
 
+/// Draws one full cycle of the §5 validated engine: tick wait (Exp(1)) +
+/// three channels (max(T2, T2) + T2) + first message round (2·T4) +
+/// validation channel (T2) + validation round-trip (2·T4). `channel`
+/// models T2, `message` models T4.
+[[nodiscard]] double sample_validated_cycle(const sim::LatencyModel& channel,
+                                            const sim::LatencyModel& message,
+                                            Rng& rng);
+
+/// Monte-Carlo q-quantile of the validated cycle; the 0.9-quantile is the
+/// C1 (steps per time unit) the validated engine derives its leader
+/// thresholds from.
+[[nodiscard]] double validated_cycle_quantile_monte_carlo(
+    const sim::LatencyModel& channel, const sim::LatencyModel& message,
+    double q, std::size_t samples, Rng& rng);
+
+/// Draws one §4 member exchange round-trip: five channels in two stages —
+/// three concurrent samples, then the own and the sampled leader
+/// concurrently (T2'' ≼ 5·T2, §4.2) — on both sides of the tick wait.
+[[nodiscard]] double sample_cluster_exchange(const sim::LatencyModel& latency,
+                                             Rng& rng);
+
+/// Monte-Carlo q-quantile of the cluster member exchange; the 0.9-quantile
+/// is the C1 the multi-leader engine derives its per-cluster leader
+/// thresholds from.
+[[nodiscard]] double cluster_exchange_quantile_monte_carlo(
+    const sim::LatencyModel& latency, double q, std::size_t samples,
+    Rng& rng);
+
 /// One row of Figure 1: 1/λ plus the three C1 estimates.
 struct Figure1Row {
     double inv_lambda = 0.0;      ///< expected latency 1/λ (x-axis)

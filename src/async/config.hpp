@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "opinion/types.hpp"
+#include "sim/queue_kind.hpp"
 
 namespace papc::async {
 
@@ -48,6 +49,12 @@ struct AsyncConfig {
     /// this time the leader freezes — it stops processing signals and its
     /// public state never changes again. Negative = no failure.
     double leader_failure_time = -1.0;
+
+    /// Scheduler-queue implementation behind the event loop. Both kinds
+    /// pop in identical (time, seq) order (pinned by the equivalence
+    /// tests), so for a fixed seed this knob changes throughput only,
+    /// never results. Prefer kCalendar for n >> 2^16 pending events.
+    sim::QueueKind queue_kind = sim::QueueKind::kBinaryHeap;
 };
 
 }  // namespace papc::async

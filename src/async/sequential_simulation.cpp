@@ -12,7 +12,8 @@ SequentialSingleLeaderSimulation::SequentialSingleLeaderSimulation(
     const Assignment& assignment, const AsyncConfig& config, std::uint64_t seed)
     : config_(config),
       rng_(seed),
-      census_(assignment.size(), assignment.num_opinions) {
+      census_(assignment.size(), assignment.num_opinions),
+      queue_(sim::make_scheduler_queue<NodeId>(config.queue_kind, 1)) {
     PAPC_CHECK(assignment.size() >= 2);
     const std::size_t n = assignment.size();
     nodes_.resize(n);
@@ -28,12 +29,15 @@ SequentialSingleLeaderSimulation::SequentialSingleLeaderSimulation(
 }
 
 bool SequentialSingleLeaderSimulation::advance() {
+    if (queue_->empty()) return false;
     const std::size_t n = nodes_.size();
     const double nd = static_cast<double>(n);
 
     // Sequentialization: the next tick anywhere in the system is an
-    // Exp(n) race won by a uniformly random node.
-    now_ += rng_.exponential(nd);
+    // Exp(n) race (the queue's single pending event) won by a uniformly
+    // random node drawn after the race — memorylessness makes the winner
+    // independent of the race time.
+    now_ = queue_->pop().time;
     const auto v_id = static_cast<NodeId>(rng_.uniform_index(n));
     NodeState& v = nodes_[v_id];
     ++result_.ticks;
@@ -79,6 +83,9 @@ bool SequentialSingleLeaderSimulation::advance() {
             leader_->on_gen_signal(now_, v.gen);
         }
     }
+    // Next global race. Pushing here (after the peer draws) keeps the RNG
+    // stream identical to the pre-queue sequentialized loop.
+    queue_->push(now_ + rng_.exponential(nd), 0);
     return true;
 }
 
@@ -101,6 +108,9 @@ AsyncResult SequentialSingleLeaderSimulation::run() {
         std::max(config_.alpha_hint, 1.0 + 1e-9), census_.num_opinions(), n,
         config_.generation_slack);
     leader_ = std::make_unique<Leader>(leader_config);
+
+    // The first global Exp(n) race; advance() keeps exactly one pending.
+    queue_->push(rng_.exponential(static_cast<double>(n)), 0);
 
     core::EngineOptions run_options;
     run_options.max_time = config_.max_time;

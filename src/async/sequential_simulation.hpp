@@ -13,6 +13,15 @@
 /// exp_exchange_latency compares sequential vs latency-model runs, and the
 /// tests pin that the generation dynamics (leader trace shape) coincide.
 /// The loop is owned by core::run(); one advance() = one global tick.
+///
+/// Ordering assumptions, stated against the sim::SchedulerQueue contract:
+/// the n independent rate-1 clocks collapse into a single global Exp(n)
+/// tick stream whose winner is a uniform node drawn *after* the race
+/// (memorylessness). The engine therefore keeps exactly one pending tick
+/// in a SchedulerQueue — pop the race, draw the winner, push the next race
+/// — so ties are impossible by construction and the queue's deterministic
+/// (time, seq) tie-break is exercised trivially. Any QueueKind yields the
+/// identical run.
 
 #include <memory>
 
@@ -23,6 +32,7 @@
 #include "core/engine.hpp"
 #include "opinion/assignment.hpp"
 #include "opinion/census.hpp"
+#include "sim/scheduler_queue.hpp"
 #include "support/random.hpp"
 
 namespace papc::async {
@@ -61,6 +71,9 @@ private:
     std::vector<NodeState> nodes_;
     GenerationCensus census_;
     std::unique_ptr<Leader> leader_;
+    /// Holds the single pending global tick (payload unused); see the
+    /// ordering-assumption note in the file header.
+    std::unique_ptr<sim::SchedulerQueue<NodeId>> queue_;
     Opinion plurality_ = 0;
     bool ran_ = false;
 

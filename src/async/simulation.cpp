@@ -38,7 +38,10 @@ SingleLeaderSimulation::SingleLeaderSimulation(
       latency_(std::move(latency)),
       rng_(seed),
       census_(assignment.size(), assignment.num_opinions),
-      queue_(std::make_unique<sim::EventQueue<AsyncEvent>>()) {
+      // Pending events stay near 2 per node (next tick + in-flight
+      // exchange/signal); reserve up front to skip reallocation churn.
+      queue_(sim::make_scheduler_queue<AsyncEvent>(config.queue_kind,
+                                                   2 * assignment.size())) {
     PAPC_CHECK(assignment.size() >= 2);
     PAPC_CHECK(latency_ != nullptr);
 

@@ -27,8 +27,8 @@
 #include "core/run_result.hpp"
 #include "opinion/assignment.hpp"
 #include "opinion/census.hpp"
-#include "sim/event_queue.hpp"
 #include "sim/latency.hpp"
+#include "sim/scheduler_queue.hpp"
 #include "support/random.hpp"
 #include "support/timeseries.hpp"
 
@@ -105,7 +105,7 @@ private:
     std::vector<NodeState> nodes_;
     GenerationCensus census_;
     std::unique_ptr<Leader> leader_;
-    std::unique_ptr<sim::EventQueue<AsyncEvent>> queue_;
+    std::unique_ptr<sim::SchedulerQueue<AsyncEvent>> queue_;
     Opinion plurality_ = 0;
     bool ran_ = false;
 

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <vector>
 
+#include "analysis/latency_units.hpp"
 #include "analysis/theory.hpp"
 #include "core/observer.hpp"
 #include "support/check.hpp"
@@ -40,7 +40,10 @@ ValidatedSingleLeaderSimulation::ValidatedSingleLeaderSimulation(
       message_(std::move(message)),
       rng_(seed),
       census_(assignment.size(), assignment.num_opinions),
-      queue_(std::make_unique<sim::EventQueue<ValidatedEvent>>()) {
+      // Pending events stay near 2 per node (next tick + in-flight
+      // snapshot/validate/signal); reserve to skip reallocation churn.
+      queue_(sim::make_scheduler_queue<ValidatedEvent>(config.queue_kind,
+                                                       2 * assignment.size())) {
     PAPC_CHECK(assignment.size() >= 2);
     PAPC_CHECK(channel_ != nullptr && message_ != nullptr);
     const std::size_t n = assignment.size();
@@ -200,18 +203,11 @@ ValidatedResult ValidatedSingleLeaderSimulation::run() {
     result_.base.leader_generation = TimeSeries("leader-generation");
 
     // One full cycle now includes two message round-trips and the
-    // validation channel; measure C1 for this composition.
+    // validation channel; measure C1 for this composition (Monte Carlo;
+    // deterministic given the seed).
     Rng c1_rng = rng_.split();
-    auto cycle_sample = [&] {
-        auto ch = [&] { return channel_->sample(c1_rng); };
-        auto msg = [&] { return message_->sample(c1_rng); };
-        return c1_rng.exponential(1.0) + std::max(ch(), ch()) + ch() +
-               2.0 * msg() + ch() + 2.0 * msg();
-    };
-    std::vector<double> draws(20000);
-    for (double& d : draws) d = cycle_sample();
-    std::sort(draws.begin(), draws.end());
-    const double steps_per_unit = draws[static_cast<std::size_t>(0.9 * 20000)];
+    const double steps_per_unit = analysis::validated_cycle_quantile_monte_carlo(
+        *channel_, *message_, 0.9, 20000, c1_rng);
     result_.base.steps_per_unit = steps_per_unit;
 
     LeaderConfig leader_config;

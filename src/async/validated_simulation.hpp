@@ -37,8 +37,8 @@
 #include "core/engine.hpp"
 #include "opinion/assignment.hpp"
 #include "opinion/census.hpp"
-#include "sim/event_queue.hpp"
 #include "sim/latency.hpp"
+#include "sim/scheduler_queue.hpp"
 #include "support/random.hpp"
 
 namespace papc::async {
@@ -96,7 +96,7 @@ private:
     std::vector<NodeState> nodes_;
     GenerationCensus census_;
     std::unique_ptr<Leader> leader_;
-    std::unique_ptr<sim::EventQueue<ValidatedEvent>> queue_;
+    std::unique_ptr<sim::SchedulerQueue<ValidatedEvent>> queue_;
     Opinion plurality_ = 0;
     bool ran_ = false;
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cluster/clustering.hpp"
+#include "sim/queue_kind.hpp"
 #include "support/random.hpp"
 
 namespace papc::cluster {
@@ -25,9 +26,12 @@ struct BroadcastResult {
 };
 
 /// Simulates the broadcast over an existing clustering. `source` is the
-/// index of the initially informed cluster.
-[[nodiscard]] BroadcastResult run_broadcast(const ClusteringResult& clustering,
-                                            std::size_t source, double lambda,
-                                            double max_time, Rng& rng);
+/// index of the initially informed cluster. `queue_kind` selects the
+/// scheduler queue behind the event loop (results are identical for any
+/// kind; only throughput differs).
+[[nodiscard]] BroadcastResult run_broadcast(
+    const ClusteringResult& clustering, std::size_t source, double lambda,
+    double max_time, Rng& rng,
+    sim::QueueKind queue_kind = sim::QueueKind::kBinaryHeap);
 
 }  // namespace papc::cluster

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
-#include "sim/event_queue.hpp"
 #include "sim/latency.hpp"
+#include "sim/scheduler_queue.hpp"
 #include "support/check.hpp"
 
 namespace papc::cluster {
@@ -90,9 +90,13 @@ ClusteringResult run_clustering(std::size_t n, const ClusterConfig& config,
     // sending 0-signals after the cluster reopens.
     std::vector<std::uint32_t> join_rank(n, 0);
 
-    sim::EventQueue<EventPayload> queue;
+    // Each node keeps a tick plus at most one join/signal/gossip event in
+    // flight; reserve accordingly.
+    auto queue =
+        sim::make_scheduler_queue<EventPayload>(config.queue_kind, 2 * n);
     for (NodeId v = 0; v < n; ++v) {
-        queue.push(rng.exponential(1.0), EventPayload{EventKind::kTick, v, 0, 0, 0, kNoCluster});
+        queue->push(rng.exponential(1.0),
+                    EventPayload{EventKind::kTick, v, 0, 0, 0, kNoCluster});
     }
 
     auto accepting = [&](const LeaderInfo& info) {
@@ -115,8 +119,8 @@ ClusteringResult run_clustering(std::size_t n, const ClusterConfig& config,
     auto sample_node = [&] { return static_cast<NodeId>(rng.uniform_index(n)); };
 
     double now = 0.0;
-    while (!queue.empty()) {
-        auto entry = queue.pop();
+    while (!queue->empty()) {
+        auto entry = queue->pop();
         now = entry.time;
         if (now > config.clustering_max_time) break;
         if (broadcast_started && uninformed == 0) break;
@@ -131,30 +135,31 @@ ClusteringResult run_clustering(std::size_t n, const ClusterConfig& config,
                     // latency away. Only the first `floor` members keep
                     // signalling (the paper equalizes counting rates).
                     if (join_rank[v] < floor) {
-                        queue.push(now + latency.sample(rng),
-                                   EventPayload{EventKind::kZeroSignal, v, 0, 0, 0,
-                                                my_cluster});
+                        queue->push(now + latency.sample(rng),
+                                    EventPayload{EventKind::kZeroSignal, v, 0,
+                                                 0, 0, my_cluster});
                     }
                     // Broadcast gossip: contact the own leader and the
                     // leaders of two random nodes (§4.2).
                     if (broadcast_started) {
-                        queue.push(now + latency.sample(rng) + latency.sample(rng),
-                                   EventPayload{EventKind::kGossip, v,
-                                                sample_node(), sample_node(), 0,
-                                                my_cluster});
+                        queue->push(
+                            now + latency.sample(rng) + latency.sample(rng),
+                            EventPayload{EventKind::kGossip, v, sample_node(),
+                                         sample_node(), 0, my_cluster});
                     }
                 } else if (!join_pending[v]) {
                     // Unassigned follower: try to join via three samples.
                     join_pending[v] = true;
                     const double channels = std::max(
                         {latency.sample(rng), latency.sample(rng), latency.sample(rng)});
-                    queue.push(now + channels + latency.sample(rng),
-                               EventPayload{EventKind::kJoinAttempt, v,
-                                            sample_node(), sample_node(),
-                                            sample_node(), kNoCluster});
+                    queue->push(now + channels + latency.sample(rng),
+                                EventPayload{EventKind::kJoinAttempt, v,
+                                             sample_node(), sample_node(),
+                                             sample_node(), kNoCluster});
                 }
-                queue.push(now + rng.exponential(1.0),
-                           EventPayload{EventKind::kTick, v, 0, 0, 0, kNoCluster});
+                queue->push(now + rng.exponential(1.0),
+                            EventPayload{EventKind::kTick, v, 0, 0, 0,
+                                         kNoCluster});
                 break;
             }
 

@@ -10,6 +10,8 @@
 #include <cmath>
 #include <cstdint>
 
+#include "sim/queue_kind.hpp"
+
 namespace papc::cluster {
 
 struct ClusterConfig {
@@ -74,6 +76,12 @@ struct ClusterConfig {
     /// Negative time = no failure.
     double leader_failure_time = -1.0;
     double leader_failure_fraction = 0.0;
+
+    /// Scheduler-queue implementation behind both event loops (clustering
+    /// phase and consensus phase). Both kinds pop in identical (time, seq)
+    /// order, so for a fixed seed this knob changes throughput only, never
+    /// results. Prefer kCalendar for n >> 2^16 pending events.
+    sim::QueueKind queue_kind = sim::QueueKind::kBinaryHeap;
 
     /// Resolved floor for population n.
     [[nodiscard]] std::size_t resolved_floor(std::size_t n) const {

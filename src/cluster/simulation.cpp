@@ -37,7 +37,10 @@ MultiLeaderSimulation::MultiLeaderSimulation(const Assignment& assignment,
       rng_(seed),
       latency_(config.lambda),
       census_(assignment.size(), assignment.num_opinions),
-      queue_(std::make_unique<sim::EventQueue<ClusterEvent>>()) {
+      // Pending events stay near 2 per node (next tick + in-flight
+      // exchange/signal); reserve up front to skip reallocation churn.
+      queue_(sim::make_scheduler_queue<ClusterEvent>(config.queue_kind,
+                                                     2 * assignment.size())) {
     const std::size_t n = assignment.size();
     PAPC_CHECK(clustering_.cluster_of.size() == n);
 
@@ -54,19 +57,12 @@ MultiLeaderSimulation::MultiLeaderSimulation(const Assignment& assignment,
     plurality_ = census_.pooled_stats().dominant;
 
     // Measure C1 for the 5-channel member exchange (three samples, then the
-    // own leader and the sampled leader concurrently).
+    // own leader and the sampled leader concurrently); Monte Carlo,
+    // deterministic given the seed.
     Rng c1_rng = rng_.split();
-    auto t3_sample = [&] {
-        auto draw = [&] { return latency_.sample(c1_rng); };
-        const double stage1 = std::max({draw(), draw(), draw()});
-        const double stage2 = std::max(draw(), draw());
-        return stage1 + stage2 + c1_rng.exponential(1.0) +
-               std::max({draw(), draw(), draw()}) + std::max(draw(), draw());
-    };
-    std::vector<double> draws(20000);
-    for (double& d : draws) d = t3_sample();
-    std::sort(draws.begin(), draws.end());
-    const double steps_per_unit = draws[static_cast<std::size_t>(0.9 * 20000)];
+    const double steps_per_unit =
+        analysis::cluster_exchange_quantile_monte_carlo(latency_, 0.9, 20000,
+                                                        c1_rng);
 
     max_generation_ = analysis::total_generations(
         std::max(config_.alpha_hint, 1.0 + 1e-9), census_.num_opinions(), n,

@@ -19,8 +19,8 @@
 #include "core/run_result.hpp"
 #include "opinion/assignment.hpp"
 #include "opinion/census.hpp"
-#include "sim/event_queue.hpp"
 #include "sim/latency.hpp"
+#include "sim/scheduler_queue.hpp"
 #include "support/random.hpp"
 #include "support/timeseries.hpp"
 
@@ -107,7 +107,7 @@ private:
     std::vector<MemberState> members_;
     std::vector<std::unique_ptr<ClusterLeader>> leaders_;
     GenerationCensus census_;
-    std::unique_ptr<sim::EventQueue<ClusterEvent>> queue_;
+    std::unique_ptr<sim::SchedulerQueue<ClusterEvent>> queue_;
     Opinion plurality_ = 0;
     bool ran_ = false;
 

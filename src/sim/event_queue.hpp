@@ -1,90 +1,21 @@
 #pragma once
 
 /// \file event_queue.hpp
-/// Binary-heap event queue for the discrete-event engines.
+/// Backward-compatible name for the binary-heap scheduler queue. The
+/// discrete-event engines now program against the pluggable
+/// sim::SchedulerQueue interface (scheduler_queue.hpp) and select an
+/// implementation via sim::QueueKind; EventQueue remains as the concrete
+/// heap for callers that want one without the factory.
 ///
-/// Events are ordered by (time, sequence number): ties in time are broken by
-/// insertion order, which keeps runs deterministic for a fixed seed.
+/// Events are ordered by (time, sequence number): ties in time are broken
+/// by insertion order, which keeps runs deterministic for a fixed seed.
 
-#include <cstdint>
-#include <utility>
-#include <vector>
-
-#include "sim/time.hpp"
-#include "support/check.hpp"
+#include "sim/scheduler_queue.hpp"
 
 namespace papc::sim {
 
 /// Min-heap keyed on (time, seq). Payload type is engine-specific.
 template <typename Payload>
-class EventQueue {
-public:
-    struct Entry {
-        Time time;
-        std::uint64_t seq;
-        Payload payload;
-    };
-
-    [[nodiscard]] bool empty() const { return heap_.empty(); }
-    [[nodiscard]] std::size_t size() const { return heap_.size(); }
-
-    /// Time of the earliest event; queue must be non-empty.
-    [[nodiscard]] Time next_time() const {
-        PAPC_CHECK(!heap_.empty());
-        return heap_.front().time;
-    }
-
-    void push(Time time, Payload payload) {
-        heap_.push_back(Entry{time, next_seq_++, std::move(payload)});
-        sift_up(heap_.size() - 1);
-    }
-
-    /// Removes and returns the earliest event.
-    Entry pop() {
-        PAPC_CHECK(!heap_.empty());
-        Entry top = std::move(heap_.front());
-        heap_.front() = std::move(heap_.back());
-        heap_.pop_back();
-        if (!heap_.empty()) sift_down(0);
-        return top;
-    }
-
-    void clear() { heap_.clear(); }
-
-    /// Total number of events ever pushed (diagnostics).
-    [[nodiscard]] std::uint64_t pushed() const { return next_seq_; }
-
-private:
-    [[nodiscard]] static bool less(const Entry& a, const Entry& b) {
-        if (a.time != b.time) return a.time < b.time;
-        return a.seq < b.seq;
-    }
-
-    void sift_up(std::size_t i) {
-        while (i > 0) {
-            const std::size_t parent = (i - 1) / 2;
-            if (!less(heap_[i], heap_[parent])) break;
-            std::swap(heap_[i], heap_[parent]);
-            i = parent;
-        }
-    }
-
-    void sift_down(std::size_t i) {
-        const std::size_t n = heap_.size();
-        for (;;) {
-            const std::size_t left = 2 * i + 1;
-            const std::size_t right = 2 * i + 2;
-            std::size_t smallest = i;
-            if (left < n && less(heap_[left], heap_[smallest])) smallest = left;
-            if (right < n && less(heap_[right], heap_[smallest])) smallest = right;
-            if (smallest == i) break;
-            std::swap(heap_[i], heap_[smallest]);
-            i = smallest;
-        }
-    }
-
-    std::vector<Entry> heap_;
-    std::uint64_t next_seq_ = 0;
-};
+using EventQueue = BinaryHeapQueue<Payload>;
 
 }  // namespace papc::sim

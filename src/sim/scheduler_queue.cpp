@@ -1,0 +1,38 @@
+#include "sim/scheduler_queue.hpp"
+
+#include "support/check.hpp"
+
+namespace papc::sim {
+
+// The queue templates are header-only; instantiate both implementations
+// once for build-error surfacing and to anchor the target's source list.
+template class BinaryHeapQueue<int>;
+template class CalendarQueue<int>;
+
+const char* to_string(QueueKind kind) {
+    switch (kind) {
+        case QueueKind::kBinaryHeap:
+            return "heap";
+        case QueueKind::kCalendar:
+            return "calendar";
+    }
+    PAPC_CHECK(false);
+}
+
+std::optional<QueueKind> try_parse_queue_kind(const std::string& name) {
+    if (name == "heap" || name == "binary-heap") {
+        return QueueKind::kBinaryHeap;
+    }
+    if (name == "calendar") {
+        return QueueKind::kCalendar;
+    }
+    return std::nullopt;
+}
+
+QueueKind parse_queue_kind(const std::string& name) {
+    const std::optional<QueueKind> kind = try_parse_queue_kind(name);
+    PAPC_CHECK(kind.has_value() && "unknown queue kind");
+    return *kind;
+}
+
+}  // namespace papc::sim

@@ -115,5 +115,92 @@ TEST(SampleT3, ConstantLatencyLowerBound) {
     }
 }
 
+// ---------------------------------------------- §5 validated-cycle C1
+
+TEST(ValidatedCycle, ConstantLatencyClosedForm) {
+    // Constant channels (c) and messages (m): the cycle is deterministic up
+    // to the Exp(1) wait — max(c,c)+c + 2m + c + 2m = 3c + 4m plus wait.
+    Rng rng(17);
+    const sim::ConstantLatency channel(1.0);
+    const sim::ConstantLatency message(0.25);
+    for (int i = 0; i < 1000; ++i) {
+        const double cycle = sample_validated_cycle(channel, message, rng);
+        EXPECT_GT(cycle, 3.0 + 1.0);  // 3c + 4m, wait > 0
+    }
+}
+
+TEST(ValidatedCycle, QuantileMonotoneInQ) {
+    const sim::ExponentialLatency channel(1.0);
+    const sim::ExponentialLatency message(2.0);
+    Rng rng_a(18);
+    Rng rng_b(18);
+    const double q50 =
+        validated_cycle_quantile_monte_carlo(channel, message, 0.5, 20000, rng_a);
+    const double q90 =
+        validated_cycle_quantile_monte_carlo(channel, message, 0.9, 20000, rng_b);
+    EXPECT_GT(q90, q50);
+}
+
+TEST(ValidatedCycle, SlowerMessagesRaiseC1) {
+    const sim::ExponentialLatency channel(1.0);
+    const sim::ExponentialLatency fast_msg(10.0);
+    const sim::ExponentialLatency slow_msg(0.25);
+    Rng rng_a(19);
+    Rng rng_b(19);
+    const double fast =
+        validated_cycle_quantile_monte_carlo(channel, fast_msg, 0.9, 20000, rng_a);
+    const double slow =
+        validated_cycle_quantile_monte_carlo(channel, slow_msg, 0.9, 20000, rng_b);
+    EXPECT_GT(slow, fast);
+}
+
+TEST(ValidatedCycle, DominatesPlainT3) {
+    // The validated cycle adds a validation channel and four messages on
+    // top of (a subset of) T3's composition, so its C1 must exceed the
+    // plain-engine C1 at the same rates.
+    const sim::ExponentialLatency latency(1.0);
+    Rng rng_a(20);
+    Rng rng_b(20);
+    const double plain = t3_quantile_monte_carlo(latency, 0.9, 20000, rng_a);
+    const double validated = validated_cycle_quantile_monte_carlo(
+        latency, latency, 0.9, 20000, rng_b);
+    // Not a per-draw bound (different RNG streams), but 20k samples leave
+    // no statistical doubt: E[validated] - E[T3] = 4/λ.
+    EXPECT_GT(validated, plain);
+}
+
+// ---------------------------------------------- §4 cluster-exchange C1
+
+TEST(ClusterExchange, ConstantLatencyClosedForm) {
+    // Constant(c) latency: both five-channel stages are exactly 2c each
+    // (max of equals + max of equals), so the sample is 4c + wait.
+    Rng rng(21);
+    const sim::ConstantLatency constant(1.0);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_GT(sample_cluster_exchange(constant, rng), 4.0);
+    }
+}
+
+TEST(ClusterExchange, DominatesPlainT3) {
+    // Five channels in two stages on each side of the wait vs T3's three:
+    // the cluster exchange is stochastically larger.
+    const sim::ExponentialLatency latency(1.0);
+    Rng rng_a(22);
+    Rng rng_b(22);
+    const double plain = t3_quantile_monte_carlo(latency, 0.9, 20000, rng_a);
+    const double exchange =
+        cluster_exchange_quantile_monte_carlo(latency, 0.9, 20000, rng_b);
+    EXPECT_GT(exchange, plain);
+}
+
+TEST(ClusterExchange, DeterministicForSeed) {
+    const sim::ExponentialLatency latency(0.5);
+    Rng rng_a(23);
+    Rng rng_b(23);
+    EXPECT_DOUBLE_EQ(
+        cluster_exchange_quantile_monte_carlo(latency, 0.9, 5000, rng_a),
+        cluster_exchange_quantile_monte_carlo(latency, 0.9, 5000, rng_b));
+}
+
 }  // namespace
 }  // namespace papc::analysis

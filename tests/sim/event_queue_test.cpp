@@ -88,5 +88,26 @@ TEST(EventQueue, PushedCountsAllInsertions) {
     EXPECT_EQ(q.pushed(), 2U);
 }
 
+TEST(EventQueue, ReserveIsTransparent) {
+    // reserve(n) pre-sizes the heap storage (the simulations pass ~2
+    // pending events per node up front); behaviour is unchanged.
+    EventQueue<int> q;
+    q.reserve(4096);
+    Rng rng(5);
+    for (int i = 0; i < 2048; ++i) q.push(rng.uniform(), i);
+    EXPECT_EQ(q.size(), 2048U);
+    double prev = -1.0;
+    while (!q.empty()) {
+        const auto e = q.pop();
+        EXPECT_GE(e.time, prev);
+        prev = e.time;
+    }
+}
+
+TEST(EventQueue, IsTheBinaryHeapKind) {
+    EventQueue<int> q;
+    EXPECT_EQ(q.kind(), QueueKind::kBinaryHeap);
+}
+
 }  // namespace
 }  // namespace papc::sim

@@ -1,0 +1,334 @@
+#include "sim/scheduler_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "support/random.hpp"
+
+namespace papc::sim {
+namespace {
+
+using IntQueue = SchedulerQueue<int>;
+
+std::vector<QueueKind> all_kinds() {
+    return {QueueKind::kBinaryHeap, QueueKind::kCalendar};
+}
+
+// ------------------------------------------------------------ kind plumbing
+
+TEST(SchedulerQueue, FactoryBuildsRequestedKind) {
+    for (const QueueKind kind : all_kinds()) {
+        const auto queue = make_scheduler_queue<int>(kind);
+        EXPECT_EQ(queue->kind(), kind);
+        EXPECT_TRUE(queue->empty());
+    }
+}
+
+TEST(SchedulerQueue, KindNamesRoundTrip) {
+    for (const QueueKind kind : all_kinds()) {
+        EXPECT_EQ(parse_queue_kind(to_string(kind)), kind);
+    }
+    EXPECT_EQ(parse_queue_kind("binary-heap"), QueueKind::kBinaryHeap);
+}
+
+// ------------------------------------------------------- ordering contract
+
+TEST(SchedulerQueue, PopsInTimeOrder) {
+    for (const QueueKind kind : all_kinds()) {
+        const auto q = make_scheduler_queue<int>(kind);
+        q->push(3.0, 3);
+        q->push(1.0, 1);
+        q->push(2.0, 2);
+        EXPECT_EQ(q->pop().payload, 1);
+        EXPECT_EQ(q->pop().payload, 2);
+        EXPECT_EQ(q->pop().payload, 3);
+        EXPECT_TRUE(q->empty());
+    }
+}
+
+TEST(SchedulerQueue, MassiveSameTimeBurstKeepsSeqOrder) {
+    // A burst of identical times exercises the seq tie-break under heap
+    // sifts and under calendar rebuilds (ties carry no width signal).
+    for (const QueueKind kind : all_kinds()) {
+        const auto q = make_scheduler_queue<int>(kind);
+        constexpr int kBurst = 20000;
+        for (int i = 0; i < kBurst; ++i) q->push(7.25, i);
+        for (int i = 0; i < kBurst; ++i) {
+            const auto e = q->pop();
+            ASSERT_EQ(e.payload, i) << to_string(kind);
+            ASSERT_DOUBLE_EQ(e.time, 7.25);
+        }
+        EXPECT_TRUE(q->empty());
+    }
+}
+
+TEST(SchedulerQueue, TieBurstInterleavedWithOtherTimes) {
+    for (const QueueKind kind : all_kinds()) {
+        const auto q = make_scheduler_queue<int>(kind);
+        Rng rng(11);
+        // Ties at 5.0 interleaved among uniform times on both sides.
+        for (int i = 0; i < 500; ++i) {
+            q->push(5.0, 100000 + i);
+            q->push(rng.uniform(0.0, 10.0), i);
+        }
+        double prev_time = -1.0;
+        std::uint64_t prev_seq = 0;
+        bool first = true;
+        int tie_cursor = 100000;
+        while (!q->empty()) {
+            const auto e = q->pop();
+            if (!first) {
+                ASSERT_TRUE(e.time > prev_time ||
+                            (e.time == prev_time && e.seq > prev_seq));
+            }
+            if (e.time == 5.0 && e.payload >= 100000) {
+                ASSERT_EQ(e.payload, tie_cursor++);
+            }
+            prev_time = e.time;
+            prev_seq = e.seq;
+            first = false;
+        }
+        EXPECT_EQ(tie_cursor, 100500);
+    }
+}
+
+TEST(SchedulerQueue, FarFutureOutliersDoNotDisturbOrder) {
+    // Outliers several "years" beyond the dense head exercise the calendar
+    // wrap + direct-search path; order must stay exact for both kinds.
+    for (const QueueKind kind : all_kinds()) {
+        const auto q = make_scheduler_queue<int>(kind);
+        Rng rng(13);
+        for (int i = 0; i < 2000; ++i) q->push(rng.uniform(), i);
+        q->push(1e9, -1);
+        q->push(1e12, -2);
+        q->push(5e8, -3);
+        double prev = -1.0;
+        std::size_t popped = 0;
+        while (!q->empty()) {
+            const auto e = q->pop();
+            ASSERT_GE(e.time, prev);
+            prev = e.time;
+            ++popped;
+            // Refill mid-drain with near-term events: they must still come
+            // out before the parked outliers.
+            if (popped == 1000) {
+                for (int i = 0; i < 100; ++i) {
+                    q->push(1.0 + rng.uniform(), 10000 + i);
+                }
+            }
+        }
+        EXPECT_EQ(popped, 2103U);
+        EXPECT_DOUBLE_EQ(prev, 1e12);
+    }
+}
+
+TEST(SchedulerQueue, PushBehindTheCursorIsPoppedFirst) {
+    for (const QueueKind kind : all_kinds()) {
+        const auto q = make_scheduler_queue<int>(kind);
+        q->push(10.0, 10);
+        q->push(1.0, 1);
+        EXPECT_EQ(q->pop().payload, 1);
+        q->push(5.0, 5);
+        q->push(0.5, 0);  // earlier than everything already popped past
+        EXPECT_EQ(q->pop().payload, 0);
+        EXPECT_EQ(q->pop().payload, 5);
+        EXPECT_EQ(q->pop().payload, 10);
+    }
+}
+
+TEST(SchedulerQueue, NextTimePeeksEarliestWithoutPopping) {
+    for (const QueueKind kind : all_kinds()) {
+        const auto q = make_scheduler_queue<int>(kind);
+        q->push(5.0, 0);
+        q->push(2.0, 0);
+        EXPECT_DOUBLE_EQ(q->next_time(), 2.0);
+        EXPECT_EQ(q->size(), 2U);
+        q->pop();
+        EXPECT_DOUBLE_EQ(q->next_time(), 5.0);
+    }
+}
+
+// ------------------------------------------------------------- empty edges
+
+using SchedulerQueueDeathTest = ::testing::Test;
+
+TEST(SchedulerQueueDeathTest, PopOnEmptyAborts) {
+    for (const QueueKind kind : all_kinds()) {
+        const auto q = make_scheduler_queue<int>(kind);
+        EXPECT_DEATH(q->pop(), "PAPC_CHECK failed");
+    }
+}
+
+TEST(SchedulerQueueDeathTest, NextTimeOnEmptyAborts) {
+    for (const QueueKind kind : all_kinds()) {
+        const auto q = make_scheduler_queue<int>(kind);
+        q->push(1.0, 1);
+        q->pop();
+        EXPECT_DEATH(q->next_time(), "PAPC_CHECK failed");
+    }
+}
+
+// -------------------------------------------------------- clear-then-reuse
+
+TEST(SchedulerQueue, ClearThenReuseStaysOrderedAndKeepsPushedCount) {
+    for (const QueueKind kind : all_kinds()) {
+        const auto q = make_scheduler_queue<int>(kind);
+        Rng rng(17);
+        for (int i = 0; i < 5000; ++i) q->push(rng.uniform(0.0, 100.0), i);
+        for (int i = 0; i < 100; ++i) q->pop();
+        q->clear();
+        EXPECT_TRUE(q->empty());
+        EXPECT_EQ(q->size(), 0U);
+        // pushed() (and hence the seq stream) survives a clear.
+        EXPECT_EQ(q->pushed(), 5000U);
+        for (int i = 0; i < 1000; ++i) q->push(rng.uniform(0.0, 1.0), i);
+        EXPECT_EQ(q->pushed(), 6000U);
+        double prev = -1.0;
+        while (!q->empty()) {
+            const auto e = q->pop();
+            ASSERT_GE(e.time, prev);
+            prev = e.time;
+        }
+    }
+}
+
+// ------------------------------------------------------------- reserve hint
+
+TEST(SchedulerQueue, ReserveDoesNotChangeBehaviour) {
+    for (const QueueKind kind : all_kinds()) {
+        const auto plain = make_scheduler_queue<int>(kind);
+        const auto hinted = make_scheduler_queue<int>(kind, 1 << 14);
+        Rng rng_a(23);
+        Rng rng_b(23);
+        for (int i = 0; i < 3000; ++i) {
+            plain->push(rng_a.uniform(), i);
+            hinted->push(rng_b.uniform(), i);
+        }
+        while (!plain->empty()) {
+            const auto a = plain->pop();
+            const auto b = hinted->pop();
+            ASSERT_DOUBLE_EQ(a.time, b.time);
+            ASSERT_EQ(a.seq, b.seq);
+            ASSERT_EQ(a.payload, b.payload);
+        }
+        EXPECT_TRUE(hinted->empty());
+    }
+}
+
+// -------------------------------------- cross-implementation equivalence
+
+/// Drives both implementations through the same operation tape and demands
+/// byte-identical pop sequences — the contract the engine equivalence
+/// (identical RunResults for a fixed seed) rests on.
+void expect_identical_pop_order(std::uint64_t seed, int ops, double time_lo,
+                                double time_hi, bool quantize) {
+    const auto heap = make_scheduler_queue<int>(QueueKind::kBinaryHeap);
+    const auto calendar = make_scheduler_queue<int>(QueueKind::kCalendar);
+    Rng rng(seed);
+    double now = 0.0;
+    for (int op = 0; op < ops; ++op) {
+        const bool push = heap->empty() || rng.uniform() < 0.55;
+        if (push) {
+            double t = now + rng.uniform(time_lo, time_hi);
+            // Quantized times manufacture cross-push ties.
+            if (quantize) t = std::floor(t * 8.0) / 8.0;
+            heap->push(t, op);
+            calendar->push(t, op);
+        } else {
+            const auto a = heap->pop();
+            const auto b = calendar->pop();
+            ASSERT_DOUBLE_EQ(a.time, b.time) << "op " << op;
+            ASSERT_EQ(a.seq, b.seq) << "op " << op;
+            ASSERT_EQ(a.payload, b.payload) << "op " << op;
+            now = a.time;  // advancing front, like a real simulation
+        }
+    }
+    while (!heap->empty()) {
+        const auto a = heap->pop();
+        const auto b = calendar->pop();
+        ASSERT_DOUBLE_EQ(a.time, b.time);
+        ASSERT_EQ(a.seq, b.seq);
+        ASSERT_EQ(a.payload, b.payload);
+    }
+    EXPECT_TRUE(calendar->empty());
+    EXPECT_EQ(heap->pushed(), calendar->pushed());
+}
+
+TEST(SchedulerQueueEquivalence, UniformSchedule) {
+    expect_identical_pop_order(101, 20000, 0.0, 1.0, false);
+}
+
+TEST(SchedulerQueueEquivalence, QuantizedScheduleWithTies) {
+    expect_identical_pop_order(102, 20000, 0.0, 0.5, true);
+}
+
+TEST(SchedulerQueueEquivalence, WideScheduleSparseBuckets) {
+    expect_identical_pop_order(103, 8000, 0.0, 1000.0, false);
+}
+
+TEST(SchedulerQueueEquivalence, NarrowScheduleDenseBuckets) {
+    expect_identical_pop_order(104, 20000, 0.0, 1e-4, false);
+}
+
+TEST(SchedulerQueueEquivalence, MixedScaleWithOutliers) {
+    const auto heap = make_scheduler_queue<int>(QueueKind::kBinaryHeap);
+    const auto calendar = make_scheduler_queue<int>(QueueKind::kCalendar);
+    Rng rng(105);
+    for (int op = 0; op < 30000; ++op) {
+        const double roll = rng.uniform();
+        double t;
+        if (roll < 0.90) {
+            t = rng.uniform(0.0, 1.0);  // dense head
+        } else if (roll < 0.99) {
+            t = rng.uniform(0.0, 100.0);  // mid-range
+        } else {
+            t = rng.uniform(1e6, 1e9);  // far-future outlier
+        }
+        heap->push(t, op);
+        calendar->push(t, op);
+        if (op % 3 == 0) {
+            const auto a = heap->pop();
+            const auto b = calendar->pop();
+            ASSERT_DOUBLE_EQ(a.time, b.time) << "op " << op;
+            ASSERT_EQ(a.seq, b.seq) << "op " << op;
+        }
+    }
+    while (!heap->empty()) {
+        const auto a = heap->pop();
+        const auto b = calendar->pop();
+        ASSERT_DOUBLE_EQ(a.time, b.time);
+        ASSERT_EQ(a.seq, b.seq);
+    }
+    EXPECT_TRUE(calendar->empty());
+}
+
+TEST(SchedulerQueueEquivalence, DrainAndRefillCycles) {
+    // Repeated full drains force the calendar through shrink rebuilds and
+    // cursor resets; order must stay identical throughout.
+    const auto heap = make_scheduler_queue<int>(QueueKind::kBinaryHeap);
+    const auto calendar = make_scheduler_queue<int>(QueueKind::kCalendar);
+    Rng rng(106);
+    double base = 0.0;
+    for (int cycle = 0; cycle < 6; ++cycle) {
+        const int fill = 1 << (6 + cycle);  // 64 .. 2048
+        for (int i = 0; i < fill; ++i) {
+            const double t = base + rng.uniform(0.0, 2.0);
+            heap->push(t, i);
+            calendar->push(t, i);
+        }
+        while (!heap->empty()) {
+            const auto a = heap->pop();
+            const auto b = calendar->pop();
+            ASSERT_DOUBLE_EQ(a.time, b.time);
+            ASSERT_EQ(a.seq, b.seq);
+            base = a.time;
+        }
+        EXPECT_TRUE(calendar->empty());
+    }
+}
+
+}  // namespace
+}  // namespace papc::sim
