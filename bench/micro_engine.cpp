@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "api/registry.hpp"
+#include "api/sweep.hpp"
 #include "async/simulation.hpp"
 #include "opinion/assignment.hpp"
 #include "opinion/census.hpp"
@@ -12,6 +14,7 @@
 #include "support/random.hpp"
 #include "sync/algorithm1.hpp"
 #include "sync/baselines.hpp"
+#include "sync/engine.hpp"
 
 namespace {
 
@@ -166,6 +169,73 @@ void BM_AsyncFullRunSmallCalendar(benchmark::State& state) {
 }
 BENCHMARK(BM_AsyncFullRunSmall)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AsyncFullRunSmallCalendar)->Unit(benchmark::kMillisecond);
+
+// Dispatch overhead of the declarative api layer: the same tiny
+// synchronous run executed (a) directly against the engine and (b) through
+// api::run's registry lookup + scenario plumbing, and (c) through a full
+// api::run_sweep cell. The deltas are what a sweep pays per cell on top of
+// the raw engine — they should stay noise-level next to any real run.
+
+constexpr std::size_t kDispatchN = 128;
+
+void BM_DirectEngineRunSmall(benchmark::State& state) {
+    std::uint64_t seed = 9;
+    for (auto _ : state) {
+        // Mirrors the registry's sync-family path exactly (same seed
+        // derivation, workload and options), minus the api layer.
+        Rng rng(seed);
+        Rng workload_rng(derive_seed(seed, 1));
+        const Assignment a =
+            make_biased_plurality(kDispatchN, 2, 3.0, workload_rng);
+        sync::TwoChoices dynamics(a);
+        sync::RunOptions options;
+        options.record_every = 0;
+        const sync::SyncResult r = run_to_consensus(dynamics, rng, options);
+        benchmark::DoNotOptimize(r.steps);
+        ++seed;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DirectEngineRunSmall);
+
+void BM_ApiRunDispatchSmall(benchmark::State& state) {
+    api::Scenario scenario;
+    scenario.protocol = "two-choices";
+    scenario.n = kDispatchN;
+    scenario.k = 2;
+    scenario.alpha = 3.0;
+    scenario.record_series = false;
+    std::uint64_t seed = 9;
+    for (auto _ : state) {
+        const api::ScenarioResult r = api::run(scenario, seed++);
+        benchmark::DoNotOptimize(r.run.steps);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ApiRunDispatchSmall);
+
+void BM_SweepDispatchSmall(benchmark::State& state) {
+    // One 4-cell x 1-rep sweep per iteration; items/sec is cells/sec and
+    // compares against BM_ApiRunDispatchSmall runs/sec.
+    api::Sweep sweep;
+    sweep.base.protocol = "two-choices";
+    sweep.base.n = kDispatchN;
+    sweep.base.k = 2;
+    sweep.base.alpha = 3.0;
+    sweep.base.record_series = false;
+    sweep.axes = {{"alpha", {"2.6", "2.8", "3.0", "3.2"}}};
+    sweep.reps = 1;
+    std::uint64_t seed = 9;
+    std::int64_t cells = 0;
+    for (auto _ : state) {
+        sweep.base_seed = seed++;
+        const api::SweepResult r = api::run_sweep(sweep);
+        benchmark::DoNotOptimize(r.cells.front().outcome.repetitions);
+        cells += static_cast<std::int64_t>(r.cells.size());
+    }
+    state.SetItemsProcessed(cells);
+}
+BENCHMARK(BM_SweepDispatchSmall);
 
 }  // namespace
 

@@ -1,225 +1,242 @@
 /// \file papc_cli.cpp
-/// Command-line front end for the whole library: pick a protocol, a
-/// workload and parameters; optionally dump the convergence time series to
-/// CSV for external plotting.
+/// Command-line front end for the whole library, table-driven over the
+/// api layer: every registered protocol is reachable by name, every
+/// Scenario field is a flag, and results come out human-readable and/or
+/// as machine-readable JSON.
 ///
-///   papc_cli --protocol async --n 20000 --k 5 --alpha 1.8 --lambda 1
-///            --seed 7 --csv run.csv
+///   papc_cli --list-protocols
+///   papc_cli --protocol async --n 20000 --k 5 --alpha 1.8 --seed 7
+///   papc_cli --protocol multi --json run.json
+///   papc_cli --protocol two-choices --sweep "n=1000,10000;k=2..8" \
+///            --reps 5 --json sweep.json
 ///
-/// Protocols: sync (Algorithm 1), async (Algorithms 2+3), multi
-/// (Algorithms 4+5), two-choices, 3-majority, undecided, pull,
-/// validated (the §5 message-latency variant).
+/// Unknown flags are rejected (a typo like --lamda is an error, not a
+/// silently ignored default).
 
+#include <fstream>
 #include <iostream>
-#include <memory>
-#include <optional>
+#include <vector>
 
 #include "analysis/theory.hpp"
-#include "async/sequential_simulation.hpp"
-#include "async/simulation.hpp"
-#include "async/validated_simulation.hpp"
-#include "cluster/simulation.hpp"
-#include "opinion/assignment.hpp"
+#include "api/registry.hpp"
+#include "api/scenario.hpp"
+#include "api/sweep.hpp"
 #include "runner/report.hpp"
-#include "sim/queue_kind.hpp"
 #include "support/args.hpp"
 #include "support/csv.hpp"
+#include "support/json_writer.hpp"
+#include "support/parse.hpp"
 #include "support/table.hpp"
-#include "sync/algorithm1.hpp"
-#include "sync/baselines.hpp"
-#include "sync/engine.hpp"
 
 namespace {
 
 using namespace papc;
 
 void usage() {
-    std::cout <<
-        "papc_cli — plurality consensus protocols from Bankhamer et al., "
-        "PODC 2020\n\n"
-        "  --protocol  sync | async | multi | validated | sequential |\n"
-        "              two-choices | 3-majority | undecided | pull\n"
-        "                                                  (default async)\n"
-        "  --n         population size                      (default 10000)\n"
-        "  --k         number of opinions                   (default 4)\n"
-        "  --alpha     initial multiplicative bias          (default 1.8)\n"
-        "  --workload  biased | zipf | gap | uniform        (default biased)\n"
-        "  --lambda    channel-establishment rate (async)   (default 1.0)\n"
-        "  --msg-rate  per-message rate (validated only)    (default 2.0)\n"
-        "  --gamma     generation-density threshold (sync)  (default 0.5)\n"
-        "  --epsilon   epsilon-convergence threshold        (default 0.02)\n"
-        "  --seed      RNG seed                             (default 1)\n"
-        "  --max-time  simulated-time cap (async)           (default 3000)\n"
-        "  --queue     heap | calendar event queue (async)  (default heap)\n"
-        "  --csv       write the plurality-fraction series to this file\n"
-        "  --quiet     suppress the sparkline\n";
+    std::cout
+        << "papc_cli — plurality consensus protocols from Bankhamer et al., "
+           "PODC 2020\n\n"
+           "Modes\n"
+           "  --list-protocols      print every registered protocol and its "
+           "knobs\n"
+           "  --sweep SPEC          run a parameter sweep instead of a single "
+           "run;\n"
+           "                        SPEC is field=v1,v2,...;field=lo..hi "
+           "(e.g. \"n=1000,10000;k=2..8\")\n\n"
+           "Scenario fields (also sweep-axis names)\n";
+    for (const std::string& field : api::scenario_field_names()) {
+        api::Scenario defaults;
+        std::cout << "  --" << field;
+        for (std::size_t pad = field.size(); pad < 16; ++pad) std::cout << ' ';
+        std::cout << api::field_help(field) << " (default "
+                  << api::get_field(defaults, field) << ")\n";
+    }
+    std::cout << "\nRun options\n"
+                 "  --seed N          RNG seed / sweep base seed (default 1)\n"
+                 "  --reps N          trials per sweep cell (default 3)\n"
+                 "  --threads N       worker threads per sweep cell (default "
+                 "1)\n"
+                 "  --json FILE       write the result as JSON (\"-\" = "
+                 "stdout)\n"
+                 "  --csv FILE        write the plurality series to CSV "
+                 "(single run)\n"
+                 "  --quiet           suppress the sparkline\n"
+                 "  --help            this text\n";
 }
 
-Assignment build_workload(const Args& args, std::size_t n, std::uint32_t k,
-                          double alpha, Rng& rng) {
-    const std::string workload = args.get("workload", "biased");
-    if (workload == "zipf") return make_zipf(n, k, 1.0, rng);
-    if (workload == "uniform") return make_uniform(n, k, rng);
-    if (workload == "gap") {
-        const auto gap = static_cast<std::size_t>(
-            args.get_uint("gap", n / 10));
-        return make_additive_gap(n, k, gap, rng);
+int list_protocols() {
+    const api::ProtocolRegistry& registry = api::ProtocolRegistry::instance();
+    for (const std::string& name : registry.names()) {
+        const api::ProtocolInfo* info = registry.find(name);
+        std::cout << name;
+        for (std::size_t pad = name.size(); pad < 14; ++pad) std::cout << ' ';
+        std::cout << "[" << info->family << "] " << info->description;
+        if (info->max_k > 0) {
+            std::cout << " (k = " << info->min_k
+                      << (info->max_k == info->min_k
+                              ? ""
+                              : ".." + std::to_string(info->max_k))
+                      << " only)";
+        }
+        std::cout << "\n";
+        if (!info->knobs.empty()) {
+            std::cout << "              knobs:";
+            for (const std::string& knob : info->knobs) {
+                std::cout << " --" << knob;
+            }
+            std::cout << "\n";
+        }
+        if (!info->extra_metrics.empty()) {
+            std::cout << "              extras:";
+            for (const std::string& metric : info->extra_metrics) {
+                std::cout << " " << metric;
+            }
+            std::cout << "\n";
+        }
     }
-    return make_biased_plurality(n, k, alpha, rng);
+    return 0;
 }
 
-int run_sync(const Args& args, const std::string& protocol, std::size_t n,
-             std::uint32_t k, double alpha, std::uint64_t seed) {
-    Rng rng(seed);
-    Rng workload_rng(derive_seed(seed, 1));
-    const Assignment a = build_workload(args, n, k, alpha, workload_rng);
+/// Writes a finished JSON document to `path` ("-" = stdout).
+bool write_json_output(const std::string& path, const std::string& document) {
+    if (path == "-") {
+        std::cout << document;
+        return true;
+    }
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "papc_cli: cannot write " << path << "\n";
+        return false;
+    }
+    out << document;
+    std::cout << "  json written to " << path << "\n";
+    return true;
+}
 
-    std::unique_ptr<sync::SyncDynamics> dyn;
-    if (protocol == "sync") {
-        sync::ScheduleParams sp;
-        sp.n = n;
-        sp.k = k;
-        sp.alpha = std::max(alpha, 1.01);
-        sp.gamma = args.get_double("gamma", 0.5);
-        dyn = std::make_unique<sync::Algorithm1>(a, sync::Schedule(sp));
-    } else if (protocol == "two-choices") {
-        dyn = std::make_unique<sync::TwoChoices>(a);
-    } else if (protocol == "3-majority") {
-        dyn = std::make_unique<sync::ThreeMajority>(a);
-    } else if (protocol == "undecided") {
-        dyn = std::make_unique<sync::UndecidedState>(a);
-    } else {
-        dyn = std::make_unique<sync::PullVoting>(a);
+int run_single(const api::Scenario& scenario, std::uint64_t seed,
+               const std::string& json_path, const std::string& csv_path,
+               bool quiet) {
+    // With --json - the JSON document owns stdout; narration moves to
+    // stderr so the output stays parseable.
+    std::ostream& out = json_path == "-" ? std::cerr : std::cout;
+    out << "papc_cli: protocol=" << scenario.protocol << " n=" << scenario.n
+        << " k=" << scenario.k << " alpha=" << scenario.alpha << " workload="
+        << api::to_string(scenario.workload) << " seed=" << seed << "\n";
+
+    const analysis::PreconditionReport preconditions =
+        analysis::check_preconditions(scenario.n, scenario.k, scenario.alpha);
+    if (!preconditions.k_in_range) {
+        out << "note: k exceeds the theorem regime (k <= "
+            << format_double(preconditions.k_bound, 1)
+            << " at this n); results are best-effort\n";
+    }
+    if (!preconditions.alpha_sufficient) {
+        out << "note: alpha is below the Theorem-1 bound "
+            << format_double(preconditions.alpha_threshold, 3)
+            << "; the plurality may lose\n";
     }
 
-    sync::RunOptions opts;
-    opts.max_rounds = args.get_uint("max-rounds", 50000);
-    opts.record_every = 1;
-    opts.epsilon = args.get_double("epsilon", 0.02);
-    const sync::SyncResult r = run_to_consensus(*dyn, rng, opts);
+    const api::ScenarioResult result = api::run(scenario, seed);
+    const core::RunResult& run = result.run;
 
-    std::cout << dyn->name() << ": "
-              << (r.converged ? "converged" : "round cap hit") << " after "
-              << r.steps << " rounds; winner = opinion " << r.winner << "\n";
-    if (r.epsilon_time >= 0.0) {
-        std::cout << "  (1-eps)-agreement at round "
-                  << format_double(r.epsilon_time, 0) << "\n";
+    out << (run.converged ? "converged" : "budget hit") << " after "
+        << run.steps << " steps (end_time " << format_double(run.end_time, 1)
+        << "); winner = opinion " << run.winner
+        << (run.plurality_won ? " (initial plurality)" : "") << "\n";
+    if (run.epsilon_time >= 0.0) {
+        out << "  (1-eps)-agreement at t = "
+            << format_double(run.epsilon_time, 1);
+        if (run.consensus_time >= 0.0) {
+            out << ", full consensus at t = "
+                << format_double(run.consensus_time, 1);
+        }
+        out << "\n";
     }
-    if (!args.get_flag("quiet")) {
-        std::cout << "  " << runner::sparkline(r.plurality_fraction) << "\n";
+    if (!result.extras.empty()) {
+        out << "  extras:";
+        for (const auto& [name, value] : result.extras) {
+            out << " " << name << "=" << format_double(value, 3);
+        }
+        out << "\n";
     }
-    const std::string csv = args.get("csv", "");
-    if (!csv.empty()) {
-        CsvWriter writer(csv, {"round", "plurality_fraction"});
-        for (const auto& p : r.plurality_fraction.points()) {
+    if (!quiet && !run.plurality_fraction.empty()) {
+        out << "  " << runner::sparkline(run.plurality_fraction) << "\n";
+    }
+
+    if (!csv_path.empty()) {
+        CsvWriter writer(csv_path, {"time", "plurality_fraction"});
+        for (const auto& p : run.plurality_fraction.points()) {
             writer.write_row(std::vector<double>{p.time, p.value});
         }
-        std::cout << "  series written to " << csv << "\n";
+        out << "  series written to " << csv_path << "\n";
     }
-    return r.converged ? 0 : 2;
+    if (!json_path.empty()) {
+        JsonWriter writer;
+        api::write_json(writer, scenario, seed, result);
+        if (!write_json_output(json_path, writer.str())) return 1;
+    }
+    return run.converged ? 0 : 2;
 }
 
-int run_async_family(const Args& args, const std::string& protocol,
-                     std::size_t n, std::uint32_t k, double alpha,
-                     std::uint64_t seed) {
-    const double lambda = args.get_double("lambda", 1.0);
-    TimeSeries series;
-    bool converged = false;
-    Opinion winner = 0;
-    bool plurality_won = false;
-    double eps_time = -1.0;
-    double consensus_time = -1.0;
+int run_sweep_mode(const api::Sweep& sweep, const std::string& json_path,
+                   bool quiet) {
+    // Same stdout discipline as run_single for --json -.
+    std::ostream& out = json_path == "-" ? std::cerr : std::cout;
+    const api::ProtocolRegistry& registry = api::ProtocolRegistry::instance();
 
-    const std::string queue_name = args.get("queue", "heap");
-    const std::optional<sim::QueueKind> parsed_queue =
-        sim::try_parse_queue_kind(queue_name);
-    if (!parsed_queue.has_value()) {
-        std::cerr << "unknown --queue '" << queue_name
-                  << "' (expected heap or calendar)\n";
+    // Pre-flight every cell so a bad axis value is a clean error, not an
+    // abort mid-sweep.
+    std::vector<api::SweepCell> cells;
+    const std::string expand_error = api::expand(sweep, &cells);
+    if (!expand_error.empty()) {
+        std::cerr << "papc_cli: " << expand_error << "\n";
         return 1;
     }
-    const sim::QueueKind queue_kind = *parsed_queue;
-
-    if (protocol == "multi") {
-        cluster::ClusterConfig c;
-        c.lambda = lambda;
-        c.alpha_hint = std::max(alpha, 1.05);
-        c.epsilon = args.get_double("epsilon", 0.02);
-        c.max_time = args.get_double("max-time", 3000.0);
-        c.queue_kind = queue_kind;
-        const cluster::MultiLeaderResult r =
-            cluster::run_multi_leader(n, k, alpha, c, seed);
-        std::cout << "multi-leader: clustering " << format_double(r.clustering_time, 1)
-                  << " steps, " << r.clustering.num_active
-                  << " active clusters covering "
-                  << format_double(100.0 * r.clustering.fraction_clustered, 1)
-                  << "% of nodes\n";
-        series = r.plurality_fraction;
-        converged = r.converged;
-        winner = r.winner;
-        plurality_won = r.plurality_won;
-        eps_time = r.epsilon_time;
-        consensus_time = r.consensus_time;
-    } else if (protocol == "validated") {
-        async::AsyncConfig c;
-        c.lambda = lambda;
-        c.alpha_hint = std::max(alpha, 1.05);
-        c.epsilon = args.get_double("epsilon", 0.02);
-        c.max_time = args.get_double("max-time", 3000.0);
-        c.queue_kind = queue_kind;
-        const async::ValidatedResult r = async::run_validated_single_leader(
-            n, k, alpha, c, args.get_double("msg-rate", 2.0), seed);
-        std::cout << "validated single-leader (Section 5 model): "
-                  << r.commits << " commits, " << r.aborts << " aborts ("
-                  << format_double(100.0 * r.abort_rate, 2) << "% aborted)\n";
-        series = r.base.plurality_fraction;
-        converged = r.base.converged;
-        winner = r.base.winner;
-        plurality_won = r.base.plurality_won;
-        eps_time = r.base.epsilon_time;
-        consensus_time = r.base.consensus_time;
-    } else {
-        async::AsyncConfig c;
-        c.lambda = lambda;
-        c.alpha_hint = std::max(alpha, 1.05);
-        c.epsilon = args.get_double("epsilon", 0.02);
-        c.max_time = args.get_double("max-time", 3000.0);
-        c.queue_kind = queue_kind;
-        const async::AsyncResult r =
-            protocol == "sequential"
-                ? async::run_sequential_single_leader(n, k, alpha, c, seed)
-                : async::run_single_leader(n, k, alpha, c, seed);
-        std::cout << (protocol == "sequential" ? "sequential (no latencies)"
-                                               : "single-leader")
-                  << ": C1 = " << format_double(r.steps_per_unit, 2)
-                  << " steps/unit, " << r.exchanges << " exchanges\n";
-        series = r.plurality_fraction;
-        converged = r.converged;
-        winner = r.winner;
-        plurality_won = r.plurality_won;
-        eps_time = r.epsilon_time;
-        consensus_time = r.consensus_time;
-    }
-
-    std::cout << (converged ? "converged" : "time cap hit") << "; winner = opinion "
-              << winner << (plurality_won ? " (initial plurality)" : "") << "\n";
-    if (eps_time >= 0.0) {
-        std::cout << "  (1-eps)-agreement at t = " << format_double(eps_time, 1)
-                  << ", full consensus at t = "
-                  << format_double(consensus_time, 1) << "\n";
-    }
-    if (!args.get_flag("quiet")) {
-        std::cout << "  " << runner::sparkline(series) << "\n";
-    }
-    const std::string csv = args.get("csv", "");
-    if (!csv.empty()) {
-        CsvWriter writer(csv, {"time", "plurality_fraction"});
-        for (const auto& p : series.points()) {
-            writer.write_row(std::vector<double>{p.time, p.value});
+    for (const api::SweepCell& cell : cells) {
+        for (const std::string& problem : registry.check(cell.scenario)) {
+            std::cerr << "papc_cli: " << problem << " (cell";
+            for (const auto& [field, value] : cell.coordinates) {
+                std::cerr << " " << field << "=" << value;
+            }
+            std::cerr << ")\n";
+            return 1;
         }
-        std::cout << "  series written to " << csv << "\n";
     }
-    return converged ? 0 : 2;
+
+    out << "papc_cli: sweeping " << cells.size() << " cells x " << sweep.reps
+        << " reps (protocol " << sweep.base.protocol << ", base seed "
+        << sweep.base_seed << ")\n";
+    const api::SweepResult result = api::run_sweep(sweep);
+
+    if (!quiet) {
+        std::vector<std::string> headers = result.axis_names;
+        headers.insert(headers.end(),
+                       {"converged", "plurality won", "steps (mean)",
+                        "consensus t (mean)"});
+        Table table(headers);
+        for (const api::SweepCell& cell : result.cells) {
+            auto& row = table.row();
+            for (const auto& [field, value] : cell.coordinates) {
+                (void)field;
+                row.add(value);
+            }
+            row.add(cell.outcome.mean("converged"), 2)
+                .add(cell.outcome.mean("plurality_won"), 2)
+                .add(cell.outcome.mean("steps"), 0)
+                .add(cell.outcome.count("consensus_time") > 0
+                         ? format_double(cell.outcome.mean("consensus_time"),
+                                         1)
+                         : std::string("-"));
+        }
+        table.print(out);
+    }
+
+    if (!json_path.empty()) {
+        JsonWriter writer;
+        api::write_json(writer, result);
+        if (!write_json_output(json_path, writer.str())) return 1;
+    }
+    return 0;
 }
 
 }  // namespace
@@ -227,7 +244,7 @@ int run_async_family(const Args& args, const std::string& protocol,
 int main(int argc, char** argv) {
     const Args args(argc, argv);
     if (!args.ok()) {
-        std::cerr << args.error() << "\n";
+        std::cerr << "papc_cli: " << args.error() << "\n";
         usage();
         return 1;
     }
@@ -235,38 +252,112 @@ int main(int argc, char** argv) {
         usage();
         return 0;
     }
+    const bool list = args.get_flag("list-protocols");
 
-    const std::string protocol = args.get("protocol", "async");
-    const auto n = static_cast<std::size_t>(args.get_uint("n", 10000));
-    const auto k = static_cast<std::uint32_t>(args.get_uint("k", 4));
-    const double alpha = args.get_double("alpha", 1.8);
-    const std::uint64_t seed = args.get_uint("seed", 1);
-
-    std::cout << "papc_cli: protocol=" << protocol << " n=" << n << " k=" << k
-              << " alpha=" << alpha << " seed=" << seed << "\n";
-
-    const analysis::PreconditionReport preconditions =
-        analysis::check_preconditions(n, k, alpha);
-    if (!preconditions.k_in_range) {
-        std::cout << "note: k exceeds the theorem regime (k <= "
-                  << format_double(preconditions.k_bound, 1)
-                  << " at this n); results are best-effort\n";
-    }
-    if (!preconditions.alpha_sufficient) {
-        std::cout << "note: alpha is below the Theorem-1 bound "
-                  << format_double(preconditions.alpha_threshold, 3)
-                  << "; the plurality may lose\n";
+    // Build the scenario through the shared field table: every Scenario
+    // field is a flag of the same name.
+    api::Scenario scenario;
+    for (const std::string& field : api::scenario_field_names()) {
+        if (!args.has(field)) continue;
+        const std::string error =
+            api::set_field(scenario, field, args.get(field, ""));
+        if (!error.empty()) {
+            std::cerr << "papc_cli: " << error << "\n";
+            return 1;
+        }
     }
 
-    int rc;
-    if (protocol == "async" || protocol == "multi" || protocol == "validated" ||
-        protocol == "sequential") {
-        rc = run_async_family(args, protocol, n, k, alpha, seed);
-    } else {
-        rc = run_sync(args, protocol, n, k, alpha, seed);
+    // CLI-only options. All of them take a value; a bare occurrence is a
+    // mistake (e.g. "--sweep" with the spec forgotten), not a default, and
+    // the numeric ones parse strictly ("--seed banana" is an error, not
+    // seed 0) — the same contract the Scenario fields follow.
+    for (const char* key : {"seed", "sweep", "reps", "threads", "json",
+                            "csv"}) {
+        if (args.has(key) && args.get(key, "").empty()) {
+            std::cerr << "papc_cli: option --" << key
+                      << " requires a value\n";
+            return 1;
+        }
     }
-    for (const std::string& key : args.unused()) {
-        std::cerr << "warning: unused option --" << key << "\n";
+    const auto cli_u64 = [&args](const char* key, std::uint64_t fallback,
+                                 std::uint64_t* value) {
+        if (!args.has(key)) {
+            *value = fallback;
+            return true;
+        }
+        if (!try_parse_u64(args.get(key, ""), value)) {
+            std::cerr << "papc_cli: invalid value '" << args.get(key, "")
+                      << "' for option --" << key
+                      << " (expected a non-negative integer)\n";
+            return false;
+        }
+        return true;
+    };
+    std::uint64_t seed = 1;
+    std::uint64_t reps_value = 3;
+    std::uint64_t threads_value = 1;
+    if (!cli_u64("seed", 1, &seed) || !cli_u64("reps", 3, &reps_value) ||
+        !cli_u64("threads", 1, &threads_value)) {
+        return 1;
     }
-    return rc;
+    const auto reps = static_cast<std::size_t>(reps_value);
+    const auto threads = static_cast<std::size_t>(threads_value);
+    const std::string sweep_spec = args.get("sweep", "");
+    const std::string json_path = args.get("json", "");
+    const std::string csv_path = args.get("csv", "");
+    const bool quiet = args.get_flag("quiet");
+
+    // --reps/--threads only mean something to a sweep; accepting them on a
+    // single run would silently ignore them.
+    if (sweep_spec.empty()) {
+        for (const char* key : {"reps", "threads"}) {
+            if (args.has(key)) {
+                std::cerr << "papc_cli: option --" << key
+                          << " requires --sweep\n";
+                return 1;
+            }
+        }
+    }
+
+    // Everything else is a typo: fail fast instead of running a default.
+    const std::string unknown = args.unknown_option_error();
+    if (!unknown.empty()) {
+        std::cerr << "papc_cli: " << unknown << " (see --help)\n";
+        return 1;
+    }
+
+    if (list) return list_protocols();
+
+    if (!sweep_spec.empty()) {
+        if (!csv_path.empty()) {
+            // Rejected rather than silently dropped: the per-run series
+            // CSV has no sweep analogue (use --json for the table).
+            std::cerr << "papc_cli: --csv is not supported with --sweep\n";
+            return 1;
+        }
+        const api::SweepSpecParse parsed = api::parse_sweep_spec(sweep_spec);
+        if (!parsed.ok()) {
+            std::cerr << "papc_cli: " << parsed.error << "\n";
+            return 1;
+        }
+        api::Sweep sweep;
+        sweep.base = scenario;
+        // Bulk cells do not need series unless explicitly requested.
+        if (!args.has("record-series")) sweep.base.record_series = false;
+        sweep.axes = parsed.axes;
+        sweep.reps = reps > 0 ? reps : 1;
+        sweep.base_seed = seed;
+        sweep.threads = threads;
+        return run_sweep_mode(sweep, json_path, quiet);
+    }
+
+    const std::vector<std::string> problems =
+        api::ProtocolRegistry::instance().check(scenario);
+    if (!problems.empty()) {
+        for (const std::string& problem : problems) {
+            std::cerr << "papc_cli: " << problem << "\n";
+        }
+        return 1;
+    }
+    return run_single(scenario, seed, json_path, csv_path, quiet);
 }

@@ -1,64 +1,52 @@
 /// \file protocol_comparison.cpp
-/// Side-by-side demonstration of every consensus dynamics in the library on
-/// one shared workload: the paper's Algorithm 1 and the four synchronous
-/// baselines, plus the asynchronous single-leader and multi-leader
-/// protocols and the two population protocols (for k = 2).
+/// Side-by-side comparison of every consensus dynamics in the library on
+/// one shared workload — written entirely against the declarative api
+/// layer: a protocol is a name in a Scenario, a family comparison is a
+/// Sweep over the "protocol" axis, and no engine header is included.
 
 #include <iostream>
-#include <memory>
+#include <string>
 
-#include "async/simulation.hpp"
-#include "cluster/simulation.hpp"
-#include "opinion/assignment.hpp"
-#include "population/four_state.hpp"
-#include "population/three_state.hpp"
+#include "api/registry.hpp"
+#include "api/scenario.hpp"
+#include "api/sweep.hpp"
 #include "runner/report.hpp"
 #include "support/table.hpp"
-#include "sync/algorithm1.hpp"
-#include "sync/baselines.hpp"
-#include "sync/engine.hpp"
 
 int main() {
     using namespace papc;
 
-    const std::size_t n = 8192;
-    const std::uint32_t k = 4;
-    const double alpha = 1.7;
+    api::Scenario base;
+    base.n = 8192;
+    base.k = 4;
+    base.alpha = 1.7;
+    base.record_series = false;
 
-    std::cout << "protocol_comparison: n = " << n << ", k = " << k
-              << ", multiplicative bias = " << alpha << "\n\n";
+    std::cout << "protocol_comparison: n = " << base.n << ", k = " << base.k
+              << ", multiplicative bias = " << base.alpha << "\n\n";
 
-    runner::print_heading(std::cout, "synchronous dynamics (rounds)");
+    runner::print_heading(std::cout,
+                          "synchronous dynamics (rounds, mean of 3 trials)");
     {
-        Table table({"protocol", "rounds", "winner", "plurality won"});
-        for (int which = 0; which < 5; ++which) {
-            Rng rng(derive_seed(0xCAFE, which));
-            const Assignment a = make_biased_plurality(n, k, alpha, rng);
-            std::unique_ptr<sync::SyncDynamics> dyn;
-            if (which == 0) {
-                sync::ScheduleParams sp;
-                sp.n = n;
-                sp.k = k;
-                sp.alpha = alpha;
-                dyn = std::make_unique<sync::Algorithm1>(a, sync::Schedule(sp));
-            } else if (which == 1) {
-                dyn = std::make_unique<sync::TwoChoices>(a);
-            } else if (which == 2) {
-                dyn = std::make_unique<sync::ThreeMajority>(a);
-            } else if (which == 3) {
-                dyn = std::make_unique<sync::UndecidedState>(a);
-            } else {
-                dyn = std::make_unique<sync::PullVoting>(a);
-            }
-            sync::RunOptions opts;
-            opts.max_rounds = 20000;
-            const sync::SyncResult r = run_to_consensus(*dyn, rng, opts);
+        // One declarative sweep over the protocol axis replaces the old
+        // hand-rolled factory switch.
+        api::Sweep sweep;
+        sweep.base = base;
+        sweep.base.max_steps = 20000;
+        sweep.axes = {
+            {"protocol", {"sync", "two-choices", "3-majority", "undecided",
+                          "pull"}}};
+        sweep.reps = 3;
+        sweep.base_seed = 0xCAFE;
+        const api::SweepResult grid = api::run_sweep(sweep);
+
+        Table table({"protocol", "rounds (mean)", "converged", "plurality won"});
+        for (const api::SweepCell& cell : grid.cells) {
             table.row()
-                .add(dyn->name())
-                .add(r.converged ? std::to_string(r.steps)
-                                 : ">" + std::to_string(opts.max_rounds))
-                .add(r.winner)
-                .add(r.converged && r.winner == 0 ? "yes" : "no");
+                .add(cell.coordinates.front().second)
+                .add(cell.outcome.mean("steps"), 0)
+                .add(cell.outcome.mean("converged"), 2)
+                .add(cell.outcome.mean("plurality_won"), 2);
         }
         table.print(std::cout);
     }
@@ -66,31 +54,20 @@ int main() {
     runner::print_heading(std::cout, "asynchronous protocols (time steps)");
     {
         Table table({"protocol", "eps-time", "consensus", "plurality won"});
-        async::AsyncConfig ac;
-        ac.alpha_hint = alpha;
-        ac.max_time = 2500.0;
-        ac.record_series = false;
-        const async::AsyncResult sl =
-            async::run_single_leader(n, k, alpha, ac, 0xD00D);
-        table.row()
-            .add("single-leader (Alg. 2+3)")
-            .add(sl.epsilon_time, 1)
-            .add(sl.consensus_time, 1)
-            .add(sl.plurality_won ? "yes" : "no");
-
-        cluster::ClusterConfig cc;
-        cc.size_floor = 24;
-        cc.leader_probability = 1.0 / 96.0;
-        cc.alpha_hint = alpha;
-        cc.max_time = 2500.0;
-        cc.record_series = false;
-        const cluster::MultiLeaderResult ml =
-            cluster::run_multi_leader(n, k, alpha, cc, 0xD00E);
-        table.row()
-            .add("multi-leader (Alg. 4+5)")
-            .add(ml.epsilon_time, 1)
-            .add(ml.consensus_time, 1)
-            .add(ml.plurality_won ? "yes" : "no");
+        for (const std::string& protocol : {std::string("async"),
+                                            std::string("multi")}) {
+            api::Scenario scenario = base;
+            scenario.protocol = protocol;
+            scenario.max_time = 2500.0;
+            const api::ScenarioResult r =
+                api::run(scenario, protocol == "async" ? 0xD00D : 0xD00E);
+            table.row()
+                .add(protocol == "async" ? "single-leader (Alg. 2+3)"
+                                         : "multi-leader (Alg. 4+5)")
+                .add(r.run.epsilon_time, 1)
+                .add(r.run.consensus_time, 1)
+                .add(r.run.plurality_won ? "yes" : "no");
+        }
         table.print(std::cout);
     }
 
@@ -98,28 +75,26 @@ int main() {
                           "population protocols (k = 2 slice, parallel time)");
     {
         // Restrict to two opinions with the same 1.7 : 1 ratio.
-        const auto a_count = static_cast<std::size_t>(n * alpha / (1 + alpha));
-        const std::size_t b_count = n - a_count;
+        api::Scenario scenario = base;
+        scenario.k = 2;
         Table table({"protocol", "parallel time", "winner ok"});
         {
-            population::ThreeStateMajority p(a_count, b_count);
-            Rng rng(0xD010);
-            const population::PopulationResult r = run_population(p, rng);
+            scenario.protocol = "pp-3-state";
+            const api::ScenarioResult r = api::run(scenario, 0xD010);
             table.row()
                 .add("3-state approximate majority")
-                .add(r.end_time, 1)
-                .add(r.converged && r.winner == 0 ? "yes" : "no");
+                .add(r.run.end_time, 1)
+                .add(r.run.converged && r.run.winner == 0 ? "yes" : "no");
         }
         {
-            population::FourStateExactMajority p(a_count, b_count);
-            Rng rng(0xD011);
-            population::PopulationRunOptions opts;
-            opts.max_interactions = static_cast<std::uint64_t>(n) * n * 4;
-            const population::PopulationResult r = run_population(p, rng, opts);
+            scenario.protocol = "pp-4-state";
+            scenario.max_steps =
+                static_cast<std::uint64_t>(scenario.n) * scenario.n * 4;
+            const api::ScenarioResult r = api::run(scenario, 0xD011);
             table.row()
                 .add("4-state exact majority")
-                .add(r.end_time, 1)
-                .add(r.converged && r.winner == 0 ? "yes" : "no");
+                .add(r.run.end_time, 1)
+                .add(r.run.converged && r.run.winner == 0 ? "yes" : "no");
         }
         table.print(std::cout);
     }

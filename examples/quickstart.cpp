@@ -1,48 +1,63 @@
 /// \file quickstart.cpp
-/// Minimal end-to-end use of the papc public API: build a biased workload,
-/// run the paper's asynchronous single-leader protocol, inspect the result.
+/// Minimal end-to-end use of the papc public API: describe a run as an
+/// api::Scenario, execute it with api::run, inspect the unified result —
+/// and dump the whole thing as JSON for machines.
 ///
 ///   $ ./quickstart
 
 #include <iostream>
 
-#include "async/simulation.hpp"
+#include "api/registry.hpp"
+#include "api/scenario.hpp"
 #include "runner/report.hpp"
+#include "support/json_writer.hpp"
 #include "support/table.hpp"
 
 int main() {
     using namespace papc;
 
-    // 10,000 nodes, 5 opinions, opinion 0 leads every rival 1.8 : 1.
-    const std::size_t n = 10000;
-    const std::uint32_t k = 5;
-    const double alpha = 1.8;
+    // 10,000 nodes, 5 opinions, opinion 0 leads every rival 1.8 : 1,
+    // asynchronous single-leader protocol (the paper's Algorithms 2+3).
+    api::Scenario scenario;
+    scenario.protocol = "async";
+    scenario.n = 10000;
+    scenario.k = 5;
+    scenario.alpha = 1.8;
+    scenario.lambda = 1.0;  // mean channel-establishment latency = 1 step
 
-    async::AsyncConfig config;
-    config.lambda = 1.0;       // mean channel-establishment latency = 1 step
-    config.alpha_hint = alpha; // nodes know (a lower bound on) the bias
+    std::cout << "papc quickstart: " << scenario.n << " nodes, " << scenario.k
+              << " opinions, bias " << scenario.alpha << "\n\n";
 
-    std::cout << "papc quickstart: " << n << " nodes, " << k
-              << " opinions, bias " << alpha << "\n\n";
+    const api::ScenarioResult result = api::run(scenario, /*seed=*/2020);
 
-    const async::AsyncResult result =
-        async::run_single_leader(n, k, alpha, config, /*seed=*/2020);
-
-    std::cout << "converged:        " << (result.converged ? "yes" : "no") << "\n";
-    std::cout << "winning opinion:  " << result.winner
-              << (result.plurality_won ? "  (the initial plurality)" : "") << "\n";
-    std::cout << "98%-convergence:  t = " << format_double(result.epsilon_time, 1)
-              << " time steps\n";
+    std::cout << "converged:        "
+              << (result.run.converged ? "yes" : "no") << "\n";
+    std::cout << "winning opinion:  " << result.run.winner
+              << (result.run.plurality_won ? "  (the initial plurality)" : "")
+              << "\n";
+    std::cout << "98%-convergence:  t = "
+              << format_double(result.run.epsilon_time, 1) << " time steps\n";
     std::cout << "full consensus:   t = "
-              << format_double(result.consensus_time, 1) << " time steps\n";
-    std::cout << "generations used: " << result.final_top_generation << "\n";
-    std::cout << "exchanges:        " << result.exchanges << " ("
-              << result.two_choices_count << " two-choices, "
-              << result.propagation_count << " propagation promotions)\n\n";
+              << format_double(result.run.consensus_time, 1)
+              << " time steps\n";
+    std::cout << "generations used: "
+              << result.extras.at("final_top_generation") << "\n";
+    std::cout << "exchanges:        " << result.extras.at("exchanges") << " ("
+              << result.extras.at("two_choices") << " two-choices, "
+              << result.extras.at("propagation")
+              << " propagation promotions)\n\n";
 
     std::cout << "plurality support over time:\n  "
-              << runner::sparkline(result.plurality_fraction) << "\n";
-    std::cout << "leader generation over time:\n  "
-              << runner::sparkline(result.leader_generation) << "\n";
-    return result.converged && result.plurality_won ? 0 : 1;
+              << runner::sparkline(result.run.plurality_fraction) << "\n\n";
+
+    // The same result, machine-readable (series downsampled so the demo
+    // stays readable; drop the downsample for real pipelines).
+    api::ScenarioResult for_json = result;
+    for_json.run.plurality_fraction =
+        result.run.plurality_fraction.downsample(6);
+    JsonWriter writer;
+    api::write_json(writer, scenario, 2020, for_json);
+    std::cout << "as JSON:\n" << writer.str();
+
+    return result.run.converged && result.run.plurality_won ? 0 : 1;
 }

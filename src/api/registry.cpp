@@ -1,0 +1,487 @@
+#include "api/registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "async/sequential_simulation.hpp"
+#include "async/simulation.hpp"
+#include "async/validated_simulation.hpp"
+#include "cluster/clustering.hpp"
+#include "cluster/simulation.hpp"
+#include "opinion/assignment.hpp"
+#include "population/four_state.hpp"
+#include "population/k_undecided.hpp"
+#include "population/three_state.hpp"
+#include "sim/latency.hpp"
+#include "support/check.hpp"
+#include "support/random.hpp"
+#include "sync/algorithm1.hpp"
+#include "sync/baselines.hpp"
+#include "sync/engine.hpp"
+
+namespace papc::api {
+
+namespace {
+
+Assignment build_assignment(const Scenario& s, Rng& rng) {
+    switch (s.workload) {
+        case Workload::kBiased:
+            return make_biased_plurality(s.n, s.k, s.alpha, rng);
+        case Workload::kTwoFrontRunners:
+            return make_two_front_runners(s.n, s.k, s.alpha, s.tail_fraction,
+                                          rng);
+        case Workload::kAdditiveGap:
+            return make_additive_gap(s.n, s.k, s.gap > 0 ? s.gap : s.n / 10,
+                                     rng);
+        case Workload::kUniform:
+            return make_uniform(s.n, s.k, rng);
+        case Workload::kZipf:
+            return make_zipf(s.n, s.k, s.zipf_s, rng);
+    }
+    PAPC_CHECK(false);
+    return {};
+}
+
+// ------------------------------------------------------------- sync family
+
+using SyncFactory = std::unique_ptr<sync::SyncDynamics> (*)(const Scenario&,
+                                                            const Assignment&);
+
+/// Shared driver for the synchronous dynamics. The RNG scheme (run rng
+/// seeded directly, workload rng from derive_seed(seed, 1)) matches what
+/// papc_cli has always done, so historical CLI invocations reproduce.
+ScenarioResult run_sync_family(const Scenario& s, std::uint64_t seed,
+                               SyncFactory factory) {
+    Rng rng(seed);
+    Rng workload_rng(derive_seed(seed, 1));
+    const Assignment assignment = build_assignment(s, workload_rng);
+    const std::unique_ptr<sync::SyncDynamics> dynamics =
+        factory(s, assignment);
+
+    sync::RunOptions options;
+    if (s.max_steps > 0) options.max_rounds = s.max_steps;
+    options.record_every =
+        s.record_series ? (s.record_every > 0 ? s.record_every : 1) : 0;
+    options.epsilon = s.epsilon;
+    options.plurality = 0;
+
+    ScenarioResult out;
+    out.run = sync::run_to_consensus(*dynamics, rng, options);
+    return out;
+}
+
+// ------------------------------------------------------- population family
+
+const std::uint64_t kPopulationWorkloadSalt = 0xB00;
+const std::uint64_t kPopulationRunSalt = 0xB1;
+
+population::PopulationRunOptions population_options(const Scenario& s) {
+    population::PopulationRunOptions options;
+    options.max_interactions = s.max_steps;
+    options.record_every =
+        s.record_series
+            ? (s.record_every > 0 ? s.record_every : s.n)
+            : 0;
+    options.epsilon = s.epsilon;
+    options.plurality = 0;
+    return options;
+}
+
+/// Per-opinion counts of the workload assignment (the population protocols
+/// take counts, not per-node vectors; the node shuffle is irrelevant to
+/// their exchangeable dynamics).
+std::vector<std::size_t> workload_counts(const Scenario& s,
+                                         std::uint64_t seed) {
+    Rng workload_rng(derive_seed(seed, kPopulationWorkloadSalt));
+    const Assignment assignment = build_assignment(s, workload_rng);
+    std::vector<std::size_t> counts(s.k, 0);
+    for (const Opinion opinion : assignment.opinions) ++counts[opinion];
+    return counts;
+}
+
+// ------------------------------------------------------------ async family
+
+async::AsyncConfig async_config_from(const Scenario& s) {
+    async::AsyncConfig config;
+    config.lambda = s.lambda;
+    config.alpha_hint = std::max(s.alpha, 1.05);
+    config.epsilon = s.epsilon;
+    config.max_time = s.max_time;
+    config.sample_interval = s.sample_interval;
+    config.record_series = s.record_series;
+    config.queue_kind = s.queue_kind;
+    return config;
+}
+
+std::map<std::string, double> async_extras(const async::AsyncResult& r) {
+    return {
+        {"ticks", static_cast<double>(r.ticks)},
+        {"good_ticks", static_cast<double>(r.good_ticks)},
+        {"exchanges", static_cast<double>(r.exchanges)},
+        {"two_choices", static_cast<double>(r.two_choices_count)},
+        {"propagation", static_cast<double>(r.propagation_count)},
+        {"refreshes", static_cast<double>(r.refresh_count)},
+        {"final_top_generation", static_cast<double>(r.final_top_generation)},
+        {"steps_per_unit", r.steps_per_unit},
+        {"channels_opened", static_cast<double>(r.channels_opened)},
+        {"signals_delivered", static_cast<double>(r.signals_delivered)},
+        {"leader_peak_load", r.leader_peak_load},
+    };
+}
+
+const std::vector<std::string> kAsyncExtraNames = {
+    "ticks",          "good_ticks",        "exchanges",
+    "two_choices",    "propagation",       "refreshes",
+    "final_top_generation", "steps_per_unit", "channels_opened",
+    "signals_delivered", "leader_peak_load",
+};
+
+// ---------------------------------------------------------- cluster family
+
+cluster::ClusterConfig cluster_config_from(const Scenario& s) {
+    cluster::ClusterConfig config;
+    config.lambda = s.lambda;
+    config.alpha_hint = std::max(s.alpha, 1.05);
+    config.epsilon = s.epsilon;
+    config.max_time = s.max_time;
+    config.sample_interval = s.sample_interval;
+    config.record_series = s.record_series;
+    config.queue_kind = s.queue_kind;
+    return config;
+}
+
+// ----------------------------------------------------------- registration
+
+void register_builtins(ProtocolRegistry& registry) {
+    const std::vector<std::string> sync_knobs = {"max-steps", "record-every"};
+    const std::vector<std::string> population_knobs = {"max-steps",
+                                                       "record-every"};
+    const std::vector<std::string> event_knobs = {"lambda", "max-time",
+                                                  "sample-interval", "queue"};
+
+    // --- synchronous round dynamics -------------------------------------
+    registry.register_protocol(
+        ProtocolInfo{"sync", "sync",
+                     "Algorithm 1 (generation-based synchronous protocol)",
+                     {"gamma", "max-steps", "record-every"},
+                     {},
+                     2, 0},
+        [](const Scenario& s, std::uint64_t seed) {
+            return run_sync_family(
+                s, seed,
+                [](const Scenario& scenario, const Assignment& assignment)
+                    -> std::unique_ptr<sync::SyncDynamics> {
+                    sync::ScheduleParams params;
+                    params.n = scenario.n;
+                    params.k = scenario.k;
+                    params.alpha = std::max(scenario.alpha, 1.01);
+                    params.gamma = scenario.gamma;
+                    return std::make_unique<sync::Algorithm1>(
+                        assignment, sync::Schedule(params));
+                });
+        });
+    registry.register_protocol(
+        ProtocolInfo{"two-choices", "sync",
+                     "two-choices voting baseline [CER14]",
+                     sync_knobs,
+                     {},
+                     2, 0},
+        [](const Scenario& s, std::uint64_t seed) {
+            return run_sync_family(
+                s, seed,
+                [](const Scenario&, const Assignment& assignment)
+                    -> std::unique_ptr<sync::SyncDynamics> {
+                    return std::make_unique<sync::TwoChoices>(assignment);
+                });
+        });
+    registry.register_protocol(
+        ProtocolInfo{"3-majority", "sync",
+                     "3-majority baseline [BCN+14]",
+                     sync_knobs,
+                     {},
+                     2, 0},
+        [](const Scenario& s, std::uint64_t seed) {
+            return run_sync_family(
+                s, seed,
+                [](const Scenario&, const Assignment& assignment)
+                    -> std::unique_ptr<sync::SyncDynamics> {
+                    return std::make_unique<sync::ThreeMajority>(assignment);
+                });
+        });
+    registry.register_protocol(
+        ProtocolInfo{"undecided", "sync",
+                     "undecided-state dynamics baseline [AAE08, BCN+15]",
+                     sync_knobs,
+                     {},
+                     2, 0},
+        [](const Scenario& s, std::uint64_t seed) {
+            return run_sync_family(
+                s, seed,
+                [](const Scenario&, const Assignment& assignment)
+                    -> std::unique_ptr<sync::SyncDynamics> {
+                    return std::make_unique<sync::UndecidedState>(assignment);
+                });
+        });
+    registry.register_protocol(
+        ProtocolInfo{"pull", "sync",
+                     "pull-voting baseline [HP01, NIY99]",
+                     sync_knobs,
+                     {},
+                     2, 0},
+        [](const Scenario& s, std::uint64_t seed) {
+            return run_sync_family(
+                s, seed,
+                [](const Scenario&, const Assignment& assignment)
+                    -> std::unique_ptr<sync::SyncDynamics> {
+                    return std::make_unique<sync::PullVoting>(assignment);
+                });
+        });
+
+    // --- population protocols -------------------------------------------
+    registry.register_protocol(
+        ProtocolInfo{"pp-3-state", "population",
+                     "3-state approximate majority [AAE08]",
+                     population_knobs,
+                     {"blank_final"},
+                     2, 2},
+        [](const Scenario& s, std::uint64_t seed) {
+            const std::vector<std::size_t> counts = workload_counts(s, seed);
+            population::ThreeStateMajority protocol(counts[0], counts[1]);
+            Rng rng(derive_seed(seed, kPopulationRunSalt));
+            ScenarioResult out;
+            out.run = population::run_population(protocol, rng,
+                                                 population_options(s));
+            out.extras = {
+                {"blank_final", static_cast<double>(protocol.count_blank())}};
+            return out;
+        });
+    registry.register_protocol(
+        ProtocolInfo{"pp-4-state", "population",
+                     "4-state exact majority [DV10, MNRS14]",
+                     population_knobs,
+                     {"strong_difference"},
+                     2, 2},
+        [](const Scenario& s, std::uint64_t seed) {
+            const std::vector<std::size_t> counts = workload_counts(s, seed);
+            population::FourStateExactMajority protocol(counts[0], counts[1]);
+            Rng rng(derive_seed(seed, kPopulationRunSalt));
+            ScenarioResult out;
+            out.run = population::run_population(protocol, rng,
+                                                 population_options(s));
+            out.extras = {{"strong_difference",
+                           static_cast<double>(protocol.strong_difference())}};
+            return out;
+        });
+    registry.register_protocol(
+        ProtocolInfo{"pp-undecided", "population",
+                     "k-opinion undecided-state population protocol [BCN+15]",
+                     population_knobs,
+                     {"undecided_final"},
+                     2, 0},
+        [](const Scenario& s, std::uint64_t seed) {
+            const std::vector<std::size_t> counts = workload_counts(s, seed);
+            population::KUndecided protocol(counts);
+            Rng rng(derive_seed(seed, kPopulationRunSalt));
+            ScenarioResult out;
+            out.run = population::run_population(protocol, rng,
+                                                 population_options(s));
+            out.extras = {
+                {"undecided_final",
+                 static_cast<double>(protocol.undecided_count())}};
+            return out;
+        });
+
+    // --- asynchronous single-leader family ------------------------------
+    registry.register_protocol(
+        ProtocolInfo{"async", "async",
+                     "asynchronous single-leader protocol (Algorithms 2+3)",
+                     event_knobs, kAsyncExtraNames, 2, 0},
+        [](const Scenario& s, std::uint64_t seed) {
+            // Same seed salts as async::run_single_leader, so the biased
+            // workload reproduces it bit-for-bit (pinned by the api tests).
+            Rng workload_rng(derive_seed(seed, 0xA551));
+            const Assignment assignment = build_assignment(s, workload_rng);
+            async::SingleLeaderSimulation simulation(
+                assignment, async_config_from(s), derive_seed(seed, 0x51));
+            const async::AsyncResult r = simulation.run();
+            return ScenarioResult{r, async_extras(r)};
+        });
+    registry.register_protocol(
+        ProtocolInfo{"sequential", "async",
+                     "sequentialized single-leader reference (instant channels)",
+                     {"max-time", "sample-interval"},
+                     kAsyncExtraNames, 2, 0},
+        [](const Scenario& s, std::uint64_t seed) {
+            Rng workload_rng(derive_seed(seed, 0xA553));
+            const Assignment assignment = build_assignment(s, workload_rng);
+            async::SequentialSingleLeaderSimulation simulation(
+                assignment, async_config_from(s), derive_seed(seed, 0x53));
+            const async::AsyncResult r = simulation.run();
+            return ScenarioResult{r, async_extras(r)};
+        });
+    registry.register_protocol(
+        ProtocolInfo{"validated", "async",
+                     "single-leader with validated commits under message "
+                     "latencies (Section 5)",
+                     {"lambda", "msg-rate", "max-time", "sample-interval",
+                      "queue"},
+                     [] {
+                         std::vector<std::string> names = kAsyncExtraNames;
+                         names.insert(names.end(),
+                                      {"commits", "aborts", "abort_rate"});
+                         return names;
+                     }(),
+                     2, 0},
+        [](const Scenario& s, std::uint64_t seed) {
+            Rng workload_rng(derive_seed(seed, 0xA552));
+            const Assignment assignment = build_assignment(s, workload_rng);
+            async::ValidatedSingleLeaderSimulation simulation(
+                assignment, async_config_from(s),
+                sim::make_exponential_latency(s.lambda),
+                sim::make_exponential_latency(s.msg_rate),
+                derive_seed(seed, 0x52));
+            const async::ValidatedResult r = simulation.run();
+            ScenarioResult out{r.base, async_extras(r.base)};
+            out.extras["commits"] = static_cast<double>(r.commits);
+            out.extras["aborts"] = static_cast<double>(r.aborts);
+            out.extras["abort_rate"] = r.abort_rate;
+            return out;
+        });
+
+    // --- decentralized multi-leader protocol ----------------------------
+    registry.register_protocol(
+        ProtocolInfo{"multi", "cluster",
+                     "decentralized multi-leader protocol (Algorithms 4+5)",
+                     event_knobs,
+                     {"clustering_time", "active_clusters",
+                      "fraction_clustered", "finished_fraction", "ticks",
+                      "exchanges", "two_choices", "propagation",
+                      "finished_adoptions", "final_top_generation",
+                      "signals_delivered", "leader_peak_load", "total_time"},
+                     2, 0},
+        [](const Scenario& s, std::uint64_t seed) {
+            // Same seed salts as cluster::run_multi_leader (bit-identical
+            // for the biased workload).
+            Rng workload_rng(derive_seed(seed, 0xC1A0));
+            const Assignment assignment = build_assignment(s, workload_rng);
+            const cluster::ClusterConfig config = cluster_config_from(s);
+            Rng clustering_rng(derive_seed(seed, 0xC1A1));
+            cluster::ClusteringResult clustering =
+                cluster::run_clustering(s.n, config, clustering_rng);
+            cluster::MultiLeaderSimulation simulation(
+                assignment, std::move(clustering), config,
+                derive_seed(seed, 0xC1A2));
+            const cluster::MultiLeaderResult r = simulation.run();
+            ScenarioResult out;
+            out.run = r;
+            out.extras = {
+                {"clustering_time", r.clustering_time},
+                {"active_clusters",
+                 static_cast<double>(r.clustering.num_active)},
+                {"fraction_clustered", r.clustering.fraction_clustered},
+                {"finished_fraction", r.finished_fraction},
+                {"ticks", static_cast<double>(r.ticks)},
+                {"exchanges", static_cast<double>(r.exchanges)},
+                {"two_choices", static_cast<double>(r.two_choices_count)},
+                {"propagation", static_cast<double>(r.propagation_count)},
+                {"finished_adoptions",
+                 static_cast<double>(r.finished_adoptions)},
+                {"final_top_generation",
+                 static_cast<double>(r.final_top_generation)},
+                {"signals_delivered",
+                 static_cast<double>(r.signals_delivered)},
+                {"leader_peak_load", r.leader_peak_load},
+                {"total_time", r.total_time()},
+            };
+            return out;
+        });
+}
+
+}  // namespace
+
+ProtocolRegistry& ProtocolRegistry::instance() {
+    static ProtocolRegistry* registry = [] {
+        auto* built = new ProtocolRegistry();
+        register_builtins(*built);
+        return built;
+    }();
+    return *registry;
+}
+
+void ProtocolRegistry::register_protocol(ProtocolInfo info, RunFn fn) {
+    PAPC_CHECK(!info.name.empty());
+    PAPC_CHECK(find(info.name) == nullptr);
+    PAPC_CHECK(fn != nullptr);
+    entries_.push_back(Entry{std::move(info), std::move(fn)});
+}
+
+const ProtocolInfo* ProtocolRegistry::find(const std::string& name) const {
+    for (const Entry& entry : entries_) {
+        if (entry.info.name == name) return &entry.info;
+    }
+    return nullptr;
+}
+
+std::vector<std::string> ProtocolRegistry::names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const Entry& entry : entries_) out.push_back(entry.info.name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+ScenarioResult ProtocolRegistry::run(const Scenario& scenario,
+                                     std::uint64_t seed) const {
+    PAPC_CHECK(check(scenario).empty());
+    for (const Entry& entry : entries_) {
+        if (entry.info.name == scenario.protocol) {
+            return entry.fn(scenario, seed);
+        }
+    }
+    PAPC_CHECK(false);
+    ScenarioResult unreachable;
+    return unreachable;
+}
+
+std::vector<std::string> ProtocolRegistry::check(
+    const Scenario& scenario) const {
+    std::vector<std::string> problems = validate(scenario);
+    const ProtocolInfo* info = find(scenario.protocol);
+    if (info == nullptr) {
+        problems.push_back("unknown protocol '" + scenario.protocol +
+                           "' (see --list-protocols)");
+        return problems;
+    }
+    if (scenario.k < info->min_k ||
+        (info->max_k > 0 && scenario.k > info->max_k)) {
+        problems.push_back(
+            "protocol '" + info->name + "' requires k in [" +
+            std::to_string(info->min_k) + ", " +
+            (info->max_k > 0 ? std::to_string(info->max_k) : "inf") +
+            "], got " + std::to_string(scenario.k));
+    }
+    return problems;
+}
+
+ScenarioResult run(const Scenario& scenario, std::uint64_t seed) {
+    return ProtocolRegistry::instance().run(scenario, seed);
+}
+
+void write_json(JsonWriter& writer, const Scenario& scenario,
+                std::uint64_t seed, const ScenarioResult& result) {
+    writer.begin_object();
+    writer.key("scenario");
+    write_json(writer, scenario);
+    writer.kv("seed", seed);
+    writer.key("result");
+    core::write_json(writer, result.run);
+    writer.key("extras");
+    writer.begin_object();
+    for (const auto& [name, value] : result.extras) {
+        writer.kv(name, value);
+    }
+    writer.end_object();
+    writer.end_object();
+}
+
+}  // namespace papc::api

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "support/check.hpp"
+#include "support/parse.hpp"
 
 namespace papc::core {
 
@@ -39,19 +40,15 @@ void append_double(std::ostringstream& out, const char* key, double value) {
 }
 
 double parse_double(const std::string& token) {
-    char* end = nullptr;
-    const double value = std::strtod(token.c_str(), &end);
-    // Reject both trailing garbage and empty tokens (strtod consumes
-    // nothing from "" yet leaves *end == '\0').
-    PAPC_CHECK(end != token.c_str() && end != nullptr && *end == '\0');
+    double value = 0.0;
+    PAPC_CHECK(try_parse_double(token, &value));
     return value;
 }
 
 std::uint64_t parse_u64(const std::string& token) {
-    char* end = nullptr;
-    const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
-    PAPC_CHECK(end != token.c_str() && end != nullptr && *end == '\0');
-    return static_cast<std::uint64_t>(value);
+    std::uint64_t value = 0;
+    PAPC_CHECK(try_parse_u64(token, &value));
+    return value;
 }
 
 }  // namespace
@@ -125,6 +122,72 @@ RunResult deserialize(const std::string& text) {
             result.plurality_fraction.record(parse_double(t), parse_double(v));
         }
         // Unknown keys: skip (forward compatibility).
+    }
+    return result;
+}
+
+void write_json(JsonWriter& writer, const RunResult& result) {
+    writer.begin_object();
+    writer.kv("converged", result.converged);
+    writer.kv("winner", static_cast<std::uint64_t>(result.winner));
+    writer.kv("plurality_won", result.plurality_won);
+    writer.kv("epsilon_time", result.epsilon_time);
+    writer.kv("consensus_time", result.consensus_time);
+    writer.kv("end_time", result.end_time);
+    writer.kv("steps", result.steps);
+    writer.key("series");
+    writer.begin_object();
+    writer.kv("name", result.plurality_fraction.name());
+    writer.key("points");
+    writer.begin_array();
+    for (const TimePoint& p : result.plurality_fraction.points()) {
+        writer.begin_array();
+        writer.value(p.time);
+        writer.value(p.value);
+        writer.end_array();
+    }
+    writer.end_array();
+    writer.end_object();
+    writer.end_object();
+}
+
+std::string to_json(const RunResult& result) {
+    JsonWriter writer;
+    write_json(writer, result);
+    return writer.str();
+}
+
+RunResult run_result_from_json(const JsonValue& value) {
+    PAPC_CHECK(value.is_object());
+    RunResult result;
+    if (const JsonValue* v = value.find("converged")) {
+        result.converged = v->as_bool();
+    }
+    if (const JsonValue* v = value.find("winner")) {
+        result.winner = static_cast<Opinion>(v->as_number());
+    }
+    if (const JsonValue* v = value.find("plurality_won")) {
+        result.plurality_won = v->as_bool();
+    }
+    result.epsilon_time = value.number_or("epsilon_time", result.epsilon_time);
+    result.consensus_time =
+        value.number_or("consensus_time", result.consensus_time);
+    result.end_time = value.number_or("end_time", result.end_time);
+    if (const JsonValue* v = value.find("steps")) {
+        result.steps = static_cast<std::uint64_t>(v->as_number());
+    }
+    if (const JsonValue* series = value.find("series")) {
+        PAPC_CHECK(series->is_object());
+        std::string name;
+        if (const JsonValue* v = series->find("name")) name = v->as_string();
+        result.plurality_fraction = TimeSeries(name);
+        if (const JsonValue* points = series->find("points")) {
+            for (const JsonValue& point : points->elements()) {
+                PAPC_CHECK(point.is_array() && point.size() == 2);
+                result.plurality_fraction.record(point[0].as_number(),
+                                                 point[1].as_number());
+            }
+        }
     }
     return result;
 }

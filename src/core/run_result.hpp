@@ -18,6 +18,8 @@
 #include <string>
 
 #include "opinion/types.hpp"
+#include "support/json_value.hpp"
+#include "support/json_writer.hpp"
 #include "support/timeseries.hpp"
 
 namespace papc::core {
@@ -47,5 +49,19 @@ struct RunResult {
 /// Parses the output of serialize(). Unknown keys are ignored so the format
 /// can grow; malformed numeric fields fail a PAPC_CHECK.
 [[nodiscard]] RunResult deserialize(const std::string& text);
+
+/// Emits the result as one JSON object. Scalar fields use their struct
+/// names; the series becomes {"name": ..., "points": [[time, value], ...]}.
+/// Doubles are written with round-trip precision, so
+/// run_result_from_json(parse) reproduces the result exactly.
+void write_json(JsonWriter& writer, const RunResult& result);
+
+/// Convenience: the JSON document for one result.
+[[nodiscard]] std::string to_json(const RunResult& result);
+
+/// Rebuilds a result from the output of write_json. Missing members keep
+/// their defaults (forward compatibility); wrong member types fail a
+/// PAPC_CHECK.
+[[nodiscard]] RunResult run_result_from_json(const JsonValue& value);
 
 }  // namespace papc::core

@@ -101,4 +101,27 @@ ExperimentOutcome run_result_experiment(const RunResultFn& trial,
     return run_experiment_parallel(metrics_trial, reps, base_seed, threads);
 }
 
+void write_json(JsonWriter& writer, const ExperimentOutcome& outcome) {
+    writer.begin_object();
+    writer.kv("repetitions", static_cast<std::uint64_t>(outcome.repetitions));
+    writer.key("metrics");
+    writer.begin_object();
+    for (const auto& [name, summary] : outcome.metrics) {
+        writer.key(name);
+        writer.begin_object();
+        writer.kv("count", static_cast<std::uint64_t>(summary.count));
+        writer.kv("mean", summary.mean);
+        writer.kv("stddev", summary.stddev);
+        writer.kv("min", summary.min);
+        writer.kv("max", summary.max);
+        writer.kv("p10", summary.p10);
+        writer.kv("p50", summary.p50);
+        writer.kv("p90", summary.p90);
+        writer.kv("p99", summary.p99);
+        writer.end_object();
+    }
+    writer.end_object();
+    writer.end_object();
+}
+
 }  // namespace papc::runner

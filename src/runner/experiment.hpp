@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/run_result.hpp"
+#include "support/json_writer.hpp"
 #include "support/random.hpp"
 #include "support/stats.hpp"
 
@@ -67,5 +68,10 @@ using RunResultFn = std::function<core::RunResult(std::uint64_t seed)>;
                                                       std::size_t reps,
                                                       std::uint64_t base_seed,
                                                       std::size_t threads = 1);
+
+/// Emits the aggregated outcome as one JSON object:
+/// {"repetitions": R, "metrics": {name: {count, mean, stddev, min, max,
+/// p10, p50, p90, p99}, ...}}. Metric order follows the map (sorted).
+void write_json(JsonWriter& writer, const ExperimentOutcome& outcome);
 
 }  // namespace papc::runner

@@ -28,6 +28,11 @@
 /// Select an implementation with QueueKind (queue_kind.hpp) through
 /// make_scheduler_queue(); engine configs (async::AsyncConfig,
 /// cluster::ClusterConfig) thread the knob to their simulations.
+///
+/// This header is the single home of the queue types: the legacy
+/// sim/event_queue.hpp compatibility alias (EventQueue = BinaryHeapQueue)
+/// was folded in here and then retired once its last consumer moved to
+/// the interface.
 
 #include <algorithm>
 #include <cstdint>

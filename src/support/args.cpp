@@ -74,4 +74,14 @@ std::vector<std::string> Args::unused() const {
     return out;
 }
 
+std::string Args::unknown_option_error() const {
+    const std::vector<std::string> unknown = unused();
+    if (unknown.empty()) return {};
+    std::string out = unknown.size() == 1 ? "unknown option" : "unknown options";
+    for (std::size_t i = 0; i < unknown.size(); ++i) {
+        out += (i == 0 ? " --" : ", --") + unknown[i];
+    }
+    return out;
+}
+
 }  // namespace papc

@@ -37,6 +37,13 @@ public:
     /// Options that were parsed but never queried — typo detection.
     [[nodiscard]] std::vector<std::string> unused() const;
 
+    /// Strict typo rejection: after querying every option the binary
+    /// understands, call this — a non-empty return is a ready-to-print
+    /// error naming each unrecognized option ("unknown option --lamda").
+    /// Binaries should fail fast on it instead of silently running with
+    /// defaults.
+    [[nodiscard]] std::string unknown_option_error() const;
+
 private:
     std::map<std::string, std::string> values_;
     mutable std::map<std::string, bool> queried_;

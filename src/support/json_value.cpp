@@ -1,0 +1,362 @@
+#include "support/json_value.hpp"
+
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace papc {
+
+JsonValue JsonValue::make_bool(bool v) {
+    JsonValue out;
+    out.type_ = Type::kBool;
+    out.bool_ = v;
+    return out;
+}
+
+JsonValue JsonValue::make_number(double v) {
+    JsonValue out;
+    out.type_ = Type::kNumber;
+    out.number_ = v;
+    return out;
+}
+
+JsonValue JsonValue::make_string(std::string v) {
+    JsonValue out;
+    out.type_ = Type::kString;
+    out.string_ = std::move(v);
+    return out;
+}
+
+JsonValue JsonValue::make_array() {
+    JsonValue out;
+    out.type_ = Type::kArray;
+    return out;
+}
+
+JsonValue JsonValue::make_object() {
+    JsonValue out;
+    out.type_ = Type::kObject;
+    return out;
+}
+
+bool JsonValue::as_bool() const {
+    PAPC_CHECK(is_bool());
+    return bool_;
+}
+
+double JsonValue::as_number() const {
+    PAPC_CHECK(is_number());
+    return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+    PAPC_CHECK(is_string());
+    return string_;
+}
+
+std::size_t JsonValue::size() const {
+    PAPC_CHECK(is_array() || is_object());
+    return is_array() ? elements_.size() : members_.size();
+}
+
+const JsonValue& JsonValue::operator[](std::size_t i) const {
+    PAPC_CHECK(is_array() && i < elements_.size());
+    return elements_[i];
+}
+
+const std::vector<JsonValue>& JsonValue::elements() const {
+    PAPC_CHECK(is_array());
+    return elements_;
+}
+
+void JsonValue::append(JsonValue element) {
+    PAPC_CHECK(is_array());
+    elements_.push_back(std::move(element));
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+    PAPC_CHECK(is_object());
+    return members_;
+}
+
+const JsonValue* JsonValue::find(const std::string& name) const {
+    PAPC_CHECK(is_object());
+    for (const auto& [key, value] : members_) {
+        if (key == name) return &value;
+    }
+    return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& name) const {
+    const JsonValue* found = find(name);
+    PAPC_CHECK(found != nullptr);
+    return *found;
+}
+
+void JsonValue::set(std::string name, JsonValue value) {
+    PAPC_CHECK(is_object());
+    members_.emplace_back(std::move(name), std::move(value));
+}
+
+double JsonValue::number_or(const std::string& name, double fallback) const {
+    const JsonValue* found = find(name);
+    if (found == nullptr || found->is_null()) return fallback;
+    return found->as_number();
+}
+
+namespace {
+
+constexpr std::size_t kMaxDepth = 256;
+
+class Parser {
+public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    JsonParseResult run() {
+        JsonParseResult out;
+        out.value = parse_value(0);
+        if (!error_.empty()) {
+            out.error = error_;
+            return out;
+        }
+        skip_whitespace();
+        if (pos_ != text_.size()) fail("trailing characters after document");
+        out.error = error_;
+        return out;
+    }
+
+private:
+    void fail(const std::string& message) {
+        if (error_.empty()) {
+            error_ = "offset " + std::to_string(pos_) + ": " + message;
+        }
+    }
+
+    void skip_whitespace() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    [[nodiscard]] bool consume(char expected) {
+        if (pos_ < text_.size() && text_[pos_] == expected) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    [[nodiscard]] bool consume_literal(const char* literal) {
+        std::size_t i = 0;
+        while (literal[i] != '\0') {
+            if (pos_ + i >= text_.size() || text_[pos_ + i] != literal[i]) {
+                return false;
+            }
+            ++i;
+        }
+        pos_ += i;
+        return true;
+    }
+
+    JsonValue parse_value(std::size_t depth) {
+        if (depth > kMaxDepth) {
+            fail("nesting too deep");
+            return JsonValue();
+        }
+        skip_whitespace();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return JsonValue();
+        }
+        const char c = text_[pos_];
+        if (c == '{') return parse_object(depth);
+        if (c == '[') return parse_array(depth);
+        if (c == '"') return JsonValue::make_string(parse_string());
+        if (consume_literal("null")) return JsonValue::make_null();
+        if (consume_literal("true")) return JsonValue::make_bool(true);
+        if (consume_literal("false")) return JsonValue::make_bool(false);
+        return parse_number();
+    }
+
+    JsonValue parse_object(std::size_t depth) {
+        JsonValue out = JsonValue::make_object();
+        ++pos_;  // '{'
+        skip_whitespace();
+        if (consume('}')) return out;
+        for (;;) {
+            skip_whitespace();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                fail("expected object key");
+                return out;
+            }
+            std::string key = parse_string();
+            if (!error_.empty()) return out;
+            skip_whitespace();
+            if (!consume(':')) {
+                fail("expected ':' after object key");
+                return out;
+            }
+            out.set(std::move(key), parse_value(depth + 1));
+            if (!error_.empty()) return out;
+            skip_whitespace();
+            if (consume(',')) continue;
+            if (consume('}')) return out;
+            fail("expected ',' or '}' in object");
+            return out;
+        }
+    }
+
+    JsonValue parse_array(std::size_t depth) {
+        JsonValue out = JsonValue::make_array();
+        ++pos_;  // '['
+        skip_whitespace();
+        if (consume(']')) return out;
+        for (;;) {
+            out.append(parse_value(depth + 1));
+            if (!error_.empty()) return out;
+            skip_whitespace();
+            if (consume(',')) continue;
+            if (consume(']')) return out;
+            fail("expected ',' or ']' in array");
+            return out;
+        }
+    }
+
+    std::string parse_string() {
+        std::string out;
+        ++pos_;  // opening '"'
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("unescaped control character in string");
+                return out;
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) break;
+            const char escape = text_[pos_++];
+            switch (escape) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    const unsigned code = parse_hex4();
+                    if (!error_.empty()) return out;
+                    append_utf8(out, code);
+                    break;
+                }
+                default:
+                    fail("invalid escape sequence");
+                    return out;
+            }
+        }
+        fail("unterminated string");
+        return out;
+    }
+
+    unsigned parse_hex4() {
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size()) {
+                fail("truncated \\u escape");
+                return 0;
+            }
+            const char c = text_[pos_++];
+            code <<= 4;
+            if (c >= '0' && c <= '9') {
+                code |= static_cast<unsigned>(c - '0');
+            } else if (c >= 'a' && c <= 'f') {
+                code |= static_cast<unsigned>(c - 'a' + 10);
+            } else if (c >= 'A' && c <= 'F') {
+                code |= static_cast<unsigned>(c - 'A' + 10);
+            } else {
+                fail("invalid \\u escape digit");
+                return 0;
+            }
+        }
+        return code;
+    }
+
+    /// Encodes a BMP code point as UTF-8 (surrogate pairs are passed
+    /// through as two separate 3-byte encodings — fine for the identifiers
+    /// and metric names this library emits).
+    static void append_utf8(std::string& out, unsigned code) {
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+    }
+
+    JsonValue parse_number() {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+        const std::size_t digits_start = pos_;
+        while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+            ++pos_;
+        }
+        if (pos_ == digits_start) {
+            pos_ = start;
+            fail("expected a value");
+            return JsonValue();
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            const std::size_t frac_start = pos_;
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9') {
+                ++pos_;
+            }
+            if (pos_ == frac_start) {
+                fail("expected digits after decimal point");
+                return JsonValue();
+            }
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-')) {
+                ++pos_;
+            }
+            const std::size_t exp_start = pos_;
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9') {
+                ++pos_;
+            }
+            if (pos_ == exp_start) {
+                fail("expected digits in exponent");
+                return JsonValue();
+            }
+        }
+        const std::string token = text_.substr(start, pos_ - start);
+        return JsonValue::make_number(std::strtod(token.c_str(), nullptr));
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+}  // namespace
+
+JsonParseResult parse_json(const std::string& text) {
+    return Parser(text).run();
+}
+
+}  // namespace papc

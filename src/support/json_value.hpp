@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file json_value.hpp
+/// Minimal JSON document model + recursive-descent parser — the reading
+/// half of the support/json pair (json_writer.hpp emits). Used by the
+/// round-trip tests and by anything that wants to consume the CLI's
+/// machine-readable output without external dependencies.
+///
+/// Numbers are doubles (like JavaScript); object member order is preserved.
+/// parse_json() reports the first error with its byte offset instead of
+/// aborting, so it is safe on untrusted input.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace papc {
+
+class JsonValue {
+public:
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    JsonValue() = default;
+
+    static JsonValue make_null() { return JsonValue(); }
+    static JsonValue make_bool(bool v);
+    static JsonValue make_number(double v);
+    static JsonValue make_string(std::string v);
+    static JsonValue make_array();
+    static JsonValue make_object();
+
+    [[nodiscard]] Type type() const { return type_; }
+    [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+    [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+    [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+    [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+    [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+    [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+    /// Typed accessors; PAPC_CHECK on type mismatch.
+    [[nodiscard]] bool as_bool() const;
+    [[nodiscard]] double as_number() const;
+    [[nodiscard]] const std::string& as_string() const;
+
+    /// Array access.
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] const JsonValue& operator[](std::size_t i) const;
+    [[nodiscard]] const std::vector<JsonValue>& elements() const;
+    void append(JsonValue element);
+
+    /// Object access. find() returns nullptr when the key is absent;
+    /// at() PAPC_CHECKs presence.
+    [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+    members() const;
+    [[nodiscard]] const JsonValue* find(const std::string& name) const;
+    [[nodiscard]] const JsonValue& at(const std::string& name) const;
+    void set(std::string name, JsonValue value);
+
+    /// Lenient numeric read: the member's number, or `fallback` when the
+    /// member is absent or null (the writer emits null for non-finite).
+    [[nodiscard]] double number_or(const std::string& name,
+                                   double fallback) const;
+
+private:
+    Type type_ = Type::kNull;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> elements_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+struct JsonParseResult {
+    JsonValue value;
+    std::string error;  ///< empty on success, else "offset N: message"
+
+    [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed,
+/// trailing garbage is an error). Nesting depth is capped at 256.
+[[nodiscard]] JsonParseResult parse_json(const std::string& text);
+
+}  // namespace papc

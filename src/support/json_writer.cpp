@@ -1,0 +1,162 @@
+#include "support/json_writer.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace papc {
+
+namespace {
+constexpr std::size_t kIndentWidth = 2;
+}  // namespace
+
+void JsonWriter::indent() {
+    out_ += '\n';
+    out_.append(stack_.size() * kIndentWidth, ' ');
+}
+
+void JsonWriter::prepare_for_value() {
+    if (stack_.empty()) {
+        // Root context: exactly one value allowed (checked in str()).
+        ++root_values_;
+        return;
+    }
+    Frame& frame = stack_.back();
+    if (frame.is_object) {
+        // A bare value inside an object is only legal right after key().
+        PAPC_CHECK(!frame.expects_key);
+        frame.expects_key = true;
+        return;
+    }
+    if (frame.count > 0) out_ += ',';
+    indent();
+    ++frame.count;
+}
+
+void JsonWriter::key(const std::string& name) {
+    PAPC_CHECK(!stack_.empty() && stack_.back().is_object);
+    Frame& frame = stack_.back();
+    PAPC_CHECK(frame.expects_key);
+    if (frame.count > 0) out_ += ',';
+    indent();
+    ++frame.count;
+    frame.expects_key = false;
+    raw(escape(name));
+    raw(": ");
+}
+
+void JsonWriter::begin_object() {
+    prepare_for_value();
+    raw("{");
+    stack_.push_back(Frame{true, true, 0});
+}
+
+void JsonWriter::end_object() {
+    PAPC_CHECK(!stack_.empty() && stack_.back().is_object);
+    PAPC_CHECK(stack_.back().expects_key);  // no dangling key
+    const std::size_t members = stack_.back().count;
+    stack_.pop_back();
+    if (members > 0) indent();
+    raw("}");
+}
+
+void JsonWriter::begin_array() {
+    prepare_for_value();
+    raw("[");
+    stack_.push_back(Frame{false, false, 0});
+}
+
+void JsonWriter::end_array() {
+    PAPC_CHECK(!stack_.empty() && !stack_.back().is_object);
+    const std::size_t elements = stack_.back().count;
+    stack_.pop_back();
+    if (elements > 0) indent();
+    raw("]");
+}
+
+void JsonWriter::value(const std::string& text) {
+    prepare_for_value();
+    raw(escape(text));
+}
+
+void JsonWriter::value(const char* text) { value(std::string(text)); }
+
+void JsonWriter::value(double number) {
+    prepare_for_value();
+    raw(format_double(number));
+}
+
+void JsonWriter::value(bool boolean) {
+    prepare_for_value();
+    raw(boolean ? "true" : "false");
+}
+
+void JsonWriter::value(std::uint64_t number) {
+    prepare_for_value();
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%" PRIu64, number);
+    raw(buffer);
+}
+
+void JsonWriter::value(std::int64_t number) {
+    prepare_for_value();
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%" PRId64, number);
+    raw(buffer);
+}
+
+void JsonWriter::null_value() {
+    prepare_for_value();
+    raw("null");
+}
+
+std::string JsonWriter::str() const {
+    PAPC_CHECK(stack_.empty());
+    PAPC_CHECK(root_values_ == 1);
+    return out_ + "\n";
+}
+
+std::string JsonWriter::escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size() + 2);
+    out += '"';
+    for (const char c : text) {
+        const auto byte = static_cast<unsigned char>(c);
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (byte < 0x20) {
+                    char buffer[8];
+                    std::snprintf(buffer, sizeof(buffer), "\\u%04x", byte);
+                    out += buffer;
+                } else {
+                    out += c;  // UTF-8 passes through unchanged
+                }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string JsonWriter::format_double(double number) {
+    if (!std::isfinite(number)) return "null";
+    // Shortest precision in {15, 16, 17} digits that round-trips: 15 keeps
+    // human-friendly forms (0.1 stays "0.1"), 17 is always exact.
+    char buffer[64];
+    for (int precision = 15; precision <= 17; ++precision) {
+        std::snprintf(buffer, sizeof(buffer), "%.*g", precision, number);
+        if (std::strtod(buffer, nullptr) == number) break;
+    }
+    return buffer;
+}
+
+}  // namespace papc

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file json_writer.hpp
+/// Minimal streaming JSON emitter — no external dependencies. Produces
+/// pretty-printed, strictly valid JSON (RFC 8259): strings are escaped,
+/// doubles are written with the shortest representation that parses back
+/// to the same value (so emit -> parse round-trips exactly), and
+/// non-finite doubles (which JSON cannot represent) become null.
+///
+/// Usage is push-style; the writer tracks the object/array nesting and
+/// inserts separators itself:
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("n");      w.value(std::uint64_t{10000});
+///   w.key("series"); w.begin_array();
+///   w.value(0.5);    w.value(1.0);
+///   w.end_array();
+///   w.end_object();
+///   std::string text = w.str();
+///
+/// Misuse (a key outside an object, a value where a key is expected,
+/// unbalanced begin/end) fails a PAPC_CHECK.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace papc {
+
+class JsonWriter {
+public:
+    void begin_object();
+    void end_object();
+    void begin_array();
+    void end_array();
+
+    /// Emits the key of the next object member; must be inside an object.
+    void key(const std::string& name);
+
+    void value(const std::string& text);
+    void value(const char* text);
+    void value(double number);
+    void value(bool boolean);
+    void value(std::uint64_t number);
+    void value(std::int64_t number);
+    void value(int number) { value(static_cast<std::int64_t>(number)); }
+    void null_value();
+
+    /// Convenience: key + value in one call.
+    template <typename T>
+    void kv(const std::string& name, const T& v) {
+        key(name);
+        value(v);
+    }
+
+    /// The finished document; every begin must have been ended and exactly
+    /// one root value written.
+    [[nodiscard]] std::string str() const;
+
+    /// Escapes one string to a quoted JSON string literal.
+    [[nodiscard]] static std::string escape(const std::string& text);
+
+    /// Shortest decimal form of `number` that strtod parses back to the
+    /// identical bits; "null" for non-finite values.
+    [[nodiscard]] static std::string format_double(double number);
+
+private:
+    struct Frame {
+        bool is_object = false;
+        bool expects_key = false;  ///< object: next token must be a key
+        std::size_t count = 0;     ///< members/elements written so far
+    };
+
+    /// Writes separators/indentation before a value (or key) and updates
+    /// the frame state.
+    void prepare_for_value();
+    void indent();
+    void raw(const std::string& text) { out_ += text; }
+
+    std::vector<Frame> stack_;
+    std::string out_;
+    std::size_t root_values_ = 0;
+};
+
+}  // namespace papc

@@ -1,0 +1,48 @@
+#include "support/parse.hpp"
+
+#include <cstdlib>
+
+namespace papc {
+
+bool try_parse_u64(const std::string& text, std::uint64_t* out) {
+    if (text.empty()) return false;
+    if (text.front() == '-') return false;  // strtoull silently wraps
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0') return false;
+    *out = static_cast<std::uint64_t>(value);
+    return true;
+}
+
+bool try_parse_i64(const std::string& text, std::int64_t* out) {
+    if (text.empty()) return false;
+    char* end = nullptr;
+    const long long value = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0') return false;
+    *out = static_cast<std::int64_t>(value);
+    return true;
+}
+
+bool try_parse_double(const std::string& text, double* out) {
+    if (text.empty()) return false;
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0') return false;
+    *out = value;
+    return true;
+}
+
+bool try_parse_bool(const std::string& text, bool* out) {
+    if (text.empty() || text == "1" || text == "true" || text == "yes" ||
+        text == "on") {
+        *out = true;
+        return true;
+    }
+    if (text == "0" || text == "false" || text == "no" || text == "off") {
+        *out = false;
+        return true;
+    }
+    return false;
+}
+
+}  // namespace papc

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file parse.hpp
+/// Strict whole-token string-to-number/bool parsing shared by every layer
+/// that consumes user-typed values (Scenario fields, sweep-axis ranges,
+/// config files). Unlike the lenient Args getters (which fall back to a
+/// default), these reject trailing garbage, empty tokens and — for the
+/// unsigned form — negative inputs that strtoull would silently wrap, so
+/// callers can turn a typo into an error instead of a default.
+
+#include <cstdint>
+#include <string>
+
+namespace papc {
+
+/// Parses a full non-negative decimal token; false on empty input,
+/// trailing garbage, or a leading '-'.
+[[nodiscard]] bool try_parse_u64(const std::string& text, std::uint64_t* out);
+
+/// Parses a full signed decimal token; false on empty input or garbage.
+[[nodiscard]] bool try_parse_i64(const std::string& text, std::int64_t* out);
+
+/// Parses a full floating-point token; false on empty input or garbage.
+[[nodiscard]] bool try_parse_double(const std::string& text, double* out);
+
+/// Parses a boolean: "" / "1" / "true" / "yes" / "on" are true (a bare
+/// flag means "enable"), "0" / "false" / "no" / "off" are false; anything
+/// else is rejected.
+[[nodiscard]] bool try_parse_bool(const std::string& text, bool* out);
+
+}  // namespace papc

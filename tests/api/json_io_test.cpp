@@ -1,0 +1,193 @@
+/// \file json_io_test.cpp
+/// Round-trip and golden-file tests for the JSON emitters: core::RunResult,
+/// runner::ExperimentOutcome, api::ScenarioResult and api::SweepResult.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/registry.hpp"
+#include "api/sweep.hpp"
+#include "core/run_result.hpp"
+#include "runner/experiment.hpp"
+#include "support/json_value.hpp"
+#include "support/json_writer.hpp"
+
+namespace papc {
+namespace {
+
+core::RunResult sample_result() {
+    core::RunResult r;
+    r.converged = true;
+    r.winner = 3;
+    r.plurality_won = true;
+    r.epsilon_time = 61.0006279198364;
+    r.consensus_time = 86.00020496796567;
+    r.end_time = 86.00020496796567;
+    r.steps = 399183;
+    r.plurality_fraction = TimeSeries("plurality-fraction");
+    r.plurality_fraction.record(0.25, 0.474);
+    r.plurality_fraction.record(0.5002010179377336, 0.4735);
+    r.plurality_fraction.record(86.0, 1.0);
+    return r;
+}
+
+TEST(RunResultJson, RoundTripsExactly) {
+    const core::RunResult original = sample_result();
+    const std::string text = core::to_json(original);
+    const JsonParseResult parsed = parse_json(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    const core::RunResult restored = core::run_result_from_json(parsed.value);
+    // The legacy text format round-trips exactly; the JSON path must agree
+    // with it bit for bit (doubles use round-trip precision).
+    EXPECT_EQ(core::serialize(restored), core::serialize(original));
+}
+
+TEST(RunResultJson, UnconvergedSentinelsSurvive) {
+    core::RunResult r;
+    r.epsilon_time = -1.0;
+    r.consensus_time = -1.0;
+    r.end_time = 12.5;
+    r.steps = 7;
+    const JsonParseResult parsed = parse_json(core::to_json(r));
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    const core::RunResult restored = core::run_result_from_json(parsed.value);
+    EXPECT_DOUBLE_EQ(restored.epsilon_time, -1.0);
+    EXPECT_DOUBLE_EQ(restored.consensus_time, -1.0);
+    EXPECT_FALSE(restored.converged);
+    EXPECT_TRUE(restored.plurality_fraction.empty());
+}
+
+TEST(RunResultJson, MissingMembersKeepDefaults) {
+    const JsonParseResult parsed = parse_json(R"({"steps": 5})");
+    ASSERT_TRUE(parsed.ok());
+    const core::RunResult restored = core::run_result_from_json(parsed.value);
+    EXPECT_EQ(restored.steps, 5U);
+    EXPECT_FALSE(restored.converged);
+    EXPECT_DOUBLE_EQ(restored.epsilon_time, -1.0);
+}
+
+TEST(RunResultJson, GoldenDocument) {
+    // Pins the exact on-disk format. Changing this string is an API break
+    // for downstream JSON consumers — bump deliberately.
+    core::RunResult r;
+    r.converged = true;
+    r.winner = 1;
+    r.plurality_won = false;
+    r.epsilon_time = 2.5;
+    r.consensus_time = 3.0;
+    r.end_time = 4.0;
+    r.steps = 10;
+    r.plurality_fraction = TimeSeries("s");
+    r.plurality_fraction.record(0.5, 0.75);
+    const std::string expected =
+        "{\n"
+        "  \"converged\": true,\n"
+        "  \"winner\": 1,\n"
+        "  \"plurality_won\": false,\n"
+        "  \"epsilon_time\": 2.5,\n"
+        "  \"consensus_time\": 3,\n"
+        "  \"end_time\": 4,\n"
+        "  \"steps\": 10,\n"
+        "  \"series\": {\n"
+        "    \"name\": \"s\",\n"
+        "    \"points\": [\n"
+        "      [\n"
+        "        0.5,\n"
+        "        0.75\n"
+        "      ]\n"
+        "    ]\n"
+        "  }\n"
+        "}\n";
+    EXPECT_EQ(core::to_json(r), expected);
+}
+
+TEST(ExperimentOutcomeJson, EmitsEveryMetricSummary) {
+    const runner::ExperimentOutcome outcome = runner::run_experiment(
+        [](std::uint64_t seed) {
+            runner::TrialMetrics m;
+            m["value"] = static_cast<double>(seed % 97);
+            m["constant"] = 1.5;
+            return m;
+        },
+        8, 3);
+    JsonWriter writer;
+    runner::write_json(writer, outcome);
+    const JsonParseResult parsed = parse_json(writer.str());
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_DOUBLE_EQ(parsed.value.at("repetitions").as_number(), 8.0);
+    const JsonValue& metrics = parsed.value.at("metrics");
+    ASSERT_NE(metrics.find("value"), nullptr);
+    const JsonValue& constant = metrics.at("constant");
+    EXPECT_DOUBLE_EQ(constant.at("count").as_number(), 8.0);
+    EXPECT_DOUBLE_EQ(constant.at("mean").as_number(), 1.5);
+    EXPECT_DOUBLE_EQ(constant.at("stddev").as_number(), 0.0);
+    for (const char* key :
+         {"count", "mean", "stddev", "min", "max", "p10", "p50", "p90",
+          "p99"}) {
+        EXPECT_NE(constant.find(key), nullptr) << key;
+    }
+}
+
+TEST(ScenarioResultJson, CarriesScenarioSeedResultAndExtras) {
+    api::Scenario scenario;
+    scenario.protocol = "sequential";
+    scenario.n = 128;
+    scenario.k = 2;
+    scenario.alpha = 2.5;
+    scenario.record_series = false;
+    const api::ScenarioResult result = api::run(scenario, 13);
+    JsonWriter writer;
+    api::write_json(writer, scenario, 13, result);
+    const JsonParseResult parsed = parse_json(writer.str());
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_EQ(parsed.value.at("scenario").at("protocol").as_string(),
+              "sequential");
+    EXPECT_DOUBLE_EQ(parsed.value.at("seed").as_number(), 13.0);
+    const core::RunResult restored =
+        core::run_result_from_json(parsed.value.at("result"));
+    EXPECT_EQ(core::serialize(restored), core::serialize(result.run));
+    for (const auto& [name, value] : result.extras) {
+        EXPECT_DOUBLE_EQ(parsed.value.at("extras").number_or(name, -1e99),
+                         value)
+            << name;
+    }
+}
+
+TEST(SweepResultJson, TableRoundTripsThroughTheParser) {
+    api::Sweep sweep;
+    sweep.base.protocol = "two-choices";
+    sweep.base.n = 128;
+    sweep.base.alpha = 2.5;
+    sweep.base.record_series = false;
+    sweep.axes = api::parse_sweep_spec("n=128,256;k=2..3").axes;
+    sweep.reps = 2;
+    sweep.base_seed = 99;
+    const api::SweepResult result = api::run_sweep(sweep);
+
+    JsonWriter writer;
+    api::write_json(writer, result);
+    const JsonParseResult parsed = parse_json(writer.str());
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+
+    const JsonValue& doc = parsed.value;
+    EXPECT_EQ(doc.at("base").at("protocol").as_string(), "two-choices");
+    ASSERT_EQ(doc.at("axes").size(), 2U);
+    EXPECT_EQ(doc.at("axes")[0].as_string(), "n");
+    EXPECT_DOUBLE_EQ(doc.at("reps").as_number(), 2.0);
+    ASSERT_EQ(doc.at("cells").size(), result.cells.size());
+    for (std::size_t i = 0; i < result.cells.size(); ++i) {
+        const JsonValue& cell = doc.at("cells")[i];
+        for (const auto& [field, value] : result.cells[i].coordinates) {
+            EXPECT_EQ(cell.at("coordinates").at(field).as_string(), value);
+        }
+        EXPECT_DOUBLE_EQ(cell.at("outcome").at("repetitions").as_number(),
+                         2.0);
+        EXPECT_DOUBLE_EQ(
+            cell.at("outcome").at("metrics").at("steps").at("mean").as_number(),
+            result.cells[i].outcome.mean("steps"));
+    }
+}
+
+}  // namespace
+}  // namespace papc

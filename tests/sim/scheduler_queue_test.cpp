@@ -27,6 +27,22 @@ TEST(SchedulerQueue, FactoryBuildsRequestedKind) {
     }
 }
 
+TEST(SchedulerQueue, ConcreteTypesUsableWithoutFactory) {
+    // The legacy sim/event_queue.hpp alias was folded into this header;
+    // callers that want a concrete queue (no QueueKind dispatch) use the
+    // implementation types directly.
+    BinaryHeapQueue<int> heap;
+    heap.push(2.0, 2);
+    heap.push(1.0, 1);
+    EXPECT_EQ(heap.pop().payload, 1);
+    EXPECT_EQ(heap.kind(), QueueKind::kBinaryHeap);
+    CalendarQueue<int> calendar;
+    calendar.push(2.0, 2);
+    calendar.push(1.0, 1);
+    EXPECT_EQ(calendar.pop().payload, 1);
+    EXPECT_EQ(calendar.kind(), QueueKind::kCalendar);
+}
+
 TEST(SchedulerQueue, KindNamesRoundTrip) {
     for (const QueueKind kind : all_kinds()) {
         EXPECT_EQ(parse_queue_kind(to_string(kind)), kind);

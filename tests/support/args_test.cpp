@@ -69,6 +69,35 @@ TEST(Args, UnusedDetection) {
     EXPECT_EQ(unused[0], "typo");
 }
 
+TEST(Args, UnknownOptionErrorNamesTheTypo) {
+    // The papc_cli regression: "--lamda 2" must be a hard error, not a
+    // silently ignored default.
+    const Args a = parse({"--lamda", "2", "--n", "100"});
+    ASSERT_TRUE(a.ok());
+    (void)a.get_uint("n", 0);
+    (void)a.get_double("lambda", 1.0);  // the *correct* spelling
+    const std::string error = a.unknown_option_error();
+    EXPECT_NE(error.find("unknown option"), std::string::npos);
+    EXPECT_NE(error.find("--lamda"), std::string::npos);
+    EXPECT_EQ(error.find("--n"), std::string::npos);
+}
+
+TEST(Args, UnknownOptionErrorEmptyWhenAllQueried) {
+    const Args a = parse({"--n", "100"});
+    ASSERT_TRUE(a.ok());
+    (void)a.get_uint("n", 0);
+    EXPECT_TRUE(a.unknown_option_error().empty());
+}
+
+TEST(Args, UnknownOptionErrorListsEveryTypo) {
+    const Args a = parse({"--foo", "1", "--bar", "2"});
+    ASSERT_TRUE(a.ok());
+    const std::string error = a.unknown_option_error();
+    EXPECT_NE(error.find("unknown options"), std::string::npos);
+    EXPECT_NE(error.find("--foo"), std::string::npos);
+    EXPECT_NE(error.find("--bar"), std::string::npos);
+}
+
 TEST(Args, NegativeNumberValue) {
     const Args a = parse({"--offset", "-5"});
     ASSERT_TRUE(a.ok());

@@ -1,0 +1,171 @@
+#include "support/json_value.hpp"
+#include "support/json_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace papc {
+namespace {
+
+// ------------------------------------------------------------------ writer
+
+TEST(JsonWriter, ScalarRoot) {
+    JsonWriter w;
+    w.value(std::uint64_t{42});
+    EXPECT_EQ(w.str(), "42\n");
+}
+
+TEST(JsonWriter, ObjectAndArrayNesting) {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("name", "papc");
+    w.key("values");
+    w.begin_array();
+    w.value(1);
+    w.value(2.5);
+    w.value(true);
+    w.null_value();
+    w.end_array();
+    w.key("empty");
+    w.begin_object();
+    w.end_object();
+    w.end_object();
+    const std::string text = w.str();
+    const JsonParseResult parsed = parse_json(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_EQ(parsed.value.at("name").as_string(), "papc");
+    EXPECT_EQ(parsed.value.at("values").size(), 4U);
+    EXPECT_TRUE(parsed.value.at("values")[3].is_null());
+    EXPECT_EQ(parsed.value.at("empty").size(), 0U);
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+    JsonWriter w;
+    w.value(std::string("a\"b\\c\n\t\x01z"));
+    const std::string text = w.str();
+    EXPECT_NE(text.find("\\\""), std::string::npos);
+    EXPECT_NE(text.find("\\\\"), std::string::npos);
+    EXPECT_NE(text.find("\\n"), std::string::npos);
+    EXPECT_NE(text.find("\\t"), std::string::npos);
+    EXPECT_NE(text.find("\\u0001"), std::string::npos);
+    // And it parses back to the identical string.
+    const JsonParseResult parsed = parse_json(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_EQ(parsed.value.as_string(), "a\"b\\c\n\t\x01z");
+}
+
+TEST(JsonWriter, DoublesRoundTripExactly) {
+    const double cases[] = {0.0,     -0.0,   0.1,       1.0 / 3.0,
+                            1e-308,  1e308,  12345.678, -2.5e-7,
+                            86.00020496796567};
+    for (const double value : cases) {
+        const std::string text = JsonWriter::format_double(value);
+        EXPECT_EQ(std::strtod(text.c_str(), nullptr), value) << text;
+    }
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+    EXPECT_EQ(JsonWriter::format_double(
+                  std::numeric_limits<double>::quiet_NaN()),
+              "null");
+    EXPECT_EQ(
+        JsonWriter::format_double(std::numeric_limits<double>::infinity()),
+        "null");
+}
+
+TEST(JsonWriter, HumanFriendlyShortForms) {
+    EXPECT_EQ(JsonWriter::format_double(0.1), "0.1");
+    EXPECT_EQ(JsonWriter::format_double(2.0), "2");
+}
+
+using JsonWriterDeathTest = ::testing::Test;
+
+TEST(JsonWriterDeathTest, KeyOutsideObjectAborts) {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_DEATH(w.key("nope"), "PAPC_CHECK failed");
+}
+
+TEST(JsonWriterDeathTest, UnbalancedDocumentAborts) {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_DEATH((void)w.str(), "PAPC_CHECK failed");
+}
+
+// ------------------------------------------------------------------ parser
+
+TEST(JsonValue, ParsesScalars) {
+    EXPECT_TRUE(parse_json("null").value.is_null());
+    EXPECT_EQ(parse_json("true").value.as_bool(), true);
+    EXPECT_EQ(parse_json("false").value.as_bool(), false);
+    EXPECT_DOUBLE_EQ(parse_json("-12.5e2").value.as_number(), -1250.0);
+    EXPECT_EQ(parse_json("\"hi\"").value.as_string(), "hi");
+}
+
+TEST(JsonValue, ParsesNestedDocument) {
+    const JsonParseResult parsed = parse_json(
+        R"({"a": [1, 2, {"b": "x"}], "c": {"d": null}, "e": -3})");
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    const JsonValue& v = parsed.value;
+    EXPECT_EQ(v.size(), 3U);
+    EXPECT_DOUBLE_EQ(v.at("a")[1].as_number(), 2.0);
+    EXPECT_EQ(v.at("a")[2].at("b").as_string(), "x");
+    EXPECT_TRUE(v.at("c").at("d").is_null());
+    EXPECT_DOUBLE_EQ(v.number_or("e", 0.0), -3.0);
+    EXPECT_DOUBLE_EQ(v.number_or("missing", 7.5), 7.5);
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonValue, ParsesStringEscapes) {
+    const JsonParseResult parsed =
+        parse_json(R"("a\"b\\c\/d\b\f\n\r\tAé")");
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_EQ(parsed.value.as_string(), "a\"b\\c/d\b\f\n\r\tA\xc3\xa9");
+}
+
+TEST(JsonValue, PreservesMemberOrder) {
+    const JsonParseResult parsed = parse_json(R"({"z": 1, "a": 2, "m": 3})");
+    ASSERT_TRUE(parsed.ok());
+    ASSERT_EQ(parsed.value.members().size(), 3U);
+    EXPECT_EQ(parsed.value.members()[0].first, "z");
+    EXPECT_EQ(parsed.value.members()[1].first, "a");
+    EXPECT_EQ(parsed.value.members()[2].first, "m");
+}
+
+TEST(JsonValue, RejectsMalformedInput) {
+    EXPECT_FALSE(parse_json("").ok());
+    EXPECT_FALSE(parse_json("{").ok());
+    EXPECT_FALSE(parse_json("[1,]").ok());
+    EXPECT_FALSE(parse_json("{\"a\" 1}").ok());
+    EXPECT_FALSE(parse_json("\"unterminated").ok());
+    EXPECT_FALSE(parse_json("01abc").ok());
+    EXPECT_FALSE(parse_json("1 trailing").ok());
+    EXPECT_FALSE(parse_json("nul").ok());
+    EXPECT_FALSE(parse_json("{\"a\": 1,}").ok());
+}
+
+TEST(JsonValue, ErrorsCarryAnOffset) {
+    const JsonParseResult parsed = parse_json("[1, 2, }");
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.error.find("offset"), std::string::npos);
+}
+
+TEST(JsonValue, DepthLimitStopsRunawayNesting) {
+    std::string deep;
+    for (int i = 0; i < 600; ++i) deep += '[';
+    for (int i = 0; i < 600; ++i) deep += ']';
+    EXPECT_FALSE(parse_json(deep).ok());
+}
+
+TEST(JsonValue, WhitespaceTolerant) {
+    const JsonParseResult parsed =
+        parse_json("  \n\t{ \"a\" :\r\n [ 1 , 2 ] }  \n");
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_EQ(parsed.value.at("a").size(), 2U);
+}
+
+}  // namespace
+}  // namespace papc
