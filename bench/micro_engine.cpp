@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <type_traits>
+
 #include "api/registry.hpp"
 #include "api/sweep.hpp"
 #include "async/simulation.hpp"
@@ -15,6 +17,7 @@
 #include "sync/algorithm1.hpp"
 #include "sync/baselines.hpp"
 #include "sync/engine.hpp"
+#include "sync/round_kernel.hpp"
 
 namespace {
 
@@ -43,6 +46,22 @@ void BM_RngUniformIndex(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_RngUniformIndex);
+
+// One kernel block of batched Lemire draws (the sync kernels' index-batch
+// phase); items/sec is indices/sec, directly comparable to
+// BM_RngUniformIndex above.
+void BM_RngUniformIndicesBlock(benchmark::State& state) {
+    Rng rng(3);
+    std::vector<std::uint64_t> block(sync::kRoundBlock);
+    for (auto _ : state) {
+        rng.uniform_indices(1000003, block.data(), block.size());
+        benchmark::DoNotOptimize(block.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(block.size()));
+}
+BENCHMARK(BM_RngUniformIndicesBlock);
 
 // Hold model: `queue_size` pending events, each iteration pops the
 // earliest and pushes a replacement one uniform draw into the future. The
@@ -112,35 +131,94 @@ void BM_CensusTransition(benchmark::State& state) {
 }
 BENCHMARK(BM_CensusTransition);
 
-void BM_SyncRoundAlgorithm1(benchmark::State& state) {
+// Synchronous round matrix: one round per iteration across the whole
+// family, n ∈ {2^14 .. 2^22} (Algorithm 1 additionally with a k = 64
+// column). items/sec is node-updates/sec; iterations/sec is rounds/sec —
+// the headline number the batched SoA kernels are measured on
+// (BENCH_pr4.json before/after).
+template <typename Dynamics>
+void sync_round_matrix(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));
+    const auto k = static_cast<std::uint32_t>(state.range(1));
     Rng rng(6);
-    const Assignment a = make_biased_plurality(n, 8, 1.5, rng);
-    sync::ScheduleParams sp;
-    sp.n = n;
-    sp.k = 8;
-    sp.alpha = 1.5;
-    sync::Algorithm1 alg(a, sync::Schedule(sp));
+    const Assignment a = make_biased_plurality(n, k, 1.5, rng);
+    auto alg = [&] {
+        if constexpr (std::is_same_v<Dynamics, sync::Algorithm1>) {
+            sync::ScheduleParams sp;
+            sp.n = n;
+            sp.k = k;
+            sp.alpha = 1.5;
+            return sync::Algorithm1(a, sync::Schedule(sp));
+        } else {
+            return Dynamics(a);
+        }
+    }();
     for (auto _ : state) {
         alg.step(rng);
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                             static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_SyncRoundAlgorithm1)->Arg(1 << 12)->Arg(1 << 16);
 
-void BM_SyncRoundThreeMajority(benchmark::State& state) {
-    const auto n = static_cast<std::size_t>(state.range(0));
-    Rng rng(7);
-    const Assignment a = make_biased_plurality(n, 8, 1.5, rng);
-    sync::ThreeMajority alg(a);
-    for (auto _ : state) {
-        alg.step(rng);
-    }
-    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                            static_cast<std::int64_t>(n));
+void BM_SyncRound_Algorithm1(benchmark::State& state) {
+    sync_round_matrix<sync::Algorithm1>(state);
 }
-BENCHMARK(BM_SyncRoundThreeMajority)->Arg(1 << 12)->Arg(1 << 16);
+void BM_SyncRound_PullVoting(benchmark::State& state) {
+    sync_round_matrix<sync::PullVoting>(state);
+}
+void BM_SyncRound_TwoChoices(benchmark::State& state) {
+    sync_round_matrix<sync::TwoChoices>(state);
+}
+void BM_SyncRound_ThreeMajority(benchmark::State& state) {
+    sync_round_matrix<sync::ThreeMajority>(state);
+}
+void BM_SyncRound_UndecidedState(benchmark::State& state) {
+    sync_round_matrix<sync::UndecidedState>(state);
+}
+
+void sync_matrix_args(benchmark::internal::Benchmark* bench) {
+    for (int shift = 14; shift <= 22; shift += 2) {
+        bench->Args({1 << shift, 8});
+    }
+}
+BENCHMARK(BM_SyncRound_Algorithm1)->Apply(sync_matrix_args)->Apply([](auto* b) {
+    for (int shift = 14; shift <= 22; shift += 2) b->Args({1 << shift, 64});
+});
+BENCHMARK(BM_SyncRound_PullVoting)->Apply(sync_matrix_args);
+BENCHMARK(BM_SyncRound_TwoChoices)->Apply(sync_matrix_args);
+BENCHMARK(BM_SyncRound_ThreeMajority)->Apply(sync_matrix_args);
+BENCHMARK(BM_SyncRound_UndecidedState)->Apply(sync_matrix_args);
+
+// End-to-end through api::run at n = 2^20 (the acceptance measurement for
+// the kernel refactor): one full fixed-seed convergence run per iteration;
+// items/sec reports rounds/sec. The weak alpha makes the run long enough
+// that the (unchanged) workload construction amortizes and rounds/sec
+// reflects the steady-state kernel rate.
+void api_sync_full_run(benchmark::State& state, const char* protocol) {
+    api::Scenario scenario;
+    scenario.protocol = protocol;
+    scenario.n = 1 << 20;
+    scenario.k = 8;
+    scenario.alpha = 1.5;
+    scenario.record_series = false;
+    std::uint64_t seed = 10;
+    std::int64_t rounds = 0;
+    for (auto _ : state) {
+        const api::ScenarioResult r = api::run(scenario, seed++);
+        benchmark::DoNotOptimize(r.run.converged);
+        rounds += static_cast<std::int64_t>(r.run.steps);
+    }
+    state.SetItemsProcessed(rounds);
+}
+
+void BM_ApiRunSyncLarge(benchmark::State& state) {
+    api_sync_full_run(state, "sync");
+}
+void BM_ApiRunTwoChoicesLarge(benchmark::State& state) {
+    api_sync_full_run(state, "two-choices");
+}
+BENCHMARK(BM_ApiRunSyncLarge)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ApiRunTwoChoicesLarge)->Unit(benchmark::kMillisecond);
 
 void async_full_run_small(benchmark::State& state, sim::QueueKind kind) {
     async::AsyncConfig c;

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and print per-benchmark speedups.
+
+Usage:
+    scripts/bench-diff.py BEFORE.json AFTER.json [--filter SUBSTRING]
+
+For every benchmark name present in both files the script prints the
+throughput ratio after/before (from items_per_second when recorded, falling
+back to the inverse real_time ratio), so > 1.0 means AFTER is faster. Used
+to produce the README perf table from BENCH_pr4_before.json /
+BENCH_pr4.json and to sanity-check future kernel PRs.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as handle:
+        doc = json.load(handle)
+    iterations = {}
+    medians = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench["name"]
+        if bench.get("run_type") == "aggregate":
+            # Of the aggregate rows (mean/median/stddev/cv) keep the
+            # median, keyed by the underlying benchmark name.
+            if bench.get("aggregate_name") == "median" and \
+                    name.endswith("_median"):
+                medians[name[: -len("_median")]] = bench
+            continue
+        iterations.setdefault(name, []).append(bench)
+    out = {}
+    for name, rows in iterations.items():
+        # Repetitions repeat the same name; represent them by their
+        # median real_time row rather than whichever came last.
+        rows.sort(key=lambda b: b.get("real_time", 0.0))
+        out[name] = rows[len(rows) // 2]
+    # An explicit aggregate median is more robust than any single row.
+    out.update(medians)
+    return out
+
+
+def throughput(bench):
+    """Benchmark throughput in arbitrary but consistent units."""
+    if "items_per_second" in bench:
+        return bench["items_per_second"], "items/s"
+    real_time = bench.get("real_time")
+    if not real_time:
+        return None, None
+    return 1.0 / real_time, "1/time"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("before", help="baseline google-benchmark JSON")
+    parser.add_argument("after", help="candidate google-benchmark JSON")
+    parser.add_argument("--filter", default="",
+                        help="only report names containing this substring")
+    args = parser.parse_args()
+
+    before = load(args.before)
+    after = load(args.after)
+    shared = [name for name in before if name in after
+              and args.filter in name]
+    if not shared:
+        print("no shared benchmark names", file=sys.stderr)
+        return 1
+
+    width = max(len(name) for name in shared)
+    print(f"{'benchmark':<{width}}  {'before':>12}  {'after':>12}  speedup")
+    slowdowns = 0
+    for name in shared:
+        b_value, b_kind = throughput(before[name])
+        a_value, a_kind = throughput(after[name])
+        if not b_value or not a_value or b_kind != a_kind:
+            print(f"{name:<{width}}  {'-':>12}  {'-':>12}  n/a")
+            continue
+        ratio = a_value / b_value
+        if ratio < 1.0:
+            slowdowns += 1
+
+        def fmt(value, kind):
+            if kind == "items/s":
+                # Scale-aware: end-to-end runs report single-digit
+                # rounds/s, micro-kernels hundreds of M items/s.
+                if value >= 1e6:
+                    return f"{value / 1e6:.2f} M/s"
+                if value >= 1e3:
+                    return f"{value / 1e3:.2f} k/s"
+                return f"{value:.3g} /s"
+            return f"{value:.3g}"
+
+        print(f"{name:<{width}}  {fmt(b_value, b_kind):>12}  "
+              f"{fmt(a_value, a_kind):>12}  {ratio:5.2f}x")
+    only_before = sorted(set(before) - set(after))
+    only_after = sorted(set(after) - set(before))
+    if only_before:
+        print(f"only in before: {len(only_before)}", file=sys.stderr)
+    if only_after:
+        print(f"only in after: {len(only_after)}", file=sys.stderr)
+    print(f"{len(shared)} compared, {slowdowns} slower")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

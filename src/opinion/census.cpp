@@ -1,32 +1,33 @@
 #include "opinion/census.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "support/check.hpp"
 
 namespace papc {
 
-BiasStats stats_from_counts(const std::vector<std::uint64_t>& counts) {
+BiasStats stats_from_counts(const std::uint64_t* counts, std::size_t k) {
     BiasStats s;
     std::uint64_t total = 0;
-    for (const auto c : counts) total += c;
+    for (std::size_t j = 0; j < k; ++j) total += counts[j];
     s.total = total;
     if (total == 0) return s;
 
     // Find the two largest counts.
     std::size_t best = 0;
-    std::size_t second = counts.size();  // sentinel: unset
-    for (std::size_t j = 1; j < counts.size(); ++j) {
+    std::size_t second = k;  // sentinel: unset
+    for (std::size_t j = 1; j < k; ++j) {
         if (counts[j] > counts[best]) {
             second = best;
             best = j;
-        } else if (second == counts.size() || counts[j] > counts[second]) {
+        } else if (second == k || counts[j] > counts[second]) {
             second = j;
         }
     }
     s.dominant = static_cast<Opinion>(best);
     s.dominant_count = counts[best];
-    if (second == counts.size()) {
+    if (second == k) {
         s.runner_up = s.dominant;
         s.runner_up_count = 0;
     } else {
@@ -43,12 +44,16 @@ BiasStats stats_from_counts(const std::vector<std::uint64_t>& counts) {
 
     double p = 0.0;
     const double tot = static_cast<double>(total);
-    for (const auto c : counts) {
-        const double f = static_cast<double>(c) / tot;
+    for (std::size_t j = 0; j < k; ++j) {
+        const double f = static_cast<double>(counts[j]) / tot;
         p += f * f;
     }
     s.collision_probability = p;
     return s;
+}
+
+BiasStats stats_from_counts(const std::vector<std::uint64_t>& counts) {
+    return stats_from_counts(counts.data(), counts.size());
 }
 
 double collision_probability_lower_bound(double alpha, std::uint32_t k) {
@@ -98,6 +103,21 @@ void OpinionCensus::transition(Opinion from, Opinion to) {
     }
 }
 
+void OpinionCensus::apply_deltas(const std::vector<std::int64_t>& deltas,
+                                 std::int64_t undecided_delta) {
+    PAPC_CHECK(deltas.size() == counts_.size());
+    for (std::size_t j = 0; j < counts_.size(); ++j) {
+        const std::int64_t next =
+            static_cast<std::int64_t>(counts_[j]) + deltas[j];
+        PAPC_CHECK(next >= 0);
+        counts_[j] = static_cast<std::uint64_t>(next);
+    }
+    const std::int64_t undecided =
+        static_cast<std::int64_t>(undecided_) + undecided_delta;
+    PAPC_CHECK(undecided >= 0);
+    undecided_ = static_cast<std::uint64_t>(undecided);
+}
+
 std::uint64_t OpinionCensus::count(Opinion j) const {
     PAPC_CHECK(j < counts_.size());
     return counts_[j];
@@ -135,10 +155,23 @@ GenerationCensus::GenerationCensus(std::size_t n, std::uint32_t num_opinions)
 }
 
 void GenerationCensus::ensure_generation(Generation i) {
-    while (counts_.size() <= i) {
-        counts_.emplace_back(k_, 0);
-        gen_totals_.push_back(0);
-    }
+    if (i < gen_totals_.size()) return;
+    // Grow by doubling so the flat row-major block is reallocated
+    // O(log G*) times no matter how generations arrive.
+    const std::size_t rows =
+        std::max<std::size_t>(static_cast<std::size_t>(i) + 1,
+                              2 * gen_totals_.size());
+    counts_.resize(rows * k_, 0);
+    gen_totals_.resize(rows, 0);
+}
+
+/// Re-derives the cached highest populated generation after rows up to
+/// `candidate` may have gained or lost their last node.
+void GenerationCensus::refresh_highest(Generation candidate) {
+    Generation h = std::max(highest_populated_, candidate);
+    if (h >= gen_totals_.size()) h = static_cast<Generation>(gen_totals_.size() - 1);
+    while (h > 0 && gen_totals_[h] == 0) --h;
+    highest_populated_ = h;
 }
 
 void GenerationCensus::reset(const std::vector<Opinion>& opinions) {
@@ -149,10 +182,11 @@ void GenerationCensus::reset(const std::vector<Opinion>& opinions) {
     for (auto& t : opinion_totals_) t = 0;
     for (const Opinion op : opinions) {
         PAPC_CHECK(op < k_);
-        ++counts_[0][op];
+        ++counts_[op];
         ++opinion_totals_[op];
     }
     gen_totals_[0] = n_;
+    highest_populated_ = 0;
 }
 
 void GenerationCensus::rebuild(const std::vector<Generation>& generations,
@@ -163,14 +197,16 @@ void GenerationCensus::rebuild(const std::vector<Generation>& generations,
     gen_totals_.clear();
     ensure_generation(0);
     for (auto& t : opinion_totals_) t = 0;
+    highest_populated_ = 0;
     for (std::size_t v = 0; v < n_; ++v) {
         const Generation g = generations[v];
         const Opinion op = opinions[v];
         PAPC_CHECK(op < k_);
         ensure_generation(g);
-        ++counts_[g][op];
+        ++counts_[static_cast<std::size_t>(g) * k_ + op];
         ++gen_totals_[g];
         ++opinion_totals_[op];
+        if (g > highest_populated_) highest_populated_ = g;
     }
 }
 
@@ -178,24 +214,53 @@ void GenerationCensus::transition(Generation gen_from, Opinion op_from,
                                   Generation gen_to, Opinion op_to) {
     PAPC_CHECK(op_from < k_ && op_to < k_);
     ensure_generation(gen_to);
-    PAPC_CHECK(gen_from < counts_.size());
-    PAPC_CHECK(counts_[gen_from][op_from] > 0);
-    --counts_[gen_from][op_from];
+    PAPC_CHECK(gen_from < gen_totals_.size());
+    PAPC_CHECK(counts_[static_cast<std::size_t>(gen_from) * k_ + op_from] > 0);
+    --counts_[static_cast<std::size_t>(gen_from) * k_ + op_from];
     --gen_totals_[gen_from];
-    ++counts_[gen_to][op_to];
+    ++counts_[static_cast<std::size_t>(gen_to) * k_ + op_to];
     ++gen_totals_[gen_to];
     if (op_from != op_to) {
         PAPC_CHECK(opinion_totals_[op_from] > 0);
         --opinion_totals_[op_from];
         ++opinion_totals_[op_to];
     }
+    refresh_highest(gen_to);
+}
+
+void GenerationCensus::apply_deltas(const std::vector<std::int64_t>& deltas,
+                                    Generation rows) {
+    PAPC_CHECK(deltas.size() >= static_cast<std::size_t>(rows) * k_);
+    if (rows == 0) return;
+    ensure_generation(rows - 1);
+    for (Generation g = 0; g < rows; ++g) {
+        std::int64_t gen_delta = 0;
+        for (Opinion j = 0; j < k_; ++j) {
+            const std::int64_t d = deltas[static_cast<std::size_t>(g) * k_ + j];
+            if (d == 0) continue;
+            const std::size_t cell = static_cast<std::size_t>(g) * k_ + j;
+            const std::int64_t cell_next =
+                static_cast<std::int64_t>(counts_[cell]) + d;
+            PAPC_CHECK(cell_next >= 0);
+            counts_[cell] = static_cast<std::uint64_t>(cell_next);
+            const std::int64_t op_next =
+                static_cast<std::int64_t>(opinion_totals_[j]) + d;
+            PAPC_CHECK(op_next >= 0);
+            opinion_totals_[j] = static_cast<std::uint64_t>(op_next);
+            gen_delta += d;
+        }
+        if (gen_delta != 0) {
+            const std::int64_t gen_next =
+                static_cast<std::int64_t>(gen_totals_[g]) + gen_delta;
+            PAPC_CHECK(gen_next >= 0);
+            gen_totals_[g] = static_cast<std::uint64_t>(gen_next);
+        }
+    }
+    refresh_highest(rows - 1);
 }
 
 Generation GenerationCensus::highest_populated() const {
-    for (std::size_t i = gen_totals_.size(); i > 0; --i) {
-        if (gen_totals_[i - 1] > 0) return static_cast<Generation>(i - 1);
-    }
-    return 0;
+    return highest_populated_;
 }
 
 std::uint64_t GenerationCensus::generation_size(Generation i) const {
@@ -209,13 +274,13 @@ double GenerationCensus::generation_fraction(Generation i) const {
 
 std::uint64_t GenerationCensus::count(Generation i, Opinion j) const {
     PAPC_CHECK(j < k_);
-    if (i >= counts_.size()) return 0;
-    return counts_[i][j];
+    if (i >= gen_totals_.size()) return 0;
+    return counts_[static_cast<std::size_t>(i) * k_ + j];
 }
 
 BiasStats GenerationCensus::stats(Generation i) const {
-    if (i >= counts_.size()) return BiasStats{};
-    return stats_from_counts(counts_[i]);
+    if (i >= gen_totals_.size()) return BiasStats{};
+    return stats_from_counts(&counts_[static_cast<std::size_t>(i) * k_], k_);
 }
 
 BiasStats GenerationCensus::pooled_stats() const {
@@ -238,6 +303,11 @@ bool GenerationCensus::converged() const {
 double GenerationCensus::opinion_fraction(Opinion j) const {
     PAPC_CHECK(j < k_);
     return static_cast<double>(opinion_totals_[j]) / static_cast<double>(n_);
+}
+
+std::uint64_t GenerationCensus::opinion_total(Opinion j) const {
+    PAPC_CHECK(j < k_);
+    return opinion_totals_[j];
 }
 
 }  // namespace papc

@@ -40,6 +40,13 @@ public:
     /// Records node transition `from` -> `to` (either may be kUndecided).
     void transition(Opinion from, Opinion to);
 
+    /// Applies one per-opinion delta block (plus an undecided delta) in a
+    /// single pass — the fused-census commit of the batched round kernels,
+    /// equivalent to the corresponding sequence of transition() calls.
+    /// Requires deltas.size() == num_opinions().
+    void apply_deltas(const std::vector<std::int64_t>& deltas,
+                      std::int64_t undecided_delta);
+
     [[nodiscard]] std::uint64_t count(Opinion j) const;
     [[nodiscard]] std::uint64_t undecided_count() const { return undecided_; }
     [[nodiscard]] std::size_t population() const { return n_; }
@@ -80,6 +87,15 @@ public:
     void transition(Generation gen_from, Opinion op_from,
                     Generation gen_to, Opinion op_to);
 
+    /// Applies a row-major (generation, opinion) delta block covering
+    /// generations [0, rows): deltas[g * num_opinions() + j] is the net
+    /// node-count change of (g, j). One contiguous pass over the flat
+    /// count array — the batched kernels' fused-census commit, equivalent
+    /// to the corresponding sequence of transition() calls. Grows the
+    /// generation cap on demand. Requires deltas.size() >= rows * k.
+    void apply_deltas(const std::vector<std::int64_t>& deltas,
+                      Generation rows);
+
     [[nodiscard]] std::size_t population() const { return n_; }
     [[nodiscard]] std::uint32_t num_opinions() const { return k_; }
 
@@ -110,19 +126,30 @@ public:
     /// Fraction of all nodes holding opinion j (any generation).
     [[nodiscard]] double opinion_fraction(Opinion j) const;
 
+    /// Nodes holding opinion j across all generations — O(1).
+    [[nodiscard]] std::uint64_t opinion_total(Opinion j) const;
+
 private:
     void ensure_generation(Generation i);
+    void refresh_highest(Generation candidate);
 
     std::size_t n_;
     std::uint32_t k_;
-    std::vector<std::vector<std::uint64_t>> counts_;  ///< [generation][opinion]
+    /// Row-major [generation * k_ + opinion]; rows() = gen_totals_.size()
+    /// grows by doubling so the fused delta commit is one contiguous pass.
+    std::vector<std::uint64_t> counts_;
     std::vector<std::uint64_t> gen_totals_;           ///< [generation]
     std::vector<std::uint64_t> opinion_totals_;       ///< [opinion]
+    Generation highest_populated_ = 0;                ///< cached; O(1) reads
 };
 
 /// Computes BiasStats from a raw count vector (helper shared by both
 /// censuses; exposed for tests).
 [[nodiscard]] BiasStats stats_from_counts(const std::vector<std::uint64_t>& counts);
+
+/// Same, over a contiguous count row (used for the flat generation rows).
+[[nodiscard]] BiasStats stats_from_counts(const std::uint64_t* counts,
+                                          std::size_t k);
 
 /// Remark 2 lower bound: p >= (α² + k - 1)/(α + k - 1)².
 [[nodiscard]] double collision_probability_lower_bound(double alpha, std::uint32_t k);

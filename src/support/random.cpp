@@ -49,6 +49,64 @@ std::uint64_t Rng::next_u64() {
     return result;
 }
 
+void Rng::fill_u64(std::uint64_t* dst, std::size_t count) {
+    // Same recurrence as next_u64(), with the state held in locals so the
+    // compiler keeps it in registers across the whole block.
+    std::uint64_t s0 = state_[0];
+    std::uint64_t s1 = state_[1];
+    std::uint64_t s2 = state_[2];
+    std::uint64_t s3 = state_[3];
+    for (std::size_t i = 0; i < count; ++i) {
+        dst[i] = rotl(s1 * 5U, 7) * 9U;
+        const std::uint64_t t = s1 << 17U;
+        s2 ^= s0;
+        s3 ^= s1;
+        s1 ^= s2;
+        s0 ^= s3;
+        s2 ^= t;
+        s3 = rotl(s3, 45);
+    }
+    state_[0] = s0;
+    state_[1] = s1;
+    state_[2] = s2;
+    state_[3] = s3;
+}
+
+void Rng::uniform_indices(std::uint64_t n, std::uint64_t* dst,
+                          std::size_t count) {
+    PAPC_CHECK(n > 0);
+    // The scalar sequence consumes one raw word per output plus one per
+    // Lemire rejection, strictly in stream order. Batching therefore only
+    // changes *when* raw words are produced, never which word feeds which
+    // slot: generate words in-register (same recurrence as next_u64) and
+    // multiply-shift each in order; a rejected word leaves its slot
+    // unfilled for the next word, exactly like the scalar retry. No word
+    // is drawn that the scalar sequence would not draw, so the state
+    // afterwards matches the scalar calls bit for bit.
+    const std::uint64_t threshold = lemire_threshold(n);
+    std::uint64_t s0 = state_[0];
+    std::uint64_t s1 = state_[1];
+    std::uint64_t s2 = state_[2];
+    std::uint64_t s3 = state_[3];
+    std::size_t produced = 0;
+    while (produced < count) {
+        const std::uint64_t x = rotl(s1 * 5U, 7) * 9U;
+        const std::uint64_t t = s1 << 17U;
+        s2 ^= s0;
+        s3 ^= s1;
+        s1 ^= s2;
+        s0 ^= s3;
+        s2 ^= t;
+        s3 = rotl(s3, 45);
+        std::uint64_t value;
+        if (lemire_map(x, n, threshold, value)) dst[produced++] = value;
+    }
+    state_[0] = s0;
+    state_[1] = s1;
+    state_[2] = s2;
+    state_[3] = s3;
+}
+
 double Rng::uniform() {
     return static_cast<double>(next_u64() >> 11U) * 0x1.0p-53;
 }
@@ -59,19 +117,11 @@ double Rng::uniform(double lo, double hi) {
 
 std::uint64_t Rng::uniform_index(std::uint64_t n) {
     PAPC_CHECK(n > 0);
-    // Lemire's method: multiply-shift with rejection to remove bias.
-    std::uint64_t x = next_u64();
-    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
-    auto lo = static_cast<std::uint64_t>(m);
-    if (lo < n) {
-        const std::uint64_t threshold = (0ULL - n) % n;
-        while (lo < threshold) {
-            x = next_u64();
-            m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
-            lo = static_cast<std::uint64_t>(m);
-        }
+    const std::uint64_t threshold = lemire_threshold(n);
+    std::uint64_t index;
+    while (!lemire_map(next_u64(), n, threshold, index)) {
     }
-    return static_cast<std::uint64_t>(m >> 64U);
+    return index;
 }
 
 std::uint64_t Rng::uniform_index_excluding(std::uint64_t n,

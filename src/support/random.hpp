@@ -18,6 +18,31 @@ namespace papc {
 /// splitmix64 step; used to expand seeds and derive independent streams.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Rejection threshold of Lemire's unbiased multiply-shift for range n:
+/// raw words whose low product half falls below it must be redrawn.
+/// Involves a 64-bit division — callers hoist it out of their draw loops
+/// (for loop-invariant n the compiler does it for free).
+inline std::uint64_t lemire_threshold(std::uint64_t n) {
+    return (0ULL - n) % n;
+}
+
+/// Lemire's unbiased multiply-shift: maps raw word `x` into [0, n) via
+/// `index`, or returns false when `x` falls in the rejected band (the
+/// caller retries with the next raw word). `threshold` must be
+/// lemire_threshold(n); since it is < n, the accept test is one compare.
+/// This is the single definition shared by the scalar
+/// (`Rng::uniform_index`), batched (`Rng::uniform_indices`) and buffered
+/// (`sync::BufferedSampler`) samplers — the bit-identical determinism
+/// contract between them depends on this logic never diverging.
+inline bool lemire_map(std::uint64_t x, std::uint64_t n,
+                       std::uint64_t threshold, std::uint64_t& index) {
+    const __uint128_t m =
+        static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+    if (static_cast<std::uint64_t>(m) < threshold) return false;  // rejected
+    index = static_cast<std::uint64_t>(m >> 64U);
+    return true;
+}
+
 /// xoshiro256** 1.0 by Blackman & Vigna — fast, high-quality, 256-bit state.
 class Rng {
 public:
@@ -37,6 +62,20 @@ public:
 
     /// Uniform 64-bit value.
     std::uint64_t next_u64();
+
+    /// Fills dst[0..count) with the next `count` outputs of the generator —
+    /// the same values, in the same order, as `count` calls to next_u64()
+    /// (the state is kept in registers across the block, which is the whole
+    /// point). dst may be null when count == 0.
+    void fill_u64(std::uint64_t* dst, std::size_t count);
+
+    /// Fills dst[0..count) with uniform indices in [0, n) — bit-identical
+    /// to `count` calls of uniform_index(n), including the raw words burned
+    /// by Lemire rejections, so the generator state afterwards matches the
+    /// scalar sequence exactly. This is the sync-round kernels' batch
+    /// primitive: one tight multiply-shift loop over blocks of raw words.
+    void uniform_indices(std::uint64_t n, std::uint64_t* dst,
+                         std::size_t count);
 
     /// Uniform double in [0, 1) with 53 bits of precision.
     double uniform();

@@ -9,59 +9,73 @@ namespace papc::sync {
 Algorithm1::Algorithm1(const Assignment& assignment, Schedule schedule)
     : k_(assignment.num_opinions),
       schedule_(std::move(schedule)),
-      colors_(assignment.opinions),
-      generations_(assignment.size(), 0),
-      next_colors_(assignment.size()),
-      next_generations_(assignment.size()),
+      state_(assignment.size()),
+      next_state_(assignment.size()),
       census_(assignment.size(), assignment.num_opinions) {
     PAPC_CHECK(assignment.size() >= 2);
-    census_.reset(colors_);
+    for (std::size_t v = 0; v < assignment.size(); ++v) {
+        state_[v] = pack_state(0, assignment.opinions[v]);
+    }
+    census_.reset(assignment.opinions);
     record_new_births();
 }
 
 void Algorithm1::step(Rng& rng) {
-    const auto n = static_cast<std::uint64_t>(colors_.size());
+    const std::size_t n = state_.size();
     ++round_;
     const bool two_choices = schedule_.is_two_choices_step(round_);
 
-    for (NodeId v = 0; v < n; ++v) {
-        auto a = static_cast<NodeId>(rng.uniform_index(n));
-        auto b = static_cast<NodeId>(rng.uniform_index(n));
-        // wlog gen(a) >= gen(b)  (Algorithm 1 line 2)
-        if (generations_[a] < generations_[b]) std::swap(a, b);
+    // A round can populate at most one generation above the current top
+    // (two-choices promotes to gen(a) + 1 with gen(a) <= highest), so the
+    // delta block covers exactly [0, highest + 2).
+    const Generation rows = census_.highest_populated() + 2;
+    deltas_.assign(static_cast<std::size_t>(rows) * k_, 0);
 
-        Opinion new_color = colors_[v];
-        Generation new_generation = generations_[v];
+    const PackedState* state = state_.data();
+    PackedState* next = next_state_.data();
+    blocked_round<2>(rng, n, scratch_,
+                     [&](std::size_t base, std::size_t count,
+                         const std::uint64_t* idx) {
+        gather_decide<2>(state, idx, count, [&](std::size_t i) {
+            const PackedState wa = state[idx[2 * i]];
+            const PackedState wb = state[idx[2 * i + 1]];
+            // wlog gen(a) >= gen(b)  (Algorithm 1 line 2); branchless
+            // select — the generation order of two random peers is the
+            // least predictable branch of the round.
+            const PackedState hi = (wa >> 32U) >= (wb >> 32U) ? wa : wb;
+            const PackedState wv = state[base + i];
 
-        if (two_choices && generations_[v] <= generations_[a] &&
-            generations_[a] == generations_[b] && colors_[a] == colors_[b]) {
-            // Two-choices step (line 3-5): promote past the samples.
-            new_generation = generations_[a] + 1;
-            new_color = colors_[a];
-        } else if (generations_[a] > generations_[v]) {
-            // Propagation step (line 6-8): pull from the higher generation.
-            new_generation = generations_[a];
-            new_color = colors_[a];
-        }
-        next_colors_[v] = new_color;
-        next_generations_[v] = new_generation;
-    }
+            PackedState wn = wv;
+            if (two_choices && (wv >> 32U) <= (hi >> 32U) && wa == wb) {
+                // Two-choices step (line 3-5): same generation AND same
+                // color collapses to one 64-bit equality; promotion past
+                // the samples is one add on the packed word.
+                wn = hi + (1ULL << 32U);
+            } else if ((hi >> 32U) > (wv >> 32U)) {
+                // Propagation step (line 6-8): pull color and generation
+                // from the higher-generation sample in one word copy.
+                wn = hi;
+            }
+            next[base + i] = wn;
+            if (wn != wv) {
+                --deltas_[(wv >> 32U) * k_ + packed_opinion(wv)];
+                ++deltas_[(wn >> 32U) * k_ + packed_opinion(wn)];
+            }
+        });
+    });
 
-    colors_.swap(next_colors_);
-    generations_.swap(next_generations_);
-    census_.rebuild(generations_, colors_);
+    state_.swap(next_state_);
+    census_.apply_deltas(deltas_, rows);
     record_new_births();
 }
 
 std::uint64_t Algorithm1::opinion_count(Opinion j) const {
-    std::uint64_t total = 0;
-    for (Generation g = 0; g <= census_.highest_populated(); ++g) {
-        total += census_.count(g, j);
-    }
-    return total;
+    return census_.opinion_total(j);
 }
 
 void Algorithm1::record_new_births() {
+    // Only generations first populated this round are summarized; the
+    // cached highest_populated makes a quiet round O(1) here.
     const Generation highest = census_.highest_populated();
     while (births_.size() <= highest) {
         const auto g = static_cast<Generation>(births_.size());

@@ -23,6 +23,7 @@
 #include "opinion/census.hpp"
 #include "opinion/types.hpp"
 #include "sync/engine.hpp"
+#include "sync/round_kernel.hpp"
 #include "sync/schedule.hpp"
 
 namespace papc::sync {
@@ -43,7 +44,7 @@ public:
 
     void step(Rng& rng) override;
 
-    [[nodiscard]] std::size_t population() const override { return colors_.size(); }
+    [[nodiscard]] std::size_t population() const override { return state_.size(); }
     [[nodiscard]] std::uint32_t num_opinions() const override { return k_; }
     [[nodiscard]] std::uint64_t opinion_count(Opinion j) const override;
     [[nodiscard]] std::uint64_t rounds() const override { return round_; }
@@ -56,18 +57,23 @@ public:
     }
 
     /// Per-node accessors (tests).
-    [[nodiscard]] Opinion color(NodeId v) const { return colors_[v]; }
-    [[nodiscard]] Generation generation(NodeId v) const { return generations_[v]; }
+    [[nodiscard]] Opinion color(NodeId v) const {
+        return packed_opinion(state_[v]);
+    }
+    [[nodiscard]] Generation generation(NodeId v) const {
+        return packed_generation(state_[v]);
+    }
 
 private:
     void record_new_births();
 
     std::uint32_t k_;
     Schedule schedule_;
-    std::vector<Opinion> colors_;
-    std::vector<Generation> generations_;
-    std::vector<Opinion> next_colors_;
-    std::vector<Generation> next_generations_;
+    /// Per-node (generation << 32 | opinion) — see round_kernel.hpp.
+    std::vector<PackedState> state_;
+    std::vector<PackedState> next_state_;
+    std::vector<std::uint64_t> scratch_;   ///< per-block peer-index batch
+    std::vector<std::int64_t> deltas_;     ///< row-major fused census deltas
     GenerationCensus census_;
     std::vector<GenerationBirth> births_;
     std::uint64_t round_ = 0;

@@ -8,7 +8,8 @@ ColorVectorDynamics::ColorVectorDynamics(const Assignment& assignment,
                                          bool allow_undecided)
     : colors_(assignment.opinions),
       next_colors_(assignment.size()),
-      census_(assignment.size(), assignment.num_opinions) {
+      census_(assignment.size(), assignment.num_opinions),
+      deltas_(assignment.num_opinions) {
     PAPC_CHECK(assignment.size() >= 2);
     if (!allow_undecided) {
         for (const Opinion c : colors_) PAPC_CHECK(c != kUndecided);
@@ -18,7 +19,7 @@ ColorVectorDynamics::ColorVectorDynamics(const Assignment& assignment,
 
 void ColorVectorDynamics::commit_round() {
     colors_.swap(next_colors_);
-    census_.reset(colors_);
+    deltas_.commit(census_);
     ++round_;
 }
 
@@ -26,10 +27,17 @@ PullVoting::PullVoting(const Assignment& assignment)
     : ColorVectorDynamics(assignment, /*allow_undecided=*/false) {}
 
 void PullVoting::step(Rng& rng) {
-    const auto n = static_cast<std::uint64_t>(colors_.size());
-    for (NodeId v = 0; v < n; ++v) {
-        next_colors_[v] = colors_[rng.uniform_index(n)];
-    }
+    const std::size_t n = colors_.size();
+    const Opinion* colors = colors_.data();
+    blocked_round<1>(rng, n, scratch_,
+                     [&](std::size_t base, std::size_t count,
+                         const std::uint64_t* idx) {
+        gather_decide<1>(colors, idx, count, [&](std::size_t i) {
+            const Opinion seen = colors[idx[i]];
+            deltas_.note(colors[base + i], seen);
+            next_colors_[base + i] = seen;
+        });
+    });
     commit_round();
 }
 
@@ -37,12 +45,20 @@ TwoChoices::TwoChoices(const Assignment& assignment)
     : ColorVectorDynamics(assignment, /*allow_undecided=*/false) {}
 
 void TwoChoices::step(Rng& rng) {
-    const auto n = static_cast<std::uint64_t>(colors_.size());
-    for (NodeId v = 0; v < n; ++v) {
-        const Opinion a = colors_[rng.uniform_index(n)];
-        const Opinion b = colors_[rng.uniform_index(n)];
-        next_colors_[v] = (a == b) ? a : colors_[v];
-    }
+    const std::size_t n = colors_.size();
+    const Opinion* colors = colors_.data();
+    blocked_round<2>(rng, n, scratch_,
+                     [&](std::size_t base, std::size_t count,
+                         const std::uint64_t* idx) {
+        gather_decide<2>(colors, idx, count, [&](std::size_t i) {
+            const Opinion a = colors[idx[2 * i]];
+            const Opinion b = colors[idx[2 * i + 1]];
+            const Opinion mine = colors[base + i];
+            const Opinion next = (a == b) ? a : mine;
+            deltas_.note(mine, next);
+            next_colors_[base + i] = next;
+        });
+    });
     commit_round();
 }
 
@@ -51,10 +67,23 @@ ThreeMajority::ThreeMajority(const Assignment& assignment)
 
 void ThreeMajority::step(Rng& rng) {
     const auto n = static_cast<std::uint64_t>(colors_.size());
+    const Opinion* colors = colors_.data();
+    // Predicts the gather target of the draw ~12 nodes ahead from the
+    // sampler's buffered raw words (exact unless a rejection or tie-break
+    // shifts the stream in between — then it is merely a wasted hint).
+    const auto prefetch_future = [&](std::size_t ahead) {
+        std::uint64_t target = 0;
+        // threshold 0: never reject — a stale word only wastes the hint.
+        (void)lemire_map(sampler_.peek_raw(ahead), n, 0, target);
+        prefetch_read(colors + target);
+    };
     for (NodeId v = 0; v < n; ++v) {
-        const Opinion a = colors_[rng.uniform_index(n)];
-        const Opinion b = colors_[rng.uniform_index(n)];
-        const Opinion c = colors_[rng.uniform_index(n)];
+        prefetch_future(3 * kPrefetchAhead);
+        prefetch_future(3 * kPrefetchAhead + 1);
+        prefetch_future(3 * kPrefetchAhead + 2);
+        const Opinion a = colors_[sampler_.uniform_index(rng, n)];
+        const Opinion b = colors_[sampler_.uniform_index(rng, n)];
+        const Opinion c = colors_[sampler_.uniform_index(rng, n)];
         Opinion adopted;
         if (a == b || a == c) {
             adopted = a;
@@ -62,9 +91,10 @@ void ThreeMajority::step(Rng& rng) {
             adopted = b;
         } else {
             // All three differ: adopt one of the samples u.a.r. [BCN+14].
-            const std::uint64_t pick = rng.uniform_index(3);
+            const std::uint64_t pick = sampler_.uniform_index(rng, 3);
             adopted = pick == 0 ? a : (pick == 1 ? b : c);
         }
+        deltas_.note(colors_[v], adopted);
         next_colors_[v] = adopted;
     }
     commit_round();
@@ -74,18 +104,24 @@ UndecidedState::UndecidedState(const Assignment& assignment)
     : ColorVectorDynamics(assignment, /*allow_undecided=*/true) {}
 
 void UndecidedState::step(Rng& rng) {
-    const auto n = static_cast<std::uint64_t>(colors_.size());
-    for (NodeId v = 0; v < n; ++v) {
-        const Opinion mine = colors_[v];
-        const Opinion seen = colors_[rng.uniform_index(n)];
-        Opinion next = mine;
-        if (mine == kUndecided) {
-            next = seen;  // may remain undecided
-        } else if (seen != kUndecided && seen != mine) {
-            next = kUndecided;
-        }
-        next_colors_[v] = next;
-    }
+    const std::size_t n = colors_.size();
+    const Opinion* colors = colors_.data();
+    blocked_round<1>(rng, n, scratch_,
+                     [&](std::size_t base, std::size_t count,
+                         const std::uint64_t* idx) {
+        gather_decide<1>(colors, idx, count, [&](std::size_t i) {
+            const Opinion mine = colors[base + i];
+            const Opinion seen = colors[idx[i]];
+            Opinion next = mine;
+            if (mine == kUndecided) {
+                next = seen;  // may remain undecided
+            } else if (seen != kUndecided && seen != mine) {
+                next = kUndecided;
+            }
+            deltas_.note(mine, next);
+            next_colors_[base + i] = next;
+        });
+    });
     commit_round();
 }
 

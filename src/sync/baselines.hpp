@@ -9,7 +9,11 @@
 ///   - undecided-state       [AAE08, BCN+15]: one sample; conflicting colors
 ///                           make a node undecided, undecided nodes adopt.
 /// All run in the same synchronous double-buffered round model as
-/// Algorithm 1 and satisfy the SyncDynamics interface.
+/// Algorithm 1 and satisfy the SyncDynamics interface. Since PR 4 the
+/// rounds run through the batched block kernels of round_kernel.hpp
+/// (index batch + prefetched gather + fused census deltas); 3-majority's
+/// data-dependent tie-break keeps the scalar decide order and batches
+/// only the raw RNG stream through a BufferedSampler.
 
 #include <cstdint>
 #include <string>
@@ -19,6 +23,7 @@
 #include "opinion/census.hpp"
 #include "opinion/types.hpp"
 #include "sync/engine.hpp"
+#include "sync/round_kernel.hpp"
 
 namespace papc::sync {
 
@@ -42,12 +47,15 @@ public:
     [[nodiscard]] Opinion color(NodeId v) const { return colors_[v]; }
 
 protected:
-    /// Applies the buffered next_colors_ and refreshes the census.
+    /// Applies the buffered next_colors_ and commits the fused census
+    /// deltas accumulated by the round kernel.
     void commit_round();
 
     std::vector<Opinion> colors_;
     std::vector<Opinion> next_colors_;
     OpinionCensus census_;
+    std::vector<std::uint64_t> scratch_;   ///< per-block peer-index batch
+    OpinionDeltaAccumulator deltas_;
     std::uint64_t round_ = 0;
 };
 
@@ -74,6 +82,11 @@ public:
     explicit ThreeMajority(const Assignment& assignment);
     void step(Rng& rng) override;
     [[nodiscard]] std::string name() const override { return "3-majority"; }
+
+private:
+    /// Tie-breaks make the per-node draw count data-dependent, so this
+    /// kernel batches the raw stream only (see round_kernel.hpp).
+    BufferedSampler sampler_;
 };
 
 /// Undecided-state dynamics for k opinions (gossip/pull variant):

@@ -1,0 +1,220 @@
+#pragma once
+
+/// \file round_kernel.hpp
+/// Shared building blocks of the batched synchronous round kernels (PR 4).
+///
+/// Every sync-family engine advances n independent nodes per round, each
+/// node deciding from one to three uniform peer samples. The scalar loops
+/// interleaved the (serially dependent) RNG state update, the random
+/// gather, and the decide branch per node; the kernels here split a round
+/// into blocks of kRoundBlock nodes and run three phases per block:
+///
+///   1. index batch — Rng::uniform_indices fills a block of peer indices
+///      in one tight Lemire loop (bit-identical to scalar draw order);
+///   2. gather + decide — software-pipelined in kGatherStrip-node strips
+///      (strip s + 1's random loads prefetched while strip s decides), so
+///      the memory-level parallelism is bounded by the cache hierarchy
+///      and not by the RNG dependency chain;
+///   3. fused census — count deltas accumulate inside the write loop and
+///      are applied at commit, deleting the per-round census rescan.
+///
+/// Determinism contract: a kernel round consumes the generator stream in
+/// exactly the scalar per-node order, so fixed-seed trajectories are
+/// bit-identical to the pre-kernel loops (pinned by
+/// tests/sync/kernel_golden_test.cpp). Protocols whose draw count is
+/// data-dependent (3-majority's tie-break) cannot phase-separate without
+/// breaking that contract; they draw through BufferedSampler instead,
+/// which batches the raw stream but decides inline.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "opinion/census.hpp"
+#include "opinion/types.hpp"
+#include "support/check.hpp"
+#include "support/random.hpp"
+
+namespace papc::sync {
+
+/// Nodes per kernel block: 4096 nodes keep the index batch (32 KiB of
+/// u64), the sampled colors and the per-block deltas inside L1/L2 while
+/// amortizing the batched-RNG refills.
+inline constexpr std::size_t kRoundBlock = 4096;
+
+/// How many nodes ahead the inline-sampling kernels (BufferedSampler
+/// consumers) prefetch speculative gather targets.
+inline constexpr std::size_t kPrefetchAhead = 16;
+
+inline void prefetch_read(const void* address) {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(address, 0 /*read*/, 1 /*low temporal locality*/);
+#else
+    (void)address;
+#endif
+}
+
+/// Issues a read prefetch for every array[idx[i]] of one block — a pure
+/// load/prefetch loop whose memory-level parallelism is bounded only by
+/// the cache hierarchy (the serially dependent RNG already ran in the
+/// index-batch phase). One kernel block's gather set (<= 2 * 4096 lines,
+/// ~512 KiB worst case) fits L2, so the decide loop that follows hits L2
+/// instead of paying DRAM/L3 latency per random load.
+template <typename T>
+inline void prefetch_gather(const T* array, const std::uint64_t* idx,
+                            std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+#if defined(__GNUC__) || defined(__clang__)
+        // locality 2: keep the block's gather set in L2 for the decide loop.
+        __builtin_prefetch(array + idx[i], 0, 2);
+#else
+        (void)array;
+        (void)idx;
+#endif
+    }
+}
+
+/// Strip size of the software-pipelined gather phase: prefetching one
+/// strip ahead bounds the in-flight hints to what the line-fill buffers
+/// can track, while one strip of decide work (~a few µs) gives every
+/// prefetched line time to arrive before it is loaded.
+inline constexpr std::size_t kGatherStrip = 256;
+
+/// Gather + decide phase of one kernel block: runs decide(i) for every
+/// i in [0, count) with the kDraws gather targets of strip s + 1
+/// prefetched while strip s decides.
+template <int kDraws, typename T, typename DecideFn>
+inline void gather_decide(const T* array, const std::uint64_t* idx,
+                          std::size_t count, DecideFn&& decide) {
+    prefetch_gather(array, idx,
+                    static_cast<std::size_t>(kDraws) *
+                        std::min(kGatherStrip, count));
+    for (std::size_t s = 0; s < count; s += kGatherStrip) {
+        const std::size_t end = std::min(s + kGatherStrip, count);
+        if (end < count) {
+            const std::size_t next_end = std::min(end + kGatherStrip, count);
+            prefetch_gather(array, idx + static_cast<std::size_t>(kDraws) * end,
+                            static_cast<std::size_t>(kDraws) * (next_end - end));
+        }
+        for (std::size_t i = s; i < end; ++i) decide(i);
+    }
+}
+
+/// Runs one synchronous round in blocks: for each block of up to
+/// kRoundBlock nodes, draws kDraws uniform indices per node (scalar order:
+/// node base's draws first, then node base+1's, ...) into `scratch` and
+/// invokes block(base, count, idx) with idx[i * kDraws + d] the d-th
+/// sample of node base + i.
+template <int kDraws, typename BlockFn>
+void blocked_round(Rng& rng, std::size_t n, std::vector<std::uint64_t>& scratch,
+                   BlockFn&& block) {
+    static_assert(kDraws >= 1);
+    scratch.resize(kRoundBlock * static_cast<std::size_t>(kDraws));
+    for (std::size_t base = 0; base < n; base += kRoundBlock) {
+        const std::size_t count = std::min(kRoundBlock, n - base);
+        rng.uniform_indices(static_cast<std::uint64_t>(n), scratch.data(),
+                            count * static_cast<std::size_t>(kDraws));
+        block(base, count, scratch.data());
+    }
+}
+
+/// Fused-census accumulator for the flat (opinion-only) baselines: the
+/// write loop notes each changed node and commit() applies the summed
+/// per-opinion deltas in one pass — replacing the per-round
+/// OpinionCensus::reset rescan of the whole color vector.
+class OpinionDeltaAccumulator {
+public:
+    explicit OpinionDeltaAccumulator(std::uint32_t num_opinions)
+        : deltas_(num_opinions, 0) {}
+
+    void note(Opinion from, Opinion to) {
+        if (from == to) return;
+        bump(from, -1);
+        bump(to, +1);
+    }
+
+    /// Applies and clears the accumulated deltas.
+    void commit(OpinionCensus& census) {
+        census.apply_deltas(deltas_, undecided_);
+        std::fill(deltas_.begin(), deltas_.end(), 0);
+        undecided_ = 0;
+    }
+
+private:
+    void bump(Opinion op, std::int64_t d) {
+        if (op == kUndecided) {
+            undecided_ += d;
+        } else {
+            deltas_[op] += d;
+        }
+    }
+
+    std::vector<std::int64_t> deltas_;
+    std::int64_t undecided_ = 0;
+};
+
+/// Buffered view over an Rng's raw u64 stream for kernels whose number of
+/// draws per node is data-dependent. Consumption order (and hence every
+/// sampled value) is identical to calling rng.uniform_index directly; the
+/// only difference is that the underlying generator runs ahead by up to
+/// one buffer of raw words, which is invisible to any consumer that draws
+/// exclusively through this sampler.
+class BufferedSampler {
+public:
+    explicit BufferedSampler(std::size_t capacity = kRoundBlock)
+        : buf_(capacity), cursor_(capacity) {
+        PAPC_CHECK(capacity > 0);
+    }
+
+    /// Uniform index in [0, n); same lemire_map rejection behaviour (and
+    /// hence the same raw-word consumption) as Rng::uniform_index.
+    std::uint64_t uniform_index(Rng& rng, std::uint64_t n) {
+        const std::uint64_t threshold = lemire_threshold(n);
+        std::uint64_t index;
+        while (!lemire_map(next_raw(rng), n, threshold, index)) {
+        }
+        return index;
+    }
+
+    /// Speculative peek at the raw word `ahead` positions past the cursor
+    /// (0 when past the buffered window). Kernels use it to prefetch the
+    /// gather target a future draw will most likely hit — a rejection in
+    /// between shifts the mapping by one word, which only costs one wasted
+    /// prefetch hint, never correctness.
+    [[nodiscard]] std::uint64_t peek_raw(std::size_t ahead) const {
+        const std::size_t at = cursor_ + ahead;
+        return at < buf_.size() ? buf_[at] : 0;
+    }
+
+private:
+    std::uint64_t next_raw(Rng& rng) {
+        if (cursor_ == buf_.size()) {
+            rng.fill_u64(buf_.data(), buf_.size());
+            cursor_ = 0;
+        }
+        return buf_[cursor_++];
+    }
+
+    std::vector<std::uint64_t> buf_;
+    std::size_t cursor_;
+};
+
+/// Packed per-node Algorithm 1 state: generation in the high 32 bits,
+/// opinion in the low 32. The wlog gen(a) >= gen(b) compare, the
+/// two-choices match (same generation AND same color ⟺ equal words) and
+/// the propagation pull each become one gather + one integer op.
+using PackedState = std::uint64_t;
+
+constexpr PackedState pack_state(Generation generation, Opinion opinion) {
+    return (static_cast<std::uint64_t>(generation) << 32U) | opinion;
+}
+
+constexpr Generation packed_generation(PackedState word) {
+    return static_cast<Generation>(word >> 32U);
+}
+
+constexpr Opinion packed_opinion(PackedState word) {
+    return static_cast<Opinion>(word & 0xFFFFFFFFULL);
+}
+
+}  // namespace papc::sync

@@ -182,5 +182,99 @@ TEST(GenerationCensus, RebuildMatchesTransitions) {
     }
 }
 
+TEST(GenerationCensus, HighestPopulatedTracksUpAndDown) {
+    GenerationCensus c(3, 2);
+    c.reset({0, 1, 0});
+    EXPECT_EQ(c.highest_populated(), 0U);
+    c.transition(0, 0, 5, 0);  // sparse jump grows the cap on demand
+    EXPECT_EQ(c.highest_populated(), 5U);
+    c.transition(5, 0, 2, 0);  // generation 5 empties: cache must fall back
+    EXPECT_EQ(c.highest_populated(), 2U);
+    c.transition(2, 0, 0, 0);
+    EXPECT_EQ(c.highest_populated(), 0U);
+}
+
+TEST(GenerationCensus, OpinionTotalMatchesPerGenerationSum) {
+    GenerationCensus c(4, 3);
+    c.reset({0, 1, 2, 0});
+    c.transition(0, 0, 1, 2);  // also flips opinion 0 -> 2
+    EXPECT_EQ(c.opinion_total(0), 1U);
+    EXPECT_EQ(c.opinion_total(1), 1U);
+    EXPECT_EQ(c.opinion_total(2), 2U);
+    std::uint64_t sum = 0;
+    for (Generation g = 0; g <= c.highest_populated(); ++g) {
+        sum += c.count(g, 2);
+    }
+    EXPECT_EQ(sum, c.opinion_total(2));
+}
+
+TEST(GenerationCensus, ApplyDeltasMatchesTransitions) {
+    GenerationCensus via_transitions(6, 2);
+    via_transitions.reset({0, 0, 0, 1, 1, 1});
+    GenerationCensus via_deltas(6, 2);
+    via_deltas.reset({0, 0, 0, 1, 1, 1});
+
+    via_transitions.transition(0, 0, 1, 0);
+    via_transitions.transition(0, 1, 1, 1);
+    via_transitions.transition(0, 1, 2, 0);  // opinion flip included
+
+    // Same three moves as one row-major (generation, opinion) delta block.
+    const Generation rows = 3;
+    std::vector<std::int64_t> deltas(rows * 2, 0);
+    deltas[0 * 2 + 0] -= 1;  // (0,0) -> (1,0)
+    deltas[1 * 2 + 0] += 1;
+    deltas[0 * 2 + 1] -= 2;  // (0,1) -> (1,1) and (0,1) -> (2,0)
+    deltas[1 * 2 + 1] += 1;
+    deltas[2 * 2 + 0] += 1;
+    via_deltas.apply_deltas(deltas, rows);
+
+    EXPECT_EQ(via_deltas.highest_populated(),
+              via_transitions.highest_populated());
+    for (Generation g = 0; g <= 2; ++g) {
+        EXPECT_EQ(via_deltas.generation_size(g),
+                  via_transitions.generation_size(g));
+        for (Opinion j = 0; j < 2; ++j) {
+            EXPECT_EQ(via_deltas.count(g, j), via_transitions.count(g, j))
+                << "g=" << g << " j=" << j;
+        }
+    }
+    for (Opinion j = 0; j < 2; ++j) {
+        EXPECT_EQ(via_deltas.opinion_total(j),
+                  via_transitions.opinion_total(j));
+    }
+}
+
+TEST(GenerationCensus, ApplyDeltasGrowsGenerationCap) {
+    GenerationCensus c(2, 2);
+    c.reset({0, 1});
+    const Generation rows = 40;  // far beyond the initial doubling cap
+    std::vector<std::int64_t> deltas(static_cast<std::size_t>(rows) * 2, 0);
+    deltas[0] -= 1;
+    deltas[39 * 2 + 0] += 1;
+    c.apply_deltas(deltas, rows);
+    EXPECT_EQ(c.highest_populated(), 39U);
+    EXPECT_EQ(c.count(39, 0), 1U);
+    EXPECT_EQ(c.generation_size(0), 1U);
+}
+
+TEST(OpinionCensus, ApplyDeltasMatchesTransitions) {
+    OpinionCensus via_transitions(5, 3);
+    via_transitions.reset({0, 0, 1, 2, kUndecided});
+    OpinionCensus via_deltas(5, 3);
+    via_deltas.reset({0, 0, 1, 2, kUndecided});
+
+    via_transitions.transition(0, kUndecided);
+    via_transitions.transition(kUndecided, 2);  // the original undecided node
+    via_transitions.transition(1, 0);
+
+    std::vector<std::int64_t> deltas = {-1 + 1, -1, +1};
+    via_deltas.apply_deltas(deltas, /*undecided_delta=*/0);
+
+    for (Opinion j = 0; j < 3; ++j) {
+        EXPECT_EQ(via_deltas.count(j), via_transitions.count(j)) << j;
+    }
+    EXPECT_EQ(via_deltas.undecided_count(), via_transitions.undecided_count());
+}
+
 }  // namespace
 }  // namespace papc

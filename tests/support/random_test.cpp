@@ -322,5 +322,73 @@ TEST(RngSplit, RepeatedSplitsGiveDistinctChildren) {
     EXPECT_EQ(equal, 0);
 }
 
+// ------------------------------------------------- batched block interface
+//
+// The sync-round kernels rely on fill_u64 / uniform_indices being
+// bit-identical to the scalar calls: same values in order AND the same
+// generator state afterwards (rejected Lemire draws consume raw words in
+// both variants). These tests pin that contract.
+
+TEST(RngBatch, FillU64MatchesScalarSequence) {
+    Rng scalar(77);
+    Rng batched(77);
+    std::vector<std::uint64_t> block(4097);  // crosses internal block sizes
+    batched.fill_u64(block.data(), block.size());
+    for (std::size_t i = 0; i < block.size(); ++i) {
+        ASSERT_EQ(block[i], scalar.next_u64()) << "position " << i;
+    }
+    // State advanced identically: the streams stay in lockstep afterwards.
+    EXPECT_EQ(batched.next_u64(), scalar.next_u64());
+}
+
+TEST(RngBatch, FillU64ZeroCountIsNoOp) {
+    Rng a(78);
+    Rng b(78);
+    a.fill_u64(nullptr, 0);
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+void expect_uniform_indices_equivalent(std::uint64_t n, std::size_t count,
+                                       std::uint64_t seed) {
+    Rng scalar(seed);
+    Rng batched(seed);
+    std::vector<std::uint64_t> block(count);
+    batched.uniform_indices(n, block.data(), count);
+    for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(block[i], scalar.uniform_index(n))
+            << "n=" << n << " position " << i;
+    }
+    // Rejected draws must have consumed raw words in both variants.
+    EXPECT_EQ(batched.next_u64(), scalar.next_u64()) << "n=" << n;
+}
+
+TEST(RngBatch, UniformIndicesMatchesScalarSmallRange) {
+    expect_uniform_indices_equivalent(3, 10000, 81);
+    expect_uniform_indices_equivalent(1000003, 10000, 82);  // prime, not 2^k
+}
+
+TEST(RngBatch, UniformIndicesMatchesScalarPowerOfTwo) {
+    expect_uniform_indices_equivalent(1ULL << 20U, 10000, 83);
+}
+
+TEST(RngBatch, UniformIndicesMatchesScalarUnderHeavyRejection) {
+    // n just above 2^63: the Lemire threshold (2^64 - n) mod n = 2^64 - 2n
+    // is huge, so nearly half of all raw words are rejected — the retry
+    // path (same slot, next raw word) is exercised constantly.
+    const std::uint64_t n = (1ULL << 63U) + 12345;
+    expect_uniform_indices_equivalent(n, 5000, 84);
+}
+
+TEST(RngBatch, UniformIndicesMatchesScalarAcrossRefills) {
+    // More outputs than the internal raw block: the refill path must keep
+    // the raw stream seamless.
+    expect_uniform_indices_equivalent(97, 100000, 85);
+}
+
+TEST(RngBatch, UniformIndicesSingleAndOne) {
+    expect_uniform_indices_equivalent(1, 100, 86);  // always 0, still draws
+    expect_uniform_indices_equivalent(5, 1, 87);
+}
+
 }  // namespace
 }  // namespace papc

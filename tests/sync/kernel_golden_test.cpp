@@ -1,0 +1,155 @@
+/// \file kernel_golden_test.cpp
+/// Fixed-seed golden pins for the whole synchronous family across the
+/// batched-kernel refactor (PR 4). Two layers:
+///
+///   1. full-state hashes: every per-node (generation, opinion) after a
+///      fixed number of rounds, folded through FNV-1a — any change to the
+///      draw order, the decide rules, or the commit order shows up here;
+///   2. api::run end-to-end pins: steps / times / winner for one scenario
+///      per protocol, captured on the pre-refactor scalar kernels.
+///
+/// The values below were recorded from the scalar per-node loops before the
+/// SoA kernels landed; the batched kernels must reproduce them bit-for-bit
+/// (the determinism contract of Rng::uniform_indices).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "api/registry.hpp"
+#include "api/scenario.hpp"
+#include "opinion/assignment.hpp"
+#include "sync/algorithm1.hpp"
+#include "sync/baselines.hpp"
+#include "sync/engine.hpp"
+
+namespace papc::sync {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+        hash ^= (value >> (8 * byte)) & 0xFFU;
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+/// Hash of the full per-node state of a baseline dynamics.
+std::uint64_t state_hash(const ColorVectorDynamics& dynamics, std::size_t n) {
+    std::uint64_t hash = kFnvOffset;
+    for (NodeId v = 0; v < n; ++v) hash = fnv1a(hash, dynamics.color(v));
+    return hash;
+}
+
+/// Hash of the full per-node (generation, opinion) state of Algorithm 1.
+std::uint64_t state_hash(const Algorithm1& alg, std::size_t n) {
+    std::uint64_t hash = kFnvOffset;
+    for (NodeId v = 0; v < n; ++v) {
+        hash = fnv1a(hash, (static_cast<std::uint64_t>(alg.generation(v)) << 32U) |
+                               alg.color(v));
+    }
+    return hash;
+}
+
+template <typename Dynamics>
+std::uint64_t run_rounds_and_hash(Dynamics& dynamics, std::size_t n,
+                                  std::uint64_t seed, int rounds) {
+    Rng rng(seed);
+    for (int i = 0; i < rounds; ++i) dynamics.step(rng);
+    return state_hash(dynamics, n);
+}
+
+// Weak bias and large k keep the population mixed for all 12 rounds, so the
+// hash covers a rich trajectory rather than an early-converged fixpoint.
+constexpr std::size_t kN = 8192;
+
+Assignment golden_assignment(std::uint32_t k, double alpha) {
+    Rng workload_rng(991);
+    return make_biased_plurality(kN, k, alpha, workload_rng);
+}
+
+TEST(KernelGolden, Algorithm1StateHash) {
+    const Assignment a = golden_assignment(8, 1.2);
+    ScheduleParams params;
+    params.n = kN;
+    params.k = 8;
+    params.alpha = 1.2;
+    Algorithm1 alg(a, Schedule(params));
+    EXPECT_EQ(run_rounds_and_hash(alg, kN, 2024, 40), 15367423562979334804ULL);
+}
+
+TEST(KernelGolden, PullVotingStateHash) {
+    const Assignment a = golden_assignment(8, 1.2);
+    PullVoting dynamics(a);
+    EXPECT_EQ(run_rounds_and_hash(dynamics, kN, 2025, 12), 11216084642072756836ULL);
+}
+
+TEST(KernelGolden, TwoChoicesStateHash) {
+    const Assignment a = golden_assignment(8, 1.2);
+    TwoChoices dynamics(a);
+    EXPECT_EQ(run_rounds_and_hash(dynamics, kN, 2026, 12), 8978581272755740737ULL);
+}
+
+TEST(KernelGolden, ThreeMajorityStateHash) {
+    const Assignment a = golden_assignment(8, 1.2);
+    ThreeMajority dynamics(a);
+    EXPECT_EQ(run_rounds_and_hash(dynamics, kN, 2027, 12), 6256885491803517378ULL);
+}
+
+TEST(KernelGolden, UndecidedStateStateHash) {
+    const Assignment a = golden_assignment(8, 1.2);
+    UndecidedState dynamics(a);
+    EXPECT_EQ(run_rounds_and_hash(dynamics, kN, 2028, 12), 14246098774739676572ULL);
+}
+
+struct ApiGolden {
+    const char* protocol;
+    std::size_t n;
+    std::uint32_t k;
+    double alpha;
+    std::uint64_t seed;
+    std::uint64_t steps;
+    double epsilon_time;
+    double consensus_time;
+};
+
+class ApiGoldenSuite : public ::testing::TestWithParam<ApiGolden> {};
+
+TEST_P(ApiGoldenSuite, EndToEndPin) {
+    const ApiGolden& g = GetParam();
+    api::Scenario scenario;
+    scenario.protocol = g.protocol;
+    scenario.n = g.n;
+    scenario.k = g.k;
+    scenario.alpha = g.alpha;
+    const api::ScenarioResult r = api::run(scenario, g.seed);
+    EXPECT_TRUE(r.run.converged);
+    EXPECT_EQ(r.run.winner, 0U);
+    EXPECT_EQ(r.run.steps, g.steps);
+    EXPECT_DOUBLE_EQ(r.run.end_time, static_cast<double>(g.steps));
+    EXPECT_DOUBLE_EQ(r.run.epsilon_time, g.epsilon_time);
+    EXPECT_DOUBLE_EQ(r.run.consensus_time, g.consensus_time);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSyncProtocols, ApiGoldenSuite,
+    ::testing::Values(
+        ApiGolden{"sync", 4096, 4, 1.5, 42, 35, 30.0, 35.0},
+        ApiGolden{"two-choices", 4096, 4, 2.0, 7, 8, 7.0, 8.0},
+        ApiGolden{"3-majority", 4096, 8, 2.0, 11, 12, 11.0, 12.0},
+        ApiGolden{"undecided", 4096, 3, 3.0, 13, 8, 7.0, 8.0},
+        ApiGolden{"pull", 2048, 2, 3.0, 5, 4376, 4256.0, 4376.0}),
+    [](const auto& info) {
+        std::string name = info.param.protocol;
+        for (char& c : name) {
+            if (c == '-') c = '_';
+        }
+        return name;
+    });
+
+}  // namespace
+}  // namespace papc::sync

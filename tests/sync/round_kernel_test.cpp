@@ -1,0 +1,167 @@
+#include "sync/round_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "opinion/assignment.hpp"
+#include "sync/algorithm1.hpp"
+#include "sync/schedule.hpp"
+
+namespace papc::sync {
+namespace {
+
+TEST(BlockedRound, DrawOrderMatchesScalarPerNodeLoop) {
+    // The kernel must consume the generator exactly like the scalar loop:
+    // node 0's kDraws samples first, then node 1's, ... across blocks.
+    const std::size_t n = 2 * kRoundBlock + 137;  // partial tail block
+    Rng scalar(52);
+    Rng batched(52);
+
+    std::vector<std::uint64_t> expected(3 * n);
+    for (auto& value : expected) value = scalar.uniform_index(n);
+
+    std::vector<std::uint64_t> scratch;
+    std::vector<std::uint64_t> seen;
+    seen.reserve(3 * n);
+    blocked_round<3>(batched, n, scratch,
+                     [&](std::size_t, std::size_t count,
+                         const std::uint64_t* idx) {
+        seen.insert(seen.end(), idx, idx + 3 * count);
+    });
+    EXPECT_EQ(seen, expected);
+    EXPECT_EQ(batched.next_u64(), scalar.next_u64());  // state in lockstep
+}
+
+TEST(BlockedRound, CoversEveryNodeExactlyOnce) {
+    const std::size_t n = kRoundBlock + 57;
+    Rng rng(53);
+    std::vector<std::uint64_t> scratch;
+    std::vector<int> visits(n, 0);
+    blocked_round<1>(rng, n, scratch,
+                     [&](std::size_t base, std::size_t count,
+                         const std::uint64_t* idx) {
+        for (std::size_t i = 0; i < count; ++i) {
+            ASSERT_LT(idx[i], n);
+            ++visits[base + i];
+        }
+    });
+    for (std::size_t v = 0; v < n; ++v) EXPECT_EQ(visits[v], 1) << v;
+}
+
+TEST(BufferedSampler, MatchesDirectUniformIndexSequence) {
+    Rng scalar(54);
+    Rng batched(54);
+    BufferedSampler sampler(64);  // small buffer: exercise several refills
+    for (int i = 0; i < 1000; ++i) {
+        // Alternate ranges like 3-majority does (peer index, then tie-break).
+        const std::uint64_t n = (i % 3 == 2) ? 3 : 1000003;
+        ASSERT_EQ(sampler.uniform_index(batched, n), scalar.uniform_index(n))
+            << "draw " << i;
+    }
+}
+
+TEST(BufferedSampler, HeavyRejectionStaysEquivalent) {
+    Rng scalar(55);
+    Rng batched(55);
+    BufferedSampler sampler(32);
+    const std::uint64_t n = (1ULL << 63U) + 7;  // ~half of raws rejected
+    for (int i = 0; i < 2000; ++i) {
+        ASSERT_EQ(sampler.uniform_index(batched, n), scalar.uniform_index(n))
+            << "draw " << i;
+    }
+}
+
+TEST(OpinionDeltaAccumulator, MatchesFullReset) {
+    const std::uint32_t k = 5;
+    Rng rng(56);
+    std::vector<Opinion> colors(513);
+    for (auto& c : colors) {
+        const auto draw = rng.uniform_index(k + 1);
+        c = draw == k ? kUndecided : static_cast<Opinion>(draw);
+    }
+    OpinionCensus fused(colors.size(), k);
+    fused.reset(colors);
+    OpinionDeltaAccumulator deltas(k);
+
+    std::vector<Opinion> next = colors;
+    for (std::size_t v = 0; v < next.size(); ++v) {
+        const auto draw = rng.uniform_index(k + 1);
+        const Opinion to = draw == k ? kUndecided : static_cast<Opinion>(draw);
+        deltas.note(next[v], to);
+        next[v] = to;
+    }
+    deltas.commit(fused);
+
+    OpinionCensus reference(next.size(), k);
+    reference.reset(next);
+    for (Opinion j = 0; j < k; ++j) {
+        EXPECT_EQ(fused.count(j), reference.count(j)) << "opinion " << j;
+    }
+    EXPECT_EQ(fused.undecided_count(), reference.undecided_count());
+
+    // commit() clears the accumulator: an empty commit is a no-op.
+    deltas.commit(fused);
+    for (Opinion j = 0; j < k; ++j) {
+        EXPECT_EQ(fused.count(j), reference.count(j));
+    }
+}
+
+TEST(PackedState, RoundTripsGenerationAndOpinion) {
+    const PackedState w = pack_state(7, 3);
+    EXPECT_EQ(packed_generation(w), 7U);
+    EXPECT_EQ(packed_opinion(w), 3U);
+    EXPECT_EQ(pack_state(0, 0), 0ULL);
+    // Promotion by one generation is a single add on the packed word.
+    EXPECT_EQ(w + (1ULL << 32U), pack_state(8, 3));
+    EXPECT_EQ(packed_generation(pack_state(0xFFFFFFFFU, 0xFFFFFFFEU)),
+              0xFFFFFFFFU);
+    EXPECT_EQ(packed_opinion(pack_state(0xFFFFFFFFU, 0xFFFFFFFEU)),
+              0xFFFFFFFEU);
+}
+
+TEST(FusedCensus, MatchesRecountAfterManyAlgorithm1Rounds) {
+    // The incremental (delta-applied) census must equal a from-scratch
+    // recount of the per-node packed state after every round.
+    const std::size_t n = 4096;
+    const std::uint32_t k = 4;
+    Rng workload_rng(57);
+    const Assignment a = make_biased_plurality(n, k, 1.3, workload_rng);
+    ScheduleParams params;
+    params.n = n;
+    params.k = k;
+    params.alpha = 1.3;
+    Algorithm1 alg(a, Schedule(params));
+    Rng rng(58);
+    for (int round = 0; round < 30; ++round) {
+        alg.step(rng);
+        std::vector<Generation> generations(n);
+        std::vector<Opinion> opinions(n);
+        for (NodeId v = 0; v < n; ++v) {
+            generations[v] = alg.generation(v);
+            opinions[v] = alg.color(v);
+        }
+        GenerationCensus reference(n, k);
+        reference.rebuild(generations, opinions);
+        ASSERT_EQ(alg.census().highest_populated(),
+                  reference.highest_populated())
+            << "round " << round;
+        for (Generation g = 0; g <= reference.highest_populated(); ++g) {
+            ASSERT_EQ(alg.census().generation_size(g),
+                      reference.generation_size(g))
+                << "round " << round << " generation " << g;
+            for (Opinion j = 0; j < k; ++j) {
+                ASSERT_EQ(alg.census().count(g, j), reference.count(g, j))
+                    << "round " << round << " generation " << g << " opinion "
+                    << j;
+            }
+        }
+        for (Opinion j = 0; j < k; ++j) {
+            ASSERT_EQ(alg.census().opinion_total(j),
+                      reference.opinion_total(j));
+        }
+    }
+}
+
+}  // namespace
+}  // namespace papc::sync
