@@ -189,6 +189,71 @@ BENCHMARK(BM_SyncRound_TwoChoices)->Apply(sync_matrix_args);
 BENCHMARK(BM_SyncRound_ThreeMajority)->Apply(sync_matrix_args);
 BENCHMARK(BM_SyncRound_UndecidedState)->Apply(sync_matrix_args);
 
+// Sharded round matrix (PR 5): the same per-round kernels driven through
+// the worker pool, args {n, k, threads}. iterations/sec is rounds/sec; the
+// acceptance comparison is threads=4 vs threads=1 from ONE recorded run
+// (same binary), diffed with
+//   scripts/bench-diff.py BENCH.json BENCH.json \
+//       --suffix-before /threads:1/real_time \
+//       --suffix-after /threads:4/real_time
+template <typename Dynamics>
+void sync_round_sharded(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto k = static_cast<std::uint32_t>(state.range(1));
+    const auto threads = static_cast<std::size_t>(state.range(2));
+    Rng rng(6);
+    const Assignment a = make_biased_plurality(n, k, 1.5, rng);
+    auto alg = [&] {
+        if constexpr (std::is_same_v<Dynamics, sync::Algorithm1>) {
+            sync::ScheduleParams sp;
+            sp.n = n;
+            sp.k = k;
+            sp.alpha = 1.5;
+            return sync::Algorithm1(a, sync::Schedule(sp), threads);
+        } else {
+            return Dynamics(a, threads);
+        }
+    }();
+    for (auto _ : state) {
+        alg.step(rng);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+
+void BM_SyncRoundSharded_Algorithm1(benchmark::State& state) {
+    sync_round_sharded<sync::Algorithm1>(state);
+}
+void BM_SyncRoundSharded_PullVoting(benchmark::State& state) {
+    sync_round_sharded<sync::PullVoting>(state);
+}
+void BM_SyncRoundSharded_TwoChoices(benchmark::State& state) {
+    sync_round_sharded<sync::TwoChoices>(state);
+}
+void BM_SyncRoundSharded_ThreeMajority(benchmark::State& state) {
+    sync_round_sharded<sync::ThreeMajority>(state);
+}
+void BM_SyncRoundSharded_UndecidedState(benchmark::State& state) {
+    sync_round_sharded<sync::UndecidedState>(state);
+}
+
+void sharded_matrix_args(benchmark::internal::Benchmark* bench) {
+    bench->ArgNames({"n", "k", "threads"});
+    // Wall-clock rates: the default CPU-time rate only meters the calling
+    // thread, which under-counts pooled work and over-reports items/s.
+    bench->UseRealTime();
+    for (const int shift : {20, 22}) {
+        for (const int threads : {1, 2, 4}) {
+            bench->Args({1 << shift, 8, threads});
+        }
+    }
+}
+BENCHMARK(BM_SyncRoundSharded_Algorithm1)->Apply(sharded_matrix_args);
+BENCHMARK(BM_SyncRoundSharded_PullVoting)->Apply(sharded_matrix_args);
+BENCHMARK(BM_SyncRoundSharded_TwoChoices)->Apply(sharded_matrix_args);
+BENCHMARK(BM_SyncRoundSharded_ThreeMajority)->Apply(sharded_matrix_args);
+BENCHMARK(BM_SyncRoundSharded_UndecidedState)->Apply(sharded_matrix_args);
+
 // End-to-end through api::run at n = 2^20 (the acceptance measurement for
 // the kernel refactor): one full fixed-seed convergence run per iteration;
 // items/sec reports rounds/sec. The weak alpha makes the run long enough

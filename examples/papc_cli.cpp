@@ -54,8 +54,9 @@ void usage() {
     std::cout << "\nRun options\n"
                  "  --seed N          RNG seed / sweep base seed (default 1)\n"
                  "  --reps N          trials per sweep cell (default 3)\n"
-                 "  --threads N       worker threads per sweep cell (default "
-                 "1)\n"
+                 "  --sweep-threads N worker threads per sweep cell (default "
+                 "1;\n"
+                 "                    --threads above is intra-run sharding)\n"
                  "  --json FILE       write the result as JSON (\"-\" = "
                  "stdout)\n"
                  "  --csv FILE        write the plurality series to CSV "
@@ -271,7 +272,7 @@ int main(int argc, char** argv) {
     // mistake (e.g. "--sweep" with the spec forgotten), not a default, and
     // the numeric ones parse strictly ("--seed banana" is an error, not
     // seed 0) — the same contract the Scenario fields follow.
-    for (const char* key : {"seed", "sweep", "reps", "threads", "json",
+    for (const char* key : {"seed", "sweep", "reps", "sweep-threads", "json",
                             "csv"}) {
         if (args.has(key) && args.get(key, "").empty()) {
             std::cerr << "papc_cli: option --" << key
@@ -297,7 +298,7 @@ int main(int argc, char** argv) {
     std::uint64_t reps_value = 3;
     std::uint64_t threads_value = 1;
     if (!cli_u64("seed", 1, &seed) || !cli_u64("reps", 3, &reps_value) ||
-        !cli_u64("threads", 1, &threads_value)) {
+        !cli_u64("sweep-threads", 1, &threads_value)) {
         return 1;
     }
     const auto reps = static_cast<std::size_t>(reps_value);
@@ -307,10 +308,11 @@ int main(int argc, char** argv) {
     const std::string csv_path = args.get("csv", "");
     const bool quiet = args.get_flag("quiet");
 
-    // --reps/--threads only mean something to a sweep; accepting them on a
-    // single run would silently ignore them.
+    // --reps/--sweep-threads only mean something to a sweep; accepting
+    // them on a single run would silently ignore them. (--threads is a
+    // Scenario field — intra-run sharding — and valid everywhere.)
     if (sweep_spec.empty()) {
-        for (const char* key : {"reps", "threads"}) {
+        for (const char* key : {"reps", "sweep-threads"}) {
             if (args.has(key)) {
                 std::cerr << "papc_cli: option --" << key
                           << " requires --sweep\n";
@@ -329,6 +331,15 @@ int main(int argc, char** argv) {
     if (list) return list_protocols();
 
     if (!sweep_spec.empty()) {
+        // Migration note (PR 5): --threads used to mean sweep trial
+        // workers and now means intra-run sharding (a Scenario field);
+        // trial workers moved to --sweep-threads. Surface the change so
+        // old scripts don't silently lose their parallelism.
+        if (args.has("threads") && !args.has("sweep-threads")) {
+            std::cerr << "papc_cli: note: --threads now sets intra-run "
+                         "sharding (per-scenario); use --sweep-threads for "
+                         "parallel sweep trials\n";
+        }
         if (!csv_path.empty()) {
             // Rejected rather than silently dropped: the per-run series
             // CSV has no sweep analogue (use --json for the table).

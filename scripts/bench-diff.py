@@ -3,17 +3,35 @@
 
 Usage:
     scripts/bench-diff.py BEFORE.json AFTER.json [--filter SUBSTRING]
+        [--suffix-before SUF] [--suffix-after SUF]
 
 For every benchmark name present in both files the script prints the
 throughput ratio after/before (from items_per_second when recorded, falling
 back to the inverse real_time ratio), so > 1.0 means AFTER is faster. Used
 to produce the README perf table from BENCH_pr4_before.json /
 BENCH_pr4.json and to sanity-check future kernel PRs.
+
+--suffix-before/--suffix-after join rows whose names differ only by a
+trailing argument — e.g. the PR 5 thread-scaling comparison reads one
+recorded file twice and matches .../threads:1 rows against .../threads:4:
+
+    scripts/bench-diff.py BENCH_pr5.json BENCH_pr5.json \\
+        --suffix-before /threads:1/real_time --suffix-after /threads:4/real_time
+
+Rows not carrying the requested suffix are dropped from that side.
 """
 
 import argparse
 import json
 import sys
+
+
+def strip_suffix(table, suffix):
+    """Keeps only names ending in `suffix`, keyed without it."""
+    if not suffix:
+        return table
+    return {name[: -len(suffix)]: row
+            for name, row in table.items() if name.endswith(suffix)}
 
 
 def load(path):
@@ -58,10 +76,15 @@ def main():
     parser.add_argument("after", help="candidate google-benchmark JSON")
     parser.add_argument("--filter", default="",
                         help="only report names containing this substring")
+    parser.add_argument("--suffix-before", default="",
+                        help="only BEFORE rows with this name suffix, "
+                             "matched with the suffix removed")
+    parser.add_argument("--suffix-after", default="",
+                        help="same for AFTER rows")
     args = parser.parse_args()
 
-    before = load(args.before)
-    after = load(args.after)
+    before = strip_suffix(load(args.before), args.suffix_before)
+    after = strip_suffix(load(args.after), args.suffix_after)
     shared = [name for name in before if name in after
               and args.filter in name]
     if not shared:

@@ -153,7 +153,8 @@ cluster::ClusterConfig cluster_config_from(const Scenario& s) {
 // ----------------------------------------------------------- registration
 
 void register_builtins(ProtocolRegistry& registry) {
-    const std::vector<std::string> sync_knobs = {"max-steps", "record-every"};
+    const std::vector<std::string> sync_knobs = {"threads", "max-steps",
+                                                 "record-every"};
     const std::vector<std::string> population_knobs = {"max-steps",
                                                        "record-every"};
     const std::vector<std::string> event_knobs = {"lambda", "max-time",
@@ -163,7 +164,7 @@ void register_builtins(ProtocolRegistry& registry) {
     registry.register_protocol(
         ProtocolInfo{"sync", "sync",
                      "Algorithm 1 (generation-based synchronous protocol)",
-                     {"gamma", "max-steps", "record-every"},
+                     {"gamma", "threads", "max-steps", "record-every"},
                      {},
                      2, 0},
         [](const Scenario& s, std::uint64_t seed) {
@@ -177,7 +178,7 @@ void register_builtins(ProtocolRegistry& registry) {
                     params.alpha = std::max(scenario.alpha, 1.01);
                     params.gamma = scenario.gamma;
                     return std::make_unique<sync::Algorithm1>(
-                        assignment, sync::Schedule(params));
+                        assignment, sync::Schedule(params), scenario.threads);
                 });
         });
     registry.register_protocol(
@@ -189,9 +190,10 @@ void register_builtins(ProtocolRegistry& registry) {
         [](const Scenario& s, std::uint64_t seed) {
             return run_sync_family(
                 s, seed,
-                [](const Scenario&, const Assignment& assignment)
+                [](const Scenario& scenario, const Assignment& assignment)
                     -> std::unique_ptr<sync::SyncDynamics> {
-                    return std::make_unique<sync::TwoChoices>(assignment);
+                    return std::make_unique<sync::TwoChoices>(assignment,
+                                                         scenario.threads);
                 });
         });
     registry.register_protocol(
@@ -203,9 +205,10 @@ void register_builtins(ProtocolRegistry& registry) {
         [](const Scenario& s, std::uint64_t seed) {
             return run_sync_family(
                 s, seed,
-                [](const Scenario&, const Assignment& assignment)
+                [](const Scenario& scenario, const Assignment& assignment)
                     -> std::unique_ptr<sync::SyncDynamics> {
-                    return std::make_unique<sync::ThreeMajority>(assignment);
+                    return std::make_unique<sync::ThreeMajority>(assignment,
+                                                         scenario.threads);
                 });
         });
     registry.register_protocol(
@@ -217,9 +220,10 @@ void register_builtins(ProtocolRegistry& registry) {
         [](const Scenario& s, std::uint64_t seed) {
             return run_sync_family(
                 s, seed,
-                [](const Scenario&, const Assignment& assignment)
+                [](const Scenario& scenario, const Assignment& assignment)
                     -> std::unique_ptr<sync::SyncDynamics> {
-                    return std::make_unique<sync::UndecidedState>(assignment);
+                    return std::make_unique<sync::UndecidedState>(assignment,
+                                                         scenario.threads);
                 });
         });
     registry.register_protocol(
@@ -231,9 +235,10 @@ void register_builtins(ProtocolRegistry& registry) {
         [](const Scenario& s, std::uint64_t seed) {
             return run_sync_family(
                 s, seed,
-                [](const Scenario&, const Assignment& assignment)
+                [](const Scenario& scenario, const Assignment& assignment)
                     -> std::unique_ptr<sync::SyncDynamics> {
-                    return std::make_unique<sync::PullVoting>(assignment);
+                    return std::make_unique<sync::PullVoting>(assignment,
+                                                         scenario.threads);
                 });
         });
 

@@ -146,6 +146,17 @@ const FieldSpec kFields[] = {
          return {};
      },
      [](const Scenario& s) { return format_double_field(s.gamma); }},
+    {"threads", "intra-run worker threads (sync family; results identical "
+                "at any count)",
+     [](Scenario& s, const std::string& v) -> std::string {
+         std::uint64_t parsed = 0;
+         if (!try_parse_u64(v, &parsed)) {
+             return bad_value("threads", v, "a positive integer");
+         }
+         s.threads = static_cast<std::size_t>(parsed);
+         return {};
+     },
+     [](const Scenario& s) { return std::to_string(s.threads); }},
     {"epsilon", "(1-eps)-agreement threshold",
      [](Scenario& s, const std::string& v) -> std::string {
          if (!try_parse_double(v, &s.epsilon)) {
@@ -240,6 +251,9 @@ std::vector<std::string> validate(const Scenario& scenario) {
     if (!(scenario.gamma > 0.0) || scenario.gamma > 1.0) {
         complain("gamma must be in (0, 1]");
     }
+    if (scenario.threads < 1 || scenario.threads > 1024) {
+        complain("threads must be in [1, 1024]");
+    }
     if (!(scenario.epsilon > 0.0) || scenario.epsilon >= 1.0) {
         complain("epsilon must be in (0, 1)");
     }
@@ -291,6 +305,7 @@ void write_json(JsonWriter& writer, const Scenario& scenario) {
     writer.kv("lambda", scenario.lambda);
     writer.kv("msg-rate", scenario.msg_rate);
     writer.kv("gamma", scenario.gamma);
+    writer.kv("threads", static_cast<std::uint64_t>(scenario.threads));
     writer.kv("epsilon", scenario.epsilon);
     writer.kv("max-steps", scenario.max_steps);
     writer.kv("max-time", scenario.max_time);

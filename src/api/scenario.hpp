@@ -57,6 +57,11 @@ struct Scenario {
     double msg_rate = 2.0;  ///< per-message rate (validated)
     double gamma = 0.5;     ///< generation-density threshold (sync Alg. 1)
 
+    /// Intra-run worker threads (sync family: sharded round execution).
+    /// Results are bit-identical at every thread count; only throughput
+    /// changes. Sweepable like any field ("threads=1,2,4").
+    std::size_t threads = 1;
+
     // Convergence reporting.
     double epsilon = 0.02;  ///< (1-eps)-agreement threshold
 

@@ -14,17 +14,29 @@ RunResult run(Engine& engine, const EngineOptions& options,
     ConvergenceTracker tracker(options.epsilon);
     const bool time_driven = options.sample_interval > 0.0;
 
-    // One sample: observer hook, series recording, ε/consensus detection.
-    // Returns true once full consensus has been seen.
-    auto sample = [&](std::uint64_t steps) {
+    // All reported times saturate at the time budget: the step that
+    // crosses max_time is still fully processed (an engine cannot undo an
+    // advance), but its time — and therefore end_time, the series, and
+    // epsilon/consensus detection — is clamped to the boundary.
+    const auto clamped_now = [&] {
         const double time = engine.now();
+        return options.max_time >= 0.0 && time > options.max_time
+                   ? options.max_time
+                   : time;
+    };
+
+    // One sample: observer hook, series recording, ε/consensus detection.
+    // Returns true once full consensus has been seen. `always_record`
+    // forces the series point regardless of cadence (budget boundary).
+    auto sample = [&](std::uint64_t steps, bool always_record = false) {
+        const double time = clamped_now();
         const double fraction = engine.opinion_fraction(options.plurality);
         const bool now_converged = engine.converged();
         if (observer != nullptr) observer->on_sample(time, fraction);
         if (options.record) {
             const bool on_cadence = time_driven || options.record_every == 0 ||
                                     steps % options.record_every == 0;
-            if (on_cadence || now_converged) {
+            if (on_cadence || now_converged || always_record) {
                 result.plurality_fraction.record(time, fraction);
             }
         }
@@ -40,15 +52,29 @@ RunResult run(Engine& engine, const EngineOptions& options,
         if (!engine.advance()) break;
         ++steps;
         const double time = engine.now();
-        if (options.max_time >= 0.0 && time > options.max_time) break;
+        if (options.max_time >= 0.0 && time > options.max_time) {
+            // Budget boundary: one final sample (clamped to max_time) so
+            // the series and the tracker always see the exit state.
+            (void)sample(steps, /*always_record=*/true);
+            done = true;
+            break;
+        }
         if (time_driven) {
             if (time >= next_sample) {
                 done = sample(steps);
                 // Skip intervals no step landed in; one sample per crossing.
                 while (next_sample <= time) next_sample += options.sample_interval;
             }
-        } else if (steps % options.check_every == 0) {
-            done = sample(steps);
+        } else {
+            // Convergence checks fire every check_every steps; recording
+            // additionally fires on its own cadence, so a record_every
+            // that is not a multiple of check_every is honored exactly
+            // rather than silently snapping to check boundaries.
+            const bool check_step = steps % options.check_every == 0;
+            const bool record_step = options.record &&
+                                     options.record_every > 0 &&
+                                     steps % options.record_every == 0;
+            if (check_step || record_step) done = sample(steps);
         }
     }
 
@@ -60,7 +86,7 @@ RunResult run(Engine& engine, const EngineOptions& options,
     }
 
     result.steps = steps;
-    result.end_time = engine.now();
+    result.end_time = clamped_now();
     result.converged = engine.converged();
     result.winner = engine.dominant();
     result.plurality_won = result.converged && result.winner == options.plurality;

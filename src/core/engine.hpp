@@ -10,7 +10,9 @@
 /// Two sampling modes cover all families:
 ///   - step-driven (sample_interval == 0): convergence is checked every
 ///     `check_every` steps and the series is recorded on the
-///     `record_every` cadence (sync rounds, population interactions);
+///     `record_every` cadence — each fires exactly on its own schedule,
+///     so the two cadences need not divide each other (sync rounds,
+///     population interactions);
 ///   - time-driven (sample_interval > 0): a check fires at the first step
 ///     whose time crosses the next multiple of the interval (event
 ///     simulations; replaces their hand-rolled metronome events).
@@ -50,15 +52,21 @@ public:
 struct EngineOptions {
     std::uint64_t max_steps = 0;    ///< step budget (0 = unlimited)
     /// Time budget (< 0 = unlimited). The step that crosses the budget is
-    /// fully processed before the loop stops (unlike the old event loops,
-    /// which discarded the popped boundary event), and a run that
-    /// converged by exit is still detected there — so consensus_time can
-    /// sit just past max_time rather than being reported as -1.
+    /// fully processed — an engine cannot undo an advance, and the old
+    /// event loops' discard-the-boundary-event behaviour lost work — but
+    /// every reported time saturates at the budget: end_time never
+    /// exceeds max_time, a final sample fires at the (clamped) boundary,
+    /// and a run that converged by exit reports consensus_time <=
+    /// max_time rather than -1.
     double max_time = -1.0;
-    std::uint64_t check_every = 1;  ///< steps between checks (step-driven)
+    std::uint64_t check_every = 1;  ///< steps between convergence checks
+                                    ///< (step-driven)
     double sample_interval = 0.0;   ///< > 0: time-driven checks instead
-    std::uint64_t record_every = 0; ///< recording cadence in steps
-                                    ///< (0 = record at every check)
+    /// Recording cadence in steps (0 = record at every check). Honored
+    /// exactly: a record_every that is not a multiple of check_every
+    /// records on its own schedule (convergence can also be detected at
+    /// those steps — the tracker observes every sample).
+    std::uint64_t record_every = 0;
     bool record = false;            ///< record the plurality series
     bool sample_at_start = false;   ///< check once before the first step
     Opinion plurality = 0;          ///< expected winner for ε-tracking

@@ -37,6 +37,20 @@ Rng Rng::split() {
     return Rng(splitmix64(sm));
 }
 
+Rng Rng::substream(std::uint64_t a, std::uint64_t b) const {
+    // Absorb the four state words and both labels into one splitmix64
+    // chain; the accumulated output seeds the child (whose constructor
+    // expands it to a full 256-bit state). Everything is const on the
+    // parent: same (state, a, b) always gives the same child.
+    std::uint64_t sm = state_[0];
+    std::uint64_t folded = splitmix64(sm);
+    for (const std::uint64_t word : {state_[1], state_[2], state_[3], a, b}) {
+        sm ^= word;
+        folded ^= splitmix64(sm);
+    }
+    return Rng(folded);
+}
+
 std::uint64_t Rng::next_u64() {
     const std::uint64_t result = rotl(state_[1] * 5U, 7) * 9U;
     const std::uint64_t t = state_[1] << 17U;
@@ -117,11 +131,7 @@ double Rng::uniform(double lo, double hi) {
 
 std::uint64_t Rng::uniform_index(std::uint64_t n) {
     PAPC_CHECK(n > 0);
-    const std::uint64_t threshold = lemire_threshold(n);
-    std::uint64_t index;
-    while (!lemire_map(next_u64(), n, threshold, index)) {
-    }
-    return index;
+    return uniform_index(n, lemire_threshold(n));
 }
 
 std::uint64_t Rng::uniform_index_excluding(std::uint64_t n,

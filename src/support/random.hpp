@@ -60,6 +60,23 @@ public:
     /// the parent/child non-overlap empirically on 1e6 draws.
     [[nodiscard]] Rng split();
 
+    /// Derives a labeled, statistically independent generator as a pure
+    /// function of (current state, a, b): the parent does NOT advance, so
+    /// the same labels always yield the same stream. This is the sharded
+    /// sync kernels' determinism primitive — shard s of round r draws from
+    /// substream(r, s), which depends only on the parent's state at round
+    /// start and the labels, never on which thread runs the shard or in
+    /// what order (the round driver advances the parent once per round
+    /// itself, on the driving thread — see ShardedRoundDriver). Like
+    /// split(), the child is a reseed: state and labels fold into ONE
+    /// 64-bit value that seeds the child, so two label pairs collide on
+    /// the entire stream with probability ~2^-64 (a birthday bound of
+    /// ~pairs^2 / 2^65 per run — fine for shards x rounds scales, but a
+    /// 64-bit bottleneck, not a 2^-256 guarantee). Distinct labels
+    /// giving distinct streams is pinned in
+    /// tests/support/random_test.cpp.
+    [[nodiscard]] Rng substream(std::uint64_t a, std::uint64_t b) const;
+
     /// Uniform 64-bit value.
     std::uint64_t next_u64();
 
@@ -86,6 +103,19 @@ public:
     /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's unbiased
     /// multiply-shift rejection method.
     std::uint64_t uniform_index(std::uint64_t n);
+
+    /// Same with the rejection threshold precomputed by the caller
+    /// (`threshold` must be lemire_threshold(n)); uniform_index(n)
+    /// delegates here. Hot per-draw loops hoist the 64-bit division this
+    /// way when the optimizer cannot prove n loop-invariant across an
+    /// inlined lambda chain (BufferedSampler has the matching overload
+    /// for the sharded kernels' inline-draw paths).
+    std::uint64_t uniform_index(std::uint64_t n, std::uint64_t threshold) {
+        std::uint64_t index;
+        while (!lemire_map(next_u64(), n, threshold, index)) {
+        }
+        return index;
+    }
 
     /// Uniform integer in [0, n) \ {excluded}. Requires n >= 2 and
     /// excluded < n. One draw (shift-over-hole), no rejection loop — the

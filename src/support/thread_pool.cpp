@@ -1,0 +1,91 @@
+#include "support/thread_pool.hpp"
+
+#include "support/check.hpp"
+
+namespace papc::support {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    PAPC_CHECK(threads >= 1);
+    workers_.reserve(threads - 1);
+    for (std::size_t w = 1; w < threads; ++w) {
+        workers_.emplace_back([this, w] { worker_loop(w); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_ready_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+    if (count == 0) return;
+    if (workers_.empty() || count == 1) {
+        for (std::size_t task = 0; task < count; ++task) fn(task, 0);
+        return;
+    }
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->count = count;
+    job->tasks_remaining = count;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        PAPC_CHECK(job_ == nullptr);  // not reentrant
+        job_ = job;
+        ++job_generation_;
+    }
+    work_ready_.notify_all();
+    drain(*job, /*worker=*/0);
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        job_done_.wait(lock, [&job] { return job->tasks_remaining == 0; });
+        job_ = nullptr;
+    }
+}
+
+/// Pulls tasks off the job's cursor until it is exhausted. A worker that
+/// arrives after exhaustion (or for an already-finished job) breaks out
+/// on its first fetch and reports nothing.
+void ThreadPool::drain(Job& job, std::size_t worker) {
+    std::size_t done = 0;
+    for (;;) {
+        const std::size_t task =
+            job.next_task.fetch_add(1, std::memory_order_relaxed);
+        if (task >= job.count) break;
+        (*job.fn)(task, worker);
+        ++done;
+    }
+    if (done > 0) {
+        bool last = false;
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            job.tasks_remaining -= done;
+            last = job.tasks_remaining == 0;
+        }
+        if (last) job_done_.notify_all();
+    }
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_ready_.wait(lock, [this, seen_generation] {
+                return stopping_ || job_generation_ != seen_generation;
+            });
+            if (stopping_) return;
+            seen_generation = job_generation_;
+            job = job_;
+        }
+        if (job != nullptr) drain(*job, worker);
+    }
+}
+
+}  // namespace papc::support

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Small reusable worker pool for intra-run parallelism (the sharded sync
+/// round kernels). A pool with `threads` slots owns `threads - 1` worker
+/// threads that park on a condition variable between jobs; the calling
+/// thread always participates as worker 0, so a 1-thread pool spawns
+/// nothing and runs jobs inline with zero synchronization.
+///
+/// The one entry point is parallel_for(count, fn): fn(task, worker) runs
+/// for every task index in [0, count), tasks handed out through one atomic
+/// cursor. Which worker runs which task is scheduling-dependent — callers
+/// that need determinism must make task results independent of assignment
+/// (the sharded kernels do: per-task RNG substreams, per-task delta
+/// buffers merged in task order, per-worker scratch only for reuse).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace papc::support {
+
+class ThreadPool {
+public:
+    /// A pool with `threads` execution slots (>= 1): the calling thread
+    /// plus `threads - 1` parked workers.
+    explicit ThreadPool(std::size_t threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Execution slots (worker indices span [0, threads())).
+    [[nodiscard]] std::size_t threads() const { return workers_.size() + 1; }
+
+    /// Runs fn(task, worker) for every task in [0, count); returns when
+    /// all tasks finished. worker is a dense index in [0, threads()),
+    /// stable within one parallel_for (use it to index per-worker
+    /// scratch). Not reentrant: fn must not call parallel_for on the same
+    /// pool.
+    void parallel_for(std::size_t count,
+                      const std::function<void(std::size_t task,
+                                               std::size_t worker)>& fn);
+
+private:
+    /// State of one parallel_for. Workers hold their own shared_ptr, so a
+    /// worker that wakes late for a finished job drains an exhausted
+    /// cursor and never touches a successor job's state.
+    struct Job {
+        const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+        std::size_t count = 0;
+        std::atomic<std::size_t> next_task{0};
+        std::size_t tasks_remaining = 0;  ///< guarded by pool mutex_
+    };
+
+    void worker_loop(std::size_t worker);
+    void drain(Job& job, std::size_t worker);
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable work_ready_;
+    std::condition_variable job_done_;
+    std::shared_ptr<Job> job_;          ///< guarded by mutex_
+    std::uint64_t job_generation_ = 0;  ///< bumps per job; wakes workers
+    bool stopping_ = false;
+};
+
+}  // namespace papc::support

@@ -6,11 +6,14 @@
 
 namespace papc::sync {
 
-Algorithm1::Algorithm1(const Assignment& assignment, Schedule schedule)
+Algorithm1::Algorithm1(const Assignment& assignment, Schedule schedule,
+                       std::size_t threads)
     : k_(assignment.num_opinions),
       schedule_(std::move(schedule)),
       state_(assignment.size()),
       next_state_(assignment.size()),
+      driver_(assignment.size(), threads),
+      shard_deltas_(driver_.num_shards()),
       census_(assignment.size(), assignment.num_opinions) {
     PAPC_CHECK(assignment.size() >= 2);
     for (std::size_t v = 0; v < assignment.size(); ++v) {
@@ -21,7 +24,6 @@ Algorithm1::Algorithm1(const Assignment& assignment, Schedule schedule)
 }
 
 void Algorithm1::step(Rng& rng) {
-    const std::size_t n = state_.size();
     ++round_;
     const bool two_choices = schedule_.is_two_choices_step(round_);
 
@@ -29,13 +31,15 @@ void Algorithm1::step(Rng& rng) {
     // (two-choices promotes to gen(a) + 1 with gen(a) <= highest), so the
     // delta block covers exactly [0, highest + 2).
     const Generation rows = census_.highest_populated() + 2;
-    deltas_.assign(static_cast<std::size_t>(rows) * k_, 0);
+    const std::size_t delta_size = static_cast<std::size_t>(rows) * k_;
 
     const PackedState* state = state_.data();
     PackedState* next = next_state_.data();
-    blocked_round<2>(rng, n, scratch_,
-                     [&](std::size_t base, std::size_t count,
-                         const std::uint64_t* idx) {
+    driver_.run_batched<2>(rng, round_,
+                           [&](std::size_t shard, std::size_t base,
+                               std::size_t count, const std::uint64_t* idx) {
+        std::vector<std::int64_t>& deltas = shard_deltas_[shard];
+        deltas.assign(delta_size, 0);
         gather_decide<2>(state, idx, count, [&](std::size_t i) {
             const PackedState wa = state[idx[2 * i]];
             const PackedState wb = state[idx[2 * i + 1]];
@@ -58,14 +62,19 @@ void Algorithm1::step(Rng& rng) {
             }
             next[base + i] = wn;
             if (wn != wv) {
-                --deltas_[(wv >> 32U) * k_ + packed_opinion(wv)];
-                ++deltas_[(wn >> 32U) * k_ + packed_opinion(wn)];
+                --deltas[(wv >> 32U) * k_ + packed_opinion(wv)];
+                ++deltas[(wn >> 32U) * k_ + packed_opinion(wn)];
             }
         });
     });
 
     state_.swap(next_state_);
-    census_.apply_deltas(deltas_, rows);
+    // Shard-order merge on the driving thread. Every shard's departures
+    // from a (gen, opinion) cell are bounded by the cell's global count,
+    // so intermediate per-shard applications never underflow.
+    for (const std::vector<std::int64_t>& deltas : shard_deltas_) {
+        census_.apply_deltas(deltas, rows);
+    }
     record_new_births();
 }
 

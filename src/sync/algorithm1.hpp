@@ -37,10 +37,13 @@ struct GenerationBirth {
     double collision_probability = 0.0;
 };
 
-/// Algorithm 1 as a synchronous dynamics.
+/// Algorithm 1 as a synchronous dynamics. `threads` > 1 shards each round
+/// over a worker pool (see round_kernel.hpp); fixed-seed results are
+/// bit-identical at every thread count.
 class Algorithm1 final : public SyncDynamics {
 public:
-    Algorithm1(const Assignment& assignment, Schedule schedule);
+    Algorithm1(const Assignment& assignment, Schedule schedule,
+               std::size_t threads = 1);
 
     void step(Rng& rng) override;
 
@@ -72,8 +75,9 @@ private:
     /// Per-node (generation << 32 | opinion) — see round_kernel.hpp.
     std::vector<PackedState> state_;
     std::vector<PackedState> next_state_;
-    std::vector<std::uint64_t> scratch_;   ///< per-block peer-index batch
-    std::vector<std::int64_t> deltas_;     ///< row-major fused census deltas
+    ShardedRoundDriver driver_;
+    /// Per-shard row-major fused census deltas, merged in shard order.
+    std::vector<std::vector<std::int64_t>> shard_deltas_;
     GenerationCensus census_;
     std::vector<GenerationBirth> births_;
     std::uint64_t round_ = 0;

@@ -5,85 +5,151 @@
 namespace papc::sync {
 
 ColorVectorDynamics::ColorVectorDynamics(const Assignment& assignment,
-                                         bool allow_undecided)
+                                         bool allow_undecided,
+                                         std::size_t threads)
     : colors_(assignment.opinions),
       next_colors_(assignment.size()),
       census_(assignment.size(), assignment.num_opinions),
-      deltas_(assignment.num_opinions) {
+      driver_(assignment.size(), threads) {
     PAPC_CHECK(assignment.size() >= 2);
     if (!allow_undecided) {
         for (const Opinion c : colors_) PAPC_CHECK(c != kUndecided);
     }
     census_.reset(colors_);
+    shard_deltas_.reserve(driver_.num_shards());
+    for (std::size_t s = 0; s < driver_.num_shards(); ++s) {
+        shard_deltas_.emplace_back(assignment.num_opinions);
+    }
 }
 
 void ColorVectorDynamics::commit_round() {
     colors_.swap(next_colors_);
-    deltas_.commit(census_);
+    // Shard order: deterministic regardless of which worker ran a shard
+    // (integer deltas commute anyway, but the fixed order keeps the
+    // commit trivially schedule-independent).
+    for (OpinionDeltaAccumulator& deltas : shard_deltas_) {
+        deltas.commit(census_);
+    }
     ++round_;
 }
 
-PullVoting::PullVoting(const Assignment& assignment)
-    : ColorVectorDynamics(assignment, /*allow_undecided=*/false) {}
+PullVoting::PullVoting(const Assignment& assignment, std::size_t threads)
+    : ColorVectorDynamics(assignment, /*allow_undecided=*/false, threads),
+      samplers_(driver_.threads()) {}
 
 void PullVoting::step(Rng& rng) {
     const std::size_t n = colors_.size();
     const Opinion* colors = colors_.data();
-    blocked_round<1>(rng, n, scratch_,
-                     [&](std::size_t base, std::size_t count,
-                         const std::uint64_t* idx) {
-        gather_decide<1>(colors, idx, count, [&](std::size_t i) {
-            const Opinion seen = colors[idx[i]];
-            deltas_.note(colors[base + i], seen);
-            next_colors_[base + i] = seen;
+    if (n < kPullVotingBatchCutover) {
+        // Sub-block population: decide inline instead of paying the
+        // index-scratch round-trip of the batched path (see the cutover
+        // constant's comment for the measured trade-off). The raw stream
+        // still comes in fill_u64 blocks (BufferedSampler) with the
+        // xoshiro state in registers, and the hand-hoisted threshold
+        // keeps the 64-bit division out of the loop. Same substream
+        // consumption as the batched path, so the cutover never changes
+        // a result.
+        run_shards_inline(rng, [&](std::size_t base, std::size_t count,
+                                   Rng& sub, OpinionDeltaAccumulator& deltas,
+                                   std::size_t worker) {
+            run_shard(base, count, sub, deltas, samplers_[worker]);
         });
-    });
+    } else {
+        run_shards<1>(rng, [&](std::size_t base, std::size_t count,
+                               const std::uint64_t* idx,
+                               OpinionDeltaAccumulator& deltas) {
+            const OpinionDeltaAccumulator::View note = deltas.view();
+            gather_decide<1>(colors, idx, count, [&](std::size_t i) {
+                const Opinion seen = colors[idx[i]];
+                note.note(colors[base + i], seen);
+                next_colors_[base + i] = seen;
+            });
+        });
+    }
     commit_round();
 }
 
-TwoChoices::TwoChoices(const Assignment& assignment)
-    : ColorVectorDynamics(assignment, /*allow_undecided=*/false) {}
+/// One cache-resident shard of pull voting: draw, gather, decide per node
+/// in a single pass. A named function for the same reason as
+/// ThreeMajority::run_shard — one optimization unit, hand-hoisted
+/// rejection threshold.
+void PullVoting::run_shard(std::size_t base, std::size_t count, Rng& sub,
+                           OpinionDeltaAccumulator& deltas,
+                           BufferedSampler& sampler) {
+    const auto n = static_cast<std::uint64_t>(colors_.size());
+    const std::uint64_t threshold = lemire_threshold(n);
+    const Opinion* colors = colors_.data();
+    const OpinionDeltaAccumulator::View note = deltas.view();
+    sampler.reset();
+    for (std::size_t i = 0; i < count; ++i) {
+        const Opinion seen = colors[sampler.uniform_index(sub, n, threshold)];
+        note.note(colors[base + i], seen);
+        next_colors_[base + i] = seen;
+    }
+}
+
+TwoChoices::TwoChoices(const Assignment& assignment, std::size_t threads)
+    : ColorVectorDynamics(assignment, /*allow_undecided=*/false, threads) {}
 
 void TwoChoices::step(Rng& rng) {
-    const std::size_t n = colors_.size();
     const Opinion* colors = colors_.data();
-    blocked_round<2>(rng, n, scratch_,
-                     [&](std::size_t base, std::size_t count,
-                         const std::uint64_t* idx) {
+    run_shards<2>(rng, [&](std::size_t base, std::size_t count,
+                           const std::uint64_t* idx,
+                           OpinionDeltaAccumulator& deltas) {
+        const OpinionDeltaAccumulator::View note = deltas.view();
         gather_decide<2>(colors, idx, count, [&](std::size_t i) {
             const Opinion a = colors[idx[2 * i]];
             const Opinion b = colors[idx[2 * i + 1]];
             const Opinion mine = colors[base + i];
             const Opinion next = (a == b) ? a : mine;
-            deltas_.note(mine, next);
+            note.note(mine, next);
             next_colors_[base + i] = next;
         });
     });
     commit_round();
 }
 
-ThreeMajority::ThreeMajority(const Assignment& assignment)
-    : ColorVectorDynamics(assignment, /*allow_undecided=*/false) {}
+ThreeMajority::ThreeMajority(const Assignment& assignment, std::size_t threads)
+    : ColorVectorDynamics(assignment, /*allow_undecided=*/false, threads),
+      samplers_(driver_.threads()) {}
 
 void ThreeMajority::step(Rng& rng) {
+    run_shards_inline(rng, [&](std::size_t base, std::size_t count, Rng& sub,
+                               OpinionDeltaAccumulator& deltas,
+                               std::size_t worker) {
+        run_shard(base, count, sub, deltas, samplers_[worker]);
+    });
+    commit_round();
+}
+
+/// One shard's inline decide loop, a named function so the optimizer
+/// treats it as a single unit (hoists, schedules) instead of a lambda
+/// nest; thresholds are hoisted by hand like PullVoting's.
+void ThreeMajority::run_shard(std::size_t base, std::size_t count, Rng& sub,
+                              OpinionDeltaAccumulator& deltas,
+                              BufferedSampler& sampler) {
     const auto n = static_cast<std::uint64_t>(colors_.size());
+    const std::uint64_t threshold = lemire_threshold(n);
+    const std::uint64_t tie_threshold = lemire_threshold(3);
     const Opinion* colors = colors_.data();
+    const OpinionDeltaAccumulator::View note = deltas.view();
+    sampler.reset();  // previous shard's substream words are dead
     // Predicts the gather target of the draw ~12 nodes ahead from the
     // sampler's buffered raw words (exact unless a rejection or tie-break
     // shifts the stream in between — then it is merely a wasted hint).
     const auto prefetch_future = [&](std::size_t ahead) {
         std::uint64_t target = 0;
         // threshold 0: never reject — a stale word only wastes the hint.
-        (void)lemire_map(sampler_.peek_raw(ahead), n, 0, target);
+        (void)lemire_map(sampler.peek_raw(ahead), n, 0, target);
         prefetch_read(colors + target);
     };
-    for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t i = 0; i < count; ++i) {
         prefetch_future(3 * kPrefetchAhead);
         prefetch_future(3 * kPrefetchAhead + 1);
         prefetch_future(3 * kPrefetchAhead + 2);
-        const Opinion a = colors_[sampler_.uniform_index(rng, n)];
-        const Opinion b = colors_[sampler_.uniform_index(rng, n)];
-        const Opinion c = colors_[sampler_.uniform_index(rng, n)];
+        const Opinion a = colors[sampler.uniform_index(sub, n, threshold)];
+        const Opinion b = colors[sampler.uniform_index(sub, n, threshold)];
+        const Opinion c = colors[sampler.uniform_index(sub, n, threshold)];
         Opinion adopted;
         if (a == b || a == c) {
             adopted = a;
@@ -91,24 +157,25 @@ void ThreeMajority::step(Rng& rng) {
             adopted = b;
         } else {
             // All three differ: adopt one of the samples u.a.r. [BCN+14].
-            const std::uint64_t pick = sampler_.uniform_index(rng, 3);
+            const std::uint64_t pick =
+                sampler.uniform_index(sub, 3, tie_threshold);
             adopted = pick == 0 ? a : (pick == 1 ? b : c);
         }
-        deltas_.note(colors_[v], adopted);
-        next_colors_[v] = adopted;
+        note.note(colors[base + i], adopted);
+        next_colors_[base + i] = adopted;
     }
-    commit_round();
 }
 
-UndecidedState::UndecidedState(const Assignment& assignment)
-    : ColorVectorDynamics(assignment, /*allow_undecided=*/true) {}
+UndecidedState::UndecidedState(const Assignment& assignment,
+                               std::size_t threads)
+    : ColorVectorDynamics(assignment, /*allow_undecided=*/true, threads) {}
 
 void UndecidedState::step(Rng& rng) {
-    const std::size_t n = colors_.size();
     const Opinion* colors = colors_.data();
-    blocked_round<1>(rng, n, scratch_,
-                     [&](std::size_t base, std::size_t count,
-                         const std::uint64_t* idx) {
+    run_shards<1>(rng, [&](std::size_t base, std::size_t count,
+                           const std::uint64_t* idx,
+                           OpinionDeltaAccumulator& deltas) {
+        const OpinionDeltaAccumulator::View note = deltas.view();
         gather_decide<1>(colors, idx, count, [&](std::size_t i) {
             const Opinion mine = colors[base + i];
             const Opinion seen = colors[idx[i]];
@@ -118,7 +185,7 @@ void UndecidedState::step(Rng& rng) {
             } else if (seen != kUndecided && seen != mine) {
                 next = kUndecided;
             }
-            deltas_.note(mine, next);
+            note.note(mine, next);
             next_colors_[base + i] = next;
         });
     });

@@ -13,7 +13,12 @@
 /// rounds run through the batched block kernels of round_kernel.hpp
 /// (index batch + prefetched gather + fused census deltas); 3-majority's
 /// data-dependent tie-break keeps the scalar decide order and batches
-/// only the raw RNG stream through a BufferedSampler.
+/// only the raw RNG stream through a BufferedSampler. Since PR 5 the
+/// blocks are shards of a ShardedRoundDriver: every shard draws from its
+/// own Rng::substream(round, shard) and accumulates into its own
+/// OpinionDeltaAccumulator (merged in shard order at commit), so a
+/// `threads` constructor argument > 1 parallelizes the round without
+/// changing any fixed-seed result (bit-identical at every thread count).
 
 #include <cstdint>
 #include <string>
@@ -30,7 +35,8 @@ namespace papc::sync {
 /// Shared state/bookkeeping for color-vector dynamics.
 class ColorVectorDynamics : public SyncDynamics {
 public:
-    ColorVectorDynamics(const Assignment& assignment, bool allow_undecided);
+    ColorVectorDynamics(const Assignment& assignment, bool allow_undecided,
+                        std::size_t threads);
 
     [[nodiscard]] std::size_t population() const override { return colors_.size(); }
     [[nodiscard]] std::uint32_t num_opinions() const override {
@@ -47,30 +53,82 @@ public:
     [[nodiscard]] Opinion color(NodeId v) const { return colors_[v]; }
 
 protected:
-    /// Applies the buffered next_colors_ and commits the fused census
-    /// deltas accumulated by the round kernel.
+    /// Applies the buffered next_colors_ and commits every shard's fused
+    /// census deltas in shard order.
     void commit_round();
+
+    /// Runs the round being computed (round_ + 1) shard by shard with the
+    /// per-shard index batch pre-drawn: block(base, count, idx, deltas).
+    template <int kDraws, typename BlockFn>
+    void run_shards(Rng& rng, BlockFn&& block) {
+        driver_.run_batched<kDraws>(
+            rng, round_ + 1,
+            [&](std::size_t shard, std::size_t base, std::size_t count,
+                const std::uint64_t* idx) {
+                block(base, count, idx, shard_deltas_[shard]);
+            });
+    }
+
+    /// Same shard schedule without the index batch — the shard body draws
+    /// inline from the substream: fn(base, count, sub, deltas, worker).
+    /// Consuming the substream via sub.uniform_index gives bit-identical
+    /// results to the batched variant (the uniform_indices contract).
+    template <typename ShardFn>
+    void run_shards_inline(Rng& rng, ShardFn&& fn) {
+        driver_.for_each_shard(
+            rng, round_ + 1,
+            [&](std::size_t shard, std::size_t base, std::size_t count,
+                Rng& sub, std::size_t worker) {
+                fn(base, count, sub, shard_deltas_[shard], worker);
+            });
+    }
 
     std::vector<Opinion> colors_;
     std::vector<Opinion> next_colors_;
     OpinionCensus census_;
-    std::vector<std::uint64_t> scratch_;   ///< per-block peer-index batch
-    OpinionDeltaAccumulator deltas_;
+    ShardedRoundDriver driver_;
+    std::vector<OpinionDeltaAccumulator> shard_deltas_;  ///< one per shard
     std::uint64_t round_ = 0;
 };
+
+/// Below this population pull voting decides inline (BufferedSampler
+/// draw + gather + write per node) instead of running the batched
+/// index-then-gather kernel. The cutover switches execution strategy
+/// only — both paths consume the shard substreams identically, so
+/// results are bit-identical across the threshold (pinned in
+/// tests/sync/thread_equivalence_test.cpp).
+///
+/// Where to put it is a hardware question. PR 4's matrix (its VM)
+/// measured the batched kernel 0.7-0.9x below 2^18 where the color
+/// vector is cache-resident; re-measured for PR 5 on the current 1-core
+/// reference container the batched kernel wins at *every* size
+/// (1.2-1.4x, mixed-state rounds, interleaved runs — uniform_indices'
+/// in-register bulk generation beats the sampler loop even L1-resident).
+/// The constant therefore ships conservatively at one round block: only
+/// sub-single-shard populations (where a round costs microseconds either
+/// way) take the inline path, keeping it exercised and pinned. Raise it
+/// on hardware where the inline loop measures faster.
+inline constexpr std::size_t kPullVotingBatchCutover = kRoundBlock;
 
 /// Pull voting: adopt the opinion of one uniformly random node.
 class PullVoting final : public ColorVectorDynamics {
 public:
-    explicit PullVoting(const Assignment& assignment);
+    explicit PullVoting(const Assignment& assignment, std::size_t threads = 1);
     void step(Rng& rng) override;
     [[nodiscard]] std::string name() const override { return "pull-voting"; }
+
+private:
+    void run_shard(std::size_t base, std::size_t count, Rng& sub,
+                   OpinionDeltaAccumulator& deltas, BufferedSampler& sampler);
+
+    /// One per worker for the sub-cutover inline path (reset per shard).
+    std::vector<BufferedSampler> samplers_;
 };
 
 /// Two-choices: sample two nodes, adopt their opinion iff they agree.
 class TwoChoices final : public ColorVectorDynamics {
 public:
-    explicit TwoChoices(const Assignment& assignment);
+    explicit TwoChoices(const Assignment& assignment, std::size_t threads = 1);
     void step(Rng& rng) override;
     [[nodiscard]] std::string name() const override { return "two-choices"; }
 };
@@ -79,14 +137,19 @@ public:
 /// random sampled color when all three differ.
 class ThreeMajority final : public ColorVectorDynamics {
 public:
-    explicit ThreeMajority(const Assignment& assignment);
+    explicit ThreeMajority(const Assignment& assignment,
+                           std::size_t threads = 1);
     void step(Rng& rng) override;
     [[nodiscard]] std::string name() const override { return "3-majority"; }
 
 private:
+    void run_shard(std::size_t base, std::size_t count, Rng& sub,
+                   OpinionDeltaAccumulator& deltas, BufferedSampler& sampler);
+
     /// Tie-breaks make the per-node draw count data-dependent, so this
-    /// kernel batches the raw stream only (see round_kernel.hpp).
-    BufferedSampler sampler_;
+    /// kernel batches the raw stream only (see round_kernel.hpp). One
+    /// sampler per worker, reset at every shard boundary.
+    std::vector<BufferedSampler> samplers_;
 };
 
 /// Undecided-state dynamics for k opinions (gossip/pull variant):
@@ -95,7 +158,8 @@ private:
 /// an undecided node).
 class UndecidedState final : public ColorVectorDynamics {
 public:
-    explicit UndecidedState(const Assignment& assignment);
+    explicit UndecidedState(const Assignment& assignment,
+                            std::size_t threads = 1);
     void step(Rng& rng) override;
     [[nodiscard]] std::string name() const override { return "undecided-state"; }
 };

@@ -1,7 +1,8 @@
 #pragma once
 
 /// \file round_kernel.hpp
-/// Shared building blocks of the batched synchronous round kernels (PR 4).
+/// Shared building blocks of the batched synchronous round kernels (PR 4)
+/// and the sharded round executor on top of them (PR 5).
 ///
 /// Every sync-family engine advances n independent nodes per round, each
 /// node deciding from one to three uniform peer samples. The scalar loops
@@ -18,22 +19,33 @@
 ///   3. fused census — count deltas accumulate inside the write loop and
 ///      are applied at commit, deleting the per-round census rescan.
 ///
-/// Determinism contract: a kernel round consumes the generator stream in
-/// exactly the scalar per-node order, so fixed-seed trajectories are
-/// bit-identical to the pre-kernel loops (pinned by
+/// Sharding (PR 5): the kRoundBlock block is also the parallel unit.
+/// ShardedRoundDriver gives shard s of round r its own RNG substream
+/// Rng::substream(r, s) — a pure function of the run generator's state
+/// and the labels — and runs shards on a reusable support::ThreadPool.
+/// Each shard writes only its own next-state slice and its own delta
+/// buffer; deltas merge at commit in shard order on the driving thread.
+///
+/// Determinism contract (since PR 5): a round's draw schedule is fixed by
+/// (run seed, round, shard index) alone — never by the thread count, the
+/// worker a shard lands on, or shard completion order — so fixed-seed
+/// trajectories are bit-identical at every thread count (pinned by
+/// tests/sync/thread_equivalence_test.cpp and the full-state goldens in
 /// tests/sync/kernel_golden_test.cpp). Protocols whose draw count is
-/// data-dependent (3-majority's tie-break) cannot phase-separate without
-/// breaking that contract; they draw through BufferedSampler instead,
-/// which batches the raw stream but decides inline.
+/// data-dependent (3-majority's tie-break) keep the scalar decide order
+/// within a shard by drawing through BufferedSampler, which batches the
+/// raw substream but decides inline.
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "opinion/census.hpp"
 #include "opinion/types.hpp"
 #include "support/check.hpp"
 #include "support/random.hpp"
+#include "support/thread_pool.hpp"
 
 namespace papc::sync {
 
@@ -100,23 +112,84 @@ inline void gather_decide(const T* array, const std::uint64_t* idx,
     }
 }
 
-/// Runs one synchronous round in blocks: for each block of up to
-/// kRoundBlock nodes, draws kDraws uniform indices per node (scalar order:
-/// node base's draws first, then node base+1's, ...) into `scratch` and
-/// invokes block(base, count, idx) with idx[i * kDraws + d] the d-th
-/// sample of node base + i.
-template <int kDraws, typename BlockFn>
-void blocked_round(Rng& rng, std::size_t n, std::vector<std::uint64_t>& scratch,
-                   BlockFn&& block) {
-    static_assert(kDraws >= 1);
-    scratch.resize(kRoundBlock * static_cast<std::size_t>(kDraws));
-    for (std::size_t base = 0; base < n; base += kRoundBlock) {
-        const std::size_t count = std::min(kRoundBlock, n - base);
-        rng.uniform_indices(static_cast<std::uint64_t>(n), scratch.data(),
-                            count * static_cast<std::size_t>(kDraws));
-        block(base, count, scratch.data());
+/// Sharded round executor: partitions n nodes into kRoundBlock shards,
+/// derives shard s of round r its private substream rng.substream(r, s),
+/// and runs shards on a reusable worker pool. The shard-to-worker
+/// assignment is scheduling-dependent; results are not, because every
+/// per-shard output (next-state slice, delta buffer, index scratch) is
+/// either owned by the shard or merged in shard order by the caller.
+/// threads == 1 costs nothing: no pool is created and shards run inline.
+class ShardedRoundDriver {
+public:
+    ShardedRoundDriver(std::size_t n, std::size_t threads)
+        : n_(n), threads_(std::max<std::size_t>(1, threads)) {
+        if (threads_ > 1) {
+            pool_ = std::make_unique<support::ThreadPool>(threads_);
+        }
+        scratch_.resize(threads_);
     }
-}
+
+    [[nodiscard]] std::size_t num_shards() const {
+        return (n_ + kRoundBlock - 1) / kRoundBlock;
+    }
+    [[nodiscard]] std::size_t threads() const { return threads_; }
+
+    /// Runs fn(shard, base, count, sub, worker) for every shard: nodes
+    /// [base, base + count) with private substream `sub`; `worker` indexes
+    /// per-worker scratch in [0, threads()).
+    ///
+    /// The parent generator advances by ONE draw per round (on the
+    /// driving thread, before any shard dispatches — thread-count
+    /// invariance is untouched). Without it, two sequential runs driven
+    /// through the same Rng object would derive identical (round, shard)
+    /// substreams and replay word-for-word correlated trajectories; the
+    /// per-round advance keeps a shared generator's runs independent,
+    /// matching the pre-shard sequential-tape behaviour.
+    template <typename ShardFn>
+    void for_each_shard(Rng& rng, std::uint64_t round, ShardFn&& fn) {
+        rng.next_u64();
+        const Rng base_rng = rng;
+        const std::size_t shards = num_shards();
+        const auto body = [&](std::size_t shard, std::size_t worker) {
+            const std::size_t base = shard * kRoundBlock;
+            const std::size_t count = std::min(kRoundBlock, n_ - base);
+            Rng sub = base_rng.substream(round, shard);
+            fn(shard, base, count, sub, worker);
+        };
+        if (pool_ == nullptr) {
+            for (std::size_t shard = 0; shard < shards; ++shard) {
+                body(shard, 0);
+            }
+        } else {
+            pool_->parallel_for(shards, body);
+        }
+    }
+
+    /// Batched variant for fixed-draw-count kernels: fills the worker's
+    /// index scratch with count * kDraws uniform draws from the shard
+    /// substream (node base's draws first, then base+1's, ...) and calls
+    /// block(shard, base, count, idx) with idx[i * kDraws + d] the d-th
+    /// sample of node base + i.
+    template <int kDraws, typename BlockFn>
+    void run_batched(Rng& rng, std::uint64_t round, BlockFn&& block) {
+        static_assert(kDraws >= 1);
+        for_each_shard(rng, round,
+                       [&](std::size_t shard, std::size_t base,
+                           std::size_t count, Rng& sub, std::size_t worker) {
+            std::vector<std::uint64_t>& idx = scratch_[worker];
+            idx.resize(kRoundBlock * static_cast<std::size_t>(kDraws));
+            sub.uniform_indices(static_cast<std::uint64_t>(n_), idx.data(),
+                                count * static_cast<std::size_t>(kDraws));
+            block(shard, base, count, idx.data());
+        });
+    }
+
+private:
+    std::size_t n_;
+    std::size_t threads_;
+    std::unique_ptr<support::ThreadPool> pool_;  ///< null when threads_ == 1
+    std::vector<std::vector<std::uint64_t>> scratch_;  ///< per worker
+};
 
 /// Fused-census accumulator for the flat (opinion-only) baselines: the
 /// write loop notes each changed node and commit() applies the summed
@@ -127,11 +200,39 @@ public:
     explicit OpinionDeltaAccumulator(std::uint32_t num_opinions)
         : deltas_(num_opinions, 0) {}
 
-    void note(Opinion from, Opinion to) {
-        if (from == to) return;
-        bump(from, -1);
-        bump(to, +1);
-    }
+    /// Raw-pointer view for the decide loops: note() through a View kept
+    /// in locals costs no per-note reload of the accumulator's data
+    /// pointer (reached through a reference, the optimizer must re-load
+    /// it every bump — measurably slower on the cheapest kernels).
+    /// Invalidated by commit() and by destroying the accumulator.
+    class View {
+    public:
+        void note(Opinion from, Opinion to) const {
+            if (from == to) return;
+            bump(from, -1);
+            bump(to, +1);
+        }
+
+    private:
+        friend class OpinionDeltaAccumulator;
+        View(std::int64_t* deltas, std::int64_t* undecided)
+            : deltas_(deltas), undecided_(undecided) {}
+
+        void bump(Opinion op, std::int64_t d) const {
+            if (op == kUndecided) {
+                *undecided_ += d;
+            } else {
+                deltas_[op] += d;
+            }
+        }
+
+        std::int64_t* deltas_;
+        std::int64_t* undecided_;
+    };
+
+    [[nodiscard]] View view() { return View(deltas_.data(), &undecided_); }
+
+    void note(Opinion from, Opinion to) { view().note(from, to); }
 
     /// Applies and clears the accumulated deltas.
     void commit(OpinionCensus& census) {
@@ -141,14 +242,6 @@ public:
     }
 
 private:
-    void bump(Opinion op, std::int64_t d) {
-        if (op == kUndecided) {
-            undecided_ += d;
-        } else {
-            deltas_[op] += d;
-        }
-    }
-
     std::vector<std::int64_t> deltas_;
     std::int64_t undecided_ = 0;
 };
@@ -166,10 +259,23 @@ public:
         PAPC_CHECK(capacity > 0);
     }
 
+    /// Discards any buffered raw words, so the next draw refills from the
+    /// generator. Sharded kernels reset the per-worker sampler at every
+    /// shard boundary: the abandoned words belong to the previous shard's
+    /// substream, which no one will draw from again.
+    void reset() { cursor_ = buf_.size(); }
+
     /// Uniform index in [0, n); same lemire_map rejection behaviour (and
     /// hence the same raw-word consumption) as Rng::uniform_index.
     std::uint64_t uniform_index(Rng& rng, std::uint64_t n) {
-        const std::uint64_t threshold = lemire_threshold(n);
+        return uniform_index(rng, n, lemire_threshold(n));
+    }
+
+    /// Same with the caller-hoisted threshold (= lemire_threshold(n)) —
+    /// the per-draw 64-bit division is the dominant cost of the inline
+    /// sampling kernels when the optimizer cannot hoist it itself.
+    std::uint64_t uniform_index(Rng& rng, std::uint64_t n,
+                                std::uint64_t threshold) {
         std::uint64_t index;
         while (!lemire_map(next_raw(rng), n, threshold, index)) {
         }

@@ -68,9 +68,40 @@ TEST(CoreRun, RespectsTimeBudget) {
     options.max_time = 10.0;
     const RunResult r = run(engine, options);
     EXPECT_FALSE(r.converged);
-    // The driver stops at the first step whose time exceeds the budget.
-    EXPECT_GT(r.end_time, 10.0);
-    EXPECT_LE(r.end_time, 10.5 + 1e-12);
+    // The crossing step is processed and counted (t = 10.5 is step 21),
+    // but every reported time saturates at the budget.
+    EXPECT_EQ(r.steps, 21U);
+    EXPECT_DOUBLE_EQ(r.end_time, 10.0);
+}
+
+TEST(CoreRun, TimeBudgetBoundaryTakesFinalSample) {
+    // Regression for the max_time overshoot: the old loop broke on the
+    // crossing step without sampling, so neither the series nor the
+    // tracker ever saw the exit state and end_time sat past the budget.
+    RampEngine engine(1000, 0.75);  // steps at t = 0.75, 1.5, ...
+    EngineOptions options;
+    options.max_time = 3.0;
+    options.record = true;
+    options.sample_interval = 10.0;  // no metronome sample would ever fire
+    const RunResult r = run(engine, options);
+    EXPECT_EQ(r.steps, 5U);  // t = 3.75 crosses the budget
+    EXPECT_DOUBLE_EQ(r.end_time, 3.0);
+    ASSERT_EQ(r.plurality_fraction.size(), 1U);  // exactly the boundary
+    EXPECT_DOUBLE_EQ(r.plurality_fraction[0].time, 3.0);
+    // The sampled fraction is the post-crossing state (5 of 1000 steps).
+    EXPECT_DOUBLE_EQ(r.plurality_fraction[0].value, 0.5 + 0.5 * 5.0 / 1000.0);
+}
+
+TEST(CoreRun, ConvergenceOnBudgetCrossingStepIsDetectedAtBudgetTime) {
+    RampEngine engine(21, 0.5);  // converges exactly on the crossing step
+    EngineOptions options;
+    options.max_time = 10.0;
+    const RunResult r = run(engine, options);
+    EXPECT_TRUE(r.converged);
+    // Consensus is reported at the clamped boundary, never past it.
+    EXPECT_DOUBLE_EQ(r.consensus_time, 10.0);
+    EXPECT_DOUBLE_EQ(r.end_time, 10.0);
+    EXPECT_TRUE(consistent(r));
 }
 
 TEST(CoreRun, EpsilonTimePrecedesConsensus) {
@@ -124,6 +155,40 @@ TEST(CoreRun, RecordsSeriesOnCadenceAndAtConvergence) {
     EXPECT_EQ(r.plurality_fraction.name(), "ramp");
     EXPECT_DOUBLE_EQ(r.plurality_fraction[4].time, 95.0);
     EXPECT_DOUBLE_EQ(r.plurality_fraction[4].value, 1.0);
+}
+
+TEST(CoreRun, RecordEveryHonoredWhenNotAMultipleOfCheckEvery) {
+    // Regression for the cadence bug: recording used to fire only at
+    // steps that were also convergence checks, so record_every = 30 with
+    // check_every = 50 silently recorded at 150, 300, ... instead of
+    // 30, 60, 90, ...
+    RampEngine engine(10000, 1.0);
+    EngineOptions options;
+    options.max_steps = 100;
+    options.check_every = 50;
+    options.record = true;
+    options.record_every = 30;
+    const RunResult r = run(engine, options);
+    ASSERT_EQ(r.plurality_fraction.size(), 3U);
+    EXPECT_DOUBLE_EQ(r.plurality_fraction[0].time, 30.0);
+    EXPECT_DOUBLE_EQ(r.plurality_fraction[1].time, 60.0);
+    EXPECT_DOUBLE_EQ(r.plurality_fraction[2].time, 90.0);
+}
+
+TEST(CoreRun, RecordStepsAlsoObserveConvergence) {
+    // A record-cadence sample feeds the tracker too: convergence landing
+    // on a record step (not a check step) is detected there, not at the
+    // next check boundary.
+    RampEngine engine(30, 1.0);
+    EngineOptions options;
+    options.max_steps = 1000;
+    options.check_every = 50;
+    options.record = true;
+    options.record_every = 30;
+    const RunResult r = run(engine, options);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.steps, 30U);
+    EXPECT_DOUBLE_EQ(r.consensus_time, 30.0);
 }
 
 TEST(CoreRun, TimeDrivenSamplingSkipsEmptyIntervals) {

@@ -1,0 +1,82 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace papc::support {
+namespace {
+
+TEST(ThreadPool, SingleThreadRunsInlineInTaskOrder) {
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threads(), 1U);
+    std::vector<std::size_t> order;
+    pool.parallel_for(5, [&](std::size_t task, std::size_t worker) {
+        EXPECT_EQ(worker, 0U);
+        order.push_back(task);
+    });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, EveryTaskRunsExactlyOnce) {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threads(), 4U);
+    const std::size_t count = 10000;
+    std::vector<std::atomic<int>> runs(count);
+    for (auto& r : runs) r.store(0);
+    pool.parallel_for(count, [&](std::size_t task, std::size_t worker) {
+        ASSERT_LT(worker, 4U);
+        runs[task].fetch_add(1);
+    });
+    for (std::size_t t = 0; t < count; ++t) {
+        ASSERT_EQ(runs[t].load(), 1) << "task " << t;
+    }
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+    // The same pool must serve many parallel_for calls (one per simulated
+    // round) without leaking or deadlocking, including empty jobs.
+    ThreadPool pool(3);
+    std::atomic<std::uint64_t> total{0};
+    for (int job = 0; job < 200; ++job) {
+        pool.parallel_for(job % 7, [&](std::size_t task, std::size_t) {
+            total.fetch_add(task + 1);
+        });
+    }
+    // Sum over jobs of 1 + 2 + ... + (job % 7).
+    std::uint64_t expected = 0;
+    for (int job = 0; job < 200; ++job) {
+        const std::uint64_t m = job % 7;
+        expected += m * (m + 1) / 2;
+    }
+    EXPECT_EQ(total.load(), expected);
+}
+
+TEST(ThreadPool, WorkerIndicesAreDenseAndStable) {
+    // Per-worker scratch indexing relies on worker ids being unique among
+    // concurrently running tasks and bounded by threads().
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> in_use(pool.threads());
+    for (auto& w : in_use) w.store(0);
+    std::atomic<bool> collision{false};
+    pool.parallel_for(2000, [&](std::size_t, std::size_t worker) {
+        if (in_use[worker].fetch_add(1) != 0) collision.store(true);
+        in_use[worker].fetch_sub(1);
+    });
+    EXPECT_FALSE(collision.load());
+}
+
+TEST(ThreadPool, MoreTasksThanThreadsAndViceVersa) {
+    ThreadPool pool(8);
+    std::atomic<int> count{0};
+    pool.parallel_for(3, [&](std::size_t, std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 3);
+    count.store(0);
+    pool.parallel_for(100, [&](std::size_t, std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 100);
+}
+
+}  // namespace
+}  // namespace papc::support

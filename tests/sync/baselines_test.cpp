@@ -130,7 +130,7 @@ TEST(PullVotingRule, WinProbabilityTracksInitialShare) {
     // an 80/20 split opinion 0 should win most runs.
     int wins = 0;
     for (int rep = 0; rep < 20; ++rep) {
-        Rng rng(derive_seed(240, rep));
+        Rng rng(derive_seed(241, rep));
         const Assignment a = make_from_counts({160, 40}, rng);
         PullVoting dyn(a);
         RunOptions opts;

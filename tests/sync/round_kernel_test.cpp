@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <vector>
 
 #include "opinion/assignment.hpp"
@@ -11,42 +12,74 @@
 namespace papc::sync {
 namespace {
 
-TEST(BlockedRound, DrawOrderMatchesScalarPerNodeLoop) {
-    // The kernel must consume the generator exactly like the scalar loop:
-    // node 0's kDraws samples first, then node 1's, ... across blocks.
-    const std::size_t n = 2 * kRoundBlock + 137;  // partial tail block
-    Rng scalar(52);
-    Rng batched(52);
+TEST(ShardedRound, DrawScheduleMatchesPerShardSubstreams) {
+    // Shard s of round r must draw exactly the sequence of
+    // rng.substream(r, s).uniform_index(n) — nothing about the driver
+    // (batching, scratch reuse, worker pool) may change which raw words
+    // feed which node.
+    const std::size_t n = 2 * kRoundBlock + 137;  // partial tail shard
+    const std::uint64_t round = 9;
+    Rng rng(52);
 
-    std::vector<std::uint64_t> expected(3 * n);
-    for (auto& value : expected) value = scalar.uniform_index(n);
-
-    std::vector<std::uint64_t> scratch;
-    std::vector<std::uint64_t> seen;
-    seen.reserve(3 * n);
-    blocked_round<3>(batched, n, scratch,
-                     [&](std::size_t, std::size_t count,
-                         const std::uint64_t* idx) {
-        seen.insert(seen.end(), idx, idx + 3 * count);
+    ShardedRoundDriver driver(n, /*threads=*/1);
+    ASSERT_EQ(driver.num_shards(), 3U);
+    std::vector<std::vector<std::uint64_t>> per_shard(driver.num_shards());
+    driver.run_batched<3>(rng, round,
+                          [&](std::size_t shard, std::size_t, std::size_t count,
+                              const std::uint64_t* idx) {
+        per_shard[shard].assign(idx, idx + 3 * count);
     });
-    EXPECT_EQ(seen, expected);
-    EXPECT_EQ(batched.next_u64(), scalar.next_u64());  // state in lockstep
+
+    // The driver advances the parent by exactly one draw per round (the
+    // shared-generator decorrelation nonce), then derives shard
+    // substreams from the advanced state.
+    Rng reference(52);
+    (void)reference.next_u64();
+    EXPECT_EQ(rng.next_u64(), [&] {
+        Rng expect = reference;
+        return expect.next_u64();
+    }());
+    for (std::size_t s = 0; s < per_shard.size(); ++s) {
+        Rng sub = reference.substream(round, s);
+        for (std::size_t d = 0; d < per_shard[s].size(); ++d) {
+            ASSERT_EQ(per_shard[s][d], sub.uniform_index(n))
+                << "shard " << s << " draw " << d;
+        }
+    }
 }
 
-TEST(BlockedRound, CoversEveryNodeExactlyOnce) {
-    const std::size_t n = kRoundBlock + 57;
+TEST(ShardedRound, ThreadCountDoesNotChangeDrawsOrCoverage) {
+    const std::size_t n = 3 * kRoundBlock + 57;
+
+    std::vector<std::vector<std::uint64_t>> single;
+    {
+        Rng rng(53);
+        ShardedRoundDriver driver(n, 1);
+        single.resize(driver.num_shards());
+        driver.run_batched<1>(rng, 4,
+                              [&](std::size_t shard, std::size_t,
+                                  std::size_t count, const std::uint64_t* idx) {
+            single[shard].assign(idx, idx + count);
+        });
+    }
+
     Rng rng(53);
-    std::vector<std::uint64_t> scratch;
-    std::vector<int> visits(n, 0);
-    blocked_round<1>(rng, n, scratch,
-                     [&](std::size_t base, std::size_t count,
-                         const std::uint64_t* idx) {
+    ShardedRoundDriver driver(n, /*threads=*/4);
+    std::vector<std::vector<std::uint64_t>> pooled(driver.num_shards());
+    std::vector<std::atomic<int>> visits(n);
+    for (auto& v : visits) v.store(0);
+    driver.run_batched<1>(rng, 4,
+                          [&](std::size_t shard, std::size_t base,
+                              std::size_t count, const std::uint64_t* idx) {
+        pooled[shard].assign(idx, idx + count);
         for (std::size_t i = 0; i < count; ++i) {
             ASSERT_LT(idx[i], n);
-            ++visits[base + i];
+            visits[base + i].fetch_add(1);
         }
     });
-    for (std::size_t v = 0; v < n; ++v) EXPECT_EQ(visits[v], 1) << v;
+
+    EXPECT_EQ(pooled, single);
+    for (std::size_t v = 0; v < n; ++v) EXPECT_EQ(visits[v].load(), 1) << v;
 }
 
 TEST(BufferedSampler, MatchesDirectUniformIndexSequence) {
