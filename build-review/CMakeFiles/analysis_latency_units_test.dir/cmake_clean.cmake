@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_latency_units_test.dir/tests/analysis/latency_units_test.cpp.o"
+  "CMakeFiles/analysis_latency_units_test.dir/tests/analysis/latency_units_test.cpp.o.d"
+  "analysis_latency_units_test"
+  "analysis_latency_units_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_latency_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_theory_test.dir/tests/analysis/theory_test.cpp.o"
+  "CMakeFiles/analysis_theory_test.dir/tests/analysis/theory_test.cpp.o.d"
+  "analysis_theory_test"
+  "analysis_theory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_theory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

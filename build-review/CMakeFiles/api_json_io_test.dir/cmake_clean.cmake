@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_json_io_test.dir/tests/api/json_io_test.cpp.o"
+  "CMakeFiles/api_json_io_test.dir/tests/api/json_io_test.cpp.o.d"
+  "api_json_io_test"
+  "api_json_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_json_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_registry_test.dir/tests/api/registry_test.cpp.o"
+  "CMakeFiles/api_registry_test.dir/tests/api/registry_test.cpp.o.d"
+  "api_registry_test"
+  "api_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_scenario_test.dir/tests/api/scenario_test.cpp.o"
+  "CMakeFiles/api_scenario_test.dir/tests/api/scenario_test.cpp.o.d"
+  "api_scenario_test"
+  "api_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_sweep_test.dir/tests/api/sweep_test.cpp.o"
+  "CMakeFiles/api_sweep_test.dir/tests/api/sweep_test.cpp.o.d"
+  "api_sweep_test"
+  "api_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

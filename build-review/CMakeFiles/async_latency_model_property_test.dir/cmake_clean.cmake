@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_latency_model_property_test.dir/tests/async/latency_model_property_test.cpp.o"
+  "CMakeFiles/async_latency_model_property_test.dir/tests/async/latency_model_property_test.cpp.o.d"
+  "async_latency_model_property_test"
+  "async_latency_model_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_latency_model_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_leader_test.dir/tests/async/leader_test.cpp.o"
+  "CMakeFiles/async_leader_test.dir/tests/async/leader_test.cpp.o.d"
+  "async_leader_test"
+  "async_leader_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_leader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

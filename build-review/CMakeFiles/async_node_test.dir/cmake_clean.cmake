@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_node_test.dir/tests/async/node_test.cpp.o"
+  "CMakeFiles/async_node_test.dir/tests/async/node_test.cpp.o.d"
+  "async_node_test"
+  "async_node_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_simulation_test.dir/tests/async/simulation_test.cpp.o"
+  "CMakeFiles/async_simulation_test.dir/tests/async/simulation_test.cpp.o.d"
+  "async_simulation_test"
+  "async_simulation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_simulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_broadcast_test.dir/tests/cluster/broadcast_test.cpp.o"
+  "CMakeFiles/cluster_broadcast_test.dir/tests/cluster/broadcast_test.cpp.o.d"
+  "cluster_broadcast_test"
+  "cluster_broadcast_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_broadcast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_cluster_leader_test.dir/tests/cluster/cluster_leader_test.cpp.o"
+  "CMakeFiles/cluster_cluster_leader_test.dir/tests/cluster/cluster_leader_test.cpp.o.d"
+  "cluster_cluster_leader_test"
+  "cluster_cluster_leader_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_cluster_leader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_clustering_test.dir/tests/cluster/clustering_test.cpp.o"
+  "CMakeFiles/cluster_clustering_test.dir/tests/cluster/clustering_test.cpp.o.d"
+  "cluster_clustering_test"
+  "cluster_clustering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_clustering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

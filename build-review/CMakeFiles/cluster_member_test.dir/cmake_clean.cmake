@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_member_test.dir/tests/cluster/member_test.cpp.o"
+  "CMakeFiles/cluster_member_test.dir/tests/cluster/member_test.cpp.o.d"
+  "cluster_member_test"
+  "cluster_member_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_member_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

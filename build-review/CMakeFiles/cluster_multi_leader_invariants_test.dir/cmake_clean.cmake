@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_multi_leader_invariants_test.dir/tests/cluster/multi_leader_invariants_test.cpp.o"
+  "CMakeFiles/cluster_multi_leader_invariants_test.dir/tests/cluster/multi_leader_invariants_test.cpp.o.d"
+  "cluster_multi_leader_invariants_test"
+  "cluster_multi_leader_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_multi_leader_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_simulation_test.dir/tests/cluster/simulation_test.cpp.o"
+  "CMakeFiles/cluster_simulation_test.dir/tests/cluster/simulation_test.cpp.o.d"
+  "cluster_simulation_test"
+  "cluster_simulation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_simulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

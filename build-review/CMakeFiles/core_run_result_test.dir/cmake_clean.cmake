@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_run_result_test.dir/tests/core/run_result_test.cpp.o"
+  "CMakeFiles/core_run_result_test.dir/tests/core/run_result_test.cpp.o.d"
+  "core_run_result_test"
+  "core_run_result_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_run_result_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_dynamics_test.dir/tests/graph/dynamics_test.cpp.o"
+  "CMakeFiles/graph_dynamics_test.dir/tests/graph/dynamics_test.cpp.o.d"
+  "graph_dynamics_test"
+  "graph_dynamics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_dynamics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

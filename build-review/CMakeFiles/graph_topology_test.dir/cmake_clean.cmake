@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_topology_test.dir/tests/graph/topology_test.cpp.o"
+  "CMakeFiles/graph_topology_test.dir/tests/graph/topology_test.cpp.o.d"
+  "graph_topology_test"
+  "graph_topology_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_cross_engine_test.dir/tests/integration/cross_engine_test.cpp.o"
+  "CMakeFiles/integration_cross_engine_test.dir/tests/integration/cross_engine_test.cpp.o.d"
+  "integration_cross_engine_test"
+  "integration_cross_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_cross_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_determinism_test.dir/tests/integration/determinism_test.cpp.o"
+  "CMakeFiles/integration_determinism_test.dir/tests/integration/determinism_test.cpp.o.d"
+  "integration_determinism_test"
+  "integration_determinism_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

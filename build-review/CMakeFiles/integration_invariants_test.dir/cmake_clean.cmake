@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_invariants_test.dir/tests/integration/invariants_test.cpp.o"
+  "CMakeFiles/integration_invariants_test.dir/tests/integration/invariants_test.cpp.o.d"
+  "integration_invariants_test"
+  "integration_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_queue_equivalence_test.dir/tests/integration/queue_equivalence_test.cpp.o"
+  "CMakeFiles/integration_queue_equivalence_test.dir/tests/integration/queue_equivalence_test.cpp.o.d"
+  "integration_queue_equivalence_test"
+  "integration_queue_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_queue_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

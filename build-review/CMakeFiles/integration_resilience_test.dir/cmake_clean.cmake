@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_resilience_test.dir/tests/integration/resilience_test.cpp.o"
+  "CMakeFiles/integration_resilience_test.dir/tests/integration/resilience_test.cpp.o.d"
+  "integration_resilience_test"
+  "integration_resilience_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_resilience_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

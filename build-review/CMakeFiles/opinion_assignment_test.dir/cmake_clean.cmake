@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opinion_assignment_test.dir/tests/opinion/assignment_test.cpp.o"
+  "CMakeFiles/opinion_assignment_test.dir/tests/opinion/assignment_test.cpp.o.d"
+  "opinion_assignment_test"
+  "opinion_assignment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opinion_assignment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opinion_census_property_test.dir/tests/opinion/census_property_test.cpp.o"
+  "CMakeFiles/opinion_census_property_test.dir/tests/opinion/census_property_test.cpp.o.d"
+  "opinion_census_property_test"
+  "opinion_census_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opinion_census_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

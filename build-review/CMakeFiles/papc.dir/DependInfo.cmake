@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/gamma.cpp" "CMakeFiles/papc.dir/src/analysis/gamma.cpp.o" "gcc" "CMakeFiles/papc.dir/src/analysis/gamma.cpp.o.d"
+  "/root/repo/src/analysis/hypoexponential.cpp" "CMakeFiles/papc.dir/src/analysis/hypoexponential.cpp.o" "gcc" "CMakeFiles/papc.dir/src/analysis/hypoexponential.cpp.o.d"
+  "/root/repo/src/analysis/latency_units.cpp" "CMakeFiles/papc.dir/src/analysis/latency_units.cpp.o" "gcc" "CMakeFiles/papc.dir/src/analysis/latency_units.cpp.o.d"
+  "/root/repo/src/analysis/theory.cpp" "CMakeFiles/papc.dir/src/analysis/theory.cpp.o" "gcc" "CMakeFiles/papc.dir/src/analysis/theory.cpp.o.d"
+  "/root/repo/src/api/registry.cpp" "CMakeFiles/papc.dir/src/api/registry.cpp.o" "gcc" "CMakeFiles/papc.dir/src/api/registry.cpp.o.d"
+  "/root/repo/src/api/scenario.cpp" "CMakeFiles/papc.dir/src/api/scenario.cpp.o" "gcc" "CMakeFiles/papc.dir/src/api/scenario.cpp.o.d"
+  "/root/repo/src/api/sweep.cpp" "CMakeFiles/papc.dir/src/api/sweep.cpp.o" "gcc" "CMakeFiles/papc.dir/src/api/sweep.cpp.o.d"
+  "/root/repo/src/async/leader.cpp" "CMakeFiles/papc.dir/src/async/leader.cpp.o" "gcc" "CMakeFiles/papc.dir/src/async/leader.cpp.o.d"
+  "/root/repo/src/async/node.cpp" "CMakeFiles/papc.dir/src/async/node.cpp.o" "gcc" "CMakeFiles/papc.dir/src/async/node.cpp.o.d"
+  "/root/repo/src/async/sequential_simulation.cpp" "CMakeFiles/papc.dir/src/async/sequential_simulation.cpp.o" "gcc" "CMakeFiles/papc.dir/src/async/sequential_simulation.cpp.o.d"
+  "/root/repo/src/async/simulation.cpp" "CMakeFiles/papc.dir/src/async/simulation.cpp.o" "gcc" "CMakeFiles/papc.dir/src/async/simulation.cpp.o.d"
+  "/root/repo/src/async/validated_simulation.cpp" "CMakeFiles/papc.dir/src/async/validated_simulation.cpp.o" "gcc" "CMakeFiles/papc.dir/src/async/validated_simulation.cpp.o.d"
+  "/root/repo/src/cluster/broadcast.cpp" "CMakeFiles/papc.dir/src/cluster/broadcast.cpp.o" "gcc" "CMakeFiles/papc.dir/src/cluster/broadcast.cpp.o.d"
+  "/root/repo/src/cluster/cluster_leader.cpp" "CMakeFiles/papc.dir/src/cluster/cluster_leader.cpp.o" "gcc" "CMakeFiles/papc.dir/src/cluster/cluster_leader.cpp.o.d"
+  "/root/repo/src/cluster/clustering.cpp" "CMakeFiles/papc.dir/src/cluster/clustering.cpp.o" "gcc" "CMakeFiles/papc.dir/src/cluster/clustering.cpp.o.d"
+  "/root/repo/src/cluster/member.cpp" "CMakeFiles/papc.dir/src/cluster/member.cpp.o" "gcc" "CMakeFiles/papc.dir/src/cluster/member.cpp.o.d"
+  "/root/repo/src/cluster/simulation.cpp" "CMakeFiles/papc.dir/src/cluster/simulation.cpp.o" "gcc" "CMakeFiles/papc.dir/src/cluster/simulation.cpp.o.d"
+  "/root/repo/src/core/convergence.cpp" "CMakeFiles/papc.dir/src/core/convergence.cpp.o" "gcc" "CMakeFiles/papc.dir/src/core/convergence.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "CMakeFiles/papc.dir/src/core/engine.cpp.o" "gcc" "CMakeFiles/papc.dir/src/core/engine.cpp.o.d"
+  "/root/repo/src/core/observer.cpp" "CMakeFiles/papc.dir/src/core/observer.cpp.o" "gcc" "CMakeFiles/papc.dir/src/core/observer.cpp.o.d"
+  "/root/repo/src/core/run_result.cpp" "CMakeFiles/papc.dir/src/core/run_result.cpp.o" "gcc" "CMakeFiles/papc.dir/src/core/run_result.cpp.o.d"
+  "/root/repo/src/graph/dynamics.cpp" "CMakeFiles/papc.dir/src/graph/dynamics.cpp.o" "gcc" "CMakeFiles/papc.dir/src/graph/dynamics.cpp.o.d"
+  "/root/repo/src/graph/topology.cpp" "CMakeFiles/papc.dir/src/graph/topology.cpp.o" "gcc" "CMakeFiles/papc.dir/src/graph/topology.cpp.o.d"
+  "/root/repo/src/opinion/assignment.cpp" "CMakeFiles/papc.dir/src/opinion/assignment.cpp.o" "gcc" "CMakeFiles/papc.dir/src/opinion/assignment.cpp.o.d"
+  "/root/repo/src/opinion/census.cpp" "CMakeFiles/papc.dir/src/opinion/census.cpp.o" "gcc" "CMakeFiles/papc.dir/src/opinion/census.cpp.o.d"
+  "/root/repo/src/population/four_state.cpp" "CMakeFiles/papc.dir/src/population/four_state.cpp.o" "gcc" "CMakeFiles/papc.dir/src/population/four_state.cpp.o.d"
+  "/root/repo/src/population/k_undecided.cpp" "CMakeFiles/papc.dir/src/population/k_undecided.cpp.o" "gcc" "CMakeFiles/papc.dir/src/population/k_undecided.cpp.o.d"
+  "/root/repo/src/population/scheduler.cpp" "CMakeFiles/papc.dir/src/population/scheduler.cpp.o" "gcc" "CMakeFiles/papc.dir/src/population/scheduler.cpp.o.d"
+  "/root/repo/src/population/three_state.cpp" "CMakeFiles/papc.dir/src/population/three_state.cpp.o" "gcc" "CMakeFiles/papc.dir/src/population/three_state.cpp.o.d"
+  "/root/repo/src/runner/experiment.cpp" "CMakeFiles/papc.dir/src/runner/experiment.cpp.o" "gcc" "CMakeFiles/papc.dir/src/runner/experiment.cpp.o.d"
+  "/root/repo/src/runner/report.cpp" "CMakeFiles/papc.dir/src/runner/report.cpp.o" "gcc" "CMakeFiles/papc.dir/src/runner/report.cpp.o.d"
+  "/root/repo/src/sim/latency.cpp" "CMakeFiles/papc.dir/src/sim/latency.cpp.o" "gcc" "CMakeFiles/papc.dir/src/sim/latency.cpp.o.d"
+  "/root/repo/src/sim/poisson_clock.cpp" "CMakeFiles/papc.dir/src/sim/poisson_clock.cpp.o" "gcc" "CMakeFiles/papc.dir/src/sim/poisson_clock.cpp.o.d"
+  "/root/repo/src/sim/scheduler_queue.cpp" "CMakeFiles/papc.dir/src/sim/scheduler_queue.cpp.o" "gcc" "CMakeFiles/papc.dir/src/sim/scheduler_queue.cpp.o.d"
+  "/root/repo/src/support/args.cpp" "CMakeFiles/papc.dir/src/support/args.cpp.o" "gcc" "CMakeFiles/papc.dir/src/support/args.cpp.o.d"
+  "/root/repo/src/support/csv.cpp" "CMakeFiles/papc.dir/src/support/csv.cpp.o" "gcc" "CMakeFiles/papc.dir/src/support/csv.cpp.o.d"
+  "/root/repo/src/support/histogram.cpp" "CMakeFiles/papc.dir/src/support/histogram.cpp.o" "gcc" "CMakeFiles/papc.dir/src/support/histogram.cpp.o.d"
+  "/root/repo/src/support/json_value.cpp" "CMakeFiles/papc.dir/src/support/json_value.cpp.o" "gcc" "CMakeFiles/papc.dir/src/support/json_value.cpp.o.d"
+  "/root/repo/src/support/json_writer.cpp" "CMakeFiles/papc.dir/src/support/json_writer.cpp.o" "gcc" "CMakeFiles/papc.dir/src/support/json_writer.cpp.o.d"
+  "/root/repo/src/support/parse.cpp" "CMakeFiles/papc.dir/src/support/parse.cpp.o" "gcc" "CMakeFiles/papc.dir/src/support/parse.cpp.o.d"
+  "/root/repo/src/support/random.cpp" "CMakeFiles/papc.dir/src/support/random.cpp.o" "gcc" "CMakeFiles/papc.dir/src/support/random.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "CMakeFiles/papc.dir/src/support/stats.cpp.o" "gcc" "CMakeFiles/papc.dir/src/support/stats.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "CMakeFiles/papc.dir/src/support/table.cpp.o" "gcc" "CMakeFiles/papc.dir/src/support/table.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "CMakeFiles/papc.dir/src/support/thread_pool.cpp.o" "gcc" "CMakeFiles/papc.dir/src/support/thread_pool.cpp.o.d"
+  "/root/repo/src/support/timeseries.cpp" "CMakeFiles/papc.dir/src/support/timeseries.cpp.o" "gcc" "CMakeFiles/papc.dir/src/support/timeseries.cpp.o.d"
+  "/root/repo/src/sync/algorithm1.cpp" "CMakeFiles/papc.dir/src/sync/algorithm1.cpp.o" "gcc" "CMakeFiles/papc.dir/src/sync/algorithm1.cpp.o.d"
+  "/root/repo/src/sync/baselines.cpp" "CMakeFiles/papc.dir/src/sync/baselines.cpp.o" "gcc" "CMakeFiles/papc.dir/src/sync/baselines.cpp.o.d"
+  "/root/repo/src/sync/engine.cpp" "CMakeFiles/papc.dir/src/sync/engine.cpp.o" "gcc" "CMakeFiles/papc.dir/src/sync/engine.cpp.o.d"
+  "/root/repo/src/sync/schedule.cpp" "CMakeFiles/papc.dir/src/sync/schedule.cpp.o" "gcc" "CMakeFiles/papc.dir/src/sync/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for papc.
+# This may be replaced when dependencies are built.

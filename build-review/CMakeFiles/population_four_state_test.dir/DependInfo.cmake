@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/population/four_state_test.cpp" "CMakeFiles/population_four_state_test.dir/tests/population/four_state_test.cpp.o" "gcc" "CMakeFiles/population_four_state_test.dir/tests/population/four_state_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/papc.dir/DependInfo.cmake"
+  "/root/repo/build-review/_gtest/CMakeFiles/gtest_main.dir/DependInfo.cmake"
+  "/root/repo/build-review/_gtest/CMakeFiles/gtest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

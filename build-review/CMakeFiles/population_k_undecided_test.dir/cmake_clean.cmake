@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/population_k_undecided_test.dir/tests/population/k_undecided_test.cpp.o"
+  "CMakeFiles/population_k_undecided_test.dir/tests/population/k_undecided_test.cpp.o.d"
+  "population_k_undecided_test"
+  "population_k_undecided_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/population_k_undecided_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

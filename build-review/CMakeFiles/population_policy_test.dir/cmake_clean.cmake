@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/population_policy_test.dir/tests/population/policy_test.cpp.o"
+  "CMakeFiles/population_policy_test.dir/tests/population/policy_test.cpp.o.d"
+  "population_policy_test"
+  "population_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/population_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

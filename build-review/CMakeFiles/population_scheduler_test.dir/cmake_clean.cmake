@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/population_scheduler_test.dir/tests/population/scheduler_test.cpp.o"
+  "CMakeFiles/population_scheduler_test.dir/tests/population/scheduler_test.cpp.o.d"
+  "population_scheduler_test"
+  "population_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/population_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/population_three_state_test.dir/tests/population/three_state_test.cpp.o"
+  "CMakeFiles/population_three_state_test.dir/tests/population/three_state_test.cpp.o.d"
+  "population_three_state_test"
+  "population_three_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/population_three_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runner_experiment_test.dir/tests/runner/experiment_test.cpp.o"
+  "CMakeFiles/runner_experiment_test.dir/tests/runner/experiment_test.cpp.o.d"
+  "runner_experiment_test"
+  "runner_experiment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runner_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

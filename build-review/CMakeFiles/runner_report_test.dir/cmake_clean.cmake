@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runner_report_test.dir/tests/runner/report_test.cpp.o"
+  "CMakeFiles/runner_report_test.dir/tests/runner/report_test.cpp.o.d"
+  "runner_report_test"
+  "runner_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runner_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

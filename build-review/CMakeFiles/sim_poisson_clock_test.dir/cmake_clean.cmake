@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_poisson_clock_test.dir/tests/sim/poisson_clock_test.cpp.o"
+  "CMakeFiles/sim_poisson_clock_test.dir/tests/sim/poisson_clock_test.cpp.o.d"
+  "sim_poisson_clock_test"
+  "sim_poisson_clock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_poisson_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

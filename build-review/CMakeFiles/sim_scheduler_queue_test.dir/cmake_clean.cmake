@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_scheduler_queue_test.dir/tests/sim/scheduler_queue_test.cpp.o"
+  "CMakeFiles/sim_scheduler_queue_test.dir/tests/sim/scheduler_queue_test.cpp.o.d"
+  "sim_scheduler_queue_test"
+  "sim_scheduler_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_scheduler_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

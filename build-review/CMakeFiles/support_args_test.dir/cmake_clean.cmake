@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_args_test.dir/tests/support/args_test.cpp.o"
+  "CMakeFiles/support_args_test.dir/tests/support/args_test.cpp.o.d"
+  "support_args_test"
+  "support_args_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_args_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

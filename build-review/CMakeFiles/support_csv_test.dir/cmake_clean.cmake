@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_csv_test.dir/tests/support/csv_test.cpp.o"
+  "CMakeFiles/support_csv_test.dir/tests/support/csv_test.cpp.o.d"
+  "support_csv_test"
+  "support_csv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

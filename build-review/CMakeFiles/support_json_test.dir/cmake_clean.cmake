@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_json_test.dir/tests/support/json_test.cpp.o"
+  "CMakeFiles/support_json_test.dir/tests/support/json_test.cpp.o.d"
+  "support_json_test"
+  "support_json_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

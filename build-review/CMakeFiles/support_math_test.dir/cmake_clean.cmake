@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_math_test.dir/tests/support/math_test.cpp.o"
+  "CMakeFiles/support_math_test.dir/tests/support/math_test.cpp.o.d"
+  "support_math_test"
+  "support_math_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

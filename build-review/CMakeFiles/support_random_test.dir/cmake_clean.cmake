@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_random_test.dir/tests/support/random_test.cpp.o"
+  "CMakeFiles/support_random_test.dir/tests/support/random_test.cpp.o.d"
+  "support_random_test"
+  "support_random_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_table_test.dir/tests/support/table_test.cpp.o"
+  "CMakeFiles/support_table_test.dir/tests/support/table_test.cpp.o.d"
+  "support_table_test"
+  "support_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

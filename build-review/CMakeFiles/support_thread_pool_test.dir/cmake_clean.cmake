@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_thread_pool_test.dir/tests/support/thread_pool_test.cpp.o"
+  "CMakeFiles/support_thread_pool_test.dir/tests/support/thread_pool_test.cpp.o.d"
+  "support_thread_pool_test"
+  "support_thread_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_thread_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_timeseries_test.dir/tests/support/timeseries_test.cpp.o"
+  "CMakeFiles/support_timeseries_test.dir/tests/support/timeseries_test.cpp.o.d"
+  "support_timeseries_test"
+  "support_timeseries_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_timeseries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

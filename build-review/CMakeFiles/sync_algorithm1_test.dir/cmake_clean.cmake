@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_algorithm1_test.dir/tests/sync/algorithm1_test.cpp.o"
+  "CMakeFiles/sync_algorithm1_test.dir/tests/sync/algorithm1_test.cpp.o.d"
+  "sync_algorithm1_test"
+  "sync_algorithm1_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_algorithm1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_baselines_test.dir/tests/sync/baselines_test.cpp.o"
+  "CMakeFiles/sync_baselines_test.dir/tests/sync/baselines_test.cpp.o.d"
+  "sync_baselines_test"
+  "sync_baselines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_kernel_golden_test.dir/tests/sync/kernel_golden_test.cpp.o"
+  "CMakeFiles/sync_kernel_golden_test.dir/tests/sync/kernel_golden_test.cpp.o.d"
+  "sync_kernel_golden_test"
+  "sync_kernel_golden_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_kernel_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_round_kernel_test.dir/tests/sync/round_kernel_test.cpp.o"
+  "CMakeFiles/sync_round_kernel_test.dir/tests/sync/round_kernel_test.cpp.o.d"
+  "sync_round_kernel_test"
+  "sync_round_kernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_round_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

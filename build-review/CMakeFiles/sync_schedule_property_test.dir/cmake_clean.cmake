@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_schedule_property_test.dir/tests/sync/schedule_property_test.cpp.o"
+  "CMakeFiles/sync_schedule_property_test.dir/tests/sync/schedule_property_test.cpp.o.d"
+  "sync_schedule_property_test"
+  "sync_schedule_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_schedule_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_schedule_test.dir/tests/sync/schedule_test.cpp.o"
+  "CMakeFiles/sync_schedule_test.dir/tests/sync/schedule_test.cpp.o.d"
+  "sync_schedule_test"
+  "sync_schedule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_thread_equivalence_test.dir/tests/sync/thread_equivalence_test.cpp.o"
+  "CMakeFiles/sync_thread_equivalence_test.dir/tests/sync/thread_equivalence_test.cpp.o.d"
+  "sync_thread_equivalence_test"
+  "sync_thread_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_thread_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
