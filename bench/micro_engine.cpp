@@ -13,6 +13,7 @@
 #include "opinion/assignment.hpp"
 #include "opinion/census.hpp"
 #include "sim/scheduler_queue.hpp"
+#include "sim/windowed_executor.hpp"
 #include "support/random.hpp"
 #include "sync/algorithm1.hpp"
 #include "sync/baselines.hpp"
@@ -74,6 +75,15 @@ void queue_push_pop(benchmark::State& state, sim::QueueKind kind) {
     for (std::size_t i = 0; i < queue_size; ++i) {
         queue->push(rng.uniform(), i);
     }
+    {
+        // The first pop pays each implementation's one-time structuring of
+        // the seeded population (ladder rung spawn, calendar width
+        // estimation). Pay it in setup: at 2^22 pending it is large enough
+        // to wreck the iteration estimate, and the row is meant to price
+        // the steady-state hold cycle.
+        auto e = queue->pop();
+        queue->push(e.time, e.seq);
+    }
     double t = 1.0;
     for (auto _ : state) {
         auto e = queue->pop();
@@ -90,6 +100,9 @@ void BM_EventQueuePushPop(benchmark::State& state) {  // legacy heap name
 void BM_CalendarQueuePushPop(benchmark::State& state) {
     queue_push_pop(state, sim::QueueKind::kCalendar);
 }
+void BM_LadderQueuePushPop(benchmark::State& state) {
+    queue_push_pop(state, sim::QueueKind::kLadder);
+}
 BENCHMARK(BM_EventQueuePushPop)
     ->Arg(1 << 10)
     ->Arg(1 << 12)
@@ -99,6 +112,14 @@ BENCHMARK(BM_EventQueuePushPop)
     ->Arg(1 << 20)
     ->Arg(1 << 22);
 BENCHMARK(BM_CalendarQueuePushPop)
+    ->Arg(1 << 10)
+    ->Arg(1 << 12)
+    ->Arg(1 << 14)
+    ->Arg(1 << 16)
+    ->Arg(1 << 18)
+    ->Arg(1 << 20)
+    ->Arg(1 << 22);
+BENCHMARK(BM_LadderQueuePushPop)
     ->Arg(1 << 10)
     ->Arg(1 << 12)
     ->Arg(1 << 14)
@@ -297,9 +318,10 @@ void async_full_run_small(benchmark::State& state, sim::QueueKind kind) {
         const async::AsyncResult r =
             async::run_single_leader(512, 2, 2.0, c, seed++);
         benchmark::DoNotOptimize(r.consensus_time);
-        // RunResult.steps counts the events the core driver processed, so
-        // items/sec reports async-engine events/sec.
-        events += static_cast<std::int64_t>(r.steps);
+        // items/sec reports async-engine events/sec. (RunResult.steps
+        // counts executor windows since the windowed transition; the
+        // event count moved to AsyncResult.events_processed.)
+        events += static_cast<std::int64_t>(r.events_processed);
     }
     state.SetItemsProcessed(events);
 }
@@ -310,8 +332,105 @@ void BM_AsyncFullRunSmall(benchmark::State& state) {
 void BM_AsyncFullRunSmallCalendar(benchmark::State& state) {
     async_full_run_small(state, sim::QueueKind::kCalendar);
 }
+void BM_AsyncFullRunSmallLadder(benchmark::State& state) {
+    async_full_run_small(state, sim::QueueKind::kLadder);
+}
 BENCHMARK(BM_AsyncFullRunSmall)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AsyncFullRunSmallCalendar)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AsyncFullRunSmallLadder)->Unit(benchmark::kMillisecond);
+
+// Windowed-executor rows (PR 6). The single-queue hold model above
+// (BM_EventQueuePushPop) prices one pop+push; BM_WindowedExecutorHold
+// prices the same event churn through the sharded executor — per-window
+// substream derivation, the shard loop / pool dispatch, and the outbox
+// barrier included. Both report events/sec, so
+//   BM_WindowedExecutorHold/threads:1  vs  BM_SingleQueueHold
+// is the executor's single-thread overhead (acceptance: within 0.9x) and
+//   /threads:4 vs /threads:1
+// is the parallel speedup (needs real cores; see
+// scripts/bench-multicore.sh).
+constexpr std::size_t kHoldNodes = 1 << 12;
+constexpr std::size_t kHoldPending = 1 << 14;
+
+void BM_SingleQueueHold(benchmark::State& state) {
+    Rng rng(14);
+    auto queue = sim::make_scheduler_queue<std::uint32_t>(
+        sim::QueueKind::kBinaryHeap, kHoldPending);
+    for (std::size_t i = 0; i < kHoldPending; ++i) {
+        queue->push(rng.exponential(1.0),
+                    static_cast<std::uint32_t>(i % kHoldNodes));
+    }
+    for (auto _ : state) {
+        auto e = queue->pop();
+        const auto target =
+            static_cast<std::uint32_t>(rng.uniform_index(kHoldNodes));
+        queue->push(e.time + rng.exponential(1.0), target);
+        benchmark::DoNotOptimize(target);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SingleQueueHold);
+
+void BM_WindowedExecutorHold(benchmark::State& state) {
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    sim::WindowedOptions options;
+    options.threads = threads;
+    options.reserve_hint = kHoldPending;
+    sim::WindowedExecutor<std::uint32_t> executor(kHoldNodes, options,
+                                                  Rng(15));
+    {
+        Rng seed_rng(16);
+        for (std::size_t i = 0; i < kHoldPending; ++i) {
+            const auto node = static_cast<std::uint32_t>(i % kHoldNodes);
+            executor.seed(executor.shard_of(node),
+                          seed_rng.exponential(1.0), node);
+        }
+    }
+    const auto handler = [&](auto& ctx, sim::Time t, std::uint32_t /*node*/) {
+        const auto target =
+            static_cast<std::uint32_t>(ctx.rng().uniform_index(kHoldNodes));
+        ctx.emit(executor.shard_of(target), t + ctx.rng().exponential(1.0),
+                 target);
+    };
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        executor.run_window(handler);  // one window per iteration
+    }
+    events = executor.events_processed();
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_WindowedExecutorHold)
+    ->ArgName("threads")
+    ->UseRealTime()
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4);
+
+// Full windowed async runs across the thread knob: the end-to-end view of
+// the same comparison (protocol work included, not just executor churn).
+void BM_AsyncFullRunThreaded(benchmark::State& state) {
+    async::AsyncConfig c;
+    c.alpha_hint = 2.0;
+    c.max_time = 400.0;
+    c.record_series = false;
+    c.threads = static_cast<std::size_t>(state.range(0));
+    std::uint64_t seed = 8;
+    std::int64_t events = 0;
+    for (auto _ : state) {
+        const async::AsyncResult r =
+            async::run_single_leader(4096, 2, 2.0, c, seed++);
+        benchmark::DoNotOptimize(r.consensus_time);
+        events += static_cast<std::int64_t>(r.events_processed);
+    }
+    state.SetItemsProcessed(events);
+}
+BENCHMARK(BM_AsyncFullRunThreaded)
+    ->ArgName("threads")
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4);
 
 // Dispatch overhead of the declarative api layer: the same tiny
 // synchronous run executed (a) directly against the engine and (b) through

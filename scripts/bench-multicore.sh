@@ -1,0 +1,64 @@
+#!/usr/bin/env sh
+# Records the multicore scaling benchmark file on real hardware.
+#
+# The reference container has a single core, so the committed BENCH_*.json
+# files can only pin single-thread rates: their threads:2/4 rows measure
+# pure timeslicing (~1.0x) and say nothing about parallel speedup. This
+# script is the documented recording path for a machine with >= 4 real
+# cores. It validates two claims:
+#
+#   1. PR 5 sharded sync rounds: BM_SyncRoundSharded_* at n >= 2^20 should
+#      reach >= 1.7x wall-clock at threads:4 vs threads:1.
+#   2. PR 6 windowed event executor: BM_WindowedExecutorHold and
+#      BM_AsyncFullRunThreaded threads:4 vs threads:1 (conservative
+#      windows barrier every delta, so expect sub-linear but material
+#      scaling; threads:1 must stay within 0.9x of BM_SingleQueueHold).
+#
+# Usage:
+#   scripts/bench-multicore.sh [OUT.json]        # default BENCH_multicore.json
+#   PAPC_ALLOW_FEW_CORES=1 scripts/bench-multicore.sh   # skip the core check
+#
+# Record on an otherwise idle machine; pin the frequency governor if you
+# can. Results are medians of 3 repetitions with random interleaving, the
+# same protocol as the committed BENCH_pr5/pr6 files.
+
+set -eu
+
+out="${1:-BENCH_multicore.json}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="$root/build-bench"
+
+cores="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
+if [ "$cores" -lt 4 ] && [ "${PAPC_ALLOW_FEW_CORES:-0}" != "1" ]; then
+    echo "error: need >= 4 real cores to measure parallel speedup" \
+         "(found $cores)." >&2
+    echo "       Set PAPC_ALLOW_FEW_CORES=1 to record anyway (the" \
+         "threads:2/4 rows will only measure timeslicing)." >&2
+    exit 1
+fi
+
+cmake -S "$root" -B "$build" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build" --target micro_engine -j"$cores"
+
+"$build/micro_engine" \
+    --benchmark_filter='BM_SyncRoundSharded_|BM_WindowedExecutorHold|BM_AsyncFullRunThreaded|BM_SingleQueueHold' \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_enable_random_interleaving=true \
+    --benchmark_min_time=0.2 \
+    --benchmark_context=papc_build_type=Release \
+    --benchmark_context=papc_cores="$cores" \
+    --benchmark_format=json >"$out"
+
+echo
+echo "Recorded $out. Scaling summaries:"
+echo
+echo "  # PR 5 sync rounds, threads 4 vs 1 (acceptance: >= 1.7x at n >= 2^20)"
+echo "  scripts/bench-diff.py $out $out \\"
+echo "      --suffix-before /threads:1/real_time_median \\"
+echo "      --suffix-after /threads:4/real_time_median --filter Sharded"
+echo
+echo "  # PR 6 windowed event executor, threads 4 vs 1"
+echo "  scripts/bench-diff.py $out $out \\"
+echo "      --suffix-before /threads:1/real_time_median \\"
+echo "      --suffix-after /threads:4/real_time_median --filter Windowed"

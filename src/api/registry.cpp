@@ -110,6 +110,8 @@ async::AsyncConfig async_config_from(const Scenario& s) {
     config.sample_interval = s.sample_interval;
     config.record_series = s.record_series;
     config.queue_kind = s.queue_kind;
+    config.threads = s.threads;
+    config.window = s.window;
     return config;
 }
 
@@ -126,6 +128,9 @@ std::map<std::string, double> async_extras(const async::AsyncResult& r) {
         {"channels_opened", static_cast<double>(r.channels_opened)},
         {"signals_delivered", static_cast<double>(r.signals_delivered)},
         {"leader_peak_load", r.leader_peak_load},
+        {"events_processed", static_cast<double>(r.events_processed)},
+        {"windows", static_cast<double>(r.windows)},
+        {"window_stragglers", static_cast<double>(r.window_stragglers)},
     };
 }
 
@@ -133,7 +138,8 @@ const std::vector<std::string> kAsyncExtraNames = {
     "ticks",          "good_ticks",        "exchanges",
     "two_choices",    "propagation",       "refreshes",
     "final_top_generation", "steps_per_unit", "channels_opened",
-    "signals_delivered", "leader_peak_load",
+    "signals_delivered", "leader_peak_load", "events_processed",
+    "windows", "window_stragglers",
 };
 
 // ---------------------------------------------------------- cluster family
@@ -147,6 +153,8 @@ cluster::ClusterConfig cluster_config_from(const Scenario& s) {
     config.sample_interval = s.sample_interval;
     config.record_series = s.record_series;
     config.queue_kind = s.queue_kind;
+    config.threads = s.threads;
+    config.window = s.window;
     return config;
 }
 
@@ -157,8 +165,8 @@ void register_builtins(ProtocolRegistry& registry) {
                                                  "record-every"};
     const std::vector<std::string> population_knobs = {"max-steps",
                                                        "record-every"};
-    const std::vector<std::string> event_knobs = {"lambda", "max-time",
-                                                  "sample-interval", "queue"};
+    const std::vector<std::string> event_knobs = {
+        "lambda", "max-time", "sample-interval", "queue", "threads", "window"};
 
     // --- synchronous round dynamics -------------------------------------
     registry.register_protocol(
@@ -314,7 +322,7 @@ void register_builtins(ProtocolRegistry& registry) {
     registry.register_protocol(
         ProtocolInfo{"sequential", "async",
                      "sequentialized single-leader reference (instant channels)",
-                     {"max-time", "sample-interval"},
+                     {"max-time", "sample-interval", "window"},
                      kAsyncExtraNames, 2, 0},
         [](const Scenario& s, std::uint64_t seed) {
             Rng workload_rng(derive_seed(seed, 0xA553));
@@ -329,7 +337,7 @@ void register_builtins(ProtocolRegistry& registry) {
                      "single-leader with validated commits under message "
                      "latencies (Section 5)",
                      {"lambda", "msg-rate", "max-time", "sample-interval",
-                      "queue"},
+                      "queue", "threads", "window"},
                      [] {
                          std::vector<std::string> names = kAsyncExtraNames;
                          names.insert(names.end(),
@@ -362,7 +370,8 @@ void register_builtins(ProtocolRegistry& registry) {
                       "fraction_clustered", "finished_fraction", "ticks",
                       "exchanges", "two_choices", "propagation",
                       "finished_adoptions", "final_top_generation",
-                      "signals_delivered", "leader_peak_load", "total_time"},
+                      "signals_delivered", "leader_peak_load", "total_time",
+                      "events_processed", "windows", "window_stragglers"},
                      2, 0},
         [](const Scenario& s, std::uint64_t seed) {
             // Same seed salts as cluster::run_multi_leader (bit-identical
@@ -397,6 +406,10 @@ void register_builtins(ProtocolRegistry& registry) {
                  static_cast<double>(r.signals_delivered)},
                 {"leader_peak_load", r.leader_peak_load},
                 {"total_time", r.total_time()},
+                {"events_processed", static_cast<double>(r.events_processed)},
+                {"windows", static_cast<double>(r.windows)},
+                {"window_stragglers",
+                 static_cast<double>(r.window_stragglers)},
             };
             return out;
         });

@@ -146,8 +146,8 @@ const FieldSpec kFields[] = {
          return {};
      },
      [](const Scenario& s) { return format_double_field(s.gamma); }},
-    {"threads", "intra-run worker threads (sync family; results identical "
-                "at any count)",
+    {"threads", "intra-run worker threads (sync + event-driven families; "
+                "results identical at any count)",
      [](Scenario& s, const std::string& v) -> std::string {
          std::uint64_t parsed = 0;
          if (!try_parse_u64(v, &parsed)) {
@@ -157,6 +157,15 @@ const FieldSpec kFields[] = {
          return {};
      },
      [](const Scenario& s) { return std::to_string(s.threads); }},
+    {"window", "event-executor window width in time units (0 = auto from "
+               "lambda)",
+     [](Scenario& s, const std::string& v) -> std::string {
+         if (!try_parse_double(v, &s.window)) {
+             return bad_value("window", v, "a number");
+         }
+         return {};
+     },
+     [](const Scenario& s) { return format_double_field(s.window); }},
     {"epsilon", "(1-eps)-agreement threshold",
      [](Scenario& s, const std::string& v) -> std::string {
          if (!try_parse_double(v, &s.epsilon)) {
@@ -207,11 +216,12 @@ const FieldSpec kFields[] = {
          return {};
      },
      [](const Scenario& s) { return format_double_field(s.sample_interval); }},
-    {"queue", "heap | calendar scheduler queue (event-driven families)",
+    {"queue", "heap | calendar | ladder scheduler queue (event-driven "
+              "families)",
      [](Scenario& s, const std::string& v) -> std::string {
          const auto parsed = sim::try_parse_queue_kind(v);
          if (!parsed.has_value()) {
-             return bad_value("queue", v, "heap or calendar");
+             return bad_value("queue", v, "heap, calendar or ladder");
          }
          s.queue_kind = *parsed;
          return {};
@@ -253,6 +263,9 @@ std::vector<std::string> validate(const Scenario& scenario) {
     }
     if (scenario.threads < 1 || scenario.threads > 1024) {
         complain("threads must be in [1, 1024]");
+    }
+    if (!(scenario.window >= 0.0) || !std::isfinite(scenario.window)) {
+        complain("window must be >= 0");
     }
     if (!(scenario.epsilon > 0.0) || scenario.epsilon >= 1.0) {
         complain("epsilon must be in (0, 1)");
@@ -306,6 +319,7 @@ void write_json(JsonWriter& writer, const Scenario& scenario) {
     writer.kv("msg-rate", scenario.msg_rate);
     writer.kv("gamma", scenario.gamma);
     writer.kv("threads", static_cast<std::uint64_t>(scenario.threads));
+    writer.kv("window", scenario.window);
     writer.kv("epsilon", scenario.epsilon);
     writer.kv("max-steps", scenario.max_steps);
     writer.kv("max-time", scenario.max_time);

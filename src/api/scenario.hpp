@@ -57,10 +57,16 @@ struct Scenario {
     double msg_rate = 2.0;  ///< per-message rate (validated)
     double gamma = 0.5;     ///< generation-density threshold (sync Alg. 1)
 
-    /// Intra-run worker threads (sync family: sharded round execution).
-    /// Results are bit-identical at every thread count; only throughput
-    /// changes. Sweepable like any field ("threads=1,2,4").
+    /// Intra-run worker threads (sync family: sharded round execution;
+    /// event-driven families: sharded windowed executor). Results are
+    /// bit-identical at every thread count; only throughput changes.
+    /// Sweepable like any field ("threads=1,2,4").
     std::size_t threads = 1;
+
+    /// Conservative window width of the event-driven executor in time
+    /// units (0 = derive from lambda). Part of the trajectory: two runs
+    /// only reproduce each other with equal windows.
+    double window = 0.0;
 
     // Convergence reporting.
     double epsilon = 0.02;  ///< (1-eps)-agreement threshold

@@ -50,11 +50,26 @@ struct AsyncConfig {
     /// public state never changes again. Negative = no failure.
     double leader_failure_time = -1.0;
 
-    /// Scheduler-queue implementation behind the event loop. Both kinds
-    /// pop in identical (time, seq) order (pinned by the equivalence
-    /// tests), so for a fixed seed this knob changes throughput only,
-    /// never results. Prefer kCalendar for n >> 2^16 pending events.
+    /// Scheduler-queue implementation behind each shard of the windowed
+    /// event executor. All kinds pop in identical (time, seq) order
+    /// (pinned by the equivalence tests), so for a fixed seed this knob
+    /// changes throughput only, never results. Prefer kCalendar or
+    /// kLadder for n >> 2^16 pending events.
     sim::QueueKind queue_kind = sim::QueueKind::kBinaryHeap;
+
+    /// Worker threads of the windowed executor. Results are bit-identical
+    /// at every thread count (the PR 5 contract, extended to events);
+    /// only throughput changes.
+    std::size_t threads = 1;
+
+    /// Conservative window width delta of the windowed executor, in time
+    /// units. <= 0 derives sim::default_window(lambda). Part of the
+    /// trajectory: two runs only reproduce each other with equal windows.
+    double window = 0.0;
+
+    /// Shard count of the windowed executor (0 = default). Like `window`,
+    /// part of the trajectory; unlike `threads`, never auto-scaled.
+    std::size_t event_shards = 0;
 };
 
 }  // namespace papc::async

@@ -4,6 +4,7 @@
 
 #include "analysis/theory.hpp"
 #include "core/observer.hpp"
+#include "sim/windowed_executor.hpp"
 #include "support/check.hpp"
 
 namespace papc::async {
@@ -12,8 +13,7 @@ SequentialSingleLeaderSimulation::SequentialSingleLeaderSimulation(
     const Assignment& assignment, const AsyncConfig& config, std::uint64_t seed)
     : config_(config),
       rng_(seed),
-      census_(assignment.size(), assignment.num_opinions),
-      queue_(sim::make_scheduler_queue<NodeId>(config.queue_kind, 1)) {
+      census_(assignment.size(), assignment.num_opinions) {
     PAPC_CHECK(assignment.size() >= 2);
     const std::size_t n = assignment.size();
     nodes_.resize(n);
@@ -28,65 +28,72 @@ SequentialSingleLeaderSimulation::SequentialSingleLeaderSimulation(
     plurality_ = census_.pooled_stats().dominant;
 }
 
+SequentialSingleLeaderSimulation::~SequentialSingleLeaderSimulation() = default;
+
 bool SequentialSingleLeaderSimulation::advance() {
-    if (queue_->empty()) return false;
+    if (executor_->empty()) return false;
     const std::size_t n = nodes_.size();
     const double nd = static_cast<double>(n);
+    const bool ran = executor_->run_window(
+        [&](sim::WindowedExecutor<NodeId>::ShardContext& ctx, double t,
+            NodeId& /*unused*/) {
+            // Sequentialization: the next tick anywhere in the system is an
+            // Exp(n) race won by a uniformly random node drawn after the
+            // race — memorylessness makes the winner independent of the
+            // race time. One shard, so everything below is serial and may
+            // read/write live state directly.
+            Rng& rng = ctx.rng();
+            const auto v_id = static_cast<NodeId>(rng.uniform_index(n));
+            NodeState& v = nodes_[v_id];
+            ++result_.ticks;
+            ++result_.good_ticks;  // channels are instant: every tick is good
 
-    // Sequentialization: the next tick anywhere in the system is an
-    // Exp(n) race (the queue's single pending event) won by a uniformly
-    // random node drawn after the race — memorylessness makes the winner
-    // independent of the race time.
-    now_ = queue_->pop().time;
-    const auto v_id = static_cast<NodeId>(rng_.uniform_index(n));
-    NodeState& v = nodes_[v_id];
-    ++result_.ticks;
-    ++result_.good_ticks;  // channels are instant: every tick is good
-
-    // Line 1: the 0-signal arrives instantly.
-    ++result_.signals_delivered;
-    leader_->on_zero_signal(now_);
-
-    // Lines 3-15 execute atomically at the tick.
-    ++result_.exchanges;
-    auto sample_peer = [&](NodeId self) {
-        return static_cast<NodeId>(rng_.uniform_index_excluding(n, self));
-    };
-    const NodeId p1 = sample_peer(v_id);
-    const NodeId p2 = sample_peer(v_id);
-    const ExchangeDecision decision = decide_exchange(
-        v, leader_->gen(), leader_->prop(),
-        PeerSample{nodes_[p1].gen, nodes_[p1].col},
-        PeerSample{nodes_[p2].gen, nodes_[p2].col});
-    const Generation old_gen = v.gen;
-    const Opinion old_col = v.col;
-    const bool changed =
-        apply_decision(v, decision, leader_->gen(), leader_->prop());
-    switch (decision.kind) {
-        case ExchangeDecision::Kind::kTwoChoices:
-            ++result_.two_choices_count;
-            break;
-        case ExchangeDecision::Kind::kPropagation:
-            ++result_.propagation_count;
-            break;
-        case ExchangeDecision::Kind::kRefreshOnly:
-            ++result_.refresh_count;
-            break;
-        case ExchangeDecision::Kind::kNone:
-            break;
-    }
-    if (changed) {
-        census_.transition(old_gen, old_col, v.gen, v.col);
-        PAPC_CHECK(v.gen <= leader_->gen());
-        if (decision.send_gen_signal) {
+            // Line 1: the 0-signal arrives instantly.
             ++result_.signals_delivered;
-            leader_->on_gen_signal(now_, v.gen);
-        }
-    }
-    // Next global race. Pushing here (after the peer draws) keeps the RNG
-    // stream identical to the pre-queue sequentialized loop.
-    queue_->push(now_ + rng_.exponential(nd), 0);
-    return true;
+            leader_->on_zero_signal(t);
+
+            // Lines 3-15 execute atomically at the tick.
+            ++result_.exchanges;
+            auto sample_peer = [&](NodeId self) {
+                return static_cast<NodeId>(rng.uniform_index_excluding(n, self));
+            };
+            const NodeId p1 = sample_peer(v_id);
+            const NodeId p2 = sample_peer(v_id);
+            const ExchangeDecision decision = decide_exchange(
+                v, leader_->gen(), leader_->prop(),
+                PeerSample{nodes_[p1].gen, nodes_[p1].col},
+                PeerSample{nodes_[p2].gen, nodes_[p2].col});
+            const Generation old_gen = v.gen;
+            const Opinion old_col = v.col;
+            const bool changed =
+                apply_decision(v, decision, leader_->gen(), leader_->prop());
+            switch (decision.kind) {
+                case ExchangeDecision::Kind::kTwoChoices:
+                    ++result_.two_choices_count;
+                    break;
+                case ExchangeDecision::Kind::kPropagation:
+                    ++result_.propagation_count;
+                    break;
+                case ExchangeDecision::Kind::kRefreshOnly:
+                    ++result_.refresh_count;
+                    break;
+                case ExchangeDecision::Kind::kNone:
+                    break;
+            }
+            if (changed) {
+                census_.transition(old_gen, old_col, v.gen, v.col);
+                PAPC_CHECK(v.gen <= leader_->gen());
+                if (decision.send_gen_signal) {
+                    ++result_.signals_delivered;
+                    leader_->on_gen_signal(t, v.gen);
+                }
+            }
+            // Next global race; chains within the window while it lands
+            // before the window end.
+            ctx.emit(0, t + rng.exponential(nd), 0);
+        });
+    now_ = executor_->now();
+    return ran;
 }
 
 AsyncResult SequentialSingleLeaderSimulation::run() {
@@ -109,12 +116,26 @@ AsyncResult SequentialSingleLeaderSimulation::run() {
         config_.generation_slack);
     leader_ = std::make_unique<Leader>(leader_config);
 
-    // The first global Exp(n) race; advance() keeps exactly one pending.
-    queue_->push(rng_.exponential(static_cast<double>(n)), 0);
+    // One shard: the model is inherently serial (a node atomically reads
+    // arbitrary other nodes at its tick), so the executor degenerates to a
+    // single windowed queue. Threads are forced to 1 — there is nothing to
+    // parallelize, and the window substreams alone pin determinism.
+    sim::WindowedOptions executor_options;
+    executor_options.shards = 1;
+    executor_options.threads = 1;
+    executor_options.window = config_.window;
+    executor_options.lambda = config_.lambda;
+    executor_options.queue_kind = config_.queue_kind;
+    executor_options.reserve_hint = 2;
+    executor_ = std::make_unique<sim::WindowedExecutor<NodeId>>(
+        n, executor_options, rng_.split());
+
+    // The first global Exp(n) race; the handler keeps exactly one pending.
+    executor_->seed(0, rng_.exponential(static_cast<double>(n)), 0);
 
     core::EngineOptions run_options;
     run_options.max_time = config_.max_time;
-    run_options.check_every = std::max<std::uint64_t>(1, n / 4);
+    run_options.sample_interval = config_.sample_interval;
     run_options.record = config_.record_series;
     run_options.plurality = plurality_;
     run_options.epsilon = config_.epsilon;
@@ -127,6 +148,9 @@ AsyncResult SequentialSingleLeaderSimulation::run() {
     static_cast<core::RunResult&>(result_) =
         core::run(*this, run_options, &observer);
 
+    result_.events_processed = executor_->events_processed();
+    result_.windows = executor_->windows_run();
+    result_.window_stragglers = executor_->stragglers();
     result_.final_top_generation = census_.highest_populated();
     result_.leader_trace = leader_->trace();
     return std::move(result_);

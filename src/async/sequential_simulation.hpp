@@ -12,18 +12,23 @@
 /// This engine isolates what the edge latencies cost: bench
 /// exp_exchange_latency compares sequential vs latency-model runs, and the
 /// tests pin that the generation dynamics (leader trace shape) coincide.
-/// The loop is owned by core::run(); one advance() = one global tick.
 ///
-/// Ordering assumptions, stated against the sim::SchedulerQueue contract:
-/// the n independent rate-1 clocks collapse into a single global Exp(n)
-/// tick stream whose winner is a uniform node drawn *after* the race
-/// (memorylessness). The engine therefore keeps exactly one pending tick
-/// in a SchedulerQueue — pop the race, draw the winner, push the next race
-/// — so ties are impossible by construction and the queue's deterministic
-/// (time, seq) tie-break is exercised trivially. Any QueueKind yields the
-/// identical run.
+/// Ordering assumptions: the n independent rate-1 clocks collapse into a
+/// single global Exp(n) tick stream whose winner is a uniform node drawn
+/// *after* the race (memorylessness). The engine keeps exactly one pending
+/// tick, so ties are impossible by construction. Since PR 6 that single
+/// pending event lives in a one-shard windowed executor
+/// (sim/windowed_executor.hpp): the model is inherently serial — every
+/// node may touch every other node atomically at a tick, so there is
+/// nothing to shard — but the window machinery still batches the ticks
+/// falling into each conservative window under one per-window RNG
+/// substream, and one advance() = one window (~ delta·n global ticks).
+/// Results are trivially thread-count invariant (a one-shard window is
+/// always sequential).
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "async/config.hpp"
 #include "async/leader.hpp"
@@ -32,8 +37,12 @@
 #include "core/engine.hpp"
 #include "opinion/assignment.hpp"
 #include "opinion/census.hpp"
-#include "sim/scheduler_queue.hpp"
 #include "support/random.hpp"
+
+namespace papc::sim {
+template <typename Event>
+class WindowedExecutor;
+}  // namespace papc::sim
 
 namespace papc::async {
 
@@ -44,13 +53,16 @@ public:
                                      const AsyncConfig& config,
                                      std::uint64_t seed);
 
+    ~SequentialSingleLeaderSimulation() override;
+
     /// Runs to full consensus (or config.max_time). The AsyncResult's
     /// latency-specific fields (good_ticks == ticks, channels_opened == 0)
     /// reflect the instant-channel semantics; steps_per_unit is 1 (every
     /// node completes its action at its tick).
     [[nodiscard]] AsyncResult run();
 
-    // core::Engine driver interface (one global tick per advance).
+    // core::Engine driver interface (one window of global ticks per
+    // advance).
     bool advance() override;
     [[nodiscard]] double now() const override { return now_; }
     [[nodiscard]] bool converged() const override { return census_.converged(); }
@@ -71,9 +83,9 @@ private:
     std::vector<NodeState> nodes_;
     GenerationCensus census_;
     std::unique_ptr<Leader> leader_;
-    /// Holds the single pending global tick (payload unused); see the
-    /// ordering-assumption note in the file header.
-    std::unique_ptr<sim::SchedulerQueue<NodeId>> queue_;
+    /// One-shard windowed executor holding the single pending global tick
+    /// (payload unused); see the ordering-assumption note above.
+    std::unique_ptr<sim::WindowedExecutor<NodeId>> executor_;
     Opinion plurality_ = 0;
     bool ran_ = false;
 

@@ -6,9 +6,16 @@
 #include "analysis/latency_units.hpp"
 #include "analysis/theory.hpp"
 #include "core/observer.hpp"
+#include "sim/windowed_executor.hpp"
 #include "support/check.hpp"
 
 namespace papc::async {
+
+namespace {
+/// All leader-directed signal events are owned by shard 0; the leader's
+/// mutable state is only ever touched from there.
+constexpr std::size_t kLeaderShard = 0;
+}  // namespace
 
 enum class AsyncEventKind : std::uint8_t {
     kTick,        ///< a node's Poisson clock fired
@@ -37,11 +44,7 @@ SingleLeaderSimulation::SingleLeaderSimulation(
     : config_(config),
       latency_(std::move(latency)),
       rng_(seed),
-      census_(assignment.size(), assignment.num_opinions),
-      // Pending events stay near 2 per node (next tick + in-flight
-      // exchange/signal); reserve up front to skip reallocation churn.
-      queue_(sim::make_scheduler_queue<AsyncEvent>(config.queue_kind,
-                                                   2 * assignment.size())) {
+      census_(assignment.size(), assignment.num_opinions) {
     PAPC_CHECK(assignment.size() >= 2);
     PAPC_CHECK(latency_ != nullptr);
 
@@ -60,9 +63,9 @@ SingleLeaderSimulation::SingleLeaderSimulation(
 
 SingleLeaderSimulation::~SingleLeaderSimulation() = default;
 
-void SingleLeaderSimulation::record_leader_signal() {
-    ++result_.signals_delivered;
-    const auto bucket = static_cast<std::int64_t>(now_);
+void SingleLeaderSimulation::record_leader_signal(double time) {
+    ++leader_signals_;
+    const auto bucket = static_cast<std::int64_t>(time);
     if (bucket != load_bucket_) {
         result_.leader_peak_load =
             std::max(result_.leader_peak_load, static_cast<double>(load_count_));
@@ -72,104 +75,136 @@ void SingleLeaderSimulation::record_leader_signal() {
     ++load_count_;
 }
 
-NodeId SingleLeaderSimulation::sample_peer(NodeId self) {
-    return static_cast<NodeId>(
-        rng_.uniform_index_excluding(nodes_.size(), self));
+void SingleLeaderSimulation::begin_window() {
+    // Peer reads inside the window observe the window-start state: the
+    // owning shard is the only writer of a node, so the live array would
+    // race, and snapshot reads are also what makes the trajectory
+    // independent of shard completion order.
+    nodes_snap_ = nodes_;
+    snap_leader_gen_ = leader_->gen();
+    snap_leader_prop_ = leader_->prop();
+}
+
+void SingleLeaderSimulation::commit_window() {
+    // Census moves merge in shard order on the driving thread; counters
+    // stay in the shard scratch until the end of the run.
+    for (ShardScratch& scratch : scratch_) {
+        for (const CensusMove& move : scratch.moves) {
+            census_.transition(move.old_gen, move.old_col, move.new_gen,
+                               move.new_col);
+        }
+        scratch.moves.clear();
+    }
 }
 
 bool SingleLeaderSimulation::advance() {
-    if (queue_->empty()) return false;
-    auto entry = queue_->pop();
-    now_ = entry.time;
-    const AsyncEvent& ev = entry.payload;
-
-    switch (ev.kind) {
-        case AsyncEventKind::kTick: {
-            ++result_.ticks;
-            NodeState& v = nodes_[ev.node];
-            // Line 1: 0-signal to the leader — fire and forget, but the
-            // signal itself travels one latency draw.
-            queue_->push(now_ + latency_->sample(rng_),
-                         AsyncEvent{AsyncEventKind::kZeroSignal, 0, 0, 0, 0});
-            // Line 2: locked nodes do nothing else at this tick.
-            if (!v.locked) {
-                v.locked = true;
-                ++result_.good_ticks;
-                result_.channels_opened += 3;
-                // Lines 3-4: open two peer channels concurrently, then
-                // the leader channel: total latency max(T2,T2) + T2.
-                const double peer_a = latency_->sample(rng_);
-                const double peer_b = latency_->sample(rng_);
-                const double to_leader = latency_->sample(rng_);
-                const double ready = now_ + std::max(peer_a, peer_b) + to_leader;
-                AsyncEvent ex{AsyncEventKind::kExchange, ev.node,
-                              sample_peer(ev.node), sample_peer(ev.node), 0};
-                queue_->push(ready, ex);
-            }
-            // Next Poisson tick.
-            queue_->push(now_ + rng_.exponential(1.0),
-                         AsyncEvent{AsyncEventKind::kTick, ev.node, 0, 0, 0});
-            break;
-        }
-
-        case AsyncEventKind::kExchange: {
-            ++result_.exchanges;
-            NodeState& v = nodes_[ev.node];
-            PAPC_CHECK(v.locked);
-            const NodeState& p1 = nodes_[ev.peer1];
-            const NodeState& p2 = nodes_[ev.peer2];
-            const PeerSample s1{p1.gen, p1.col};
-            const PeerSample s2{p2.gen, p2.col};
-            const Generation old_gen = v.gen;
-            const Opinion old_col = v.col;
-            const ExchangeDecision decision = decide_exchange(
-                v, leader_->gen(), leader_->prop(), s1, s2);
-            const bool changed =
-                apply_decision(v, decision, leader_->gen(), leader_->prop());
-            switch (decision.kind) {
-                case ExchangeDecision::Kind::kTwoChoices:
-                    ++result_.two_choices_count;
+    if (executor_->empty()) return false;
+    begin_window();
+    const bool ran = executor_->run_window(
+        [this](sim::WindowedExecutor<AsyncEvent>::ShardContext& ctx, double t,
+               AsyncEvent& ev) {
+            ShardScratch& scratch = scratch_[ctx.shard()];
+            Rng& rng = ctx.rng();
+            const auto sample_peer = [&](NodeId self) {
+                return static_cast<NodeId>(
+                    rng.uniform_index_excluding(nodes_.size(), self));
+            };
+            switch (ev.kind) {
+                case AsyncEventKind::kTick: {
+                    ++scratch.ticks;
+                    NodeState& v = nodes_[ev.node];
+                    // Line 1: 0-signal to the leader — fire and forget, but
+                    // the signal itself travels one latency draw.
+                    ctx.emit(kLeaderShard, t + latency_->sample(rng),
+                             AsyncEvent{AsyncEventKind::kZeroSignal, 0, 0, 0, 0});
+                    // Line 2: locked nodes do nothing else at this tick.
+                    if (!v.locked) {
+                        v.locked = true;
+                        ++scratch.good_ticks;
+                        scratch.channels_opened += 3;
+                        // Lines 3-4: open two peer channels concurrently,
+                        // then the leader channel: max(T2,T2) + T2.
+                        const double peer_a = latency_->sample(rng);
+                        const double peer_b = latency_->sample(rng);
+                        const double to_leader = latency_->sample(rng);
+                        const double ready =
+                            t + std::max(peer_a, peer_b) + to_leader;
+                        ctx.emit(ctx.shard(), ready,
+                                 AsyncEvent{AsyncEventKind::kExchange, ev.node,
+                                            sample_peer(ev.node),
+                                            sample_peer(ev.node), 0});
+                    }
+                    // Next Poisson tick (stays on the node's own shard).
+                    ctx.emit(ctx.shard(), t + rng.exponential(1.0),
+                             AsyncEvent{AsyncEventKind::kTick, ev.node, 0, 0, 0});
                     break;
-                case ExchangeDecision::Kind::kPropagation:
-                    ++result_.propagation_count;
-                    break;
-                case ExchangeDecision::Kind::kRefreshOnly:
-                    ++result_.refresh_count;
-                    break;
-                case ExchangeDecision::Kind::kNone:
-                    break;
-            }
-            if (changed) {
-                census_.transition(old_gen, old_col, v.gen, v.col);
-                // Invariant: never beyond the leader's generation.
-                PAPC_CHECK(v.gen <= leader_->gen());
-                if (decision.send_gen_signal) {
-                    queue_->push(now_ + latency_->sample(rng_),
-                                 AsyncEvent{AsyncEventKind::kGenSignal, 0, 0, 0,
-                                            v.gen});
                 }
-            }
-            v.locked = false;  // line 15
-            break;
-        }
 
-        case AsyncEventKind::kZeroSignal:
-            record_leader_signal();
-            if (config_.leader_failure_time < 0.0 ||
-                now_ < config_.leader_failure_time) {
-                leader_->on_zero_signal(now_);
-            }
-            break;
+                case AsyncEventKind::kExchange: {
+                    ++scratch.exchanges;
+                    NodeState& v = nodes_[ev.node];
+                    PAPC_CHECK(v.locked);
+                    // Peers and leader are read from the window-start
+                    // snapshots (see begin_window()).
+                    const NodeState& p1 = nodes_snap_[ev.peer1];
+                    const NodeState& p2 = nodes_snap_[ev.peer2];
+                    const PeerSample s1{p1.gen, p1.col};
+                    const PeerSample s2{p2.gen, p2.col};
+                    const Generation old_gen = v.gen;
+                    const Opinion old_col = v.col;
+                    const ExchangeDecision decision = decide_exchange(
+                        v, snap_leader_gen_, snap_leader_prop_, s1, s2);
+                    const bool changed = apply_decision(
+                        v, decision, snap_leader_gen_, snap_leader_prop_);
+                    switch (decision.kind) {
+                        case ExchangeDecision::Kind::kTwoChoices:
+                            ++scratch.two_choices;
+                            break;
+                        case ExchangeDecision::Kind::kPropagation:
+                            ++scratch.propagation;
+                            break;
+                        case ExchangeDecision::Kind::kRefreshOnly:
+                            ++scratch.refresh;
+                            break;
+                        case ExchangeDecision::Kind::kNone:
+                            break;
+                    }
+                    if (changed) {
+                        scratch.moves.push_back(
+                            CensusMove{old_gen, old_col, v.gen, v.col});
+                        // Invariant: never beyond the leader's generation
+                        // (the snapshot is a lower bound of the live one).
+                        PAPC_CHECK(v.gen <= snap_leader_gen_);
+                        if (decision.send_gen_signal) {
+                            ctx.emit(kLeaderShard, t + latency_->sample(rng),
+                                     AsyncEvent{AsyncEventKind::kGenSignal, 0,
+                                                0, 0, v.gen});
+                        }
+                    }
+                    v.locked = false;  // line 15
+                    break;
+                }
 
-        case AsyncEventKind::kGenSignal:
-            record_leader_signal();
-            if (config_.leader_failure_time < 0.0 ||
-                now_ < config_.leader_failure_time) {
-                leader_->on_gen_signal(now_, ev.gen);
+                case AsyncEventKind::kZeroSignal:
+                    record_leader_signal(t);
+                    if (config_.leader_failure_time < 0.0 ||
+                        t < config_.leader_failure_time) {
+                        leader_->on_zero_signal(t);
+                    }
+                    break;
+
+                case AsyncEventKind::kGenSignal:
+                    record_leader_signal(t);
+                    if (config_.leader_failure_time < 0.0 ||
+                        t < config_.leader_failure_time) {
+                        leader_->on_gen_signal(t, ev.gen);
+                    }
+                    break;
             }
-            break;
-    }
-    return true;
+        });
+    commit_window();
+    now_ = executor_->now();
+    return ran;
 }
 
 AsyncResult SingleLeaderSimulation::run() {
@@ -198,10 +233,23 @@ AsyncResult SingleLeaderSimulation::run() {
         config_.generation_slack);
     leader_ = std::make_unique<Leader>(leader_config);
 
+    // Windowed executor: pending events stay near 2 per node (next tick +
+    // in-flight exchange/signal).
+    sim::WindowedOptions executor_options;
+    executor_options.shards = config_.event_shards;
+    executor_options.threads = config_.threads;
+    executor_options.window = config_.window;
+    executor_options.lambda = config_.lambda;
+    executor_options.queue_kind = config_.queue_kind;
+    executor_options.reserve_hint = 2 * n;
+    executor_ = std::make_unique<sim::WindowedExecutor<AsyncEvent>>(
+        n, executor_options, rng_.split());
+    scratch_.resize(executor_->num_shards());
+
     // Initial ticks.
     for (NodeId v = 0; v < n; ++v) {
-        queue_->push(rng_.exponential(1.0),
-                     AsyncEvent{AsyncEventKind::kTick, v, 0, 0, 0});
+        executor_->seed(executor_->shard_of(v), rng_.exponential(1.0),
+                        AsyncEvent{AsyncEventKind::kTick, v, 0, 0, 0});
     }
 
     core::EngineOptions run_options;
@@ -219,8 +267,21 @@ AsyncResult SingleLeaderSimulation::run() {
     static_cast<core::RunResult&>(result_) =
         core::run(*this, run_options, &observer);
 
+    for (const ShardScratch& scratch : scratch_) {
+        result_.ticks += scratch.ticks;
+        result_.good_ticks += scratch.good_ticks;
+        result_.exchanges += scratch.exchanges;
+        result_.two_choices_count += scratch.two_choices;
+        result_.propagation_count += scratch.propagation;
+        result_.refresh_count += scratch.refresh;
+        result_.channels_opened += scratch.channels_opened;
+    }
+    result_.signals_delivered = leader_signals_;
     result_.leader_peak_load =
         std::max(result_.leader_peak_load, static_cast<double>(load_count_));
+    result_.events_processed = executor_->events_processed();
+    result_.windows = executor_->windows_run();
+    result_.window_stragglers = executor_->stragglers();
     result_.final_top_generation = census_.highest_populated();
     result_.leader_trace = leader_->trace();
     return std::move(result_);

@@ -13,10 +13,17 @@
 ///     and applies Algorithm 2; generation promotions notify the leader
 ///     with an i-signal (one more latency draw).
 ///
-/// The run loop (budgets, sampling cadence, ε/consensus detection, series
-/// recording) lives in core::run(); this class advances one event per
-/// core::Engine::advance() call.
+/// Since PR 6 the event loop runs on the sharded windowed executor
+/// (sim/windowed_executor.hpp): nodes are partitioned into shards, events
+/// process in parallel inside conservative time windows, and one
+/// core::Engine::advance() call executes one window. Peer and leader
+/// reads go through window-start snapshots, signal events are owned by
+/// the leader's shard, and census transitions merge in shard order at the
+/// window barrier — fixed-seed results are bit-identical at every thread
+/// count. The run loop (budgets, sampling cadence, ε/consensus detection,
+/// series recording) still lives in core::run().
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -28,9 +35,13 @@
 #include "opinion/assignment.hpp"
 #include "opinion/census.hpp"
 #include "sim/latency.hpp"
-#include "sim/scheduler_queue.hpp"
 #include "support/random.hpp"
 #include "support/timeseries.hpp"
+
+namespace papc::sim {
+template <typename Event>
+class WindowedExecutor;
+}  // namespace papc::sim
 
 namespace papc::async {
 
@@ -38,6 +49,8 @@ namespace papc::async {
 /// semantics (converged / winner / plurality_won / epsilon_time /
 /// consensus_time / end_time / steps / plurality_fraction) live in the
 /// core::RunResult base; the fields below are single-leader accounting.
+/// NOTE: since PR 6 RunResult::steps counts executor *windows*, not
+/// events — use events_processed for event throughput.
 struct AsyncResult : core::RunResult {
     std::uint64_t ticks = 0;              ///< Poisson ticks processed
     std::uint64_t good_ticks = 0;         ///< ticks that started an exchange
@@ -54,6 +67,12 @@ struct AsyncResult : core::RunResult {
     std::uint64_t signals_delivered = 0;  ///< 0- and i-signals at the leader
     double leader_peak_load = 0.0;        ///< max leader signals in one step
 
+    // Windowed-executor accounting (PR 6).
+    std::uint64_t events_processed = 0;   ///< total events across shards
+    std::uint64_t windows = 0;            ///< conservative windows executed
+    std::uint64_t window_stragglers = 0;  ///< cross-shard sends behind a
+                                          ///< closed window
+
     std::vector<LeaderTransition> leader_trace;
     TimeSeries leader_generation;   ///< leader gen over time
 };
@@ -68,7 +87,9 @@ public:
     SingleLeaderSimulation(const Assignment& assignment, const AsyncConfig& config,
                            std::uint64_t seed);
 
-    /// Uses a caller-supplied latency model (takes ownership).
+    /// Uses a caller-supplied latency model (takes ownership). The auto
+    /// window width is still derived from config.lambda — set
+    /// config.window explicitly for models with a very different scale.
     SingleLeaderSimulation(const Assignment& assignment, const AsyncConfig& config,
                            std::unique_ptr<sim::LatencyModel> latency,
                            std::uint64_t seed);
@@ -78,7 +99,8 @@ public:
     /// Runs to full consensus (or config.max_time) and returns the result.
     [[nodiscard]] AsyncResult run();
 
-    // core::Engine driver interface (used by run(); one event per advance).
+    // core::Engine driver interface (used by run(); one *window* of events
+    // per advance).
     bool advance() override;
     [[nodiscard]] double now() const override { return now_; }
     [[nodiscard]] bool converged() const override { return census_.converged(); }
@@ -96,23 +118,56 @@ public:
     [[nodiscard]] std::size_t population() const { return nodes_.size(); }
 
 private:
-    void record_leader_signal();
-    [[nodiscard]] NodeId sample_peer(NodeId self);
+    /// One old-gen/old-col -> new-gen/new-col move, recorded shard-locally
+    /// during a window and applied to the census at the barrier.
+    struct CensusMove {
+        Generation old_gen;
+        Opinion old_col;
+        Generation new_gen;
+        Opinion new_col;
+    };
+
+    /// Shard-owned accumulation: event counters for the whole run plus the
+    /// census moves of the current window. Cache-line aligned so
+    /// neighbouring shards never contend.
+    struct alignas(64) ShardScratch {
+        std::uint64_t ticks = 0;
+        std::uint64_t good_ticks = 0;
+        std::uint64_t exchanges = 0;
+        std::uint64_t two_choices = 0;
+        std::uint64_t propagation = 0;
+        std::uint64_t refresh = 0;
+        std::uint64_t channels_opened = 0;
+        std::vector<CensusMove> moves;
+    };
+
+    void begin_window();
+    void commit_window();
+    void record_leader_signal(double time);
 
     AsyncConfig config_;
     std::unique_ptr<sim::LatencyModel> latency_;
     Rng rng_;
     std::vector<NodeState> nodes_;
+    std::vector<NodeState> nodes_snap_;  ///< window-start copy (peer reads)
     GenerationCensus census_;
     std::unique_ptr<Leader> leader_;
-    std::unique_ptr<sim::SchedulerQueue<AsyncEvent>> queue_;
+    std::unique_ptr<sim::WindowedExecutor<AsyncEvent>> executor_;
+    std::vector<ShardScratch> scratch_;
     Opinion plurality_ = 0;
     bool ran_ = false;
 
+    // Window-start snapshot of the leader's public state (exchange reads).
+    Generation snap_leader_gen_ = 1;
+    bool snap_leader_prop_ = false;
+
     double now_ = 0.0;
     AsyncResult result_;
+    // Leader-shard-owned accounting (only the shard that owns the leader's
+    // signal events ever touches these during a window).
     std::int64_t load_bucket_ = -1;    ///< leader congestion window (§4.5)
     std::uint64_t load_count_ = 0;
+    std::uint64_t leader_signals_ = 0;
 };
 
 /// Convenience: builds a biased-plurality workload and runs one simulation.

@@ -6,9 +6,14 @@
 #include "analysis/latency_units.hpp"
 #include "analysis/theory.hpp"
 #include "core/observer.hpp"
+#include "sim/windowed_executor.hpp"
 #include "support/check.hpp"
 
 namespace papc::async {
+
+namespace {
+constexpr std::size_t kLeaderShard = 0;
+}  // namespace
 
 enum class ValidatedEventKind : std::uint8_t {
     kTick,
@@ -39,11 +44,7 @@ ValidatedSingleLeaderSimulation::ValidatedSingleLeaderSimulation(
       channel_(std::move(channel)),
       message_(std::move(message)),
       rng_(seed),
-      census_(assignment.size(), assignment.num_opinions),
-      // Pending events stay near 2 per node (next tick + in-flight
-      // snapshot/validate/signal); reserve to skip reallocation churn.
-      queue_(sim::make_scheduler_queue<ValidatedEvent>(config.queue_kind,
-                                                       2 * assignment.size())) {
+      census_(assignment.size(), assignment.num_opinions) {
     PAPC_CHECK(assignment.size() >= 2);
     PAPC_CHECK(channel_ != nullptr && message_ != nullptr);
     const std::size_t n = assignment.size();
@@ -61,138 +62,161 @@ ValidatedSingleLeaderSimulation::ValidatedSingleLeaderSimulation(
 
 ValidatedSingleLeaderSimulation::~ValidatedSingleLeaderSimulation() = default;
 
-NodeId ValidatedSingleLeaderSimulation::sample_peer(NodeId self) {
-    return static_cast<NodeId>(
-        rng_.uniform_index_excluding(nodes_.size(), self));
+void ValidatedSingleLeaderSimulation::begin_window() {
+    nodes_snap_ = nodes_;
+    snap_leader_gen_ = leader_->gen();
+    snap_leader_prop_ = leader_->prop();
 }
 
-double ValidatedSingleLeaderSimulation::signal_delay() {
-    // A signal needs a channel plus one message crossing.
-    return channel_->sample(rng_) + message_->sample(rng_);
+void ValidatedSingleLeaderSimulation::commit_window() {
+    for (ShardScratch& scratch : scratch_) {
+        for (const CensusMove& move : scratch.moves) {
+            census_.transition(move.old_gen, move.old_col, move.new_gen,
+                               move.new_col);
+        }
+        scratch.moves.clear();
+    }
 }
 
 bool ValidatedSingleLeaderSimulation::advance() {
-    if (queue_->empty()) return false;
-    auto entry = queue_->pop();
-    now_ = entry.time;
-    ValidatedEvent& ev = entry.payload;
-
-    switch (ev.kind) {
-        case ValidatedEventKind::kTick: {
-            ++result_.base.ticks;
-            NodeState& v = nodes_[ev.node];
-            {
-                ValidatedEvent sig;
-                sig.kind = ValidatedEventKind::kZeroSignal;
-                queue_->push(now_ + signal_delay(), sig);
-            }
-            if (!v.locked) {
-                v.locked = true;
-                ++result_.base.good_ticks;
-                const double establish =
-                    std::max(channel_->sample(rng_), channel_->sample(rng_)) +
-                    channel_->sample(rng_);
-                const double first_round =
-                    2.0 * message_->sample(rng_);  // request + reply
-                ValidatedEvent snap;
-                snap.kind = ValidatedEventKind::kSnapshot;
-                snap.node = ev.node;
-                snap.peer1 = sample_peer(ev.node);
-                snap.peer2 = sample_peer(ev.node);
-                queue_->push(now_ + establish + first_round, snap);
-            }
-            ValidatedEvent next;
-            next.kind = ValidatedEventKind::kTick;
-            next.node = ev.node;
-            queue_->push(now_ + rng_.exponential(1.0), next);
-            break;
-        }
-
-        case ValidatedEventKind::kSnapshot: {
-            ++result_.base.exchanges;
-            NodeState& v = nodes_[ev.node];
-            PAPC_CHECK(v.locked);
-            const NodeState& p1 = nodes_[ev.peer1];
-            const NodeState& p2 = nodes_[ev.peer2];
-            const ExchangeDecision decision = decide_exchange(
-                v, leader_->gen(), leader_->prop(),
-                PeerSample{p1.gen, p1.col}, PeerSample{p2.gen, p2.col});
-            switch (decision.kind) {
-                case ExchangeDecision::Kind::kRefreshOnly:
-                    ++result_.base.refresh_count;
-                    (void)apply_decision(v, decision, leader_->gen(),
-                                         leader_->prop());
-                    v.locked = false;
-                    break;
-                case ExchangeDecision::Kind::kNone:
-                    v.locked = false;
-                    break;
-                case ExchangeDecision::Kind::kTwoChoices:
-                case ExchangeDecision::Kind::kPropagation: {
-                    // Two-phase commit: validate against the leader
-                    // before applying (§5).
-                    ValidatedEvent val;
-                    val.kind = ValidatedEventKind::kValidate;
-                    val.node = ev.node;
-                    val.decision = decision;
-                    val.snap_gen = leader_->gen();
-                    val.snap_prop = leader_->prop();
-                    const double validation =
-                        channel_->sample(rng_) +
-                        2.0 * message_->sample(rng_);
-                    queue_->push(now_ + validation, val);
-                    break;
-                }
-            }
-            break;
-        }
-
-        case ValidatedEventKind::kValidate: {
-            NodeState& v = nodes_[ev.node];
-            PAPC_CHECK(v.locked);
-            if (leader_->gen() == ev.snap_gen &&
-                leader_->prop() == ev.snap_prop) {
-                // Leader unchanged: commit.
-                const Generation old_gen = v.gen;
-                const Opinion old_col = v.col;
-                const bool changed = apply_decision(
-                    v, ev.decision, leader_->gen(), leader_->prop());
-                if (changed) {
-                    ++result_.commits;
-                    if (ev.decision.kind ==
-                        ExchangeDecision::Kind::kTwoChoices) {
-                        ++result_.base.two_choices_count;
-                    } else {
-                        ++result_.base.propagation_count;
-                    }
-                    census_.transition(old_gen, old_col, v.gen, v.col);
-                    PAPC_CHECK(v.gen <= leader_->gen());
-                    if (ev.decision.send_gen_signal) {
+    if (executor_->empty()) return false;
+    begin_window();
+    const bool ran = executor_->run_window(
+        [this](sim::WindowedExecutor<ValidatedEvent>::ShardContext& ctx,
+               double t, ValidatedEvent& ev) {
+            ShardScratch& scratch = scratch_[ctx.shard()];
+            Rng& rng = ctx.rng();
+            const auto sample_peer = [&](NodeId self) {
+                return static_cast<NodeId>(
+                    rng.uniform_index_excluding(nodes_.size(), self));
+            };
+            // A signal needs a channel plus one message crossing.
+            const auto signal_delay = [&] {
+                return channel_->sample(rng) + message_->sample(rng);
+            };
+            switch (ev.kind) {
+                case ValidatedEventKind::kTick: {
+                    ++scratch.ticks;
+                    NodeState& v = nodes_[ev.node];
+                    {
                         ValidatedEvent sig;
-                        sig.kind = ValidatedEventKind::kGenSignal;
-                        sig.gen = v.gen;
-                        queue_->push(now_ + signal_delay(), sig);
+                        sig.kind = ValidatedEventKind::kZeroSignal;
+                        ctx.emit(kLeaderShard, t + signal_delay(), sig);
                     }
+                    if (!v.locked) {
+                        v.locked = true;
+                        ++scratch.good_ticks;
+                        const double establish =
+                            std::max(channel_->sample(rng),
+                                     channel_->sample(rng)) +
+                            channel_->sample(rng);
+                        const double first_round =
+                            2.0 * message_->sample(rng);  // request + reply
+                        ValidatedEvent snap;
+                        snap.kind = ValidatedEventKind::kSnapshot;
+                        snap.node = ev.node;
+                        snap.peer1 = sample_peer(ev.node);
+                        snap.peer2 = sample_peer(ev.node);
+                        ctx.emit(ctx.shard(), t + establish + first_round, snap);
+                    }
+                    ValidatedEvent next;
+                    next.kind = ValidatedEventKind::kTick;
+                    next.node = ev.node;
+                    ctx.emit(ctx.shard(), t + rng.exponential(1.0), next);
+                    break;
                 }
-            } else {
-                // Leader moved on: abort and refresh the stored state.
-                ++result_.aborts;
-                v.seen_gen = leader_->gen();
-                v.seen_prop = leader_->prop();
+
+                case ValidatedEventKind::kSnapshot: {
+                    ++scratch.exchanges;
+                    NodeState& v = nodes_[ev.node];
+                    PAPC_CHECK(v.locked);
+                    const NodeState& p1 = nodes_snap_[ev.peer1];
+                    const NodeState& p2 = nodes_snap_[ev.peer2];
+                    const ExchangeDecision decision = decide_exchange(
+                        v, snap_leader_gen_, snap_leader_prop_,
+                        PeerSample{p1.gen, p1.col}, PeerSample{p2.gen, p2.col});
+                    switch (decision.kind) {
+                        case ExchangeDecision::Kind::kRefreshOnly:
+                            ++scratch.refresh;
+                            (void)apply_decision(v, decision, snap_leader_gen_,
+                                                 snap_leader_prop_);
+                            v.locked = false;
+                            break;
+                        case ExchangeDecision::Kind::kNone:
+                            v.locked = false;
+                            break;
+                        case ExchangeDecision::Kind::kTwoChoices:
+                        case ExchangeDecision::Kind::kPropagation: {
+                            // Two-phase commit: validate against the leader
+                            // before applying (§5).
+                            ValidatedEvent val;
+                            val.kind = ValidatedEventKind::kValidate;
+                            val.node = ev.node;
+                            val.decision = decision;
+                            val.snap_gen = snap_leader_gen_;
+                            val.snap_prop = snap_leader_prop_;
+                            const double validation =
+                                channel_->sample(rng) +
+                                2.0 * message_->sample(rng);
+                            ctx.emit(ctx.shard(), t + validation, val);
+                            break;
+                        }
+                    }
+                    break;
+                }
+
+                case ValidatedEventKind::kValidate: {
+                    NodeState& v = nodes_[ev.node];
+                    PAPC_CHECK(v.locked);
+                    if (snap_leader_gen_ == ev.snap_gen &&
+                        snap_leader_prop_ == ev.snap_prop) {
+                        // Leader unchanged between the two window
+                        // snapshots: commit.
+                        const Generation old_gen = v.gen;
+                        const Opinion old_col = v.col;
+                        const bool changed =
+                            apply_decision(v, ev.decision, snap_leader_gen_,
+                                           snap_leader_prop_);
+                        if (changed) {
+                            ++scratch.commits;
+                            if (ev.decision.kind ==
+                                ExchangeDecision::Kind::kTwoChoices) {
+                                ++scratch.two_choices;
+                            } else {
+                                ++scratch.propagation;
+                            }
+                            scratch.moves.push_back(
+                                CensusMove{old_gen, old_col, v.gen, v.col});
+                            PAPC_CHECK(v.gen <= snap_leader_gen_);
+                            if (ev.decision.send_gen_signal) {
+                                ValidatedEvent sig;
+                                sig.kind = ValidatedEventKind::kGenSignal;
+                                sig.gen = v.gen;
+                                ctx.emit(kLeaderShard, t + signal_delay(), sig);
+                            }
+                        }
+                    } else {
+                        // Leader moved on: abort and refresh stored state.
+                        ++scratch.aborts;
+                        v.seen_gen = snap_leader_gen_;
+                        v.seen_prop = snap_leader_prop_;
+                    }
+                    v.locked = false;
+                    break;
+                }
+
+                case ValidatedEventKind::kZeroSignal:
+                    leader_->on_zero_signal(t);
+                    break;
+
+                case ValidatedEventKind::kGenSignal:
+                    leader_->on_gen_signal(t, ev.gen);
+                    break;
             }
-            v.locked = false;
-            break;
-        }
-
-        case ValidatedEventKind::kZeroSignal:
-            leader_->on_zero_signal(now_);
-            break;
-
-        case ValidatedEventKind::kGenSignal:
-            leader_->on_gen_signal(now_, ev.gen);
-            break;
-    }
-    return true;
+        });
+    commit_window();
+    now_ = executor_->now();
+    return ran;
 }
 
 ValidatedResult ValidatedSingleLeaderSimulation::run() {
@@ -220,11 +244,22 @@ ValidatedResult ValidatedSingleLeaderSimulation::run() {
         config_.generation_slack);
     leader_ = std::make_unique<Leader>(leader_config);
 
+    sim::WindowedOptions executor_options;
+    executor_options.shards = config_.event_shards;
+    executor_options.threads = config_.threads;
+    executor_options.window = config_.window;
+    executor_options.lambda = config_.lambda;
+    executor_options.queue_kind = config_.queue_kind;
+    executor_options.reserve_hint = 2 * n;
+    executor_ = std::make_unique<sim::WindowedExecutor<ValidatedEvent>>(
+        n, executor_options, rng_.split());
+    scratch_.resize(executor_->num_shards());
+
     for (NodeId v = 0; v < n; ++v) {
         ValidatedEvent tick;
         tick.kind = ValidatedEventKind::kTick;
         tick.node = v;
-        queue_->push(rng_.exponential(1.0), tick);
+        executor_->seed(executor_->shard_of(v), rng_.exponential(1.0), tick);
     }
 
     core::EngineOptions run_options;
@@ -242,6 +277,19 @@ ValidatedResult ValidatedSingleLeaderSimulation::run() {
     static_cast<core::RunResult&>(result_.base) =
         core::run(*this, run_options, &observer);
 
+    for (const ShardScratch& scratch : scratch_) {
+        result_.base.ticks += scratch.ticks;
+        result_.base.good_ticks += scratch.good_ticks;
+        result_.base.exchanges += scratch.exchanges;
+        result_.base.two_choices_count += scratch.two_choices;
+        result_.base.propagation_count += scratch.propagation;
+        result_.base.refresh_count += scratch.refresh;
+        result_.commits += scratch.commits;
+        result_.aborts += scratch.aborts;
+    }
+    result_.base.events_processed = executor_->events_processed();
+    result_.base.windows = executor_->windows_run();
+    result_.base.window_stragglers = executor_->stragglers();
     result_.base.final_top_generation = census_.highest_populated();
     result_.base.leader_trace = leader_->trace();
     const std::uint64_t attempts = result_.commits + result_.aborts;

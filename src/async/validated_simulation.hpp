@@ -25,10 +25,18 @@
 ///      is unchanged between t2 and t3; otherwise it aborts and the node
 ///      only refreshes its stored leader state.
 /// Aborts preserve the §3.2 interleaving invariants under message delays;
-/// bench/exp_exchange_latency measures their cost. The run loop is owned
-/// by core::run(); one advance() = one event.
+/// bench/exp_exchange_latency measures their cost.
+///
+/// Since PR 6 the event loop runs on the sharded windowed executor (see
+/// async/simulation.hpp for the shared porting notes): one advance() =
+/// one conservative window, peer/leader reads go through window-start
+/// snapshots (the t2/t3 leader states the commit rule compares are the
+/// snapshots of the windows containing t2 and t3), and fixed-seed results
+/// are bit-identical at every thread count.
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "async/config.hpp"
 #include "async/leader.hpp"
@@ -38,8 +46,12 @@
 #include "opinion/assignment.hpp"
 #include "opinion/census.hpp"
 #include "sim/latency.hpp"
-#include "sim/scheduler_queue.hpp"
 #include "support/random.hpp"
+
+namespace papc::sim {
+template <typename Event>
+class WindowedExecutor;
+}  // namespace papc::sim
 
 namespace papc::async {
 
@@ -70,7 +82,7 @@ public:
 
     [[nodiscard]] ValidatedResult run();
 
-    // core::Engine driver interface (one event per advance).
+    // core::Engine driver interface (one window of events per advance).
     bool advance() override;
     [[nodiscard]] double now() const override { return now_; }
     [[nodiscard]] bool converged() const override { return census_.converged(); }
@@ -86,19 +98,43 @@ public:
     [[nodiscard]] const NodeState& node(NodeId v) const { return nodes_[v]; }
 
 private:
-    [[nodiscard]] NodeId sample_peer(NodeId self);
-    [[nodiscard]] double signal_delay();
+    struct CensusMove {
+        Generation old_gen;
+        Opinion old_col;
+        Generation new_gen;
+        Opinion new_col;
+    };
+
+    struct alignas(64) ShardScratch {
+        std::uint64_t ticks = 0;
+        std::uint64_t good_ticks = 0;
+        std::uint64_t exchanges = 0;
+        std::uint64_t two_choices = 0;
+        std::uint64_t propagation = 0;
+        std::uint64_t refresh = 0;
+        std::uint64_t commits = 0;
+        std::uint64_t aborts = 0;
+        std::vector<CensusMove> moves;
+    };
+
+    void begin_window();
+    void commit_window();
 
     AsyncConfig config_;
     std::unique_ptr<sim::LatencyModel> channel_;
     std::unique_ptr<sim::LatencyModel> message_;
     Rng rng_;
     std::vector<NodeState> nodes_;
+    std::vector<NodeState> nodes_snap_;  ///< window-start copy (peer reads)
     GenerationCensus census_;
     std::unique_ptr<Leader> leader_;
-    std::unique_ptr<sim::SchedulerQueue<ValidatedEvent>> queue_;
+    std::unique_ptr<sim::WindowedExecutor<ValidatedEvent>> executor_;
+    std::vector<ShardScratch> scratch_;
     Opinion plurality_ = 0;
     bool ran_ = false;
+
+    Generation snap_leader_gen_ = 1;
+    bool snap_leader_prop_ = false;
 
     double now_ = 0.0;
     ValidatedResult result_;

@@ -78,10 +78,25 @@ struct ClusterConfig {
     double leader_failure_fraction = 0.0;
 
     /// Scheduler-queue implementation behind both event loops (clustering
-    /// phase and consensus phase). Both kinds pop in identical (time, seq)
+    /// phase and consensus phase). All kinds pop in identical (time, seq)
     /// order, so for a fixed seed this knob changes throughput only, never
-    /// results. Prefer kCalendar for n >> 2^16 pending events.
+    /// results. Prefer kCalendar or kLadder for n >> 2^16 pending events.
     sim::QueueKind queue_kind = sim::QueueKind::kBinaryHeap;
+
+    /// Worker threads of the consensus phase's windowed executor. Results
+    /// are bit-identical at every thread count; only throughput changes.
+    /// (The clustering pre-phase stays single-queue: it is short and its
+    /// leader-election writes are global.)
+    std::size_t threads = 1;
+
+    /// Conservative window width delta of the windowed executor, in time
+    /// units. <= 0 derives sim::default_window(lambda). Part of the
+    /// trajectory: two runs only reproduce each other with equal windows.
+    double window = 0.0;
+
+    /// Shard count of the windowed executor (0 = default). Part of the
+    /// trajectory; never auto-scaled.
+    std::size_t event_shards = 0;
 
     /// Resolved floor for population n.
     [[nodiscard]] std::size_t resolved_floor(std::size_t n) const {

@@ -6,6 +6,7 @@
 #include "analysis/latency_units.hpp"
 #include "analysis/theory.hpp"
 #include "core/observer.hpp"
+#include "sim/windowed_executor.hpp"
 #include "support/check.hpp"
 
 namespace papc::cluster {
@@ -14,6 +15,7 @@ enum class ClusterEventKind : std::uint8_t {
     kTick,
     kExchange,
     kSignal,     ///< member signal arriving at its own leader
+    kAdopt,      ///< finished node pushing its final opinion to a sample
 };
 
 struct ClusterEvent {
@@ -26,6 +28,7 @@ struct ClusterEvent {
     Generation sig_i = 0;
     LeaderState sig_s = LeaderState::kTwoChoices;
     bool sig_changed = false;
+    Opinion col = 0;                    ///< kAdopt payload
 };
 
 MultiLeaderSimulation::MultiLeaderSimulation(const Assignment& assignment,
@@ -36,11 +39,7 @@ MultiLeaderSimulation::MultiLeaderSimulation(const Assignment& assignment,
       clustering_(std::move(clustering)),
       rng_(seed),
       latency_(config.lambda),
-      census_(assignment.size(), assignment.num_opinions),
-      // Pending events stay near 2 per node (next tick + in-flight
-      // exchange/signal); reserve up front to skip reallocation churn.
-      queue_(sim::make_scheduler_queue<ClusterEvent>(config.queue_kind,
-                                                     2 * assignment.size())) {
+      census_(assignment.size(), assignment.num_opinions) {
     const std::size_t n = assignment.size();
     PAPC_CHECK(clustering_.cluster_of.size() == n);
 
@@ -91,27 +90,27 @@ MultiLeaderSimulation::MultiLeaderSimulation(const Assignment& assignment,
 
 MultiLeaderSimulation::~MultiLeaderSimulation() = default;
 
-NodeId MultiLeaderSimulation::sample_peer(NodeId self) {
-    return static_cast<NodeId>(
-        rng_.uniform_index_excluding(members_.size(), self));
+std::size_t MultiLeaderSimulation::leader_shard(std::size_t cluster) const {
+    return cluster % executor_->num_shards();
 }
 
-void MultiLeaderSimulation::mark_finished(NodeId v) {
+void MultiLeaderSimulation::mark_finished(ShardScratch& scratch, NodeId v) {
     if (!members_[v].finished) {
         members_[v].finished = true;
-        ++finished_count_;
+        ++scratch.finished;
     }
 }
 
-void MultiLeaderSimulation::adopt_finished(NodeId v, Opinion col) {
+void MultiLeaderSimulation::adopt_finished(ShardScratch& scratch, NodeId v,
+                                           Opinion col) {
     MemberState& m = members_[v];
     if (m.finished) return;
     if (m.col != col) {
-        census_.transition(m.gen, m.col, m.gen, col);
+        scratch.moves.push_back(CensusMove{m.gen, m.col, m.gen, col});
         m.col = col;
     }
-    mark_finished(v);
-    ++result_.finished_adoptions;
+    mark_finished(scratch, v);
+    ++scratch.adoptions;
 }
 
 void MultiLeaderSimulation::maybe_inject_failure() {
@@ -127,159 +126,212 @@ void MultiLeaderSimulation::maybe_inject_failure() {
     }
 }
 
-void MultiLeaderSimulation::record_leader_signal(std::size_t cluster) {
-    ++result_.signals_delivered;
-    const auto bucket = static_cast<std::int64_t>(now_);
+void MultiLeaderSimulation::record_leader_signal(ShardScratch& scratch,
+                                                 std::size_t cluster,
+                                                 double time) {
+    ++scratch.signals;
+    const auto bucket = static_cast<std::int64_t>(time);
     if (bucket != load_bucket_[cluster]) {
-        result_.leader_peak_load = std::max(
-            result_.leader_peak_load, static_cast<double>(load_count_[cluster]));
+        scratch.peak_load = std::max(
+            scratch.peak_load, static_cast<double>(load_count_[cluster]));
         load_bucket_[cluster] = bucket;
         load_count_[cluster] = 0;
     }
     ++load_count_[cluster];
 }
 
-bool MultiLeaderSimulation::advance() {
-    if (queue_->empty()) return false;
-    auto entry = queue_->pop();
-    now_ = entry.time;
-    const ClusterEvent& ev = entry.payload;
+void MultiLeaderSimulation::begin_window() {
+    members_snap_ = members_;
+    leader_snap_.resize(leaders_.size());
+    for (std::size_t c = 0; c < leaders_.size(); ++c) {
+        leader_snap_[c].gen = leaders_[c]->gen();
+        leader_snap_[c].state = leaders_[c]->state();
+    }
+}
 
-    switch (ev.kind) {
-        case ClusterEventKind::kTick: {
-            ++result_.ticks;
-            const NodeId v = ev.node;
-            MemberState& m = members_[v];
-            const std::int32_t my_cluster = clustering_.cluster_of[v];
-            // Line 1: clustered members signal their leader each tick.
-            if (my_cluster != kNoCluster) {
-                ClusterEvent sig;
-                sig.kind = ClusterEventKind::kSignal;
-                sig.cluster = my_cluster;
-                sig.sig_i = 0;
-                sig.sig_s = LeaderState::kPropagation;  // ignored for i == 0
-                sig.sig_changed = false;
-                queue_->push(now_ + latency_.sample(rng_), sig);
-            }
-            // Line 2-3: lock and open channels.
-            if (!m.locked) {
-                m.locked = true;
-                const double stage1 =
-                    std::max({latency_.sample(rng_), latency_.sample(rng_),
-                              latency_.sample(rng_)});
-                const double stage2 =
-                    std::max(latency_.sample(rng_), latency_.sample(rng_));
-                ClusterEvent ex;
-                ex.kind = ClusterEventKind::kExchange;
-                ex.node = v;
-                ex.s1 = sample_peer(v);
-                ex.s2 = sample_peer(v);
-                ex.s3 = sample_peer(v);
-                queue_->push(now_ + stage1 + stage2, ex);
-            }
-            ClusterEvent next;
-            next.kind = ClusterEventKind::kTick;
-            next.node = v;
-            queue_->push(now_ + rng_.exponential(1.0), next);
-            break;
+void MultiLeaderSimulation::commit_window() {
+    for (ShardScratch& scratch : scratch_) {
+        for (const CensusMove& move : scratch.moves) {
+            census_.transition(move.old_gen, move.old_col, move.new_gen,
+                               move.new_col);
         }
+        scratch.moves.clear();
+    }
+}
 
-        case ClusterEventKind::kExchange: {
-            ++result_.exchanges;
-            const NodeId v = ev.node;
-            MemberState& m = members_[v];
-            PAPC_CHECK(m.locked);
-            const std::int32_t my_cluster = clustering_.cluster_of[v];
-
-            if (m.finished) {
-                // Line 5: push the final opinion to all samples.
-                adopt_finished(ev.s1, m.col);
-                adopt_finished(ev.s2, m.col);
-                adopt_finished(ev.s3, m.col);
-                m.locked = false;
-                break;
-            }
-            // Lines 6-7: pull the final opinion from a finished sample.
-            const NodeId samples[3] = {ev.s1, ev.s2, ev.s3};
-            bool adopted_final = false;
-            for (const NodeId s : samples) {
-                if (members_[s].finished) {
-                    adopt_finished(v, members_[s].col);
-                    adopted_final = true;
+bool MultiLeaderSimulation::advance() {
+    if (executor_->empty()) return false;
+    begin_window();
+    const bool ran = executor_->run_window(
+        [this](sim::WindowedExecutor<ClusterEvent>::ShardContext& ctx, double t,
+               ClusterEvent& ev) {
+            ShardScratch& scratch = scratch_[ctx.shard()];
+            Rng& rng = ctx.rng();
+            const auto sample_peer = [&](NodeId self) {
+                return static_cast<NodeId>(
+                    rng.uniform_index_excluding(members_.size(), self));
+            };
+            switch (ev.kind) {
+                case ClusterEventKind::kTick: {
+                    ++scratch.ticks;
+                    const NodeId v = ev.node;
+                    MemberState& m = members_[v];
+                    const std::int32_t my_cluster = clustering_.cluster_of[v];
+                    // Line 1: clustered members signal their leader each
+                    // tick (owned by the leader's shard).
+                    if (my_cluster != kNoCluster) {
+                        ClusterEvent sig;
+                        sig.kind = ClusterEventKind::kSignal;
+                        sig.cluster = my_cluster;
+                        sig.sig_i = 0;
+                        sig.sig_s = LeaderState::kPropagation;  // ignored, i == 0
+                        sig.sig_changed = false;
+                        ctx.emit(leader_shard(static_cast<std::size_t>(my_cluster)),
+                                 t + latency_.sample(rng), sig);
+                    }
+                    // Line 2-3: lock and open channels.
+                    if (!m.locked) {
+                        m.locked = true;
+                        const double stage1 =
+                            std::max({latency_.sample(rng), latency_.sample(rng),
+                                      latency_.sample(rng)});
+                        const double stage2 =
+                            std::max(latency_.sample(rng), latency_.sample(rng));
+                        ClusterEvent ex;
+                        ex.kind = ClusterEventKind::kExchange;
+                        ex.node = v;
+                        ex.s1 = sample_peer(v);
+                        ex.s2 = sample_peer(v);
+                        ex.s3 = sample_peer(v);
+                        ctx.emit(ctx.shard(), t + stage1 + stage2, ex);
+                    }
+                    ClusterEvent next;
+                    next.kind = ClusterEventKind::kTick;
+                    next.node = v;
+                    ctx.emit(ctx.shard(), t + rng.exponential(1.0), next);
                     break;
                 }
-            }
-            if (adopted_final || my_cluster == kNoCluster) {
-                // Passive nodes participate only in the finished
-                // epidemic; clustered nodes are done for this exchange.
-                m.locked = false;
-                break;
-            }
 
-            // Line 8: the sampled node must belong to an active cluster
-            // whose leader is still alive.
-            const std::int32_t l_cluster = clustering_.cluster_of[ev.s3];
-            if (l_cluster == kNoCluster ||
-                !alive_[static_cast<std::size_t>(l_cluster)]) {
-                m.locked = false;
-                break;
-            }
-            const ClusterLeader& l = *leaders_[static_cast<std::size_t>(l_cluster)];
-            const MemberView v1{members_[ev.s1].gen, members_[ev.s1].col};
-            const MemberView v2{members_[ev.s2].gen, members_[ev.s2].col};
-            const MemberDecision d =
-                decide_member_exchange(m, l.gen(), l.state(), v1, v2);
+                case ClusterEventKind::kExchange: {
+                    ++scratch.exchanges;
+                    const NodeId v = ev.node;
+                    MemberState& m = members_[v];
+                    PAPC_CHECK(m.locked);
+                    const std::int32_t my_cluster = clustering_.cluster_of[v];
 
-            if (d.kind != MemberDecision::Kind::kNone) {
-                PAPC_CHECK(d.new_gen > m.gen);
-                census_.transition(m.gen, m.col, d.new_gen, d.new_col);
-                m.gen = d.new_gen;
-                m.col = d.new_col;
-                if (d.kind == MemberDecision::Kind::kTwoChoices) {
-                    ++result_.two_choices_count;
-                } else {
-                    ++result_.propagation_count;
+                    if (m.finished) {
+                        // Line 5: push the final opinion to all samples.
+                        // Remote members belong to other shards, so the
+                        // pushes travel as kAdopt events.
+                        for (const NodeId s : {ev.s1, ev.s2, ev.s3}) {
+                            ClusterEvent adopt;
+                            adopt.kind = ClusterEventKind::kAdopt;
+                            adopt.node = s;
+                            adopt.col = m.col;
+                            ctx.emit(executor_->shard_of(s), t, adopt);
+                        }
+                        m.locked = false;
+                        break;
+                    }
+                    // Lines 6-7: pull the final opinion from a finished
+                    // sample (window-start snapshot).
+                    const NodeId samples[3] = {ev.s1, ev.s2, ev.s3};
+                    bool adopted_final = false;
+                    for (const NodeId s : samples) {
+                        if (members_snap_[s].finished) {
+                            adopt_finished(scratch, v, members_snap_[s].col);
+                            adopted_final = true;
+                            break;
+                        }
+                    }
+                    if (adopted_final || my_cluster == kNoCluster) {
+                        // Passive nodes participate only in the finished
+                        // epidemic; clustered nodes are done for this
+                        // exchange.
+                        m.locked = false;
+                        break;
+                    }
+
+                    // Line 8: the sampled node must belong to an active
+                    // cluster whose leader is still alive (alive_ only
+                    // changes between windows).
+                    const std::int32_t l_cluster = clustering_.cluster_of[ev.s3];
+                    if (l_cluster == kNoCluster ||
+                        !alive_[static_cast<std::size_t>(l_cluster)]) {
+                        m.locked = false;
+                        break;
+                    }
+                    const LeaderSnap& l =
+                        leader_snap_[static_cast<std::size_t>(l_cluster)];
+                    const MemberView v1{members_snap_[ev.s1].gen,
+                                        members_snap_[ev.s1].col};
+                    const MemberView v2{members_snap_[ev.s2].gen,
+                                        members_snap_[ev.s2].col};
+                    const MemberDecision d =
+                        decide_member_exchange(m, l.gen, l.state, v1, v2);
+
+                    if (d.kind != MemberDecision::Kind::kNone) {
+                        PAPC_CHECK(d.new_gen > m.gen);
+                        scratch.moves.push_back(
+                            CensusMove{m.gen, m.col, d.new_gen, d.new_col});
+                        m.gen = d.new_gen;
+                        m.col = d.new_col;
+                        if (d.kind == MemberDecision::Kind::kTwoChoices) {
+                            ++scratch.two_choices;
+                        } else {
+                            ++scratch.propagation;
+                        }
+                        // Line 20: the last generation carries the final
+                        // opinion.
+                        if (m.gen >= max_generation_) mark_finished(scratch, v);
+                    }
+                    // Lines 12/16/18: signal the own leader (one latency
+                    // away, on the leader's shard).
+                    {
+                        ClusterEvent sig;
+                        sig.kind = ClusterEventKind::kSignal;
+                        sig.cluster = my_cluster;
+                        sig.sig_i = d.signal.i;
+                        sig.sig_s = d.signal.s;
+                        sig.sig_changed = d.signal.has_changed;
+                        ctx.emit(leader_shard(static_cast<std::size_t>(my_cluster)),
+                                 t + latency_.sample(rng), sig);
+                    }
+                    // Line 19: refresh tmp_* from the own leader (contacted
+                    // concurrently during this exchange); if the own leader
+                    // has crashed, fail over to the sampled leader's state.
+                    // Both reads are window-start snapshots.
+                    if (alive_[static_cast<std::size_t>(my_cluster)]) {
+                        const LeaderSnap& own =
+                            leader_snap_[static_cast<std::size_t>(my_cluster)];
+                        m.tmp_gen = own.gen;
+                        m.tmp_state = own.state;
+                    } else {
+                        m.tmp_gen = l.gen;
+                        m.tmp_state = l.state;
+                    }
+                    m.locked = false;
+                    break;
                 }
-                // Line 20: the last generation carries the final opinion.
-                if (m.gen >= max_generation_) mark_finished(v);
-            }
-            // Lines 12/16/18: signal the own leader (one latency away).
-            {
-                ClusterEvent sig;
-                sig.kind = ClusterEventKind::kSignal;
-                sig.cluster = my_cluster;
-                sig.sig_i = d.signal.i;
-                sig.sig_s = d.signal.s;
-                sig.sig_changed = d.signal.has_changed;
-                queue_->push(now_ + latency_.sample(rng_), sig);
-            }
-            // Line 19: refresh tmp_* from the own leader (contacted
-            // concurrently during this exchange); if the own leader has
-            // crashed, fail over to the sampled leader's state.
-            if (alive_[static_cast<std::size_t>(my_cluster)]) {
-                const ClusterLeader& own =
-                    *leaders_[static_cast<std::size_t>(my_cluster)];
-                m.tmp_gen = own.gen();
-                m.tmp_state = own.state();
-            } else {
-                m.tmp_gen = l.gen();
-                m.tmp_state = l.state();
-            }
-            m.locked = false;
-            break;
-        }
 
-        case ClusterEventKind::kSignal: {
-            PAPC_CHECK(ev.cluster != kNoCluster);
-            const auto idx = static_cast<std::size_t>(ev.cluster);
-            if (!alive_[idx]) break;  // crashed leaders drop signals
-            record_leader_signal(idx);
-            leaders_[idx]->on_signal(now_, ev.sig_i, ev.sig_s,
-                                     ev.sig_changed);
-            break;
-        }
-    }
-    return true;
+                case ClusterEventKind::kSignal: {
+                    PAPC_CHECK(ev.cluster != kNoCluster);
+                    const auto idx = static_cast<std::size_t>(ev.cluster);
+                    if (!alive_[idx]) break;  // crashed leaders drop signals
+                    record_leader_signal(scratch, idx, t);
+                    leaders_[idx]->on_signal(t, ev.sig_i, ev.sig_s,
+                                             ev.sig_changed);
+                    break;
+                }
+
+                case ClusterEventKind::kAdopt:
+                    adopt_finished(scratch, ev.node, ev.col);
+                    break;
+            }
+        });
+    commit_window();
+    now_ = executor_->now();
+    return ran;
 }
 
 MultiLeaderResult MultiLeaderSimulation::run() {
@@ -290,11 +342,24 @@ MultiLeaderResult MultiLeaderSimulation::run() {
     result_.clustering = clustering_;
     result_.clustering_time = clustering_.elapsed;
 
+    // Windowed executor: pending events stay near 2 per node (next tick +
+    // in-flight exchange/signal).
+    sim::WindowedOptions executor_options;
+    executor_options.shards = config_.event_shards;
+    executor_options.threads = config_.threads;
+    executor_options.window = config_.window;
+    executor_options.lambda = config_.lambda;
+    executor_options.queue_kind = config_.queue_kind;
+    executor_options.reserve_hint = 2 * n;
+    executor_ = std::make_unique<sim::WindowedExecutor<ClusterEvent>>(
+        n, executor_options, rng_.split());
+    scratch_.resize(executor_->num_shards());
+
     for (NodeId v = 0; v < n; ++v) {
         ClusterEvent tick;
         tick.kind = ClusterEventKind::kTick;
         tick.node = v;
-        queue_->push(rng_.exponential(1.0), tick);
+        executor_->seed(executor_->shard_of(v), rng_.exponential(1.0), tick);
     }
 
     core::EngineOptions run_options;
@@ -304,19 +369,35 @@ MultiLeaderResult MultiLeaderSimulation::run() {
     run_options.plurality = plurality_;
     run_options.epsilon = config_.epsilon;
     // Failure injection fires at the sampling cadence, like the old
-    // metronome did.
+    // metronome did (between windows: shards never observe a mid-window
+    // crash).
     core::FunctionObserver observer(
         [this](double, double) { maybe_inject_failure(); });
     static_cast<core::RunResult&>(result_) =
         core::run(*this, run_options, &observer);
 
+    std::uint64_t finished_count = 0;
+    for (const ShardScratch& scratch : scratch_) {
+        result_.ticks += scratch.ticks;
+        result_.exchanges += scratch.exchanges;
+        result_.two_choices_count += scratch.two_choices;
+        result_.propagation_count += scratch.propagation;
+        result_.finished_adoptions += scratch.adoptions;
+        result_.signals_delivered += scratch.signals;
+        result_.leader_peak_load =
+            std::max(result_.leader_peak_load, scratch.peak_load);
+        finished_count += scratch.finished;
+    }
     for (const std::uint64_t pending : load_count_) {
         result_.leader_peak_load =
             std::max(result_.leader_peak_load, static_cast<double>(pending));
     }
+    result_.events_processed = executor_->events_processed();
+    result_.windows = executor_->windows_run();
+    result_.window_stragglers = executor_->stragglers();
     result_.final_top_generation = census_.highest_populated();
     result_.finished_fraction =
-        static_cast<double>(finished_count_) / static_cast<double>(n);
+        static_cast<double>(finished_count) / static_cast<double>(n);
     result_.leader_traces.reserve(leaders_.size());
     for (const auto& l : leaders_) {
         result_.leader_traces.push_back(l->trace());

@@ -7,6 +7,22 @@
 /// through the `finished` flag propagation (Algorithm 4 lines 5–7).
 /// The run loop (budgets, sampling, ε/consensus detection) is owned by
 /// core::run(); failure injection piggybacks on the driver's sample hook.
+///
+/// Since PR 6 the consensus phase runs on the sharded windowed executor
+/// (sim/windowed_executor.hpp; see async/simulation.hpp for the shared
+/// porting notes). Multi-leader specifics:
+///   - cluster leader c is owned by shard c mod S: all member signals to c
+///     route there, and only that shard touches c's counters and per-leader
+///     congestion window;
+///   - exchanges read sampled members and both leaders from window-start
+///     snapshots (members_snap_ / leader_snap_);
+///   - the finished-flag epidemic's *push* direction (Algorithm 4 line 5)
+///     writes remote members, so it becomes a kAdopt event emitted to the
+///     target's shard; the *pull* direction reads the snapshot and writes
+///     only the node itself;
+///   - failure injection stays observer-driven: leaders crash between
+///     windows, so alive_ is read-only while shards run.
+/// Fixed-seed trajectories are bit-identical at every thread count.
 
 #include <memory>
 #include <vector>
@@ -20,15 +36,21 @@
 #include "opinion/assignment.hpp"
 #include "opinion/census.hpp"
 #include "sim/latency.hpp"
-#include "sim/scheduler_queue.hpp"
 #include "support/random.hpp"
 #include "support/timeseries.hpp"
+
+namespace papc::sim {
+template <typename Event>
+class WindowedExecutor;
+}  // namespace papc::sim
 
 namespace papc::cluster {
 
 /// Aggregate outcome of one full multi-leader run. The unified convergence
 /// semantics live in the core::RunResult base (the consensus-phase clock,
 /// starting at 0); the fields below are clustering and §4.5 accounting.
+/// NOTE: since PR 6 RunResult::steps counts executor *windows*, not
+/// events — use events_processed for event throughput.
 struct MultiLeaderResult : core::RunResult {
     // Clustering phase.
     ClusteringResult clustering;
@@ -49,6 +71,12 @@ struct MultiLeaderResult : core::RunResult {
     // leaders (vs Θ(n) per step on the single leader).
     std::uint64_t signals_delivered = 0;  ///< all signals at any leader
     double leader_peak_load = 0.0;        ///< max signals/step at one leader
+
+    // Windowed-executor accounting (PR 6).
+    std::uint64_t events_processed = 0;   ///< total events across shards
+    std::uint64_t windows = 0;            ///< conservative windows executed
+    std::uint64_t window_stragglers = 0;  ///< cross-shard sends behind a
+                                          ///< closed window
 
     /// Per-active-cluster leader traces (Figure 2 source data).
     std::vector<std::vector<ClusterLeaderTransition>> leader_traces;
@@ -75,7 +103,7 @@ public:
     /// the result are copied from the provided clustering.
     [[nodiscard]] MultiLeaderResult run();
 
-    // core::Engine driver interface (one event per advance).
+    // core::Engine driver interface (one window of events per advance).
     bool advance() override;
     [[nodiscard]] double now() const override { return now_; }
     [[nodiscard]] bool converged() const override { return census_.converged(); }
@@ -94,29 +122,63 @@ public:
     [[nodiscard]] std::size_t num_clusters() const { return leaders_.size(); }
 
 private:
-    [[nodiscard]] NodeId sample_peer(NodeId self);
-    void mark_finished(NodeId v);
-    void adopt_finished(NodeId v, Opinion col);
+    struct CensusMove {
+        Generation old_gen;
+        Opinion old_col;
+        Generation new_gen;
+        Opinion new_col;
+    };
+
+    /// Shard-owned accumulation (see async/simulation.hpp).
+    struct alignas(64) ShardScratch {
+        std::uint64_t ticks = 0;
+        std::uint64_t exchanges = 0;
+        std::uint64_t two_choices = 0;
+        std::uint64_t propagation = 0;
+        std::uint64_t adoptions = 0;
+        std::uint64_t finished = 0;
+        std::uint64_t signals = 0;
+        double peak_load = 0.0;
+        std::vector<CensusMove> moves;
+    };
+
+    /// Window-start snapshot of one cluster leader's public state.
+    struct LeaderSnap {
+        Generation gen = 1;
+        LeaderState state = LeaderState::kTwoChoices;
+    };
+
+    /// Owning shard of cluster leader `c`'s signal events and counters.
+    [[nodiscard]] std::size_t leader_shard(std::size_t cluster) const;
+
+    void begin_window();
+    void commit_window();
+    void mark_finished(ShardScratch& scratch, NodeId v);
+    void adopt_finished(ShardScratch& scratch, NodeId v, Opinion col);
     void maybe_inject_failure();
-    void record_leader_signal(std::size_t cluster);
+    void record_leader_signal(ShardScratch& scratch, std::size_t cluster,
+                              double time);
 
     ClusterConfig config_;
     ClusteringResult clustering_;
     Rng rng_;
     sim::ExponentialLatency latency_;
     std::vector<MemberState> members_;
+    std::vector<MemberState> members_snap_;  ///< window-start copy
     std::vector<std::unique_ptr<ClusterLeader>> leaders_;
+    std::vector<LeaderSnap> leader_snap_;    ///< window-start leader states
     GenerationCensus census_;
-    std::unique_ptr<sim::SchedulerQueue<ClusterEvent>> queue_;
+    std::unique_ptr<sim::WindowedExecutor<ClusterEvent>> executor_;
+    std::vector<ShardScratch> scratch_;
     Opinion plurality_ = 0;
     bool ran_ = false;
 
     double now_ = 0.0;
     MultiLeaderResult result_;
-    std::uint64_t finished_count_ = 0;
     Generation max_generation_ = 0;
 
-    // Failure injection (§4 resilience) + per-leader congestion windows.
+    // Failure injection (§4 resilience) + per-leader congestion windows
+    // (each entry only ever touched from leader_shard(cluster)).
     std::vector<bool> alive_;
     bool failure_injected_ = false;
     std::vector<std::int64_t> load_bucket_;

@@ -12,18 +12,21 @@
 namespace papc::sim {
 
 /// Which SchedulerQueue implementation backs a discrete-event engine.
-/// Both kinds honour the same deterministic (time, seq) pop contract, so
+/// All kinds honour the same deterministic (time, seq) pop contract, so
 /// for a fixed seed the choice changes throughput only, never results.
 enum class QueueKind {
     kBinaryHeap,  ///< O(log n) push/pop; best below ~2^16 pending events
     kCalendar,    ///< O(1) amortized bucketed wheel; flat scaling to n >> 2^20
+    kLadder,      ///< lazy multi-tier bucket ladder; O(1) amortized, sorts
+                  ///< only the imminent events (skewed/far-future schedules)
 };
 
-/// Short stable name ("heap" / "calendar") for reports and CLI flags.
+/// Short stable name ("heap" / "calendar" / "ladder") for reports and CLI
+/// flags.
 [[nodiscard]] const char* to_string(QueueKind kind);
 
-/// Parses "heap" / "binary-heap" / "calendar"; nullopt on anything else
-/// (use from CLI / user-input paths).
+/// Parses "heap" / "binary-heap" / "calendar" / "ladder"; nullopt on
+/// anything else (use from CLI / user-input paths).
 [[nodiscard]] std::optional<QueueKind> try_parse_queue_kind(
     const std::string& name);
 

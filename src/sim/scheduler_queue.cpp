@@ -4,10 +4,11 @@
 
 namespace papc::sim {
 
-// The queue templates are header-only; instantiate both implementations
+// The queue templates are header-only; instantiate every implementation
 // once for build-error surfacing and to anchor the target's source list.
 template class BinaryHeapQueue<int>;
 template class CalendarQueue<int>;
+template class LadderQueue<int>;
 
 const char* to_string(QueueKind kind) {
     switch (kind) {
@@ -15,6 +16,8 @@ const char* to_string(QueueKind kind) {
             return "heap";
         case QueueKind::kCalendar:
             return "calendar";
+        case QueueKind::kLadder:
+            return "ladder";
     }
     PAPC_CHECK(false);
 }
@@ -25,6 +28,9 @@ std::optional<QueueKind> try_parse_queue_kind(const std::string& name) {
     }
     if (name == "calendar") {
         return QueueKind::kCalendar;
+    }
+    if (name == "ladder") {
+        return QueueKind::kLadder;
     }
     return std::nullopt;
 }

@@ -8,7 +8,7 @@
 /// popping the earliest pending event. The ordering contract is shared:
 /// events are ordered by (time, sequence number) — ties in time are broken
 /// by insertion order — which keeps runs deterministic for a fixed seed
-/// *independently of the implementation behind the interface*. Two
+/// *independently of the implementation behind the interface*. Three
 /// implementations are provided:
 ///
 ///   - BinaryHeapQueue: a plain binary min-heap. O(log n) push/pop with a
@@ -17,6 +17,9 @@
 ///   - CalendarQueue: a bucketed wheel with dynamic resize and bucket-width
 ///     estimation (Brown '88; the ns-3 CalendarScheduler family). O(1)
 ///     amortized push/pop, flat scaling into the n >> 2^20 regime.
+///   - LadderQueue: a lazy multi-tier bucket ladder (Tang/Goh/Thng '05
+///     family). O(1) amortized with sorting deferred to the imminent
+///     events; shines on skewed schedules with a large far-future tail.
 ///
 /// The CalendarQueue reproduces the heap's pop order *exactly* (pinned by
 /// the cross-implementation property tests): entries carry an integer
@@ -36,6 +39,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -434,6 +438,248 @@ private:
     std::size_t rebuild_size_ = 0;  ///< size at the last width estimation
 };
 
+/// Ladder queue (Tang/Goh/Thng '05 family). Three tiers:
+///
+///   - Top: an unsorted overflow list for the far future — every entry with
+///     time >= the top threshold parks here untouched; pushes are O(1).
+///   - Rungs: when events are needed below the threshold, the relevant span
+///     is split into equal-width buckets (unsorted). A bucket that is still
+///     too big when its turn comes is *recursively* split into a finer rung,
+///     so sorting effort concentrates on the imminent events only.
+///   - Bottom: the current earliest bucket, sorted (descending, min pops
+///     from the back in O(1)).
+///
+/// The pop order is the exact global (time, seq) order, pinned by the
+/// tier invariants: bottom entries sort before every rung entry, rung i+1
+/// refines the span of rung i below its cursor, and top entries lie at or
+/// beyond the threshold — each transfer sorts with the same entry_less the
+/// other implementations use, so ties still resolve by push order.
+///
+/// Degeneracy guards (the classic structure's failure modes):
+///   - a tie burst (zero time span) cannot be subdivided — the bucket is
+///     sorted straight into Bottom whatever its size;
+///   - rung recursion is capped at kMaxRungs, after which buckets are
+///     sorted directly (graceful degradation to an insertion-sorted list);
+///   - a Bottom below kBottomMax entries skips rung spawning entirely, so
+///     small schedules (the per-shard executor queues with ~2 pending
+///     events per node) never pay the ladder machinery.
+template <typename Payload>
+class LadderQueue final : public SchedulerQueue<Payload> {
+public:
+    using Entry = SchedulerEntry<Payload>;
+
+    [[nodiscard]] std::size_t size() const override { return size_; }
+
+    [[nodiscard]] Time next_time() const override {
+        PAPC_CHECK(size_ > 0);
+        // Lazily normalize so the minimum sits sorted in Bottom; pop order
+        // is unaffected (the same refill would run on the next pop).
+        const_cast<LadderQueue*>(this)->ensure_bottom();
+        return bottom_.back().time;
+    }
+
+    void push(Time time, Payload payload) override {
+        Entry entry{time, next_seq_++, std::move(payload)};
+        ++size_;
+        if (time >= top_threshold_) {
+            if (top_.empty() || time < top_min_) top_min_ = time;
+            if (top_.empty() || time > top_max_) top_max_ = time;
+            top_.push_back(std::move(entry));
+            return;
+        }
+        // Coarsest rung first: cursor starts strictly decrease down the
+        // ladder, so the first rung whose cursor lies at or before `time`
+        // is the one whose remaining span contains it. A fully drained
+        // rung (cursor past the last bucket) has no capacity left and is
+        // skipped: every entry still below it is earlier than its span
+        // end, so falling through to a finer rung's clamped last bucket
+        // or to the sorted Bottom keeps the exact pop order.
+        for (auto& rung : rungs_) {
+            if (rung.cur >= rung.buckets.size()) continue;
+            if (time >= rung.cur_start()) {
+                rung.insert(std::move(entry));
+                return;
+            }
+        }
+        insert_bottom(std::move(entry));
+        if (bottom_.size() > kBottomMax && rungs_.size() < kMaxRungs &&
+            bottom_.front().time > bottom_.back().time) {
+            // Bottom overflow: push the sorted run back out into a fresh
+            // (finest) rung; subsequent pops re-sort only the head bucket.
+            std::vector<Entry> entries = std::move(bottom_);
+            bottom_.clear();
+            spawn_rung(std::move(entries));
+        }
+    }
+
+    Entry pop() override {
+        PAPC_CHECK(size_ > 0);
+        ensure_bottom();
+        Entry entry = std::move(bottom_.back());
+        bottom_.pop_back();
+        --size_;
+        return entry;
+    }
+
+    void clear() override {
+        top_.clear();
+        rungs_.clear();
+        bottom_.clear();
+        size_ = 0;
+        top_threshold_ = -std::numeric_limits<Time>::infinity();
+        // pushed() survives, mirroring the other implementations.
+    }
+
+    [[nodiscard]] std::uint64_t pushed() const override { return next_seq_; }
+
+    void reserve(std::size_t n) override { top_.reserve(n); }
+
+    [[nodiscard]] QueueKind kind() const override { return QueueKind::kLadder; }
+
+private:
+    using SchedulerQueue<Payload>::entry_less;
+
+    /// Bottom size beyond which an overflow spawns a rung instead of
+    /// insertion-sorting further pushes.
+    static constexpr std::size_t kBottomMax = 48;
+    /// Rung recursion cap (tie-adjacent spans can resist subdivision).
+    static constexpr std::size_t kMaxRungs = 8;
+    /// Bucket-count cap per rung.
+    static constexpr std::size_t kMaxRungBuckets = std::size_t{1} << 20;
+
+    struct Rung {
+        Time base = 0.0;      ///< start of bucket 0
+        double width = 1.0;   ///< bucket span
+        std::size_t cur = 0;  ///< buckets before this are drained
+        std::size_t count = 0;
+        std::vector<std::vector<Entry>> buckets;
+
+        [[nodiscard]] Time cur_start() const {
+            return base + static_cast<double>(cur) * width;
+        }
+
+        [[nodiscard]] std::size_t index_of(Time time) const {
+            const double offset = (time - base) / width;
+            std::size_t idx = 0;
+            if (offset >= static_cast<double>(buckets.size())) {
+                idx = buckets.size() - 1;
+            } else if (offset > 0.0) {
+                idx = static_cast<std::size_t>(offset);
+            }
+            // Float edges never send an entry behind the cursor.
+            return idx < cur ? cur : idx;
+        }
+
+        void insert(Entry entry) {
+            buckets[index_of(entry.time)].push_back(std::move(entry));
+            ++count;
+        }
+    };
+
+    void insert_bottom(Entry entry) {
+        // Sorted descending by (time, seq): minimum pops from the back.
+        const auto pos = std::upper_bound(
+            bottom_.begin(), bottom_.end(), entry,
+            [](const Entry& value, const Entry& element) {
+                return entry_less(element, value);
+            });
+        bottom_.insert(pos, std::move(entry));
+    }
+
+    static void sort_descending(std::vector<Entry>& entries) {
+        std::sort(entries.begin(), entries.end(),
+                  [](const Entry& a, const Entry& b) {
+                      return entry_less(b, a);
+                  });
+    }
+
+    /// Appends a new finest rung holding `entries` (must be non-empty with
+    /// a positive time span).
+    void spawn_rung(std::vector<Entry> entries) {
+        Time min_time = entries.front().time;
+        Time max_time = entries.front().time;
+        for (const Entry& entry : entries) {
+            min_time = std::min(min_time, entry.time);
+            max_time = std::max(max_time, entry.time);
+        }
+        Rung rung;
+        rung.base = min_time;
+        const std::size_t n_buckets =
+            std::min(entries.size(), kMaxRungBuckets);
+        // Strictly cover [min, max]: the +1 bucket absorbs the maximum
+        // (and float round-up) instead of an index clamp funneling a pileup
+        // into the last bucket.
+        rung.width = (max_time - min_time) / static_cast<double>(n_buckets);
+        rung.buckets.resize(n_buckets + 1);
+        for (Entry& entry : entries) rung.insert(std::move(entry));
+        rungs_.push_back(std::move(rung));
+    }
+
+    /// Moves the next batch of earliest events into Bottom (sorted).
+    /// Requires size_ > 0; afterwards bottom_ is non-empty.
+    void ensure_bottom() {
+        while (bottom_.empty()) {
+            if (rungs_.empty()) {
+                // All near events drained: pull the Top overflow down.
+                PAPC_CHECK(!top_.empty());
+                std::vector<Entry> entries = std::move(top_);
+                top_.clear();
+                if (entries.size() > kBottomMax && rungs_.size() < kMaxRungs &&
+                    top_max_ > top_min_) {
+                    // New far-future pushes regenerate Top above the old
+                    // maximum; everything below it rungs down. Equal-time
+                    // entries split across the boundary still pop in seq
+                    // order (the rung's copies were pushed earlier).
+                    top_threshold_ = top_max_;
+                    spawn_rung(std::move(entries));
+                } else {
+                    top_threshold_ = std::numeric_limits<Time>::infinity();
+                    sort_descending(entries);
+                    bottom_ = std::move(entries);
+                }
+                continue;
+            }
+            Rung& rung = rungs_.back();
+            if (rung.count == 0) {
+                rungs_.pop_back();
+                continue;
+            }
+            while (rung.buckets[rung.cur].empty()) ++rung.cur;
+            std::vector<Entry>& bucket = rung.buckets[rung.cur];
+            rung.count -= bucket.size();
+            std::vector<Entry> entries = std::move(bucket);
+            bucket.clear();
+            ++rung.cur;
+            Time bucket_min = entries.front().time;
+            Time bucket_max = entries.front().time;
+            for (const Entry& entry : entries) {
+                bucket_min = std::min(bucket_min, entry.time);
+                bucket_max = std::max(bucket_max, entry.time);
+            }
+            if (entries.size() > kBottomMax && rungs_.size() < kMaxRungs &&
+                bucket_max > bucket_min) {
+                // Still too coarse: recurse into a finer rung. (Note
+                // `rung` may dangle after push_back — loop re-reads.)
+                spawn_rung(std::move(entries));
+            } else {
+                sort_descending(entries);
+                bottom_ = std::move(entries);
+            }
+        }
+    }
+
+    std::vector<Entry> top_;     ///< unsorted, time >= top_threshold_
+    std::vector<Rung> rungs_;    ///< coarsest first; back() drains first
+    std::vector<Entry> bottom_;  ///< sorted descending; min at back()
+    Time top_min_ = 0.0;
+    Time top_max_ = 0.0;
+    /// Starts at -inf: every push parks in Top until the first drain
+    /// observes the schedule and picks a real threshold.
+    Time top_threshold_ = -std::numeric_limits<Time>::infinity();
+    std::size_t size_ = 0;
+    std::uint64_t next_seq_ = 0;
+};
+
 /// Builds the queue selected by `kind`, pre-sized for ~`reserve_hint`
 /// concurrently pending events (0 = no hint).
 template <typename Payload>
@@ -446,6 +692,9 @@ template <typename Payload>
             break;
         case QueueKind::kCalendar:
             queue = std::make_unique<CalendarQueue<Payload>>();
+            break;
+        case QueueKind::kLadder:
+            queue = std::make_unique<LadderQueue<Payload>>();
             break;
     }
     PAPC_CHECK(queue != nullptr);

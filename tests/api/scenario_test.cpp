@@ -125,7 +125,7 @@ TEST(Scenario, SetFieldRejectsUnknownFieldAndBadValues) {
 
 TEST(Scenario, FieldTableIsComplete) {
     const std::vector<std::string>& names = scenario_field_names();
-    EXPECT_EQ(names.size(), 19U);  // +threads in PR 5
+    EXPECT_EQ(names.size(), 20U);  // +threads in PR 5, +window in PR 6
     for (const std::string& field : names) {
         EXPECT_FALSE(field_help(field).empty()) << field;
         EXPECT_FALSE(get_field(Scenario{}, field).empty()) << field;

@@ -25,62 +25,75 @@ async::AsyncConfig async_config(sim::QueueKind kind) {
 TEST(QueueEquivalence, AsyncSingleLeaderIdenticalRuns) {
     const async::AsyncResult heap = async::run_single_leader(
         600, 3, 2.0, async_config(sim::QueueKind::kBinaryHeap), 42);
-    const async::AsyncResult calendar = async::run_single_leader(
-        600, 3, 2.0, async_config(sim::QueueKind::kCalendar), 42);
+    for (const sim::QueueKind kind :
+         {sim::QueueKind::kCalendar, sim::QueueKind::kLadder}) {
+        const async::AsyncResult other =
+            async::run_single_leader(600, 3, 2.0, async_config(kind), 42);
 
-    EXPECT_EQ(heap.ticks, calendar.ticks);
-    EXPECT_EQ(heap.good_ticks, calendar.good_ticks);
-    EXPECT_EQ(heap.exchanges, calendar.exchanges);
-    EXPECT_EQ(heap.two_choices_count, calendar.two_choices_count);
-    EXPECT_EQ(heap.propagation_count, calendar.propagation_count);
-    EXPECT_EQ(heap.refresh_count, calendar.refresh_count);
-    EXPECT_EQ(heap.signals_delivered, calendar.signals_delivered);
-    EXPECT_EQ(heap.steps, calendar.steps);
-    EXPECT_EQ(heap.winner, calendar.winner);
-    EXPECT_DOUBLE_EQ(heap.consensus_time, calendar.consensus_time);
-    EXPECT_DOUBLE_EQ(heap.end_time, calendar.end_time);
+        EXPECT_EQ(heap.ticks, other.ticks);
+        EXPECT_EQ(heap.good_ticks, other.good_ticks);
+        EXPECT_EQ(heap.exchanges, other.exchanges);
+        EXPECT_EQ(heap.two_choices_count, other.two_choices_count);
+        EXPECT_EQ(heap.propagation_count, other.propagation_count);
+        EXPECT_EQ(heap.refresh_count, other.refresh_count);
+        EXPECT_EQ(heap.signals_delivered, other.signals_delivered);
+        EXPECT_EQ(heap.steps, other.steps);
+        EXPECT_EQ(heap.events_processed, other.events_processed);
+        EXPECT_EQ(heap.window_stragglers, other.window_stragglers);
+        EXPECT_EQ(heap.winner, other.winner);
+        EXPECT_DOUBLE_EQ(heap.consensus_time, other.consensus_time);
+        EXPECT_DOUBLE_EQ(heap.end_time, other.end_time);
 
-    ASSERT_EQ(heap.leader_trace.size(), calendar.leader_trace.size());
-    for (std::size_t i = 0; i < heap.leader_trace.size(); ++i) {
-        EXPECT_DOUBLE_EQ(heap.leader_trace[i].time,
-                         calendar.leader_trace[i].time);
-        EXPECT_EQ(heap.leader_trace[i].gen, calendar.leader_trace[i].gen);
-        EXPECT_EQ(heap.leader_trace[i].prop, calendar.leader_trace[i].prop);
+        ASSERT_EQ(heap.leader_trace.size(), other.leader_trace.size());
+        for (std::size_t i = 0; i < heap.leader_trace.size(); ++i) {
+            EXPECT_DOUBLE_EQ(heap.leader_trace[i].time,
+                             other.leader_trace[i].time);
+            EXPECT_EQ(heap.leader_trace[i].gen, other.leader_trace[i].gen);
+            EXPECT_EQ(heap.leader_trace[i].prop, other.leader_trace[i].prop);
+        }
     }
 }
 
 TEST(QueueEquivalence, ValidatedSingleLeaderIdenticalRuns) {
     const async::ValidatedResult heap = async::run_validated_single_leader(
         800, 3, 2.0, async_config(sim::QueueKind::kBinaryHeap), 2.0, 7);
-    const async::ValidatedResult calendar = async::run_validated_single_leader(
-        800, 3, 2.0, async_config(sim::QueueKind::kCalendar), 2.0, 7);
+    for (const sim::QueueKind kind :
+         {sim::QueueKind::kCalendar, sim::QueueKind::kLadder}) {
+        const async::ValidatedResult other = async::run_validated_single_leader(
+            800, 3, 2.0, async_config(kind), 2.0, 7);
 
-    EXPECT_EQ(heap.commits, calendar.commits);
-    EXPECT_EQ(heap.aborts, calendar.aborts);
-    EXPECT_EQ(heap.base.ticks, calendar.base.ticks);
-    EXPECT_EQ(heap.base.exchanges, calendar.base.exchanges);
-    EXPECT_EQ(heap.base.steps, calendar.base.steps);
-    EXPECT_EQ(heap.base.winner, calendar.base.winner);
-    EXPECT_DOUBLE_EQ(heap.base.consensus_time, calendar.base.consensus_time);
-    EXPECT_DOUBLE_EQ(heap.base.end_time, calendar.base.end_time);
+        EXPECT_EQ(heap.commits, other.commits);
+        EXPECT_EQ(heap.aborts, other.aborts);
+        EXPECT_EQ(heap.base.ticks, other.base.ticks);
+        EXPECT_EQ(heap.base.exchanges, other.base.exchanges);
+        EXPECT_EQ(heap.base.steps, other.base.steps);
+        EXPECT_EQ(heap.base.events_processed, other.base.events_processed);
+        EXPECT_EQ(heap.base.winner, other.base.winner);
+        EXPECT_DOUBLE_EQ(heap.base.consensus_time, other.base.consensus_time);
+        EXPECT_DOUBLE_EQ(heap.base.end_time, other.base.end_time);
+    }
 }
 
 TEST(QueueEquivalence, SequentialSingleLeaderIdenticalRuns) {
     async::AsyncConfig heap_cfg = async_config(sim::QueueKind::kBinaryHeap);
-    async::AsyncConfig cal_cfg = async_config(sim::QueueKind::kCalendar);
     heap_cfg.max_time = 200.0;
-    cal_cfg.max_time = 200.0;
     const async::AsyncResult heap =
         async::run_sequential_single_leader(700, 3, 2.0, heap_cfg, 11);
-    const async::AsyncResult calendar =
-        async::run_sequential_single_leader(700, 3, 2.0, cal_cfg, 11);
+    for (const sim::QueueKind kind :
+         {sim::QueueKind::kCalendar, sim::QueueKind::kLadder}) {
+        async::AsyncConfig other_cfg = async_config(kind);
+        other_cfg.max_time = 200.0;
+        const async::AsyncResult other =
+            async::run_sequential_single_leader(700, 3, 2.0, other_cfg, 11);
 
-    EXPECT_EQ(heap.ticks, calendar.ticks);
-    EXPECT_EQ(heap.exchanges, calendar.exchanges);
-    EXPECT_EQ(heap.steps, calendar.steps);
-    EXPECT_EQ(heap.winner, calendar.winner);
-    EXPECT_DOUBLE_EQ(heap.consensus_time, calendar.consensus_time);
-    EXPECT_DOUBLE_EQ(heap.end_time, calendar.end_time);
+        EXPECT_EQ(heap.ticks, other.ticks);
+        EXPECT_EQ(heap.exchanges, other.exchanges);
+        EXPECT_EQ(heap.steps, other.steps);
+        EXPECT_EQ(heap.events_processed, other.events_processed);
+        EXPECT_EQ(heap.winner, other.winner);
+        EXPECT_DOUBLE_EQ(heap.consensus_time, other.consensus_time);
+        EXPECT_DOUBLE_EQ(heap.end_time, other.end_time);
+    }
 }
 
 cluster::ClusterConfig cluster_config(sim::QueueKind kind) {
@@ -98,21 +111,25 @@ TEST(QueueEquivalence, MultiLeaderIdenticalRuns) {
     // clustering phase and the consensus phase.
     const cluster::MultiLeaderResult heap = cluster::run_multi_leader(
         1024, 2, 2.0, cluster_config(sim::QueueKind::kBinaryHeap), 5);
-    const cluster::MultiLeaderResult calendar = cluster::run_multi_leader(
-        1024, 2, 2.0, cluster_config(sim::QueueKind::kCalendar), 5);
+    for (const sim::QueueKind kind :
+         {sim::QueueKind::kCalendar, sim::QueueKind::kLadder}) {
+        const cluster::MultiLeaderResult other =
+            cluster::run_multi_leader(1024, 2, 2.0, cluster_config(kind), 5);
 
-    EXPECT_EQ(heap.clustering.cluster_of, calendar.clustering.cluster_of);
-    EXPECT_EQ(heap.clustering.num_active, calendar.clustering.num_active);
-    EXPECT_DOUBLE_EQ(heap.clustering_time, calendar.clustering_time);
-    EXPECT_EQ(heap.ticks, calendar.ticks);
-    EXPECT_EQ(heap.exchanges, calendar.exchanges);
-    EXPECT_EQ(heap.two_choices_count, calendar.two_choices_count);
-    EXPECT_EQ(heap.propagation_count, calendar.propagation_count);
-    EXPECT_EQ(heap.finished_adoptions, calendar.finished_adoptions);
-    EXPECT_EQ(heap.signals_delivered, calendar.signals_delivered);
-    EXPECT_EQ(heap.winner, calendar.winner);
-    EXPECT_DOUBLE_EQ(heap.end_time, calendar.end_time);
-    EXPECT_DOUBLE_EQ(heap.finished_fraction, calendar.finished_fraction);
+        EXPECT_EQ(heap.clustering.cluster_of, other.clustering.cluster_of);
+        EXPECT_EQ(heap.clustering.num_active, other.clustering.num_active);
+        EXPECT_DOUBLE_EQ(heap.clustering_time, other.clustering_time);
+        EXPECT_EQ(heap.ticks, other.ticks);
+        EXPECT_EQ(heap.exchanges, other.exchanges);
+        EXPECT_EQ(heap.two_choices_count, other.two_choices_count);
+        EXPECT_EQ(heap.propagation_count, other.propagation_count);
+        EXPECT_EQ(heap.finished_adoptions, other.finished_adoptions);
+        EXPECT_EQ(heap.signals_delivered, other.signals_delivered);
+        EXPECT_EQ(heap.events_processed, other.events_processed);
+        EXPECT_EQ(heap.winner, other.winner);
+        EXPECT_DOUBLE_EQ(heap.end_time, other.end_time);
+        EXPECT_DOUBLE_EQ(heap.finished_fraction, other.finished_fraction);
+    }
 }
 
 TEST(QueueEquivalence, BroadcastIdenticalRuns) {

@@ -14,7 +14,12 @@ namespace {
 using IntQueue = SchedulerQueue<int>;
 
 std::vector<QueueKind> all_kinds() {
-    return {QueueKind::kBinaryHeap, QueueKind::kCalendar};
+    return {QueueKind::kBinaryHeap, QueueKind::kCalendar, QueueKind::kLadder};
+}
+
+/// The non-reference implementations, each checked against the heap.
+std::vector<QueueKind> other_kinds() {
+    return {QueueKind::kCalendar, QueueKind::kLadder};
 }
 
 // ------------------------------------------------------------ kind plumbing
@@ -41,6 +46,11 @@ TEST(SchedulerQueue, ConcreteTypesUsableWithoutFactory) {
     calendar.push(1.0, 1);
     EXPECT_EQ(calendar.pop().payload, 1);
     EXPECT_EQ(calendar.kind(), QueueKind::kCalendar);
+    LadderQueue<int> ladder;
+    ladder.push(2.0, 2);
+    ladder.push(1.0, 1);
+    EXPECT_EQ(ladder.pop().payload, 1);
+    EXPECT_EQ(ladder.kind(), QueueKind::kLadder);
 }
 
 TEST(SchedulerQueue, KindNamesRoundTrip) {
@@ -236,41 +246,46 @@ TEST(SchedulerQueue, ReserveDoesNotChangeBehaviour) {
 
 // -------------------------------------- cross-implementation equivalence
 
-/// Drives both implementations through the same operation tape and demands
+/// Drives all implementations through the same operation tape and demands
 /// byte-identical pop sequences — the contract the engine equivalence
 /// (identical RunResults for a fixed seed) rests on.
 void expect_identical_pop_order(std::uint64_t seed, int ops, double time_lo,
                                 double time_hi, bool quantize) {
-    const auto heap = make_scheduler_queue<int>(QueueKind::kBinaryHeap);
-    const auto calendar = make_scheduler_queue<int>(QueueKind::kCalendar);
-    Rng rng(seed);
-    double now = 0.0;
-    for (int op = 0; op < ops; ++op) {
-        const bool push = heap->empty() || rng.uniform() < 0.55;
-        if (push) {
-            double t = now + rng.uniform(time_lo, time_hi);
-            // Quantized times manufacture cross-push ties.
-            if (quantize) t = std::floor(t * 8.0) / 8.0;
-            heap->push(t, op);
-            calendar->push(t, op);
-        } else {
-            const auto a = heap->pop();
-            const auto b = calendar->pop();
-            ASSERT_DOUBLE_EQ(a.time, b.time) << "op " << op;
-            ASSERT_EQ(a.seq, b.seq) << "op " << op;
-            ASSERT_EQ(a.payload, b.payload) << "op " << op;
-            now = a.time;  // advancing front, like a real simulation
+    for (const QueueKind other_kind : other_kinds()) {
+        const auto heap = make_scheduler_queue<int>(QueueKind::kBinaryHeap);
+        const auto other = make_scheduler_queue<int>(other_kind);
+        Rng rng(seed);
+        double now = 0.0;
+        for (int op = 0; op < ops; ++op) {
+            const bool push = heap->empty() || rng.uniform() < 0.55;
+            if (push) {
+                double t = now + rng.uniform(time_lo, time_hi);
+                // Quantized times manufacture cross-push ties.
+                if (quantize) t = std::floor(t * 8.0) / 8.0;
+                heap->push(t, op);
+                other->push(t, op);
+            } else {
+                const auto a = heap->pop();
+                const auto b = other->pop();
+                ASSERT_DOUBLE_EQ(a.time, b.time)
+                    << "op " << op << " " << to_string(other_kind);
+                ASSERT_EQ(a.seq, b.seq)
+                    << "op " << op << " " << to_string(other_kind);
+                ASSERT_EQ(a.payload, b.payload)
+                    << "op " << op << " " << to_string(other_kind);
+                now = a.time;  // advancing front, like a real simulation
+            }
         }
+        while (!heap->empty()) {
+            const auto a = heap->pop();
+            const auto b = other->pop();
+            ASSERT_DOUBLE_EQ(a.time, b.time) << to_string(other_kind);
+            ASSERT_EQ(a.seq, b.seq) << to_string(other_kind);
+            ASSERT_EQ(a.payload, b.payload) << to_string(other_kind);
+        }
+        EXPECT_TRUE(other->empty());
+        EXPECT_EQ(heap->pushed(), other->pushed());
     }
-    while (!heap->empty()) {
-        const auto a = heap->pop();
-        const auto b = calendar->pop();
-        ASSERT_DOUBLE_EQ(a.time, b.time);
-        ASSERT_EQ(a.seq, b.seq);
-        ASSERT_EQ(a.payload, b.payload);
-    }
-    EXPECT_TRUE(calendar->empty());
-    EXPECT_EQ(heap->pushed(), calendar->pushed());
 }
 
 TEST(SchedulerQueueEquivalence, UniformSchedule) {
@@ -290,59 +305,66 @@ TEST(SchedulerQueueEquivalence, NarrowScheduleDenseBuckets) {
 }
 
 TEST(SchedulerQueueEquivalence, MixedScaleWithOutliers) {
-    const auto heap = make_scheduler_queue<int>(QueueKind::kBinaryHeap);
-    const auto calendar = make_scheduler_queue<int>(QueueKind::kCalendar);
-    Rng rng(105);
-    for (int op = 0; op < 30000; ++op) {
-        const double roll = rng.uniform();
-        double t;
-        if (roll < 0.90) {
-            t = rng.uniform(0.0, 1.0);  // dense head
-        } else if (roll < 0.99) {
-            t = rng.uniform(0.0, 100.0);  // mid-range
-        } else {
-            t = rng.uniform(1e6, 1e9);  // far-future outlier
+    for (const QueueKind other_kind : other_kinds()) {
+        const auto heap = make_scheduler_queue<int>(QueueKind::kBinaryHeap);
+        const auto other = make_scheduler_queue<int>(other_kind);
+        Rng rng(105);
+        for (int op = 0; op < 30000; ++op) {
+            const double roll = rng.uniform();
+            double t;
+            if (roll < 0.90) {
+                t = rng.uniform(0.0, 1.0);  // dense head
+            } else if (roll < 0.99) {
+                t = rng.uniform(0.0, 100.0);  // mid-range
+            } else {
+                t = rng.uniform(1e6, 1e9);  // far-future outlier
+            }
+            heap->push(t, op);
+            other->push(t, op);
+            if (op % 3 == 0) {
+                const auto a = heap->pop();
+                const auto b = other->pop();
+                ASSERT_DOUBLE_EQ(a.time, b.time)
+                    << "op " << op << " " << to_string(other_kind);
+                ASSERT_EQ(a.seq, b.seq)
+                    << "op " << op << " " << to_string(other_kind);
+            }
         }
-        heap->push(t, op);
-        calendar->push(t, op);
-        if (op % 3 == 0) {
+        while (!heap->empty()) {
             const auto a = heap->pop();
-            const auto b = calendar->pop();
-            ASSERT_DOUBLE_EQ(a.time, b.time) << "op " << op;
-            ASSERT_EQ(a.seq, b.seq) << "op " << op;
+            const auto b = other->pop();
+            ASSERT_DOUBLE_EQ(a.time, b.time) << to_string(other_kind);
+            ASSERT_EQ(a.seq, b.seq) << to_string(other_kind);
         }
+        EXPECT_TRUE(other->empty());
     }
-    while (!heap->empty()) {
-        const auto a = heap->pop();
-        const auto b = calendar->pop();
-        ASSERT_DOUBLE_EQ(a.time, b.time);
-        ASSERT_EQ(a.seq, b.seq);
-    }
-    EXPECT_TRUE(calendar->empty());
 }
 
 TEST(SchedulerQueueEquivalence, DrainAndRefillCycles) {
     // Repeated full drains force the calendar through shrink rebuilds and
-    // cursor resets; order must stay identical throughout.
-    const auto heap = make_scheduler_queue<int>(QueueKind::kBinaryHeap);
-    const auto calendar = make_scheduler_queue<int>(QueueKind::kCalendar);
-    Rng rng(106);
-    double base = 0.0;
-    for (int cycle = 0; cycle < 6; ++cycle) {
-        const int fill = 1 << (6 + cycle);  // 64 .. 2048
-        for (int i = 0; i < fill; ++i) {
-            const double t = base + rng.uniform(0.0, 2.0);
-            heap->push(t, i);
-            calendar->push(t, i);
+    // cursor resets (and the ladder through top-threshold regeneration);
+    // order must stay identical throughout.
+    for (const QueueKind other_kind : other_kinds()) {
+        const auto heap = make_scheduler_queue<int>(QueueKind::kBinaryHeap);
+        const auto other = make_scheduler_queue<int>(other_kind);
+        Rng rng(106);
+        double base = 0.0;
+        for (int cycle = 0; cycle < 6; ++cycle) {
+            const int fill = 1 << (6 + cycle);  // 64 .. 2048
+            for (int i = 0; i < fill; ++i) {
+                const double t = base + rng.uniform(0.0, 2.0);
+                heap->push(t, i);
+                other->push(t, i);
+            }
+            while (!heap->empty()) {
+                const auto a = heap->pop();
+                const auto b = other->pop();
+                ASSERT_DOUBLE_EQ(a.time, b.time) << to_string(other_kind);
+                ASSERT_EQ(a.seq, b.seq) << to_string(other_kind);
+                base = a.time;
+            }
+            EXPECT_TRUE(other->empty());
         }
-        while (!heap->empty()) {
-            const auto a = heap->pop();
-            const auto b = calendar->pop();
-            ASSERT_DOUBLE_EQ(a.time, b.time);
-            ASSERT_EQ(a.seq, b.seq);
-            base = a.time;
-        }
-        EXPECT_TRUE(calendar->empty());
     }
 }
 
