@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sys/resource.h>
+
 #include <type_traits>
 
 #include "api/registry.hpp"
@@ -12,6 +14,7 @@
 #include "async/simulation.hpp"
 #include "opinion/assignment.hpp"
 #include "opinion/census.hpp"
+#include "opinion/packed_array.hpp"
 #include "sim/scheduler_queue.hpp"
 #include "sim/windowed_executor.hpp"
 #include "support/random.hpp"
@@ -19,10 +22,21 @@
 #include "sync/baselines.hpp"
 #include "sync/engine.hpp"
 #include "sync/round_kernel.hpp"
+#include "sync/simd_gather.hpp"
 
 namespace {
 
 using namespace papc;
+
+/// Process peak RSS in MiB (ru_maxrss is KiB on Linux). A high-water mark:
+/// monotone across the whole binary run, so it only bounds a single row
+/// when that row is the biggest allocation so far — which holds for the
+/// n = 2^22 sync rows this counter exists for.
+double peak_rss_mib() {
+    struct rusage usage {};
+    getrusage(RUSAGE_SELF, &usage);
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
 
 void BM_RngNextU64(benchmark::State& state) {
     Rng rng(1);
@@ -128,6 +142,34 @@ BENCHMARK(BM_LadderQueuePushPop)
     ->Arg(1 << 20)
     ->Arg(1 << 22);
 
+// The packed-lane gather primitive in isolation: one kRoundBlock of
+// random indices decoded from 4-bit lanes (k = 8) per iteration, through
+// whatever dispatch path support::active_simd() selects. items/sec is
+// lanes/sec; the CI Release smoke pins this row to catch dispatch or
+// codegen regressions in the strip kernel itself.
+void BM_PackedOpinionGather(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(7);
+    PackedOpinionArray array(n, 8);
+    for (std::size_t i = 0; i < n; ++i) {
+        array.set(i, static_cast<Opinion>(rng.uniform_index(8)));
+    }
+    std::vector<std::uint64_t> idx(sync::kRoundBlock);
+    std::vector<Opinion> out(sync::kRoundBlock);
+    rng.uniform_indices(n, idx.data(), idx.size());
+    for (auto _ : state) {
+        sync::simd::gather_packed(array.words(), idx.data(), idx.size(),
+                                  array.log2_lane_bits(), out.data());
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(idx.size()));
+    state.counters["bytes_per_node"] =
+        static_cast<double>(array.memory_bytes()) / static_cast<double>(n);
+}
+BENCHMARK(BM_PackedOpinionGather)->Arg(1 << 20)->Arg(1 << 22);
+
 void BM_CensusTransition(benchmark::State& state) {
     GenerationCensus census(1 << 16, 8);
     Rng rng(5);
@@ -179,6 +221,12 @@ void sync_round_matrix(benchmark::State& state) {
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                             static_cast<std::int64_t>(n));
+    // Memory anatomy (PR 7): steady-state engine bytes per node and the
+    // process high-water mark. Diff across recordings with
+    //   scripts/bench-diff.py BEFORE.json AFTER.json --field bytes_per_node
+    state.counters["bytes_per_node"] =
+        static_cast<double>(alg.memory_bytes()) / static_cast<double>(n);
+    state.counters["peak_rss_mib"] = peak_rss_mib();
 }
 
 void BM_SyncRound_Algorithm1(benchmark::State& state) {

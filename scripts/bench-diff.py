@@ -3,13 +3,24 @@
 
 Usage:
     scripts/bench-diff.py BEFORE.json AFTER.json [--filter SUBSTRING]
-        [--suffix-before SUF] [--suffix-after SUF]
+        [--suffix-before SUF] [--suffix-after SUF] [--field COUNTER]
 
 For every benchmark name present in both files the script prints the
 throughput ratio after/before (from items_per_second when recorded, falling
 back to the inverse real_time ratio), so > 1.0 means AFTER is faster. Used
 to produce the README perf table from BENCH_pr4_before.json /
-BENCH_pr4.json and to sanity-check future kernel PRs.
+BENCH_pr4.json and to sanity-check future kernel PRs. Names present on
+only one side print an `n/a` row instead of being dropped silently.
+
+--field diffs a user counter instead of throughput — google-benchmark
+serializes counters as top-level keys on each benchmark object, so e.g.
+the PR 7 memory comparison is
+
+    scripts/bench-diff.py BENCH_pr7_before.json BENCH_pr7.json \\
+        --filter SyncRound --field bytes_per_node
+
+For counters the ratio is still after/before; for sizes smaller is
+better, so read < 1.0 as the win.
 
 --suffix-before/--suffix-after join rows whose names differ only by a
 trailing argument — e.g. the PR 5 thread-scaling comparison reads one
@@ -60,8 +71,13 @@ def load(path):
     return out
 
 
-def throughput(bench):
-    """Benchmark throughput in arbitrary but consistent units."""
+def throughput(bench, field=""):
+    """Benchmark throughput (or a user counter) in consistent units."""
+    if bench is None:
+        return None, None
+    if field:
+        value = bench.get(field)
+        return (value, field) if value is not None else (None, None)
     if "items_per_second" in bench:
         return bench["items_per_second"], "items/s"
     real_time = bench.get("real_time")
@@ -81,49 +97,53 @@ def main():
                              "matched with the suffix removed")
     parser.add_argument("--suffix-after", default="",
                         help="same for AFTER rows")
+    parser.add_argument("--field", default="",
+                        help="diff this user counter (a top-level key on "
+                             "each benchmark object) instead of throughput")
     args = parser.parse_args()
 
     before = strip_suffix(load(args.before), args.suffix_before)
     after = strip_suffix(load(args.after), args.suffix_after)
-    shared = [name for name in before if name in after
-              and args.filter in name]
-    if not shared:
-        print("no shared benchmark names", file=sys.stderr)
+    # The union, so a row added or removed by the candidate shows as n/a
+    # instead of vanishing from the report.
+    names = sorted(name for name in set(before) | set(after)
+                   if args.filter in name)
+    if not names:
+        print("no matching benchmark names", file=sys.stderr)
         return 1
 
-    width = max(len(name) for name in shared)
+    width = max(len(name) for name in names)
     print(f"{'benchmark':<{width}}  {'before':>12}  {'after':>12}  speedup")
     slowdowns = 0
-    for name in shared:
-        b_value, b_kind = throughput(before[name])
-        a_value, a_kind = throughput(after[name])
+    compared = 0
+
+    def fmt(value, kind):
+        if value is None:
+            return "-"
+        if kind == "items/s":
+            # Scale-aware: end-to-end runs report single-digit
+            # rounds/s, micro-kernels hundreds of M items/s.
+            if value >= 1e6:
+                return f"{value / 1e6:.2f} M/s"
+            if value >= 1e3:
+                return f"{value / 1e3:.2f} k/s"
+            return f"{value:.3g} /s"
+        return f"{value:.3g}"
+
+    for name in names:
+        b_value, b_kind = throughput(before.get(name), args.field)
+        a_value, a_kind = throughput(after.get(name), args.field)
         if not b_value or not a_value or b_kind != a_kind:
-            print(f"{name:<{width}}  {'-':>12}  {'-':>12}  n/a")
+            print(f"{name:<{width}}  {fmt(b_value, b_kind):>12}  "
+                  f"{fmt(a_value, a_kind):>12}  n/a")
             continue
+        compared += 1
         ratio = a_value / b_value
         if ratio < 1.0:
             slowdowns += 1
-
-        def fmt(value, kind):
-            if kind == "items/s":
-                # Scale-aware: end-to-end runs report single-digit
-                # rounds/s, micro-kernels hundreds of M items/s.
-                if value >= 1e6:
-                    return f"{value / 1e6:.2f} M/s"
-                if value >= 1e3:
-                    return f"{value / 1e3:.2f} k/s"
-                return f"{value:.3g} /s"
-            return f"{value:.3g}"
-
         print(f"{name:<{width}}  {fmt(b_value, b_kind):>12}  "
               f"{fmt(a_value, a_kind):>12}  {ratio:5.2f}x")
-    only_before = sorted(set(before) - set(after))
-    only_after = sorted(set(after) - set(before))
-    if only_before:
-        print(f"only in before: {len(only_before)}", file=sys.stderr)
-    if only_after:
-        print(f"only in after: {len(only_after)}", file=sys.stderr)
-    print(f"{len(shared)} compared, {slowdowns} slower")
+    print(f"{compared} compared, {slowdowns} slower")
     return 0
 
 

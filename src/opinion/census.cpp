@@ -71,11 +71,12 @@ OpinionCensus::OpinionCensus(std::size_t n, std::uint32_t num_opinions)
     PAPC_CHECK(num_opinions >= 1);
 }
 
-void OpinionCensus::reset(const std::vector<Opinion>& opinions) {
+void OpinionCensus::reset(OpinionView opinions) {
     PAPC_CHECK(opinions.size() == n_);
     for (auto& c : counts_) c = 0;
     undecided_ = 0;
-    for (const Opinion op : opinions) {
+    for (std::size_t v = 0; v < n_; ++v) {
+        const Opinion op = opinions[v];
         if (op == kUndecided) {
             ++undecided_;
         } else {
@@ -149,19 +150,25 @@ double OpinionCensus::fraction(Opinion j) const {
 // ------------------------------------------------------------- Generation
 
 GenerationCensus::GenerationCensus(std::size_t n, std::uint32_t num_opinions)
-    : n_(n), k_(num_opinions), opinion_totals_(num_opinions, 0) {
+    : GenerationCensus(n, num_opinions, kDefaultDenseK) {}
+
+GenerationCensus::GenerationCensus(std::size_t n, std::uint32_t num_opinions,
+                                   std::uint32_t dense_k)
+    : n_(n), k_(num_opinions), dense_k_(dense_k),
+      opinion_totals_(num_opinions, 0) {
     PAPC_CHECK(num_opinions >= 1);
     ensure_generation(0);
 }
 
 void GenerationCensus::ensure_generation(Generation i) {
     if (i < gen_totals_.size()) return;
-    // Grow by doubling so the flat row-major block is reallocated
-    // O(log G*) times no matter how generations arrive.
+    // Grow by doubling so the row table is reallocated O(log G*) times no
+    // matter how generations arrive. Fresh rows are empty (two null
+    // vectors) until first touched.
     const std::size_t rows =
         std::max<std::size_t>(static_cast<std::size_t>(i) + 1,
                               2 * gen_totals_.size());
-    counts_.resize(rows * k_, 0);
+    rows_.resize(rows);
     gen_totals_.resize(rows, 0);
 }
 
@@ -174,15 +181,120 @@ void GenerationCensus::refresh_highest(Generation candidate) {
     highest_populated_ = h;
 }
 
-void GenerationCensus::reset(const std::vector<Opinion>& opinions) {
+void GenerationCensus::promote_row(Row& row) const {
+    std::vector<std::uint64_t> dense(k_, 0);
+    for (const auto& [op, count] : row.sparse) dense[op] = count;
+    row.dense.swap(dense);
+    row.sparse.clear();
+    row.sparse.shrink_to_fit();
+}
+
+void GenerationCensus::row_add(Row& row, Opinion j, std::int64_t delta) {
+    if (delta == 0) return;
+    if (row.dense.empty() && k_ <= dense_k_) row.dense.assign(k_, 0);
+    if (!row.dense.empty()) {
+        const std::int64_t next =
+            static_cast<std::int64_t>(row.dense[j]) + delta;
+        PAPC_CHECK(next >= 0);
+        row.dense[j] = static_cast<std::uint64_t>(next);
+        return;
+    }
+    const auto it = std::lower_bound(
+        row.sparse.begin(), row.sparse.end(), j,
+        [](const auto& entry, Opinion op) { return entry.first < op; });
+    if (it != row.sparse.end() && it->first == j) {
+        const std::int64_t next =
+            static_cast<std::int64_t>(it->second) + delta;
+        PAPC_CHECK(next >= 0);
+        if (next == 0) {
+            row.sparse.erase(it);  // entries hold strictly positive counts
+        } else {
+            it->second = static_cast<std::uint64_t>(next);
+        }
+        return;
+    }
+    PAPC_CHECK(delta > 0);
+    row.sparse.insert(it, {j, static_cast<std::uint64_t>(delta)});
+    // Promote at a quarter density: well before the 16-byte entries reach
+    // the 8 * k dense footprint, and early enough that a generation the
+    // whole population is flowing through does its per-node updates on the
+    // O(1) dense path rather than the insert-shifting small-map.
+    if (row.sparse.size() * 4 >= k_) promote_row(row);
+}
+
+std::uint64_t GenerationCensus::row_get(const Row& row, Opinion j) const {
+    if (!row.dense.empty()) return row.dense[j];
+    const auto it = std::lower_bound(
+        row.sparse.begin(), row.sparse.end(), j,
+        [](const auto& entry, Opinion op) { return entry.first < op; });
+    return (it != row.sparse.end() && it->first == j) ? it->second : 0;
+}
+
+BiasStats GenerationCensus::row_stats(const Row& row) const {
+    if (!row.dense.empty()) return stats_from_counts(row.dense.data(), k_);
+    const auto& entries = row.sparse;
+    BiasStats s;
+    if (entries.empty()) return s;
+    std::uint64_t total = 0;
+    for (const auto& [op, count] : entries) total += count;
+    s.total = total;
+
+    // Two largest entries, earliest-opinion tie preference — entries are
+    // sorted by opinion, so this scan ranks exactly like the dense scan
+    // restricted to the non-zero cells.
+    std::size_t best = 0;
+    std::size_t second = entries.size();  // sentinel: unset
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+        if (entries[i].second > entries[best].second) {
+            second = best;
+            best = i;
+        } else if (second == entries.size() ||
+                   entries[i].second > entries[second].second) {
+            second = i;
+        }
+    }
+    s.dominant = entries[best].first;
+    s.dominant_count = entries[best].second;
+    if (second == entries.size()) {
+        // Single non-zero cell. The dense scan's runner-up is then the
+        // lowest-index zero cell != dominant (count 0), or the dominant
+        // itself when k == 1.
+        s.runner_up = (k_ >= 2 && s.dominant == 0) ? 1
+                      : (k_ >= 2 ? 0 : s.dominant);
+        s.runner_up_count = 0;
+    } else {
+        s.runner_up = entries[second].first;
+        s.runner_up_count = entries[second].second;
+    }
+
+    if (s.runner_up_count == 0) {
+        s.alpha = std::numeric_limits<double>::infinity();
+    } else {
+        s.alpha = static_cast<double>(s.dominant_count) /
+                  static_cast<double>(s.runner_up_count);
+    }
+
+    double p = 0.0;
+    const double tot = static_cast<double>(total);
+    for (const auto& [op, count] : entries) {
+        const double f = static_cast<double>(count) / tot;
+        p += f * f;
+    }
+    s.collision_probability = p;
+    return s;
+}
+
+void GenerationCensus::reset(OpinionView opinions) {
     PAPC_CHECK(opinions.size() == n_);
-    counts_.clear();
+    rows_.clear();
     gen_totals_.clear();
     ensure_generation(0);
     for (auto& t : opinion_totals_) t = 0;
-    for (const Opinion op : opinions) {
+    Row& row0 = rows_[0];
+    for (std::size_t v = 0; v < n_; ++v) {
+        const Opinion op = opinions[v];
         PAPC_CHECK(op < k_);
-        ++counts_[op];
+        row_add(row0, op, 1);
         ++opinion_totals_[op];
     }
     gen_totals_[0] = n_;
@@ -190,10 +302,10 @@ void GenerationCensus::reset(const std::vector<Opinion>& opinions) {
 }
 
 void GenerationCensus::rebuild(const std::vector<Generation>& generations,
-                               const std::vector<Opinion>& opinions) {
+                               OpinionView opinions) {
     PAPC_CHECK(generations.size() == n_);
     PAPC_CHECK(opinions.size() == n_);
-    counts_.clear();
+    rows_.clear();
     gen_totals_.clear();
     ensure_generation(0);
     for (auto& t : opinion_totals_) t = 0;
@@ -202,8 +314,8 @@ void GenerationCensus::rebuild(const std::vector<Generation>& generations,
         const Generation g = generations[v];
         const Opinion op = opinions[v];
         PAPC_CHECK(op < k_);
-        ensure_generation(g);
-        ++counts_[static_cast<std::size_t>(g) * k_ + op];
+        ensure_generation(g);  // may reallocate rows_ — index after
+        row_add(rows_[g], op, 1);
         ++gen_totals_[g];
         ++opinion_totals_[op];
         if (g > highest_populated_) highest_populated_ = g;
@@ -215,10 +327,9 @@ void GenerationCensus::transition(Generation gen_from, Opinion op_from,
     PAPC_CHECK(op_from < k_ && op_to < k_);
     ensure_generation(gen_to);
     PAPC_CHECK(gen_from < gen_totals_.size());
-    PAPC_CHECK(counts_[static_cast<std::size_t>(gen_from) * k_ + op_from] > 0);
-    --counts_[static_cast<std::size_t>(gen_from) * k_ + op_from];
+    row_add(rows_[gen_from], op_from, -1);
     --gen_totals_[gen_from];
-    ++counts_[static_cast<std::size_t>(gen_to) * k_ + op_to];
+    row_add(rows_[gen_to], op_to, +1);
     ++gen_totals_[gen_to];
     if (op_from != op_to) {
         PAPC_CHECK(opinion_totals_[op_from] > 0);
@@ -234,15 +345,12 @@ void GenerationCensus::apply_deltas(const std::vector<std::int64_t>& deltas,
     if (rows == 0) return;
     ensure_generation(rows - 1);
     for (Generation g = 0; g < rows; ++g) {
+        Row& row = rows_[g];
         std::int64_t gen_delta = 0;
         for (Opinion j = 0; j < k_; ++j) {
             const std::int64_t d = deltas[static_cast<std::size_t>(g) * k_ + j];
             if (d == 0) continue;
-            const std::size_t cell = static_cast<std::size_t>(g) * k_ + j;
-            const std::int64_t cell_next =
-                static_cast<std::int64_t>(counts_[cell]) + d;
-            PAPC_CHECK(cell_next >= 0);
-            counts_[cell] = static_cast<std::uint64_t>(cell_next);
+            row_add(row, j, d);
             const std::int64_t op_next =
                 static_cast<std::int64_t>(opinion_totals_[j]) + d;
             PAPC_CHECK(op_next >= 0);
@@ -275,12 +383,12 @@ double GenerationCensus::generation_fraction(Generation i) const {
 std::uint64_t GenerationCensus::count(Generation i, Opinion j) const {
     PAPC_CHECK(j < k_);
     if (i >= gen_totals_.size()) return 0;
-    return counts_[static_cast<std::size_t>(i) * k_ + j];
+    return row_get(rows_[i], j);
 }
 
 BiasStats GenerationCensus::stats(Generation i) const {
     if (i >= gen_totals_.size()) return BiasStats{};
-    return stats_from_counts(&counts_[static_cast<std::size_t>(i) * k_], k_);
+    return row_stats(rows_[i]);
 }
 
 BiasStats GenerationCensus::pooled_stats() const {
@@ -308,6 +416,21 @@ double GenerationCensus::opinion_fraction(Opinion j) const {
 std::uint64_t GenerationCensus::opinion_total(Opinion j) const {
     PAPC_CHECK(j < k_);
     return opinion_totals_[j];
+}
+
+bool GenerationCensus::row_is_sparse(Generation i) const {
+    return i < rows_.size() && rows_[i].dense.empty();
+}
+
+std::size_t GenerationCensus::memory_bytes() const {
+    std::size_t bytes = rows_.capacity() * sizeof(Row) +
+                        gen_totals_.capacity() * sizeof(std::uint64_t) +
+                        opinion_totals_.capacity() * sizeof(std::uint64_t);
+    for (const Row& row : rows_) {
+        bytes += row.dense.capacity() * sizeof(std::uint64_t) +
+                 row.sparse.capacity() * sizeof(row.sparse[0]);
+    }
+    return bytes;
 }
 
 }  // namespace papc

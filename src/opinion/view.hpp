@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file view.hpp
+/// OpinionView: a read-only, span-like view over "n opinions" that both
+/// censuses accept for their cold init paths (reset/rebuild). A plain
+/// `std::vector<Opinion>` converts implicitly (contiguous fast path);
+/// bit-packed stores (opinion/packed_array.hpp) expose a view through a
+/// type-erased per-element accessor instead of materializing an unpacked
+/// copy — at n = 2^24 that copy alone is 64 MiB, which defeated the point
+/// of packing (ISSUE 7 satellite).
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "opinion/types.hpp"
+
+namespace papc {
+
+class OpinionView {
+public:
+    using AtFn = Opinion (*)(const void* object, std::size_t i);
+
+    /// Contiguous storage (vectors, raw arrays).
+    OpinionView(const std::vector<Opinion>& opinions)  // NOLINT(google-explicit-constructor)
+        : data_(opinions.data()), size_(opinions.size()) {}
+    OpinionView(const Opinion* data, std::size_t size)
+        : data_(data), size_(size) {}
+    /// Braced literals at call sites (tests): the backing array outlives
+    /// the full expression, which is all a by-value view parameter needs.
+    /// (GCC's init-list-lifetime warning targets OWNING storage of the
+    /// backing array; a view is non-owning by definition, like
+    /// string_view's equivalent constructor.)
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winit-list-lifetime"
+#endif
+    OpinionView(std::initializer_list<Opinion> opinions)  // NOLINT(google-explicit-constructor)
+        : data_(opinions.begin()), size_(opinions.size()) {}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+    /// Type-erased storage: at(object, i) returns element i.
+    OpinionView(const void* object, AtFn at, std::size_t size)
+        : object_(object), at_(at), size_(size) {}
+
+    [[nodiscard]] std::size_t size() const { return size_; }
+
+    [[nodiscard]] Opinion operator[](std::size_t i) const {
+        return data_ != nullptr ? data_[i] : at_(object_, i);
+    }
+
+private:
+    const Opinion* data_ = nullptr;  ///< non-null: contiguous fast path
+    const void* object_ = nullptr;
+    AtFn at_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+}  // namespace papc

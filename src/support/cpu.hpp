@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file cpu.hpp
+/// Runtime CPU-feature detection and SIMD dispatch policy (PR 7).
+///
+/// The sync round kernels have an AVX2 gather path (sync/simd_gather.hpp)
+/// that must be selected at runtime: the same binary runs on machines with
+/// and without AVX2, and CI exercises the scalar fallback on AVX2 hardware
+/// by forcing dispatch the other way. Resolution order:
+///
+///   1. a process-wide override installed by set_simd_override() — the
+///      test hook the SIMD/scalar equivalence suite uses to pin both
+///      paths against each other on one machine;
+///   2. the PAPC_FORCE_SCALAR environment variable (any non-empty value
+///      other than "0") — the operational kill switch, read once;
+///   3. cpuid detection: AVX2 requires CPUID.7.0:EBX[5], plus
+///      CPUID.1:ECX OSXSAVE+AVX and XCR0 confirming the OS saves YMM
+///      state (a kernel that does not context-switch the upper halves
+///      makes AVX2 execution unsafe even when the CPU has it).
+///
+/// Building with -DPAPC_DISABLE_SIMD (the CI -mno-avx2 job) compiles the
+/// AVX2 kernels out entirely; detection then reports scalar regardless of
+/// the hardware, so the dispatch sites need no #ifdefs of their own.
+///
+/// The dispatch decision never changes results: the SIMD kernels are
+/// bit-identical value gathers (pinned by tests/sync/simd_equivalence_
+/// test.cpp), so this is a pure throughput knob.
+
+namespace papc::support {
+
+/// SIMD instruction tiers the kernels dispatch over. Ordered: a level
+/// implies every lower one.
+enum class SimdLevel {
+    kScalar = 0,
+    kAvx2 = 1,
+};
+
+/// Human-readable level name ("scalar", "avx2") for logs and bench labels.
+[[nodiscard]] const char* simd_level_name(SimdLevel level);
+
+/// What the hardware (and the build) supports: cpuid-detected, cached
+/// after the first call. Reports kScalar when PAPC_DISABLE_SIMD was set
+/// at build time, on non-x86-64 targets, or when the OS does not enable
+/// YMM state.
+[[nodiscard]] SimdLevel detected_simd();
+
+/// The level the kernels should use right now: the override if one is
+/// installed, else kScalar if PAPC_FORCE_SCALAR is set in the
+/// environment, else detected_simd(). Cheap enough for per-strip checks
+/// (one relaxed atomic load + cached statics).
+[[nodiscard]] SimdLevel active_simd();
+
+/// Installs a process-wide dispatch override (test hook). Requesting a
+/// level above detected_simd() is clamped to what the machine can run —
+/// callers that must know whether AVX2 really executed should check
+/// active_simd() afterwards.
+void set_simd_override(SimdLevel level);
+
+/// Removes the override; active_simd() falls back to env + detection.
+void clear_simd_override();
+
+/// True while a set_simd_override() override is installed. Size-gated
+/// dispatch policies (sync/simd_gather.hpp's u64 gate) bypass their
+/// heuristics under an override so equivalence tests can force either
+/// path at any working-set size.
+[[nodiscard]] bool simd_override_active();
+
+/// True when the AVX2 kernels were compiled into this binary (false under
+/// -DPAPC_DISABLE_SIMD or on non-x86-64 builds).
+[[nodiscard]] bool simd_compiled_in();
+
+}  // namespace papc::support

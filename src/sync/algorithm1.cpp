@@ -1,5 +1,6 @@
 #include "sync/algorithm1.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "support/check.hpp"
@@ -13,7 +14,6 @@ Algorithm1::Algorithm1(const Assignment& assignment, Schedule schedule,
       state_(assignment.size()),
       next_state_(assignment.size()),
       driver_(assignment.size(), threads),
-      shard_deltas_(driver_.num_shards()),
       census_(assignment.size(), assignment.num_opinions) {
     PAPC_CHECK(assignment.size() >= 2);
     for (std::size_t v = 0; v < assignment.size(); ++v) {
@@ -33,16 +33,19 @@ void Algorithm1::step(Rng& rng) {
     const Generation rows = census_.highest_populated() + 2;
     const std::size_t delta_size = static_cast<std::size_t>(rows) * k_;
 
+    const RawGather64 gather(state_.data(), state_.size());
     const PackedState* state = state_.data();
     PackedState* next = next_state_.data();
     driver_.run_batched<2>(rng, round_,
-                           [&](std::size_t shard, std::size_t base,
-                               std::size_t count, const std::uint64_t* idx) {
-        std::vector<std::int64_t>& deltas = shard_deltas_[shard];
-        deltas.assign(delta_size, 0);
-        gather_decide<2>(state, idx, count, [&](std::size_t i) {
-            const PackedState wa = state[idx[2 * i]];
-            const PackedState wb = state[idx[2 * i + 1]];
+                           [&](std::size_t, std::size_t base,
+                               std::size_t count, const std::uint64_t* idx,
+                               ShardedRoundDriver::Arena& arena) {
+        arena.ensure_deltas(delta_size);
+        std::int64_t* deltas = arena.deltas.data();
+        gather_decide<2>(gather, idx, count,
+                         [&](std::size_t i, const std::uint64_t* v) {
+            const PackedState wa = v[0];
+            const PackedState wb = v[1];
             // wlog gen(a) >= gen(b)  (Algorithm 1 line 2); branchless
             // select — the generation order of two random peers is the
             // least predictable branch of the round.
@@ -69,17 +72,30 @@ void Algorithm1::step(Rng& rng) {
     });
 
     state_.swap(next_state_);
-    // Shard-order merge on the driving thread. Every shard's departures
-    // from a (gen, opinion) cell are bounded by the cell's global count,
-    // so intermediate per-shard applications never underflow.
-    for (const std::vector<std::int64_t>& deltas : shard_deltas_) {
-        census_.apply_deltas(deltas, rows);
+    // Worker-order merge on the driving thread; integer deltas commute, so
+    // any shard-to-worker assignment sums to the same census. Every
+    // subset-of-shards' departures from a (gen, opinion) cell are bounded
+    // by the cell's global count, so intermediate per-worker applications
+    // never underflow. Arenas a worker never touched this round keep
+    // their all-zero (possibly undersized) buffers and are skipped.
+    for (std::size_t w = 0; w < driver_.threads(); ++w) {
+        ShardedRoundDriver::Arena& arena = driver_.arena(w);
+        if (arena.deltas.size() < delta_size) continue;
+        census_.apply_deltas(arena.deltas, rows);
+        std::fill(arena.deltas.begin(),
+                  arena.deltas.begin() + static_cast<std::ptrdiff_t>(delta_size),
+                  0);
     }
     record_new_births();
 }
 
 std::uint64_t Algorithm1::opinion_count(Opinion j) const {
     return census_.opinion_total(j);
+}
+
+std::size_t Algorithm1::memory_bytes() const {
+    return (state_.capacity() + next_state_.capacity()) * sizeof(PackedState) +
+           census_.memory_bytes() + driver_.arena_bytes();
 }
 
 void Algorithm1::record_new_births() {

@@ -52,6 +52,7 @@ public:
     [[nodiscard]] std::uint64_t opinion_count(Opinion j) const override;
     [[nodiscard]] std::uint64_t rounds() const override { return round_; }
     [[nodiscard]] std::string name() const override { return "algorithm1"; }
+    [[nodiscard]] std::size_t memory_bytes() const override;
 
     [[nodiscard]] const Schedule& schedule() const { return schedule_; }
     [[nodiscard]] const GenerationCensus& census() const { return census_; }
@@ -75,9 +76,10 @@ private:
     /// Per-node (generation << 32 | opinion) — see round_kernel.hpp.
     std::vector<PackedState> state_;
     std::vector<PackedState> next_state_;
+    /// Row-major fused census deltas accumulate in the driver's worker
+    /// arenas (PR 7) and merge in worker order — threads × rows × k of
+    /// scratch instead of shards × rows × k.
     ShardedRoundDriver driver_;
-    /// Per-shard row-major fused census deltas, merged in shard order.
-    std::vector<std::vector<std::int64_t>> shard_deltas_;
     GenerationCensus census_;
     std::vector<GenerationBirth> births_;
     std::uint64_t round_ = 0;

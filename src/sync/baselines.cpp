@@ -7,39 +7,47 @@ namespace papc::sync {
 ColorVectorDynamics::ColorVectorDynamics(const Assignment& assignment,
                                          bool allow_undecided,
                                          std::size_t threads)
-    : colors_(assignment.opinions),
-      next_colors_(assignment.size()),
+    : colors_(assignment.opinions, assignment.num_opinions),
+      next_colors_(assignment.size(), assignment.num_opinions),
       census_(assignment.size(), assignment.num_opinions),
       driver_(assignment.size(), threads) {
     PAPC_CHECK(assignment.size() >= 2);
     if (!allow_undecided) {
-        for (const Opinion c : colors_) PAPC_CHECK(c != kUndecided);
+        for (const Opinion c : assignment.opinions) PAPC_CHECK(c != kUndecided);
     }
-    census_.reset(colors_);
-    shard_deltas_.reserve(driver_.num_shards());
-    for (std::size_t s = 0; s < driver_.num_shards(); ++s) {
-        shard_deltas_.emplace_back(assignment.num_opinions);
+    census_.reset(colors_.view());
+    // Worker-arena delta buffers: exactly k entries each, zeroed — the
+    // between-rounds invariant commit_round() re-establishes.
+    for (std::size_t w = 0; w < driver_.threads(); ++w) {
+        driver_.arena(w).deltas.assign(assignment.num_opinions, 0);
     }
 }
 
 void ColorVectorDynamics::commit_round() {
     colors_.swap(next_colors_);
-    // Shard order: deterministic regardless of which worker ran a shard
-    // (integer deltas commute anyway, but the fixed order keeps the
-    // commit trivially schedule-independent).
-    for (OpinionDeltaAccumulator& deltas : shard_deltas_) {
-        deltas.commit(census_);
+    // Worker order: deterministic regardless of which shards a worker ran
+    // (integer deltas commute, so any partition of the shard set sums to
+    // the same census).
+    for (std::size_t w = 0; w < driver_.threads(); ++w) {
+        ShardedRoundDriver::Arena& arena = driver_.arena(w);
+        census_.apply_deltas(arena.deltas, arena.undecided);
+        std::fill(arena.deltas.begin(), arena.deltas.end(), 0);
+        arena.undecided = 0;
     }
     ++round_;
 }
 
+std::size_t ColorVectorDynamics::memory_bytes() const {
+    return colors_.memory_bytes() + next_colors_.memory_bytes() +
+           census_.num_opinions() * sizeof(std::uint64_t) +
+           driver_.arena_bytes();
+}
+
 PullVoting::PullVoting(const Assignment& assignment, std::size_t threads)
-    : ColorVectorDynamics(assignment, /*allow_undecided=*/false, threads),
-      samplers_(driver_.threads()) {}
+    : ColorVectorDynamics(assignment, /*allow_undecided=*/false, threads) {}
 
 void PullVoting::step(Rng& rng) {
     const std::size_t n = colors_.size();
-    const Opinion* colors = colors_.data();
     if (n < kPullVotingBatchCutover) {
         // Sub-block population: decide inline instead of paying the
         // index-scratch round-trip of the batched path (see the cutover
@@ -50,20 +58,23 @@ void PullVoting::step(Rng& rng) {
         // consumption as the batched path, so the cutover never changes
         // a result.
         run_shards_inline(rng, [&](std::size_t base, std::size_t count,
-                                   Rng& sub, OpinionDeltaAccumulator& deltas,
-                                   std::size_t worker) {
-            run_shard(base, count, sub, deltas, samplers_[worker]);
+                                   Rng& sub, OpinionDeltaAccumulator::View note,
+                                   BufferedSampler& sampler) {
+            run_shard(base, count, sub, note, sampler);
         });
     } else {
+        const PackedGather gather(colors_);
         run_shards<1>(rng, [&](std::size_t base, std::size_t count,
-                               const std::uint64_t* idx,
-                               OpinionDeltaAccumulator& deltas) {
-            const OpinionDeltaAccumulator::View note = deltas.view();
-            gather_decide<1>(colors, idx, count, [&](std::size_t i) {
-                const Opinion seen = colors[idx[i]];
-                note.note(colors[base + i], seen);
-                next_colors_[base + i] = seen;
+                               const std::uint64_t* idx, const Opinion* own,
+                               OpinionDeltaAccumulator::View note) {
+            PackedOpinionArray::Writer out(next_colors_, base);
+            gather_decide<1>(gather, idx, count,
+                             [&](std::size_t i, const Opinion* v) {
+                const Opinion seen = v[0];
+                note.note(own[i], seen);
+                out.push(seen);
             });
+            out.finish();
         });
     }
     commit_round();
@@ -74,50 +85,52 @@ void PullVoting::step(Rng& rng) {
 /// ThreeMajority::run_shard — one optimization unit, hand-hoisted
 /// rejection threshold.
 void PullVoting::run_shard(std::size_t base, std::size_t count, Rng& sub,
-                           OpinionDeltaAccumulator& deltas,
+                           OpinionDeltaAccumulator::View note,
                            BufferedSampler& sampler) {
     const auto n = static_cast<std::uint64_t>(colors_.size());
     const std::uint64_t threshold = lemire_threshold(n);
-    const Opinion* colors = colors_.data();
-    const OpinionDeltaAccumulator::View note = deltas.view();
+    PackedOpinionArray::Writer out(next_colors_, base);
     sampler.reset();
     for (std::size_t i = 0; i < count; ++i) {
-        const Opinion seen = colors[sampler.uniform_index(sub, n, threshold)];
-        note.note(colors[base + i], seen);
-        next_colors_[base + i] = seen;
+        const Opinion seen =
+            colors_.get(sampler.uniform_index(sub, n, threshold));
+        note.note(colors_.get(base + i), seen);
+        out.push(seen);
     }
+    out.finish();
 }
 
 TwoChoices::TwoChoices(const Assignment& assignment, std::size_t threads)
     : ColorVectorDynamics(assignment, /*allow_undecided=*/false, threads) {}
 
 void TwoChoices::step(Rng& rng) {
-    const Opinion* colors = colors_.data();
+    const PackedGather gather(colors_);
     run_shards<2>(rng, [&](std::size_t base, std::size_t count,
-                           const std::uint64_t* idx,
-                           OpinionDeltaAccumulator& deltas) {
-        const OpinionDeltaAccumulator::View note = deltas.view();
-        gather_decide<2>(colors, idx, count, [&](std::size_t i) {
-            const Opinion a = colors[idx[2 * i]];
-            const Opinion b = colors[idx[2 * i + 1]];
-            const Opinion mine = colors[base + i];
+                           const std::uint64_t* idx, const Opinion* own,
+                           OpinionDeltaAccumulator::View note) {
+        PackedOpinionArray::Writer out(next_colors_, base);
+        gather_decide<2>(gather, idx, count,
+                         [&](std::size_t i, const Opinion* v) {
+            const Opinion a = v[0];
+            const Opinion b = v[1];
+            const Opinion mine = own[i];
             const Opinion next = (a == b) ? a : mine;
             note.note(mine, next);
-            next_colors_[base + i] = next;
+            out.push(next);
         });
+        out.finish();
     });
     commit_round();
 }
 
 ThreeMajority::ThreeMajority(const Assignment& assignment, std::size_t threads)
-    : ColorVectorDynamics(assignment, /*allow_undecided=*/false, threads),
-      samplers_(driver_.threads()) {}
+    : ColorVectorDynamics(assignment, /*allow_undecided=*/false, threads) {}
 
 void ThreeMajority::step(Rng& rng) {
     run_shards_inline(rng, [&](std::size_t base, std::size_t count, Rng& sub,
-                               OpinionDeltaAccumulator& deltas,
-                               std::size_t worker) {
-        run_shard(base, count, sub, deltas, samplers_[worker]);
+                               OpinionDeltaAccumulator::View note,
+                               BufferedSampler& sampler) {
+        run_shard(base, count, sub, note, sampler);
     });
     commit_round();
 }
@@ -126,13 +139,12 @@ void ThreeMajority::step(Rng& rng) {
 /// treats it as a single unit (hoists, schedules) instead of a lambda
 /// nest; thresholds are hoisted by hand like PullVoting's.
 void ThreeMajority::run_shard(std::size_t base, std::size_t count, Rng& sub,
-                              OpinionDeltaAccumulator& deltas,
+                              OpinionDeltaAccumulator::View note,
                               BufferedSampler& sampler) {
     const auto n = static_cast<std::uint64_t>(colors_.size());
     const std::uint64_t threshold = lemire_threshold(n);
     const std::uint64_t tie_threshold = lemire_threshold(3);
-    const Opinion* colors = colors_.data();
-    const OpinionDeltaAccumulator::View note = deltas.view();
+    PackedOpinionArray::Writer out(next_colors_, base);
     sampler.reset();  // previous shard's substream words are dead
     // Predicts the gather target of the draw ~12 nodes ahead from the
     // sampler's buffered raw words (exact unless a rejection or tie-break
@@ -141,15 +153,15 @@ void ThreeMajority::run_shard(std::size_t base, std::size_t count, Rng& sub,
         std::uint64_t target = 0;
         // threshold 0: never reject — a stale word only wastes the hint.
         (void)lemire_map(sampler.peek_raw(ahead), n, 0, target);
-        prefetch_read(colors + target);
+        colors_.prefetch(target);
     };
     for (std::size_t i = 0; i < count; ++i) {
         prefetch_future(3 * kPrefetchAhead);
         prefetch_future(3 * kPrefetchAhead + 1);
         prefetch_future(3 * kPrefetchAhead + 2);
-        const Opinion a = colors[sampler.uniform_index(sub, n, threshold)];
-        const Opinion b = colors[sampler.uniform_index(sub, n, threshold)];
-        const Opinion c = colors[sampler.uniform_index(sub, n, threshold)];
+        const Opinion a = colors_.get(sampler.uniform_index(sub, n, threshold));
+        const Opinion b = colors_.get(sampler.uniform_index(sub, n, threshold));
+        const Opinion c = colors_.get(sampler.uniform_index(sub, n, threshold));
         Opinion adopted;
         if (a == b || a == c) {
             adopted = a;
@@ -161,9 +173,10 @@ void ThreeMajority::run_shard(std::size_t base, std::size_t count, Rng& sub,
                 sampler.uniform_index(sub, 3, tie_threshold);
             adopted = pick == 0 ? a : (pick == 1 ? b : c);
         }
-        note.note(colors[base + i], adopted);
-        next_colors_[base + i] = adopted;
+        note.note(colors_.get(base + i), adopted);
+        out.push(adopted);
     }
+    out.finish();
 }
 
 UndecidedState::UndecidedState(const Assignment& assignment,
@@ -171,14 +184,15 @@ UndecidedState::UndecidedState(const Assignment& assignment,
     : ColorVectorDynamics(assignment, /*allow_undecided=*/true, threads) {}
 
 void UndecidedState::step(Rng& rng) {
-    const Opinion* colors = colors_.data();
+    const PackedGather gather(colors_);
     run_shards<1>(rng, [&](std::size_t base, std::size_t count,
-                           const std::uint64_t* idx,
-                           OpinionDeltaAccumulator& deltas) {
-        const OpinionDeltaAccumulator::View note = deltas.view();
-        gather_decide<1>(colors, idx, count, [&](std::size_t i) {
-            const Opinion mine = colors[base + i];
-            const Opinion seen = colors[idx[i]];
+                           const std::uint64_t* idx, const Opinion* own,
+                           OpinionDeltaAccumulator::View note) {
+        PackedOpinionArray::Writer out(next_colors_, base);
+        gather_decide<1>(gather, idx, count,
+                         [&](std::size_t i, const Opinion* v) {
+            const Opinion mine = own[i];
+            const Opinion seen = v[0];
             Opinion next = mine;
             if (mine == kUndecided) {
                 next = seen;  // may remain undecided
@@ -186,8 +200,9 @@ void UndecidedState::step(Rng& rng) {
                 next = kUndecided;
             }
             note.note(mine, next);
-            next_colors_[base + i] = next;
+            out.push(next);
         });
+        out.finish();
     });
     commit_round();
 }

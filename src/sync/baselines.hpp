@@ -15,10 +15,20 @@
 /// data-dependent tie-break keeps the scalar decide order and batches
 /// only the raw RNG stream through a BufferedSampler. Since PR 5 the
 /// blocks are shards of a ShardedRoundDriver: every shard draws from its
-/// own Rng::substream(round, shard) and accumulates into its own
-/// OpinionDeltaAccumulator (merged in shard order at commit), so a
-/// `threads` constructor argument > 1 parallelizes the round without
-/// changing any fixed-seed result (bit-identical at every thread count).
+/// own Rng::substream(round, shard), so a `threads` constructor argument
+/// > 1 parallelizes the round without changing any fixed-seed result
+/// (bit-identical at every thread count).
+///
+/// Since PR 7 the color state is a PackedOpinionArray — ⌈log2(k+1)⌉-bit
+/// lanes rounded to a power of two, so a k <= 15 run stores 4 bits per
+/// node instead of 32 and the random-gather working set shrinks 8x (the
+/// hot-path win at huge n; see opinion/packed_array.hpp). Samples are
+/// gathered through the SIMD-dispatched PackedGather into strip buffers;
+/// next-state writes stream through PackedOpinionArray::Writer (shards
+/// never share a packed word). Census deltas accumulate per WORKER in the
+/// driver's arenas and commit in worker order — integer deltas commute,
+/// so results stay bit-identical to the per-shard scheme (unchanged
+/// golden hashes in tests/sync/kernel_golden_test.cpp).
 
 #include <cstdint>
 #include <string>
@@ -26,6 +36,7 @@
 
 #include "opinion/assignment.hpp"
 #include "opinion/census.hpp"
+#include "opinion/packed_array.hpp"
 #include "opinion/types.hpp"
 #include "sync/engine.hpp"
 #include "sync/round_kernel.hpp"
@@ -49,45 +60,66 @@ public:
         return census_.undecided_count();
     }
     [[nodiscard]] std::uint64_t rounds() const override { return round_; }
+    [[nodiscard]] std::size_t memory_bytes() const override;
 
-    [[nodiscard]] Opinion color(NodeId v) const { return colors_[v]; }
+    [[nodiscard]] Opinion color(NodeId v) const { return colors_.get(v); }
+
+    /// Bits per node of the packed color state (memory-anatomy counters).
+    [[nodiscard]] unsigned lane_bits() const { return colors_.lane_bits(); }
 
 protected:
-    /// Applies the buffered next_colors_ and commits every shard's fused
-    /// census deltas in shard order.
+    /// Applies the buffered next_colors_ and commits every worker arena's
+    /// fused census deltas in worker order (re-establishing the arenas'
+    /// all-zero invariant).
     void commit_round();
 
     /// Runs the round being computed (round_ + 1) shard by shard with the
-    /// per-shard index batch pre-drawn: block(base, count, idx, deltas).
+    /// per-shard index batch pre-drawn: block(base, count, idx, own, note)
+    /// where own[i] is node base + i's current color and `note`
+    /// accumulates census deltas into the running worker's arena. The
+    /// shard's own colors are decoded word-wise into arena scratch up
+    /// front (PackedOpinionArray::decode_range) — sequential decode is
+    /// ~8 lanes per word load, where per-node colors_.get(base + i)
+    /// inside the decide loop pays a load, a variable shift, and a
+    /// sentinel compare every node.
     template <int kDraws, typename BlockFn>
     void run_shards(Rng& rng, BlockFn&& block) {
         driver_.run_batched<kDraws>(
             rng, round_ + 1,
-            [&](std::size_t shard, std::size_t base, std::size_t count,
-                const std::uint64_t* idx) {
-                block(base, count, idx, shard_deltas_[shard]);
+            [&](std::size_t, std::size_t base, std::size_t count,
+                const std::uint64_t* idx, ShardedRoundDriver::Arena& arena) {
+                arena.ensure_lanes(count);
+                colors_.decode_range(base, count, arena.lanes.data());
+                block(base, count, idx,
+                      static_cast<const Opinion*>(arena.lanes.data()),
+                      OpinionDeltaAccumulator::View(arena.deltas.data(),
+                                                    &arena.undecided));
             });
     }
 
     /// Same shard schedule without the index batch — the shard body draws
-    /// inline from the substream: fn(base, count, sub, deltas, worker).
-    /// Consuming the substream via sub.uniform_index gives bit-identical
+    /// inline from the substream: fn(base, count, sub, note, sampler)
+    /// with `sampler` the worker arena's raw-stream sampler. Consuming
+    /// the substream via sampler.uniform_index gives bit-identical
     /// results to the batched variant (the uniform_indices contract).
     template <typename ShardFn>
     void run_shards_inline(Rng& rng, ShardFn&& fn) {
         driver_.for_each_shard(
             rng, round_ + 1,
-            [&](std::size_t shard, std::size_t base, std::size_t count,
+            [&](std::size_t, std::size_t base, std::size_t count,
                 Rng& sub, std::size_t worker) {
-                fn(base, count, sub, shard_deltas_[shard], worker);
+                ShardedRoundDriver::Arena& arena = driver_.arena(worker);
+                fn(base, count, sub,
+                   OpinionDeltaAccumulator::View(arena.deltas.data(),
+                                                 &arena.undecided),
+                   arena.sampler);
             });
     }
 
-    std::vector<Opinion> colors_;
-    std::vector<Opinion> next_colors_;
+    PackedOpinionArray colors_;
+    PackedOpinionArray next_colors_;
     OpinionCensus census_;
     ShardedRoundDriver driver_;
-    std::vector<OpinionDeltaAccumulator> shard_deltas_;  ///< one per shard
     std::uint64_t round_ = 0;
 };
 
@@ -119,10 +151,7 @@ public:
 
 private:
     void run_shard(std::size_t base, std::size_t count, Rng& sub,
-                   OpinionDeltaAccumulator& deltas, BufferedSampler& sampler);
-
-    /// One per worker for the sub-cutover inline path (reset per shard).
-    std::vector<BufferedSampler> samplers_;
+                   OpinionDeltaAccumulator::View note, BufferedSampler& sampler);
 };
 
 /// Two-choices: sample two nodes, adopt their opinion iff they agree.
@@ -143,13 +172,11 @@ public:
     [[nodiscard]] std::string name() const override { return "3-majority"; }
 
 private:
-    void run_shard(std::size_t base, std::size_t count, Rng& sub,
-                   OpinionDeltaAccumulator& deltas, BufferedSampler& sampler);
-
     /// Tie-breaks make the per-node draw count data-dependent, so this
-    /// kernel batches the raw stream only (see round_kernel.hpp). One
-    /// sampler per worker, reset at every shard boundary.
-    std::vector<BufferedSampler> samplers_;
+    /// kernel batches the raw stream only (see round_kernel.hpp), through
+    /// the worker arena's sampler (reset at every shard boundary).
+    void run_shard(std::size_t base, std::size_t count, Rng& sub,
+                   OpinionDeltaAccumulator::View note, BufferedSampler& sampler);
 };
 
 /// Undecided-state dynamics for k opinions (gossip/pull variant):

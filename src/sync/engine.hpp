@@ -38,6 +38,11 @@ public:
     /// Rounds executed so far.
     [[nodiscard]] virtual std::uint64_t rounds() const = 0;
 
+    /// Heap bytes of the dynamics' state + scratch (0 = not accounted).
+    /// Feeds the bytes-per-node counters of the engine benches and the
+    /// huge-n smoke budget — see README "Memory anatomy".
+    [[nodiscard]] virtual std::size_t memory_bytes() const { return 0; }
+
     [[nodiscard]] virtual std::string name() const = 0;
 
     /// True when one opinion is held by the entire population.

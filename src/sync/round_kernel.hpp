@@ -1,8 +1,9 @@
 #pragma once
 
 /// \file round_kernel.hpp
-/// Shared building blocks of the batched synchronous round kernels (PR 4)
-/// and the sharded round executor on top of them (PR 5).
+/// Shared building blocks of the batched synchronous round kernels (PR 4),
+/// the sharded round executor on top of them (PR 5), and the SIMD gather +
+/// arena layer (PR 7).
 ///
 /// Every sync-family engine advances n independent nodes per round, each
 /// node deciding from one to three uniform peer samples. The scalar loops
@@ -12,10 +13,11 @@
 ///
 ///   1. index batch — Rng::uniform_indices fills a block of peer indices
 ///      in one tight Lemire loop (bit-identical to scalar draw order);
-///   2. gather + decide — software-pipelined in kGatherStrip-node strips
-///      (strip s + 1's random loads prefetched while strip s decides), so
-///      the memory-level parallelism is bounded by the cache hierarchy
-///      and not by the RNG dependency chain;
+///   2. gather + decide — a Gatherer fills a kGatherStrip-node strip
+///      buffer with the sampled values (AVX2 `vpgatherqq` when the CPU
+///      has it — see sync/simd_gather.hpp — with strip s + 1's lines
+///      prefetched while strip s fills), then the decide loop reads the
+///      strip sequentially;
 ///   3. fused census — count deltas accumulate inside the write loop and
 ///      are applied at commit, deleting the per-round census rescan.
 ///
@@ -23,8 +25,18 @@
 /// ShardedRoundDriver gives shard s of round r its own RNG substream
 /// Rng::substream(r, s) — a pure function of the run generator's state
 /// and the labels — and runs shards on a reusable support::ThreadPool.
-/// Each shard writes only its own next-state slice and its own delta
-/// buffer; deltas merge at commit in shard order on the driving thread.
+///
+/// Arenas (PR 7): all per-shard scratch — the index batch, the fused
+/// census delta buffer, the raw-stream sampler — lives in one per-WORKER
+/// Arena allocated once by the driver, not in per-shard buffers. At
+/// n = 2^24 the old per-shard Algorithm 1 delta blocks alone were
+/// shards × rows × k × 8 B of RSS (tens of MiB) re-zeroed every round;
+/// per-worker arenas cap that at threads × rows × k and zero it once per
+/// commit. Integer census deltas commute and every cell's total departures
+/// are bounded by its count, so accumulating per worker (shard-to-worker
+/// assignment is scheduling-dependent) and committing in worker order
+/// yields bit-identical censuses — the PR 5 determinism contract below is
+/// untouched (pinned by the unchanged golden hashes).
 ///
 /// Determinism contract (since PR 5): a round's draw schedule is fixed by
 /// (run seed, round, shard index) alone — never by the thread count, the
@@ -42,17 +54,23 @@
 #include <vector>
 
 #include "opinion/census.hpp"
+#include "opinion/packed_array.hpp"
 #include "opinion/types.hpp"
 #include "support/check.hpp"
 #include "support/random.hpp"
 #include "support/thread_pool.hpp"
+#include "sync/simd_gather.hpp"
 
 namespace papc::sync {
 
 /// Nodes per kernel block: 4096 nodes keep the index batch (32 KiB of
 /// u64), the sampled colors and the per-block deltas inside L1/L2 while
-/// amortizing the batched-RNG refills.
+/// amortizing the batched-RNG refills. Also the sharding unit: 4096 is a
+/// multiple of the lanes-per-word of every PackedOpinionArray width, so
+/// shards never share a packed word (see opinion/packed_array.hpp).
 inline constexpr std::size_t kRoundBlock = 4096;
+static_assert(kRoundBlock % 32 == 0,
+              "shards must cover whole packed words at every lane width");
 
 /// How many nodes ahead the inline-sampling kernels (BufferedSampler
 /// consumers) prefetch speculative gather targets.
@@ -70,7 +88,7 @@ inline void prefetch_read(const void* address) {
 /// load/prefetch loop whose memory-level parallelism is bounded only by
 /// the cache hierarchy (the serially dependent RNG already ran in the
 /// index-batch phase). One kernel block's gather set (<= 2 * 4096 lines,
-/// ~512 KiB worst case) fits L2, so the decide loop that follows hits L2
+/// ~512 KiB worst case) fits L2, so the gather that follows hits L2
 /// instead of paying DRAM/L3 latency per random load.
 template <typename T>
 inline void prefetch_gather(const T* array, const std::uint64_t* idx,
@@ -88,163 +106,103 @@ inline void prefetch_gather(const T* array, const std::uint64_t* idx,
 
 /// Strip size of the software-pipelined gather phase: prefetching one
 /// strip ahead bounds the in-flight hints to what the line-fill buffers
-/// can track, while one strip of decide work (~a few µs) gives every
-/// prefetched line time to arrive before it is loaded.
+/// can track, while one strip of gather + decide work gives every
+/// prefetched line time to arrive before it is loaded. The strip value
+/// buffer (kGatherStrip * draws elements) lives on the stack — at most
+/// 4 KiB.
 inline constexpr std::size_t kGatherStrip = 256;
 
-/// Gather + decide phase of one kernel block: runs decide(i) for every
-/// i in [0, count) with the kDraws gather targets of strip s + 1
-/// prefetched while strip s decides.
-template <int kDraws, typename T, typename DecideFn>
-inline void gather_decide(const T* array, const std::uint64_t* idx,
+/// Gatherer over a plain u64 array: out[i] = array[idx[i]] — Algorithm 1's
+/// packed (generation << 32 | opinion) state words.
+struct RawGather64 {
+    using Value = std::uint64_t;
+
+    const std::uint64_t* array;
+    /// Whether the AVX2 path is worth taking for this array's size
+    /// (simd::u64_gather_profitable; bit-identical either way).
+    bool use_simd;
+
+    RawGather64(const std::uint64_t* a, std::size_t size)
+        : array(a), use_simd(simd::u64_gather_profitable(size * 8)) {}
+
+    void prefetch(const std::uint64_t* idx, std::size_t count) const {
+        prefetch_gather(array, idx, count);
+    }
+    void gather(const std::uint64_t* idx, std::size_t count,
+                Value* out) const {
+        if (use_simd) {
+            simd::gather_u64(array, idx, count, out);
+        } else {
+            simd::gather_u64_scalar_path(array, idx, count, out);
+        }
+    }
+};
+
+/// Gatherer over a bit-packed opinion array: decodes each sampled node's
+/// lane (undecided sentinel included) into a plain Opinion strip.
+struct PackedGather {
+    using Value = Opinion;
+
+    /// Strip prefetch only pays once the packed words outgrow L2: below
+    /// ~4 MiB the random loads hit L2/L3 anyway and the per-lane prefetch
+    /// instruction (plus its address shift) is pure overhead on the
+    /// 1-draw protocols' hot loop. Packing is what pulls most arrays
+    /// under this line — n = 2^22 at k = 8 is 2 MiB packed vs 16 MiB raw.
+    static constexpr std::size_t kPrefetchMinBytes = std::size_t{4} << 20U;
+
+    explicit PackedGather(const PackedOpinionArray& array)
+        : words_(array.words()),
+          log2_lane_bits_(array.log2_lane_bits()),
+          index_shift_(6U - array.log2_lane_bits()),
+          prefetch_(array.memory_bytes() >= kPrefetchMinBytes) {}
+
+    void prefetch(const std::uint64_t* idx, std::size_t count) const {
+        if (!prefetch_) return;
+        for (std::size_t i = 0; i < count; ++i) {
+#if defined(__GNUC__) || defined(__clang__)
+            __builtin_prefetch(words_ + (idx[i] >> index_shift_), 0, 2);
+#endif
+        }
+    }
+    void gather(const std::uint64_t* idx, std::size_t count,
+                Value* out) const {
+        simd::gather_packed(words_, idx, count, log2_lane_bits_, out);
+    }
+
+private:
+    const std::uint64_t* words_;
+    unsigned log2_lane_bits_;
+    unsigned index_shift_;
+    bool prefetch_;
+};
+
+/// Gather + decide phase of one kernel block: fills a strip buffer with
+/// the kDraws sampled values per node (gatherer.gather — the SIMD hot
+/// loop) and runs decide(i, values) for every i in [0, count) with
+/// values[d] the node's d-th sample; strip s + 1's random lines are
+/// prefetched while strip s gathers and decides. The strip buffer is
+/// byte-identical whichever gather path filled it, so SIMD dispatch can
+/// never change a decision.
+template <int kDraws, typename Gatherer, typename DecideFn>
+inline void gather_decide(const Gatherer& gatherer, const std::uint64_t* idx,
                           std::size_t count, DecideFn&& decide) {
-    prefetch_gather(array, idx,
-                    static_cast<std::size_t>(kDraws) *
-                        std::min(kGatherStrip, count));
+    typename Gatherer::Value strip[kGatherStrip * static_cast<std::size_t>(kDraws)];
+    gatherer.prefetch(idx, static_cast<std::size_t>(kDraws) *
+                               std::min(kGatherStrip, count));
     for (std::size_t s = 0; s < count; s += kGatherStrip) {
         const std::size_t end = std::min(s + kGatherStrip, count);
         if (end < count) {
             const std::size_t next_end = std::min(end + kGatherStrip, count);
-            prefetch_gather(array, idx + static_cast<std::size_t>(kDraws) * end,
-                            static_cast<std::size_t>(kDraws) * (next_end - end));
+            gatherer.prefetch(idx + static_cast<std::size_t>(kDraws) * end,
+                              static_cast<std::size_t>(kDraws) * (next_end - end));
         }
-        for (std::size_t i = s; i < end; ++i) decide(i);
+        gatherer.gather(idx + static_cast<std::size_t>(kDraws) * s,
+                        static_cast<std::size_t>(kDraws) * (end - s), strip);
+        for (std::size_t i = s; i < end; ++i) {
+            decide(i, strip + static_cast<std::size_t>(kDraws) * (i - s));
+        }
     }
 }
-
-/// Sharded round executor: partitions n nodes into kRoundBlock shards,
-/// derives shard s of round r its private substream rng.substream(r, s),
-/// and runs shards on a reusable worker pool. The shard-to-worker
-/// assignment is scheduling-dependent; results are not, because every
-/// per-shard output (next-state slice, delta buffer, index scratch) is
-/// either owned by the shard or merged in shard order by the caller.
-/// threads == 1 costs nothing: no pool is created and shards run inline.
-class ShardedRoundDriver {
-public:
-    ShardedRoundDriver(std::size_t n, std::size_t threads)
-        : n_(n), threads_(std::max<std::size_t>(1, threads)) {
-        if (threads_ > 1) {
-            pool_ = std::make_unique<support::ThreadPool>(threads_);
-        }
-        scratch_.resize(threads_);
-    }
-
-    [[nodiscard]] std::size_t num_shards() const {
-        return (n_ + kRoundBlock - 1) / kRoundBlock;
-    }
-    [[nodiscard]] std::size_t threads() const { return threads_; }
-
-    /// Runs fn(shard, base, count, sub, worker) for every shard: nodes
-    /// [base, base + count) with private substream `sub`; `worker` indexes
-    /// per-worker scratch in [0, threads()).
-    ///
-    /// The parent generator advances by ONE draw per round (on the
-    /// driving thread, before any shard dispatches — thread-count
-    /// invariance is untouched). Without it, two sequential runs driven
-    /// through the same Rng object would derive identical (round, shard)
-    /// substreams and replay word-for-word correlated trajectories; the
-    /// per-round advance keeps a shared generator's runs independent,
-    /// matching the pre-shard sequential-tape behaviour.
-    template <typename ShardFn>
-    void for_each_shard(Rng& rng, std::uint64_t round, ShardFn&& fn) {
-        rng.next_u64();
-        const Rng base_rng = rng;
-        const std::size_t shards = num_shards();
-        const auto body = [&](std::size_t shard, std::size_t worker) {
-            const std::size_t base = shard * kRoundBlock;
-            const std::size_t count = std::min(kRoundBlock, n_ - base);
-            Rng sub = base_rng.substream(round, shard);
-            fn(shard, base, count, sub, worker);
-        };
-        if (pool_ == nullptr) {
-            for (std::size_t shard = 0; shard < shards; ++shard) {
-                body(shard, 0);
-            }
-        } else {
-            pool_->parallel_for(shards, body);
-        }
-    }
-
-    /// Batched variant for fixed-draw-count kernels: fills the worker's
-    /// index scratch with count * kDraws uniform draws from the shard
-    /// substream (node base's draws first, then base+1's, ...) and calls
-    /// block(shard, base, count, idx) with idx[i * kDraws + d] the d-th
-    /// sample of node base + i.
-    template <int kDraws, typename BlockFn>
-    void run_batched(Rng& rng, std::uint64_t round, BlockFn&& block) {
-        static_assert(kDraws >= 1);
-        for_each_shard(rng, round,
-                       [&](std::size_t shard, std::size_t base,
-                           std::size_t count, Rng& sub, std::size_t worker) {
-            std::vector<std::uint64_t>& idx = scratch_[worker];
-            idx.resize(kRoundBlock * static_cast<std::size_t>(kDraws));
-            sub.uniform_indices(static_cast<std::uint64_t>(n_), idx.data(),
-                                count * static_cast<std::size_t>(kDraws));
-            block(shard, base, count, idx.data());
-        });
-    }
-
-private:
-    std::size_t n_;
-    std::size_t threads_;
-    std::unique_ptr<support::ThreadPool> pool_;  ///< null when threads_ == 1
-    std::vector<std::vector<std::uint64_t>> scratch_;  ///< per worker
-};
-
-/// Fused-census accumulator for the flat (opinion-only) baselines: the
-/// write loop notes each changed node and commit() applies the summed
-/// per-opinion deltas in one pass — replacing the per-round
-/// OpinionCensus::reset rescan of the whole color vector.
-class OpinionDeltaAccumulator {
-public:
-    explicit OpinionDeltaAccumulator(std::uint32_t num_opinions)
-        : deltas_(num_opinions, 0) {}
-
-    /// Raw-pointer view for the decide loops: note() through a View kept
-    /// in locals costs no per-note reload of the accumulator's data
-    /// pointer (reached through a reference, the optimizer must re-load
-    /// it every bump — measurably slower on the cheapest kernels).
-    /// Invalidated by commit() and by destroying the accumulator.
-    class View {
-    public:
-        void note(Opinion from, Opinion to) const {
-            if (from == to) return;
-            bump(from, -1);
-            bump(to, +1);
-        }
-
-    private:
-        friend class OpinionDeltaAccumulator;
-        View(std::int64_t* deltas, std::int64_t* undecided)
-            : deltas_(deltas), undecided_(undecided) {}
-
-        void bump(Opinion op, std::int64_t d) const {
-            if (op == kUndecided) {
-                *undecided_ += d;
-            } else {
-                deltas_[op] += d;
-            }
-        }
-
-        std::int64_t* deltas_;
-        std::int64_t* undecided_;
-    };
-
-    [[nodiscard]] View view() { return View(deltas_.data(), &undecided_); }
-
-    void note(Opinion from, Opinion to) { view().note(from, to); }
-
-    /// Applies and clears the accumulated deltas.
-    void commit(OpinionCensus& census) {
-        census.apply_deltas(deltas_, undecided_);
-        std::fill(deltas_.begin(), deltas_.end(), 0);
-        undecided_ = 0;
-    }
-
-private:
-    std::vector<std::int64_t> deltas_;
-    std::int64_t undecided_ = 0;
-};
 
 /// Buffered view over an Rng's raw u64 stream for kernels whose number of
 /// draws per node is data-dependent. Consumption order (and hence every
@@ -303,6 +261,192 @@ private:
 
     std::vector<std::uint64_t> buf_;
     std::size_t cursor_;
+};
+
+/// Sharded round executor: partitions n nodes into kRoundBlock shards,
+/// derives shard s of round r its private substream rng.substream(r, s),
+/// and runs shards on a reusable worker pool. The shard-to-worker
+/// assignment is scheduling-dependent; results are not, because every
+/// per-shard output (next-state slice, arena delta accumulation) is
+/// either owned by the shard or commutative-summed per worker and merged
+/// in worker order by the caller. threads == 1 costs nothing: no pool is
+/// created and shards run inline.
+class ShardedRoundDriver {
+public:
+    /// Per-worker scratch arena, allocated once for the driver's lifetime
+    /// (cache-line aligned so workers never false-share). Everything a
+    /// shard needs beyond its next-state slice lives here: the index
+    /// batch, the fused census delta accumulation (layout is the owning
+    /// dynamics' business: flat k for the baselines, row-major
+    /// generations × k for Algorithm 1), and the raw-stream sampler of
+    /// the inline kernels. The deltas invariant between rounds is
+    /// all-zero: writers size with ensure_deltas (zero-fills growth) and
+    /// the committer re-zeroes exactly what a round used.
+    struct alignas(64) Arena {
+        std::vector<std::uint64_t> indices;
+        std::vector<std::int64_t> deltas;
+        /// Shard-local decode of the shard's own packed colors
+        /// (PackedOpinionArray::decode_range) — at most kRoundBlock wide.
+        std::vector<Opinion> lanes;
+        std::int64_t undecided = 0;
+        BufferedSampler sampler;
+
+        void ensure_deltas(std::size_t size) {
+            if (deltas.size() < size) deltas.resize(size, 0);
+        }
+
+        void ensure_lanes(std::size_t size) {
+            if (lanes.size() < size) lanes.resize(size);
+        }
+    };
+
+    ShardedRoundDriver(std::size_t n, std::size_t threads)
+        : n_(n), threads_(std::max<std::size_t>(1, threads)) {
+        if (threads_ > 1) {
+            pool_ = std::make_unique<support::ThreadPool>(threads_);
+        }
+        arenas_.reserve(threads_);
+        for (std::size_t w = 0; w < threads_; ++w) {
+            arenas_.push_back(std::make_unique<Arena>());
+        }
+    }
+
+    [[nodiscard]] std::size_t num_shards() const {
+        return (n_ + kRoundBlock - 1) / kRoundBlock;
+    }
+    [[nodiscard]] std::size_t threads() const { return threads_; }
+
+    [[nodiscard]] Arena& arena(std::size_t worker) { return *arenas_[worker]; }
+
+    /// Heap bytes currently held by the worker arenas (RSS accounting).
+    [[nodiscard]] std::size_t arena_bytes() const {
+        std::size_t bytes = 0;
+        for (const auto& arena : arenas_) {
+            bytes += sizeof(Arena) +
+                     arena->indices.capacity() * sizeof(std::uint64_t) +
+                     arena->deltas.capacity() * sizeof(std::int64_t) +
+                     arena->lanes.capacity() * sizeof(Opinion) +
+                     kRoundBlock * sizeof(std::uint64_t);  // sampler buffer
+        }
+        return bytes;
+    }
+
+    /// Runs fn(shard, base, count, sub, worker) for every shard: nodes
+    /// [base, base + count) with private substream `sub`; `worker` indexes
+    /// arena(worker) in [0, threads()).
+    ///
+    /// The parent generator advances by ONE draw per round (on the
+    /// driving thread, before any shard dispatches — thread-count
+    /// invariance is untouched). Without it, two sequential runs driven
+    /// through the same Rng object would derive identical (round, shard)
+    /// substreams and replay word-for-word correlated trajectories; the
+    /// per-round advance keeps a shared generator's runs independent,
+    /// matching the pre-shard sequential-tape behaviour.
+    template <typename ShardFn>
+    void for_each_shard(Rng& rng, std::uint64_t round, ShardFn&& fn) {
+        rng.next_u64();
+        const Rng base_rng = rng;
+        const std::size_t shards = num_shards();
+        const auto body = [&](std::size_t shard, std::size_t worker) {
+            const std::size_t base = shard * kRoundBlock;
+            const std::size_t count = std::min(kRoundBlock, n_ - base);
+            Rng sub = base_rng.substream(round, shard);
+            fn(shard, base, count, sub, worker);
+        };
+        if (pool_ == nullptr) {
+            for (std::size_t shard = 0; shard < shards; ++shard) {
+                body(shard, 0);
+            }
+        } else {
+            pool_->parallel_for(shards, body);
+        }
+    }
+
+    /// Batched variant for fixed-draw-count kernels: fills the worker
+    /// arena's index block with count * kDraws uniform draws from the
+    /// shard substream (node base's draws first, then base+1's, ...) and
+    /// calls block(shard, base, count, idx, arena) with
+    /// idx[i * kDraws + d] the d-th sample of node base + i and `arena`
+    /// the running worker's scratch arena.
+    template <int kDraws, typename BlockFn>
+    void run_batched(Rng& rng, std::uint64_t round, BlockFn&& block) {
+        static_assert(kDraws >= 1);
+        for_each_shard(rng, round,
+                       [&](std::size_t shard, std::size_t base,
+                           std::size_t count, Rng& sub, std::size_t worker) {
+            Arena& arena = *arenas_[worker];
+            std::vector<std::uint64_t>& idx = arena.indices;
+            idx.resize(kRoundBlock * static_cast<std::size_t>(kDraws));
+            sub.uniform_indices(static_cast<std::uint64_t>(n_), idx.data(),
+                                count * static_cast<std::size_t>(kDraws));
+            block(shard, base, count, idx.data(), arena);
+        });
+    }
+
+private:
+    std::size_t n_;
+    std::size_t threads_;
+    std::unique_ptr<support::ThreadPool> pool_;  ///< null when threads_ == 1
+    std::vector<std::unique_ptr<Arena>> arenas_;  ///< one per worker
+};
+
+/// Fused-census accumulator for the flat (opinion-only) baselines: the
+/// write loop notes each changed node and commit() applies the summed
+/// per-opinion deltas in one pass — replacing the per-round
+/// OpinionCensus::reset rescan of the whole color vector. The sharded
+/// dynamics accumulate straight into their worker Arena through a View
+/// over the arena's storage; the owning class remains for single-buffer
+/// uses and the kernel unit tests.
+class OpinionDeltaAccumulator {
+public:
+    explicit OpinionDeltaAccumulator(std::uint32_t num_opinions)
+        : deltas_(num_opinions, 0) {}
+
+    /// Raw-pointer view for the decide loops: note() through a View kept
+    /// in locals costs no per-note reload of the accumulator's data
+    /// pointer (reached through a reference, the optimizer must re-load
+    /// it every bump — measurably slower on the cheapest kernels).
+    /// Constructible over any external (deltas[k], undecided) pair — the
+    /// worker arenas. Invalidated by commit() and by destroying or
+    /// reallocating the underlying storage.
+    class View {
+    public:
+        View(std::int64_t* deltas, std::int64_t* undecided)
+            : deltas_(deltas), undecided_(undecided) {}
+
+        void note(Opinion from, Opinion to) const {
+            if (from == to) return;
+            bump(from, -1);
+            bump(to, +1);
+        }
+
+    private:
+        void bump(Opinion op, std::int64_t d) const {
+            if (op == kUndecided) {
+                *undecided_ += d;
+            } else {
+                deltas_[op] += d;
+            }
+        }
+
+        std::int64_t* deltas_;
+        std::int64_t* undecided_;
+    };
+
+    [[nodiscard]] View view() { return View(deltas_.data(), &undecided_); }
+
+    void note(Opinion from, Opinion to) { view().note(from, to); }
+
+    /// Applies and clears the accumulated deltas.
+    void commit(OpinionCensus& census) {
+        census.apply_deltas(deltas_, undecided_);
+        std::fill(deltas_.begin(), deltas_.end(), 0);
+        undecided_ = 0;
+    }
+
+private:
+    std::vector<std::int64_t> deltas_;
+    std::int64_t undecided_ = 0;
 };
 
 /// Packed per-node Algorithm 1 state: generation in the high 32 bits,

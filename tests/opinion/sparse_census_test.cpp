@@ -1,0 +1,228 @@
+/// \file sparse_census_test.cpp
+/// The PR 7 sparse-row contract: a GenerationCensus whose rows start as
+/// sorted small-maps (k above the dense threshold) must be observationally
+/// identical to the dense representation — same counts, totals, stats
+/// (including the dense scan's zero-cell runner-up tie-breaks), and
+/// highest-populated tracking — under randomized transition and
+/// apply_deltas streams, across the sparse → dense promotion boundary.
+/// The dense_k constructor hook forces each representation on one
+/// workload.
+
+#include "opinion/census.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "support/random.hpp"
+
+namespace papc {
+namespace {
+
+void expect_stats_equal(const BiasStats& sparse, const BiasStats& dense,
+                        const char* where) {
+    EXPECT_EQ(sparse.total, dense.total) << where;
+    EXPECT_EQ(sparse.dominant, dense.dominant) << where;
+    EXPECT_EQ(sparse.dominant_count, dense.dominant_count) << where;
+    EXPECT_EQ(sparse.runner_up, dense.runner_up) << where;
+    EXPECT_EQ(sparse.runner_up_count, dense.runner_up_count) << where;
+    EXPECT_EQ(sparse.alpha, dense.alpha) << where;  // bit-identical math
+    EXPECT_DOUBLE_EQ(sparse.collision_probability,
+                     dense.collision_probability)
+        << where;
+}
+
+void expect_census_equal(const GenerationCensus& sparse,
+                         const GenerationCensus& dense, std::uint32_t k,
+                         const char* where) {
+    ASSERT_EQ(sparse.highest_populated(), dense.highest_populated()) << where;
+    for (Generation g = 0; g <= dense.highest_populated() + 1; ++g) {
+        ASSERT_EQ(sparse.generation_size(g), dense.generation_size(g))
+            << where << " generation " << g;
+        for (Opinion j = 0; j < k; ++j) {
+            ASSERT_EQ(sparse.count(g, j), dense.count(g, j))
+                << where << " generation " << g << " opinion " << j;
+        }
+        expect_stats_equal(sparse.stats(g), dense.stats(g), where);
+    }
+    for (Opinion j = 0; j < k; ++j) {
+        ASSERT_EQ(sparse.opinion_total(j), dense.opinion_total(j)) << where;
+    }
+    expect_stats_equal(sparse.pooled_stats(), dense.pooled_stats(), where);
+    EXPECT_EQ(sparse.converged(), dense.converged()) << where;
+    EXPECT_EQ(sparse.size_at_least(1), dense.size_at_least(1)) << where;
+}
+
+TEST(SparseCensus, RandomTransitionStreamMatchesDense) {
+    Rng rng(1101);
+    const std::size_t n = 4000;
+    const std::uint32_t k = 50;
+    std::vector<Opinion> initial(n);
+    for (auto& op : initial) op = static_cast<Opinion>(rng.uniform_index(k));
+
+    GenerationCensus sparse(n, k, /*dense_k=*/0);   // every row starts sparse
+    GenerationCensus dense(n, k, /*dense_k=*/1U << 30U);  // always dense
+    sparse.reset(initial);
+    dense.reset(initial);
+    expect_census_equal(sparse, dense, k, "after reset");
+
+    // Track per-node (generation, opinion) so transitions stay legal.
+    std::vector<Generation> gens(n, 0);
+    std::vector<Opinion> ops = initial;
+    for (int step = 0; step < 20000; ++step) {
+        const std::size_t v = rng.uniform_index(n);
+        // Mostly promote/migrate upward like Algorithm 1; sometimes move
+        // within the generation.
+        const Generation gen_to =
+            gens[v] + static_cast<Generation>(rng.uniform_index(3) == 0 ? 0 : 1);
+        const auto op_to = static_cast<Opinion>(rng.uniform_index(k));
+        sparse.transition(gens[v], ops[v], gen_to, op_to);
+        dense.transition(gens[v], ops[v], gen_to, op_to);
+        gens[v] = gen_to;
+        ops[v] = op_to;
+    }
+    expect_census_equal(sparse, dense, k, "after transitions");
+
+    // At k = 50, generations most nodes flowed through must have promoted
+    // (density threshold k/4), while the top fringe stays sparse.
+    EXPECT_FALSE(sparse.row_is_sparse(0));
+}
+
+TEST(SparseCensus, RandomDeltaStreamMatchesDense) {
+    Rng rng(1102);
+    const std::size_t n = 3000;
+    const std::uint32_t k = 80;
+    std::vector<Opinion> initial(n);
+    for (auto& op : initial) op = static_cast<Opinion>(rng.uniform_index(k));
+
+    GenerationCensus sparse(n, k, /*dense_k=*/0);
+    GenerationCensus dense(n, k, /*dense_k=*/1U << 30U);
+    sparse.reset(initial);
+    dense.reset(initial);
+
+    // Random legal delta blocks: pick random movers from the current
+    // census and re-place each in [gen, gen+1] with a random opinion —
+    // exactly the shape of a round kernel's fused-census commit.
+    std::vector<Generation> gens(n, 0);
+    std::vector<Opinion> ops = initial;
+    for (int round = 0; round < 60; ++round) {
+        const Generation rows = dense.highest_populated() + 2;
+        std::vector<std::int64_t> deltas(
+            static_cast<std::size_t>(rows) * k, 0);
+        for (int move = 0; move < 500; ++move) {
+            const std::size_t v = rng.uniform_index(n);
+            // A node drawn twice in one block may not climb past the
+            // block's row bound (real rounds move each node once).
+            const Generation gen_to = std::min<Generation>(
+                gens[v] +
+                    static_cast<Generation>(rng.uniform_index(4) == 0 ? 1 : 0),
+                rows - 1);
+            const auto op_to = static_cast<Opinion>(rng.uniform_index(k));
+            --deltas[static_cast<std::size_t>(gens[v]) * k + ops[v]];
+            ++deltas[static_cast<std::size_t>(gen_to) * k + op_to];
+            gens[v] = gen_to;
+            ops[v] = op_to;
+        }
+        sparse.apply_deltas(deltas, rows);
+        dense.apply_deltas(deltas, rows);
+    }
+    expect_census_equal(sparse, dense, k, "after delta rounds");
+}
+
+TEST(SparseCensus, SparseStatsReplicateDenseZeroCellTieBreaks) {
+    // The dense stats scan ranks zero-count cells by index when fewer
+    // than two cells are populated; the sparse path must reproduce that
+    // exactly (runner_up identity feeds alpha = inf reporting).
+    const std::uint32_t k = 40;
+    {
+        // Single populated cell at opinion 0: dense runner-up is cell 1.
+        GenerationCensus sparse(10, k, 0);
+        GenerationCensus dense(10, k, 1U << 30U);
+        const std::vector<Opinion> all_zero(10, 0);
+        sparse.reset(all_zero);
+        dense.reset(all_zero);
+        expect_stats_equal(sparse.stats(0), dense.stats(0), "dominant at 0");
+        EXPECT_EQ(sparse.stats(0).runner_up, 1U);
+        EXPECT_TRUE(std::isinf(sparse.stats(0).alpha));
+    }
+    {
+        // Single populated cell at opinion 7: dense runner-up is cell 0.
+        GenerationCensus sparse(10, k, 0);
+        GenerationCensus dense(10, k, 1U << 30U);
+        const std::vector<Opinion> all_seven(10, 7);
+        sparse.reset(all_seven);
+        dense.reset(all_seven);
+        expect_stats_equal(sparse.stats(0), dense.stats(0), "dominant at 7");
+        EXPECT_EQ(sparse.stats(0).runner_up, 0U);
+    }
+    {
+        // Tied dominants: lowest opinion wins dominant, other is runner-up.
+        GenerationCensus sparse(10, k, 0);
+        GenerationCensus dense(10, k, 1U << 30U);
+        const std::vector<Opinion> tied = {3, 3, 3, 3, 3, 9, 9, 9, 9, 9};
+        sparse.reset(tied);
+        dense.reset(tied);
+        expect_stats_equal(sparse.stats(0), dense.stats(0), "tied dominants");
+        EXPECT_EQ(sparse.stats(0).dominant, 3U);
+        EXPECT_EQ(sparse.stats(0).runner_up, 9U);
+    }
+    {
+        // Empty generation: all-default stats either way.
+        GenerationCensus sparse(10, k, 0);
+        GenerationCensus dense(10, k, 1U << 30U);
+        expect_stats_equal(sparse.stats(3), dense.stats(3), "empty row");
+    }
+}
+
+TEST(SparseCensus, PromotionCrossoverKeepsCounts) {
+    // Walk one row through the promotion threshold entry by entry and
+    // check counts at every step (the promote itself must be lossless).
+    const std::uint32_t k = 100;  // promotes at 25 distinct opinions
+    const std::size_t n = 60;
+    GenerationCensus census(n, k, /*dense_k=*/0);
+    const std::vector<Opinion> initial(n, 0);
+    census.reset(initial);
+
+    std::vector<std::uint64_t> expected(k, 0);
+    expected[0] = n;
+    bool saw_sparse = false;
+    bool saw_dense = false;
+    for (std::uint32_t move = 0; move < 40; ++move) {
+        const auto op_to = static_cast<Opinion>((move * 3 + 1) % k);
+        census.transition(0, 0, 0, op_to);
+        --expected[0];
+        ++expected[op_to];
+        for (Opinion j = 0; j < k; ++j) {
+            ASSERT_EQ(census.count(0, j), expected[j])
+                << "move " << move << " opinion " << j;
+        }
+        (census.row_is_sparse(0) ? saw_sparse : saw_dense) = true;
+    }
+    EXPECT_TRUE(saw_sparse) << "workload never exercised the sparse path";
+    EXPECT_TRUE(saw_dense) << "workload never promoted";
+    EXPECT_GT(census.memory_bytes(), 0U);
+}
+
+TEST(SparseCensus, RebuildThroughViewMatchesReset) {
+    Rng rng(1103);
+    const std::size_t n = 500;
+    const std::uint32_t k = 90;
+    std::vector<Opinion> ops(n);
+    for (auto& op : ops) op = static_cast<Opinion>(rng.uniform_index(k));
+    const std::vector<Generation> gens(n, 0);
+
+    GenerationCensus via_reset(n, k, 0);
+    via_reset.reset(ops);
+    GenerationCensus via_rebuild(n, k, 0);
+    via_rebuild.rebuild(gens, ops);
+    for (Opinion j = 0; j < k; ++j) {
+        ASSERT_EQ(via_rebuild.count(0, j), via_reset.count(0, j)) << j;
+    }
+    EXPECT_EQ(via_rebuild.highest_populated(), via_reset.highest_populated());
+}
+
+}  // namespace
+}  // namespace papc

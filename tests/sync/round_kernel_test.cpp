@@ -26,7 +26,7 @@ TEST(ShardedRound, DrawScheduleMatchesPerShardSubstreams) {
     std::vector<std::vector<std::uint64_t>> per_shard(driver.num_shards());
     driver.run_batched<3>(rng, round,
                           [&](std::size_t shard, std::size_t, std::size_t count,
-                              const std::uint64_t* idx) {
+                              const std::uint64_t* idx, auto& /*arena*/) {
         per_shard[shard].assign(idx, idx + 3 * count);
     });
 
@@ -58,7 +58,8 @@ TEST(ShardedRound, ThreadCountDoesNotChangeDrawsOrCoverage) {
         single.resize(driver.num_shards());
         driver.run_batched<1>(rng, 4,
                               [&](std::size_t shard, std::size_t,
-                                  std::size_t count, const std::uint64_t* idx) {
+                                  std::size_t count, const std::uint64_t* idx,
+                                  auto& /*arena*/) {
             single[shard].assign(idx, idx + count);
         });
     }
@@ -70,7 +71,8 @@ TEST(ShardedRound, ThreadCountDoesNotChangeDrawsOrCoverage) {
     for (auto& v : visits) v.store(0);
     driver.run_batched<1>(rng, 4,
                           [&](std::size_t shard, std::size_t base,
-                              std::size_t count, const std::uint64_t* idx) {
+                              std::size_t count, const std::uint64_t* idx,
+                              auto& /*arena*/) {
         pooled[shard].assign(idx, idx + count);
         for (std::size_t i = 0; i < count; ++i) {
             ASSERT_LT(idx[i], n);
