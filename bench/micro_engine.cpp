@@ -262,9 +262,8 @@ BENCHMARK(BM_SyncRound_UndecidedState)->Apply(sync_matrix_args);
 // the worker pool, args {n, k, threads}. iterations/sec is rounds/sec; the
 // acceptance comparison is threads=4 vs threads=1 from ONE recorded run
 // (same binary), diffed with
-//   scripts/bench-diff.py BENCH.json BENCH.json \
-//       --suffix-before /threads:1/real_time \
-//       --suffix-after /threads:4/real_time
+//   scripts/bench-diff.py BENCH.json BENCH.json
+//       --suffix-before /threads:1/real_time --suffix-after /threads:4/real_time
 template <typename Dynamics>
 void sync_round_sharded(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));

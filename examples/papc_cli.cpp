@@ -7,7 +7,7 @@
 ///   papc_cli --list-protocols
 ///   papc_cli --protocol async --n 20000 --k 5 --alpha 1.8 --seed 7
 ///   papc_cli --protocol multi --json run.json
-///   papc_cli --protocol two-choices --sweep "n=1000,10000;k=2..8" \
+///   papc_cli --protocol two-choices --sweep "n=1000,10000;k=2..8"
 ///            --reps 5 --json sweep.json
 ///
 /// Unknown flags are rejected (a typo like --lamda is an error, not a

@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # Reports clang-format drift across the C++ sources. Exit 1 when any file
-# needs reformatting (CI runs this as a non-blocking job; locally use
+# needs reformatting (CI runs this as a blocking job; locally use
 # `scripts/format-check.sh --fix` to apply).
 set -eu
 

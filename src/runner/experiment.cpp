@@ -1,9 +1,9 @@
 #include "runner/experiment.hpp"
 
 #include <algorithm>
-#include <thread>
 
 #include "support/check.hpp"
+#include "support/thread_pool.hpp"
 
 namespace papc::runner {
 
@@ -61,19 +61,14 @@ ExperimentOutcome run_experiment_parallel(const TrialFn& trial,
         return run_experiment(trial, reps, base_seed);
     }
     threads = std::min(threads, reps);
-    // Static block partition: trial r writes only per_trial[r], so the
-    // workers share no mutable state.
+    // Trial r writes only per_trial[r] and seeds derive from (base, r),
+    // so results are identical at any thread count regardless of which
+    // pool worker runs which trial.
     std::vector<TrialMetrics> per_trial(reps);
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    for (std::size_t w = 0; w < threads; ++w) {
-        workers.emplace_back([&, w] {
-            for (std::size_t r = w; r < reps; r += threads) {
-                per_trial[r] = trial(derive_seed(base_seed, r));
-            }
-        });
-    }
-    for (auto& worker : workers) worker.join();
+    support::ThreadPool pool(threads);
+    pool.parallel_for(reps, [&](std::size_t r, std::size_t /*worker*/) {
+        per_trial[r] = trial(derive_seed(base_seed, r));
+    });
     return aggregate(std::move(per_trial));
 }
 

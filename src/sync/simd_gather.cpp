@@ -10,6 +10,18 @@
 namespace papc::sync::simd {
 namespace {
 
+// The AVX2 kernels below hard-code the memory layout: 8-byte gather
+// strides over std::uint64_t arrays, and a 16-byte _mm_storeu_si128 that
+// writes four Opinion lanes at once. Pin those assumptions so a future
+// Opinion retype fails here, at compile time, instead of corrupting the
+// gather output.
+static_assert(sizeof(std::uint64_t) == 8,
+              "gather kernels assume 8-byte index/word strides");
+static_assert(sizeof(Opinion) == 4,
+              "gather_packed compacts four 4-byte Opinion lanes per store");
+static_assert(kUndecided == static_cast<Opinion>(0xFFFFFFFFU),
+              "the all-ones sentinel lane must decode to kUndecided");
+
 /// Scalar reference paths. These are also the only paths on non-x86-64
 /// or -DPAPC_DISABLE_SIMD builds; the AVX2 kernels must match them bit
 /// for bit (they read the same memory, so equality is structural, but

@@ -69,7 +69,7 @@ TEST(RunResultSerialize, IgnoresUnknownKeys) {
 
 TEST(RunResultConsistent, AcceptsWellFormedResults) {
     EXPECT_TRUE(consistent(sample_result()));
-    EXPECT_TRUE(consistent(RunResult{}));
+    EXPECT_TRUE(consistent(RunResult()));
     // A run where the expected plurality lost: ε-time never latched.
     RunResult rival;
     rival.converged = true;

@@ -1,0 +1,10 @@
+// papc_lint fixture: trips D1 (raw-rng) and nothing else.
+// A private engine means draws that do not derive from Rng::substream —
+// trajectories stop being a pure function of (seed, config).
+#include <random>
+
+unsigned draw_without_substream() {
+    std::mt19937 engine(12345);  // D1: direct engine construction
+    std::random_device entropy;  // D1: nondeterministic device
+    return static_cast<unsigned>(engine()) + entropy();
+}

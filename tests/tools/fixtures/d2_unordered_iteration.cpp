@@ -1,0 +1,15 @@
+// papc_lint fixture: trips D2 (unordered-iteration) and nothing else.
+// Hash-order iteration feeding an accumulator is exactly the bug class
+// the rule exists for: the sum below is order-independent, but the first
+// key to cross a threshold (and anything like it) is not.
+#include <cstdint>
+#include <unordered_map>
+
+std::uint64_t census_in_hash_order(
+    const std::unordered_map<std::uint32_t, std::uint64_t>& counts) {
+    std::uint64_t total = 0;
+    for (const auto& entry : counts) {  // D2: implementation-defined order
+        total += entry.second;
+    }
+    return total;
+}

@@ -1,0 +1,16 @@
+// papc_lint fixture: trips D3 (raw-thread) and nothing else.
+// Raw threads plus an atomic accumulator merge shard results in
+// completion order — floating-point and tie-break results then depend on
+// scheduling, which breaks the bit-identical-at-any-thread-count contract.
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+std::uint64_t completion_order_merge(std::uint64_t n) {
+    std::atomic<std::uint64_t> total{0};
+    std::thread worker([&] {  // D3: raw std::thread
+        total.fetch_add(n);   // D3: completion-order accumulation
+    });
+    worker.join();
+    return total.load();
+}

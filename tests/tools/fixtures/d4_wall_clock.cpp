@@ -1,0 +1,17 @@
+// papc_lint fixture: trips D4 (wall-clock) and nothing else.
+// Seeding or branching on ambient state (clock, environment) makes runs
+// unreproducible; a trajectory may depend only on (seed, config).
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+
+std::uint64_t seed_from_ambient_state() {
+    const auto now =
+        std::chrono::system_clock::now();  // D4: wall clock
+    std::uint64_t seed = static_cast<std::uint64_t>(
+        now.time_since_epoch().count());
+    if (std::getenv("PAPC_SEED") != nullptr) {  // D4: env-derived seed
+        seed += 1;
+    }
+    return seed;
+}

@@ -1,0 +1,11 @@
+// papc_lint fixture: trips D5 (simd-hygiene) and nothing else.
+// Intrinsics outside sync/simd_gather.cpp bypass the support/cpu runtime
+// dispatch, so the scalar fallback (and the scalar<->SIMD equivalence
+// suite) no longer covers this code path.
+#include <cstdint>
+#include <immintrin.h>  // D5: intrinsics header outside simd_gather.cpp
+
+std::int64_t stray_intrinsics(std::int64_t x) {
+    const __m256i lanes = _mm256_set1_epi64x(x);  // D5: raw intrinsic
+    return _mm256_extract_epi64(lanes, 0);
+}

@@ -1,0 +1,11 @@
+// papc_lint fixture: a justified suppression — lints clean (exit 0).
+// The violating construct is real, but the allow() carries a
+// justification, which is the documented escape hatch.
+#include <thread>
+
+unsigned justified_hardware_probe() {
+    // papc-lint: allow(D3): startup-only probe; result never reaches run state
+    std::thread probe([] {});
+    probe.join();
+    return 1;
+}

@@ -1,0 +1,12 @@
+// papc_lint fixture: an allow() with no justification. The D3 hit itself
+// is honored (suppressed), but the bare allow() is reported as SUPP — a
+// suppression is a reviewed exception, and the review lives in the
+// justification string.
+#include <thread>
+
+unsigned unjustified_suppression() {
+    // papc-lint: allow(D3)
+    std::thread probe([] {});
+    probe.join();
+    return 1;
+}

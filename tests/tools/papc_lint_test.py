@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""ctest driver for papc_lint (registered as `tools_papc_lint`).
+
+Asserts, in order:
+  1. each rule fixture trips exactly its rule ID (and nothing else),
+  2. the justified-suppression fixture lints clean (exit 0),
+  3. the unjustified-suppression fixture reports SUPP only,
+  4. --github emits well-formed GitHub annotations,
+  5. the real src/ tree (via this build's compile database) lints clean —
+     the repo's determinism contracts hold with zero unexplained
+     exceptions.
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+
+LINE_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+):(?P<col>\d+): "
+                     r"\[(?P<id>[A-Z0-9]+) [a-z\-]+\] ")
+GITHUB_RE = re.compile(r"^::error file=[^,]+,line=\d+,col=\d+,"
+                       r"title=papc_lint [A-Z0-9]+ \([a-z\-]+\)::")
+
+# fixture basename -> (expected rule-ID set, expected exit code)
+FIXTURE_EXPECTATIONS = {
+    "d1_raw_rng.cpp": ({"D1"}, 1),
+    "d2_unordered_iteration.cpp": ({"D2"}, 1),
+    "d3_raw_thread.cpp": ({"D3"}, 1),
+    "d4_wall_clock.cpp": ({"D4"}, 1),
+    "d5_simd.cpp": ({"D5"}, 1),
+    "suppressed_ok.cpp": (set(), 0),
+    "suppression_missing_justification.cpp": ({"SUPP"}, 1),
+}
+
+failures = []
+
+
+def check(condition, message):
+    status = "ok" if condition else "FAIL"
+    print(f"[{status}] {message}")
+    if not condition:
+        failures.append(message)
+
+
+def run_lint(lint, args):
+    proc = subprocess.run([sys.executable, lint, *args],
+                          capture_output=True, text=True, check=False)
+    ids = set()
+    for line in proc.stdout.splitlines():
+        m = LINE_RE.match(line)
+        if m:
+            ids.add(m.group("id"))
+    return proc, ids
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--lint", required=True)
+    parser.add_argument("--fixtures", required=True)
+    parser.add_argument("--root", required=True)
+    parser.add_argument("--compdb", required=True)
+    args = parser.parse_args()
+
+    # 1-3: fixtures, each linted as if it lived in src/sync/ (a directory
+    # where every rule D1-D5 is in scope).
+    for name, (expected_ids, expected_exit) in FIXTURE_EXPECTATIONS.items():
+        path = f"{args.fixtures}/{name}"
+        proc, ids = run_lint(args.lint,
+                             ["--files", path, "--as-dir", "src/sync",
+                              "--root", args.root])
+        check(ids == expected_ids,
+              f"{name}: rule IDs {sorted(ids)} == {sorted(expected_ids)}")
+        check(proc.returncode == expected_exit,
+              f"{name}: exit {proc.returncode} == {expected_exit}")
+
+    # 4: GitHub annotation format on a known-violating fixture.
+    proc, _ = run_lint(args.lint,
+                       ["--files", f"{args.fixtures}/d1_raw_rng.cpp",
+                        "--as-dir", "src/sync", "--root", args.root,
+                        "--github"])
+    annotations = [l for l in proc.stdout.splitlines() if l.startswith("::")]
+    check(annotations != [] and all(GITHUB_RE.match(l) for l in annotations),
+          "--github emits ::error annotations for every finding")
+
+    # 5: the real tree is clean through the compile database.
+    proc, ids = run_lint(args.lint, ["--compdb", args.compdb,
+                                     "--root", args.root])
+    check(proc.returncode == 0,
+          f"src/ lints clean via compile database (exit {proc.returncode})")
+    if proc.returncode != 0:
+        sys.stdout.write(proc.stdout)
+        sys.stdout.write(proc.stderr)
+
+    if failures:
+        print(f"{len(failures)} papc_lint self-test failure(s)")
+        return 1
+    print("papc_lint self-test: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

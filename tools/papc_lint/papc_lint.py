@@ -1,0 +1,532 @@
+#!/usr/bin/env python3
+"""papc_lint — repo-specific determinism lint for papc.
+
+Every engine in this repo promises fixed-seed, bit-identical trajectories
+across thread counts, queue kinds, and scalar/SIMD kernels. Those contracts
+are pinned by runtime equivalence tests, but nothing in the compiler stops
+new code from quietly breaking them: iterating an unordered_map into a
+result, constructing a private std::mt19937, or merging shard state in
+pool-completion order. This tool encodes the contracts as machine-checked
+rules:
+
+  D1 raw-rng              No direct <random> engine construction, <random>
+                          include, std::rand/srand, or std::random_device
+                          outside src/support/random.{hpp,cpp}. All draws
+                          route through support::Rng / Rng::substream so
+                          seeds derive deterministically.
+  D2 unordered-iteration  No unordered associative containers in engine
+                          code (src/{sync,async,cluster,population,sim,
+                          opinion,api}): their iteration order is
+                          implementation-defined and can reach results,
+                          deltas, or JSON output.
+  D3 raw-thread           No std::thread/std::jthread/std::async and no
+                          atomic read-modify-write outside
+                          support/thread_pool and the two executors
+                          (sync::ShardedRoundDriver, sim::WindowedExecutor).
+                          Parallelism routes through the pool; shard merges
+                          are index-ordered, never completion-ordered.
+  D4 wall-clock           No wall-clock / ambient-state sources in engine
+                          code (everything under src/ except src/support/):
+                          system_clock, high_resolution_clock, time(),
+                          gettimeofday, localtime, getenv. A trajectory may
+                          depend only on (seed, config).
+  D5 simd-hygiene         Vector intrinsics (_mm*/__m128/__m256/__m512,
+                          *intrin.h includes) only in
+                          src/sync/simd_gather.cpp, which must carry
+                          static_assert'ed layout checks; everything else
+                          reaches SIMD through the support/cpu runtime
+                          dispatch.
+
+Suppressions: `// papc-lint: allow(D3): <justification>` on the violating
+line, or on its own line to cover the next code line. The justification
+after the colon is mandatory — an allow() without one is itself reported
+(rule SUPP).
+
+Usage:
+  papc_lint.py --compdb <builddir|compile_commands.json>   lint all of src/
+  papc_lint.py --files a.cpp b.cpp [--as-dir src/sync]     lint given files
+  papc_lint.py --github ...                                GitHub annotations
+  papc_lint.py --list-rules                                print rule table
+
+Exits 0 when clean (or everything suppressed with justification), 1 when
+violations remain, 2 on usage/IO errors.
+
+Implementation note: the checks are lexical — a comment/string-aware
+tokenizer plus per-rule token patterns — so the tool has zero dependencies
+beyond CPython. When the `clang` Python bindings (libclang) are importable
+the same entry points could be upgraded to AST queries; this container
+ships neither libclang.so nor the bindings, so the lexical engine is the
+supported path and the rules are written to be unambiguous at token level.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_MARKERS = ("CMakeLists.txt", "ROADMAP.md")
+
+SUPPRESS_RE = re.compile(
+    r"papc-lint:\s*allow\(\s*([A-Za-z0-9_,\-\s]+?)\s*\)\s*(?::\s*(\S.*))?$"
+)
+
+RULE_NAMES = {
+    "D1": "raw-rng",
+    "D2": "unordered-iteration",
+    "D3": "raw-thread",
+    "D4": "wall-clock",
+    "D5": "simd-hygiene",
+    "SUPP": "suppression-justification",
+}
+NAME_TO_ID = {name: rule_id for rule_id, name in RULE_NAMES.items()}
+
+
+class Violation:
+    def __init__(self, path, line, col, rule_id, message):
+        self.path = path          # repo-relative display path
+        self.line = line          # 1-based
+        self.col = col            # 1-based
+        self.rule_id = rule_id
+        self.message = message
+
+    def key(self):
+        return (self.path, self.line, self.col, self.rule_id)
+
+
+# --------------------------------------------------------------- tokenizer
+
+def split_code_and_comments(text):
+    """Blanks comments, string and char literals out of `text`, preserving
+    line structure, and collects comment text per line.
+
+    Returns (code_lines, comments_by_line) where code_lines[i] is line i+1
+    with every comment/string character replaced by a space, and
+    comments_by_line maps 1-based line numbers to the concatenated comment
+    text that ends on that line (suppressions live in comments).
+    """
+    code = []
+    comments = {}
+    i = 0
+    n = len(text)
+    line = 1
+    cur = []
+    cur_comment = []
+
+    def flush_line():
+        nonlocal cur
+        code.append("".join(cur))
+        cur = []
+
+    def note_comment(at_line):
+        nonlocal cur_comment
+        if cur_comment:
+            comments[at_line] = comments.get(at_line, "") + "".join(cur_comment)
+            cur_comment = []
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            # Line comment: runs to end of line (ignore continuations —
+            # nobody continues suppression comments across lines).
+            j = text.find("\n", i)
+            if j == -1:
+                j = n
+            cur_comment.append(text[i:j])
+            note_comment(line)
+            cur.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            chunk = text[i:j]
+            cur_comment.append(chunk)
+            for ch in chunk:
+                if ch == "\n":
+                    flush_line()
+                    line += 1
+                else:
+                    cur.append(" ")
+            note_comment(line)
+            i = j
+        elif c == '"' and text[max(0, i - 1):i + 1] != 'R"' :
+            # Ordinary string literal (raw strings handled below via the
+            # R" prefix check; the prefix char itself was already emitted).
+            cur.append(" ")
+            i += 1
+            while i < n and text[i] != '"':
+                if text[i] == "\\":
+                    cur.append("  ")
+                    i += 2
+                    continue
+                if text[i] == "\n":
+                    flush_line()
+                    line += 1
+                    i += 1
+                    continue
+                cur.append(" ")
+                i += 1
+            if i < n:
+                cur.append(" ")
+                i += 1
+        elif c == '"':  # raw string: R"delim( ... )delim"
+            m = re.match(r'"([^\s()\\]{0,16})\(', text[i:])
+            if not m:
+                cur.append(" ")
+                i += 1
+                continue
+            closer = ")" + m.group(1) + '"'
+            j = text.find(closer, i + m.end())
+            j = n if j == -1 else j + len(closer)
+            for ch in text[i:j]:
+                if ch == "\n":
+                    flush_line()
+                    line += 1
+                else:
+                    cur.append(" ")
+            i = j
+        elif c == "'":
+            cur.append(" ")
+            i += 1
+            while i < n and text[i] != "'":
+                if text[i] == "\\":
+                    cur.append("  ")
+                    i += 2
+                    continue
+                cur.append(" ")
+                i += 1
+            if i < n:
+                cur.append(" ")
+                i += 1
+        elif c == "\n":
+            flush_line()
+            line += 1
+            i += 1
+        else:
+            cur.append(c)
+            i += 1
+    flush_line()
+    return code, comments
+
+
+# ------------------------------------------------------------ suppressions
+
+class Suppressions:
+    """Parsed `papc-lint: allow(...)` comments for one file.
+
+    A suppression on a line with code covers that line; on a standalone
+    comment line it covers the next line that has code. allow() without a
+    `: justification` is recorded so the caller can emit a SUPP violation.
+    """
+
+    def __init__(self, code_lines, comments_by_line):
+        self.covered = {}        # line -> set of rule ids
+        self.unjustified = []    # (line, raw rule list)
+        for cline, ctext in sorted(comments_by_line.items()):
+            m = SUPPRESS_RE.search(ctext)
+            if not m:
+                continue
+            raw, justification = m.group(1), m.group(2)
+            ids = set()
+            for token in re.split(r"[,\s]+", raw.strip()):
+                if not token:
+                    continue
+                rule_id = NAME_TO_ID.get(token, token.upper())
+                ids.add(rule_id)
+            if not justification:
+                self.unjustified.append((cline, raw.strip()))
+                # Still honor the allow: one finding (SUPP), not two.
+            target = cline
+            if not code_lines[cline - 1].strip():
+                for look in range(cline, min(cline + 3, len(code_lines))):
+                    if code_lines[look].strip():
+                        target = look + 1
+                        break
+            self.covered.setdefault(target, set()).update(ids)
+            # A same-line allow also covers the comment line itself.
+            self.covered.setdefault(cline, set()).update(ids)
+
+    def allows(self, line, rule_id):
+        return rule_id in self.covered.get(line, set())
+
+
+# ------------------------------------------------------------------- rules
+
+class Rule:
+    """One lint rule: an applicability predicate over repo-relative paths
+    plus token patterns evaluated on comment/string-blanked lines."""
+
+    def __init__(self, rule_id, applies, patterns):
+        self.rule_id = rule_id
+        self.name = RULE_NAMES[rule_id]
+        self.applies = applies
+        self.patterns = patterns  # list of (compiled_regex, message)
+
+    def check(self, relpath, code_lines):
+        out = []
+        for lineno, code in enumerate(code_lines, start=1):
+            for regex, message in self.patterns:
+                for m in regex.finditer(code):
+                    out.append(Violation(relpath, lineno, m.start() + 1,
+                                         self.rule_id, message))
+        return out
+
+
+def _under(relpath, *prefixes):
+    return any(relpath.startswith(p) for p in prefixes)
+
+
+D1_EXEMPT = ("src/support/random.hpp", "src/support/random.cpp")
+D2_DIRS = tuple(f"src/{d}/" for d in
+                ("sync", "async", "cluster", "population", "sim", "opinion",
+                 "api"))
+D3_EXEMPT = ("src/support/thread_pool.hpp", "src/support/thread_pool.cpp",
+             "src/sim/windowed_executor.hpp", "src/sync/round_kernel.hpp")
+D5_ALLOWED = "src/sync/simd_gather.cpp"
+
+RULES = [
+    Rule(
+        "D1",
+        lambda p: _under(p, "src/") and p not in D1_EXEMPT,
+        [
+            (re.compile(r"\b(?:mt19937(?:_64)?|minstd_rand0?"
+                        r"|default_random_engine|knuth_b"
+                        r"|ranlux(?:24|48)(?:_base)?|random_device)\b"),
+             "direct <random> engine/device; route draws through "
+             "support::Rng / Rng::substream"),
+            (re.compile(r"\bsrand\s*\(|\bstd\s*::\s*rand\b"
+                        r"|(?<![\w:])rand\s*\(\s*\)"),
+             "C rand()/srand(); route draws through support::Rng"),
+            (re.compile(r"#\s*include\s*<random>"),
+             "<random> include outside support/random; use support::Rng"),
+        ],
+    ),
+    Rule(
+        "D2",
+        lambda p: _under(p, *D2_DIRS),
+        [
+            (re.compile(r"\bunordered_(?:multi)?(?:map|set)\b"),
+             "unordered container in engine code: iteration order is "
+             "implementation-defined and can reach results/deltas/JSON; "
+             "use std::map, a sorted vector, or index-keyed storage"),
+        ],
+    ),
+    Rule(
+        "D3",
+        lambda p: _under(p, "src/") and p not in D3_EXEMPT,
+        [
+            (re.compile(r"\bstd\s*::\s*(?:jthread|thread)\b"
+                        r"(?!\s*::\s*hardware_concurrency)"),
+             "raw std::thread; route parallelism through "
+             "support::ThreadPool (index-ordered merges)"),
+            (re.compile(r"\bstd\s*::\s*async\b"),
+             "std::async; route parallelism through support::ThreadPool"),
+            (re.compile(r"\.\s*fetch_(?:add|sub|and|or|xor)\s*\("
+                        r"|\.\s*compare_exchange_(?:weak|strong)\s*\("),
+             "atomic read-modify-write outside the pool/executors: "
+             "completion-order accumulation breaks bit-identical merges; "
+             "merge per-shard results in index order"),
+        ],
+    ),
+    Rule(
+        "D4",
+        lambda p: _under(p, "src/") and not _under(p, "src/support/"),
+        [
+            (re.compile(r"\bsystem_clock\b|\bhigh_resolution_clock\b"),
+             "wall-clock source in engine code; trajectories may depend "
+             "only on (seed, config)"),
+            (re.compile(r"\bstd\s*::\s*time\b|(?<!\w)::time\s*\("
+                        r"|(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)\s*\)"),
+             "time-of-day source in engine code"),
+            (re.compile(r"\bgettimeofday\b|\bclock_gettime\b|\blocaltime\b"
+                        r"|\bgmtime\b|(?<![\w:])clock\s*\(\s*\)"),
+             "time-of-day source in engine code"),
+            (re.compile(r"\bgetenv\b"),
+             "environment-derived state in engine code; thread config "
+             "through Scenario/Config instead"),
+        ],
+    ),
+    Rule(
+        "D5",
+        lambda p: _under(p, "src/") and p != D5_ALLOWED,
+        [
+            (re.compile(r"\b_mm\d*_\w+|\b__m(?:64|128|256|512)[a-z]?\b"),
+             "vector intrinsics outside sync/simd_gather.cpp; add kernels "
+             "there behind the support/cpu dispatch"),
+            (re.compile(r"#\s*include\s*<\w*intrin\.h>"),
+             "intrinsics header outside sync/simd_gather.cpp"),
+        ],
+    ),
+]
+
+# simd_gather.cpp itself must pin its layout assumptions: the AVX2 paths
+# hard-code 8-byte gather strides and 4-byte Opinion stores.
+D5_REQUIRED_TOKEN = re.compile(r"\bstatic_assert\s*\(")
+
+
+def lint_file(path, relpath):
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as err:
+        print(f"papc_lint: cannot read {path}: {err}", file=sys.stderr)
+        return None
+    code_lines, comments = split_code_and_comments(text)
+    supp = Suppressions(code_lines, comments)
+
+    raw = []
+    for rule in RULES:
+        if rule.applies(relpath):
+            raw.extend(rule.check(relpath, code_lines))
+
+    if relpath == D5_ALLOWED and not any(
+            D5_REQUIRED_TOKEN.search(line) for line in code_lines):
+        raw.append(Violation(
+            relpath, 1, 1, "D5",
+            "simd_gather.cpp carries intrinsics but no static_assert'ed "
+            "layout checks; pin the lane/stride assumptions"))
+
+    violations = []
+    suppressed = 0
+    for v in raw:
+        if supp.allows(v.line, v.rule_id):
+            suppressed += 1
+        else:
+            violations.append(v)
+    for line, rules in supp.unjustified:
+        violations.append(Violation(
+            relpath, line, 1, "SUPP",
+            f"papc-lint: allow({rules}) has no justification; write "
+            f"`papc-lint: allow({rules}): <why this is safe>`"))
+    return violations, suppressed
+
+
+# -------------------------------------------------------------- file lists
+
+def find_repo_root(start):
+    p = start.resolve()
+    for candidate in [p, *p.parents]:
+        if all((candidate / m).exists() for m in REPO_MARKERS):
+            return candidate
+    return start.resolve()
+
+
+def files_from_compdb(compdb_arg, root):
+    compdb_path = Path(compdb_arg)
+    if compdb_path.is_dir():
+        compdb_path = compdb_path / "compile_commands.json"
+    if not compdb_path.is_file():
+        print(f"papc_lint: no compile database at {compdb_path} "
+              f"(configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)",
+              file=sys.stderr)
+        return None
+    try:
+        entries = json.loads(compdb_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"papc_lint: cannot parse {compdb_path}: {err}",
+              file=sys.stderr)
+        return None
+
+    src_root = (root / "src").resolve()
+    files = set()
+    for entry in entries:
+        f = Path(entry.get("file", ""))
+        if not f.is_absolute():
+            f = Path(entry.get("directory", ".")) / f
+        try:
+            f = f.resolve()
+        except OSError:
+            continue
+        if f.is_file() and str(f).startswith(str(src_root) + "/"):
+            files.add(f)
+    # The compile database lists translation units only; headers carry the
+    # same contracts (round_kernel.hpp IS the sharded driver), so sweep
+    # them in directly.
+    for header in src_root.rglob("*.hpp"):
+        files.add(header.resolve())
+    return sorted(files)
+
+
+# -------------------------------------------------------------------- main
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="papc_lint",
+        description="determinism lint for papc (rules D1-D5; see --list-rules)")
+    parser.add_argument("--compdb", metavar="BUILDDIR",
+                        help="build dir (or compile_commands.json) to lint "
+                             "all of src/ from")
+    parser.add_argument("--files", nargs="+", metavar="FILE",
+                        help="explicit files to lint (fixture/test mode)")
+    parser.add_argument("--as-dir", metavar="RELDIR",
+                        help="with --files: pretend each file lives in this "
+                             "repo-relative directory (rule scoping)")
+    parser.add_argument("--root", metavar="DIR",
+                        help="repo root (default: auto-detected)")
+    parser.add_argument("--github", action="store_true",
+                        help="emit GitHub Actions annotations")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, name in RULE_NAMES.items():
+            print(f"{rule_id:5} {name}")
+        return 0
+
+    root = Path(args.root).resolve() if args.root else find_repo_root(
+        Path(args.compdb or args.files and args.files[0] or "."))
+
+    if args.compdb:
+        files = files_from_compdb(args.compdb, root)
+        if files is None:
+            return 2
+        targets = []
+        for f in files:
+            targets.append((f, f.relative_to(root).as_posix()))
+    elif args.files:
+        targets = []
+        for name in args.files:
+            f = Path(name).resolve()
+            if args.as_dir:
+                rel = f"{args.as_dir.rstrip('/')}/{f.name}"
+            else:
+                try:
+                    rel = f.relative_to(root).as_posix()
+                except ValueError:
+                    rel = f.name
+            targets.append((f, rel))
+    else:
+        parser.error("one of --compdb or --files is required")
+        return 2
+
+    all_violations = []
+    total_suppressed = 0
+    for path, relpath in targets:
+        result = lint_file(path, relpath)
+        if result is None:
+            return 2
+        violations, suppressed = result
+        all_violations.extend(violations)
+        total_suppressed += suppressed
+
+    all_violations.sort(key=Violation.key)
+    for v in all_violations:
+        name = RULE_NAMES.get(v.rule_id, v.rule_id)
+        if args.github:
+            print(f"::error file={v.path},line={v.line},col={v.col},"
+                  f"title=papc_lint {v.rule_id} ({name})::{v.message}")
+        else:
+            print(f"{v.path}:{v.line}:{v.col}: [{v.rule_id} {name}] "
+                  f"{v.message}")
+
+    print(f"papc_lint: {len(targets)} files, {len(all_violations)} "
+          f"violation(s), {total_suppressed} suppressed",
+          file=sys.stderr)
+    return 1 if all_violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
