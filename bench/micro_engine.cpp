@@ -12,6 +12,7 @@
 #include "api/registry.hpp"
 #include "api/sweep.hpp"
 #include "async/simulation.hpp"
+#include "fault/injector.hpp"
 #include "opinion/assignment.hpp"
 #include "opinion/census.hpp"
 #include "opinion/packed_array.hpp"
@@ -452,6 +453,81 @@ BENCHMARK(BM_WindowedExecutorHold)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4);
+
+// Fault-layer pricing (PR 9), args {mode}: 0 = no injector (the PR 8
+// baseline path), 1 = a zero-rate plan attached (prices the fast-path
+// branch the fault layer adds — acceptance: within 2% of mode 0),
+// 2 = faults actually firing (the honest cost of a degraded run, for
+// context, not an acceptance gate). Diff modes from ONE recording with
+//   scripts/bench-diff.py BENCH.json BENCH.json
+//       --suffix-before /mode:0 --suffix-after /mode:1
+
+// One 3-majority round per iteration at n = 2^20; mode 2 lights crash +
+// byzantine-adaptive, the channels the round kernels consume.
+void BM_FaultedRound(benchmark::State& state) {
+    const auto mode = static_cast<int>(state.range(0));
+    constexpr std::size_t n = 1 << 20;
+    Rng rng(6);
+    const Assignment a = make_biased_plurality(n, 8, 1.5, rng);
+    sync::ThreeMajority alg(a);
+    fault::FaultPlan plan;
+    if (mode == 2) {
+        plan.crash_rate = 0.0001;
+        plan.recover_rate = 0.01;
+        plan.byzantine_fraction = 0.05;
+        plan.byzantine_policy = fault::ByzantinePolicy::kAdaptive;
+    }
+    // Horizon bounds the per-node crash timelines (round-count axis).
+    fault::Injector injector(plan, n, 1e4, rng);
+    if (mode > 0) alg.set_fault_injector(&injector);
+    for (auto _ : state) {
+        alg.step(rng);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FaultedRound)->ArgName("mode")->Arg(0)->Arg(1)->Arg(2);
+
+// The executor hold loop with every emission routed via emit_message();
+// mode 2 lights corruption + stragglers — the channels that preserve the
+// live-event count. (Loss/duplication would drift the closed hold loop's
+// population toward empty windows, timing drainage instead of churn.)
+void BM_FaultedWindow(benchmark::State& state) {
+    const auto mode = static_cast<int>(state.range(0));
+    fault::FaultPlan plan;
+    if (mode == 2) {
+        plan.corruption = 0.05;
+        plan.straggler_fraction = 0.05;
+        plan.straggler_scale = 2.0;
+    }
+    const fault::Injector injector(plan, kHoldNodes, 1e9, Rng(15));
+    sim::WindowedOptions options;
+    options.threads = 1;
+    options.reserve_hint = kHoldPending;
+    if (mode > 0) options.injector = &injector;
+    sim::WindowedExecutor<std::uint32_t> executor(kHoldNodes, options,
+                                                  Rng(15));
+    {
+        Rng seed_rng(16);
+        for (std::size_t i = 0; i < kHoldPending; ++i) {
+            const auto node = static_cast<std::uint32_t>(i % kHoldNodes);
+            executor.seed(executor.shard_of(node),
+                          seed_rng.exponential(1.0), node);
+        }
+    }
+    const auto handler = [&](auto& ctx, sim::Time t, std::uint32_t /*node*/) {
+        const auto target =
+            static_cast<std::uint32_t>(ctx.rng().uniform_index(kHoldNodes));
+        const sim::Time arrive = t + ctx.rng().exponential(1.0);
+        ctx.emit_message(executor.shard_of(target), t, arrive, target);
+    };
+    for (auto _ : state) {
+        executor.run_window(handler);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(executor.events_processed()));
+}
+BENCHMARK(BM_FaultedWindow)->ArgName("mode")->Arg(0)->Arg(1)->Arg(2);
 
 // Full windowed async runs across the thread knob: the end-to-end view of
 // the same comparison (protocol work included, not just executor churn).

@@ -46,8 +46,8 @@ void usage() {
            "Scenario fields (also sweep-axis names)\n";
     for (const std::string& field : api::scenario_field_names()) {
         api::Scenario defaults;
-        std::cout << "  --" << field;
-        for (std::size_t pad = field.size(); pad < 16; ++pad) std::cout << ' ';
+        std::cout << "  --" << field << ' ';
+        for (std::size_t pad = field.size(); pad < 22; ++pad) std::cout << ' ';
         std::cout << api::field_help(field) << " (default "
                   << api::get_field(defaults, field) << ")\n";
     }

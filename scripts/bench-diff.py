@@ -30,6 +30,22 @@ recorded file twice and matches .../threads:1 rows against .../threads:4:
         --suffix-before /threads:1/real_time --suffix-after /threads:4/real_time
 
 Rows not carrying the requested suffix are dropped from that side.
+
+--extras switches the inputs from google-benchmark recordings to
+papc_cli run/sweep JSON documents and diffs the RunResult extras
+instead — e.g. a PR 9 degradation comparison between a clean and a
+faulted run of the same scenario:
+
+    ./build/papc_cli --protocol async --n 4096 --seed 7 --json clean.json
+    ./build/papc_cli --protocol async --n 4096 --seed 7 \\
+        --fault_loss 0.2 --json faulted.json
+    scripts/bench-diff.py clean.json faulted.json --extras
+
+A single-run document contributes its `extras` map keyed by metric
+name; a sweep document contributes every cell's metric means keyed
+`axis=value;.../metric`. --filter still applies; ratios stay
+after/before (read faults_injected > 0 against a 0 baseline as `n/a`
+— there is nothing to divide).
 """
 
 import argparse
@@ -71,6 +87,30 @@ def load(path):
     return out
 
 
+def load_extras(path):
+    """RunResult extras out of a papc_cli run or sweep JSON document.
+
+    Returns {row name: value}. A run document is its `extras` map; a
+    sweep document flattens to one row per (cell, metric mean), keyed
+    `axis=value;.../metric` so the same cell matches across files.
+    """
+    with open(path) as handle:
+        doc = json.load(handle)
+    if "extras" in doc:
+        return dict(doc["extras"])
+    if "cells" in doc:
+        out = {}
+        for cell in doc["cells"]:
+            coord = ";".join(f"{axis}={value}" for axis, value in
+                             sorted(cell.get("coordinates", {}).items()))
+            metrics = cell.get("outcome", {}).get("metrics", {})
+            for name, stats in metrics.items():
+                out[f"{coord}/{name}"] = stats.get("mean")
+        return out
+    raise SystemExit(f"{path}: neither a run document (no 'extras') nor "
+                     f"a sweep document (no 'cells')")
+
+
 def throughput(bench, field=""):
     """Benchmark throughput (or a user counter) in consistent units."""
     if bench is None:
@@ -100,10 +140,22 @@ def main():
     parser.add_argument("--field", default="",
                         help="diff this user counter (a top-level key on "
                              "each benchmark object) instead of throughput")
+    parser.add_argument("--extras", action="store_true",
+                        help="inputs are papc_cli run/sweep JSON documents; "
+                             "diff their RunResult extras")
     args = parser.parse_args()
 
-    before = strip_suffix(load(args.before), args.suffix_before)
-    after = strip_suffix(load(args.after), args.suffix_after)
+    if args.extras:
+        # Re-shape each extra as a one-counter benchmark row so the
+        # matching/printing path below is shared verbatim.
+        args.field = "extra"
+        before = {name: {"extra": value}
+                  for name, value in load_extras(args.before).items()}
+        after = {name: {"extra": value}
+                 for name, value in load_extras(args.after).items()}
+    else:
+        before = strip_suffix(load(args.before), args.suffix_before)
+        after = strip_suffix(load(args.after), args.suffix_after)
     # The union, so a row added or removed by the candidate shows as n/a
     # instead of vanishing from the report.
     names = sorted(name for name in set(before) | set(after)

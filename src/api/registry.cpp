@@ -8,6 +8,7 @@
 #include "async/validated_simulation.hpp"
 #include "cluster/clustering.hpp"
 #include "cluster/simulation.hpp"
+#include "fault/injector.hpp"
 #include "opinion/assignment.hpp"
 #include "population/four_state.hpp"
 #include "population/k_undecided.hpp"
@@ -42,6 +43,50 @@ Assignment build_assignment(const Scenario& s, Rng& rng) {
     return {};
 }
 
+// ------------------------------------------------------------- fault layer
+
+/// Every protocol consumes the same scenario fault knobs and reports the
+/// same fault-counter extras — zeros when the plan is inactive — so a
+/// degradation sweep can compare cells across families without
+/// special-casing keys (and the registry test's produced == declared pin
+/// stays a single uniform rule).
+const std::vector<std::string> kFaultKnobs = {
+    "fault_loss",          "fault_dup",
+    "fault_corrupt",       "fault_crash_rate",
+    "fault_recover_rate",  "fault_straggler_frac",
+    "fault_straggler_scale", "byzantine_frac",
+    "byzantine_policy"};
+
+const std::vector<std::string> kFaultExtraNames = {
+    "faults_injected",  "messages_lost", "messages_duplicated",
+    "messages_corrupted", "messages_delayed", "crash_skips",
+    "nodes_crashed",    "byzantine_nodes"};
+
+std::vector<std::string> with_fault_knobs(std::vector<std::string> knobs) {
+    knobs.insert(knobs.end(), kFaultKnobs.begin(), kFaultKnobs.end());
+    return knobs;
+}
+
+std::vector<std::string> with_fault_extras(std::vector<std::string> names) {
+    names.insert(names.end(), kFaultExtraNames.begin(),
+                 kFaultExtraNames.end());
+    return names;
+}
+
+void add_fault_extras(std::map<std::string, double>& extras,
+                      const fault::FaultCounters& counters,
+                      std::uint64_t nodes_crashed,
+                      std::uint64_t byzantine_nodes) {
+    extras["faults_injected"] = static_cast<double>(counters.total());
+    extras["messages_lost"] = static_cast<double>(counters.lost);
+    extras["messages_duplicated"] = static_cast<double>(counters.duplicated);
+    extras["messages_corrupted"] = static_cast<double>(counters.corrupted);
+    extras["messages_delayed"] = static_cast<double>(counters.delayed);
+    extras["crash_skips"] = static_cast<double>(counters.crash_skips);
+    extras["nodes_crashed"] = static_cast<double>(nodes_crashed);
+    extras["byzantine_nodes"] = static_cast<double>(byzantine_nodes);
+}
+
 // ------------------------------------------------------------- sync family
 
 using SyncFactory = std::unique_ptr<sync::SyncDynamics> (*)(const Scenario&,
@@ -65,8 +110,24 @@ ScenarioResult run_sync_family(const Scenario& s, std::uint64_t seed,
     options.epsilon = s.epsilon;
     options.plurality = 0;
 
+    // Fault layer: the injector reads `rng` through pure substreams (the
+    // parent is never advanced), so a zero plan leaves the trajectory
+    // byte-identical to the fault-free run.
+    const fault::FaultPlan plan = fault_plan(s);
+    std::unique_ptr<fault::Injector> injector;
+    if (plan.active()) {
+        injector = std::make_unique<fault::Injector>(
+            plan, s.n, static_cast<double>(options.max_rounds), rng);
+        dynamics->set_fault_injector(injector.get());
+    }
+
     ScenarioResult out;
     out.run = sync::run_to_consensus(*dynamics, rng, options);
+    fault::FaultCounters counters;
+    counters.crash_skips = dynamics->fault_crash_skips();
+    add_fault_extras(out.extras, counters,
+                     injector ? injector->nodes_crashed() : 0,
+                     injector ? injector->byzantine_count() : 0);
     return out;
 }
 
@@ -86,6 +147,28 @@ population::PopulationRunOptions population_options(const Scenario& s) {
     options.plurality = 0;
     return options;
 }
+
+/// Stack-frame bundle wiring one population run to the fault layer: the
+/// plan plus the scheduler's out-params, folded into extras afterwards.
+struct PopulationFaultHook {
+    fault::FaultPlan plan;
+    fault::FaultCounters counters;
+    std::uint64_t crashed = 0;
+    std::uint64_t byzantine = 0;
+
+    explicit PopulationFaultHook(const Scenario& s) : plan(fault_plan(s)) {}
+
+    void attach(population::PopulationRunOptions& options) {
+        options.fault = &plan;
+        options.fault_counters = &counters;
+        options.nodes_crashed = &crashed;
+        options.byzantine_nodes = &byzantine;
+    }
+
+    void fill(std::map<std::string, double>& extras) const {
+        add_fault_extras(extras, counters, crashed, byzantine);
+    }
+};
 
 /// Per-opinion counts of the workload assignment (the population protocols
 /// take counts, not per-node vectors; the node shuffle is irrelevant to
@@ -112,11 +195,12 @@ async::AsyncConfig async_config_from(const Scenario& s) {
     config.queue_kind = s.queue_kind;
     config.threads = s.threads;
     config.window = s.window;
+    config.fault = fault_plan(s);
     return config;
 }
 
 std::map<std::string, double> async_extras(const async::AsyncResult& r) {
-    return {
+    std::map<std::string, double> extras = {
         {"ticks", static_cast<double>(r.ticks)},
         {"good_ticks", static_cast<double>(r.good_ticks)},
         {"exchanges", static_cast<double>(r.exchanges)},
@@ -132,15 +216,20 @@ std::map<std::string, double> async_extras(const async::AsyncResult& r) {
         {"windows", static_cast<double>(r.windows)},
         {"window_stragglers", static_cast<double>(r.window_stragglers)},
     };
+    // Byzantine reporting is a sampling-layer fault; the event-driven
+    // families have no sampled-state channel to lie on, so the count is
+    // structurally zero there.
+    add_fault_extras(extras, r.faults, r.nodes_crashed, 0);
+    return extras;
 }
 
-const std::vector<std::string> kAsyncExtraNames = {
+const std::vector<std::string> kAsyncExtraNames = with_fault_extras({
     "ticks",          "good_ticks",        "exchanges",
     "two_choices",    "propagation",       "refreshes",
     "final_top_generation", "steps_per_unit", "channels_opened",
     "signals_delivered", "leader_peak_load", "events_processed",
     "windows", "window_stragglers",
-};
+});
 
 // ---------------------------------------------------------- cluster family
 
@@ -155,25 +244,29 @@ cluster::ClusterConfig cluster_config_from(const Scenario& s) {
     config.queue_kind = s.queue_kind;
     config.threads = s.threads;
     config.window = s.window;
+    config.fault = fault_plan(s);
     return config;
 }
 
 // ----------------------------------------------------------- registration
 
 void register_builtins(ProtocolRegistry& registry) {
-    const std::vector<std::string> sync_knobs = {"threads", "max-steps",
-                                                 "record-every"};
-    const std::vector<std::string> population_knobs = {"max-steps",
-                                                       "record-every"};
-    const std::vector<std::string> event_knobs = {
-        "lambda", "max-time", "sample-interval", "queue", "threads", "window"};
+    const std::vector<std::string> sync_knobs =
+        with_fault_knobs({"threads", "max-steps", "record-every"});
+    const std::vector<std::string> population_knobs =
+        with_fault_knobs({"max-steps", "record-every"});
+    const std::vector<std::string> event_knobs = with_fault_knobs(
+        {"lambda", "max-time", "sample-interval", "queue", "threads",
+         "window"});
+    const std::vector<std::string> sync_extras = with_fault_extras({});
 
     // --- synchronous round dynamics -------------------------------------
     registry.register_protocol(
         ProtocolInfo{"sync", "sync",
                      "Algorithm 1 (generation-based synchronous protocol)",
-                     {"gamma", "threads", "max-steps", "record-every"},
-                     {},
+                     with_fault_knobs(
+                         {"gamma", "threads", "max-steps", "record-every"}),
+                     sync_extras,
                      2, 0},
         [](const Scenario& s, std::uint64_t seed) {
             return run_sync_family(
@@ -193,7 +286,7 @@ void register_builtins(ProtocolRegistry& registry) {
         ProtocolInfo{"two-choices", "sync",
                      "two-choices voting baseline [CER14]",
                      sync_knobs,
-                     {},
+                     sync_extras,
                      2, 0},
         [](const Scenario& s, std::uint64_t seed) {
             return run_sync_family(
@@ -208,7 +301,7 @@ void register_builtins(ProtocolRegistry& registry) {
         ProtocolInfo{"3-majority", "sync",
                      "3-majority baseline [BCN+14]",
                      sync_knobs,
-                     {},
+                     sync_extras,
                      2, 0},
         [](const Scenario& s, std::uint64_t seed) {
             return run_sync_family(
@@ -223,7 +316,7 @@ void register_builtins(ProtocolRegistry& registry) {
         ProtocolInfo{"undecided", "sync",
                      "undecided-state dynamics baseline [AAE08, BCN+15]",
                      sync_knobs,
-                     {},
+                     sync_extras,
                      2, 0},
         [](const Scenario& s, std::uint64_t seed) {
             return run_sync_family(
@@ -238,7 +331,7 @@ void register_builtins(ProtocolRegistry& registry) {
         ProtocolInfo{"pull", "sync",
                      "pull-voting baseline [HP01, NIY99]",
                      sync_knobs,
-                     {},
+                     sync_extras,
                      2, 0},
         [](const Scenario& s, std::uint64_t seed) {
             return run_sync_family(
@@ -255,52 +348,61 @@ void register_builtins(ProtocolRegistry& registry) {
         ProtocolInfo{"pp-3-state", "population",
                      "3-state approximate majority [AAE08]",
                      population_knobs,
-                     {"blank_final"},
+                     with_fault_extras({"blank_final"}),
                      2, 2},
         [](const Scenario& s, std::uint64_t seed) {
             const std::vector<std::size_t> counts = workload_counts(s, seed);
             population::ThreeStateMajority protocol(counts[0], counts[1]);
             Rng rng(derive_seed(seed, kPopulationRunSalt));
+            PopulationFaultHook hook(s);
+            population::PopulationRunOptions options = population_options(s);
+            hook.attach(options);
             ScenarioResult out;
-            out.run = population::run_population(protocol, rng,
-                                                 population_options(s));
+            out.run = population::run_population(protocol, rng, options);
             out.extras = {
                 {"blank_final", static_cast<double>(protocol.count_blank())}};
+            hook.fill(out.extras);
             return out;
         });
     registry.register_protocol(
         ProtocolInfo{"pp-4-state", "population",
                      "4-state exact majority [DV10, MNRS14]",
                      population_knobs,
-                     {"strong_difference"},
+                     with_fault_extras({"strong_difference"}),
                      2, 2},
         [](const Scenario& s, std::uint64_t seed) {
             const std::vector<std::size_t> counts = workload_counts(s, seed);
             population::FourStateExactMajority protocol(counts[0], counts[1]);
             Rng rng(derive_seed(seed, kPopulationRunSalt));
+            PopulationFaultHook hook(s);
+            population::PopulationRunOptions options = population_options(s);
+            hook.attach(options);
             ScenarioResult out;
-            out.run = population::run_population(protocol, rng,
-                                                 population_options(s));
+            out.run = population::run_population(protocol, rng, options);
             out.extras = {{"strong_difference",
                            static_cast<double>(protocol.strong_difference())}};
+            hook.fill(out.extras);
             return out;
         });
     registry.register_protocol(
         ProtocolInfo{"pp-undecided", "population",
                      "k-opinion undecided-state population protocol [BCN+15]",
                      population_knobs,
-                     {"undecided_final"},
+                     with_fault_extras({"undecided_final"}),
                      2, 0},
         [](const Scenario& s, std::uint64_t seed) {
             const std::vector<std::size_t> counts = workload_counts(s, seed);
             population::KUndecided protocol(counts);
             Rng rng(derive_seed(seed, kPopulationRunSalt));
+            PopulationFaultHook hook(s);
+            population::PopulationRunOptions options = population_options(s);
+            hook.attach(options);
             ScenarioResult out;
-            out.run = population::run_population(protocol, rng,
-                                                 population_options(s));
+            out.run = population::run_population(protocol, rng, options);
             out.extras = {
                 {"undecided_final",
                  static_cast<double>(protocol.undecided_count())}};
+            hook.fill(out.extras);
             return out;
         });
 
@@ -322,7 +424,8 @@ void register_builtins(ProtocolRegistry& registry) {
     registry.register_protocol(
         ProtocolInfo{"sequential", "async",
                      "sequentialized single-leader reference (instant channels)",
-                     {"max-time", "sample-interval", "window"},
+                     with_fault_knobs(
+                         {"max-time", "sample-interval", "window"}),
                      kAsyncExtraNames, 2, 0},
         [](const Scenario& s, std::uint64_t seed) {
             Rng workload_rng(derive_seed(seed, 0xA553));
@@ -336,8 +439,9 @@ void register_builtins(ProtocolRegistry& registry) {
         ProtocolInfo{"validated", "async",
                      "single-leader with validated commits under message "
                      "latencies (Section 5)",
-                     {"lambda", "msg-rate", "max-time", "sample-interval",
-                      "queue", "threads", "window"},
+                     with_fault_knobs(
+                         {"lambda", "msg-rate", "max-time",
+                          "sample-interval", "queue", "threads", "window"}),
                      [] {
                          std::vector<std::string> names = kAsyncExtraNames;
                          names.insert(names.end(),
@@ -366,12 +470,14 @@ void register_builtins(ProtocolRegistry& registry) {
         ProtocolInfo{"multi", "cluster",
                      "decentralized multi-leader protocol (Algorithms 4+5)",
                      event_knobs,
-                     {"clustering_time", "active_clusters",
-                      "fraction_clustered", "finished_fraction", "ticks",
-                      "exchanges", "two_choices", "propagation",
-                      "finished_adoptions", "final_top_generation",
-                      "signals_delivered", "leader_peak_load", "total_time",
-                      "events_processed", "windows", "window_stragglers"},
+                     with_fault_extras(
+                         {"clustering_time", "active_clusters",
+                          "fraction_clustered", "finished_fraction", "ticks",
+                          "exchanges", "two_choices", "propagation",
+                          "finished_adoptions", "final_top_generation",
+                          "signals_delivered", "leader_peak_load",
+                          "total_time", "events_processed", "windows",
+                          "window_stragglers"}),
                      2, 0},
         [](const Scenario& s, std::uint64_t seed) {
             // Same seed salts as cluster::run_multi_leader (bit-identical
@@ -411,6 +517,7 @@ void register_builtins(ProtocolRegistry& registry) {
                 {"window_stragglers",
                  static_cast<double>(r.window_stragglers)},
             };
+            add_fault_extras(out.extras, r.faults, r.nodes_crashed, 0);
             return out;
         });
 }

@@ -227,6 +227,91 @@ const FieldSpec kFields[] = {
          return {};
      },
      [](const Scenario& s) { return std::string(sim::to_string(s.queue_kind)); }},
+    {"fault_loss", "per-message drop probability (fault layer)",
+     [](Scenario& s, const std::string& v) -> std::string {
+         if (!try_parse_double(v, &s.fault_loss)) {
+             return bad_value("fault_loss", v, "a number");
+         }
+         return {};
+     },
+     [](const Scenario& s) { return format_double_field(s.fault_loss); }},
+    {"fault_dup", "per-message duplication probability (fault layer)",
+     [](Scenario& s, const std::string& v) -> std::string {
+         if (!try_parse_double(v, &s.fault_dup)) {
+             return bad_value("fault_dup", v, "a number");
+         }
+         return {};
+     },
+     [](const Scenario& s) { return format_double_field(s.fault_dup); }},
+    {"fault_corrupt", "per-message payload-corruption probability (fault "
+                      "layer)",
+     [](Scenario& s, const std::string& v) -> std::string {
+         if (!try_parse_double(v, &s.fault_corrupt)) {
+             return bad_value("fault_corrupt", v, "a number");
+         }
+         return {};
+     },
+     [](const Scenario& s) { return format_double_field(s.fault_corrupt); }},
+    {"fault_crash_rate", "per-node exponential crash rate (fault layer)",
+     [](Scenario& s, const std::string& v) -> std::string {
+         if (!try_parse_double(v, &s.fault_crash_rate)) {
+             return bad_value("fault_crash_rate", v, "a number");
+         }
+         return {};
+     },
+     [](const Scenario& s) { return format_double_field(s.fault_crash_rate); }},
+    {"fault_recover_rate", "per-node exponential recover rate (0 = crashed "
+                           "nodes stay down)",
+     [](Scenario& s, const std::string& v) -> std::string {
+         if (!try_parse_double(v, &s.fault_recover_rate)) {
+             return bad_value("fault_recover_rate", v, "a number");
+         }
+         return {};
+     },
+     [](const Scenario& s) {
+         return format_double_field(s.fault_recover_rate);
+     }},
+    {"fault_straggler_frac", "fraction of messages with heavy-tailed extra "
+                             "delay",
+     [](Scenario& s, const std::string& v) -> std::string {
+         if (!try_parse_double(v, &s.fault_straggler_frac)) {
+             return bad_value("fault_straggler_frac", v, "a number");
+         }
+         return {};
+     },
+     [](const Scenario& s) {
+         return format_double_field(s.fault_straggler_frac);
+     }},
+    {"fault_straggler_scale", "scale of the Pareto straggler multiplier",
+     [](Scenario& s, const std::string& v) -> std::string {
+         if (!try_parse_double(v, &s.fault_straggler_scale)) {
+             return bad_value("fault_straggler_scale", v, "a number");
+         }
+         return {};
+     },
+     [](const Scenario& s) {
+         return format_double_field(s.fault_straggler_scale);
+     }},
+    {"byzantine_frac", "fraction of byzantine (adversarial) nodes",
+     [](Scenario& s, const std::string& v) -> std::string {
+         if (!try_parse_double(v, &s.byzantine_frac)) {
+             return bad_value("byzantine_frac", v, "a number");
+         }
+         return {};
+     },
+     [](const Scenario& s) { return format_double_field(s.byzantine_frac); }},
+    {"byzantine_policy", "fixed | random | adaptive byzantine reporting "
+                         "policy",
+     [](Scenario& s, const std::string& v) -> std::string {
+         if (!fault::try_parse_byzantine_policy(v, &s.byzantine_policy)) {
+             return bad_value("byzantine_policy", v,
+                              "fixed, random or adaptive");
+         }
+         return {};
+     },
+     [](const Scenario& s) {
+         return std::string(fault::to_string(s.byzantine_policy));
+     }},
 };
 
 const FieldSpec* find_field(const std::string& name) {
@@ -274,7 +359,24 @@ std::vector<std::string> validate(const Scenario& scenario) {
     if (!(scenario.sample_interval > 0.0)) {
         complain("sample-interval must be > 0");
     }
+    // Fault-field constraints live with the plan (the messages name the
+    // scenario fields).
+    fault_plan(scenario).validate(&problems);
     return problems;
+}
+
+fault::FaultPlan fault_plan(const Scenario& scenario) {
+    fault::FaultPlan plan;
+    plan.loss = scenario.fault_loss;
+    plan.duplication = scenario.fault_dup;
+    plan.corruption = scenario.fault_corrupt;
+    plan.crash_rate = scenario.fault_crash_rate;
+    plan.recover_rate = scenario.fault_recover_rate;
+    plan.straggler_fraction = scenario.fault_straggler_frac;
+    plan.straggler_scale = scenario.fault_straggler_scale;
+    plan.byzantine_fraction = scenario.byzantine_frac;
+    plan.byzantine_policy = scenario.byzantine_policy;
+    return plan;
 }
 
 const std::vector<std::string>& scenario_field_names() {
@@ -327,6 +429,15 @@ void write_json(JsonWriter& writer, const Scenario& scenario) {
     writer.kv("record-every", scenario.record_every);
     writer.kv("sample-interval", scenario.sample_interval);
     writer.kv("queue", sim::to_string(scenario.queue_kind));
+    writer.kv("fault_loss", scenario.fault_loss);
+    writer.kv("fault_dup", scenario.fault_dup);
+    writer.kv("fault_corrupt", scenario.fault_corrupt);
+    writer.kv("fault_crash_rate", scenario.fault_crash_rate);
+    writer.kv("fault_recover_rate", scenario.fault_recover_rate);
+    writer.kv("fault_straggler_frac", scenario.fault_straggler_frac);
+    writer.kv("fault_straggler_scale", scenario.fault_straggler_scale);
+    writer.kv("byzantine_frac", scenario.byzantine_frac);
+    writer.kv("byzantine_policy", fault::to_string(scenario.byzantine_policy));
     writer.end_object();
 }
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/plan.hpp"
 #include "sim/queue_kind.hpp"
 #include "support/json_writer.hpp"
 
@@ -87,7 +88,26 @@ struct Scenario {
     /// Scheduler queue behind the event-driven families (results are
     /// queue-independent; throughput is not).
     sim::QueueKind queue_kind = sim::QueueKind::kBinaryHeap;
+
+    // Fault & adversary injection (src/fault/plan.hpp; every family).
+    // All rates default to 0 = fault-free, and a zero plan is
+    // byte-identical to no plan. These field names use underscores so
+    // sweep axis specs like "fault_loss=0,0.2" need no quoting.
+    double fault_loss = 0.0;             ///< per-message drop probability
+    double fault_dup = 0.0;              ///< per-message duplication prob.
+    double fault_corrupt = 0.0;          ///< per-message corruption prob.
+    double fault_crash_rate = 0.0;       ///< per-node Exp crash rate
+    double fault_recover_rate = 0.0;     ///< per-node Exp recover rate
+                                         ///< (0 = crashed nodes stay down)
+    double fault_straggler_frac = 0.0;   ///< fraction of messages delayed
+    double fault_straggler_scale = 1.0;  ///< heavy-tail delay scale
+    double byzantine_frac = 0.0;         ///< byzantine node fraction
+    fault::ByzantinePolicy byzantine_policy = fault::ByzantinePolicy::kFixed;
 };
+
+/// The scenario's fault fields assembled as a FaultPlan (the registry
+/// hands this to every engine family).
+[[nodiscard]] fault::FaultPlan fault_plan(const Scenario& scenario);
 
 /// All validation problems with the scenario's knob values (empty = valid).
 /// Protocol-specific constraints (unknown name, k-range of the two-opinion

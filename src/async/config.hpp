@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "fault/plan.hpp"
 #include "opinion/types.hpp"
 #include "sim/queue_kind.hpp"
 
@@ -48,7 +49,17 @@ struct AsyncConfig {
     /// compromise the entire computation by taking over the leader"): at
     /// this time the leader freezes — it stops processing signals and its
     /// public state never changes again. Negative = no failure.
+    ///
+    /// DEPRECATED shim: since the fault layer landed this is sugar for a
+    /// `fault.scheduled_crashes` entry with node == fault::kLeaderNode at
+    /// the same time (the engines splice it in; results are unchanged —
+    /// pinned by tests/integration/resilience_test.cpp). Prefer the plan.
     double leader_failure_time = -1.0;
+
+    /// Fault & adversary plan (src/fault/plan.hpp). An all-zero plan is
+    /// byte-identical to no plan; any active channel makes the plan part
+    /// of the trajectory identity.
+    fault::FaultPlan fault;
 
     /// Scheduler-queue implementation behind each shard of the windowed
     /// event executor. All kinds pop in identical (time, seq) order

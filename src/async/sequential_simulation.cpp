@@ -46,11 +46,34 @@ bool SequentialSingleLeaderSimulation::advance() {
             const auto v_id = static_cast<NodeId>(rng.uniform_index(n));
             NodeState& v = nodes_[v_id];
             ++result_.ticks;
+            // A crashed node's tick races but acts on nothing.
+            if (crash_on_ && injector_->is_down(v_id, t)) {
+                ++result_.faults.crash_skips;
+                ctx.emit(0, t + rng.exponential(nd), 0);
+                return;
+            }
             ++result_.good_ticks;  // channels are instant: every tick is good
 
-            // Line 1: the 0-signal arrives instantly.
-            ++result_.signals_delivered;
-            leader_->on_zero_signal(t);
+            // Line 1: the 0-signal arrives instantly. Channels are
+            // instant, so a straggler multiplier has nothing to stretch;
+            // loss and duplication still apply.
+            std::size_t zero_copies = 1;
+            if (msg_faults_on_) {
+                const fault::MessageFate fate = injector_->draw_fate(fault_rng_);
+                if (fate.drop) {
+                    ++result_.faults.lost;
+                    zero_copies = 0;
+                } else if (fate.duplicate) {
+                    ++result_.faults.duplicated;
+                    zero_copies = 2;
+                }
+            }
+            for (; zero_copies > 0; --zero_copies) {
+                ++result_.signals_delivered;
+                if (injector_ == nullptr || !injector_->leader_down(t)) {
+                    leader_->on_zero_signal(t);
+                }
+            }
 
             // Lines 3-15 execute atomically at the tick.
             ++result_.exchanges;
@@ -84,8 +107,32 @@ bool SequentialSingleLeaderSimulation::advance() {
                 census_.transition(old_gen, old_col, v.gen, v.col);
                 PAPC_CHECK(v.gen <= leader_->gen());
                 if (decision.send_gen_signal) {
-                    ++result_.signals_delivered;
-                    leader_->on_gen_signal(t, v.gen);
+                    Generation sig_gen = v.gen;
+                    std::size_t copies = 1;
+                    if (msg_faults_on_) {
+                        const fault::MessageFate fate =
+                            injector_->draw_fate(fault_rng_);
+                        if (fate.drop) {
+                            ++result_.faults.lost;
+                            copies = 0;
+                        } else {
+                            if (fate.duplicate) {
+                                ++result_.faults.duplicated;
+                                copies = 2;
+                            }
+                            if (fate.corrupt) {
+                                ++result_.faults.corrupted;
+                                sig_gen = static_cast<Generation>(
+                                    1 + fault_rng_.uniform_index(sig_gen));
+                            }
+                        }
+                    }
+                    for (; copies > 0; --copies) {
+                        ++result_.signals_delivered;
+                        if (injector_ == nullptr || !injector_->leader_down(t)) {
+                            leader_->on_gen_signal(t, sig_gen);
+                        }
+                    }
                 }
             }
             // Next global race; chains within the window while it lands
@@ -105,6 +152,22 @@ AsyncResult SequentialSingleLeaderSimulation::run() {
     // With instant channels one full action fits in every tick: a "time
     // unit" collapses to one time step.
     result_.steps_per_unit = 1.0;
+
+    // Fault layer (see async/simulation.cpp): leader_failure_time splices
+    // into the plan; the injector derives via the pure substream.
+    fault::FaultPlan plan = config_.fault;
+    if (config_.leader_failure_time >= 0.0) {
+        plan.scheduled_crashes.push_back(
+            fault::CrashEntry{fault::kLeaderNode, config_.leader_failure_time});
+    }
+    if (plan.active()) {
+        injector_ = std::make_unique<fault::Injector>(plan, n,
+                                                      config_.max_time, rng_);
+        crash_on_ = injector_->crash_active();
+        msg_faults_on_ = injector_->message_faults_active();
+        fault_rng_ = injector_->serial_stream();
+        result_.nodes_crashed = injector_->nodes_crashed();
+    }
 
     LeaderConfig leader_config;
     leader_config.zero_signal_threshold = static_cast<std::uint64_t>(

@@ -79,6 +79,13 @@ public:
 
 private:
     AsyncConfig config_;
+    /// Fault layer (built in run(); rng_ not advanced — see
+    /// async/simulation.hpp). The model is serial, so message faults draw
+    /// from one run-long serial_stream() held in fault_rng_.
+    std::unique_ptr<fault::Injector> injector_;
+    Rng fault_rng_{0};
+    bool crash_on_ = false;
+    bool msg_faults_on_ = false;
     Rng rng_;
     std::vector<NodeState> nodes_;
     GenerationCensus census_;

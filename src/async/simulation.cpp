@@ -113,10 +113,21 @@ bool SingleLeaderSimulation::advance() {
                 case AsyncEventKind::kTick: {
                     ++scratch.ticks;
                     NodeState& v = nodes_[ev.node];
+                    // A crashed node sends nothing and starts nothing, but
+                    // its Poisson clock keeps running so it resumes after a
+                    // recovery boundary.
+                    if (crash_on_ && injector_->is_down(ev.node, t)) {
+                        ++scratch.crash_skips;
+                        ctx.emit(ctx.shard(), t + rng.exponential(1.0),
+                                 AsyncEvent{AsyncEventKind::kTick, ev.node, 0,
+                                            0, 0});
+                        break;
+                    }
                     // Line 1: 0-signal to the leader — fire and forget, but
                     // the signal itself travels one latency draw.
-                    ctx.emit(kLeaderShard, t + latency_->sample(rng),
-                             AsyncEvent{AsyncEventKind::kZeroSignal, 0, 0, 0, 0});
+                    ctx.emit_message(
+                        kLeaderShard, t, t + latency_->sample(rng),
+                        AsyncEvent{AsyncEventKind::kZeroSignal, 0, 0, 0, 0});
                     // Line 2: locked nodes do nothing else at this tick.
                     if (!v.locked) {
                         v.locked = true;
@@ -141,9 +152,16 @@ bool SingleLeaderSimulation::advance() {
                 }
 
                 case AsyncEventKind::kExchange: {
-                    ++scratch.exchanges;
                     NodeState& v = nodes_[ev.node];
                     PAPC_CHECK(v.locked);
+                    // A node that crashed while its channels were opening
+                    // completes nothing: unlock and move on.
+                    if (crash_on_ && injector_->is_down(ev.node, t)) {
+                        ++scratch.crash_skips;
+                        v.locked = false;
+                        break;
+                    }
+                    ++scratch.exchanges;
                     // Peers and leader are read from the window-start
                     // snapshots (see begin_window()).
                     const NodeState& p1 = nodes_snap_[ev.peer1];
@@ -176,9 +194,17 @@ bool SingleLeaderSimulation::advance() {
                         // (the snapshot is a lower bound of the live one).
                         PAPC_CHECK(v.gen <= snap_leader_gen_);
                         if (decision.send_gen_signal) {
-                            ctx.emit(kLeaderShard, t + latency_->sample(rng),
-                                     AsyncEvent{AsyncEventKind::kGenSignal, 0,
-                                                0, 0, v.gen});
+                            // Corruption rewrites the generation payload
+                            // downward into [1, gen] — an adversarially
+                            // garbled but protocol-legal signal.
+                            ctx.emit_message(
+                                kLeaderShard, t, t + latency_->sample(rng),
+                                AsyncEvent{AsyncEventKind::kGenSignal, 0, 0,
+                                           0, v.gen},
+                                [](Rng& fault_rng, AsyncEvent& msg) {
+                                    msg.gen = static_cast<Generation>(
+                                        1 + fault_rng.uniform_index(msg.gen));
+                                });
                         }
                     }
                     v.locked = false;  // line 15
@@ -187,16 +213,14 @@ bool SingleLeaderSimulation::advance() {
 
                 case AsyncEventKind::kZeroSignal:
                     record_leader_signal(t);
-                    if (config_.leader_failure_time < 0.0 ||
-                        t < config_.leader_failure_time) {
+                    if (injector_ == nullptr || !injector_->leader_down(t)) {
                         leader_->on_zero_signal(t);
                     }
                     break;
 
                 case AsyncEventKind::kGenSignal:
                     record_leader_signal(t);
-                    if (config_.leader_failure_time < 0.0 ||
-                        t < config_.leader_failure_time) {
+                    if (injector_ == nullptr || !injector_->leader_down(t)) {
                         leader_->on_gen_signal(t, ev.gen);
                     }
                     break;
@@ -213,6 +237,23 @@ AsyncResult SingleLeaderSimulation::run() {
 
     const std::size_t n = nodes_.size();
     result_.leader_generation = TimeSeries("leader-generation");
+
+    // Fault layer: splice the deprecated leader_failure_time knob into the
+    // plan as a scheduled leader crash, then build the injector from the
+    // run generator's *current* state via the pure substream — rng_ is not
+    // advanced, so the splits and draws below are byte-identical to a
+    // fault-free run when the plan is inactive.
+    fault::FaultPlan plan = config_.fault;
+    if (config_.leader_failure_time >= 0.0) {
+        plan.scheduled_crashes.push_back(
+            fault::CrashEntry{fault::kLeaderNode, config_.leader_failure_time});
+    }
+    if (plan.active()) {
+        injector_ = std::make_unique<fault::Injector>(plan, n,
+                                                      config_.max_time, rng_);
+        crash_on_ = injector_->crash_active();
+        result_.nodes_crashed = injector_->nodes_crashed();
+    }
 
     // Measure C1 = F^{-1}(0.9) of T3 for this latency model (Monte Carlo;
     // deterministic given the seed).
@@ -242,6 +283,7 @@ AsyncResult SingleLeaderSimulation::run() {
     executor_options.lambda = config_.lambda;
     executor_options.queue_kind = config_.queue_kind;
     executor_options.reserve_hint = 2 * n;
+    executor_options.injector = injector_.get();
     executor_ = std::make_unique<sim::WindowedExecutor<AsyncEvent>>(
         n, executor_options, rng_.split());
     scratch_.resize(executor_->num_shards());
@@ -275,7 +317,13 @@ AsyncResult SingleLeaderSimulation::run() {
         result_.propagation_count += scratch.propagation;
         result_.refresh_count += scratch.refresh;
         result_.channels_opened += scratch.channels_opened;
+        result_.faults.crash_skips += scratch.crash_skips;
     }
+    const fault::FaultCounters& mf = executor_->fault_counters();
+    result_.faults.lost = mf.lost;
+    result_.faults.duplicated = mf.duplicated;
+    result_.faults.corrupted = mf.corrupted;
+    result_.faults.delayed = mf.delayed;
     result_.signals_delivered = leader_signals_;
     result_.leader_peak_load =
         std::max(result_.leader_peak_load, static_cast<double>(load_count_));

@@ -32,6 +32,7 @@
 #include "async/node.hpp"
 #include "core/engine.hpp"
 #include "core/run_result.hpp"
+#include "fault/injector.hpp"
 #include "opinion/assignment.hpp"
 #include "opinion/census.hpp"
 #include "sim/latency.hpp"
@@ -72,6 +73,10 @@ struct AsyncResult : core::RunResult {
     std::uint64_t windows = 0;            ///< conservative windows executed
     std::uint64_t window_stragglers = 0;  ///< cross-shard sends behind a
                                           ///< closed window
+
+    // Fault-injection accounting (all zero without an active plan).
+    fault::FaultCounters faults;
+    std::uint64_t nodes_crashed = 0;  ///< nodes with a crash in the horizon
 
     std::vector<LeaderTransition> leader_trace;
     TimeSeries leader_generation;   ///< leader gen over time
@@ -138,6 +143,7 @@ private:
         std::uint64_t propagation = 0;
         std::uint64_t refresh = 0;
         std::uint64_t channels_opened = 0;
+        std::uint64_t crash_skips = 0;  ///< ticks/exchanges of down nodes
         std::vector<CensusMove> moves;
     };
 
@@ -147,6 +153,10 @@ private:
 
     AsyncConfig config_;
     std::unique_ptr<sim::LatencyModel> latency_;
+    /// Built in run() from config_.fault (+ the leader_failure_time shim)
+    /// via the pure Rng::substream, so attaching it never shifts the tape.
+    std::unique_ptr<fault::Injector> injector_;
+    bool crash_on_ = false;  ///< injector_ has node-crash faults
     Rng rng_;
     std::vector<NodeState> nodes_;
     std::vector<NodeState> nodes_snap_;  ///< window-start copy (peer reads)

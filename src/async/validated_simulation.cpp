@@ -98,10 +98,19 @@ bool ValidatedSingleLeaderSimulation::advance() {
                 case ValidatedEventKind::kTick: {
                     ++scratch.ticks;
                     NodeState& v = nodes_[ev.node];
+                    if (crash_on_ && injector_->is_down(ev.node, t)) {
+                        ++scratch.crash_skips;
+                        ValidatedEvent next;
+                        next.kind = ValidatedEventKind::kTick;
+                        next.node = ev.node;
+                        ctx.emit(ctx.shard(), t + rng.exponential(1.0), next);
+                        break;
+                    }
                     {
                         ValidatedEvent sig;
                         sig.kind = ValidatedEventKind::kZeroSignal;
-                        ctx.emit(kLeaderShard, t + signal_delay(), sig);
+                        ctx.emit_message(kLeaderShard, t, t + signal_delay(),
+                                         sig);
                     }
                     if (!v.locked) {
                         v.locked = true;
@@ -127,9 +136,14 @@ bool ValidatedSingleLeaderSimulation::advance() {
                 }
 
                 case ValidatedEventKind::kSnapshot: {
-                    ++scratch.exchanges;
                     NodeState& v = nodes_[ev.node];
                     PAPC_CHECK(v.locked);
+                    if (crash_on_ && injector_->is_down(ev.node, t)) {
+                        ++scratch.crash_skips;
+                        v.locked = false;
+                        break;
+                    }
+                    ++scratch.exchanges;
                     const NodeState& p1 = nodes_snap_[ev.peer1];
                     const NodeState& p2 = nodes_snap_[ev.peer2];
                     const ExchangeDecision decision = decide_exchange(
@@ -168,6 +182,11 @@ bool ValidatedSingleLeaderSimulation::advance() {
                 case ValidatedEventKind::kValidate: {
                     NodeState& v = nodes_[ev.node];
                     PAPC_CHECK(v.locked);
+                    if (crash_on_ && injector_->is_down(ev.node, t)) {
+                        ++scratch.crash_skips;
+                        v.locked = false;
+                        break;
+                    }
                     if (snap_leader_gen_ == ev.snap_gen &&
                         snap_leader_prop_ == ev.snap_prop) {
                         // Leader unchanged between the two window
@@ -192,7 +211,13 @@ bool ValidatedSingleLeaderSimulation::advance() {
                                 ValidatedEvent sig;
                                 sig.kind = ValidatedEventKind::kGenSignal;
                                 sig.gen = v.gen;
-                                ctx.emit(kLeaderShard, t + signal_delay(), sig);
+                                ctx.emit_message(
+                                    kLeaderShard, t, t + signal_delay(), sig,
+                                    [](Rng& fault_rng, ValidatedEvent& msg) {
+                                        msg.gen = static_cast<Generation>(
+                                            1 +
+                                            fault_rng.uniform_index(msg.gen));
+                                    });
                             }
                         }
                     } else {
@@ -206,11 +231,15 @@ bool ValidatedSingleLeaderSimulation::advance() {
                 }
 
                 case ValidatedEventKind::kZeroSignal:
-                    leader_->on_zero_signal(t);
+                    if (injector_ == nullptr || !injector_->leader_down(t)) {
+                        leader_->on_zero_signal(t);
+                    }
                     break;
 
                 case ValidatedEventKind::kGenSignal:
-                    leader_->on_gen_signal(t, ev.gen);
+                    if (injector_ == nullptr || !injector_->leader_down(t)) {
+                        leader_->on_gen_signal(t, ev.gen);
+                    }
                     break;
             }
         });
@@ -225,6 +254,20 @@ ValidatedResult ValidatedSingleLeaderSimulation::run() {
 
     const std::size_t n = nodes_.size();
     result_.base.leader_generation = TimeSeries("leader-generation");
+
+    // Fault layer (see async/simulation.cpp): leader_failure_time splices
+    // into the plan; the injector derives via the pure substream.
+    fault::FaultPlan plan = config_.fault;
+    if (config_.leader_failure_time >= 0.0) {
+        plan.scheduled_crashes.push_back(
+            fault::CrashEntry{fault::kLeaderNode, config_.leader_failure_time});
+    }
+    if (plan.active()) {
+        injector_ = std::make_unique<fault::Injector>(plan, n,
+                                                      config_.max_time, rng_);
+        crash_on_ = injector_->crash_active();
+        result_.base.nodes_crashed = injector_->nodes_crashed();
+    }
 
     // One full cycle now includes two message round-trips and the
     // validation channel; measure C1 for this composition (Monte Carlo;
@@ -251,6 +294,7 @@ ValidatedResult ValidatedSingleLeaderSimulation::run() {
     executor_options.lambda = config_.lambda;
     executor_options.queue_kind = config_.queue_kind;
     executor_options.reserve_hint = 2 * n;
+    executor_options.injector = injector_.get();
     executor_ = std::make_unique<sim::WindowedExecutor<ValidatedEvent>>(
         n, executor_options, rng_.split());
     scratch_.resize(executor_->num_shards());
@@ -286,7 +330,13 @@ ValidatedResult ValidatedSingleLeaderSimulation::run() {
         result_.base.refresh_count += scratch.refresh;
         result_.commits += scratch.commits;
         result_.aborts += scratch.aborts;
+        result_.base.faults.crash_skips += scratch.crash_skips;
     }
+    const fault::FaultCounters& mf = executor_->fault_counters();
+    result_.base.faults.lost = mf.lost;
+    result_.base.faults.duplicated = mf.duplicated;
+    result_.base.faults.corrupted = mf.corrupted;
+    result_.base.faults.delayed = mf.delayed;
     result_.base.events_processed = executor_->events_processed();
     result_.base.windows = executor_->windows_run();
     result_.base.window_stragglers = executor_->stragglers();

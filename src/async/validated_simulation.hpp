@@ -114,6 +114,7 @@ private:
         std::uint64_t refresh = 0;
         std::uint64_t commits = 0;
         std::uint64_t aborts = 0;
+        std::uint64_t crash_skips = 0;
         std::vector<CensusMove> moves;
     };
 
@@ -123,6 +124,10 @@ private:
     AsyncConfig config_;
     std::unique_ptr<sim::LatencyModel> channel_;
     std::unique_ptr<sim::LatencyModel> message_;
+    /// Fault layer (built in run(); rng_ not advanced — see
+    /// async/simulation.hpp).
+    std::unique_ptr<fault::Injector> injector_;
+    bool crash_on_ = false;
     Rng rng_;
     std::vector<NodeState> nodes_;
     std::vector<NodeState> nodes_snap_;  ///< window-start copy (peer reads)

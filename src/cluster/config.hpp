@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "fault/plan.hpp"
 #include "sim/queue_kind.hpp"
 
 namespace papc::cluster {
@@ -76,6 +77,14 @@ struct ClusterConfig {
     /// Negative time = no failure.
     double leader_failure_time = -1.0;
     double leader_failure_fraction = 0.0;
+
+    /// Fault & adversary plan (src/fault/plan.hpp): message loss /
+    /// duplication / corruption / stragglers on the consensus phase's
+    /// signal and adopt messages, plus member crash + recover. Leader
+    /// crashes keep the dedicated observer-driven knobs above (they model
+    /// the paper's §4 attack); the plan's scheduled_crashes address
+    /// ordinary members. An all-zero plan is byte-identical to no plan.
+    fault::FaultPlan fault;
 
     /// Scheduler-queue implementation behind both event loops (clustering
     /// phase and consensus phase). All kinds pop in identical (time, seq)

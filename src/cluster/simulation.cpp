@@ -176,6 +176,16 @@ bool MultiLeaderSimulation::advance() {
                     ++scratch.ticks;
                     const NodeId v = ev.node;
                     MemberState& m = members_[v];
+                    // A crashed member signals nothing and starts nothing;
+                    // its clock keeps running so it resumes on recovery.
+                    if (crash_on_ && injector_->is_down(v, t)) {
+                        ++scratch.crash_skips;
+                        ClusterEvent next;
+                        next.kind = ClusterEventKind::kTick;
+                        next.node = v;
+                        ctx.emit(ctx.shard(), t + rng.exponential(1.0), next);
+                        break;
+                    }
                     const std::int32_t my_cluster = clustering_.cluster_of[v];
                     // Line 1: clustered members signal their leader each
                     // tick (owned by the leader's shard).
@@ -186,8 +196,9 @@ bool MultiLeaderSimulation::advance() {
                         sig.sig_i = 0;
                         sig.sig_s = LeaderState::kPropagation;  // ignored, i == 0
                         sig.sig_changed = false;
-                        ctx.emit(leader_shard(static_cast<std::size_t>(my_cluster)),
-                                 t + latency_.sample(rng), sig);
+                        ctx.emit_message(
+                            leader_shard(static_cast<std::size_t>(my_cluster)),
+                            t, t + latency_.sample(rng), sig);
                     }
                     // Line 2-3: lock and open channels.
                     if (!m.locked) {
@@ -213,22 +224,36 @@ bool MultiLeaderSimulation::advance() {
                 }
 
                 case ClusterEventKind::kExchange: {
-                    ++scratch.exchanges;
                     const NodeId v = ev.node;
                     MemberState& m = members_[v];
                     PAPC_CHECK(m.locked);
+                    // A member down when its channels complete abandons the
+                    // exchange: no reads, no writes, no signal.
+                    if (crash_on_ && injector_->is_down(v, t)) {
+                        ++scratch.crash_skips;
+                        m.locked = false;
+                        break;
+                    }
+                    ++scratch.exchanges;
                     const std::int32_t my_cluster = clustering_.cluster_of[v];
 
                     if (m.finished) {
                         // Line 5: push the final opinion to all samples.
                         // Remote members belong to other shards, so the
-                        // pushes travel as kAdopt events.
+                        // pushes travel as kAdopt events (corruptible: a
+                        // flipped push adopts a uniformly random opinion).
+                        const std::uint32_t k = census_.num_opinions();
                         for (const NodeId s : {ev.s1, ev.s2, ev.s3}) {
                             ClusterEvent adopt;
                             adopt.kind = ClusterEventKind::kAdopt;
                             adopt.node = s;
                             adopt.col = m.col;
-                            ctx.emit(executor_->shard_of(s), t, adopt);
+                            ctx.emit_message(
+                                executor_->shard_of(s), t, t, adopt,
+                                [k](Rng& fault_rng, ClusterEvent& msg) {
+                                    msg.col = static_cast<Opinion>(
+                                        fault_rng.uniform_index(k));
+                                });
                         }
                         m.locked = false;
                         break;
@@ -294,8 +319,15 @@ bool MultiLeaderSimulation::advance() {
                         sig.sig_i = d.signal.i;
                         sig.sig_s = d.signal.s;
                         sig.sig_changed = d.signal.has_changed;
-                        ctx.emit(leader_shard(static_cast<std::size_t>(my_cluster)),
-                                 t + latency_.sample(rng), sig);
+                        // Corruption rewrites the counted generation downward
+                        // (always protocol-legal: leaders accept any i <= gen).
+                        ctx.emit_message(
+                            leader_shard(static_cast<std::size_t>(my_cluster)),
+                            t, t + latency_.sample(rng), sig,
+                            [](Rng& fault_rng, ClusterEvent& msg) {
+                                msg.sig_i = static_cast<Generation>(
+                                    fault_rng.uniform_index(msg.sig_i + 1));
+                            });
                     }
                     // Line 19: refresh tmp_* from the own leader (contacted
                     // concurrently during this exchange); if the own leader
@@ -325,6 +357,11 @@ bool MultiLeaderSimulation::advance() {
                 }
 
                 case ClusterEventKind::kAdopt:
+                    // A down target cannot process the push.
+                    if (crash_on_ && injector_->is_down(ev.node, t)) {
+                        ++scratch.crash_skips;
+                        break;
+                    }
                     adopt_finished(scratch, ev.node, ev.col);
                     break;
             }
@@ -342,6 +379,17 @@ MultiLeaderResult MultiLeaderSimulation::run() {
     result_.clustering = clustering_;
     result_.clustering_time = clustering_.elapsed;
 
+    // Fault layer. Leader crashes keep the observer-driven §4 knobs
+    // (maybe_inject_failure); the plan covers member crashes and message
+    // faults. Derived via pure substream: rng_ is not advanced, so an
+    // all-zero plan is byte-identical to no plan.
+    if (config_.fault.active()) {
+        injector_ = std::make_unique<fault::Injector>(config_.fault, n,
+                                                      config_.max_time, rng_);
+        crash_on_ = injector_->crash_active();
+        result_.nodes_crashed = injector_->nodes_crashed();
+    }
+
     // Windowed executor: pending events stay near 2 per node (next tick +
     // in-flight exchange/signal).
     sim::WindowedOptions executor_options;
@@ -351,6 +399,7 @@ MultiLeaderResult MultiLeaderSimulation::run() {
     executor_options.lambda = config_.lambda;
     executor_options.queue_kind = config_.queue_kind;
     executor_options.reserve_hint = 2 * n;
+    executor_options.injector = injector_.get();
     executor_ = std::make_unique<sim::WindowedExecutor<ClusterEvent>>(
         n, executor_options, rng_.split());
     scratch_.resize(executor_->num_shards());
@@ -387,6 +436,14 @@ MultiLeaderResult MultiLeaderSimulation::run() {
         result_.leader_peak_load =
             std::max(result_.leader_peak_load, scratch.peak_load);
         finished_count += scratch.finished;
+        result_.faults.crash_skips += scratch.crash_skips;
+    }
+    {
+        const fault::FaultCounters& mf = executor_->fault_counters();
+        result_.faults.lost += mf.lost;
+        result_.faults.duplicated += mf.duplicated;
+        result_.faults.corrupted += mf.corrupted;
+        result_.faults.delayed += mf.delayed;
     }
     for (const std::uint64_t pending : load_count_) {
         result_.leader_peak_load =

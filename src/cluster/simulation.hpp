@@ -33,6 +33,7 @@
 #include "cluster/member.hpp"
 #include "core/engine.hpp"
 #include "core/run_result.hpp"
+#include "fault/injector.hpp"
 #include "opinion/assignment.hpp"
 #include "opinion/census.hpp"
 #include "sim/latency.hpp"
@@ -77,6 +78,10 @@ struct MultiLeaderResult : core::RunResult {
     std::uint64_t windows = 0;            ///< conservative windows executed
     std::uint64_t window_stragglers = 0;  ///< cross-shard sends behind a
                                           ///< closed window
+
+    // Fault-injection accounting (all zero without an active plan).
+    fault::FaultCounters faults;
+    std::uint64_t nodes_crashed = 0;
 
     /// Per-active-cluster leader traces (Figure 2 source data).
     std::vector<std::vector<ClusterLeaderTransition>> leader_traces;
@@ -138,6 +143,7 @@ private:
         std::uint64_t adoptions = 0;
         std::uint64_t finished = 0;
         std::uint64_t signals = 0;
+        std::uint64_t crash_skips = 0;
         double peak_load = 0.0;
         std::vector<CensusMove> moves;
     };
@@ -161,6 +167,10 @@ private:
 
     ClusterConfig config_;
     ClusteringResult clustering_;
+    /// Fault layer (built in run(); rng_ not advanced — see
+    /// async/simulation.hpp).
+    std::unique_ptr<fault::Injector> injector_;
+    bool crash_on_ = false;
     Rng rng_;
     sim::ExponentialLatency latency_;
     std::vector<MemberState> members_;

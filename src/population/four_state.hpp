@@ -41,6 +41,20 @@ public:
     /// Signed strong-token difference #A - #B; invariant over any run.
     [[nodiscard]] std::int64_t strong_difference() const;
 
+    // Fault-layer impersonation bracket (see scheduler.hpp). The opaque
+    // word is the full State — output_opinion is lossy (strong vs weak),
+    // so restore must not round-trip through opinions. Forcing imperson-
+    // ates the *strong* token of the opinion (the influential state).
+    [[nodiscard]] std::uint64_t save_state(NodeId v) const override {
+        return static_cast<std::uint64_t>(states_[v]);
+    }
+    void restore_state(NodeId v, std::uint64_t state) override {
+        set_state(v, static_cast<State>(state));
+    }
+    void force_opinion(NodeId v, Opinion op) override {
+        set_state(v, op == 0 ? State::kStrongA : State::kStrongB);
+    }
+
 private:
     enum class State : std::uint8_t { kStrongA, kStrongB, kWeakA, kWeakB };
 

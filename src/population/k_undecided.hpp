@@ -33,11 +33,20 @@ public:
     }
     [[nodiscard]] std::string name() const override { return "k-undecided"; }
 
-    [[nodiscard]] std::uint32_t num_opinions() const {
+    [[nodiscard]] std::uint32_t num_opinions() const override {
         return static_cast<std::uint32_t>(counts_.size());
     }
     [[nodiscard]] std::uint64_t count(Opinion j) const { return counts_[j]; }
     [[nodiscard]] std::uint64_t undecided_count() const { return undecided_; }
+
+    // Fault-layer impersonation bracket (see scheduler.hpp).
+    [[nodiscard]] std::uint64_t save_state(NodeId v) const override {
+        return static_cast<std::uint64_t>(states_[v]);
+    }
+    void restore_state(NodeId v, std::uint64_t state) override {
+        set_state(v, static_cast<Opinion>(state));
+    }
+    void force_opinion(NodeId v, Opinion op) override { set_state(v, op); }
 
 private:
     void set_state(NodeId v, Opinion s);

@@ -35,6 +35,17 @@ public:
     [[nodiscard]] std::uint64_t count_b() const { return count_b_; }
     [[nodiscard]] std::uint64_t count_blank() const { return count_blank_; }
 
+    // Fault-layer impersonation bracket (see scheduler.hpp).
+    [[nodiscard]] std::uint64_t save_state(NodeId v) const override {
+        return static_cast<std::uint64_t>(states_[v]);
+    }
+    void restore_state(NodeId v, std::uint64_t state) override {
+        set_state(v, static_cast<State>(state));
+    }
+    void force_opinion(NodeId v, Opinion op) override {
+        set_state(v, op == 0 ? State::kA : op == 1 ? State::kB : State::kBlank);
+    }
+
 private:
     enum class State : std::uint8_t { kA, kB, kBlank };
 

@@ -65,6 +65,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "sim/queue_kind.hpp"
 #include "sim/scheduler_queue.hpp"
 #include "sim/time.hpp"
@@ -97,6 +98,11 @@ struct WindowedOptions {
     double lambda = 1.0;      ///< channel rate used by the auto window
     QueueKind queue_kind = QueueKind::kBinaryHeap;
     std::size_t reserve_hint = 0;  ///< expected concurrently-pending events
+    /// Optional fault injector (borrowed; must outlive the executor).
+    /// Message-level faults apply only to emissions routed through
+    /// ShardContext::emit_message(); nullptr or an inactive plan keeps
+    /// the delivery path byte-identical to the fault-free executor.
+    const fault::Injector* injector = nullptr;
 };
 
 template <typename Event>
@@ -111,7 +117,10 @@ public:
           window_(options.window > 0.0 ? options.window
                                        : default_window(options.lambda)),
           threads_(std::max<std::size_t>(1, options.threads)),
-          base_rng_(parent) {
+          base_rng_(parent),
+          injector_(options.injector),
+          message_faults_on_(options.injector != nullptr &&
+                             options.injector->message_faults_active()) {
         PAPC_CHECK(n_ >= 1);
         PAPC_CHECK(window_ > 0.0);
         lanes_.reserve(shards_);
@@ -186,6 +195,12 @@ public:
         const auto body = [&](std::size_t s, std::size_t /*worker*/) {
             Lane& lane = *lanes_[s];
             lane.rng = base_rng_.substream(window_counter_, s);
+            if (message_faults_on_) {
+                // Fault decisions draw from their own (window, shard)
+                // substream, never the engine lane stream — attaching
+                // faults must not shift the protocol tape.
+                lane.fault_rng = injector_->message_stream(window_counter_, s);
+            }
             lane.processed = 0;
             lane.last_time = now_;
             ShardContext ctx(*this, lane, s);
@@ -214,8 +229,21 @@ public:
             lane->outbox.clear();
             events_ += lane->processed;
             now_ = std::max(now_, lane->last_time);
+            if (message_faults_on_) {
+                faults_.lost += lane->faults.lost;
+                faults_.duplicated += lane->faults.duplicated;
+                faults_.corrupted += lane->faults.corrupted;
+                faults_.delayed += lane->faults.delayed;
+                lane->faults = fault::FaultCounters{};
+            }
         }
         return true;
+    }
+
+    /// Message-fault tallies across all executed windows (all zero when no
+    /// injector is attached or its message rates are zero).
+    [[nodiscard]] const fault::FaultCounters& fault_counters() const {
+        return faults_;
     }
 
 private:
@@ -231,6 +259,8 @@ private:
         std::unique_ptr<SchedulerQueue<Event>> queue;
         std::vector<Outgoing> outbox;
         Rng rng{0};
+        Rng fault_rng{0};  ///< per-window message-fault substream
+        fault::FaultCounters faults;  ///< folded at the barrier
         std::uint64_t processed = 0;
         Time last_time = 0.0;
     };
@@ -262,6 +292,54 @@ public:
             }
         }
 
+        /// Schedules a *message* — an emission that models a network send
+        /// from `send_time` arriving at `arrive_time` — through the fault
+        /// layer: it may be dropped, duplicated, corrupted
+        /// (`corrupt(fault_rng, event)` rewrites the payload in place), or
+        /// straggler-inflated (arrival stretched by the drawn multiplier).
+        /// Self-events (ticks, exchange completions) must stay on emit():
+        /// faults model the network, not a node's own clock. With no
+        /// active injector this is exactly emit(target, arrive_time, ...).
+        template <typename CorruptFn>
+        void emit_message(std::size_t target, Time send_time,
+                          Time arrive_time, Event event,
+                          CorruptFn&& corrupt) {
+            if (!executor_.message_faults_on_) {
+                emit(target, arrive_time, std::move(event));
+                return;
+            }
+            const fault::MessageFate fate =
+                executor_.injector_->draw_fate(lane_.fault_rng);
+            if (fate.drop) {
+                ++lane_.faults.lost;
+                return;
+            }
+            if (fate.corrupt) {
+                ++lane_.faults.corrupted;
+                corrupt(lane_.fault_rng, event);
+            }
+            Time at = arrive_time;
+            if (fate.delay_multiplier > 1.0) {
+                ++lane_.faults.delayed;
+                at = send_time +
+                     (arrive_time - send_time) * fate.delay_multiplier;
+            }
+            if (fate.duplicate) {
+                ++lane_.faults.duplicated;
+                Event copy = event;
+                emit(target, at, std::move(copy));
+            }
+            emit(target, at, std::move(event));
+        }
+
+        /// Message emission with an uncorruptible payload (corruption
+        /// still counts a fault draw, but rewrites nothing).
+        void emit_message(std::size_t target, Time send_time,
+                          Time arrive_time, Event event) {
+            emit_message(target, send_time, arrive_time, std::move(event),
+                         [](Rng&, Event&) {});
+        }
+
     private:
         WindowedExecutor& executor_;
         Lane& lane_;
@@ -276,6 +354,10 @@ private:
     Rng base_rng_;
     std::vector<std::unique_ptr<Lane>> lanes_;
     std::unique_ptr<support::ThreadPool> pool_;  ///< null when threads_ == 1
+
+    const fault::Injector* injector_ = nullptr;
+    bool message_faults_on_ = false;
+    fault::FaultCounters faults_;
 
     double now_ = 0.0;
     double window_end_ = 0.0;

@@ -26,6 +26,7 @@ Algorithm1::Algorithm1(const Assignment& assignment, Schedule schedule,
 void Algorithm1::step(Rng& rng) {
     ++round_;
     const bool two_choices = schedule_.is_two_choices_step(round_);
+    if (fault_on_) begin_faulted_round();
 
     // A round can populate at most one generation above the current top
     // (two-choices promotes to gen(a) + 1 with gen(a) <= highest), so the
@@ -33,7 +34,8 @@ void Algorithm1::step(Rng& rng) {
     const Generation rows = census_.highest_populated() + 2;
     const std::size_t delta_size = static_cast<std::size_t>(rows) * k_;
 
-    const RawGather64 gather(state_.data(), state_.size());
+    const RawGather64 gather(
+        byz_round_ ? reported_state_.data() : state_.data(), state_.size());
     const PackedState* state = state_.data();
     PackedState* next = next_state_.data();
     driver_.run_batched<2>(rng, round_,
@@ -71,6 +73,7 @@ void Algorithm1::step(Rng& rng) {
         });
     });
 
+    if (fault_on_) revert_frozen_round();
     state_.swap(next_state_);
     // Worker-order merge on the driving thread; integer deltas commute, so
     // any shard-to-worker assignment sums to the same census. Every
@@ -86,7 +89,76 @@ void Algorithm1::step(Rng& rng) {
                   arena.deltas.begin() + static_cast<std::ptrdiff_t>(delta_size),
                   0);
     }
+    // Undo the census effect of the reverted frozen-node updates before
+    // birth recording sees the round's final census.
+    for (const auto& [applied, restored] : reverts_) {
+        census_.transition(packed_generation(applied), packed_opinion(applied),
+                           packed_generation(restored),
+                           packed_opinion(restored));
+    }
+    reverts_.clear();
     record_new_births();
+}
+
+void Algorithm1::set_fault_injector(const fault::Injector* injector) {
+    injector_ = injector;
+    fault_on_ = injector != nullptr &&
+                (injector->crash_active() || injector->byzantine_active());
+    byz_round_ = false;
+}
+
+void Algorithm1::begin_faulted_round() {
+    byz_round_ = injector_->byzantine_active();
+    if (!byz_round_) return;
+    reported_state_ = state_;
+    const auto rewrite = [this](NodeId v, Opinion target) {
+        reported_state_[v] =
+            (reported_state_[v] & ~0xFFFFFFFFULL) | target;
+    };
+    switch (injector_->byzantine_policy()) {
+        case fault::ByzantinePolicy::kFixed:
+            for (const NodeId v : injector_->byzantine_nodes()) {
+                rewrite(v, static_cast<Opinion>(k_ - 1));
+            }
+            break;
+        case fault::ByzantinePolicy::kRandom: {
+            Rng stream = injector_->byzantine_round_stream(round_);
+            for (const NodeId v : injector_->byzantine_nodes()) {
+                rewrite(v, static_cast<Opinion>(stream.uniform_index(k_)));
+            }
+            break;
+        }
+        case fault::ByzantinePolicy::kAdaptive: {
+            const Opinion target = fault::strongest_minority(
+                k_, [this](Opinion j) { return census_.opinion_total(j); });
+            for (const NodeId v : injector_->byzantine_nodes()) {
+                rewrite(v, target);
+            }
+            break;
+        }
+    }
+}
+
+void Algorithm1::freeze_node(NodeId v) {
+    const PackedState restored = state_[v];
+    const PackedState applied = next_state_[v];
+    if (applied != restored) {
+        next_state_[v] = restored;
+        reverts_.emplace_back(applied, restored);
+    }
+}
+
+void Algorithm1::revert_frozen_round() {
+    if (injector_->crash_active()) {
+        const auto t = static_cast<double>(round_);
+        const std::size_t n = state_.size();
+        for (NodeId v = 0; v < n; ++v) {
+            if (!injector_->is_down(v, t)) continue;
+            ++crash_skips_;
+            freeze_node(v);
+        }
+    }
+    for (const NodeId v : injector_->byzantine_nodes()) freeze_node(v);
 }
 
 std::uint64_t Algorithm1::opinion_count(Opinion j) const {

@@ -17,8 +17,10 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "opinion/assignment.hpp"
 #include "opinion/census.hpp"
 #include "opinion/types.hpp"
@@ -68,8 +70,23 @@ public:
         return packed_generation(state_[v]);
     }
 
+    void set_fault_injector(const fault::Injector* injector) override;
+    [[nodiscard]] std::uint64_t fault_crash_skips() const override {
+        return crash_skips_;
+    }
+
 private:
     void record_new_births();
+
+    /// Builds the byzantine reported overlay for the round being computed:
+    /// byzantine nodes' opinion bits are rewritten per policy, their
+    /// generation bits kept (a lie about the color, not the clock).
+    void begin_faulted_round();
+
+    /// Pre-swap revert of frozen nodes' updates, queueing (applied,
+    /// restored) census corrections.
+    void revert_frozen_round();
+    void freeze_node(NodeId v);
 
     std::uint32_t k_;
     Schedule schedule_;
@@ -83,6 +100,14 @@ private:
     GenerationCensus census_;
     std::vector<GenerationBirth> births_;
     std::uint64_t round_ = 0;
+
+    // Fault layer (crash = freeze; byzantine = lie to samplers).
+    const fault::Injector* injector_ = nullptr;
+    bool fault_on_ = false;
+    bool byz_round_ = false;
+    std::vector<PackedState> reported_state_;
+    std::vector<std::pair<PackedState, PackedState>> reverts_;
+    std::uint64_t crash_skips_ = 0;
 };
 
 }  // namespace papc::sync

@@ -24,6 +24,7 @@ ColorVectorDynamics::ColorVectorDynamics(const Assignment& assignment,
 }
 
 void ColorVectorDynamics::commit_round() {
+    if (fault_on_) revert_frozen_round();
     colors_.swap(next_colors_);
     // Worker order: deterministic regardless of which shards a worker ran
     // (integer deltas commute, so any partition of the shard set sums to
@@ -34,7 +35,77 @@ void ColorVectorDynamics::commit_round() {
         std::fill(arena.deltas.begin(), arena.deltas.end(), 0);
         arena.undecided = 0;
     }
+    // Undo the census effect of the reverted frozen-node updates (their
+    // transitions were noted in the arenas during the round).
+    for (const auto& [applied, restored] : reverts_) {
+        census_.transition(applied, restored);
+    }
+    reverts_.clear();
     ++round_;
+}
+
+void ColorVectorDynamics::set_fault_injector(const fault::Injector* injector) {
+    injector_ = injector;
+    fault_on_ = injector != nullptr &&
+                (injector->crash_active() || injector->byzantine_active());
+    byz_round_ = false;
+}
+
+void ColorVectorDynamics::begin_faulted_round() {
+    byz_round_ = injector_->byzantine_active();
+    if (!byz_round_) return;
+    // Copy-on-round overlay: byzantine nodes lie to samplers; everything
+    // else reports truthfully. O(n/lanes-per-word) words per round, paid
+    // only while the byzantine layer is active.
+    reported_ = colors_;
+    const std::uint32_t k = census_.num_opinions();
+    switch (injector_->byzantine_policy()) {
+        case fault::ByzantinePolicy::kFixed:
+            for (const NodeId v : injector_->byzantine_nodes()) {
+                reported_.set(v, static_cast<Opinion>(k - 1));
+            }
+            break;
+        case fault::ByzantinePolicy::kRandom: {
+            Rng stream = injector_->byzantine_round_stream(round_ + 1);
+            for (const NodeId v : injector_->byzantine_nodes()) {
+                reported_.set(v, static_cast<Opinion>(stream.uniform_index(k)));
+            }
+            break;
+        }
+        case fault::ByzantinePolicy::kAdaptive: {
+            const Opinion target = fault::strongest_minority(
+                k, [this](Opinion j) { return census_.count(j); });
+            for (const NodeId v : injector_->byzantine_nodes()) {
+                reported_.set(v, target);
+            }
+            break;
+        }
+    }
+}
+
+void ColorVectorDynamics::freeze_node(NodeId v) {
+    const Opinion restored = colors_.get(v);
+    const Opinion applied = next_colors_.get(v);
+    if (applied != restored) {
+        next_colors_.set(v, restored);
+        reverts_.emplace_back(applied, restored);
+    }
+}
+
+void ColorVectorDynamics::revert_frozen_round() {
+    if (injector_->crash_active()) {
+        // Round-number time axis: the round just computed is round_ + 1.
+        const auto t = static_cast<double>(round_ + 1);
+        const std::size_t n = colors_.size();
+        for (NodeId v = 0; v < n; ++v) {
+            if (!injector_->is_down(v, t)) continue;
+            ++crash_skips_;
+            freeze_node(v);
+        }
+    }
+    // Byzantine nodes keep their true state (their kernel draws are
+    // discarded — idempotent with the crash freeze above).
+    for (const NodeId v : injector_->byzantine_nodes()) freeze_node(v);
 }
 
 std::size_t ColorVectorDynamics::memory_bytes() const {
@@ -47,6 +118,7 @@ PullVoting::PullVoting(const Assignment& assignment, std::size_t threads)
     : ColorVectorDynamics(assignment, /*allow_undecided=*/false, threads) {}
 
 void PullVoting::step(Rng& rng) {
+    if (fault_on()) begin_faulted_round();
     const std::size_t n = colors_.size();
     if (n < kPullVotingBatchCutover) {
         // Sub-block population: decide inline instead of paying the
@@ -63,7 +135,7 @@ void PullVoting::step(Rng& rng) {
             run_shard(base, count, sub, note, sampler);
         });
     } else {
-        const PackedGather gather(colors_);
+        const PackedGather gather(sample_source());
         run_shards<1>(rng, [&](std::size_t base, std::size_t count,
                                const std::uint64_t* idx, const Opinion* own,
                                OpinionDeltaAccumulator::View note) {
@@ -89,11 +161,11 @@ void PullVoting::run_shard(std::size_t base, std::size_t count, Rng& sub,
                            BufferedSampler& sampler) {
     const auto n = static_cast<std::uint64_t>(colors_.size());
     const std::uint64_t threshold = lemire_threshold(n);
+    const PackedOpinionArray& src = sample_source();
     PackedOpinionArray::Writer out(next_colors_, base);
     sampler.reset();
     for (std::size_t i = 0; i < count; ++i) {
-        const Opinion seen =
-            colors_.get(sampler.uniform_index(sub, n, threshold));
+        const Opinion seen = src.get(sampler.uniform_index(sub, n, threshold));
         note.note(colors_.get(base + i), seen);
         out.push(seen);
     }
@@ -104,7 +176,8 @@ TwoChoices::TwoChoices(const Assignment& assignment, std::size_t threads)
     : ColorVectorDynamics(assignment, /*allow_undecided=*/false, threads) {}
 
 void TwoChoices::step(Rng& rng) {
-    const PackedGather gather(colors_);
+    if (fault_on()) begin_faulted_round();
+    const PackedGather gather(sample_source());
     run_shards<2>(rng, [&](std::size_t base, std::size_t count,
                            const std::uint64_t* idx, const Opinion* own,
                            OpinionDeltaAccumulator::View note) {
@@ -127,6 +200,7 @@ ThreeMajority::ThreeMajority(const Assignment& assignment, std::size_t threads)
     : ColorVectorDynamics(assignment, /*allow_undecided=*/false, threads) {}
 
 void ThreeMajority::step(Rng& rng) {
+    if (fault_on()) begin_faulted_round();
     run_shards_inline(rng, [&](std::size_t base, std::size_t count, Rng& sub,
                                OpinionDeltaAccumulator::View note,
                                BufferedSampler& sampler) {
@@ -144,6 +218,7 @@ void ThreeMajority::run_shard(std::size_t base, std::size_t count, Rng& sub,
     const auto n = static_cast<std::uint64_t>(colors_.size());
     const std::uint64_t threshold = lemire_threshold(n);
     const std::uint64_t tie_threshold = lemire_threshold(3);
+    const PackedOpinionArray& src = sample_source();
     PackedOpinionArray::Writer out(next_colors_, base);
     sampler.reset();  // previous shard's substream words are dead
     // Predicts the gather target of the draw ~12 nodes ahead from the
@@ -153,15 +228,15 @@ void ThreeMajority::run_shard(std::size_t base, std::size_t count, Rng& sub,
         std::uint64_t target = 0;
         // threshold 0: never reject — a stale word only wastes the hint.
         (void)lemire_map(sampler.peek_raw(ahead), n, 0, target);
-        colors_.prefetch(target);
+        src.prefetch(target);
     };
     for (std::size_t i = 0; i < count; ++i) {
         prefetch_future(3 * kPrefetchAhead);
         prefetch_future(3 * kPrefetchAhead + 1);
         prefetch_future(3 * kPrefetchAhead + 2);
-        const Opinion a = colors_.get(sampler.uniform_index(sub, n, threshold));
-        const Opinion b = colors_.get(sampler.uniform_index(sub, n, threshold));
-        const Opinion c = colors_.get(sampler.uniform_index(sub, n, threshold));
+        const Opinion a = src.get(sampler.uniform_index(sub, n, threshold));
+        const Opinion b = src.get(sampler.uniform_index(sub, n, threshold));
+        const Opinion c = src.get(sampler.uniform_index(sub, n, threshold));
         Opinion adopted;
         if (a == b || a == c) {
             adopted = a;
@@ -184,7 +259,8 @@ UndecidedState::UndecidedState(const Assignment& assignment,
     : ColorVectorDynamics(assignment, /*allow_undecided=*/true, threads) {}
 
 void UndecidedState::step(Rng& rng) {
-    const PackedGather gather(colors_);
+    if (fault_on()) begin_faulted_round();
+    const PackedGather gather(sample_source());
     run_shards<1>(rng, [&](std::size_t base, std::size_t count,
                            const std::uint64_t* idx, const Opinion* own,
                            OpinionDeltaAccumulator::View note) {

@@ -32,8 +32,10 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "opinion/assignment.hpp"
 #include "opinion/census.hpp"
 #include "opinion/packed_array.hpp"
@@ -67,7 +69,26 @@ public:
     /// Bits per node of the packed color state (memory-anatomy counters).
     [[nodiscard]] unsigned lane_bits() const { return colors_.lane_bits(); }
 
+    void set_fault_injector(const fault::Injector* injector) override;
+    [[nodiscard]] std::uint64_t fault_crash_skips() const override {
+        return crash_skips_;
+    }
+
 protected:
+    /// Pre-round fault hook (call at step() start when fault_on_): builds
+    /// the byzantine "reported" overlay for the round being computed.
+    /// Byzantine nodes lie to samplers; their true colors_ state (and the
+    /// own-color reads of the kernels) is untouched.
+    void begin_faulted_round();
+
+    /// Where samplers read from this round: the byzantine overlay when one
+    /// is active, else the true colors. Kernels must gather through this.
+    [[nodiscard]] const PackedOpinionArray& sample_source() const {
+        return byz_round_ ? reported_ : colors_;
+    }
+
+    /// True when a crash or byzantine layer is attached (fast-path gate).
+    [[nodiscard]] bool fault_on() const { return fault_on_; }
     /// Applies the buffered next_colors_ and commits every worker arena's
     /// fused census deltas in worker order (re-establishing the arenas'
     /// all-zero invariant).
@@ -121,6 +142,20 @@ protected:
     OpinionCensus census_;
     ShardedRoundDriver driver_;
     std::uint64_t round_ = 0;
+
+private:
+    /// Pre-swap revert of frozen (crashed or byzantine) nodes' updates in
+    /// next_colors_, queueing census corrections for commit_round.
+    void revert_frozen_round();
+    void freeze_node(NodeId v);
+
+    const fault::Injector* injector_ = nullptr;
+    bool fault_on_ = false;   ///< crash or byzantine layer attached
+    bool byz_round_ = false;  ///< reported_ overlay valid this round
+    PackedOpinionArray reported_;
+    /// (applied, restored) color pairs to undo in the census at commit.
+    std::vector<std::pair<Opinion, Opinion>> reverts_;
+    std::uint64_t crash_skips_ = 0;
 };
 
 /// Below this population pull voting decides inline (BufferedSampler

@@ -16,6 +16,10 @@
 #include "support/random.hpp"
 #include "support/timeseries.hpp"
 
+namespace papc::fault {
+class Injector;
+}  // namespace papc::fault
+
 namespace papc::sync {
 
 /// Interface of a synchronous opinion dynamics.
@@ -25,6 +29,20 @@ public:
 
     /// Advances one synchronous round.
     virtual void step(Rng& rng) = 0;
+
+    /// Attaches the fault layer (src/fault/) for all subsequent rounds.
+    /// Borrowed — must outlive the dynamics; nullptr detaches. The round
+    /// semantics under faults: a crashed node neither samples nor updates
+    /// (its last state stays visible to samplers — crash = freeze);
+    /// byzantine nodes answer samples with adversarially chosen opinions
+    /// while their true state is frozen. The default ignores the injector,
+    /// so dynamics without fault support simply stay fault-free.
+    virtual void set_fault_injector(const fault::Injector* injector) {
+        (void)injector;
+    }
+
+    /// Count of per-round node updates suppressed by crashes so far.
+    [[nodiscard]] virtual std::uint64_t fault_crash_skips() const { return 0; }
 
     [[nodiscard]] virtual std::size_t population() const = 0;
     [[nodiscard]] virtual std::uint32_t num_opinions() const = 0;

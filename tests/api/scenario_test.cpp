@@ -125,7 +125,8 @@ TEST(Scenario, SetFieldRejectsUnknownFieldAndBadValues) {
 
 TEST(Scenario, FieldTableIsComplete) {
     const std::vector<std::string>& names = scenario_field_names();
-    EXPECT_EQ(names.size(), 20U);  // +threads in PR 5, +window in PR 6
+    // +threads in PR 5, +window in PR 6, +9 fault knobs in PR 9.
+    EXPECT_EQ(names.size(), 29U);
     for (const std::string& field : names) {
         EXPECT_FALSE(field_help(field).empty()) << field;
         EXPECT_FALSE(get_field(Scenario{}, field).empty()) << field;

@@ -1,0 +1,325 @@
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "support/random.hpp"
+
+namespace papc::fault {
+namespace {
+
+FaultPlan zero_plan() { return FaultPlan{}; }
+
+TEST(FaultPlan, ZeroPlanIsInactiveAndValid) {
+    const FaultPlan plan = zero_plan();
+    EXPECT_FALSE(plan.message_faults_active());
+    EXPECT_FALSE(plan.crash_active());
+    EXPECT_FALSE(plan.byzantine_active());
+    EXPECT_FALSE(plan.active());
+    std::vector<std::string> problems;
+    plan.validate(&problems);
+    EXPECT_TRUE(problems.empty());
+}
+
+TEST(FaultPlan, ActivityPredicatesCoverEveryChannel) {
+    FaultPlan plan;
+    plan.loss = 0.1;
+    EXPECT_TRUE(plan.message_faults_active());
+    EXPECT_TRUE(plan.active());
+
+    plan = zero_plan();
+    plan.straggler_fraction = 0.1;
+    EXPECT_TRUE(plan.message_faults_active());
+
+    // Scale alone is a parameter, not a fault: nothing fires without a
+    // straggler fraction, so the plan stays inactive.
+    plan = zero_plan();
+    plan.straggler_scale = 9.0;
+    EXPECT_FALSE(plan.active());
+
+    plan = zero_plan();
+    plan.crash_rate = 0.5;
+    EXPECT_TRUE(plan.crash_active());
+    EXPECT_FALSE(plan.message_faults_active());
+
+    // Recovery without a crash source is likewise inert.
+    plan = zero_plan();
+    plan.recover_rate = 2.0;
+    EXPECT_FALSE(plan.active());
+
+    plan = zero_plan();
+    plan.scheduled_crashes.push_back({3, 1.5});
+    EXPECT_TRUE(plan.crash_active());
+
+    plan = zero_plan();
+    plan.byzantine_fraction = 0.2;
+    EXPECT_TRUE(plan.byzantine_active());
+}
+
+TEST(FaultPlan, ValidateFlagsEveryOutOfRangeKnob) {
+    FaultPlan plan;
+    plan.loss = 1.5;
+    plan.duplication = -0.1;
+    plan.corruption = 2.0;
+    plan.crash_rate = -1.0;
+    plan.recover_rate = -0.5;
+    plan.straggler_fraction = 1.1;
+    plan.straggler_scale = -2.0;
+    plan.byzantine_fraction = -0.3;
+    plan.scheduled_crashes.push_back({0, -1.0});
+    std::vector<std::string> problems;
+    plan.validate(&problems);
+    EXPECT_EQ(problems.size(), 9U);
+}
+
+TEST(Injector, ConstructionNeverAdvancesTheParentGenerator) {
+    Rng untouched(42);
+    Rng parent(42);
+    FaultPlan plan;
+    plan.loss = 0.3;
+    plan.crash_rate = 0.05;
+    plan.recover_rate = 0.1;
+    plan.byzantine_fraction = 0.25;
+    const Injector injector(plan, 64, 100.0, parent);
+    // The parent must produce the exact same tape as a generator that
+    // never met the injector — substream derivation is pure.
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_EQ(parent.next_u64(), untouched.next_u64());
+    }
+}
+
+TEST(Injector, ZeroRatesDrawNothingAndYieldTheDefaultFate) {
+    Rng parent(7);
+    const Injector injector(zero_plan(), 16, 10.0, parent);
+    Rng stream = injector.serial_stream();
+    const std::uint64_t before = Rng(stream).next_u64();
+    const MessageFate fate = injector.draw_fate(stream);
+    EXPECT_FALSE(fate.drop);
+    EXPECT_FALSE(fate.duplicate);
+    EXPECT_FALSE(fate.corrupt);
+    EXPECT_EQ(fate.delay_multiplier, 1.0);
+    // No channel was enabled, so the stream consumed no draws at all.
+    EXPECT_EQ(stream.next_u64(), before);
+}
+
+TEST(Injector, CertainLossDropsEverythingWithNoFurtherFate) {
+    Rng parent(7);
+    FaultPlan plan;
+    plan.loss = 1.0;
+    plan.duplication = 1.0;
+    plan.corruption = 1.0;
+    const Injector injector(plan, 16, 10.0, parent);
+    Rng stream = injector.serial_stream();
+    for (int i = 0; i < 32; ++i) {
+        const MessageFate fate = injector.draw_fate(stream);
+        EXPECT_TRUE(fate.drop);
+        EXPECT_FALSE(fate.duplicate);  // a dropped message has no copies
+        EXPECT_FALSE(fate.corrupt);
+    }
+}
+
+TEST(Injector, FateRatesMatchThePlanStatistically) {
+    Rng parent(123);
+    FaultPlan plan;
+    plan.loss = 0.3;
+    plan.duplication = 0.2;
+    plan.straggler_fraction = 0.25;
+    plan.straggler_scale = 2.0;
+    const Injector injector(plan, 16, 10.0, parent);
+    Rng stream = injector.serial_stream();
+    const int trials = 20000;
+    int lost = 0;
+    int duplicated = 0;
+    int delayed = 0;
+    for (int i = 0; i < trials; ++i) {
+        const MessageFate fate = injector.draw_fate(stream);
+        if (fate.drop) ++lost;
+        if (fate.duplicate) ++duplicated;
+        if (fate.delay_multiplier > 1.0) {
+            ++delayed;
+            EXPECT_GT(fate.delay_multiplier, 1.0);
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(lost) / trials, 0.30, 0.02);
+    // Duplication / straggler draws happen only for surviving messages.
+    EXPECT_NEAR(static_cast<double>(duplicated) / trials, 0.7 * 0.20, 0.02);
+    EXPECT_NEAR(static_cast<double>(delayed) / trials, 0.7 * 0.25, 0.02);
+}
+
+TEST(Injector, MessageStreamsAreLabeledByWindowAndShard) {
+    Rng parent(9);
+    FaultPlan plan;
+    plan.loss = 0.5;
+    const Injector a(plan, 16, 10.0, parent);
+    const Injector b(plan, 16, 10.0, parent);
+    // Same (window, shard) label -> identical stream, across instances.
+    EXPECT_EQ(a.message_stream(3, 1).next_u64(),
+              b.message_stream(3, 1).next_u64());
+    EXPECT_EQ(a.serial_stream().next_u64(), b.serial_stream().next_u64());
+    // Different labels -> different tapes.
+    EXPECT_NE(a.message_stream(3, 1).next_u64(),
+              a.message_stream(3, 2).next_u64());
+    EXPECT_NE(a.message_stream(3, 1).next_u64(),
+              a.message_stream(4, 1).next_u64());
+}
+
+TEST(Injector, CrashWithoutRecoveryIsPermanent) {
+    Rng parent(11);
+    FaultPlan plan;
+    plan.crash_rate = 0.5;  // mean crash time 2, horizon 50: all crash
+    const Injector injector(plan, 32, 50.0, parent);
+    EXPECT_GT(injector.nodes_crashed(), 0U);
+    for (NodeId v = 0; v < 32; ++v) {
+        if (!injector.is_down(v, 50.0)) continue;
+        // Find the crash boundary by bisection and check monotonicity:
+        // once down (no recover rate), down forever.
+        double lo = 0.0;
+        double hi = 50.0;
+        for (int i = 0; i < 40; ++i) {
+            const double mid = 0.5 * (lo + hi);
+            (injector.is_down(v, mid) ? hi : lo) = mid;
+        }
+        EXPECT_FALSE(injector.is_down(v, lo));
+        EXPECT_TRUE(injector.is_down(v, hi));
+        EXPECT_TRUE(injector.is_down(v, 0.5 * (hi + 50.0)));
+    }
+}
+
+TEST(Injector, RecoveryBringsNodesBackUp) {
+    Rng parent(13);
+    FaultPlan plan;
+    plan.crash_rate = 1.0;
+    plan.recover_rate = 4.0;  // short outages
+    const Injector injector(plan, 64, 200.0, parent);
+    // With mean downtime 0.25 over a horizon of 200, some node must be
+    // down at some probe and up again later.
+    bool saw_recovery = false;
+    for (NodeId v = 0; v < 64 && !saw_recovery; ++v) {
+        bool was_down = false;
+        for (double t = 0.0; t <= 200.0; t += 0.125) {
+            const bool down = injector.is_down(v, t);
+            if (was_down && !down) saw_recovery = true;
+            was_down = down;
+        }
+    }
+    EXPECT_TRUE(saw_recovery);
+}
+
+TEST(Injector, ScheduledCrashesHitTheirExactBoundary) {
+    Rng parent(17);
+    FaultPlan plan;
+    plan.scheduled_crashes.push_back({5, 7.5});
+    const Injector injector(plan, 16, 100.0, parent);
+    EXPECT_FALSE(injector.is_down(5, 7.499));
+    EXPECT_TRUE(injector.is_down(5, 7.5));  // down AT the crash time
+    EXPECT_TRUE(injector.is_down(5, 99.0));
+    EXPECT_FALSE(injector.is_down(4, 99.0));
+    EXPECT_EQ(injector.nodes_crashed(), 1U);
+}
+
+TEST(Injector, ScheduledCrashBeyondHorizonStillBindsButDoesNotCount) {
+    Rng parent(17);
+    FaultPlan plan;
+    plan.scheduled_crashes.push_back({2, 500.0});
+    const Injector injector(plan, 16, 100.0, parent);
+    EXPECT_EQ(injector.nodes_crashed(), 0U);  // outside the horizon
+    EXPECT_TRUE(injector.is_down(2, 500.0));
+}
+
+TEST(Injector, LeaderCrashMatchesTheLegacyBoundary) {
+    Rng parent(19);
+    FaultPlan plan;
+    plan.scheduled_crashes.push_back({kLeaderNode, 12.0});
+    const Injector injector(plan, 16, 100.0, parent);
+    EXPECT_TRUE(injector.has_leader_crash());
+    EXPECT_FALSE(injector.leader_down(11.999));
+    EXPECT_TRUE(injector.leader_down(12.0));  // legacy t >= failure_time
+    // The leader entry is not an ordinary-node crash.
+    EXPECT_FALSE(injector.is_down(0, 99.0));
+    EXPECT_EQ(injector.nodes_crashed(), 0U);
+
+    Rng parent2(19);
+    const Injector none(zero_plan(), 16, 100.0, parent2);
+    EXPECT_FALSE(none.has_leader_crash());
+    EXPECT_FALSE(none.leader_down(1e18));
+}
+
+TEST(Injector, DegenerateRateProductsRespectTheBoundaryCap) {
+    Rng parent(23);
+    FaultPlan plan;
+    plan.crash_rate = 1000.0;
+    plan.recover_rate = 1000.0;  // ~200k boundaries without the cap
+    const Injector a(plan, 8, 100.0, parent);
+    const Injector b(plan, 8, 100.0, parent);
+    // Truncated, but still deterministic: both instances agree everywhere.
+    for (NodeId v = 0; v < 8; ++v) {
+        for (double t = 0.0; t < 100.0; t += 1.0) {
+            EXPECT_EQ(a.is_down(v, t), b.is_down(v, t)) << v << " " << t;
+        }
+    }
+}
+
+TEST(Injector, ByzantineSetIsAscendingReproducibleAndFractionSized) {
+    Rng parent(29);
+    FaultPlan plan;
+    plan.byzantine_fraction = 0.25;
+    const Injector a(plan, 4096, 10.0, parent);
+    const Injector b(plan, 4096, 10.0, parent);
+    EXPECT_EQ(a.byzantine_nodes(), b.byzantine_nodes());
+    EXPECT_TRUE(std::is_sorted(a.byzantine_nodes().begin(),
+                               a.byzantine_nodes().end()));
+    EXPECT_EQ(a.byzantine_count(), a.byzantine_nodes().size());
+    EXPECT_NEAR(static_cast<double>(a.byzantine_count()) / 4096.0, 0.25,
+                0.03);
+    for (const NodeId v : a.byzantine_nodes()) {
+        EXPECT_TRUE(a.is_byzantine(v));
+    }
+    EXPECT_EQ(a.byzantine_round_stream(5).next_u64(),
+              b.byzantine_round_stream(5).next_u64());
+    EXPECT_NE(a.byzantine_round_stream(5).next_u64(),
+              a.byzantine_round_stream(6).next_u64());
+}
+
+TEST(Injector, ByzantineFractionOneMarksEveryNode) {
+    Rng parent(31);
+    FaultPlan plan;
+    plan.byzantine_fraction = 1.0;
+    const Injector injector(plan, 100, 10.0, parent);
+    EXPECT_EQ(injector.byzantine_count(), 100U);
+}
+
+TEST(ByzantinePolicy, NamesRoundTrip) {
+    for (const ByzantinePolicy policy :
+         {ByzantinePolicy::kFixed, ByzantinePolicy::kRandom,
+          ByzantinePolicy::kAdaptive}) {
+        ByzantinePolicy parsed = ByzantinePolicy::kFixed;
+        EXPECT_TRUE(try_parse_byzantine_policy(to_string(policy), &parsed));
+        EXPECT_EQ(parsed, policy);
+    }
+    ByzantinePolicy out = ByzantinePolicy::kFixed;
+    EXPECT_FALSE(try_parse_byzantine_policy("evil", &out));
+}
+
+TEST(StrongestMinority, PicksTheRunnerUpWithSmallestIndexTies) {
+    const std::vector<std::uint64_t> counts = {50, 30, 30, 10};
+    const auto count = [&counts](Opinion j) { return counts[j]; };
+    EXPECT_EQ(strongest_minority(4, count), 1U);  // tie 1 vs 2 -> 1
+
+    const std::vector<std::uint64_t> flipped = {10, 20, 70, 5};
+    EXPECT_EQ(strongest_minority(
+                  4, [&flipped](Opinion j) { return flipped[j]; }),
+              1U);  // dominant is 2; runner-up is 1
+}
+
+TEST(StrongestMinority, DegeneratesGracefully) {
+    const auto ones = [](Opinion) { return std::uint64_t{1}; };
+    EXPECT_EQ(strongest_minority(1, ones), 0U);  // no minority exists
+    EXPECT_EQ(strongest_minority(2, ones), 1U);  // dominant 0, minority 1
+}
+
+}  // namespace
+}  // namespace papc::fault

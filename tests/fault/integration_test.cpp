@@ -1,0 +1,175 @@
+// Cross-family fault-injection pins, driven through api::run so every
+// engine is exercised exactly the way papc_cli reaches it:
+//   - a fixed faulty scenario is bit-identical at threads {1, 2, 8} for
+//     all four families (the injector draws from (window/round, shard,
+//     channel)-labeled substreams, never from lane timing),
+//   - a plan with every rate at zero is byte-identical to the fault-free
+//     run (attaching the layer costs nothing and shifts no tape),
+//   - degraded runs actually report their damage through the uniform
+//     fault-counter extras.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "api/registry.hpp"
+#include "core/run_result.hpp"
+
+namespace papc::api {
+namespace {
+
+/// One representative protocol per engine family. The population engine
+/// is serial (the threads knob is inert there), but it rides along to pin
+/// exactly that.
+const char* const kFamilyProtocols[] = {"sync", "pp-undecided", "async",
+                                        "multi"};
+
+Scenario small_scenario(const std::string& protocol) {
+    Scenario s;
+    s.protocol = protocol;
+    s.n = protocol == "multi" ? 1024 : 256;
+    s.k = protocol == "sync" ? 3 : 4;
+    s.alpha = 2.5;
+    s.max_time = 600.0;
+    s.max_steps = protocol == "sync" ? 2000 : 0;
+    s.record_series = false;
+    return s;
+}
+
+/// A scenario with every fault channel lit (each family consumes the
+/// subset that applies to its model).
+Scenario faulty_scenario(const std::string& protocol) {
+    Scenario s = small_scenario(protocol);
+    s.fault_loss = 0.1;
+    s.fault_dup = 0.05;
+    s.fault_corrupt = 0.05;
+    s.fault_straggler_frac = 0.1;
+    s.fault_straggler_scale = 2.0;
+    s.fault_crash_rate = 0.002;
+    s.fault_recover_rate = 0.05;
+    s.byzantine_frac = 0.05;
+    s.byzantine_policy = fault::ByzantinePolicy::kAdaptive;
+    return s;
+}
+
+TEST(FaultIntegration, FaultyTrajectoriesAreBitIdenticalAcrossThreads) {
+    for (const char* protocol : kFamilyProtocols) {
+        Scenario s = faulty_scenario(protocol);
+        s.threads = 1;
+        const ScenarioResult base = run(s, 321);
+        for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+            s.threads = threads;
+            const ScenarioResult other = run(s, 321);
+            EXPECT_EQ(core::serialize(base.run), core::serialize(other.run))
+                << protocol << " threads=" << threads;
+            EXPECT_EQ(base.extras, other.extras)
+                << protocol << " threads=" << threads;
+        }
+    }
+}
+
+TEST(FaultIntegration, ZeroRatePlanIsByteIdenticalToFaultFree) {
+    for (const char* protocol : kFamilyProtocols) {
+        const ScenarioResult clean = run(small_scenario(protocol), 55);
+        // Non-default but inactive fault knobs: a straggler scale with no
+        // straggler fraction and a recover rate with no crash source must
+        // not activate the layer, let alone perturb the trajectory.
+        Scenario inert = small_scenario(protocol);
+        inert.fault_straggler_scale = 9.0;
+        inert.fault_recover_rate = 3.0;
+        const ScenarioResult same = run(inert, 55);
+        EXPECT_EQ(core::serialize(clean.run), core::serialize(same.run))
+            << protocol;
+        EXPECT_EQ(clean.extras, same.extras) << protocol;
+        EXPECT_EQ(clean.extras.at("faults_injected"), 0.0) << protocol;
+        EXPECT_EQ(clean.extras.at("nodes_crashed"), 0.0) << protocol;
+    }
+}
+
+TEST(FaultIntegration, SameSeedReproducesTheSameFaultyRun) {
+    for (const char* protocol : kFamilyProtocols) {
+        const Scenario s = faulty_scenario(protocol);
+        const ScenarioResult a = run(s, 77);
+        const ScenarioResult b = run(s, 77);
+        EXPECT_EQ(core::serialize(a.run), core::serialize(b.run)) << protocol;
+        EXPECT_EQ(a.extras, b.extras) << protocol;
+    }
+}
+
+TEST(FaultIntegration, MessageFaultsAreCountedByTheEventFamilies) {
+    for (const char* protocol : {"async", "validated", "multi"}) {
+        Scenario s = small_scenario(protocol);
+        s.fault_loss = 0.2;
+        s.fault_dup = 0.1;
+        s.fault_corrupt = 0.1;
+        s.fault_straggler_frac = 0.2;
+        s.fault_straggler_scale = 2.0;
+        const ScenarioResult r = run(s, 13);
+        EXPECT_GT(r.extras.at("messages_lost"), 0.0) << protocol;
+        EXPECT_GT(r.extras.at("messages_duplicated"), 0.0) << protocol;
+        EXPECT_GT(r.extras.at("messages_corrupted"), 0.0) << protocol;
+        EXPECT_GT(r.extras.at("messages_delayed"), 0.0) << protocol;
+        EXPECT_GE(r.extras.at("faults_injected"),
+                  r.extras.at("messages_lost"))
+            << protocol;
+    }
+}
+
+TEST(FaultIntegration, CrashesSuppressWorkInEveryFamily) {
+    for (const char* protocol : kFamilyProtocols) {
+        Scenario s = small_scenario(protocol);
+        s.fault_crash_rate = 0.01;
+        const ScenarioResult r = run(s, 17);
+        EXPECT_GT(r.extras.at("nodes_crashed"), 0.0) << protocol;
+        EXPECT_GT(r.extras.at("crash_skips"), 0.0) << protocol;
+    }
+}
+
+TEST(FaultIntegration, ByzantineReportingReachesTheSamplingFamilies) {
+    // Byzantine reporting lies on the sampling channel, which only the
+    // round/pair families have; each policy must run to a valid result.
+    for (const char* protocol : {"sync", "3-majority", "pp-undecided"}) {
+        for (const fault::ByzantinePolicy policy :
+             {fault::ByzantinePolicy::kFixed, fault::ByzantinePolicy::kRandom,
+              fault::ByzantinePolicy::kAdaptive}) {
+            Scenario s = small_scenario(protocol);
+            s.byzantine_frac = 0.1;
+            s.byzantine_policy = policy;
+            const ScenarioResult r = run(s, 23);
+            EXPECT_TRUE(core::consistent(r.run))
+                << protocol << " " << fault::to_string(policy);
+            EXPECT_GT(r.extras.at("byzantine_nodes"), 0.0)
+                << protocol << " " << fault::to_string(policy);
+        }
+    }
+}
+
+TEST(FaultIntegration, PopulationMessageFaultsAreCounted) {
+    Scenario s = small_scenario("pp-undecided");
+    s.fault_loss = 0.3;
+    s.fault_dup = 0.1;
+    s.fault_corrupt = 0.1;
+    const ScenarioResult r = run(s, 29);
+    EXPECT_GT(r.extras.at("messages_lost"), 0.0);
+    EXPECT_GT(r.extras.at("messages_duplicated"), 0.0);
+    EXPECT_GT(r.extras.at("messages_corrupted"), 0.0);
+    // Stragglers are meaningless without a latency axis: never counted.
+    EXPECT_EQ(r.extras.at("messages_delayed"), 0.0);
+}
+
+TEST(FaultIntegration, HeavyLossStillLeavesAConsistentResult) {
+    // Degradation, not corruption of the harness: even a badly damaged
+    // run must produce an internally consistent RunResult.
+    for (const char* protocol : kFamilyProtocols) {
+        Scenario s = faulty_scenario(protocol);
+        s.fault_loss = 0.5;
+        s.fault_crash_rate = 0.02;
+        const ScenarioResult r = run(s, 31);
+        EXPECT_TRUE(core::consistent(r.run)) << protocol;
+        EXPECT_GT(r.run.steps, 0U) << protocol;
+    }
+}
+
+}  // namespace
+}  // namespace papc::api

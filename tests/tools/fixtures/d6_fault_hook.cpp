@@ -1,0 +1,17 @@
+// papc_lint fixture: trips D6 (fault-hygiene) and nothing else.
+// A round kernel reaching for the injector directly means fault decisions
+// leak out of the sanctioned delivery/round/pair interposition points —
+// the per-(window, shard) substream labeling can no longer be audited in
+// one place. Linted --as-dir src/sync: sanctioned files are named
+// explicitly, so a stray kernel file is out of bounds.
+#include "fault/injector.hpp"
+
+namespace papc::sync {
+
+unsigned kernel_with_inline_faults(fault::Injector& injector,  // D6
+                                   Rng& rng) {
+    const fault::MessageFate fate = injector.draw_fate(rng);  // D6
+    return fate.drop ? 0U : 1U;
+}
+
+}  // namespace papc::sync

@@ -1,0 +1,13 @@
+// papc_lint fixture: trips D6 (fault-hygiene) inside the fault layer.
+// Rng::split() advances the parent generator, so building a fault stream
+// with it would shift the engine's own tape — attaching an injector must
+// be a no-op for the fault-free trajectory. Linted --as-dir src/fault.
+#include "support/random.hpp"
+
+namespace papc::fault {
+
+support::Rng stream_that_shifts_the_engine_tape(support::Rng& parent) {
+    return parent.split();  // D6: parent-advancing; use substream
+}
+
+}  // namespace papc::fault

@@ -1,0 +1,13 @@
+// papc_lint fixture: a justified D6 suppression — lints clean (exit 0).
+// Diagnostics-only code may peek at the injector when the justification
+// spells out why no trajectory state is touched.
+#include "fault/injector.hpp"  // papc-lint: allow(D6): diagnostics-only peek
+
+namespace papc::sync {
+
+unsigned diagnostics_only_peek(
+    const fault::Injector& injector) {  // papc-lint: allow(D6): read-only
+    return static_cast<unsigned>(injector.byzantine_count());
+}
+
+}  // namespace papc::sync

@@ -21,15 +21,21 @@ LINE_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+):(?P<col>\d+): "
 GITHUB_RE = re.compile(r"^::error file=[^,]+,line=\d+,col=\d+,"
                        r"title=papc_lint [A-Z0-9]+ \([a-z\-]+\)::")
 
-# fixture basename -> (expected rule-ID set, expected exit code)
+# fixture basename -> (expected rule-ID set, expected exit code, as-dir).
+# Most fixtures pose as src/sync/ files (a directory where every rule is
+# in scope); the in-layer D6 fixture poses as src/fault/ because that arm
+# of the rule only applies inside the fault layer itself.
 FIXTURE_EXPECTATIONS = {
-    "d1_raw_rng.cpp": ({"D1"}, 1),
-    "d2_unordered_iteration.cpp": ({"D2"}, 1),
-    "d3_raw_thread.cpp": ({"D3"}, 1),
-    "d4_wall_clock.cpp": ({"D4"}, 1),
-    "d5_simd.cpp": ({"D5"}, 1),
-    "suppressed_ok.cpp": (set(), 0),
-    "suppression_missing_justification.cpp": ({"SUPP"}, 1),
+    "d1_raw_rng.cpp": ({"D1"}, 1, "src/sync"),
+    "d2_unordered_iteration.cpp": ({"D2"}, 1, "src/sync"),
+    "d3_raw_thread.cpp": ({"D3"}, 1, "src/sync"),
+    "d4_wall_clock.cpp": ({"D4"}, 1, "src/sync"),
+    "d5_simd.cpp": ({"D5"}, 1, "src/sync"),
+    "d6_fault_hook.cpp": ({"D6"}, 1, "src/sync"),
+    "d6_split_in_fault.cpp": ({"D6"}, 1, "src/fault"),
+    "d6_suppressed_ok.cpp": (set(), 0, "src/sync"),
+    "suppressed_ok.cpp": (set(), 0, "src/sync"),
+    "suppression_missing_justification.cpp": ({"SUPP"}, 1, "src/sync"),
 }
 
 failures = []
@@ -61,12 +67,12 @@ def main():
     parser.add_argument("--compdb", required=True)
     args = parser.parse_args()
 
-    # 1-3: fixtures, each linted as if it lived in src/sync/ (a directory
-    # where every rule D1-D5 is in scope).
-    for name, (expected_ids, expected_exit) in FIXTURE_EXPECTATIONS.items():
+    # 1-3: fixtures, each linted as if it lived in its declared directory.
+    for name, (expected_ids, expected_exit,
+               as_dir) in FIXTURE_EXPECTATIONS.items():
         path = f"{args.fixtures}/{name}"
         proc, ids = run_lint(args.lint,
-                             ["--files", path, "--as-dir", "src/sync",
+                             ["--files", path, "--as-dir", as_dir,
                               "--root", args.root])
         check(ids == expected_ids,
               f"{name}: rule IDs {sorted(ids)} == {sorted(expected_ids)}")

@@ -36,6 +36,17 @@ rules:
                           static_assert'ed layout checks; everything else
                           reaches SIMD through the support/cpu runtime
                           dispatch.
+  D6 fault-hygiene        The fault layer stays behind its sanctioned
+                          injection points: fault:: types and injector
+                          draw calls appear only in src/fault/ and the
+                          engine drivers that wire a FaultPlan in
+                          (executors, simulation drivers, scenario/
+                          registry plumbing) — never inside round/pair
+                          kernels. Inside src/fault/ no stream may come
+                          from the parent-advancing Rng::split(): every
+                          fault stream derives through the pure
+                          Rng::substream, so attaching an injector never
+                          shifts an engine's random tape.
 
 Suppressions: `// papc-lint: allow(D3): <justification>` on the violating
 line, or on its own line to cover the next code line. The justification
@@ -79,6 +90,7 @@ RULE_NAMES = {
     "D3": "raw-thread",
     "D4": "wall-clock",
     "D5": "simd-hygiene",
+    "D6": "fault-hygiene",
     "SUPP": "suppression-justification",
 }
 NAME_TO_ID = {name: rule_id for rule_id, name in RULE_NAMES.items()}
@@ -287,6 +299,29 @@ D3_EXEMPT = ("src/support/thread_pool.hpp", "src/support/thread_pool.cpp",
              "src/sim/windowed_executor.hpp", "src/sync/round_kernel.hpp")
 D5_ALLOWED = "src/sync/simd_gather.cpp"
 
+# The sanctioned fault-injection surface: the layer itself plus every
+# engine driver that wires a FaultPlan in. Kernels, queues, census and
+# support code must stay fault-free — faults interpose at delivery /
+# round / pair boundaries, never inside the hot loops.
+D6_SANCTIONED = (
+    "src/fault/",
+    "src/sim/windowed_executor.hpp",
+    "src/async/config.hpp",
+    "src/async/simulation.hpp", "src/async/simulation.cpp",
+    "src/async/sequential_simulation.hpp",
+    "src/async/sequential_simulation.cpp",
+    "src/async/validated_simulation.hpp",
+    "src/async/validated_simulation.cpp",
+    "src/cluster/config.hpp",
+    "src/cluster/simulation.hpp", "src/cluster/simulation.cpp",
+    "src/sync/engine.hpp",
+    "src/sync/baselines.hpp", "src/sync/baselines.cpp",
+    "src/sync/algorithm1.hpp", "src/sync/algorithm1.cpp",
+    "src/population/scheduler.hpp", "src/population/scheduler.cpp",
+    "src/api/scenario.hpp", "src/api/scenario.cpp",
+    "src/api/registry.cpp",
+)
+
 RULES = [
     Rule(
         "D1",
@@ -358,6 +393,28 @@ RULES = [
              "there behind the support/cpu dispatch"),
             (re.compile(r"#\s*include\s*<\w*intrin\.h>"),
              "intrinsics header outside sync/simd_gather.cpp"),
+        ],
+    ),
+    Rule(
+        "D6",
+        lambda p: _under(p, "src/") and not _under(p, *D6_SANCTIONED),
+        [
+            (re.compile(r"\bfault\s*::\s*\w+|#\s*include\s*\"fault/"),
+             "fault-layer reference outside the sanctioned injection "
+             "points; faults interpose at the engine drivers and "
+             "executors, never inside kernels or support code"),
+            (re.compile(r"\bdraw_fate\s*\(|\bbyzantine_round_stream\s*\("),
+             "injector draw call outside the sanctioned injection points"),
+        ],
+    ),
+    Rule(
+        "D6",
+        lambda p: _under(p, "src/fault/"),
+        [
+            (re.compile(r"\.\s*split\s*\(\s*\)"),
+             "parent-advancing Rng::split() in the fault layer; derive "
+             "every fault stream via the pure Rng::substream so attaching "
+             "an injector never shifts an engine's random tape"),
         ],
     ),
 ]
@@ -454,7 +511,7 @@ def files_from_compdb(compdb_arg, root):
 def main(argv):
     parser = argparse.ArgumentParser(
         prog="papc_lint",
-        description="determinism lint for papc (rules D1-D5; see --list-rules)")
+        description="determinism lint for papc (rules D1-D6; see --list-rules)")
     parser.add_argument("--compdb", metavar="BUILDDIR",
                         help="build dir (or compile_commands.json) to lint "
                              "all of src/ from")
