@@ -196,6 +196,13 @@ def main():
         print(f"{name:<{width}}  {fmt(b_value, b_kind):>12}  "
               f"{fmt(a_value, a_kind):>12}  {ratio:5.2f}x")
     print(f"{compared} compared, {slowdowns} slower")
+    if compared == 0 and (args.field or args.extras):
+        # Every row printed n/a: a typo'd counter/extra name would
+        # otherwise produce a silently-empty comparison.
+        what = "extra" if args.extras else f"counter '{args.field}'"
+        print(f"error: no row carries the requested {what} on both sides "
+              f"— check the name against the JSON inputs", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Summarize a papc_lint --json report.
+
+Usage:
+    python3 tools/papc_lint/papc_lint.py --compdb build --json report.json
+    scripts/lint-summary.py report.json [--suppressed]
+
+Prints a per-rule count table from the structured report — the intended
+consumer interface for dashboards and scripts (no text parsing). By
+default only active violations are tabulated; --suppressed adds the
+justified suppressions, which is the quickest way to audit how many
+exceptions each rule has accumulated.
+
+Exits 0 when the report contains no active violations, 1 otherwise (so
+the script doubles as a gate on a stored report).
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="papc_lint --json output file")
+    parser.add_argument("--suppressed", action="store_true",
+                        help="also tabulate justified suppressions")
+    args = parser.parse_args()
+
+    with open(args.report, encoding="utf-8") as handle:
+        report = json.load(handle)
+    if report.get("tool") != "papc_lint":
+        print(f"{args.report}: not a papc_lint report", file=sys.stderr)
+        return 2
+
+    summary = report.get("summary", {})
+    findings = report.get("findings", [])
+    statuses = {"violation"}
+    if args.suppressed:
+        statuses.add("suppressed")
+
+    by_rule = {}
+    for finding in findings:
+        if finding.get("status") in statuses:
+            key = (finding["rule"], finding.get("name", ""),
+                   finding["status"])
+            by_rule[key] = by_rule.get(key, 0) + 1
+
+    print(f"{summary.get('files', '?')} files linted, "
+          f"{summary.get('violations', 0)} violation(s), "
+          f"{summary.get('suppressed', 0)} suppressed")
+    if by_rule:
+        width = max(len(f"{r} {n}") for r, n, _ in by_rule)
+        for (rule, name, status), count in sorted(by_rule.items()):
+            label = f"{rule} {name}"
+            print(f"  {label:<{width}}  {count:4d}  {status}")
+    return 1 if summary.get("violations", 0) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,6 +77,10 @@ public:
     /// Serial engines (sequential single-leader, population pairs) hold
     /// one message/pair stream for the whole run.
     [[nodiscard]] Rng serial_stream() const {
+        // papc-lint: allow(D7): disjoint from message_stream — the windowed
+        // executor pre-increments window_counter_ before deriving lane
+        // streams, so windowed labels always have window >= 1, and a run
+        // uses either the windowed or the serial stream, never both.
         return msg_base_.substream(0, 0);
     }
 

@@ -1,0 +1,24 @@
+// papc_lint fixture: two substream call sites whose label tuples can
+// collide under the same parent generator — trips D7 and nothing else.
+// The per-round site derives (round, 0); the serial site derives (0, 0);
+// at round == 0 both children are the SAME stream, so every draw the
+// serial consumer makes is correlated with round 0's message fates.
+#include "support/random.hpp"
+
+namespace papc::sync {
+
+class CollidingStreams {
+public:
+    support::Rng round_stream(std::uint64_t round) const {
+        return base_.substream(round, 0);
+    }
+
+    support::Rng serial_stream() const {
+        return base_.substream(0, 0);
+    }
+
+private:
+    support::Rng base_;
+};
+
+}  // namespace papc::sync

@@ -1,0 +1,41 @@
+// papc_lint fixture: the same colliding substream pair as
+// d7_substream_collision.cpp, cleared two ways — lints clean (exit 0).
+//
+//   * the (kRoundTag, round) / (kSerialTag, 0) pair is disjoint by
+//     CONSTANT RESOLUTION: the first label component differs as resolved
+//     constexpr constants, so no suppression is needed at all;
+//   * the genuinely-colliding (round, 0) / (0, 0) pair carries a
+//     justified suppression on one site, which clears the whole pair.
+#include "support/random.hpp"
+
+namespace papc::sync {
+
+inline constexpr std::uint64_t kRoundTag = 1;
+inline constexpr std::uint64_t kSerialTag = 2;
+
+class DisjointStreams {
+public:
+    support::Rng round_stream(std::uint64_t round) const {
+        return base_.substream(kRoundTag, round);
+    }
+
+    support::Rng serial_stream() const {
+        return base_.substream(kSerialTag, 0);
+    }
+
+    support::Rng replay_stream(std::uint64_t round) const {
+        return replay_base_.substream(round, 0);
+    }
+
+    support::Rng replay_serial_stream() const {
+        // papc-lint: allow(D7): replay runs are single-consumer — a replay
+        // uses either the per-round or the serial stream, never both.
+        return replay_base_.substream(0, 0);
+    }
+
+private:
+    support::Rng base_;
+    support::Rng replay_base_;
+};
+
+}  // namespace papc::sync

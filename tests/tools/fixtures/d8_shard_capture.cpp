@@ -1,0 +1,20 @@
+// papc_lint fixture: a pool-job lambda that captures by reference and
+// writes captured state from inside the job body — trips D8 and nothing
+// else. `total += ...` runs in completion order across workers, so the
+// fold's result depends on scheduling, breaking the bit-identical merge
+// contract (and without an atomic it is also a data race).
+#include "support/thread_pool.hpp"
+
+namespace papc::sync {
+
+double racy_sum(support::ThreadPool& pool, const double* values,
+                std::size_t count) {
+    double total = 0.0;
+    pool.parallel_for(count, [&](std::size_t task, std::size_t worker) {
+        (void)worker;
+        total += values[task];
+    });
+    return total;
+}
+
+}  // namespace papc::sync

@@ -1,0 +1,36 @@
+// papc_lint fixture: shard-capture patterns that lint clean (exit 0).
+//
+//   * the parameter-indexed slot write (per_task[task] = ...) is the
+//     sanctioned per-task result pattern — each task owns its slot, the
+//     fold over slots happens after the barrier in index order;
+//   * locals and lambda parameters are shard-private by construction;
+//   * the deliberately-racy histogram fold carries a justified
+//     suppression (here standing in for a provably commutative fold
+//     guarded elsewhere).
+#include "support/thread_pool.hpp"
+
+#include <vector>
+
+namespace papc::sync {
+
+void per_task_slots(support::ThreadPool& pool, std::vector<double>& per_task,
+                    const double* values) {
+    pool.parallel_for(per_task.size(),
+                      [&](std::size_t task, std::size_t worker) {
+                          (void)worker;
+                          double scaled = values[task] * 2.0;
+                          per_task[task] = scaled;
+                      });
+}
+
+void suppressed_fold(support::ThreadPool& pool, double& total,
+                     const double* values, std::size_t count) {
+    pool.parallel_for(count, [&](std::size_t task, std::size_t worker) {
+        (void)worker;
+        // papc-lint: allow(D8): fixture stand-in for a commutative fold
+        // whose determinism is pinned by an equivalence test.
+        total += values[task];
+    });
+}
+
+}  // namespace papc::sync

@@ -1,0 +1,10 @@
+// papc_lint fixture (tree mode): one half of an include cycle — trips L1.
+#pragma once
+
+#include "round_state.hpp"
+
+namespace papc::sync {
+struct CensusView {
+    const RoundState* state;
+};
+}  // namespace papc::sync

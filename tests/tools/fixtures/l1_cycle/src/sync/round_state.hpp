@@ -1,0 +1,10 @@
+// papc_lint fixture (tree mode): the other half of the include cycle.
+#pragma once
+
+#include "census_view.hpp"
+
+namespace papc::sync {
+struct RoundState {
+    CensusView view;
+};
+}  // namespace papc::sync

@@ -1,0 +1,9 @@
+// papc_lint fixture (tree mode): an upward include that is whitelisted by
+// the [[allow]] entry in layers_allow.toml — clean under that manifest.
+#pragma once
+
+#include "sync/stub.hpp"
+
+namespace papc::support {
+inline int helper() { return papc::sync::stub(); }
+}  // namespace papc::support

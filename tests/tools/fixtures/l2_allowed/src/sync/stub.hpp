@@ -1,0 +1,7 @@
+// papc_lint fixture (tree mode): the higher-layer header reached through
+// the whitelisted edge.
+#pragma once
+
+namespace papc::sync {
+inline int stub() { return 7; }
+}  // namespace papc::sync

@@ -1,0 +1,9 @@
+// papc_lint fixture (tree mode): the support layer (rank 0) reaching UP
+// into the sync engine layer (rank 60) — trips L2.
+#pragma once
+
+#include "sync/engine_stub.hpp"
+
+namespace papc::support {
+inline int helper() { return papc::sync::stub(); }
+}  // namespace papc::support

@@ -1,0 +1,7 @@
+// papc_lint fixture (tree mode): the engine-layer header that the
+// support-layer file below it illegally includes.
+#pragma once
+
+namespace papc::sync {
+inline int stub() { return 42; }
+}  // namespace papc::sync
